@@ -1,0 +1,89 @@
+//! Streaming access to accessibility data.
+//!
+//! Large multi-user datasets (the paper's LiveLink system has 8639 subjects)
+//! make the full node×subject matrix expensive to materialize. The DOL
+//! builder only ever needs the ACL row of one node at a time, in document
+//! order — exactly what a rule-carrying DFS can produce incrementally. The
+//! [`AccessOracle`] trait is that contract.
+
+use crate::bitvec::BitVec;
+use crate::map::AccessibilityMap;
+use dol_xml::NodeId;
+
+/// A source of per-node ACL rows for one action mode.
+///
+/// Implementations must answer `acl_row` for nodes in any order, but the DOL
+/// builder calls it in document order, so implementations may optimize for
+/// sequential access.
+pub trait AccessOracle {
+    /// Number of subjects (the width of every row).
+    fn subject_count(&self) -> usize;
+
+    /// Writes the ACL row of `node` (bit `s` = subject `s` may access) into
+    /// `out`, resizing it to [`subject_count`](AccessOracle::subject_count).
+    fn acl_row(&self, node: NodeId, out: &mut BitVec);
+}
+
+impl AccessOracle for AccessibilityMap {
+    fn subject_count(&self) -> usize {
+        self.subjects()
+    }
+
+    fn acl_row(&self, node: NodeId, out: &mut BitVec) {
+        self.row_into(node, out);
+    }
+}
+
+/// Adapts a closure `fn(node, subject) -> bool` into an oracle.
+pub struct FnOracle<F> {
+    subjects: usize,
+    f: F,
+}
+
+impl<F: Fn(NodeId, usize) -> bool> FnOracle<F> {
+    /// Wraps `f` as an oracle over `subjects` subjects.
+    pub fn new(subjects: usize, f: F) -> Self {
+        Self { subjects, f }
+    }
+}
+
+impl<F: Fn(NodeId, usize) -> bool> AccessOracle for FnOracle<F> {
+    fn subject_count(&self) -> usize {
+        self.subjects
+    }
+
+    fn acl_row(&self, node: NodeId, out: &mut BitVec) {
+        out.resize(self.subjects);
+        out.fill(false);
+        for s in 0..self.subjects {
+            if (self.f)(node, s) {
+                out.set(s, true);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subject::SubjectId;
+
+    #[test]
+    fn map_as_oracle() {
+        let mut m = AccessibilityMap::new(2, 3);
+        m.set(SubjectId(1), NodeId(2), true);
+        let mut row = BitVec::zeros(0);
+        m.acl_row(NodeId(2), &mut row);
+        assert_eq!(row.to_string(), "01");
+        assert_eq!(m.subject_count(), 2);
+    }
+
+    #[test]
+    fn fn_oracle() {
+        let o = FnOracle::new(4, |n: NodeId, s| (n.0 as usize + s).is_multiple_of(2));
+        let mut row = BitVec::zeros(0);
+        o.acl_row(NodeId(1), &mut row);
+        assert_eq!(row.to_string(), "0101");
+        assert_eq!(o.subject_count(), 4);
+    }
+}

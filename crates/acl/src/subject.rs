@@ -1,0 +1,238 @@
+//! Access-control subjects: users, groups and the subject hierarchy.
+//!
+//! The paper uses *subjects* for both users and user groups; "the subject
+//! hierarchy, which describes group membership, is assumed to be maintained
+//! separately" (§2, footnote 1), and "a user's access rights may include her
+//! own plus those of any groups of which she is a member" (§4, footnote 4).
+//! [`SubjectCatalog`] is that separately-maintained hierarchy.
+
+use std::collections::HashMap;
+
+/// A dense identifier of a subject (user or group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubjectId(pub u16);
+
+impl SubjectId {
+    /// The raw index, for bit-vector addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SubjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Whether a subject is an individual user or a user group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubjectKind {
+    /// An individual trying to access data.
+    User,
+    /// A named collection of subjects.
+    Group,
+}
+
+#[derive(Debug, Clone)]
+struct SubjectInfo {
+    name: String,
+    kind: SubjectKind,
+    /// Groups this subject is a direct member of.
+    memberships: Vec<SubjectId>,
+}
+
+/// The registry of subjects and the group-membership hierarchy.
+#[derive(Debug, Default, Clone)]
+pub struct SubjectCatalog {
+    subjects: Vec<SubjectInfo>,
+    by_name: HashMap<String, SubjectId>,
+}
+
+impl SubjectCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a user. Names must be unique across users and groups.
+    pub fn add_user(&mut self, name: &str) -> SubjectId {
+        self.add(name, SubjectKind::User)
+    }
+
+    /// Registers a group.
+    pub fn add_group(&mut self, name: &str) -> SubjectId {
+        self.add(name, SubjectKind::Group)
+    }
+
+    fn add(&mut self, name: &str, kind: SubjectKind) -> SubjectId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "duplicate subject name `{name}`"
+        );
+        let id = SubjectId(
+            u16::try_from(self.subjects.len()).expect("more than u16::MAX subjects"),
+        );
+        self.subjects.push(SubjectInfo {
+            name: name.to_owned(),
+            kind,
+            memberships: Vec::new(),
+        });
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Makes `member` a direct member of `group`.
+    ///
+    /// # Panics
+    /// Panics if `group` is not a [`SubjectKind::Group`].
+    pub fn add_membership(&mut self, member: SubjectId, group: SubjectId) {
+        assert_eq!(
+            self.subjects[group.index()].kind,
+            SubjectKind::Group,
+            "membership target must be a group"
+        );
+        let m = &mut self.subjects[member.index()].memberships;
+        if !m.contains(&group) {
+            m.push(group);
+        }
+    }
+
+    /// Total number of subjects (users + groups).
+    pub fn len(&self) -> usize {
+        self.subjects.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.subjects.is_empty()
+    }
+
+    /// Looks a subject up by name.
+    pub fn get(&self, name: &str) -> Option<SubjectId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a subject.
+    pub fn name(&self, id: SubjectId) -> &str {
+        &self.subjects[id.index()].name
+    }
+
+    /// The kind of a subject.
+    pub fn kind(&self, id: SubjectId) -> SubjectKind {
+        self.subjects[id.index()].kind
+    }
+
+    /// Direct group memberships of a subject.
+    pub fn direct_groups(&self, id: SubjectId) -> &[SubjectId] {
+        &self.subjects[id.index()].memberships
+    }
+
+    /// All subjects whose rights apply to `id`: itself plus every group
+    /// reachable through the membership hierarchy (cycle-safe, in discovery
+    /// order). This is the subject set whose accessibility bits are OR-ed to
+    /// answer "can this *user* access this node".
+    pub fn effective_subjects(&self, id: SubjectId) -> Vec<SubjectId> {
+        let mut seen = vec![false; self.subjects.len()];
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(s) = stack.pop() {
+            if std::mem::replace(&mut seen[s.index()], true) {
+                continue;
+            }
+            out.push(s);
+            for &g in &self.subjects[s.index()].memberships {
+                stack.push(g);
+            }
+        }
+        out
+    }
+
+    /// Iterates all subject ids.
+    pub fn iter(&self) -> impl Iterator<Item = SubjectId> {
+        (0..self.subjects.len() as u16).map(SubjectId)
+    }
+
+    /// Iterates user ids only.
+    pub fn users(&self) -> impl Iterator<Item = SubjectId> + '_ {
+        self.iter()
+            .filter(move |&s| self.kind(s) == SubjectKind::User)
+    }
+
+    /// Iterates group ids only.
+    pub fn groups(&self) -> impl Iterator<Item = SubjectId> + '_ {
+        self.iter()
+            .filter(move |&s| self.kind(s) == SubjectKind::Group)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn users_and_groups() {
+        let mut c = SubjectCatalog::new();
+        let alice = c.add_user("alice");
+        let staff = c.add_group("staff");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("alice"), Some(alice));
+        assert_eq!(c.kind(staff), SubjectKind::Group);
+        assert_eq!(c.users().count(), 1);
+        assert_eq!(c.groups().count(), 1);
+        assert_eq!(c.name(alice), "alice");
+    }
+
+    #[test]
+    fn effective_subjects_transitive() {
+        let mut c = SubjectCatalog::new();
+        let u = c.add_user("u");
+        let g1 = c.add_group("g1");
+        let g2 = c.add_group("g2");
+        let g3 = c.add_group("g3");
+        c.add_membership(u, g1);
+        c.add_membership(g1, g2);
+        c.add_membership(g2, g3);
+        let eff = c.effective_subjects(u);
+        assert_eq!(eff.len(), 4);
+        assert!(eff.contains(&g3));
+    }
+
+    #[test]
+    fn effective_subjects_cycle_safe() {
+        let mut c = SubjectCatalog::new();
+        let g1 = c.add_group("g1");
+        let g2 = c.add_group("g2");
+        c.add_membership(g1, g2);
+        c.add_membership(g2, g1);
+        assert_eq!(c.effective_subjects(g1).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a group")]
+    fn membership_in_user_rejected() {
+        let mut c = SubjectCatalog::new();
+        let u = c.add_user("u");
+        let v = c.add_user("v");
+        c.add_membership(u, v);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate subject name")]
+    fn duplicate_names_rejected() {
+        let mut c = SubjectCatalog::new();
+        c.add_user("x");
+        c.add_group("x");
+    }
+
+    #[test]
+    fn duplicate_membership_is_idempotent() {
+        let mut c = SubjectCatalog::new();
+        let u = c.add_user("u");
+        let g = c.add_group("g");
+        c.add_membership(u, g);
+        c.add_membership(u, g);
+        assert_eq!(c.direct_groups(u).len(), 1);
+    }
+}

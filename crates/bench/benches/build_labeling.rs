@@ -1,0 +1,60 @@
+//! Criterion benchmark: labeling construction costs — single-subject DOL vs
+//! optimal CAM, multi-subject DOL from a row stream, and the full secured
+//! bulk load (the paper's single-pass construction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dol_bench::setup::{synth_column, xmark_doc, ColumnOracle};
+use dol_cam::Cam;
+use dol_core::{Dol, EmbeddedDol};
+use dol_storage::{BufferPool, MemDisk, StoreConfig};
+use dol_workloads::{LiveLinkConfig, LiveLinkWorld};
+use std::sync::Arc;
+
+fn build_labeling(c: &mut Criterion) {
+    let doc = xmark_doc(0.3);
+    let col = synth_column(&doc, 0.5, 0.03, 5);
+
+    c.bench_function("build/dol_single_subject", |b| {
+        b.iter(|| Dol::build_single(&col).transition_count())
+    });
+    c.bench_function("build/cam_optimal", |b| {
+        b.iter(|| Cam::build_optimal(&doc, &col).len())
+    });
+    c.bench_function("build/secured_bulk_load", |b| {
+        b.iter(|| {
+            let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 4096));
+            let (store, _dol) = EmbeddedDol::build(
+                pool,
+                StoreConfig::default(),
+                &doc,
+                &ColumnOracle(col.clone()),
+            )
+            .unwrap();
+            store.total_nodes()
+        })
+    });
+
+    let world = LiveLinkWorld::generate(&LiveLinkConfig {
+        departments: 5,
+        projects_per_dept: 3,
+        project_size: 80,
+        users: 150,
+        modes: 2,
+        seed: 1,
+    });
+    c.bench_function("build/dol_multi_subject_row_stream", |b| {
+        b.iter(|| {
+            let stream = world.row_stream(0, None);
+            Dol::from_row_stream(world.doc.len() as u64, world.subject_count(), &stream)
+                .codebook()
+                .len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = build_labeling
+}
+criterion_main!(benches);

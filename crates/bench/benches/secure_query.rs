@@ -1,0 +1,44 @@
+//! Criterion benchmark behind Figure 7: ε-NoK vs non-secure NoK for the
+//! single-fragment queries Q1–Q3 at several accessibility ratios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dol_bench::setup::{synth_column, xmark_doc, BenchDb, ColumnOracle, Q3_SINGLE_PATH, SUBJECT, TABLE1};
+use dol_nok::Security;
+
+fn secure_query(c: &mut Criterion) {
+    let doc = xmark_doc(0.3);
+    let queries = [TABLE1[0], TABLE1[1], Q3_SINGLE_PATH];
+    for acc10 in [5usize, 7] {
+        let mut col = synth_column(&doc, acc10 as f64 / 10.0, 0.03, 42);
+        for id in doc.preorder() {
+            if doc.node(id).depth <= 2 {
+                col.set(id.index(), true);
+            }
+        }
+        let db = BenchDb::build(doc.clone(), &ColumnOracle(col), 8192);
+        let engine = db.engine();
+        let mut g = c.benchmark_group(format!("fig7/access{}0pct", acc10));
+        for (qid, q) in queries {
+            g.bench_with_input(BenchmarkId::new("NoK", qid), &q, |b, q| {
+                b.iter(|| engine.execute(q, Security::None).unwrap().matches.len())
+            });
+            g.bench_with_input(BenchmarkId::new("eNoK", qid), &q, |b, q| {
+                b.iter(|| {
+                    engine
+                        .execute(q, Security::BindingLevel(SUBJECT))
+                        .unwrap()
+                        .matches
+                        .len()
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = secure_query
+}
+criterion_main!(benches);

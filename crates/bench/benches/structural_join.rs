@@ -1,0 +1,33 @@
+//! Criterion benchmark behind the §4.2 join experiment: Q4–Q6 under plain
+//! STD, Cho-secure (ε-NoK + STD) and Gabillon–Bruno (ε-STD) evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dol_bench::setup::{synth_column, xmark_doc, BenchDb, ColumnOracle, SUBJECT, TABLE1};
+use dol_nok::Security;
+
+fn structural_join(c: &mut Criterion) {
+    let doc = xmark_doc(0.3);
+    let col = synth_column(&doc, 0.7, 0.03, 7);
+    let db = BenchDb::build(doc, &ColumnOracle(col), 8192);
+    let engine = db.engine();
+    let mut g = c.benchmark_group("joins");
+    for (qid, q) in &TABLE1[3..6] {
+        for (name, sec) in [
+            ("plain", Security::None),
+            ("cho", Security::BindingLevel(SUBJECT)),
+            ("gb", Security::SubtreeVisibility(SUBJECT)),
+        ] {
+            g.bench_with_input(BenchmarkId::new(*qid, name), q, |b, q| {
+                b.iter(|| engine.execute(q, sec).unwrap().matches.len())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = structural_join
+}
+criterion_main!(benches);

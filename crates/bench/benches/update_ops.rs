@@ -1,0 +1,65 @@
+//! Criterion benchmark: §3.4 accessibility-update operations on the
+//! embedded DOL (single node, subtree) and the codebook subject operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dol_acl::SubjectId;
+use dol_bench::setup::{synth_column, xmark_doc, ColumnOracle, SUBJECT};
+use dol_core::EmbeddedDol;
+use dol_storage::{BufferPool, MemDisk, StoreConfig, StructStore};
+use std::sync::Arc;
+
+fn setup() -> (StructStore, EmbeddedDol) {
+    let doc = xmark_doc(0.2);
+    let col = synth_column(&doc, 0.5, 0.03, 5);
+    let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 4096));
+    EmbeddedDol::build(pool, StoreConfig::default(), &doc, &ColumnOracle(col)).unwrap()
+}
+
+fn update_ops(c: &mut Criterion) {
+    let (mut store, mut dol) = setup();
+    let n = store.total_nodes();
+
+    let mut flip = false;
+    let mut pos = 1u64;
+    c.bench_function("update/set_node", |b| {
+        b.iter(|| {
+            pos = (pos * 31 + 7) % n;
+            flip = !flip;
+            dol.set_node(&mut store, pos, SUBJECT, flip).unwrap()
+        })
+    });
+
+    c.bench_function("update/set_subtree", |b| {
+        b.iter(|| {
+            pos = (pos * 31 + 7) % n;
+            let size = store.node(pos).unwrap().size as u64;
+            flip = !flip;
+            dol.set_subtree(&mut store, pos, pos + size, SUBJECT, flip)
+                .unwrap()
+        })
+    });
+
+    c.bench_function("update/codebook_add_subject", |b| {
+        // Batched: adding a column mutates the codebook, so each iteration
+        // works on a fresh clone instead of growing one without bound.
+        b.iter_batched(
+            || dol.codebook().clone(),
+            |mut cb| cb.add_subject(Some(SubjectId(0))),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("lookup/accessible", |b| {
+        b.iter(|| {
+            pos = (pos * 31 + 7) % n;
+            dol.accessible(&store, pos, SUBJECT).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = update_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Figure 4: CAM labels vs DOL transition nodes for a single subject.
+
+use crate::setup::{column_transitions, synth_column, xmark_doc};
+use crate::table::{f3, Table};
+use crate::Effort;
+use dol_cam::Cam;
+use dol_workloads::{LiveLinkConfig, LiveLinkWorld};
+
+/// Figure 4(a): synthetic XMark access controls; the plotted quantity is
+/// `#CAM labels / #DOL transition nodes` as the accessibility ratio sweeps
+/// 10–90% for three propagation ratios.
+pub fn fig4a(effort: Effort) {
+    let doc = xmark_doc(effort.scale(0.2, 2.0));
+    println!(
+        "Figure 4(a): XMark, {} nodes; ratio = CAM labels / DOL transitions (<1 favors CAM)\n",
+        doc.len()
+    );
+    let props = [0.01, 0.03, 0.05];
+    let mut t = Table::new(
+        "fig4a",
+        &[
+            "access%",
+            "prop=1% CAM",
+            "DOL",
+            "ratio",
+            "prop=3% CAM",
+            "DOL",
+            "ratio",
+            "prop=5% CAM",
+            "DOL",
+            "ratio",
+        ],
+    );
+    for acc10 in 1..=9 {
+        let acc = acc10 as f64 / 10.0;
+        let mut cells = vec![format!("{}%", acc10 * 10)];
+        for (pi, &p) in props.iter().enumerate() {
+            let col = synth_column(&doc, acc, p, 1000 + pi as u64);
+            let cam = Cam::build_optimal(&doc, &col);
+            cam.verify(&doc, &col).expect("cam correct");
+            let dol = column_transitions(&col);
+            cells.push(cam.len().to_string());
+            cells.push(dol.to_string());
+            cells.push(f3(cam.len() as f64 / dol as f64));
+        }
+        t.row(&cells);
+    }
+    t.print();
+    println!(
+        "(Paper shape: ratio < 1 throughout — CAM, being tree-aware, needs fewer labels than\n\
+         DOL needs transitions for one subject; the gap is widest at low accessibility and\n\
+         narrows as accessibility rises. DOL sizes peak near 50% accessibility, CAM peaks\n\
+         asymmetrically around ~60%.)\n"
+    );
+}
+
+/// Figure 4(b): per-user CAM labels and DOL transitions on LiveLink-style
+/// data, one bar pair per action mode (average over sampled users, using
+/// each user's effective rights = own subject OR their groups).
+pub fn fig4b(effort: Effort) {
+    let world = LiveLinkWorld::generate(&LiveLinkConfig {
+        departments: effort.pick(4, 10),
+        projects_per_dept: effort.pick(3, 6),
+        project_size: effort.pick(60, 250),
+        users: effort.pick(60, 400),
+        modes: 10,
+        seed: 2005,
+    });
+    let sample = world.sample_users(effort.pick(8, 25), 7);
+    println!(
+        "Figure 4(b): LiveLink-style data, {} nodes, {} subjects; average over {} users\n",
+        world.doc.len(),
+        world.subject_count(),
+        sample.len()
+    );
+    let mut t = Table::new(
+        "fig4b",
+        &["mode", "avg CAM labels", "avg DOL transitions", "CAM/DOL"],
+    );
+    for m in 0..world.modes() {
+        let mut cam_sum = 0usize;
+        let mut dol_sum = 0usize;
+        for &u in &sample {
+            let col = world.user_effective_column(u, m);
+            let cam = Cam::build_optimal(&world.doc, &col);
+            cam_sum += cam.len();
+            dol_sum += column_transitions(&col);
+        }
+        let cam_avg = cam_sum as f64 / sample.len() as f64;
+        let dol_avg = dol_sum as f64 / sample.len() as f64;
+        t.row(&[
+            format!("mode{m}"),
+            format!("{cam_avg:.1}"),
+            format!("{dol_avg:.1}"),
+            f3(cam_avg / dol_avg),
+        ]);
+    }
+    t.print();
+    println!(
+        "(Paper shape: per single user the two schemes are comparable; in the worst modes\n\
+         DOL carries ~20-25% more nodes than CAM.)\n"
+    );
+}

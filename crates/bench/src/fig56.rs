@@ -1,0 +1,105 @@
+//! Figures 5 and 6: codebook entries and transition nodes as functions of
+//! the number of subjects, on the LiveLink-style and Unix-FS-style worlds.
+
+use crate::table::Table;
+use crate::Effort;
+use dol_core::Dol;
+use dol_workloads::{LiveLinkConfig, LiveLinkWorld, UnixFsConfig, UnixFsWorld, UnixMode};
+
+fn subset_sizes(total: usize) -> Vec<usize> {
+    let mut sizes = vec![1usize, 2, 5, 10, 20, 50, 100, 200, 400, 800, 1600, 3200];
+    sizes.retain(|&s| s < total);
+    sizes.push(total);
+    sizes
+}
+
+/// Figures 5(a) + 6(a): LiveLink.
+pub fn livelink(effort: Effort) {
+    let world = LiveLinkWorld::generate(&LiveLinkConfig {
+        departments: effort.pick(5, 12),
+        projects_per_dept: effort.pick(3, 6),
+        project_size: effort.pick(60, 220),
+        users: effort.pick(100, 800),
+        modes: 10,
+        seed: 2005,
+    });
+    println!(
+        "Figures 5(a)/6(a): LiveLink-style, {} nodes, {} subjects, mode 0\n",
+        world.doc.len(),
+        world.subject_count()
+    );
+    let mut t = Table::new(
+        "fig5a/6a",
+        &[
+            "subjects",
+            "codebook entries",
+            "transition nodes",
+            "2^S bound",
+            "trans/node",
+        ],
+    );
+    for n in subset_sizes(world.subject_count()) {
+        let subset = world.sample_subjects(n, 31);
+        let stream = world.row_stream(0, Some(&subset));
+        let dol = Dol::from_row_stream(world.doc.len() as u64, subset.len(), &stream);
+        let bound = if n < 20 {
+            format!("{}", 1u64 << n.min(63))
+        } else {
+            format!("2^{n}")
+        };
+        t.row(&[
+            n.to_string(),
+            dol.codebook().len().to_string(),
+            dol.transition_count().to_string(),
+            bound,
+            format!(
+                "{:.4}",
+                dol.transition_count() as f64 / world.doc.len() as f64
+            ),
+        ]);
+    }
+    t.print();
+    println!(
+        "(Paper shape: both grow far slower than the uncorrelated worst case — codebook\n\
+         entries sub-exponential, transitions sub-linear; with ALL subjects the transition\n\
+         density stays well below 1-in-10 nodes.)\n"
+    );
+}
+
+/// Figures 5(b) + 6(b): Unix file system.
+pub fn unixfs(effort: Effort) {
+    let world = UnixFsWorld::generate(&UnixFsConfig {
+        nodes: effort.pick(8_000, 120_000),
+        users: 182,
+        groups: 65,
+        seed: 65,
+    });
+    println!(
+        "Figures 5(b)/6(b): Unix-FS-style, {} nodes, {} subjects (182 users + 65 groups), read mode\n",
+        world.doc.len(),
+        world.subject_count()
+    );
+    let mut t = Table::new(
+        "fig5b/6b",
+        &["subjects", "codebook entries", "transition nodes", "trans/node"],
+    );
+    for n in subset_sizes(world.subject_count()) {
+        let subset = world.sample_subjects(n, 13);
+        let oracle = world.oracle_for(UnixMode::Read, subset);
+        let dol = Dol::build_n(world.doc.len() as u64, &oracle);
+        t.row(&[
+            n.to_string(),
+            dol.codebook().len().to_string(),
+            dol.transition_count().to_string(),
+            format!(
+                "{:.4}",
+                dol.transition_count() as f64 / world.doc.len() as f64
+            ),
+        ]);
+    }
+    t.print();
+    println!(
+        "(Paper shape: ~855 codebook entries at 247 subjects (≈25 KB); transitions for all\n\
+         subjects only ~2x the 50-subject count; density below 1-in-10.)\n"
+    );
+}

@@ -1,0 +1,59 @@
+//! `experiments` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [--quick|--full] [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates | all]
+//! ```
+
+use dol_bench::{ablation, fig4, fig56, fig7, fig8, queries, storage, updates, Effort};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut effort = Effort::Quick;
+    let mut selected: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--quick" => effort = Effort::Quick,
+            "--full" => effort = Effort::Full,
+            other => selected.push(other.to_string()),
+        }
+    }
+    if selected.is_empty() || selected.iter().any(|s| s == "all") {
+        selected = vec![
+            "queries".into(),
+            "fig4a".into(),
+            "fig4b".into(),
+            "fig5".into(),
+            "storage".into(),
+            "fig7".into(),
+            "fig8".into(),
+            "updates".into(),
+            "ablation".into(),
+        ];
+    }
+    println!(
+        "DOL experiment harness ({} mode)\n{}\n",
+        match effort {
+            Effort::Quick => "quick",
+            Effort::Full => "full",
+        },
+        "=".repeat(72)
+    );
+    for s in selected {
+        match s.as_str() {
+            "fig4a" => fig4::fig4a(effort),
+            "fig4b" => fig4::fig4b(effort),
+            // Figures 5 and 6 come from the same subject-scaling runs.
+            "fig5" | "fig6" => {
+                fig56::livelink(effort);
+                fig56::unixfs(effort);
+            }
+            "storage" => storage::run(effort),
+            "queries" => queries::run(effort),
+            "fig7" => fig7::run(effort),
+            "fig8" => fig8::run(effort),
+            "updates" => updates::run(effort),
+            "ablation" => ablation::run(effort),
+            other => eprintln!("unknown experiment `{other}` (skipped)"),
+        }
+    }
+}

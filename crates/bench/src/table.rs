@@ -1,0 +1,114 @@
+//! Aligned text tables for experiment output.
+
+/// A simple right-aligned text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: String,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            title: title.to_string(),
+        }
+    }
+
+    /// Adds a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience for building a row out of displayable values.
+    pub fn rowd<D: std::fmt::Display>(&mut self, cells: &[D]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{:>width$}", c, width = widths[i]));
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a ratio as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a byte count human-readably.
+pub fn bytes(n: usize) -> String {
+    if n >= 1 << 20 {
+        format!("{:.2} MiB", n as f64 / (1 << 20) as f64)
+    } else if n >= 1 << 10 {
+        format!("{:.2} KiB", n as f64 / (1 << 10) as f64)
+    } else {
+        format!("{n} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.rowd(&[1, 2]).rowd(&[333, 4]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("333"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(bytes(10), "10 B");
+        assert_eq!(bytes(2048), "2.00 KiB");
+        assert_eq!(bytes(3 << 20), "3.00 MiB");
+    }
+}

@@ -1,0 +1,369 @@
+//! The DOL codebook: dictionary compression of access-control lists.
+//!
+//! "Each distinct access control list that appears in the secured tree is
+//! recorded once in a codebook (dictionary). With each transition node in the
+//! DOL we record a reference to the appropriate access control list in the
+//! codebook, rather than the access control list itself." (paper §2.1)
+//!
+//! The codebook is the in-memory half of the physical design (§3.2): lookups
+//! are `bit(code, subject)`, and subject-set updates (§3.4) are *column*
+//! operations that never touch the embedded transition data.
+
+use dol_acl::{BitVec, SubjectId};
+use std::collections::HashMap;
+
+/// An interning dictionary of ACL bit-vectors.
+#[derive(Debug, Clone, Default)]
+pub struct Codebook {
+    entries: Vec<BitVec>,
+    index: HashMap<BitVec, u32>,
+    width: usize,
+    /// Columns of deleted subjects, kept until [`Codebook::compact`]
+    /// (deletion is "accomplished within the codebook … any such redundancy
+    /// can be corrected lazily", §3.4).
+    removed: Vec<bool>,
+}
+
+impl Codebook {
+    /// Creates an empty codebook for `subjects` subjects.
+    pub fn new(subjects: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            index: HashMap::new(),
+            width: subjects,
+            removed: vec![false; subjects],
+        }
+    }
+
+    /// Interns an ACL, returning its code. The ACL's length must equal the
+    /// codebook width.
+    pub fn intern(&mut self, acl: &BitVec) -> u32 {
+        assert_eq!(acl.len(), self.width, "ACL width mismatch");
+        if let Some(&code) = self.index.get(acl) {
+            return code;
+        }
+        let code = u32::try_from(self.entries.len()).expect("more than u32::MAX ACLs");
+        self.entries.push(acl.clone());
+        self.index.insert(acl.clone(), code);
+        code
+    }
+
+    /// The ACL behind `code`.
+    pub fn entry(&self, code: u32) -> &BitVec {
+        &self.entries[code as usize]
+    }
+
+    /// Whether `subject` is granted by the ACL behind `code` — the
+    /// "s-th bit in that codebook entry" lookup of §3.3.
+    #[inline]
+    pub fn bit(&self, code: u32, subject: SubjectId) -> bool {
+        self.entries[code as usize].get(subject.index())
+    }
+
+    /// Number of distinct ACL entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the codebook holds no entry.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Physical column count (including lazily removed subjects).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Live subject count (excluding removed columns).
+    pub fn live_subjects(&self) -> usize {
+        self.width - self.removed.iter().filter(|&&r| r).count()
+    }
+
+    /// Adds a subject column. The new subject's bits are all-deny, or copied
+    /// from `copy_from` ("relatively simple to add a new subject who has no
+    /// access rights, or whose rights initially match those of some existing
+    /// subject … by simply adding an additional column", §3.4). No embedded
+    /// transition data changes.
+    pub fn add_subject(&mut self, copy_from: Option<SubjectId>) -> SubjectId {
+        let new = SubjectId(self.width as u16);
+        for e in &mut self.entries {
+            let bit = copy_from.is_some_and(|s| e.get(s.index()));
+            e.push(bit);
+        }
+        self.width += 1;
+        self.removed.push(false);
+        self.rebuild_index();
+        new
+    }
+
+    /// Adds a **union column**: a virtual subject whose bit in every entry
+    /// is the OR of the given subjects' bits. This realizes the paper's §4
+    /// user model — "a user's access rights may include her own plus those
+    /// of any groups of which she is a member" — as a pure codebook
+    /// operation: queries then run with the virtual subject's id, and no
+    /// embedded transition data changes.
+    pub fn add_subject_union(&mut self, subjects: &[SubjectId]) -> SubjectId {
+        let new = SubjectId(self.width as u16);
+        for e in &mut self.entries {
+            let bit = subjects.iter().any(|s| e.get(s.index()));
+            e.push(bit);
+        }
+        self.width += 1;
+        self.removed.push(false);
+        self.rebuild_index();
+        new
+    }
+
+    /// Marks a subject's column as removed. Lookups for that subject return
+    /// deny; entries that become duplicates are merged by [`compact`].
+    ///
+    /// [`compact`]: Codebook::compact
+    pub fn remove_subject(&mut self, subject: SubjectId) {
+        self.removed[subject.index()] = true;
+        for e in &mut self.entries {
+            e.set(subject.index(), false);
+        }
+        self.rebuild_index();
+    }
+
+    /// Whether a subject has been removed.
+    pub fn is_removed(&self, subject: SubjectId) -> bool {
+        self.removed[subject.index()]
+    }
+
+    /// Compacts away removed columns and merges duplicate entries, returning
+    /// a remapping `old code → new code` the caller must apply to embedded
+    /// transition data (the lazy redundancy correction of §3.4).
+    pub fn compact(&mut self) -> Vec<u32> {
+        let keep: Vec<usize> = (0..self.width).filter(|&s| !self.removed[s]).collect();
+        let mut new_entries: Vec<BitVec> = Vec::new();
+        let mut new_index: HashMap<BitVec, u32> = HashMap::new();
+        let mut remap = Vec::with_capacity(self.entries.len());
+        for e in &self.entries {
+            let projected = BitVec::from_fn(keep.len(), |i| e.get(keep[i]));
+            let code = *new_index.entry(projected.clone()).or_insert_with(|| {
+                new_entries.push(projected);
+                (new_entries.len() - 1) as u32
+            });
+            remap.push(code);
+        }
+        self.entries = new_entries;
+        self.index = new_index;
+        self.width = keep.len();
+        self.removed = vec![false; self.width];
+        remap
+    }
+
+    /// Bytes needed to store the codebook: one bit per live subject per
+    /// entry (the paper's accounting, e.g. "at 1000 bytes per codebook entry
+    /// … about 4 MB" for 8000 subjects × 4000 entries).
+    pub fn bytes(&self) -> usize {
+        self.entries.len() * self.live_subjects().div_ceil(8)
+    }
+
+    /// Bytes needed for one embedded access-control code: the smallest
+    /// integer width that can index every entry (≥ 1 byte; the paper assumes
+    /// 2-byte codes for a 4000-entry codebook).
+    pub fn code_bytes(&self) -> usize {
+        match self.entries.len() {
+            0..=0x100 => 1,
+            0x101..=0x1_0000 => 2,
+            0x1_0001..=0x100_0000 => 3,
+            _ => 4,
+        }
+    }
+
+    /// Iterates `(code, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &BitVec)> {
+        self.entries.iter().enumerate().map(|(i, e)| (i as u32, e))
+    }
+
+    /// Serializes the codebook to a self-describing little-endian blob:
+    /// `width u32 | removed bitmap | entry count u32 | entries (width bits
+    /// each, u64-word aligned)`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let words_per_entry = self.width.div_ceil(64);
+        let mut out = Vec::with_capacity(16 + self.width / 8 + self.entries.len() * words_per_entry * 8);
+        out.extend_from_slice(&(self.width as u32).to_le_bytes());
+        let removed = BitVec::from_fn(self.width, |i| self.removed[i]);
+        for w in removed.words() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            debug_assert_eq!(e.len(), self.width);
+            for w in e.words() {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Reconstructs a codebook from [`to_bytes`](Codebook::to_bytes) output.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Codebook, String> {
+        let take_u32 = |b: &[u8], off: usize| -> Result<u32, String> {
+            b.get(off..off + 4)
+                .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+                .ok_or_else(|| "codebook blob truncated".to_string())
+        };
+        let width = take_u32(bytes, 0)? as usize;
+        let words_per_entry = width.div_ceil(64);
+        let mut off = 4;
+        let read_bits = |bytes: &[u8], off: usize| -> Result<BitVec, String> {
+            let mut v = BitVec::zeros(width);
+            for i in 0..width {
+                let w_off = off + (i / 64) * 8;
+                let word = bytes
+                    .get(w_off..w_off + 8)
+                    .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+                    .ok_or("codebook blob truncated")?;
+                if word >> (i % 64) & 1 == 1 {
+                    v.set(i, true);
+                }
+            }
+            Ok(v)
+        };
+        let removed_bits = read_bits(bytes, off)?;
+        off += words_per_entry * 8;
+        let count = take_u32(bytes, off)? as usize;
+        off += 4;
+        let mut cb = Codebook::new(width);
+        for code in 0..count {
+            // Entries are pushed verbatim (not interned): codes must keep
+            // their positions, and lazily-removed subjects legitimately
+            // leave duplicate entries until `compact`.
+            let e = read_bits(bytes, off)?;
+            off += words_per_entry * 8;
+            cb.entries.push(e.clone());
+            cb.index.entry(e).or_insert(code as u32);
+        }
+        for i in 0..width {
+            if removed_bits.get(i) {
+                cb.removed[i] = true;
+            }
+        }
+        Ok(cb)
+    }
+
+    fn rebuild_index(&mut self) {
+        self.index.clear();
+        for (i, e) in self.entries.iter().enumerate() {
+            // On duplicates, the first code wins; later codes stay valid
+            // through `entry()` but stop being returned by `intern`.
+            self.index.entry(e.clone()).or_insert(i as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acl(bits: &str) -> BitVec {
+        BitVec::from_fn(bits.len(), |i| bits.as_bytes()[i] == b'1')
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut cb = Codebook::new(3);
+        let a = cb.intern(&acl("101"));
+        let b = cb.intern(&acl("011"));
+        let a2 = cb.intern(&acl("101"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(cb.len(), 2);
+        assert!(cb.bit(a, SubjectId(0)));
+        assert!(!cb.bit(a, SubjectId(1)));
+        assert!(cb.bit(b, SubjectId(2)));
+    }
+
+    #[test]
+    fn figure_1c_codebook() {
+        // The paper's two-user example has 3 distinct ACLs out of 4 possible.
+        let mut cb = Codebook::new(2);
+        cb.intern(&acl("11"));
+        cb.intern(&acl("10"));
+        cb.intern(&acl("01"));
+        cb.intern(&acl("11"));
+        assert_eq!(cb.len(), 3);
+    }
+
+    #[test]
+    fn add_subject_copying_rights() {
+        let mut cb = Codebook::new(2);
+        let c0 = cb.intern(&acl("10"));
+        let c1 = cb.intern(&acl("01"));
+        let s = cb.add_subject(Some(SubjectId(0)));
+        assert_eq!(s, SubjectId(2));
+        assert_eq!(cb.width(), 3);
+        assert!(cb.bit(c0, s)); // copied subject 0's grant
+        assert!(!cb.bit(c1, s));
+        let s2 = cb.add_subject(None);
+        assert!(!cb.bit(c0, s2));
+    }
+
+    #[test]
+    fn union_column_is_or_of_members() {
+        let mut cb = Codebook::new(3);
+        let c0 = cb.intern(&acl("100"));
+        let c1 = cb.intern(&acl("010"));
+        let c2 = cb.intern(&acl("001"));
+        let u = cb.add_subject_union(&[SubjectId(0), SubjectId(2)]);
+        assert_eq!(u, SubjectId(3));
+        assert!(cb.bit(c0, u));
+        assert!(!cb.bit(c1, u));
+        assert!(cb.bit(c2, u));
+    }
+
+    #[test]
+    fn remove_then_compact_merges_duplicates() {
+        let mut cb = Codebook::new(2);
+        let c0 = cb.intern(&acl("10"));
+        let c1 = cb.intern(&acl("11"));
+        cb.remove_subject(SubjectId(1));
+        assert!(!cb.bit(c1, SubjectId(1)));
+        assert!(cb.bit(c1, SubjectId(0)));
+        assert_eq!(cb.live_subjects(), 1);
+        let remap = cb.compact();
+        assert_eq!(remap[c0 as usize], remap[c1 as usize]); // merged
+        assert_eq!(cb.len(), 1);
+        assert_eq!(cb.width(), 1);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let mut cb = Codebook::new(16);
+        for i in 0..4u32 {
+            cb.intern(&BitVec::from_fn(16, |s| (s as u32).is_multiple_of(i + 1)));
+        }
+        assert_eq!(cb.bytes(), cb.len() * 2); // 16 subjects = 2 bytes/entry
+        assert_eq!(cb.code_bytes(), 1);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut cb = Codebook::new(70); // exercises multi-word entries
+        for i in 0..5u32 {
+            cb.intern(&BitVec::from_fn(70, |s| (s as u32 + i).is_multiple_of(3)));
+        }
+        cb.remove_subject(SubjectId(69));
+        let blob = cb.to_bytes();
+        let back = Codebook::from_bytes(&blob).unwrap();
+        assert_eq!(back.width(), cb.width());
+        assert_eq!(back.len(), cb.len());
+        assert_eq!(back.live_subjects(), cb.live_subjects());
+        for (code, e) in cb.iter() {
+            assert_eq!(back.entry(code), e);
+        }
+        assert!(back.is_removed(SubjectId(69)));
+        assert!(Codebook::from_bytes(&blob[..3]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_rejected() {
+        let mut cb = Codebook::new(3);
+        cb.intern(&acl("10"));
+    }
+}

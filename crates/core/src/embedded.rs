@@ -1,0 +1,367 @@
+//! The physical DOL: codes embedded in the NoK block store (§3.2–§3.4).
+//!
+//! The embedding itself (block headers, change bits, in-block transition
+//! entries) is implemented by [`dol_storage::StructStore`]; this module
+//! supplies the semantics: the in-memory [`Codebook`] the codes index, the
+//! single-pass secured bulk build, the piggy-backed accessibility check, the
+//! page-skip test, and the accessibility-update entry points.
+
+use crate::codebook::Codebook;
+use crate::dol::Dol;
+use crate::stats::DolStats;
+use dol_acl::{AccessOracle, BitVec, SubjectId};
+use dol_storage::{BufferPool, BulkItem, StoreConfig, StructStore};
+use dol_xml::Document;
+use std::sync::Arc;
+
+/// Storage-layer errors bubbled up from the block store.
+pub type StorageError = dol_storage::disk::StorageError;
+
+/// Produces the document-order [`BulkItem`] stream for a secured bulk load,
+/// interning each node's ACL on the fly — the paper's single-pass
+/// construction "using a single pass through a labeled XML document".
+pub fn build_secure_items(
+    doc: &Document,
+    oracle: &impl AccessOracle,
+) -> (Vec<BulkItem>, Codebook) {
+    let mut codebook = Codebook::new(oracle.subject_count());
+    let mut row = BitVec::zeros(0);
+    let mut prev: Option<u32> = None;
+    let mut items = Vec::with_capacity(doc.len());
+    for id in doc.preorder() {
+        let n = doc.node(id);
+        oracle.acl_row(id, &mut row);
+        let code = codebook.intern(&row);
+        let is_transition = prev != Some(code);
+        prev = Some(code);
+        items.push(BulkItem {
+            tag: n.tag,
+            size: n.size,
+            depth: n.depth,
+            has_value: n.value.is_some(),
+            code,
+            is_transition,
+        });
+    }
+    (items, codebook)
+}
+
+/// The in-memory half of an embedded DOL: the codebook plus the operations
+/// that interpret the codes stored in a [`StructStore`].
+#[derive(Debug, Clone)]
+pub struct EmbeddedDol {
+    codebook: Codebook,
+}
+
+impl EmbeddedDol {
+    /// Builds a secured store and its embedded DOL from a document and an
+    /// access oracle, in one document-order pass.
+    pub fn build(
+        pool: Arc<BufferPool>,
+        cfg: StoreConfig,
+        doc: &Document,
+        oracle: &impl AccessOracle,
+    ) -> Result<(StructStore, EmbeddedDol), StorageError> {
+        let (items, codebook) = build_secure_items(doc, oracle);
+        let store = StructStore::build(pool, cfg, items)?;
+        Ok((store, EmbeddedDol { codebook }))
+    }
+
+    /// Wraps an existing codebook (e.g. loaded from persisted form).
+    pub fn from_codebook(codebook: Codebook) -> Self {
+        Self { codebook }
+    }
+
+    /// The codebook.
+    pub fn codebook(&self) -> &Codebook {
+        &self.codebook
+    }
+
+    /// Mutable codebook access (subject add/remove operate here only —
+    /// "no changes to the embedded transition nodes … are required", §3.4).
+    pub fn codebook_mut(&mut self) -> &mut Codebook {
+        &mut self.codebook
+    }
+
+    /// Interprets an access-control code for a subject. This is the hot-path
+    /// check ε-NoK performs on a code it already read from the node's page.
+    #[inline]
+    pub fn check_code(&self, code: u32, subject: SubjectId) -> bool {
+        self.codebook.bit(code, subject)
+    }
+
+    /// Whether `subject` may access the node at `pos` (one page access,
+    /// shared with the structural read — see
+    /// [`StructStore::node_and_code`]).
+    pub fn accessible(
+        &self,
+        store: &StructStore,
+        pos: u64,
+        subject: SubjectId,
+    ) -> Result<bool, StorageError> {
+        Ok(self.check_code(store.code_at(pos)?, subject))
+    }
+
+    /// The page-skip test (§3.3): if block `idx`'s first node is
+    /// inaccessible to `subject` and the change bit is clear, every node in
+    /// the block is inaccessible — and this is decided **from memory**,
+    /// without reading the page.
+    pub fn block_skippable(&self, store: &StructStore, idx: usize, subject: SubjectId) -> bool {
+        let info = store.block_info(idx);
+        !info.change && !self.check_code(info.first_code, subject)
+    }
+
+    /// Grants or revokes one subject's access to the single node at `pos`
+    /// (§3.4 single-node accessibility update: one page read + one write).
+    pub fn set_node(
+        &mut self,
+        store: &mut StructStore,
+        pos: u64,
+        subject: SubjectId,
+        allow: bool,
+    ) -> Result<(), StorageError> {
+        let code = store.code_at(pos)?;
+        let mut acl = self.codebook.entry(code).clone();
+        if acl.get(subject.index()) == allow {
+            return Ok(()); // preceding transition already agrees — stop.
+        }
+        acl.set(subject.index(), allow);
+        let new_code = self.codebook.intern(&acl);
+        store.set_code_run(pos, pos + 1, new_code)
+    }
+
+    /// Grants or revokes one subject's access over the subtree occupying
+    /// `[start, end)` (§3.4 subtree update: `N/B` page I/Os). Other
+    /// subjects' rights inside the range are preserved: each existing code
+    /// run is remapped through the codebook with only `subject`'s bit
+    /// changed, and adjacent runs that become equal are merged.
+    pub fn set_subtree(
+        &mut self,
+        store: &mut StructStore,
+        start: u64,
+        end: u64,
+        subject: SubjectId,
+        allow: bool,
+    ) -> Result<(), StorageError> {
+        let runs = store.runs_in(start, end)?;
+        // Remap codes and coalesce adjacent equal results.
+        let mut mapped: Vec<(u64, u32, u32)> = Vec::with_capacity(runs.len()); // (start, old, new)
+        for (pos, old) in runs {
+            let mut acl = self.codebook.entry(old).clone();
+            acl.set(subject.index(), allow);
+            let new = self.codebook.intern(&acl);
+            match mapped.last() {
+                Some(&(_, _, prev_new)) if prev_new == new => {}
+                _ => mapped.push((pos, old, new)),
+            }
+        }
+        // Apply left to right; stretches that are already a single run of
+        // the target code are skipped.
+        for (i, &(s, old, new)) in mapped.iter().enumerate() {
+            let e = mapped.get(i + 1).map(|&(p, _, _)| p).unwrap_or(end);
+            let unchanged = old == new && store.runs_in(s, e)?.len() == 1;
+            if !unchanged {
+                store.set_code_run(s, e, new)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sets a whole ACL over `[start, end)`.
+    pub fn set_run(
+        &mut self,
+        store: &mut StructStore,
+        start: u64,
+        end: u64,
+        acl: &BitVec,
+    ) -> Result<(), StorageError> {
+        let code = self.codebook.intern(acl);
+        store.set_code_run(start, end, code)
+    }
+
+    /// Performs the §3.4 lazy cleanup after subject removals: compacts the
+    /// codebook (dropping removed columns, merging duplicate entries) and
+    /// rewrites every embedded code through the resulting remap in one
+    /// sequential pass over the blocks.
+    pub fn compact_subjects(&mut self, store: &mut StructStore) -> Result<(), StorageError> {
+        let remap = self.codebook.compact();
+        store.remap_codes(&remap)
+    }
+
+    /// Extracts the logical DOL from the embedded representation (used by
+    /// tests to prove logical/physical equivalence).
+    pub fn to_logical(&self, store: &StructStore) -> Result<Dol, StorageError> {
+        let mut transitions = Vec::new();
+        let mut prev: Option<u32> = None;
+        for pos in 0..store.total_nodes() {
+            let code = store.code_at(pos)?;
+            if prev != Some(code) {
+                transitions.push((pos, code));
+                prev = Some(code);
+            }
+        }
+        Ok(Dol::from_parts(
+            transitions,
+            self.codebook.clone(),
+            store.total_nodes(),
+        ))
+    }
+
+    /// Size accounting of the embedded representation.
+    pub fn stats(&self, store: &StructStore) -> Result<DolStats, StorageError> {
+        let transitions = store.logical_transition_count()? as usize;
+        Ok(DolStats {
+            total_nodes: store.total_nodes(),
+            subjects: self.codebook.live_subjects(),
+            transitions,
+            codebook_entries: self.codebook.len(),
+            codebook_bytes: self.codebook.bytes(),
+            embedded_code_bytes: transitions * self.codebook.code_bytes(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dol_acl::AccessibilityMap;
+    use dol_storage::MemDisk;
+    use dol_xml::{parse, NodeId};
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 64))
+    }
+
+    fn setup(max_rec: usize) -> (StructStore, EmbeddedDol, AccessibilityMap, Document) {
+        let doc = parse("<a><b/><c/><d><e/><f/><g><h/><i/><j/></g></d><k/></a>").unwrap();
+        let mut map = AccessibilityMap::new(2, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true); // subject 0: everything
+        }
+        for p in 3..10 {
+            map.set(SubjectId(1), NodeId(p), true); // subject 1: subtree of d
+        }
+        let (store, dol) = EmbeddedDol::build(
+            pool(),
+            StoreConfig {
+                max_records_per_block: max_rec,
+            },
+            &doc,
+            &map,
+        )
+        .unwrap();
+        (store, dol, map, doc)
+    }
+
+    #[test]
+    fn embedded_matches_ground_truth() {
+        for max_rec in [300, 3] {
+            let (store, dol, map, doc) = setup(max_rec);
+            store.check_integrity().unwrap();
+            for p in 0..doc.len() as u64 {
+                for s in [SubjectId(0), SubjectId(1)] {
+                    assert_eq!(
+                        dol.accessible(&store, p, s).unwrap(),
+                        map.accessible(s, NodeId(p as u32)),
+                        "pos {p} subject {s} max_rec {max_rec}"
+                    );
+                }
+            }
+            // Logical extraction agrees with a direct logical build.
+            let logical = dol.to_logical(&store).unwrap();
+            logical.verify_against(&map).unwrap();
+            assert_eq!(
+                logical.transition_count() as u64,
+                store.logical_transition_count().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn page_skip_test() {
+        // Many tiny blocks; subject 1 only sees [3, 10), so blocks fully
+        // outside are skippable without I/O.
+        let (store, dol, _, _) = setup(2);
+        let mut skippable = 0;
+        for b in 0..store.block_count() {
+            if dol.block_skippable(&store, b, SubjectId(1)) {
+                skippable += 1;
+            }
+            // Subject 0 sees everything: nothing is skippable.
+            assert!(!dol.block_skippable(&store, b, SubjectId(0)));
+        }
+        assert!(skippable >= 1, "expected skippable blocks");
+    }
+
+    #[test]
+    fn set_node_and_subtree_updates() {
+        for max_rec in [300, 3] {
+            let (mut store, mut dol, map, doc) = setup(max_rec);
+            let mut truth = map.clone();
+            dol.set_node(&mut store, 2, SubjectId(1), true).unwrap();
+            truth.set(SubjectId(1), NodeId(2), true);
+            dol.set_subtree(&mut store, 6, 10, SubjectId(0), false)
+                .unwrap();
+            for p in 6..10 {
+                truth.set(SubjectId(0), NodeId(p), false);
+            }
+            store.check_integrity().unwrap();
+            for p in 0..doc.len() as u64 {
+                for s in [SubjectId(0), SubjectId(1)] {
+                    assert_eq!(
+                        dol.accessible(&store, p, s).unwrap(),
+                        truth.accessible(s, NodeId(p as u32)),
+                        "pos {p} subject {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compact_subjects_preserves_semantics_and_shrinks() {
+        for max_rec in [300, 3] {
+            let (mut store, mut dol, map, doc) = setup(max_rec);
+            // Removing subject 1 makes the "subtree of d" ACL redundant.
+            dol.codebook_mut().remove_subject(SubjectId(1));
+            let entries_before = dol.codebook().len();
+            dol.compact_subjects(&mut store).unwrap();
+            store.check_integrity().unwrap();
+            assert!(dol.codebook().len() < entries_before);
+            assert_eq!(dol.codebook().width(), 1);
+            // Subject 0's view is unchanged.
+            for p in 0..doc.len() as u64 {
+                assert_eq!(
+                    dol.accessible(&store, p, SubjectId(0)).unwrap(),
+                    map.accessible(SubjectId(0), NodeId(p as u32)),
+                    "pos {p} max_rec {max_rec}"
+                );
+            }
+            // With one uniform subject the whole document is one run.
+            assert_eq!(store.logical_transition_count().unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn subject_addition_without_touching_store() {
+        let (store, mut dol, _, _) = setup(300);
+        let io_before = store.pool().stats();
+        let new = dol.codebook_mut().add_subject(Some(SubjectId(1)));
+        let io_after = store.pool().stats();
+        assert_eq!(io_before, io_after, "codebook ops must not touch pages");
+        // New subject mirrors subject 1.
+        assert!(dol.accessible(&store, 4, new).unwrap());
+        assert!(!dol.accessible(&store, 1, new).unwrap());
+    }
+
+    #[test]
+    fn accessibility_check_costs_no_extra_io() {
+        let (store, dol, _, _) = setup(300);
+        store.pool().reset_stats();
+        // node_and_code: one logical read for both structure and code.
+        let (_, code) = store.node_and_code(5).unwrap();
+        let _ = dol.check_code(code, SubjectId(0));
+        let s = store.pool().stats();
+        assert_eq!(s.logical_reads, 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Size accounting used by the storage experiments (§5.1).
+
+/// Storage statistics of a DOL.
+///
+/// The paper's accounting: the overall cost is the codebook (one bit per
+/// live subject per distinct ACL) plus one small access-control code per
+/// transition node, the code width being just wide enough to index the
+/// codebook. CAM comparisons additionally charge CAM per-label pointers —
+/// see `dol-cam`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DolStats {
+    /// Document positions covered.
+    pub total_nodes: u64,
+    /// Live subjects (codebook columns).
+    pub subjects: usize,
+    /// Transition nodes.
+    pub transitions: usize,
+    /// Distinct ACL entries in the codebook.
+    pub codebook_entries: usize,
+    /// Bytes for the codebook.
+    pub codebook_bytes: usize,
+    /// Bytes for the embedded per-transition codes.
+    pub embedded_code_bytes: usize,
+}
+
+impl DolStats {
+    /// Total bytes: codebook plus embedded codes.
+    pub fn total_bytes(&self) -> usize {
+        self.codebook_bytes + self.embedded_code_bytes
+    }
+
+    /// Transition density: transitions per node.
+    pub fn transition_density(&self) -> f64 {
+        if self.total_nodes == 0 {
+            return 0.0;
+        }
+        self.transitions as f64 / self.total_nodes as f64
+    }
+}
+
+impl std::fmt::Display for DolStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} subjects: {} transitions ({:.4}/node), {} codebook entries, {} B codebook + {} B codes = {} B",
+            self.total_nodes,
+            self.subjects,
+            self.transitions,
+            self.transition_density(),
+            self.codebook_entries,
+            self.codebook_bytes,
+            self.embedded_code_bytes,
+            self.total_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_density() {
+        let s = DolStats {
+            total_nodes: 1000,
+            subjects: 16,
+            transitions: 10,
+            codebook_entries: 4,
+            codebook_bytes: 8,
+            embedded_code_bytes: 10,
+        };
+        assert_eq!(s.total_bytes(), 18);
+        assert!((s.transition_density() - 0.01).abs() < 1e-12);
+        let text = s.to_string();
+        assert!(text.contains("10 transitions"));
+    }
+}

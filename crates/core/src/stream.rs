@@ -1,0 +1,268 @@
+//! Streaming DOL: one-pass construction and secure dissemination.
+//!
+//! Two claims from the paper are exercised here:
+//!
+//! * "a document order encoding of access rights can be constructed
+//!   on-the-fly using a single pass through a labeled XML document" (§2) —
+//!   [`build_dol_from_stream`] builds a [`Dol`] from an [`EventReader`]
+//!   without materializing the tree;
+//! * "The physical layout makes it easy to embed into streaming XML data …
+//!   and many one-pass algorithms on streaming XML data can be made secure.
+//!   … The DOL approach can be similarly used for dissemination of XML data
+//!   to multiple users" (§6/§7) — [`secure_filter`] rewrites an XML stream
+//!   for one subject in a single pass with `O(depth)` state, pruning every
+//!   subtree rooted at an inaccessible node (the natural dissemination
+//!   semantics: a reader who cannot see an element cannot see its content).
+//!
+//! **Position convention** (shared with [`dol_xml::events`]): positions are
+//! assigned to each element start, then its attributes in order, then each
+//! text chunk. A DOL used for stream filtering must be built with the same
+//! convention — most simply by [`build_dol_from_stream`] itself, or from a
+//! document parsed with `coalesce_single_text = false`.
+
+use crate::codebook::Codebook;
+use crate::dol::Dol;
+use dol_acl::{AccessOracle, BitVec, SubjectId};
+use dol_xml::{EventReader, ParseError, XmlEvent};
+
+/// Builds a DOL over an XML text in one streaming pass, assigning stream
+/// positions per the module convention and querying `oracle` per node.
+pub fn build_dol_from_stream(
+    xml: &str,
+    oracle: &impl AccessOracle,
+) -> Result<Dol, ParseError> {
+    let mut codebook = Codebook::new(oracle.subject_count());
+    let mut transitions: Vec<(u64, u32)> = Vec::new();
+    let mut row = BitVec::zeros(0);
+    let mut prev: Option<u32> = None;
+    let mut pos = 0u64;
+    let mut push = |p: u64, codebook: &mut Codebook, row: &BitVec, prev: &mut Option<u32>| {
+        let code = codebook.intern(row);
+        if *prev != Some(code) {
+            transitions.push((p, code));
+            *prev = Some(code);
+        }
+    };
+    for ev in EventReader::new(xml) {
+        match ev? {
+            XmlEvent::Start { attributes, .. } => {
+                oracle.acl_row(dol_xml::NodeId(pos as u32), &mut row);
+                push(pos, &mut codebook, &row, &mut prev);
+                pos += 1;
+                for _ in &attributes {
+                    oracle.acl_row(dol_xml::NodeId(pos as u32), &mut row);
+                    push(pos, &mut codebook, &row, &mut prev);
+                    pos += 1;
+                }
+            }
+            XmlEvent::Text(_) => {
+                oracle.acl_row(dol_xml::NodeId(pos as u32), &mut row);
+                push(pos, &mut codebook, &row, &mut prev);
+                pos += 1;
+            }
+            XmlEvent::End { .. } => {}
+        }
+    }
+    Ok(Dol::from_parts(transitions, codebook, pos))
+}
+
+/// Rewrites `xml` for `subject` in one pass: inaccessible elements are
+/// pruned **with their whole subtree**, inaccessible attributes and text
+/// chunks are dropped individually. Returns the filtered document (an empty
+/// string if the root itself is inaccessible).
+pub fn secure_filter(
+    xml: &str,
+    dol: &Dol,
+    subject: SubjectId,
+) -> Result<String, ParseError> {
+    let mut out = String::with_capacity(xml.len() / 2);
+    let mut pos = 0u64;
+    // Depth (in open *visible* terms) at which a skipped subtree started.
+    let mut skip_from: Option<usize> = None;
+    let mut depth = 0usize;
+    // One-event lookahead so childless elements serialize as `<e/>`.
+    let mut pending_start: Option<String> = None;
+
+    let accessible = |p: u64| dol.accessible(p, subject);
+    for ev in EventReader::new(xml) {
+        let ev = ev?;
+        match ev {
+            XmlEvent::Start { name, attributes } => {
+                let self_pos = pos;
+                pos += 1 + attributes.len() as u64;
+                if let Some(open) = pending_start.take() {
+                    out.push_str(&open);
+                    out.push('>');
+                }
+                depth += 1;
+                if skip_from.is_some() {
+                    continue;
+                }
+                if !accessible(self_pos) {
+                    skip_from = Some(depth);
+                    continue;
+                }
+                let mut open = format!("<{name}");
+                for (i, (k, v)) in attributes.iter().enumerate() {
+                    if accessible(self_pos + 1 + i as u64) {
+                        open.push_str(&format!(" {k}=\"{}\"", escape_attr(v)));
+                    }
+                }
+                pending_start = Some(open);
+            }
+            XmlEvent::Text(t) => {
+                let self_pos = pos;
+                pos += 1;
+                if skip_from.is_some() {
+                    continue;
+                }
+                if let Some(open) = pending_start.take() {
+                    out.push_str(&open);
+                    out.push('>');
+                }
+                if accessible(self_pos) {
+                    out.push_str(&escape_text(&t));
+                }
+            }
+            XmlEvent::End { name } => {
+                let was_skipping = match skip_from {
+                    Some(d) if d == depth => {
+                        skip_from = None;
+                        true
+                    }
+                    Some(_) => true,
+                    None => false,
+                };
+                depth -= 1;
+                if was_skipping {
+                    continue;
+                }
+                match pending_start.take() {
+                    Some(open) => {
+                        out.push_str(&open);
+                        out.push_str("/>");
+                    }
+                    None => {
+                        out.push_str(&format!("</{name}>"));
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn escape_text(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn escape_attr(s: &str) -> String {
+    escape_text(s).replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dol_acl::{AccessibilityMap, FnOracle};
+    use dol_xml::{parse_with_options, NodeId, ParseOptions};
+
+    /// Parses with the streaming position convention.
+    fn stream_doc(xml: &str) -> dol_xml::Document {
+        parse_with_options(
+            xml,
+            &ParseOptions {
+                coalesce_single_text: false,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stream_dol_matches_tree_dol() {
+        let xml = r#"<site><regions><africa><item id="i1"><name>gold</name></item></africa></regions></site>"#;
+        let doc = stream_doc(xml);
+        let oracle = FnOracle::new(2, |n: NodeId, s| !(n.0 as usize + s).is_multiple_of(3));
+        let from_stream = build_dol_from_stream(xml, &oracle).unwrap();
+        let from_tree = Dol::build(&doc, &oracle);
+        assert_eq!(from_stream.total_nodes(), from_tree.total_nodes());
+        assert_eq!(from_stream.transitions(), from_tree.transitions());
+        from_stream.verify_against(&oracle).unwrap();
+    }
+
+    #[test]
+    fn filter_prunes_subtrees() {
+        let xml = "<a><b><c/></b><d>txt</d></a>";
+        let doc = stream_doc(xml);
+        // Deny b (position 1): its whole subtree vanishes.
+        let mut map = AccessibilityMap::new(1, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        map.set(SubjectId(0), NodeId(1), false);
+        let dol = Dol::build(&doc, &map);
+        let out = secure_filter(xml, &dol, SubjectId(0)).unwrap();
+        assert_eq!(out, "<a><d>txt</d></a>");
+    }
+
+    #[test]
+    fn filter_drops_attributes_and_text_individually() {
+        let xml = r#"<a pub="1" secret="2">visible<b/>hidden</a>"#;
+        let doc = stream_doc(xml);
+        // positions: a=0 @pub=1 @secret=2 text=3 b=4 text=5
+        let mut map = AccessibilityMap::new(1, doc.len());
+        for p in [0u32, 1, 3, 4] {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        let dol = Dol::build(&doc, &map);
+        let out = secure_filter(xml, &dol, SubjectId(0)).unwrap();
+        assert_eq!(out, r#"<a pub="1">visible<b/></a>"#);
+    }
+
+    #[test]
+    fn inaccessible_root_yields_empty_output() {
+        let xml = "<a><b/></a>";
+        let doc = stream_doc(xml);
+        let map = AccessibilityMap::new(1, doc.len());
+        let dol = Dol::build(&doc, &map);
+        assert_eq!(secure_filter(xml, &dol, SubjectId(0)).unwrap(), "");
+    }
+
+    #[test]
+    fn filter_output_reparses_to_pruned_tree() {
+        let xml = r#"<r><x k="v"><y>one</y><z/></x><x><y>two</y></x><w>tail</w></r>"#;
+        let doc = stream_doc(xml);
+        // Deny the first x's subtree root and the w text.
+        let mut map = AccessibilityMap::new(1, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        let first_x = doc
+            .preorder()
+            .find(|&n| doc.name_of(n) == "x")
+            .unwrap();
+        map.set(SubjectId(0), NodeId(first_x.0), false);
+        let dol = Dol::build(&doc, &map);
+        let out = secure_filter(xml, &dol, SubjectId(0)).unwrap();
+        let reparsed = stream_doc(&out);
+        // Expected: prune the subtree in the master document.
+        let mut expect = doc.clone();
+        expect.delete_subtree(first_x).unwrap();
+        assert_eq!(reparsed.to_xml(), expect.to_xml());
+    }
+
+    #[test]
+    fn escaping_survives_filtering() {
+        let xml = r#"<a k="&lt;q&gt;">x &amp; y</a>"#;
+        let doc = stream_doc(xml);
+        let mut map = AccessibilityMap::new(1, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        let dol = Dol::build(&doc, &map);
+        let out = secure_filter(xml, &dol, SubjectId(0)).unwrap();
+        let reparsed = stream_doc(&out);
+        assert_eq!(reparsed.node(NodeId(1)).value.as_deref(), Some("<q>"));
+        assert_eq!(reparsed.node(NodeId(2)).value.as_deref(), Some("x & y"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property test: streaming DOL construction equals the tree-based build
+//! on random documents (shared position convention).
+
+use dol_acl::FnOracle;
+use dol_core::{build_dol_from_stream, Dol};
+use dol_xml::{parse_with_options, DocumentBuilder, ParseOptions};
+use proptest::prelude::*;
+
+const TAGS: [&str; 5] = ["alpha", "beta", "gamma", "delta", "eps"];
+
+fn arb_xml() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        (0usize..5, 0u8..5, proptest::option::of(0usize..3)),
+        1..80,
+    )
+    .prop_map(|raw| {
+        let mut b = DocumentBuilder::new();
+        b.open("root");
+        let mut depth = 1;
+        for (tag, action, attr) in raw {
+            match action {
+                0 if depth < 7 => {
+                    b.open(TAGS[tag]);
+                    if let Some(a) = attr {
+                        b.attribute(&format!("a{a}"), "v & <w>");
+                    }
+                    depth += 1;
+                }
+                1 => {
+                    b.leaf(TAGS[tag], Some("text > & < data"));
+                }
+                2 => {
+                    b.text("chunk & <esc>");
+                }
+                _ => {
+                    if depth > 1 {
+                        b.close();
+                        depth -= 1;
+                    }
+                }
+            }
+        }
+        while depth > 0 {
+            b.close();
+            depth -= 1;
+        }
+        b.finish().unwrap().to_xml()
+    })
+}
+
+proptest! {
+    #[test]
+    fn stream_dol_equals_tree_dol(xml in arb_xml()) {
+        let opts = ParseOptions {
+            coalesce_single_text: false,
+            ..Default::default()
+        };
+        let doc = parse_with_options(&xml, &opts).unwrap();
+        let oracle = FnOracle::new(2, |n: dol_xml::NodeId, s| (n.0 as usize / 3 + s).is_multiple_of(2));
+        let stream_dol = build_dol_from_stream(&xml, &oracle).unwrap();
+        let tree_dol = Dol::build(&doc, &oracle);
+        prop_assert_eq!(stream_dol.transitions(), tree_dol.transitions());
+        prop_assert_eq!(stream_dol.total_nodes(), tree_dol.total_nodes());
+    }
+
+    #[test]
+    fn secure_filter_equals_tree_pruning(xml in arb_xml(), seed in any::<u64>()) {
+        use dol_acl::{AccessibilityMap, SubjectId};
+        let opts = ParseOptions {
+            coalesce_single_text: false,
+            ..Default::default()
+        };
+        let doc = parse_with_options(&xml, &opts).unwrap();
+        // Pseudo-random accessibility, root forced accessible.
+        let mut map = AccessibilityMap::new(1, doc.len());
+        for p in 0..doc.len() {
+            let h = (p as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed;
+            if !h.is_multiple_of(4) {
+                map.set(SubjectId(0), dol_xml::NodeId(p as u32), true);
+            }
+        }
+        map.set(SubjectId(0), dol_xml::NodeId(0), true);
+        let dol = Dol::build(&doc, &map);
+        let filtered = dol_core::secure_filter(&xml, &dol, SubjectId(0)).unwrap();
+
+        let visible = |p: u32| -> bool {
+            let id = dol_xml::NodeId(p);
+            map.accessible(SubjectId(0), id)
+                && doc.ancestors(id).all(|a| map.accessible(SubjectId(0), a))
+        };
+        if filtered.is_empty() {
+            prop_assert!(!visible(0));
+            return Ok(());
+        }
+        let reparsed = parse_with_options(&filtered, &opts).unwrap();
+        // Adjacent surviving text chunks merge when the output is reparsed,
+        // so compare merge-normalized forms: the element/attribute node
+        // sequence must match exactly, and the in-order concatenation of
+        // text content must match.
+        let norm = |d: &dol_xml::Document, keep: &dyn Fn(u32) -> bool| -> (Vec<String>, String) {
+            let mut names = Vec::new();
+            let mut text = String::new();
+            for n in d.preorder() {
+                if !keep(n.0) {
+                    continue;
+                }
+                let name = d.name_of(n);
+                if name == "#text" {
+                    text.push_str(d.node(n).value.as_deref().unwrap_or(""));
+                } else {
+                    names.push(name.to_string());
+                    if let Some(v) = &d.node(n).value {
+                        if name.starts_with('@') {
+                            text.push_str(v);
+                        }
+                    }
+                }
+            }
+            (names, text)
+        };
+        let expected = norm(&doc, &|p| visible(p));
+        let got = norm(&reparsed, &|_| true);
+        prop_assert_eq!(got.0, expected.0, "element/attribute sequence");
+        prop_assert_eq!(got.1, expected.1, "concatenated text");
+    }
+}

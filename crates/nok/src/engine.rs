@@ -1,0 +1,687 @@
+//! The query engine: candidates → fragment matches → joins → answers.
+
+use crate::join::{stack_tree_desc, VisibilityChecker};
+use crate::matcher::{Binding, FragmentMatcher, MatchContext};
+use crate::plan::QueryPlan;
+use crate::xpath::{parse_query, QueryParseError};
+use dol_acl::SubjectId;
+use dol_core::EmbeddedDol;
+use dol_storage::disk::StorageError;
+use dol_storage::{BPlusTree, IoStats, StructStore, ValueStore};
+use dol_xml::{TagId, TagInterner};
+use std::time::{Duration, Instant};
+
+/// The security mode of one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Security {
+    /// Unsecured evaluation (the plain NoK baseline).
+    None,
+    /// ε-NoK / Cho et al. semantics: a binding is discarded iff one of its
+    /// bound data nodes is inaccessible to the subject (paper §4).
+    BindingLevel(SubjectId),
+    /// Gabillon–Bruno semantics (§4.2): additionally, every ancestor of
+    /// every bound node must be accessible — an inaccessible node hides its
+    /// entire subtree.
+    SubtreeVisibility(SubjectId),
+}
+
+impl Security {
+    fn subject(self) -> Option<SubjectId> {
+        match self {
+            Security::None => None,
+            Security::BindingLevel(s) | Security::SubtreeVisibility(s) => Some(s),
+        }
+    }
+}
+
+/// Errors from query evaluation.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The query string failed to parse.
+    Parse(QueryParseError),
+    /// The storage layer failed.
+    Storage(StorageError),
+    /// A secure mode was requested on an engine built without a DOL.
+    NoAccessControl,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::Storage(e) => write!(f, "{e}"),
+            QueryError::NoAccessControl => {
+                write!(f, "secure evaluation requested but no DOL is attached")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<QueryParseError> for QueryError {
+    fn from(e: QueryParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}
+
+/// Execution options (ablation knobs).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Enable the §3.3 page-skip optimization (default: true).
+    pub page_skip: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self { page_skip: true }
+    }
+}
+
+/// Per-query execution statistics (the measured quantities of §5.2).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExecStats {
+    /// Candidate fragment roots considered.
+    pub candidates: u64,
+    /// Data nodes loaded during matching.
+    pub nodes_visited: u64,
+    /// Nodes rejected by accessibility checks.
+    pub nodes_denied: u64,
+    /// Candidates rejected from in-memory block headers without I/O.
+    pub blocks_skipped: u64,
+    /// Structural-join output pairs.
+    pub join_pairs: u64,
+    /// Path nodes inspected by the subtree-visibility checker (ε-STD only).
+    pub visibility_nodes: u64,
+    /// Buffer-pool I/O incurred by this query.
+    pub io: IoStats,
+    /// Wall-clock evaluation time.
+    pub elapsed: Duration,
+}
+
+/// The result of one evaluation.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Document positions bound to the returning node, ascending, distinct —
+    /// the "answers returned" of Figure 7.
+    pub matches: Vec<u64>,
+    /// Execution statistics.
+    pub stats: ExecStats,
+}
+
+/// A query engine over one secured (or unsecured) document store.
+///
+/// Construction scans the store once to build the tag B+-tree index used to
+/// seed NoK pattern matching (§4.1: "using B+ trees on the subtree root's
+/// value or tag names to start the matching").
+pub struct QueryEngine<'a> {
+    store: &'a StructStore,
+    values: &'a ValueStore,
+    tags: &'a TagInterner,
+    dol: Option<&'a EmbeddedDol>,
+    tag_index: IndexRef<'a>,
+    /// Optional tag+value index: built by `new`, absent in `with_index`
+    /// engines unless supplied.
+    value_index: ValueIndexRef<'a>,
+}
+
+enum ValueIndexRef<'a> {
+    None,
+    Owned(BPlusTree<(TagId, u64), Vec<u64>>),
+    Borrowed(&'a BPlusTree<(TagId, u64), Vec<u64>>),
+}
+
+impl ValueIndexRef<'_> {
+    fn get(&self) -> Option<&BPlusTree<(TagId, u64), Vec<u64>>> {
+        match self {
+            ValueIndexRef::None => None,
+            ValueIndexRef::Owned(t) => Some(t),
+            ValueIndexRef::Borrowed(t) => Some(t),
+        }
+    }
+}
+
+enum IndexRef<'a> {
+    Owned(BPlusTree<TagId, Vec<u64>>),
+    Borrowed(&'a BPlusTree<TagId, Vec<u64>>),
+}
+
+impl IndexRef<'_> {
+    fn get(&self) -> &BPlusTree<TagId, Vec<u64>> {
+        match self {
+            IndexRef::Owned(t) => t,
+            IndexRef::Borrowed(t) => t,
+        }
+    }
+}
+
+/// Builds the tag index of a store: `tag → ascending positions`.
+pub fn build_tag_index(store: &StructStore) -> Result<BPlusTree<TagId, Vec<u64>>, StorageError> {
+    let mut tag_index: BPlusTree<TagId, Vec<u64>> = BPlusTree::new();
+    for entry in store.iter() {
+        let (pos, rec) = entry?;
+        match tag_index.get_mut(&rec.tag) {
+            Some(v) => v.push(pos),
+            None => {
+                tag_index.insert(rec.tag, vec![pos]);
+            }
+        }
+    }
+    Ok(tag_index)
+}
+
+/// Builds the tag+value index: `(tag, value hash) → ascending positions` of
+/// value-carrying nodes — the other B+-tree the paper starts matching from
+/// (§4.1: "B+ trees on the subtree root's value or tag names").
+pub fn build_value_index(
+    store: &StructStore,
+    values: &ValueStore,
+) -> Result<BPlusTree<(TagId, u64), Vec<u64>>, StorageError> {
+    let mut idx: BPlusTree<(TagId, u64), Vec<u64>> = BPlusTree::new();
+    for entry in store.iter() {
+        let (pos, rec) = entry?;
+        if !rec.has_value {
+            continue;
+        }
+        let Some(v) = values.get(pos)? else { continue };
+        let key = (rec.tag, value_hash(&v));
+        match idx.get_mut(&key) {
+            Some(list) => list.push(pos),
+            None => {
+                idx.insert(key, vec![pos]);
+            }
+        }
+    }
+    Ok(idx)
+}
+
+/// A stable 64-bit value hash (FNV-1a) for the value index. Collisions are
+/// harmless: the matcher re-checks the actual value.
+fn value_hash(v: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in v.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Builds an engine (and its tag index) over a store.
+    pub fn new(
+        store: &'a StructStore,
+        values: &'a ValueStore,
+        tags: &'a TagInterner,
+        dol: Option<&'a EmbeddedDol>,
+    ) -> Result<Self, StorageError> {
+        Ok(Self {
+            store,
+            values,
+            tags,
+            dol,
+            tag_index: IndexRef::Owned(build_tag_index(store)?),
+            value_index: ValueIndexRef::Owned(build_value_index(store, values)?),
+        })
+    }
+
+    /// Builds an engine over a store with an externally maintained tag
+    /// index (so long-lived databases don't rescan the store per query).
+    pub fn with_index(
+        store: &'a StructStore,
+        values: &'a ValueStore,
+        tags: &'a TagInterner,
+        dol: Option<&'a EmbeddedDol>,
+        tag_index: &'a BPlusTree<TagId, Vec<u64>>,
+    ) -> Self {
+        Self {
+            store,
+            values,
+            tags,
+            dol,
+            tag_index: IndexRef::Borrowed(tag_index),
+            value_index: ValueIndexRef::None,
+        }
+    }
+
+    /// Attaches an externally maintained tag+value index (see
+    /// [`build_value_index`]) so value-constrained fragment roots seed from
+    /// it.
+    pub fn set_value_index(&mut self, idx: &'a BPlusTree<(TagId, u64), Vec<u64>>) {
+        self.value_index = ValueIndexRef::Borrowed(idx);
+    }
+
+    /// The positions of every node with `tag` (ascending), or of every node
+    /// for the wildcard.
+    pub fn candidates(&self, tag: Option<TagId>) -> Vec<u64> {
+        match tag {
+            Some(t) => self.tag_index.get().get(&t).cloned().unwrap_or_default(),
+            None => (0..self.store.total_nodes()).collect(),
+        }
+    }
+
+    /// Candidate positions for a fragment root with an optional value
+    /// constraint: the tag+value index narrows the list when available
+    /// (hash collisions are re-checked by the matcher).
+    pub fn candidates_for(&self, tag: Option<TagId>, value: Option<&str>) -> Vec<u64> {
+        if let (Some(t), Some(v), Some(idx)) = (tag, value, self.value_index.get()) {
+            return idx.get(&(t, value_hash(v))).cloned().unwrap_or_default();
+        }
+        self.candidates(tag)
+    }
+
+    /// Parses and evaluates `query` under `security`.
+    pub fn execute(&self, query: &str, security: Security) -> Result<QueryResult, QueryError> {
+        let plan = QueryPlan::new(parse_query(query)?);
+        self.execute_plan(&plan, security)
+    }
+
+    /// Evaluates a pre-built plan.
+    pub fn execute_plan(
+        &self,
+        plan: &QueryPlan,
+        security: Security,
+    ) -> Result<QueryResult, QueryError> {
+        self.execute_plan_opts(plan, security, ExecOptions::default())
+    }
+
+    /// Evaluates a pre-built plan with explicit execution options.
+    pub fn execute_plan_opts(
+        &self,
+        plan: &QueryPlan,
+        security: Security,
+        opts: ExecOptions,
+    ) -> Result<QueryResult, QueryError> {
+        let start = Instant::now();
+        let io_before = self.store.pool().stats();
+        let mut stats = ExecStats::default();
+
+        let subject = security.subject();
+        if subject.is_some() && self.dol.is_none() {
+            return Err(QueryError::NoAccessControl);
+        }
+        let ctx = MatchContext {
+            store: self.store,
+            values: self.values,
+            tags: self.tags,
+            access: subject.map(|s| (self.dol.unwrap(), s)),
+            page_skip: opts.page_skip,
+        };
+
+        // Under subtree-visibility semantics every fragment root's binding
+        // must be exported so its ancestor path can be checked.
+        let mut plan_gb;
+        let plan = if matches!(security, Security::SubtreeVisibility(_)) {
+            plan_gb = plan.clone();
+            for t in &mut plan_gb.trees {
+                if !t.outputs.contains(&t.root) {
+                    t.outputs.push(t.root);
+                }
+            }
+            &plan_gb
+        } else {
+            plan
+        };
+
+        // 1. Match every fragment.
+        let mut results: Vec<Vec<Binding>> = Vec::with_capacity(plan.trees.len());
+        for (i, tree) in plan.trees.iter().enumerate() {
+            let mut matcher = FragmentMatcher::new(&ctx, plan, i);
+            let candidates = if i == 0 && plan.pattern.anchored() {
+                vec![0u64]
+            } else if matcher.is_satisfiable() {
+                let root_value = plan.pattern.node(tree.root).value.as_deref();
+                self.candidates_for(matcher.root_tag(), root_value)
+            } else {
+                Vec::new()
+            };
+            stats.candidates += candidates.len() as u64;
+            let mut tuples = Vec::new();
+            for c in candidates {
+                tuples.extend(matcher.match_root(c)?);
+            }
+            stats.nodes_visited += matcher.stats.nodes_visited;
+            stats.nodes_denied += matcher.stats.nodes_denied;
+            stats.blocks_skipped += matcher.stats.candidates_block_skipped;
+            let _ = tree;
+            results.push(tuples);
+        }
+
+        // 2. Subtree-visibility filter on fragment-root bindings.
+        if let Security::SubtreeVisibility(s) = security {
+            let dol = self.dol.unwrap();
+            for (i, tree) in plan.trees.iter().enumerate() {
+                if results[i].is_empty() {
+                    continue;
+                }
+                let root = tree.root;
+                // Check in document order so the checker can share paths.
+                let mut order: Vec<usize> = (0..results[i].len()).collect();
+                order.sort_unstable_by_key(|&t| bound(&results[i][t], root));
+                let mut checker = VisibilityChecker::new(self.store, dol, s);
+                let mut keep = vec![false; results[i].len()];
+                for t in order {
+                    let pos = bound(&results[i][t], root);
+                    keep[t] = checker.check(pos)?;
+                }
+                stats.visibility_nodes += checker.nodes_inspected;
+                let mut it = keep.iter();
+                results[i].retain(|_| *it.next().unwrap());
+            }
+        }
+
+        // 3. Structural joins, bottom-up (desc_tree is always the greater
+        //    index, so reverse order folds leaves into their ancestors).
+        for join in plan.joins.iter().rev() {
+            let desc_root = plan.trees[join.desc_tree].root;
+            let desc_tuples = std::mem::take(&mut results[join.desc_tree]);
+            let anc_tuples = std::mem::take(&mut results[join.anc_tree]);
+            if desc_tuples.is_empty() || anc_tuples.is_empty() {
+                results[join.anc_tree] = Vec::new();
+                continue;
+            }
+            // Sort both sides in document order of their join positions.
+            let mut anc_sorted: Vec<&Binding> = anc_tuples.iter().collect();
+            anc_sorted.sort_unstable_by_key(|b| bound(b, join.anc_pnode));
+            let mut desc_sorted: Vec<&Binding> = desc_tuples.iter().collect();
+            desc_sorted.sort_unstable_by_key(|b| bound(b, desc_root));
+            let mut anc_intervals = Vec::with_capacity(anc_sorted.len());
+            for b in &anc_sorted {
+                let pos = bound(b, join.anc_pnode);
+                let size = self.store.node(pos)?.size as u64;
+                anc_intervals.push((pos, pos + size));
+            }
+            let desc_positions: Vec<u64> =
+                desc_sorted.iter().map(|b| bound(b, desc_root)).collect();
+            let pairs = stack_tree_desc(&anc_intervals, &desc_positions);
+            stats.join_pairs += pairs.len() as u64;
+            let mut merged = Vec::with_capacity(pairs.len());
+            for (ai, dj) in pairs {
+                let mut t = anc_sorted[ai].clone();
+                t.extend(desc_sorted[dj].iter().copied());
+                t.sort_unstable_by_key(|&(p, _)| p);
+                t.dedup();
+                merged.push(t);
+            }
+            merged.sort_unstable();
+            merged.dedup();
+            results[join.anc_tree] = merged;
+        }
+
+        // 4. Project the returning node.
+        let returning = plan.pattern.returning();
+        let mut matches: Vec<u64> = results[0]
+            .iter()
+            .map(|b| bound(b, returning))
+            .collect();
+        matches.sort_unstable();
+        matches.dedup();
+
+        stats.io = self.store.pool().stats().since(&io_before);
+        stats.elapsed = start.elapsed();
+        Ok(QueryResult { matches, stats })
+    }
+}
+
+/// The data position bound to `pnode` in a binding.
+fn bound(binding: &Binding, pnode: crate::pattern::PNodeId) -> u64 {
+    binding
+        .iter()
+        .find(|&&(p, _)| p == pnode)
+        .map(|&(_, d)| d)
+        .expect("pattern node is an output of its fragment")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dol_acl::{AccessibilityMap, FnOracle};
+    use dol_storage::{BufferPool, MemDisk, StoreConfig};
+    use dol_xml::{parse, Document, NodeId};
+    use std::sync::Arc;
+
+    struct Db {
+        store: StructStore,
+        values: ValueStore,
+        doc: Document,
+        dol: EmbeddedDol,
+    }
+
+    fn db(xml: &str, map: Option<&AccessibilityMap>, max_rec: usize) -> Db {
+        let doc = parse(xml).unwrap();
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 256));
+        let cfg = StoreConfig {
+            max_records_per_block: max_rec,
+        };
+        let all = FnOracle::new(1, |_, _| true);
+        let (store, dol) = match map {
+            Some(m) => EmbeddedDol::build(pool.clone(), cfg, &doc, m).unwrap(),
+            None => EmbeddedDol::build(pool.clone(), cfg, &doc, &all).unwrap(),
+        };
+        let mut values = ValueStore::new(pool);
+        for id in doc.preorder() {
+            if let Some(v) = &doc.node(id).value {
+                values.put(u64::from(id.0), v).unwrap();
+            }
+        }
+        Db {
+            store,
+            values,
+            doc,
+            dol,
+        }
+    }
+
+    fn query(d: &Db, q: &str, sec: Security) -> Vec<u64> {
+        let engine = QueryEngine::new(&d.store, &d.values, d.doc.tags(), Some(&d.dol)).unwrap();
+        engine.execute(q, sec).unwrap().matches
+    }
+
+    const DOC: &str = "<site><regions><africa><item><name>gold</name><quantity>1</quantity>\
+                       </item><item><name>salt</name></item></africa></regions>\
+                       <categories><category><name>metals</name></category></categories></site>";
+    // positions: site=0 regions=1 africa=2 item=3 name=4 quantity=5 item=6
+    //            name=7 categories=8 category=9 name=10
+
+    #[test]
+    fn single_fragment_queries() {
+        let d = db(DOC, None, 300);
+        assert_eq!(
+            query(&d, "/site/regions/africa/item[name][quantity]", Security::None),
+            vec![3]
+        );
+        assert_eq!(
+            query(&d, "/site/regions/africa/item", Security::None),
+            vec![3, 6]
+        );
+        assert_eq!(query(&d, "/site/*/africa/item/name", Security::None), vec![4, 7]);
+        assert_eq!(
+            query(&d, "//item[name=\"salt\"]", Security::None),
+            vec![6]
+        );
+        assert_eq!(query(&d, "/regions", Security::None), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn descendant_join_queries() {
+        let d = db(DOC, None, 300);
+        assert_eq!(query(&d, "//regions//name", Security::None), vec![4, 7]);
+        assert_eq!(query(&d, "//site//name", Security::None), vec![4, 7, 10]);
+        assert_eq!(query(&d, "//africa//quantity", Security::None), vec![5]);
+        assert_eq!(query(&d, "//category//quantity", Security::None), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn chained_descendants() {
+        let d = db(
+            "<a><p><x/><p><x/></p></p><p><y/></p></a>",
+            None,
+            300,
+        );
+        // a=0 p=1 x=2 p=3 x=4 p=5 y=6.
+        // x at 2 descends from p at 1; x at 4 descends from both p nodes.
+        assert_eq!(query(&d, "//p//x", Security::None), vec![2, 4]);
+        assert_eq!(query(&d, "//a//p//x", Security::None), vec![2, 4]);
+        // Only x at 4 has a p strictly between it and another p.
+        assert_eq!(query(&d, "//p//p//x", Security::None), vec![4]);
+    }
+
+    #[test]
+    fn secure_binding_level() {
+        let doc = parse(DOC).unwrap();
+        let mut map = AccessibilityMap::new(1, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        // Deny quantity (5): the [quantity] predicate can no longer be bound.
+        map.set(SubjectId(0), NodeId(5), false);
+        let d = db(DOC, Some(&map), 300);
+        let s = Security::BindingLevel(SubjectId(0));
+        assert_eq!(
+            query(&d, "/site/regions/africa/item[name][quantity]", s),
+            Vec::<u64>::new()
+        );
+        // Un-predicated items still match.
+        assert_eq!(query(&d, "/site/regions/africa/item[name]", s), vec![3, 6]);
+    }
+
+    #[test]
+    fn binding_vs_subtree_visibility_semantics() {
+        let doc = parse(DOC).unwrap();
+        let mut map = AccessibilityMap::new(1, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        // africa (2) denied, but its descendants stay accessible.
+        map.set(SubjectId(0), NodeId(2), false);
+        let d = db(DOC, Some(&map), 300);
+        // Cho semantics: //name doesn't bind africa, so names survive.
+        assert_eq!(
+            query(&d, "//site//name", Security::BindingLevel(SubjectId(0))),
+            vec![4, 7, 10]
+        );
+        // Gabillon–Bruno: names under africa are hidden with their subtree.
+        assert_eq!(
+            query(&d, "//site//name", Security::SubtreeVisibility(SubjectId(0))),
+            vec![10]
+        );
+    }
+
+    #[test]
+    fn figure_2_semantics_note() {
+        // §4: accessibility of nodes NOT bound by the pattern has no impact
+        // under Cho semantics.
+        let doc = parse(DOC).unwrap();
+        let mut map = AccessibilityMap::new(1, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        map.set(SubjectId(0), NodeId(1), false); // regions unbound in //item
+        let d = db(DOC, Some(&map), 300);
+        assert_eq!(
+            query(&d, "//item[name]", Security::BindingLevel(SubjectId(0))),
+            vec![3, 6]
+        );
+        assert_eq!(
+            query(&d, "//item[name]", Security::SubtreeVisibility(SubjectId(0))),
+            Vec::<u64>::new()
+        );
+    }
+
+    #[test]
+    fn secure_without_dol_errors() {
+        let d = db(DOC, None, 300);
+        let engine = QueryEngine::new(&d.store, &d.values, d.doc.tags(), None).unwrap();
+        assert!(matches!(
+            engine.execute("//item", Security::BindingLevel(SubjectId(0))),
+            Err(QueryError::NoAccessControl)
+        ));
+        assert_eq!(engine.execute("//item", Security::None).unwrap().matches, vec![3, 6]);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let d = db(DOC, None, 2);
+        let engine = QueryEngine::new(&d.store, &d.values, d.doc.tags(), Some(&d.dol)).unwrap();
+        let r = engine.execute("//site//name", Security::None).unwrap();
+        assert_eq!(r.matches.len(), 3);
+        assert!(r.stats.candidates >= 4);
+        assert!(r.stats.nodes_visited > 0);
+        assert!(r.stats.join_pairs >= 3);
+        assert!(r.stats.io.logical_reads > 0);
+    }
+
+    #[test]
+    fn value_index_narrows_candidates() {
+        let d = db(DOC, None, 300);
+        let engine = QueryEngine::new(&d.store, &d.values, d.doc.tags(), Some(&d.dol)).unwrap();
+        // //name="gold": the value index seeds exactly the matching node.
+        let narrowed = engine
+            .execute("//name[=\"gold\"]", Security::None)
+            .unwrap();
+        assert_eq!(narrowed.matches, vec![4]);
+        assert_eq!(narrowed.stats.candidates, 1, "value index should seed 1");
+        // Without the value index (borrowed-index engine), all `name` nodes
+        // are candidates — same answer, more work.
+        let tag_index = build_tag_index(&d.store).unwrap();
+        let plain = QueryEngine::with_index(
+            &d.store,
+            &d.values,
+            d.doc.tags(),
+            Some(&d.dol),
+            &tag_index,
+        );
+        let wide = plain.execute("//name[=\"gold\"]", Security::None).unwrap();
+        assert_eq!(wide.matches, narrowed.matches);
+        assert!(wide.stats.candidates > narrowed.stats.candidates);
+    }
+
+    #[test]
+    fn following_sibling_queries() {
+        // r: x, y, x, z — sibling order matters.
+        let d = db("<r><x/><y/><x/><z/></r>", None, 300);
+        // y with a following x sibling: only the first y qualifies; the
+        // returning node is the x that follows it.
+        assert_eq!(query(&d, "//y~x", Security::None), vec![3]);
+        // x with following z: both x's have a later z sibling.
+        assert_eq!(query(&d, "//x~z", Security::None), vec![4]);
+        // z with following x: nothing follows z.
+        assert_eq!(query(&d, "//z~x", Security::None), Vec::<u64>::new());
+        // Predicate form: return the y that has a following x.
+        assert_eq!(query(&d, "//y[~x]", Security::None), vec![2]);
+    }
+
+    #[test]
+    fn following_sibling_respects_security() {
+        let doc = parse("<r><a/><b/><c/></r>").unwrap();
+        let mut map = AccessibilityMap::new(1, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        map.set(SubjectId(0), NodeId(3), false); // deny c
+        let d = db("<r><a/><b/><c/></r>", Some(&map), 300);
+        assert_eq!(query(&d, "//a~c", Security::None), vec![3]);
+        assert_eq!(
+            query(&d, "//a~c", Security::BindingLevel(SubjectId(0))),
+            Vec::<u64>::new()
+        );
+        // Denied intermediate siblings do not matter (they are unbound).
+        assert_eq!(
+            query(&d, "//a~b", Security::BindingLevel(SubjectId(0))),
+            vec![2]
+        );
+    }
+
+    #[test]
+    fn anchored_root_must_be_document_root() {
+        let d = db("<a><a><b/></a></a>", None, 300);
+        assert_eq!(query(&d, "/a/b", Security::None), Vec::<u64>::new());
+        assert_eq!(query(&d, "//a/b", Security::None), vec![2]);
+        assert_eq!(query(&d, "/a/a/b", Security::None), vec![2]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Twig pattern trees.
+
+/// Identifier of a pattern-tree node (dense, creation order; 0 is the root).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PNodeId(pub u32);
+
+impl PNodeId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PNodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// The structural relationship between a pattern node and its parent node in
+/// the pattern tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Parent/child (`/`) — a next-of-kin relationship.
+    Child,
+    /// Ancestor/descendant (`//`) — evaluated by structural join.
+    Descendant,
+    /// Following sibling (`~`) — the *other* next-of-kin relationship: the
+    /// matched data node must be a following sibling of the data node bound
+    /// to the pattern parent. The paper's NoK subtrees contain "only
+    /// parent-child or following-sibling relationships" (§3.1), and its
+    /// real experiments used ordered pattern trees.
+    FollowingSibling,
+}
+
+/// One node of a pattern tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternNode {
+    /// Required element name; `None` is the wildcard `*`.
+    pub tag: Option<String>,
+    /// Required character-data value (`[tag="v"]` predicates).
+    pub value: Option<String>,
+    /// Axis connecting this node to its parent (ignored on the root, where
+    /// it instead records the leading axis of the query: `/` anchors the
+    /// root match to the document root, `//` matches anywhere).
+    pub axis: Axis,
+    /// Child pattern nodes, in creation order.
+    pub children: Vec<PNodeId>,
+    /// Parent pattern node (`None` on the root).
+    pub parent: Option<PNodeId>,
+}
+
+/// A twig query: a pattern tree plus a designated returning node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternTree {
+    nodes: Vec<PatternNode>,
+    returning: PNodeId,
+}
+
+impl PatternTree {
+    /// Starts a pattern tree with a root node.
+    ///
+    /// `anchored` records whether the root must bind to the document root
+    /// (a query starting with `/` rather than `//`).
+    pub fn new(tag: Option<&str>, anchored: bool) -> Self {
+        Self {
+            nodes: vec![PatternNode {
+                tag: tag.map(Into::into),
+                value: None,
+                axis: if anchored { Axis::Child } else { Axis::Descendant },
+                children: Vec::new(),
+                parent: None,
+            }],
+            returning: PNodeId(0),
+        }
+    }
+
+    /// Adds a child pattern node under `parent`.
+    pub fn add_child(&mut self, parent: PNodeId, axis: Axis, tag: Option<&str>) -> PNodeId {
+        let id = PNodeId(self.nodes.len() as u32);
+        self.nodes.push(PatternNode {
+            tag: tag.map(Into::into),
+            value: None,
+            axis,
+            children: Vec::new(),
+            parent: Some(parent),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Attaches a value constraint to a node.
+    pub fn set_value(&mut self, node: PNodeId, value: &str) {
+        self.nodes[node.index()].value = Some(value.to_owned());
+    }
+
+    /// Designates the returning node.
+    pub fn set_returning(&mut self, node: PNodeId) {
+        assert!(node.index() < self.nodes.len());
+        self.returning = node;
+    }
+
+    /// The returning node.
+    pub fn returning(&self) -> PNodeId {
+        self.returning
+    }
+
+    /// The root pattern node.
+    pub fn root(&self) -> PNodeId {
+        PNodeId(0)
+    }
+
+    /// Whether the root must bind to the document root.
+    pub fn anchored(&self) -> bool {
+        self.nodes[0].axis == Axis::Child
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, id: PNodeId) -> &PatternNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of pattern nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Pattern trees are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates all pattern node ids in creation (preorder-compatible) order.
+    pub fn iter(&self) -> impl Iterator<Item = PNodeId> {
+        (0..self.nodes.len() as u32).map(PNodeId)
+    }
+
+    /// Renders the pattern back to query syntax (canonical form; predicates
+    /// print in child order, the returning node is the main-path leaf).
+    pub fn to_query_string(&self) -> String {
+        let mut out = String::new();
+        self.write_node(self.root(), true, &mut out);
+        out
+    }
+
+    fn write_node(&self, id: PNodeId, top: bool, out: &mut String) {
+        let n = self.node(id);
+        if top {
+            out.push_str(match n.axis {
+                Axis::Child => "/",
+                Axis::Descendant => "//",
+                Axis::FollowingSibling => "~",
+            });
+        }
+        out.push_str(n.tag.as_deref().unwrap_or("*"));
+        if let Some(v) = &n.value {
+            out.push_str(&format!("=\"{v}\""));
+        }
+        // The main path continues through the child that leads to the
+        // returning node (or the last child); other children are predicates.
+        let main = self.main_child(id);
+        for &c in &n.children {
+            if Some(c) != main {
+                out.push('[');
+                self.write_node(c, true, out);
+                out.push(']');
+            }
+        }
+        if let Some(c) = main {
+            self.write_node(c, true, out);
+        }
+    }
+
+    fn main_child(&self, id: PNodeId) -> Option<PNodeId> {
+        let n = self.node(id);
+        n.children
+            .iter()
+            .copied()
+            .find(|&c| self.on_path_to_returning(c))
+            .or(if id == self.returning {
+                None
+            } else {
+                n.children.last().copied()
+            })
+    }
+
+    fn on_path_to_returning(&self, id: PNodeId) -> bool {
+        let mut cur = Some(self.returning);
+        while let Some(c) = cur {
+            if c == id {
+                return true;
+            }
+            cur = self.node(c).parent;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut p = PatternTree::new(Some("site"), true);
+        let regions = p.add_child(p.root(), Axis::Child, Some("regions"));
+        let item = p.add_child(regions, Axis::Descendant, Some("item"));
+        let name = p.add_child(item, Axis::Child, Some("name"));
+        p.set_value(name, "gold");
+        p.set_returning(item);
+        assert_eq!(p.len(), 4);
+        assert!(p.anchored());
+        assert_eq!(p.returning(), item);
+        assert_eq!(p.node(item).axis, Axis::Descendant);
+        assert_eq!(p.node(name).value.as_deref(), Some("gold"));
+        assert_eq!(p.node(regions).parent, Some(p.root()));
+    }
+
+    #[test]
+    fn canonical_rendering() {
+        let mut p = PatternTree::new(Some("a"), true);
+        let b = p.add_child(p.root(), Axis::Child, Some("b"));
+        p.add_child(b, Axis::Child, Some("c"));
+        let d = p.add_child(b, Axis::Descendant, Some("d"));
+        p.set_returning(d);
+        assert_eq!(p.to_query_string(), "/a/b[/c]//d");
+    }
+
+    #[test]
+    fn wildcard_renders_star() {
+        let mut p = PatternTree::new(None, false);
+        let c = p.add_child(p.root(), Axis::Child, Some("x"));
+        p.set_returning(c);
+        assert_eq!(p.to_query_string(), "//*/x");
+        assert!(!p.anchored());
+    }
+}

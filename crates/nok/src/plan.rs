@@ -1,0 +1,255 @@
+//! Query planning: NoK-subtree decomposition (paper §3.1).
+//!
+//! "The NoK query processor first partitions the pattern tree into NoK
+//! subtrees, each containing only parent-child … relationships among its
+//! nodes. Then the processor finds matches for these NoK subtrees from the
+//! data tree. Finally it combines the matched results using structural joins
+//! on the ancestor-descendant relationship."
+
+use crate::pattern::{Axis, PNodeId, PatternTree};
+
+/// One NoK subtree: a maximal pattern fragment connected by child edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NokTree {
+    /// The fragment's root pattern node.
+    pub root: PNodeId,
+    /// All pattern nodes of the fragment (root first, preorder).
+    pub members: Vec<PNodeId>,
+    /// Pattern nodes whose data bindings must be carried out of the
+    /// fragment match: the fragment root (needed as the descendant side of
+    /// a join), ancestor-side join anchors inside this fragment, and the
+    /// query's returning node if it lives here.
+    pub outputs: Vec<PNodeId>,
+}
+
+/// An ancestor–descendant join edge between two NoK subtrees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinEdge {
+    /// Index of the ancestor-side fragment in [`QueryPlan::trees`].
+    pub anc_tree: usize,
+    /// The pattern node (inside `anc_tree`) that is the ancestor.
+    pub anc_pnode: PNodeId,
+    /// Index of the descendant-side fragment; its root is the descendant.
+    pub desc_tree: usize,
+}
+
+/// A decomposed twig query.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// The original pattern.
+    pub pattern: PatternTree,
+    /// NoK fragments; index 0 contains the pattern root.
+    pub trees: Vec<NokTree>,
+    /// Join edges; `desc_tree` is always greater than `anc_tree`, so
+    /// processing joins in reverse order is bottom-up.
+    pub joins: Vec<JoinEdge>,
+}
+
+impl QueryPlan {
+    /// Decomposes `pattern` at its descendant edges.
+    pub fn new(pattern: PatternTree) -> QueryPlan {
+        let mut trees: Vec<NokTree> = Vec::new();
+        let mut joins: Vec<JoinEdge> = Vec::new();
+        // (fragment root, ancestor fragment index + anchor) stack, seeded
+        // with the pattern root.
+        let mut pending: Vec<(PNodeId, Option<(usize, PNodeId)>)> =
+            vec![(pattern.root(), None)];
+        // Depth-first over fragments, so tree 0 holds the pattern root and
+        // every join's desc_tree exceeds its anc_tree.
+        let mut queue_idx = 0;
+        while queue_idx < pending.len() {
+            let (root, link) = pending[queue_idx];
+            queue_idx += 1;
+            let tree_idx = trees.len();
+            if let Some((anc_tree, anc_pnode)) = link {
+                joins.push(JoinEdge {
+                    anc_tree,
+                    anc_pnode,
+                    desc_tree: tree_idx,
+                });
+            }
+            // Collect the child-edge closure of `root`.
+            let mut members = Vec::new();
+            let mut stack = vec![root];
+            while let Some(n) = stack.pop() {
+                members.push(n);
+                for &c in pattern.node(n).children.iter().rev() {
+                    match pattern.node(c).axis {
+                        // Both next-of-kin relationships stay inside the
+                        // fragment (paper §3.1).
+                        Axis::Child | Axis::FollowingSibling => stack.push(c),
+                        Axis::Descendant => pending.push((c, Some((tree_idx, n)))),
+                    }
+                }
+            }
+            trees.push(NokTree {
+                root,
+                members,
+                outputs: Vec::new(),
+            });
+        }
+        // Compute outputs.
+        let returning = pattern.returning();
+        #[allow(clippy::needless_range_loop)] // `i` also indexes `joins` filters
+        for i in 0..trees.len() {
+            let mut outputs = Vec::new();
+            if i != 0 {
+                outputs.push(trees[i].root);
+            }
+            for j in &joins {
+                if j.anc_tree == i && !outputs.contains(&j.anc_pnode) {
+                    outputs.push(j.anc_pnode);
+                }
+            }
+            if trees[i].members.contains(&returning) && !outputs.contains(&returning) {
+                outputs.push(returning);
+            }
+            trees[i].outputs = outputs;
+        }
+        QueryPlan {
+            pattern,
+            trees,
+            joins,
+        }
+    }
+
+    /// Renders the plan as an indented explanation, e.g.
+    ///
+    /// ```text
+    /// plan for //item//emph
+    ///   fragment 0: item  (outputs: q0)
+    ///   fragment 1: emph  (outputs: q1)  [returning]
+    ///   join: fragment 0 @ q0 ancestor-of fragment 1
+    /// ```
+    pub fn explain(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "plan for {}", self.pattern.to_query_string());
+        let rt = self.returning_tree();
+        for (i, t) in self.trees.iter().enumerate() {
+            let names: Vec<String> = t
+                .members
+                .iter()
+                .map(|&m| {
+                    self.pattern
+                        .node(m)
+                        .tag
+                        .clone()
+                        .unwrap_or_else(|| "*".into())
+                })
+                .collect();
+            let outputs: Vec<String> = t.outputs.iter().map(|o| o.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "  fragment {i}: {}  (outputs: {}){}",
+                names.join(" "),
+                outputs.join(", "),
+                if i == rt { "  [returning]" } else { "" }
+            );
+        }
+        for j in &self.joins {
+            let _ = writeln!(
+                out,
+                "  join: fragment {} @ {} ancestor-of fragment {}",
+                j.anc_tree, j.anc_pnode, j.desc_tree
+            );
+        }
+        out
+    }
+
+    /// The fragment index containing the returning node.
+    pub fn returning_tree(&self) -> usize {
+        let r = self.pattern.returning();
+        self.trees
+            .iter()
+            .position(|t| t.members.contains(&r))
+            .expect("returning node is in some fragment")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xpath::parse_query;
+
+    #[test]
+    fn single_fragment_queries() {
+        // Q1–Q3 decompose into one NoK tree each (all child edges).
+        for q in [
+            "/site/regions/africa/item[location][name][quantity]",
+            "/site/categories/category[name]/description/text/bold",
+            "/site/categories/category/name[description/text/bold]",
+        ] {
+            let plan = QueryPlan::new(parse_query(q).unwrap());
+            assert_eq!(plan.trees.len(), 1, "{q}");
+            assert!(plan.joins.is_empty());
+            assert_eq!(plan.trees[0].members.len(), plan.pattern.len());
+            assert_eq!(plan.returning_tree(), 0);
+            // Only the returning node must be exported.
+            assert_eq!(plan.trees[0].outputs, vec![plan.pattern.returning()]);
+        }
+    }
+
+    #[test]
+    fn two_fragment_join_queries() {
+        // Q4–Q6 decompose into two single-node fragments plus one join.
+        for q in ["//parlist//parlist", "//listitem//keyword", "//item//emph"] {
+            let plan = QueryPlan::new(parse_query(q).unwrap());
+            assert_eq!(plan.trees.len(), 2, "{q}");
+            assert_eq!(plan.joins.len(), 1);
+            let j = plan.joins[0];
+            assert_eq!(j.anc_tree, 0);
+            assert_eq!(j.desc_tree, 1);
+            assert_eq!(j.anc_pnode, plan.pattern.root());
+            assert_eq!(plan.returning_tree(), 1);
+            // Descendant fragment exports its root (which is also returning).
+            assert_eq!(plan.trees[1].outputs.len(), 1);
+        }
+    }
+
+    #[test]
+    fn figure_2_pattern_decomposes_at_the_ad_edge() {
+        // The paper's Figure 2: (a (b) (c)) with a//h, h(j)(k)(l).
+        let plan = QueryPlan::new(parse_query("/a[b][c]//h[j][k]/l").unwrap());
+        assert_eq!(plan.trees.len(), 2);
+        assert_eq!(plan.trees[0].members.len(), 3); // a, b, c
+        assert_eq!(plan.trees[1].members.len(), 4); // h, j, k, l
+        let j = plan.joins[0];
+        assert_eq!(plan.pattern.node(j.anc_pnode).tag.as_deref(), Some("a"));
+        let h = plan.trees[1].root;
+        assert_eq!(plan.pattern.node(h).tag.as_deref(), Some("h"));
+        // h must export both itself (join descendant) and l (returning).
+        assert_eq!(plan.trees[1].outputs.len(), 2);
+    }
+
+    #[test]
+    fn chained_descendants() {
+        let plan = QueryPlan::new(parse_query("//a//b//c").unwrap());
+        assert_eq!(plan.trees.len(), 3);
+        assert_eq!(plan.joins.len(), 2);
+        // Bottom-up processing order: reverse join order is c-join first.
+        assert_eq!(plan.joins[0].desc_tree, 1);
+        assert_eq!(plan.joins[1].desc_tree, 2);
+        assert!(plan.joins[1].anc_tree < plan.joins[1].desc_tree);
+    }
+
+    #[test]
+    fn explain_renders_fragments_and_joins() {
+        let plan = QueryPlan::new(parse_query("/a[b][c]//h[j][k]/l").unwrap());
+        let text = plan.explain();
+        assert!(text.contains("fragment 0: a"), "{text}");
+        assert!(text.contains("fragment 1: h"), "{text}");
+        assert!(text.contains("[returning]"), "{text}");
+        assert!(text.contains("ancestor-of fragment 1"), "{text}");
+    }
+
+    #[test]
+    fn descendant_inside_predicate() {
+        let plan = QueryPlan::new(parse_query("/a[b//c]/d").unwrap());
+        assert_eq!(plan.trees.len(), 2);
+        let j = plan.joins[0];
+        assert_eq!(plan.pattern.node(j.anc_pnode).tag.as_deref(), Some("b"));
+        // Fragment 0 exports the join anchor b and returning d.
+        assert_eq!(plan.trees[0].outputs.len(), 2);
+    }
+}

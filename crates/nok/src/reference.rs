@@ -1,0 +1,170 @@
+//! A naive reference evaluator over the in-memory [`Document`].
+//!
+//! This module exists to *check* the engine, not to be fast: it evaluates a
+//! twig pattern with the textbook bottom-up satisfiability / top-down
+//! reachability set computation, directly against a [`Document`] and an
+//! [`AccessibilityMap`], for all three security semantics. Property tests
+//! compare [`crate::QueryEngine`] against it on random documents, patterns
+//! and labelings.
+
+use crate::pattern::{Axis, PNodeId, PatternTree};
+use dol_acl::{AccessibilityMap, SubjectId};
+use dol_xml::{Document, NodeId};
+
+/// Security semantics for [`naive_eval`].
+#[derive(Clone, Copy)]
+pub enum RefSecurity<'a> {
+    /// Unsecured.
+    None,
+    /// Cho et al.: every bound node accessible.
+    Binding(&'a AccessibilityMap, SubjectId),
+    /// Gabillon–Bruno: every bound node and all its ancestors accessible.
+    Subtree(&'a AccessibilityMap, SubjectId),
+}
+
+/// Evaluates `pattern` over `doc`, returning the distinct document
+/// positions bound to the returning node, ascending.
+pub fn naive_eval(doc: &Document, pattern: &PatternTree, sec: RefSecurity<'_>) -> Vec<u64> {
+    let ok = |d: NodeId| -> bool {
+        match sec {
+            RefSecurity::None => true,
+            RefSecurity::Binding(m, s) => m.accessible(s, d),
+            RefSecurity::Subtree(m, s) => {
+                m.accessible(s, d) && doc.ancestors(d).all(|a| m.accessible(s, a))
+            }
+        }
+    };
+    let node_ok = |p: PNodeId, d: NodeId| -> bool {
+        let pn = pattern.node(p);
+        if let Some(tag) = &pn.tag {
+            if doc.name_of(d) != tag {
+                return false;
+            }
+        }
+        if let Some(v) = &pn.value {
+            if doc.node(d).value.as_deref() != Some(v.as_str()) {
+                return false;
+            }
+        }
+        ok(d)
+    };
+    let n = doc.len();
+    let pn = pattern.len();
+    // Bottom-up: sat[p][d] = d can root a match of p's pattern subtree.
+    // Pattern ids are in creation order (parents before children), so a
+    // reverse scan is bottom-up.
+    let mut sat: Vec<Vec<bool>> = vec![vec![false; n]; pn];
+    for p in (0..pn as u32).rev().map(PNodeId) {
+        for d in doc.preorder() {
+            if !node_ok(p, d) {
+                continue;
+            }
+            let all_children = pattern.node(p).children.iter().all(|&c| {
+                match pattern.node(c).axis {
+                    Axis::Child => doc.children(d).any(|x| sat[c.index()][x.index()]),
+                    Axis::Descendant => {
+                        doc.descendants(d).any(|x| sat[c.index()][x.index()])
+                    }
+                    Axis::FollowingSibling => {
+                        following_siblings(doc, d).any(|x| sat[c.index()][x.index()])
+                    }
+                }
+            });
+            if all_children {
+                sat[p.index()][d.index()] = true;
+            }
+        }
+    }
+    // Top-down: reach[p][d] = d participates in some full binding at p.
+    let mut reach: Vec<Vec<bool>> = vec![vec![false; n]; pn];
+    for d in doc.preorder() {
+        let root_ok = !pattern.anchored() || d == doc.root();
+        if root_ok && sat[0][d.index()] {
+            reach[0][d.index()] = true;
+        }
+    }
+    for p in (0..pn as u32).map(PNodeId) {
+        for &c in &pattern.node(p).children {
+            for d in doc.preorder() {
+                if !reach[p.index()][d.index()] {
+                    continue;
+                }
+                match pattern.node(c).axis {
+                    Axis::Child => {
+                        for x in doc.children(d) {
+                            if sat[c.index()][x.index()] {
+                                reach[c.index()][x.index()] = true;
+                            }
+                        }
+                    }
+                    Axis::Descendant => {
+                        for x in doc.descendants(d) {
+                            if sat[c.index()][x.index()] {
+                                reach[c.index()][x.index()] = true;
+                            }
+                        }
+                    }
+                    Axis::FollowingSibling => {
+                        for x in following_siblings(doc, d) {
+                            if sat[c.index()][x.index()] {
+                                reach[c.index()][x.index()] = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let r = pattern.returning();
+    doc.preorder()
+        .filter(|d| reach[r.index()][d.index()])
+        .map(|d| u64::from(d.0))
+        .collect()
+}
+
+/// Iterates over the following siblings of `d`.
+fn following_siblings(doc: &Document, d: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+    std::iter::successors(doc.next_sibling(d), move |&x| doc.next_sibling(x))
+}
+
+/// Convenience: parse-then-evaluate.
+pub fn naive_eval_str(doc: &Document, query: &str, sec: RefSecurity<'_>) -> Vec<u64> {
+    let pattern = crate::xpath::parse_query(query).expect("query parses");
+    naive_eval(doc, &pattern, sec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dol_xml::parse;
+
+    #[test]
+    fn matches_hand_computed_results() {
+        let doc = parse("<a><b><c/></b><b/><d><b><c/></b></d></a>").unwrap();
+        assert_eq!(naive_eval_str(&doc, "//b[c]", RefSecurity::None), vec![1, 5]);
+        assert_eq!(naive_eval_str(&doc, "/a/b", RefSecurity::None), vec![1, 3]);
+        assert_eq!(naive_eval_str(&doc, "//d//c", RefSecurity::None), vec![6]);
+        assert_eq!(
+            naive_eval_str(&doc, "//a/*/c", RefSecurity::None),
+            vec![2]
+        );
+    }
+
+    #[test]
+    fn security_filters() {
+        let doc = parse("<a><b><c/></b></a>").unwrap();
+        let mut m = AccessibilityMap::new(1, doc.len());
+        m.set(SubjectId(0), NodeId(0), true);
+        m.set(SubjectId(0), NodeId(2), true); // c accessible, b not
+        assert_eq!(
+            naive_eval_str(&doc, "//c", RefSecurity::Binding(&m, SubjectId(0))),
+            vec![2]
+        );
+        assert!(
+            naive_eval_str(&doc, "//c", RefSecurity::Subtree(&m, SubjectId(0))).is_empty()
+        );
+        assert!(
+            naive_eval_str(&doc, "//b/c", RefSecurity::Binding(&m, SubjectId(0))).is_empty()
+        );
+    }
+}

@@ -1,0 +1,701 @@
+//! An in-memory B+-tree.
+//!
+//! The NoK query processor "uses B+ trees on the subtree root's value or tag
+//! names to start the matching" (§4.1). This module provides that index
+//! structure: a classic B+-tree with configurable fan-out, supporting point
+//! lookups, ordered range scans, insertion and deletion with borrowing and
+//! merging. Values live only in the leaves; internal nodes hold separator
+//! keys.
+//!
+//! The tree is deliberately memory-resident: in the paper the index is used
+//! once per query to locate candidate subtree roots, after which evaluation
+//! is navigational over the block store, so index I/O is not part of any
+//! measured quantity.
+
+use std::borrow::Borrow;
+use std::fmt::Debug;
+use std::ops::Bound;
+
+/// Default maximum number of children of an internal node.
+pub const DEFAULT_ORDER: usize = 64;
+
+#[allow(clippy::vec_box)] // Box keeps child links pointer-sized and moves cheap during splits
+enum Node<K, V> {
+    Internal {
+        /// `keys[i]` separates `children[i]` (keys < `keys[i]`) from
+        /// `children[i+1]` (keys ≥ `keys[i]`).
+        keys: Vec<K>,
+        children: Vec<Box<Node<K, V>>>,
+    },
+    Leaf {
+        entries: Vec<(K, V)>,
+    },
+}
+
+impl<K, V> Node<K, V> {
+    fn new_leaf() -> Self {
+        Node::Leaf {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Occupancy for balancing purposes: children for internal nodes,
+    /// entries for leaves. Both are kept in `[order/2, order]` (except at
+    /// the root).
+    fn occupancy(&self) -> usize {
+        match self {
+            Node::Internal { children, .. } => children.len(),
+            Node::Leaf { entries } => entries.len(),
+        }
+    }
+
+    fn underfull(&self, min: usize) -> bool {
+        self.occupancy() < min
+    }
+
+    fn can_lend(&self, min: usize) -> bool {
+        self.occupancy() > min
+    }
+}
+
+/// A B+-tree map from `K` to `V`.
+///
+/// ```
+/// use dol_storage::BPlusTree;
+/// let mut t = BPlusTree::new();
+/// t.insert(3, "c");
+/// t.insert(1, "a");
+/// t.insert(2, "b");
+/// assert_eq!(t.get(&2), Some(&"b"));
+/// let keys: Vec<i32> = t.iter().map(|(k, _)| *k).collect();
+/// assert_eq!(keys, vec![1, 2, 3]);
+/// ```
+pub struct BPlusTree<K, V> {
+    root: Box<Node<K, V>>,
+    order: usize,
+    len: usize,
+}
+
+impl<K: Ord + Clone, V> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V> BPlusTree<K, V> {
+    /// Creates an empty tree with [`DEFAULT_ORDER`].
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// Creates an empty tree whose internal nodes have at most `order`
+    /// children (`order >= 4`).
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 4, "B+-tree order must be at least 4");
+        Self {
+            root: Box::new(Node::new_leaf()),
+            order,
+            len: 0,
+        }
+    }
+
+    /// Number of key/value pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum leaf entries / internal children per node.
+    fn max_entries(&self) -> usize {
+        self.order
+    }
+
+    fn min_entries(&self) -> usize {
+        self.order / 2
+    }
+
+    /// Inserts `key → value`, returning the previous value if present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let max = self.max_entries();
+        let (old, split) = Self::insert_rec(&mut self.root, key, value, max);
+        if old.is_none() {
+            self.len += 1;
+        }
+        if let Some((sep, right)) = split {
+            let old_root = std::mem::replace(&mut self.root, Box::new(Node::new_leaf()));
+            *self.root = Node::Internal {
+                keys: vec![sep],
+                children: vec![old_root, right],
+            };
+        }
+        old
+    }
+
+    #[allow(clippy::type_complexity)] // (old value, split) pair is local plumbing
+    fn insert_rec(
+        node: &mut Node<K, V>,
+        key: K,
+        value: V,
+        max: usize,
+    ) -> (Option<V>, Option<(K, Box<Node<K, V>>)>) {
+        match node {
+            Node::Leaf { entries } => {
+                match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+                    Ok(i) => {
+                        let old = std::mem::replace(&mut entries[i].1, value);
+                        (Some(old), None)
+                    }
+                    Err(i) => {
+                        entries.insert(i, (key, value));
+                        if entries.len() > max {
+                            let right_entries = entries.split_off(entries.len() / 2);
+                            let sep = right_entries[0].0.clone();
+                            (
+                                None,
+                                Some((
+                                    sep,
+                                    Box::new(Node::Leaf {
+                                        entries: right_entries,
+                                    }),
+                                )),
+                            )
+                        } else {
+                            (None, None)
+                        }
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = match keys.binary_search(&key) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                let (old, split) = Self::insert_rec(&mut children[idx], key, value, max);
+                if let Some((sep, right)) = split {
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, right);
+                    if children.len() > max {
+                        let mid = keys.len() / 2;
+                        let sep_up = keys[mid].clone();
+                        let right_keys = keys.split_off(mid + 1);
+                        keys.pop(); // the separator moves up
+                        let right_children = children.split_off(mid + 1);
+                        return (
+                            old,
+                            Some((
+                                sep_up,
+                                Box::new(Node::Internal {
+                                    keys: right_keys,
+                                    children: right_children,
+                                }),
+                            )),
+                        );
+                    }
+                }
+                (old, None)
+            }
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut node = self.root.as_ref();
+        loop {
+            match node {
+                Node::Leaf { entries } => {
+                    return entries
+                        .binary_search_by(|(k, _)| k.borrow().cmp(key))
+                        .ok()
+                        .map(|i| &entries[i].1);
+                }
+                Node::Internal { keys, children } => {
+                    let idx = match keys.binary_search_by(|k| k.borrow().cmp(key)) {
+                        Ok(i) => i + 1,
+                        Err(i) => i,
+                    };
+                    node = &children[idx];
+                }
+            }
+        }
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut node = self.root.as_mut();
+        loop {
+            match node {
+                Node::Leaf { entries } => {
+                    return match entries.binary_search_by(|(k, _)| k.borrow().cmp(key)) {
+                        Ok(i) => Some(&mut entries[i].1),
+                        Err(_) => None,
+                    };
+                }
+                Node::Internal { keys, children } => {
+                    let idx = match keys.binary_search_by(|k| k.borrow().cmp(key)) {
+                        Ok(i) => i + 1,
+                        Err(i) => i,
+                    };
+                    node = &mut children[idx];
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let min = self.min_entries();
+        let removed = Self::remove_rec(&mut self.root, key, min);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        // Collapse a root that became a single-child internal node.
+        if let Node::Internal { children, .. } = self.root.as_mut() {
+            if children.len() == 1 {
+                let only = children.pop().unwrap();
+                self.root = only;
+            }
+        }
+        removed
+    }
+
+    fn remove_rec<Q>(node: &mut Node<K, V>, key: &Q, min: usize) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        match node {
+            Node::Leaf { entries } => entries
+                .binary_search_by(|(k, _)| k.borrow().cmp(key))
+                .ok()
+                .map(|i| entries.remove(i).1),
+            Node::Internal { keys, children } => {
+                let idx = match keys.binary_search_by(|k| k.borrow().cmp(key)) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                let removed = Self::remove_rec(&mut children[idx], key, min);
+                if removed.is_some() && children[idx].underfull(min) {
+                    Self::rebalance_child(keys, children, idx, min);
+                }
+                removed
+            }
+        }
+    }
+
+    /// Restores the minimum-occupancy invariant of `children[idx]` by
+    /// borrowing from a sibling or merging with one.
+    #[allow(clippy::vec_box)]
+    fn rebalance_child(
+        keys: &mut Vec<K>,
+        children: &mut Vec<Box<Node<K, V>>>,
+        idx: usize,
+        min: usize,
+    ) {
+        // Try borrowing from the left sibling.
+        if idx > 0 && children[idx - 1].can_lend(min) {
+            let (left, right) = children.split_at_mut(idx);
+            let left = left.last_mut().unwrap();
+            let right = &mut right[0];
+            match (left.as_mut(), right.as_mut()) {
+                (Node::Leaf { entries: le }, Node::Leaf { entries: re }) => {
+                    let moved = le.pop().unwrap();
+                    keys[idx - 1] = moved.0.clone();
+                    re.insert(0, moved);
+                }
+                (
+                    Node::Internal {
+                        keys: lk,
+                        children: lc,
+                    },
+                    Node::Internal {
+                        keys: rk,
+                        children: rc,
+                    },
+                ) => {
+                    let moved_child = lc.pop().unwrap();
+                    let moved_key = lk.pop().unwrap();
+                    let sep = std::mem::replace(&mut keys[idx - 1], moved_key);
+                    rk.insert(0, sep);
+                    rc.insert(0, moved_child);
+                }
+                _ => unreachable!("siblings are at the same level"),
+            }
+            return;
+        }
+        // Try borrowing from the right sibling.
+        if idx + 1 < children.len() && children[idx + 1].can_lend(min) {
+            let (left, right) = children.split_at_mut(idx + 1);
+            let left = left.last_mut().unwrap();
+            let right = &mut right[0];
+            match (left.as_mut(), right.as_mut()) {
+                (Node::Leaf { entries: le }, Node::Leaf { entries: re }) => {
+                    let moved = re.remove(0);
+                    le.push(moved);
+                    keys[idx] = re[0].0.clone();
+                }
+                (
+                    Node::Internal {
+                        keys: lk,
+                        children: lc,
+                    },
+                    Node::Internal {
+                        keys: rk,
+                        children: rc,
+                    },
+                ) => {
+                    let moved_child = rc.remove(0);
+                    let moved_key = rk.remove(0);
+                    let sep = std::mem::replace(&mut keys[idx], moved_key);
+                    lk.push(sep);
+                    lc.push(moved_child);
+                }
+                _ => unreachable!("siblings are at the same level"),
+            }
+            return;
+        }
+        // Merge with a sibling.
+        let merge_left = if idx > 0 { idx - 1 } else { idx };
+        let right_node = *children.remove(merge_left + 1);
+        let sep = keys.remove(merge_left);
+        match (children[merge_left].as_mut(), right_node) {
+            (Node::Leaf { entries: le }, Node::Leaf { entries: re }) => {
+                le.extend(re);
+            }
+            (
+                Node::Internal {
+                    keys: lk,
+                    children: lc,
+                },
+                Node::Internal {
+                    keys: rk,
+                    children: rc,
+                },
+            ) => {
+                lk.push(sep);
+                lk.extend(rk);
+                lc.extend(rc);
+            }
+            _ => unreachable!("siblings are at the same level"),
+        }
+    }
+
+    /// Iterates over all entries in key order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// Iterates over entries with keys in `[lo, hi]` per the given bounds.
+    pub fn range(&self, lo: Bound<K>, hi: Bound<K>) -> Iter<'_, K, V> {
+        let mut it = Iter {
+            stack: Vec::new(),
+            hi,
+        };
+        it.descend(&self.root, &lo);
+        it
+    }
+
+    /// Depth of the tree (1 for a lone leaf); exposed for tests.
+    pub fn depth(&self) -> usize {
+        let mut d = 1;
+        let mut node = self.root.as_ref();
+        while let Node::Internal { children, .. } = node {
+            d += 1;
+            node = &children[0];
+        }
+        d
+    }
+
+    /// Checks the structural invariants; returns the first violation.
+    pub fn check_invariants(&self) -> Result<(), String>
+    where
+        K: Debug,
+    {
+        fn walk<K: Ord + Clone + Debug, V>(
+            node: &Node<K, V>,
+            lo: Option<&K>,
+            hi: Option<&K>,
+            min: usize,
+            max: usize,
+            is_root: bool,
+            depth: usize,
+        ) -> Result<usize, String> {
+            match node {
+                Node::Leaf { entries } => {
+                    if !is_root && entries.len() < min {
+                        return Err(format!("leaf underflow: {} < {min}", entries.len()));
+                    }
+                    for w in entries.windows(2) {
+                        if w[0].0 >= w[1].0 {
+                            return Err(format!("leaf keys out of order: {:?}", w[0].0));
+                        }
+                    }
+                    if let (Some(lo), Some(first)) = (lo, entries.first()) {
+                        if &first.0 < lo {
+                            return Err(format!("leaf key {:?} below bound {:?}", first.0, lo));
+                        }
+                    }
+                    if let (Some(hi), Some(last)) = (hi, entries.last()) {
+                        if &last.0 >= hi {
+                            return Err(format!("leaf key {:?} at/above bound {:?}", last.0, hi));
+                        }
+                    }
+                    Ok(depth)
+                }
+                Node::Internal { keys, children } => {
+                    if children.len() != keys.len() + 1 {
+                        return Err("child/key count mismatch".into());
+                    }
+                    if !is_root && children.len() < min {
+                        return Err("internal underflow".into());
+                    }
+                    if children.len() > max {
+                        return Err("internal overflow".into());
+                    }
+                    let mut leaf_depth = None;
+                    for (i, c) in children.iter().enumerate() {
+                        let clo = if i == 0 { lo } else { Some(&keys[i - 1]) };
+                        let chi = if i == keys.len() { hi } else { Some(&keys[i]) };
+                        let d = walk(c, clo, chi, min, max, false, depth + 1)?;
+                        if *leaf_depth.get_or_insert(d) != d {
+                            return Err("leaves at different depths".into());
+                        }
+                    }
+                    Ok(leaf_depth.unwrap())
+                }
+            }
+        }
+        walk(
+            &self.root,
+            None,
+            None,
+            self.min_entries(),
+            self.max_entries(),
+            true,
+            0,
+        )
+        .map(|_| ())
+    }
+}
+
+/// Ordered iterator over a key range. See [`BPlusTree::range`].
+pub struct Iter<'a, K, V> {
+    /// Stack of (internal node, next child index) plus a current leaf cursor.
+    stack: Vec<Frame<'a, K, V>>,
+    hi: Bound<K>,
+}
+
+#[allow(clippy::type_complexity)]
+enum Frame<'a, K, V> {
+    Internal(&'a [K], &'a [Box<Node<K, V>>], usize),
+    Leaf(&'a [(K, V)], usize),
+}
+
+impl<'a, K: Ord + Clone, V> Iter<'a, K, V> {
+    fn descend(&mut self, mut node: &'a Node<K, V>, lo: &Bound<K>) {
+        loop {
+            match node {
+                Node::Internal { keys, children } => {
+                    let idx = match lo {
+                        Bound::Unbounded => 0,
+                        Bound::Included(k) => match keys.binary_search(k) {
+                            Ok(i) => i + 1,
+                            Err(i) => i,
+                        },
+                        Bound::Excluded(k) => match keys.binary_search(k) {
+                            Ok(i) => i + 1,
+                            Err(i) => i,
+                        },
+                    };
+                    self.stack.push(Frame::Internal(keys, children, idx + 1));
+                    node = &children[idx];
+                }
+                Node::Leaf { entries } => {
+                    let start = match lo {
+                        Bound::Unbounded => 0,
+                        Bound::Included(k) => entries
+                            .binary_search_by(|(ek, _)| ek.cmp(k))
+                            .unwrap_or_else(|i| i),
+                        Bound::Excluded(k) => match entries.binary_search_by(|(ek, _)| ek.cmp(k)) {
+                            Ok(i) => i + 1,
+                            Err(i) => i,
+                        },
+                    };
+                    self.stack.push(Frame::Leaf(entries, start));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn within_hi(&self, k: &K) -> bool {
+        match &self.hi {
+            Bound::Unbounded => true,
+            Bound::Included(h) => k <= h,
+            Bound::Excluded(h) => k < h,
+        }
+    }
+}
+
+impl<'a, K: Ord + Clone, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            match self.stack.last_mut()? {
+                Frame::Leaf(entries, pos) => {
+                    if *pos < entries.len() {
+                        let (k, v) = &entries[*pos];
+                        *pos += 1;
+                        if self.within_hi(k) {
+                            return Some((k, v));
+                        }
+                        self.stack.clear();
+                        return None;
+                    }
+                    self.stack.pop();
+                }
+                Frame::Internal(_keys, children, next) => {
+                    if *next < children.len() {
+                        let child = &children[*next];
+                        *next += 1;
+                        // Descend leftmost into the next child.
+                        let mut node = child.as_ref();
+                        loop {
+                            match node {
+                                Node::Internal { keys, children } => {
+                                    self.stack.push(Frame::Internal(keys, children, 1));
+                                    node = &children[0];
+                                }
+                                Node::Leaf { entries } => {
+                                    self.stack.push(Frame::Leaf(entries, 0));
+                                    break;
+                                }
+                            }
+                        }
+                    } else {
+                        self.stack.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut t = BPlusTree::with_order(4);
+        assert_eq!(t.insert(1, "one"), None);
+        assert_eq!(t.insert(1, "uno"), Some("one"));
+        assert_eq!(t.get(&1), Some(&"uno"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&2), None);
+    }
+
+    #[test]
+    fn splits_preserve_order() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..200 {
+            t.insert(i * 7 % 200, i);
+        }
+        t.check_invariants().unwrap();
+        assert!(t.depth() > 1);
+        let keys: Vec<i32> = t.iter().map(|(k, _)| *k).collect();
+        let mut expected: Vec<i32> = (0..200).map(|i| i * 7 % 200).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn range_scans() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..100 {
+            t.insert(i, i * 10);
+        }
+        let v: Vec<i32> = t
+            .range(Bound::Included(10), Bound::Excluded(15))
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(v, vec![10, 11, 12, 13, 14]);
+        let v: Vec<i32> = t
+            .range(Bound::Excluded(97), Bound::Unbounded)
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(v, vec![98, 99]);
+        let v: Vec<i32> = t
+            .range(Bound::Included(200), Bound::Unbounded)
+            .map(|(k, _)| *k)
+            .collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn removal_with_rebalancing() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..300 {
+            t.insert(i, i);
+        }
+        for i in (0..300).step_by(2) {
+            assert_eq!(t.remove(&i), Some(i));
+            t.check_invariants().unwrap();
+        }
+        assert_eq!(t.len(), 150);
+        for i in 0..300 {
+            assert_eq!(t.get(&i).is_some(), i % 2 == 1);
+        }
+        for i in (1..300).step_by(2) {
+            assert_eq!(t.remove(&i), Some(i));
+        }
+        assert!(t.is_empty());
+        t.check_invariants().unwrap();
+        assert_eq!(t.remove(&5), None);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..50 {
+            t.insert(i, vec![i]);
+        }
+        t.get_mut(&25).unwrap().push(99);
+        assert_eq!(t.get(&25), Some(&vec![25, 99]));
+    }
+
+    #[test]
+    fn borrowed_key_lookup() {
+        let mut t: BPlusTree<String, i32> = BPlusTree::new();
+        t.insert("item".to_string(), 1);
+        assert_eq!(t.get("item"), Some(&1));
+        assert!(t.contains_key("item"));
+        assert_eq!(t.remove("item"), Some(1));
+    }
+}

@@ -1,0 +1,218 @@
+//! Disk abstraction: where pages ultimately live.
+//!
+//! The engine is written against the [`Disk`] trait so experiments can run on
+//! an in-memory simulated disk ([`MemDisk`], deterministic and fast) while the
+//! same code paths work against a real file ([`FileDisk`]). Either way the
+//! [`crate::BufferPool`] sits on top and counts physical I/O.
+
+use crate::page::{Page, PageId, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Errors from the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Page id past the end of the disk.
+    PageOutOfRange(PageId),
+    /// An underlying I/O failure (file-backed disks only).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::PageOutOfRange(id) => write!(f, "page {id} out of range"),
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// A page-granular persistent store.
+///
+/// Implementations must be internally synchronized: the buffer pool calls
+/// them through `&self`.
+pub trait Disk: Send + Sync {
+    /// Reads page `id` into `buf`.
+    fn read_page(&self, id: PageId, buf: &mut Page) -> Result<(), StorageError>;
+    /// Writes `buf` to page `id`.
+    fn write_page(&self, id: PageId, buf: &Page) -> Result<(), StorageError>;
+    /// Appends a zeroed page and returns its id.
+    fn allocate_page(&self) -> Result<PageId, StorageError>;
+    /// Number of allocated pages.
+    fn num_pages(&self) -> u32;
+}
+
+/// An in-memory disk: a growable vector of pages.
+///
+/// This is the default substrate for tests and experiments; it makes runs
+/// deterministic and lets the buffer pool's counters stand in for real I/O.
+#[derive(Default)]
+pub struct MemDisk {
+    pages: Mutex<Vec<Page>>,
+}
+
+impl MemDisk {
+    /// Creates an empty in-memory disk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Disk for MemDisk {
+    fn read_page(&self, id: PageId, buf: &mut Page) -> Result<(), StorageError> {
+        let pages = self.pages.lock();
+        let src = pages
+            .get(id.index())
+            .ok_or(StorageError::PageOutOfRange(id))?;
+        buf.bytes_mut().copy_from_slice(src.bytes());
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, buf: &Page) -> Result<(), StorageError> {
+        let mut pages = self.pages.lock();
+        let dst = pages
+            .get_mut(id.index())
+            .ok_or(StorageError::PageOutOfRange(id))?;
+        dst.bytes_mut().copy_from_slice(buf.bytes());
+        Ok(())
+    }
+
+    fn allocate_page(&self) -> Result<PageId, StorageError> {
+        let mut pages = self.pages.lock();
+        let id = PageId(pages.len() as u32);
+        pages.push(Page::zeroed());
+        Ok(id)
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.pages.lock().len() as u32
+    }
+}
+
+/// A file-backed disk. Pages are stored contiguously at offset
+/// `id * PAGE_SIZE`.
+pub struct FileDisk {
+    file: Mutex<File>,
+    pages: Mutex<u32>,
+}
+
+impl FileDisk {
+    /// Opens (creating if needed, truncating) a disk file at `path`.
+    pub fn create(path: &Path) -> Result<Self, StorageError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            file: Mutex::new(file),
+            pages: Mutex::new(0),
+        })
+    }
+
+    /// Opens an existing disk file at `path`.
+    pub fn open(path: &Path) -> Result<Self, StorageError> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        Ok(Self {
+            file: Mutex::new(file),
+            pages: Mutex::new((len / PAGE_SIZE as u64) as u32),
+        })
+    }
+}
+
+impl Disk for FileDisk {
+    fn read_page(&self, id: PageId, buf: &mut Page) -> Result<(), StorageError> {
+        if id.0 >= *self.pages.lock() {
+            return Err(StorageError::PageOutOfRange(id));
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id.index() as u64 * PAGE_SIZE as u64))?;
+        file.read_exact(buf.bytes_mut())?;
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, buf: &Page) -> Result<(), StorageError> {
+        if id.0 >= *self.pages.lock() {
+            return Err(StorageError::PageOutOfRange(id));
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id.index() as u64 * PAGE_SIZE as u64))?;
+        file.write_all(buf.bytes())?;
+        Ok(())
+    }
+
+    fn allocate_page(&self) -> Result<PageId, StorageError> {
+        let mut pages = self.pages.lock();
+        let id = PageId(*pages);
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id.index() as u64 * PAGE_SIZE as u64))?;
+        file.write_all(Page::zeroed().bytes())?;
+        *pages += 1;
+        Ok(id)
+    }
+
+    fn num_pages(&self) -> u32 {
+        *self.pages.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(disk: &dyn Disk) {
+        let a = disk.allocate_page().unwrap();
+        let b = disk.allocate_page().unwrap();
+        assert_eq!(a, PageId(0));
+        assert_eq!(b, PageId(1));
+        assert_eq!(disk.num_pages(), 2);
+
+        let mut p = Page::zeroed();
+        p.put_u64(0, 42);
+        disk.write_page(b, &p).unwrap();
+
+        let mut r = Page::zeroed();
+        disk.read_page(b, &mut r).unwrap();
+        assert_eq!(r.get_u64(0), 42);
+        disk.read_page(a, &mut r).unwrap();
+        assert_eq!(r.get_u64(0), 0);
+
+        assert!(disk.read_page(PageId(9), &mut r).is_err());
+        assert!(disk.write_page(PageId(9), &p).is_err());
+    }
+
+    #[test]
+    fn memdisk_behaviour() {
+        exercise(&MemDisk::new());
+    }
+
+    #[test]
+    fn filedisk_behaviour() {
+        let dir = std::env::temp_dir().join(format!("dol-disk-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("disk.bin");
+        {
+            let disk = FileDisk::create(&path).unwrap();
+            exercise(&disk);
+        }
+        // Reopen and verify persistence.
+        let disk = FileDisk::open(&path).unwrap();
+        assert_eq!(disk.num_pages(), 2);
+        let mut r = Page::zeroed();
+        disk.read_page(PageId(1), &mut r).unwrap();
+        assert_eq!(r.get_u64(0), 42);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Block-oriented storage substrate for the DOL secure XML query engine.
+//!
+//! The paper's central claim is architectural: access-control data should be
+//! *physically clustered* with the NoK document-structure encoding so that
+//! checking a node's accessibility never costs an extra I/O. This crate
+//! provides everything below the access-control layer:
+//!
+//! * [`disk`] — a [`Disk`] trait with an in-memory simulator ([`MemDisk`])
+//!   and a real file backend ([`FileDisk`]), both using 4 KiB pages as in the
+//!   paper's experiments.
+//! * [`buffer`] — an LRU [`BufferPool`] with dirty tracking and exact
+//!   logical/physical I/O statistics ([`IoStats`]); the experiment harness
+//!   reads these counters to reproduce the paper's I/O arguments.
+//! * [`nok`] — the NoK succinct document-order block encoding
+//!   ([`StructStore`]): fixed-size node records `(tag, subtree-size, depth,
+//!   flags)` packed in document order, with per-block access-control headers
+//!   (first-node code + change bit) and embedded `(slot, code)` transition
+//!   entries — the physical half of DOL.
+//! * [`log`] — a paged append log ([`PagedLog`]) and the [`ValueStore`]
+//!   keeping character data out of the structural encoding.
+//! * [`btree`] — a B+-tree used for the tag and tag+value indexes that seed
+//!   NoK pattern matching.
+//!
+//! Higher layers: `dol-core` implements the logical DOL and drives the
+//! embedded representation through [`StructStore`]'s code-run primitives;
+//! `dol-nok` implements (secure) query evaluation on top of the navigation
+//! API.
+
+pub mod btree;
+pub mod buffer;
+pub mod disk;
+pub mod log;
+pub mod nok;
+pub mod page;
+
+pub use btree::BPlusTree;
+pub use buffer::{BufferPool, IoStats};
+pub use disk::{Disk, FileDisk, MemDisk};
+pub use log::{PagedLog, ValueStore};
+pub use nok::{BlockInfo, BulkItem, NodeRec, StoreConfig, StructStore, NO_CODE};
+pub use page::{Page, PageId, PAGE_SIZE};

@@ -1,0 +1,202 @@
+//! On-page codec for NoK structure blocks.
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     count        — number of node records in the block
+//! 2       2     first_depth  — depth of the first node
+//! 4       2     trans_count  — number of (slot, code) transition entries
+//! 6       2     flags        — bit 0: change bit
+//! 8       4     first_code   — access-control code of the first node
+//! 12      4     next_block   — PageId of the next block in document order
+//! 16      8     reserved
+//! 24      12·c  node records  (tag u32, size u32, depth u16, flags u16)
+//! tail    8·t   transition entries (slot u16, pad u16, code u32),
+//!               entry j at offset PAGE_SIZE − 8·(j+1), ascending slot order
+//! ```
+
+use crate::page::{Page, PageId, PAGE_SIZE};
+
+/// Byte size of the block header.
+pub(crate) const HDR_SIZE: usize = 24;
+/// Byte size of one node record.
+pub const REC_SIZE: usize = 12;
+/// Byte size of one transition entry.
+pub(crate) const TRANS_SIZE: usize = 8;
+
+/// Default cap on records per block: leaves room for 59 transition entries.
+pub const MAX_RECORDS_DEFAULT: usize = 300;
+
+/// Header flag bit: block contains a transition node beyond its first node.
+const FLAG_CHANGE: u16 = 1;
+
+/// Record flag bits.
+pub(crate) const RFLAG_HAS_VALUE: u16 = 1;
+pub(crate) const RFLAG_TRANSITION: u16 = 2;
+
+/// Decoded block header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BlockHeader {
+    pub count: u16,
+    pub first_depth: u16,
+    pub trans_count: u16,
+    pub change: bool,
+    pub first_code: u32,
+    pub next: PageId,
+}
+
+impl BlockHeader {
+    pub fn read(p: &Page) -> Self {
+        Self {
+            count: p.get_u16(0),
+            first_depth: p.get_u16(2),
+            trans_count: p.get_u16(4),
+            change: p.get_u16(6) & FLAG_CHANGE != 0,
+            first_code: p.get_u32(8),
+            next: PageId(p.get_u32(12)),
+        }
+    }
+
+    pub fn write(&self, p: &mut Page) {
+        p.put_u16(0, self.count);
+        p.put_u16(2, self.first_depth);
+        p.put_u16(4, self.trans_count);
+        p.put_u16(6, if self.change { FLAG_CHANGE } else { 0 });
+        p.put_u32(8, self.first_code);
+        p.put_u32(12, self.next.0);
+        p.put_u64(16, 0);
+    }
+}
+
+/// Decoded node record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RawRec {
+    pub tag: u32,
+    pub size: u32,
+    pub depth: u16,
+    pub flags: u16,
+}
+
+impl RawRec {
+    #[inline]
+    pub fn read(p: &Page, slot: usize) -> Self {
+        let off = HDR_SIZE + slot * REC_SIZE;
+        Self {
+            tag: p.get_u32(off),
+            size: p.get_u32(off + 4),
+            depth: p.get_u16(off + 8),
+            flags: p.get_u16(off + 10),
+        }
+    }
+
+    #[inline]
+    pub fn write(&self, p: &mut Page, slot: usize) {
+        let off = HDR_SIZE + slot * REC_SIZE;
+        p.put_u32(off, self.tag);
+        p.put_u32(off + 4, self.size);
+        p.put_u16(off + 8, self.depth);
+        p.put_u16(off + 10, self.flags);
+    }
+}
+
+/// Reads the transition entries of a block, ascending by slot.
+pub(crate) fn read_transitions(p: &Page) -> Vec<(u16, u32)> {
+    let hdr = BlockHeader::read(p);
+    let mut out = Vec::with_capacity(hdr.trans_count as usize);
+    for j in 0..hdr.trans_count as usize {
+        let off = PAGE_SIZE - (j + 1) * TRANS_SIZE;
+        out.push((p.get_u16(off), p.get_u32(off + 4)));
+    }
+    debug_assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    out
+}
+
+/// Overwrites a block's transition entries (must be ascending by slot) and
+/// refreshes `trans_count` and the change bit.
+pub(crate) fn write_transitions(p: &mut Page, entries: &[(u16, u32)]) {
+    debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+    for (j, &(slot, code)) in entries.iter().enumerate() {
+        let off = PAGE_SIZE - (j + 1) * TRANS_SIZE;
+        p.put_u16(off, slot);
+        p.put_u16(off + 2, 0);
+        p.put_u32(off + 4, code);
+    }
+    let mut hdr = BlockHeader::read(p);
+    hdr.trans_count = entries.len() as u16;
+    hdr.change = !entries.is_empty();
+    hdr.write(p);
+}
+
+/// Maximum transition entries that fit alongside `count` records.
+pub(crate) fn trans_capacity(count: usize) -> usize {
+    (PAGE_SIZE - HDR_SIZE - count * REC_SIZE) / TRANS_SIZE
+}
+
+/// Checks that `count` records plus `trans` transition entries fit in a page.
+pub(crate) fn fits(count: usize, trans: usize) -> bool {
+    HDR_SIZE + count * REC_SIZE + trans * TRANS_SIZE <= PAGE_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let mut p = Page::zeroed();
+        let h = BlockHeader {
+            count: 7,
+            first_depth: 3,
+            trans_count: 2,
+            change: true,
+            first_code: 0xABCD,
+            next: PageId(9),
+        };
+        h.write(&mut p);
+        assert_eq!(BlockHeader::read(&p), h);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let mut p = Page::zeroed();
+        let r = RawRec {
+            tag: 5,
+            size: 100,
+            depth: 4,
+            flags: RFLAG_HAS_VALUE | RFLAG_TRANSITION,
+        };
+        r.write(&mut p, 3);
+        assert_eq!(RawRec::read(&p, 3), r);
+        // Neighbouring slots untouched.
+        assert_eq!(RawRec::read(&p, 2).tag, 0);
+        assert_eq!(RawRec::read(&p, 4).tag, 0);
+    }
+
+    #[test]
+    fn transition_roundtrip() {
+        let mut p = Page::zeroed();
+        BlockHeader {
+            count: 10,
+            first_depth: 0,
+            trans_count: 0,
+            change: false,
+            first_code: 1,
+            next: PageId::INVALID,
+        }
+        .write(&mut p);
+        write_transitions(&mut p, &[(2, 10), (5, 20), (9, 30)]);
+        assert_eq!(read_transitions(&p), vec![(2, 10), (5, 20), (9, 30)]);
+        let hdr = BlockHeader::read(&p);
+        assert!(hdr.change);
+        assert_eq!(hdr.trans_count, 3);
+        write_transitions(&mut p, &[]);
+        assert!(!BlockHeader::read(&p).change);
+    }
+
+    #[test]
+    fn capacity_math() {
+        assert!(fits(MAX_RECORDS_DEFAULT, 59));
+        assert!(!fits(MAX_RECORDS_DEFAULT, 60));
+        assert_eq!(trans_capacity(MAX_RECORDS_DEFAULT), 59);
+        assert!(fits(8, 8));
+    }
+}

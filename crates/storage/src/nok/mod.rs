@@ -1,0 +1,37 @@
+//! The NoK succinct document-order block store with embedded DOL codes.
+//!
+//! # Physical layout (paper §3)
+//!
+//! The structure of the data tree is encoded by listing nodes in document
+//! order; the paper's succinct string `(a(b)(c)(d)(e...)))` (open parens
+//! elided) corresponds here to fixed-size 12-byte node records
+//! `(tag, subtree-size, depth, flags)` packed into 4 KiB blocks. Storing
+//! `depth` rather than a close-paren count is an equivalent, constant-time
+//! encoding of the same information (the close count of node `i` is
+//! `depth(i) + 1 − depth(i+1)`); [`StructStore::to_nok_string`] reproduces
+//! the paper's string form.
+//!
+//! Access-control data is **embedded** (paper §3.2):
+//!
+//! * each block header carries the access-control **code of its first node**
+//!   (the "initial transition node") and a **change bit** that is set iff the
+//!   block contains any other transition node;
+//! * in-block transition nodes are stored as sorted `(slot, code)` pairs
+//!   growing from the block tail;
+//! * block headers are mirrored in memory (the paper keeps all page headers
+//!   in memory), enabling the *page-skip* optimization: if a block's first
+//!   code denies the subject and its change bit is clear, every node in the
+//!   block is inaccessible and the page need not be read at all.
+//!
+//! Codes are opaque `u32` indexes into a codebook owned by `dol-core`; this
+//! crate neither knows nor cares what a code means.
+
+mod block;
+mod store;
+mod update;
+
+pub use block::{MAX_RECORDS_DEFAULT, REC_SIZE};
+pub use store::{BlockInfo, BulkItem, NodeRec, StoreConfig, StoreIter, StructStore};
+
+/// Code value used on unsecured stores (no DOL embedded).
+pub const NO_CODE: u32 = 0;

@@ -1,0 +1,152 @@
+//! Fixed-size pages and little-endian field codecs.
+
+/// Page size in bytes. The paper's experiments store the document on disk
+/// "with each page at 4K bytes".
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page on a [`crate::Disk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Sentinel meaning "no page" (end of a block chain, etc.).
+    pub const INVALID: PageId = PageId(u32::MAX);
+
+    /// Whether this id is the [`INVALID`](PageId::INVALID) sentinel.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self != Self::INVALID
+    }
+
+    /// The raw index, for addressing into a disk image.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A single 4 KiB page buffer with typed little-endian accessors.
+///
+/// All multi-byte fields in the engine's on-disk formats are little-endian.
+#[derive(Clone)]
+pub struct Page {
+    bytes: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Page[{} bytes]", PAGE_SIZE)
+    }
+}
+
+impl Page {
+    /// A fresh all-zero page.
+    pub fn zeroed() -> Self {
+        Self {
+            bytes: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
+        }
+    }
+
+    /// Raw byte access.
+    #[inline]
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.bytes
+    }
+
+    /// Raw mutable byte access.
+    #[inline]
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.bytes
+    }
+
+    /// Reads a `u16` at byte offset `off`.
+    #[inline]
+    pub fn get_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes(self.bytes[off..off + 2].try_into().unwrap())
+    }
+
+    /// Reads a `u32` at byte offset `off`.
+    #[inline]
+    pub fn get_u32(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.bytes[off..off + 4].try_into().unwrap())
+    }
+
+    /// Reads a `u64` at byte offset `off`.
+    #[inline]
+    pub fn get_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.bytes[off..off + 8].try_into().unwrap())
+    }
+
+    /// Writes a `u16` at byte offset `off`.
+    #[inline]
+    pub fn put_u16(&mut self, off: usize, v: u16) {
+        self.bytes[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32` at byte offset `off`.
+    #[inline]
+    pub fn put_u32(&mut self, off: usize, v: u32) {
+        self.bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64` at byte offset `off`.
+    #[inline]
+    pub fn put_u64(&mut self, off: usize, v: u64) {
+        self.bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Copies a byte slice into the page at `off`.
+    #[inline]
+    pub fn put_bytes(&mut self, off: usize, data: &[u8]) {
+        self.bytes[off..off + data.len()].copy_from_slice(data);
+    }
+
+    /// Borrows `len` bytes at `off`.
+    #[inline]
+    pub fn get_bytes(&self, off: usize, len: usize) -> &[u8] {
+        &self.bytes[off..off + len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut p = Page::zeroed();
+        p.put_u16(0, 0xBEEF);
+        p.put_u32(2, 0xDEAD_BEEF);
+        p.put_u64(6, 0x0123_4567_89AB_CDEF);
+        assert_eq!(p.get_u16(0), 0xBEEF);
+        assert_eq!(p.get_u32(2), 0xDEAD_BEEF);
+        assert_eq!(p.get_u64(6), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn byte_slices() {
+        let mut p = Page::zeroed();
+        p.put_bytes(100, b"hello");
+        assert_eq!(p.get_bytes(100, 5), b"hello");
+        assert_eq!(p.get_bytes(105, 1), &[0]);
+    }
+
+    #[test]
+    fn invalid_page_id() {
+        assert!(!PageId::INVALID.is_valid());
+        assert!(PageId(0).is_valid());
+        assert_eq!(PageId(7).to_string(), "p7");
+    }
+}

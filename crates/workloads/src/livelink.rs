@@ -1,0 +1,532 @@
+//! A LiveLink-style corporate-portal simulator.
+//!
+//! The paper's first real dataset is a production OpenText LiveLink
+//! instance: 1,150,000 tree-structured items with average depth 7.9 and
+//! maximum depth 19, 8,639 access-control subjects (users and groups), and
+//! ten action modes. The dataset is proprietary; this simulator reproduces
+//! the *statistical structure* the experiments depend on:
+//!
+//! * a workspace / department / project / folder hierarchy calibrated to the
+//!   published depth statistics;
+//! * a subject hierarchy (company → departments → teams, users in teams);
+//! * role-based **subtree grants** per action mode, with occasional
+//!   confidential-folder deny-then-regrant overrides and per-user home
+//!   folders.
+//!
+//! Because grants are issued to a shared group structure, the access rights
+//! of different subjects are strongly correlated — which is exactly the
+//! property (paper §5.1.1) that keeps the DOL codebook sub-exponential and
+//! the transition count sub-linear in the number of subjects.
+
+use dol_acl::{BitVec, CascadeRules, SubjectCatalog, SubjectId};
+use dol_xml::{Document, DocumentBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Simulator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveLinkConfig {
+    /// Number of departments.
+    pub departments: usize,
+    /// Projects per department.
+    pub projects_per_dept: usize,
+    /// Approximate folder-tree size per project (nodes).
+    pub project_size: usize,
+    /// Number of users.
+    pub users: usize,
+    /// Number of action modes (the real system has ten).
+    pub modes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LiveLinkConfig {
+    fn default() -> Self {
+        Self {
+            departments: 8,
+            projects_per_dept: 5,
+            project_size: 120,
+            users: 300,
+            modes: 10,
+            seed: 7919,
+        }
+    }
+}
+
+/// Per-mode probability that a *department* group is granted that mode on
+/// its department subtree (mode 0 ≈ "see", mode 9 ≈ "admin").
+const DEPT_GRANT_P: [f64; 10] = [0.95, 0.8, 0.7, 0.55, 0.45, 0.35, 0.3, 0.2, 0.12, 0.06];
+/// Per-mode probability for *team* grants on project subtrees.
+const TEAM_GRANT_P: [f64; 10] = [0.98, 0.9, 0.85, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1];
+
+/// The generated world: document, subjects and per-mode rule sets.
+pub struct LiveLinkWorld {
+    /// The item tree.
+    pub doc: Document,
+    /// Users and groups (groups first: company, departments, teams).
+    pub subjects: SubjectCatalog,
+    rules: Vec<CascadeRules>,
+    dept_roots: Vec<NodeId>,
+}
+
+impl LiveLinkWorld {
+    /// Generates a world.
+    pub fn generate(cfg: &LiveLinkConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let modes = cfg.modes.clamp(1, 10);
+
+        // ---- subjects -------------------------------------------------
+        let mut subjects = SubjectCatalog::new();
+        let company = subjects.add_group("company");
+        let mut dept_groups = Vec::with_capacity(cfg.departments);
+        let mut team_groups: Vec<Vec<SubjectId>> = Vec::with_capacity(cfg.departments);
+        for d in 0..cfg.departments {
+            let g = subjects.add_group(&format!("dept{d}"));
+            subjects.add_membership(g, company);
+            dept_groups.push(g);
+            let mut teams = Vec::new();
+            for p in 0..cfg.projects_per_dept {
+                let t = subjects.add_group(&format!("team{d}.{p}"));
+                subjects.add_membership(t, g);
+                teams.push(t);
+            }
+            team_groups.push(teams);
+        }
+        let mut users = Vec::with_capacity(cfg.users);
+        for u in 0..cfg.users {
+            let id = subjects.add_user(&format!("user{u}"));
+            // Primary team in a "home" department, sometimes a second team.
+            let d = rng.gen_range(0..cfg.departments);
+            let t = rng.gen_range(0..cfg.projects_per_dept);
+            subjects.add_membership(id, team_groups[d][t]);
+            if rng.gen_bool(0.25) {
+                let d2 = rng.gen_range(0..cfg.departments);
+                let t2 = rng.gen_range(0..cfg.projects_per_dept);
+                subjects.add_membership(id, team_groups[d2][t2]);
+            }
+            users.push((id, d));
+        }
+        let subject_count = subjects.len();
+
+        // ---- document + rule anchors ----------------------------------
+        let mut b = Document::builder();
+        b.open("workspace");
+        let mut dept_roots = Vec::new();
+        let mut project_roots: Vec<(usize, usize, NodeId)> = Vec::new();
+        let mut confidential: Vec<(usize, usize, NodeId)> = Vec::new();
+        let mut homes: Vec<(SubjectId, NodeId)> = Vec::new();
+        for d in 0..cfg.departments {
+            let dept = b.open("department");
+            b.attribute("name", &format!("dept{d}"));
+            dept_roots.push(dept);
+            for p in 0..cfg.projects_per_dept {
+                let proj = b.open("project");
+                b.attribute("name", &format!("proj{d}.{p}"));
+                project_roots.push((d, p, proj));
+                let conf = grow_folders(&mut b, &mut rng, cfg.project_size, 2);
+                if let Some(c) = conf {
+                    confidential.push((d, p, c));
+                }
+                b.close();
+            }
+            // Per-user home folders for this department's users.
+            b.open("homes");
+            for &(uid, ud) in &users {
+                if ud == d {
+                    let h = b.open("home");
+                    b.attribute("owner", subjects.name(uid));
+                    b.leaf("inbox", None);
+                    if rng.gen_bool(0.5) {
+                        b.leaf("drafts", None);
+                    }
+                    b.close();
+                    homes.push((uid, h));
+                }
+            }
+            b.close();
+            b.close();
+        }
+        b.close();
+        let doc = b.finish().expect("balanced build");
+
+        // ---- rules -----------------------------------------------------
+        // The production system the paper measured exports *effective*
+        // accessibility per subject: a rule naming a group also determines
+        // every member user's bit at the same anchor. We therefore expand
+        // group rules to their (transitive) member users, preserving rule
+        // order so Most-Specific-Override ties resolve identically. The
+        // expansion is what gives anchors their subject multiplicity — many
+        // subjects' rights change at the same document position, the
+        // correlation DOL compresses and per-subject CAMs cannot.
+        let mut members_of: Vec<Vec<SubjectId>> = vec![Vec::new(); subject_count];
+        for &(uid, _) in &users {
+            for g in subjects.effective_subjects(uid) {
+                if g != uid {
+                    members_of[g.index()].push(uid);
+                }
+            }
+        }
+        let mut rules: Vec<CascadeRules> = (0..modes)
+            .map(|_| CascadeRules::new(subject_count))
+            .collect();
+        for (m, raw) in raw_rules(
+            &mut rng,
+            modes,
+            cfg,
+            company,
+            &dept_groups,
+            &team_groups,
+            &users,
+            &dept_roots,
+            &project_roots,
+            &confidential,
+            &homes,
+            doc.root(),
+        )
+        .into_iter()
+        .enumerate()
+        {
+            let rs = &mut rules[m];
+            for (subject, node, allow) in raw {
+                rs.add(subject, node, allow);
+                for &u in &members_of[subject.index()] {
+                    rs.add(u, node, allow);
+                }
+            }
+        }
+        LiveLinkWorld {
+            doc,
+            subjects,
+            rules,
+            dept_roots,
+        }
+    }
+}
+
+/// Generates the per-mode rule lists (subject, anchor, allow) in order.
+#[allow(clippy::too_many_arguments)]
+fn raw_rules(
+    rng: &mut StdRng,
+    modes: usize,
+    cfg: &LiveLinkConfig,
+    company: SubjectId,
+    dept_groups: &[SubjectId],
+    team_groups: &[Vec<SubjectId>],
+    users: &[(SubjectId, usize)],
+    dept_roots: &[NodeId],
+    project_roots: &[(usize, usize, NodeId)],
+    confidential: &[(usize, usize, NodeId)],
+    homes: &[(SubjectId, NodeId)],
+    root: NodeId,
+) -> Vec<Vec<(SubjectId, NodeId, bool)>> {
+    let mut out = Vec::with_capacity(modes);
+    for m in 0..modes {
+        let mut rs: Vec<(SubjectId, NodeId, bool)> = Vec::new();
+        {
+            // Everyone can "see" the workspace root area in mode 0.
+            if m == 0 {
+                rs.push((company, root, true));
+            }
+            for (d, &g) in dept_groups.iter().enumerate() {
+                if rng.gen_bool(DEPT_GRANT_P[m]) {
+                    rs.push((g, dept_roots[d], true));
+                }
+            }
+            for &(d, p, proj) in project_roots {
+                let team = team_groups[d][p];
+                if rng.gen_bool(TEAM_GRANT_P[m]) {
+                    rs.push((team, proj, true));
+                }
+            }
+            for &(d, p, conf) in confidential {
+                // Confidential folders: the department loses access, the
+                // owning team keeps it (Most-Specific-Override in action).
+                rs.push((dept_groups[d], conf, false));
+                rs.push((team_groups[d][p], conf, true));
+            }
+            for &(uid, h) in homes {
+                if m < 6 || rng.gen_bool(0.3) {
+                    rs.push((uid, h, true));
+                }
+            }
+            // Cross-team sharing: a pool of folders that several teams and
+            // individual users are granted directly. Shared anchors are what
+            // correlate subjects' rights — many subjects change their ACL at
+            // the same document positions, so DOL transitions are shared
+            // while per-subject CAMs each pay for their own labels.
+            // A real folder ACL lists *many* subjects at once: the anchor is
+            // one document position (a couple of DOL transitions) but every
+            // listed subject's per-user CAM pays its own labels there. This
+            // multiplicity is the source of the paper's orders-of-magnitude
+            // DOL-vs-CAM gap.
+            for (i, &(d, p, proj)) in project_roots.iter().enumerate() {
+                if i % 4 != 0 {
+                    continue; // every 4th project is a shared area
+                }
+                let _ = (d, p);
+                for _ in 0..rng.gen_range(2..8) {
+                    let td = rng.gen_range(0..cfg.departments);
+                    let tp = rng.gen_range(0..cfg.projects_per_dept);
+                    if rng.gen_bool(0.7) {
+                        rs.push((team_groups[td][tp], proj, true));
+                    }
+                }
+                let listed = rng.gen_range(5..(cfg.users / 8).max(6));
+                for _ in 0..listed {
+                    let u = users[rng.gen_range(0..users.len())].0;
+                    if rng.gen_bool(0.6) {
+                        rs.push((u, proj, true));
+                    }
+                }
+            }
+            // Individual ad-hoc grants: users given access to random
+            // project folders outside their teams (fragmenting per-user
+            // rights the way real collaboration does).
+            for &(uid, _) in users {
+                if rng.gen_bool(0.35) {
+                    for _ in 0..rng.gen_range(1..3) {
+                        let k = rng.gen_range(0..project_roots.len());
+                        rs.push((uid, project_roots[k].2, true));
+                    }
+                }
+            }
+        }
+        out.push(rs);
+    }
+    out
+}
+
+impl LiveLinkWorld {
+    /// Number of action modes.
+    pub fn modes(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Total subjects (users + groups).
+    pub fn subject_count(&self) -> usize {
+        self.subjects.len()
+    }
+
+    /// The cascade rule set of one mode.
+    pub fn rules(&self, mode: usize) -> &CascadeRules {
+        &self.rules[mode]
+    }
+
+    /// Department folder roots (rule anchors), exposed for tests.
+    pub fn dept_roots(&self) -> &[NodeId] {
+        &self.dept_roots
+    }
+
+    /// Document-order ACL row-change stream for a mode, optionally
+    /// restricted to a subject subset (see
+    /// [`CascadeRules::row_stream`]).
+    pub fn row_stream(
+        &self,
+        mode: usize,
+        restrict: Option<&[SubjectId]>,
+    ) -> Vec<(u64, BitVec)> {
+        self.rules[mode].row_stream(&self.doc, restrict)
+    }
+
+    /// One subject's accessibility column for a mode.
+    pub fn subject_column(&self, subject: SubjectId, mode: usize) -> BitVec {
+        self.rules[mode].column(&self.doc, subject)
+    }
+
+    /// A **user's** effective accessibility: their own subject OR-ed with
+    /// every group they transitively belong to (paper §4 footnote 4). This
+    /// is what the per-user CAM/DOL comparison of Figure 4(b) labels.
+    pub fn user_effective_column(&self, user: SubjectId, mode: usize) -> BitVec {
+        let mut col = BitVec::zeros(self.doc.len());
+        for s in self.subjects.effective_subjects(user) {
+            col.or_assign(&self.subject_column(s, mode));
+        }
+        col
+    }
+
+    /// Samples `n` distinct subjects uniformly (both users and groups, as in
+    /// the paper's subject-scaling plots).
+    pub fn sample_subjects(&self, n: usize, seed: u64) -> Vec<SubjectId> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut all: Vec<SubjectId> = self.subjects.iter().collect();
+        all.shuffle(&mut rng);
+        all.truncate(n.min(all.len()));
+        all
+    }
+
+    /// Samples `n` distinct users.
+    pub fn sample_users(&self, n: usize, seed: u64) -> Vec<SubjectId> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut all: Vec<SubjectId> = self.subjects.users().collect();
+        all.shuffle(&mut rng);
+        all.truncate(n.min(all.len()));
+        all
+    }
+}
+
+/// Grows a random folder tree of roughly `budget` nodes under the currently
+/// open element; returns a "confidential" folder node if one was created.
+fn grow_folders(
+    b: &mut DocumentBuilder,
+    rng: &mut StdRng,
+    budget: usize,
+    base_depth: usize,
+) -> Option<NodeId> {
+    let mut confidential = None;
+    let mut remaining = budget as i64;
+    // Recursive helper via explicit stack of open folder depths.
+    fn folder(
+        b: &mut DocumentBuilder,
+        rng: &mut StdRng,
+        remaining: &mut i64,
+        depth: usize,
+        confidential: &mut Option<NodeId>,
+    ) {
+        // Documents in this folder.
+        for _ in 0..rng.gen_range(0..5) {
+            if *remaining <= 0 {
+                return;
+            }
+            b.leaf("document", None);
+            *remaining -= 1;
+        }
+        // Subfolders, thinning out with depth (max total depth ≤ 19: the
+        // folder chain starts at depth ~3 and is capped at 16 levels here).
+        if depth >= 16 {
+            return;
+        }
+        let fanout_p = (0.75 - depth as f64 * 0.04).max(0.08);
+        while *remaining > 0 && rng.gen_bool(fanout_p) {
+            let f = b.open("folder");
+            *remaining -= 1;
+            if confidential.is_none() && rng.gen_bool(0.08) {
+                *confidential = Some(f);
+            }
+            folder(b, rng, remaining, depth + 1, confidential);
+            b.close();
+        }
+    }
+    while remaining > 0 {
+        let f = b.open("folder");
+        remaining -= 1;
+        if confidential.is_none() && rng.gen_bool(0.08) {
+            confidential = Some(f);
+        }
+        folder(b, rng, &mut remaining, base_depth + 1, &mut confidential);
+        b.close();
+    }
+    confidential
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> LiveLinkWorld {
+        LiveLinkWorld::generate(&LiveLinkConfig {
+            departments: 4,
+            projects_per_dept: 3,
+            project_size: 80,
+            users: 60,
+            modes: 10,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn shape_is_calibrated() {
+        let w = LiveLinkWorld::generate(&LiveLinkConfig::default());
+        w.doc.check_integrity().unwrap();
+        let s = w.doc.stats();
+        assert!(
+            s.avg_depth > 3.5 && s.avg_depth < 12.0,
+            "avg depth {} out of LiveLink range",
+            s.avg_depth
+        );
+        assert!(s.max_depth <= 19, "max depth {} exceeds 19", s.max_depth);
+        assert!(s.nodes > 2000);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = world();
+        let b = world();
+        assert_eq!(a.doc.to_xml(), b.doc.to_xml());
+        assert_eq!(a.row_stream(0, None).len(), b.row_stream(0, None).len());
+    }
+
+    #[test]
+    fn subject_correlation_bounds_distinct_rows() {
+        let w = world();
+        let stream = w.row_stream(0, None);
+        let distinct: std::collections::HashSet<&BitVec> =
+            stream.iter().map(|(_, r)| r).collect();
+        // Correlated grants keep distinct ACLs far below both bounds of
+        // §2.1: min(|D|, 2^|S|).
+        assert!(
+            distinct.len() < w.doc.len() / 4,
+            "{} distinct rows",
+            distinct.len()
+        );
+        // And transitions are sparse relative to the document.
+        assert!(stream.len() < w.doc.len() / 2);
+    }
+
+    #[test]
+    fn user_rights_include_groups() {
+        let w = world();
+        let user = w.subjects.get("user0").unwrap();
+        let own = w.subject_column(user, 0);
+        let eff = w.user_effective_column(user, 0);
+        assert!(eff.count_ones() >= own.count_ones());
+        // Mode 0 grants the company group the whole workspace, so any user
+        // sees at least that much.
+        assert!(eff.count_ones() > 0);
+    }
+
+    #[test]
+    fn confidential_override_holds() {
+        // Find a confidential rule (dept deny + team grant at same node).
+        let w = world();
+        let rs = w.rules(0);
+        assert!(!rs.is_empty());
+        // At minimum, every department-grant mode-0 run makes dept members
+        // see their department.
+        let dept = w.subjects.get("dept0").unwrap();
+        let col = w.subject_column(dept, 0);
+        let _ = col.count_ones();
+    }
+
+    #[test]
+    fn sampling_is_stable_and_distinct() {
+        let w = world();
+        let a = w.sample_subjects(10, 3);
+        let b = w.sample_subjects(10, 3);
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 10);
+        let users = w.sample_users(5, 4);
+        assert!(users
+            .iter()
+            .all(|&u| w.subjects.kind(u) == dol_acl::SubjectKind::User));
+    }
+
+    #[test]
+    fn row_stream_restriction_matches_columns() {
+        let w = world();
+        let subset = w.sample_subjects(6, 9);
+        let stream = w.row_stream(2, Some(&subset));
+        for (i, &s) in subset.iter().enumerate() {
+            let col = w.subject_column(s, 2);
+            for p in (0..w.doc.len() as u64).step_by(37) {
+                let j = stream.partition_point(|&(q, _)| q <= p) - 1;
+                assert_eq!(
+                    stream[j].1.get(i),
+                    col.get(p as usize),
+                    "subject {s} pos {p}"
+                );
+            }
+        }
+    }
+}

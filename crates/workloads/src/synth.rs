@@ -1,0 +1,204 @@
+//! Synthetic access controls (paper §5).
+//!
+//! "We generated synthetic access controls on XMark benchmarks by randomly
+//! choosing some nodes from the document as seeds, and then labeling these
+//! seeds as accessible or non-accessible. We simulate horizontal structural
+//! locality by randomly setting the seeds' direct siblings with the same
+//! accessibility, provided that the siblings are not themselves seeds. Then,
+//! we simulate vertical structural locality by propagating accessibilities
+//! of labeled nodes to their descendants using the Most-Specific-Override
+//! policy … We always choose the document root as seed to ensure all nodes
+//! be labeled."
+
+use dol_acl::{AccessibilityMap, BitVec, SubjectId};
+use dol_xml::Document;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic labeling.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthAclConfig {
+    /// Fraction of nodes chosen as seeds ("propagation ratio").
+    pub propagation_ratio: f64,
+    /// Fraction of seeds labeled accessible ("accessibility ratio").
+    pub accessibility_ratio: f64,
+    /// Probability that a seed's non-seed direct sibling copies its label
+    /// (horizontal locality).
+    pub sibling_locality: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthAclConfig {
+    fn default() -> Self {
+        Self {
+            propagation_ratio: 0.03,
+            accessibility_ratio: 0.5,
+            sibling_locality: 0.5,
+            seed: 17,
+        }
+    }
+}
+
+/// Generates a single subject's accessibility column.
+pub fn synth_single(doc: &Document, cfg: &SynthAclConfig) -> BitVec {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    synth_column(doc, cfg, &mut rng)
+}
+
+/// Generates `subjects` independent columns as an [`AccessibilityMap`]
+/// (uncorrelated subjects — the §2.1 worst-case regime).
+pub fn synth_multi(doc: &Document, cfg: &SynthAclConfig, subjects: usize) -> AccessibilityMap {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut map = AccessibilityMap::new(subjects, doc.len());
+    for s in 0..subjects {
+        *map.column_mut(SubjectId(s as u16)) = synth_column(doc, cfg, &mut rng);
+    }
+    map
+}
+
+fn synth_column(doc: &Document, cfg: &SynthAclConfig, rng: &mut StdRng) -> BitVec {
+    let n = doc.len();
+    // 1. Seeds, root forced.
+    let mut label: Vec<Option<bool>> = vec![None; n];
+    let mut is_seed = vec![false; n];
+    for i in 0..n {
+        if i == 0 || rng.gen_bool(cfg.propagation_ratio) {
+            is_seed[i] = true;
+            label[i] = Some(rng.gen_bool(cfg.accessibility_ratio));
+        }
+    }
+    // 2. Horizontal locality: non-seed siblings copy the seed's label.
+    for id in doc.preorder() {
+        if !is_seed[id.index()] {
+            continue;
+        }
+        let Some(parent) = doc.parent(id) else { continue };
+        let val = label[id.index()].unwrap();
+        for sib in doc.children(parent) {
+            if sib != id && !is_seed[sib.index()] && rng.gen_bool(cfg.sibling_locality) {
+                label[sib.index()] = Some(val);
+            }
+        }
+    }
+    // 3. Vertical locality: Most-Specific-Override — each node inherits from
+    //    its closest labeled ancestor-or-self.
+    let mut acc = BitVec::zeros(n);
+    let mut effective = vec![false; n];
+    for id in doc.preorder() {
+        let inherited = doc
+            .parent(id)
+            .map(|p| effective[p.index()])
+            .unwrap_or(false);
+        let v = label[id.index()].unwrap_or(inherited);
+        effective[id.index()] = v;
+        if v {
+            acc.set(id.index(), true);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dol_xml::parse;
+
+    fn doc() -> Document {
+        crate::xmark::xmark(&crate::xmark::XmarkConfig {
+            scale: 0.05,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = doc();
+        let cfg = SynthAclConfig::default();
+        assert_eq!(synth_single(&d, &cfg), synth_single(&d, &cfg));
+    }
+
+    #[test]
+    fn accessibility_ratio_moves_density() {
+        let d = doc();
+        let lo = synth_single(
+            &d,
+            &SynthAclConfig {
+                accessibility_ratio: 0.1,
+                ..Default::default()
+            },
+        );
+        let hi = synth_single(
+            &d,
+            &SynthAclConfig {
+                accessibility_ratio: 0.9,
+                ..Default::default()
+            },
+        );
+        let dl = lo.count_ones() as f64 / lo.len() as f64;
+        let dh = hi.count_ones() as f64 / hi.len() as f64;
+        assert!(dl < 0.35, "low ratio density {dl}");
+        assert!(dh > 0.65, "high ratio density {dh}");
+    }
+
+    #[test]
+    fn propagation_ratio_controls_fragmentation() {
+        // More seeds ⇒ more transitions in document order.
+        let d = doc();
+        let count_transitions = |col: &BitVec| {
+            let mut t = 1;
+            for i in 1..col.len() {
+                if col.get(i) != col.get(i - 1) {
+                    t += 1;
+                }
+            }
+            t
+        };
+        let sparse = synth_single(
+            &d,
+            &SynthAclConfig {
+                propagation_ratio: 0.01,
+                ..Default::default()
+            },
+        );
+        let dense = synth_single(
+            &d,
+            &SynthAclConfig {
+                propagation_ratio: 0.3,
+                ..Default::default()
+            },
+        );
+        assert!(count_transitions(&dense) > 2 * count_transitions(&sparse));
+    }
+
+    #[test]
+    fn structural_locality_beats_random_labeling() {
+        // The whole point of the scheme: propagated labels produce far fewer
+        // document-order transitions than independently random bits.
+        let d = doc();
+        let col = synth_single(&d, &SynthAclConfig::default());
+        let mut transitions = 1u32;
+        for i in 1..col.len() {
+            if col.get(i) != col.get(i - 1) {
+                transitions += 1;
+            }
+        }
+        assert!(
+            (transitions as usize) < d.len() / 5,
+            "{transitions} transitions on {} nodes",
+            d.len()
+        );
+    }
+
+    #[test]
+    fn multi_subject_columns_are_independent() {
+        let d = parse("<a><b/><c/><d/></a>").unwrap();
+        let map = synth_multi(&d, &SynthAclConfig::default(), 8);
+        assert_eq!(map.subjects(), 8);
+        // With 8 independent columns over 4 nodes, not all can be equal.
+        let distinct: std::collections::HashSet<String> = (0..8)
+            .map(|s| map.column(SubjectId(s)).to_string())
+            .collect();
+        assert!(distinct.len() > 1);
+    }
+}

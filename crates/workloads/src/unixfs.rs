@@ -1,0 +1,512 @@
+//! A multi-user Unix file-system surrogate.
+//!
+//! The paper's second real dataset is a University of Waterloo multi-user
+//! Unix file system: 182 users, 65 groups, over 1.3 million files and
+//! directories. This simulator generates a directory tree whose per-node
+//! `owner / group / mode-bits` metadata follows the usual administrative
+//! conventions (ownership inherited down directories with occasional
+//! hand-offs, a small set of common permission patterns), and derives
+//! per-subject accessibility with the standard Unix permission algorithm:
+//!
+//! * a **user subject** `u` may access a node in mode `m` iff `u` owns it
+//!   and the owner bit of `m` is set, or `u` does not own it and the other
+//!   bit is set;
+//! * a **group subject** `g` may access it iff the node's group is `g` and
+//!   the group bit is set, or otherwise the other bit is set;
+//! * a user's *effective* rights OR their user subject with their groups'
+//!   subjects, as in the paper's subject model.
+//!
+//! Because most files share a handful of `(owner, group, mode)` patterns,
+//! subjects' rights are heavily correlated — the Unix-side evidence for the
+//! paper's codebook-compression argument.
+
+use dol_acl::{AccessOracle, BitVec, SubjectCatalog, SubjectId};
+use dol_xml::{Document, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Simulator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct UnixFsConfig {
+    /// Approximate total node count (files + directories).
+    pub nodes: usize,
+    /// Number of users (the real system had 182).
+    pub users: usize,
+    /// Number of groups (the real system had 65).
+    pub groups: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UnixFsConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 30_000,
+            users: 182,
+            groups: 65,
+            seed: 65,
+        }
+    }
+}
+
+/// The three Unix action modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnixMode {
+    /// `r`
+    Read,
+    /// `w`
+    Write,
+    /// `x`
+    Execute,
+}
+
+impl UnixMode {
+    /// All three modes.
+    pub const ALL: [UnixMode; 3] = [UnixMode::Read, UnixMode::Write, UnixMode::Execute];
+
+    /// Bit shift of the owner bit for this mode (`r` = 8, `w` = 7, `x` = 6).
+    fn owner_shift(self) -> u16 {
+        match self {
+            UnixMode::Read => 8,
+            UnixMode::Write => 7,
+            UnixMode::Execute => 6,
+        }
+    }
+}
+
+/// Per-node metadata.
+#[derive(Debug, Clone, Copy)]
+struct Meta {
+    owner: u16,
+    group: u16,
+    /// Classic 9-bit permission word (e.g. `0o755`).
+    mode: u16,
+}
+
+/// The generated world.
+pub struct UnixFsWorld {
+    /// The directory tree (`dir` / `file` elements with name values).
+    pub doc: Document,
+    /// Users (ids `0..users`) then groups (ids `users..users+groups`).
+    pub subjects: SubjectCatalog,
+    meta: Vec<Meta>,
+    users: usize,
+    groups: usize,
+}
+
+impl UnixFsWorld {
+    /// Generates a world.
+    pub fn generate(cfg: &UnixFsConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut subjects = SubjectCatalog::new();
+        for u in 0..cfg.users {
+            subjects.add_user(&format!("user{u}"));
+        }
+        let mut primary_group = Vec::with_capacity(cfg.users);
+        for g in 0..cfg.groups {
+            subjects.add_group(&format!("group{g}"));
+        }
+        for u in 0..cfg.users {
+            let g = rng.gen_range(0..cfg.groups);
+            primary_group.push(g as u16);
+            subjects.add_membership(
+                SubjectId(u as u16),
+                SubjectId((cfg.users + g) as u16),
+            );
+            if rng.gen_bool(0.3) {
+                let extra = rng.gen_range(0..cfg.groups);
+                subjects.add_membership(
+                    SubjectId(u as u16),
+                    SubjectId((cfg.users + extra) as u16),
+                );
+            }
+        }
+
+        let mut b = Document::builder();
+        let mut meta: Vec<Meta> = Vec::with_capacity(cfg.nodes);
+        let root_meta = Meta {
+            owner: 0,
+            group: 0,
+            mode: 0o755,
+        };
+        b.open("dir");
+        meta.push(root_meta);
+        let mut remaining = cfg.nodes as i64 - 1;
+        // Top-level areas: /home-like user trees plus shared areas.
+        let mut top = 0usize;
+        while remaining > 0 {
+            // Area styles pair directory and file modes the way umask-driven
+            // creation does: the other/group visibility of files matches
+            // their directories, which is the locality DOL compresses.
+            let (dir_mode, default_file_mode) = *if top.is_multiple_of(3) {
+                // A user's home area: stricter styles.
+                [(0o700, 0o600), (0o750, 0o640), (0o755, 0o644)]
+                    .choose(&mut rng)
+                    .unwrap()
+            } else {
+                // A shared project area: mostly world-readable.
+                [
+                    (0o755, 0o644),
+                    (0o755, 0o644),
+                    (0o775, 0o664),
+                    (0o750, 0o640),
+                ]
+                .choose(&mut rng)
+                .unwrap()
+            };
+            let inherited = if top.is_multiple_of(3) {
+                let u = rng.gen_range(0..cfg.users) as u16;
+                Meta {
+                    owner: u,
+                    group: primary_group[u as usize],
+                    mode: dir_mode,
+                }
+            } else {
+                Meta {
+                    owner: rng.gen_range(0..cfg.users) as u16,
+                    group: rng.gen_range(0..cfg.groups) as u16,
+                    mode: dir_mode,
+                }
+            };
+            top += 1;
+            grow_dir(
+                &mut b,
+                &mut meta,
+                &mut rng,
+                inherited,
+                default_file_mode,
+                &primary_group,
+                cfg,
+                &mut remaining,
+                1,
+            );
+        }
+        b.close();
+        let doc = b.finish().expect("balanced build");
+        debug_assert_eq!(doc.len(), meta.len());
+        UnixFsWorld {
+            doc,
+            subjects,
+            meta,
+            users: cfg.users,
+            groups: cfg.groups,
+        }
+    }
+
+    /// Total subjects (users + groups), the paper's 247 for the real system.
+    pub fn subject_count(&self) -> usize {
+        self.users + self.groups
+    }
+
+    /// Number of users.
+    pub fn user_count(&self) -> usize {
+        self.users
+    }
+
+    /// Whether `subject` (by the Unix algorithm) can access `node` in `mode`.
+    pub fn accessible(&self, subject: SubjectId, node: NodeId, mode: UnixMode) -> bool {
+        let m = &self.meta[node.index()];
+        let shift = mode.owner_shift();
+        let s = subject.index();
+        if s < self.users {
+            if m.owner as usize == s {
+                m.mode >> shift & 1 == 1
+            } else {
+                m.mode >> (shift - 6) & 1 == 1 // other bit
+            }
+        } else {
+            let g = s - self.users;
+            if m.group as usize == g {
+                m.mode >> (shift - 3) & 1 == 1 // group bit
+            } else {
+                m.mode >> (shift - 6) & 1 == 1
+            }
+        }
+    }
+
+    /// An [`AccessOracle`] over all subjects for one mode.
+    pub fn oracle(&self, mode: UnixMode) -> UnixOracle<'_> {
+        UnixOracle {
+            world: self,
+            mode,
+            restrict: None,
+        }
+    }
+
+    /// An oracle over a subject subset (rows indexed by subset position).
+    pub fn oracle_for(&self, mode: UnixMode, subjects: Vec<SubjectId>) -> UnixOracle<'_> {
+        UnixOracle {
+            world: self,
+            mode,
+            restrict: Some(subjects),
+        }
+    }
+
+    /// A user's effective accessibility column (user OR their groups).
+    pub fn user_effective_column(&self, user: SubjectId, mode: UnixMode) -> BitVec {
+        let eff = self.subjects.effective_subjects(user);
+        BitVec::from_fn(self.doc.len(), |i| {
+            eff.iter()
+                .any(|&s| self.accessible(s, NodeId(i as u32), mode))
+        })
+    }
+
+    /// One subject's accessibility column.
+    pub fn subject_column(&self, subject: SubjectId, mode: UnixMode) -> BitVec {
+        BitVec::from_fn(self.doc.len(), |i| {
+            self.accessible(subject, NodeId(i as u32), mode)
+        })
+    }
+
+    /// Samples `n` distinct subjects.
+    pub fn sample_subjects(&self, n: usize, seed: u64) -> Vec<SubjectId> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut all: Vec<SubjectId> = self.subjects.iter().collect();
+        all.shuffle(&mut rng);
+        all.truncate(n.min(all.len()));
+        all
+    }
+}
+
+/// Streaming row oracle for a [`UnixFsWorld`] mode.
+pub struct UnixOracle<'a> {
+    world: &'a UnixFsWorld,
+    mode: UnixMode,
+    restrict: Option<Vec<SubjectId>>,
+}
+
+impl AccessOracle for UnixOracle<'_> {
+    fn subject_count(&self) -> usize {
+        self.restrict
+            .as_ref()
+            .map(|r| r.len())
+            .unwrap_or_else(|| self.world.subject_count())
+    }
+
+    fn acl_row(&self, node: NodeId, out: &mut BitVec) {
+        match &self.restrict {
+            Some(list) => {
+                out.resize(list.len());
+                out.fill(false);
+                for (i, &s) in list.iter().enumerate() {
+                    if self.world.accessible(s, node, self.mode) {
+                        out.set(i, true);
+                    }
+                }
+            }
+            None => {
+                let w = self.world;
+                let m = &w.meta[node.index()];
+                let shift = self.mode.owner_shift();
+                let other = m.mode >> (shift - 6) & 1 == 1;
+                out.resize(w.subject_count());
+                out.fill(other);
+                // Owner and group overrides.
+                out.set(
+                    m.owner as usize,
+                    m.mode >> shift & 1 == 1,
+                );
+                out.set(
+                    w.users + m.group as usize,
+                    m.mode >> (shift - 3) & 1 == 1,
+                );
+            }
+        }
+    }
+}
+
+/// Grows one directory subtree, inheriting metadata with occasional
+/// ownership hand-offs and permission changes. Files predominantly take the
+/// directory's *default file mode* — permission settings run in
+/// per-directory batches on real systems, and that locality is what keeps
+/// DOL transitions sparse.
+#[allow(clippy::too_many_arguments)]
+fn grow_dir(
+    b: &mut dol_xml::DocumentBuilder,
+    meta: &mut Vec<Meta>,
+    rng: &mut StdRng,
+    inherited: Meta,
+    default_file_mode: u16,
+    primary_group: &[u16],
+    cfg: &UnixFsConfig,
+    remaining: &mut i64,
+    depth: usize,
+) {
+    if *remaining <= 0 {
+        return;
+    }
+    b.open("dir");
+    meta.push(inherited);
+    *remaining -= 1;
+    // Files in this directory: the directory default, rarely overridden.
+    let files = rng.gen_range(0..12);
+    for _ in 0..files {
+        if *remaining <= 0 {
+            break;
+        }
+        // Per-file overrides keep the same other-visibility as the default
+        // (scripts, read-only data): one-off private files are rare enough
+        // on real systems that per-directory defaults dominate.
+        let mode = if rng.gen_bool(0.05) {
+            *[0o664, 0o444, 0o755].choose(rng).unwrap()
+        } else {
+            default_file_mode
+        };
+        b.leaf("file", None);
+        meta.push(Meta {
+            mode,
+            ..inherited
+        });
+        *remaining -= 1;
+    }
+    // Subdirectories.
+    if depth < 12 {
+        let subdirs = rng.gen_range(0..4);
+        for _ in 0..subdirs {
+            if *remaining <= 0 {
+                break;
+            }
+            let mut child = inherited;
+            let mut child_file_mode = default_file_mode;
+            if rng.gen_bool(0.12) {
+                let u = rng.gen_range(0..cfg.users) as u16;
+                child.owner = u;
+                child.group = primary_group[u as usize];
+            }
+            if rng.gen_bool(0.15) {
+                let (dm, fm) = *[
+                    (0o755, 0o644),
+                    (0o750, 0o640),
+                    (0o700, 0o600),
+                    (0o775, 0o664),
+                ]
+                .choose(rng)
+                .unwrap();
+                child.mode = dm;
+                child_file_mode = fm;
+            }
+            grow_dir(
+                b,
+                meta,
+                rng,
+                child,
+                child_file_mode,
+                primary_group,
+                cfg,
+                remaining,
+                depth + 1,
+            );
+        }
+    }
+    b.close();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> UnixFsWorld {
+        UnixFsWorld::generate(&UnixFsConfig {
+            nodes: 4000,
+            users: 40,
+            groups: 12,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        let a = world();
+        let b = world();
+        assert_eq!(a.doc.to_xml(), b.doc.to_xml());
+        a.doc.check_integrity().unwrap();
+        assert!(a.doc.len() >= 3500, "{} nodes", a.doc.len());
+        assert_eq!(a.subject_count(), 52);
+    }
+
+    #[test]
+    fn unix_semantics() {
+        let w = world();
+        // Find a node owned by some user with mode 0o700-style privacy.
+        for p in 0..w.doc.len() {
+            let n = NodeId(p as u32);
+            let m = &w.meta[p];
+            let owner = SubjectId(m.owner);
+            let owner_read = m.mode >> 8 & 1 == 1;
+            assert_eq!(w.accessible(owner, n, UnixMode::Read), owner_read);
+            // A non-owner user uses the other bit.
+            let stranger = SubjectId(if m.owner == 0 { 1 } else { 0 });
+            assert_eq!(
+                w.accessible(stranger, n, UnixMode::Read),
+                m.mode >> 2 & 1 == 1
+            );
+            // The owning group uses the group bit.
+            let gsub = SubjectId((w.users + m.group as usize) as u16);
+            assert_eq!(
+                w.accessible(gsub, n, UnixMode::Read),
+                m.mode >> 5 & 1 == 1
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_matches_direct_accessibility() {
+        let w = world();
+        let oracle = w.oracle(UnixMode::Write);
+        let mut row = BitVec::zeros(0);
+        for p in (0..w.doc.len()).step_by(97) {
+            oracle.acl_row(NodeId(p as u32), &mut row);
+            for s in 0..w.subject_count() {
+                assert_eq!(
+                    row.get(s),
+                    w.accessible(SubjectId(s as u16), NodeId(p as u32), UnixMode::Write),
+                    "node {p} subject {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_oracle() {
+        let w = world();
+        let subset = w.sample_subjects(5, 1);
+        let oracle = w.oracle_for(UnixMode::Read, subset.clone());
+        assert_eq!(oracle.subject_count(), 5);
+        let mut row = BitVec::zeros(0);
+        oracle.acl_row(NodeId(10), &mut row);
+        for (i, &s) in subset.iter().enumerate() {
+            assert_eq!(row.get(i), w.accessible(s, NodeId(10), UnixMode::Read));
+        }
+    }
+
+    #[test]
+    fn effective_rights_superset_of_own() {
+        let w = world();
+        let u = SubjectId(3);
+        let own = w.subject_column(u, UnixMode::Read);
+        let eff = w.user_effective_column(u, UnixMode::Read);
+        for i in 0..own.len() {
+            assert!(!own.get(i) || eff.get(i));
+        }
+    }
+
+    #[test]
+    fn correlation_keeps_distinct_rows_small() {
+        let w = world();
+        let oracle = w.oracle(UnixMode::Read);
+        let mut row = BitVec::zeros(0);
+        let mut distinct = std::collections::HashSet::new();
+        for p in 0..w.doc.len() {
+            oracle.acl_row(NodeId(p as u32), &mut row);
+            distinct.insert(row.clone());
+        }
+        // (owner, group, mode-pattern) combinations are few relative to both
+        // node count and 2^subjects.
+        assert!(
+            distinct.len() < w.doc.len() / 4,
+            "{} distinct rows",
+            distinct.len()
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Error types for document construction and parsing.
+
+use std::fmt;
+
+/// Errors produced while building or manipulating a [`crate::Document`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// `close()` was called with no open element.
+    UnbalancedClose,
+    /// `finish()` was called while elements were still open.
+    UnclosedElements(usize),
+    /// The builder produced an empty document (no root element).
+    EmptyDocument,
+    /// A second root element was started after the first one closed.
+    MultipleRoots,
+    /// A node id was out of range for this document.
+    InvalidNodeId(u32),
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnbalancedClose => write!(f, "close() without matching open()"),
+            XmlError::UnclosedElements(n) => write!(f, "{n} element(s) left open at finish()"),
+            XmlError::EmptyDocument => write!(f, "document has no root element"),
+            XmlError::MultipleRoots => write!(f, "document has more than one root element"),
+            XmlError::InvalidNodeId(id) => write!(f, "node id {id} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// A parse failure with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// 1-based line number of the error.
+    pub line: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(offset: usize, line: usize, message: impl Into<String>) -> Self {
+        Self {
+            offset,
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XML parse error at line {} (byte {}): {}",
+            self.line, self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            XmlError::UnclosedElements(2).to_string(),
+            "2 element(s) left open at finish()"
+        );
+        let p = ParseError::new(10, 3, "oops");
+        assert!(p.to_string().contains("line 3"));
+        assert!(p.to_string().contains("oops"));
+    }
+}

@@ -1,0 +1,398 @@
+//! A pull-based streaming XML event reader.
+//!
+//! The paper's conclusion observes that because the DOL is a document-order
+//! structure, "it is easy to embed into streaming XML data as control
+//! characters and many one-pass algorithms on streaming XML data can be made
+//! secure". This reader provides the streaming substrate: it lexes an XML
+//! byte string into [`XmlEvent`]s without building a tree, in one pass.
+//!
+//! **Position convention.** Streaming consumers (the secure stream filter in
+//! `dol-core`) assign document-order positions to: each [`XmlEvent::Start`]
+//! (one node), then each of its attributes (one pseudo-node each, in
+//! attribute order), and each [`XmlEvent::Text`] (one pseudo-node). This is
+//! the [`crate::parse`] convention *without* single-text coalescing — a
+//! streaming filter cannot know whether more content follows, so text is
+//! always its own node. DOLs used for stream filtering must be built with
+//! the same convention (see `positions` in the tests, and
+//! `dol_core::stream`).
+
+use crate::error::ParseError;
+
+/// One streaming event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name attr="v" …>` (or the opening half of `<name …/>`; the reader
+    /// synthesizes the matching [`XmlEvent::End`] for self-closing tags).
+    Start {
+        /// Element name.
+        name: String,
+        /// Attributes in document order (entity-decoded values).
+        attributes: Vec<(String, String)>,
+    },
+    /// Character data (entity-decoded; whitespace-only chunks are skipped).
+    Text(String),
+    /// `</name>`.
+    End {
+        /// Element name.
+        name: String,
+    },
+}
+
+/// A pull parser over an XML string.
+pub struct EventReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    /// Names of currently open elements (for matching checks).
+    stack: Vec<String>,
+    /// A pending synthesized End event (self-closing tags).
+    pending_end: Option<String>,
+    finished: bool,
+    root_seen: bool,
+}
+
+impl<'a> EventReader<'a> {
+    /// Creates a reader over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Self {
+            bytes: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            stack: Vec::new(),
+            pending_end: None,
+            finished: false,
+            root_seen: false,
+        }
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.pos, self.line, message)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn advance(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn until(&mut self, delim: &str) -> Result<String, ParseError> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            if self.starts_with(delim) {
+                let s = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                self.advance(delim.len());
+                return Ok(s);
+            }
+            self.bump();
+        }
+        Err(self.err(format!("unterminated construct, expected `{delim}`")))
+    }
+
+    fn read_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric()
+                || matches!(b, b'_' | b'-' | b'.' | b':')
+                || b >= 0x80;
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn decode(&self, raw: &str) -> Result<String, ParseError> {
+        decode_entities_str(raw)
+            .map_err(|m| ParseError::new(self.pos, self.line, m))
+    }
+
+    fn next_event(&mut self) -> Result<Option<XmlEvent>, ParseError> {
+        if let Some(name) = self.pending_end.take() {
+            self.stack.pop();
+            return Ok(Some(XmlEvent::End { name }));
+        }
+        loop {
+            if self.finished || self.peek().is_none() {
+                if !self.stack.is_empty() {
+                    return Err(self.err("unexpected end of input inside an element"));
+                }
+                if !self.root_seen {
+                    return Err(self.err("document has no root element"));
+                }
+                self.finished = true;
+                return Ok(None);
+            }
+            if self.peek() != Some(b'<') {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b) if b != b'<') {
+                    self.bump();
+                }
+                let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in text"))?;
+                if raw.trim().is_empty() {
+                    continue;
+                }
+                if self.stack.is_empty() {
+                    return Err(self.err("character data outside the root element"));
+                }
+                return Ok(Some(XmlEvent::Text(self.decode(raw)?)));
+            }
+            // Markup.
+            if self.starts_with("<!--") {
+                self.advance(4);
+                self.until("-->")?;
+            } else if self.starts_with("<![CDATA[") {
+                self.advance(9);
+                let data = self.until("]]>")?;
+                if self.stack.is_empty() {
+                    return Err(self.err("CDATA outside the root element"));
+                }
+                return Ok(Some(XmlEvent::Text(data)));
+            } else if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+                self.advance(9);
+                let mut depth = 0usize;
+                loop {
+                    match self.bump() {
+                        Some(b'[') => depth += 1,
+                        Some(b']') => depth = depth.saturating_sub(1),
+                        Some(b'>') if depth == 0 => break,
+                        Some(_) => {}
+                        None => return Err(self.err("unterminated DOCTYPE")),
+                    }
+                }
+            } else if self.starts_with("<?") {
+                self.advance(2);
+                self.until("?>")?;
+            } else if self.starts_with("</") {
+                self.advance(2);
+                let name = self.read_name()?;
+                self.skip_ws();
+                if self.bump() != Some(b'>') {
+                    return Err(self.err("expected `>` after closing tag name"));
+                }
+                match self.stack.pop() {
+                    Some(open) if open == name => return Ok(Some(XmlEvent::End { name })),
+                    Some(open) => {
+                        return Err(self.err(format!(
+                            "mismatched closing tag: expected `</{open}>`, found `</{name}>`"
+                        )))
+                    }
+                    None => {
+                        return Err(self.err(format!("closing `</{name}>` with nothing open")))
+                    }
+                }
+            } else {
+                self.bump(); // '<'
+                if self.stack.is_empty() && self.root_seen {
+                    return Err(self.err("multiple root elements"));
+                }
+                let name = self.read_name()?;
+                let mut attributes = Vec::new();
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b'>') => {
+                            self.bump();
+                            break;
+                        }
+                        Some(b'/') => {
+                            self.bump();
+                            if self.bump() != Some(b'>') {
+                                return Err(self.err("expected `/>`"));
+                            }
+                            self.pending_end = Some(name.clone());
+                            break;
+                        }
+                        Some(_) => {
+                            let attr = self.read_name()?;
+                            self.skip_ws();
+                            if self.bump() != Some(b'=') {
+                                return Err(
+                                    self.err(format!("expected `=` after attribute `{attr}`"))
+                                );
+                            }
+                            self.skip_ws();
+                            let quote = self
+                                .bump()
+                                .filter(|&q| q == b'"' || q == b'\'')
+                                .ok_or_else(|| self.err("expected quoted attribute value"))?;
+                            let raw =
+                                self.until(if quote == b'"' { "\"" } else { "'" })?;
+                            attributes.push((attr, self.decode(&raw)?));
+                        }
+                        None => return Err(self.err("unterminated start tag")),
+                    }
+                }
+                self.root_seen = true;
+                self.stack.push(name.clone());
+                return Ok(Some(XmlEvent::Start { name, attributes }));
+            }
+        }
+    }
+}
+
+impl Iterator for EventReader<'_> {
+    type Item = Result<XmlEvent, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.finished {
+            return None;
+        }
+        match self.next_event() {
+            Ok(Some(ev)) => Some(Ok(ev)),
+            Ok(None) => None,
+            Err(e) => {
+                self.finished = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Decodes the predefined entities and character references.
+fn decode_entities_str(raw: &str) -> Result<String, String> {
+    if !raw.contains('&') {
+        return Ok(raw.to_owned());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest.find(';').ok_or("unterminated entity reference")?;
+        let ent = &rest[1..semi];
+        match ent {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                let code = u32::from_str_radix(&ent[2..], 16)
+                    .map_err(|_| format!("bad character reference `&{ent};`"))?;
+                out.push(char::from_u32(code).ok_or("invalid code point")?);
+            }
+            _ if ent.starts_with('#') => {
+                let code: u32 = ent[1..]
+                    .parse()
+                    .map_err(|_| format!("bad character reference `&{ent};`"))?;
+                out.push(char::from_u32(code).ok_or("invalid code point")?);
+            }
+            _ => return Err(format!("unknown entity `&{ent};`")),
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(xml: &str) -> Vec<XmlEvent> {
+        EventReader::new(xml).map(|e| e.unwrap()).collect()
+    }
+
+    #[test]
+    fn simple_stream() {
+        let evs = events("<a><b x=\"1\"/>hi<c>t</c></a>");
+        assert_eq!(
+            evs,
+            vec![
+                XmlEvent::Start {
+                    name: "a".into(),
+                    attributes: vec![]
+                },
+                XmlEvent::Start {
+                    name: "b".into(),
+                    attributes: vec![("x".into(), "1".into())]
+                },
+                XmlEvent::End { name: "b".into() },
+                XmlEvent::Text("hi".into()),
+                XmlEvent::Start {
+                    name: "c".into(),
+                    attributes: vec![]
+                },
+                XmlEvent::Text("t".into()),
+                XmlEvent::End { name: "c".into() },
+                XmlEvent::End { name: "a".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn prolog_and_entities() {
+        let evs = events("<?xml version=\"1.0\"?><!-- c --><a k=\"&lt;\">&amp;&#65;</a>");
+        assert_eq!(evs.len(), 3);
+        assert_eq!(
+            evs[0],
+            XmlEvent::Start {
+                name: "a".into(),
+                attributes: vec![("k".into(), "<".into())]
+            }
+        );
+        assert_eq!(evs[1], XmlEvent::Text("&A".into()));
+    }
+
+    #[test]
+    fn errors_surface() {
+        assert!(EventReader::new("<a><b></a>").any(|e| e.is_err()));
+        assert!(EventReader::new("<a>").any(|e| e.is_err()));
+        assert!(EventReader::new("<a/><b/>").any(|e| e.is_err()));
+        assert!(EventReader::new("").any(|e| e.is_err()));
+    }
+
+    #[test]
+    fn stream_agrees_with_tree_parse_event_count() {
+        // With coalescing disabled, a reparse through ParseOptions matches
+        // the stream's node positions: Start+attrs+Text events.
+        let xml = "<a><b x=\"1\" y=\"2\">t1<c/>t2</b></a>";
+        let n_stream: usize = events(xml)
+            .iter()
+            .map(|e| match e {
+                XmlEvent::Start { attributes, .. } => 1 + attributes.len(),
+                XmlEvent::Text(_) => 1,
+                XmlEvent::End { .. } => 0,
+            })
+            .sum();
+        let opts = crate::ParseOptions {
+            coalesce_single_text: false,
+            ..Default::default()
+        };
+        let doc = crate::parse_with_options(xml, &opts).unwrap();
+        assert_eq!(n_stream, doc.len());
+    }
+}

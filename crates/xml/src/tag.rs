@@ -1,0 +1,130 @@
+//! Interned element names.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Reserved tag used for character-data pseudo-elements.
+pub const TEXT_TAG: &str = "#text";
+
+/// Prefix of tags representing attribute pseudo-elements (`@id`, `@category`, …).
+pub const ATTRIBUTE_PREFIX: char = '@';
+
+/// A compact identifier for an interned element name.
+///
+/// `TagId`s are dense (`0..interner.len()`), so they can index arrays such as
+/// tag histograms or per-tag posting lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TagId(pub u32);
+
+impl TagId {
+    /// The raw index of this tag.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TagId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A bidirectional map between element names and dense [`TagId`]s.
+///
+/// Interning keeps node records fixed-size (a `u32` per node) and makes tag
+/// comparison during pattern matching a single integer compare — tag names are
+/// only resolved back to strings at result-presentation time.
+#[derive(Debug, Default, Clone)]
+pub struct TagInterner {
+    names: Vec<Box<str>>,
+    ids: HashMap<Box<str>, TagId>,
+}
+
+impl TagInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its existing id if already present.
+    pub fn intern(&mut self, name: &str) -> TagId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = TagId(u32::try_from(self.names.len()).expect("more than u32::MAX distinct tags"));
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.ids.insert(boxed, id);
+        id
+    }
+
+    /// Looks up an already-interned name without modifying the interner.
+    pub fn get(&self, name: &str) -> Option<TagId> {
+        self.ids.get(name).copied()
+    }
+
+    /// Resolves a [`TagId`] back to its name.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn name(&self, id: TagId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct interned tags.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no tag has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(TagId, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TagId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TagId(i as u32), n.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = TagInterner::new();
+        let a = t.intern("item");
+        let b = t.intern("item");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_resolve() {
+        let mut t = TagInterner::new();
+        let ids: Vec<_> = ["site", "regions", "africa", "item"]
+            .iter()
+            .map(|n| t.intern(n))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+        assert_eq!(t.name(ids[2]), "africa");
+        assert_eq!(t.get("item"), Some(ids[3]));
+        assert_eq!(t.get("absent"), None);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut t = TagInterner::new();
+        t.intern("a");
+        t.intern("b");
+        let v: Vec<_> = t.iter().map(|(id, n)| (id.0, n.to_string())).collect();
+        assert_eq!(v, vec![(0, "a".to_string()), (1, "b".to_string())]);
+    }
+}

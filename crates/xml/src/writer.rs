@@ -1,0 +1,153 @@
+//! XML serialization.
+//!
+//! The serializer inverts the parser's conventions: `@name` pseudo-element
+//! children become attributes of their parent, `#text` pseudo-elements become
+//! character data, and an element value becomes its text content.
+
+use crate::document::{Document, NodeId};
+use crate::tag::{ATTRIBUTE_PREFIX, TEXT_TAG};
+use std::fmt::Write as _;
+
+impl Document {
+    /// Serializes the document to a compact XML string.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::with_capacity(self.len() * 16);
+        self.write_node(self.root(), &mut out, None, 0);
+        out
+    }
+
+    /// Serializes the document with newline + indentation formatting.
+    pub fn to_xml_pretty(&self, indent: usize) -> String {
+        let mut out = String::with_capacity(self.len() * 20);
+        self.write_node(self.root(), &mut out, Some(indent), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_node(&self, id: NodeId, out: &mut String, indent: Option<usize>, depth: usize) {
+        let name = self.name_of(id);
+        if name.starts_with(ATTRIBUTE_PREFIX) {
+            return; // written by the parent as an attribute
+        }
+        if let Some(w) = indent {
+            if depth > 0 {
+                out.push('\n');
+            }
+            out.push_str(&" ".repeat(w * depth));
+        }
+        if name == TEXT_TAG {
+            if let Some(v) = &self.node(id).value {
+                escape_text(v, out);
+            }
+            return;
+        }
+        let _ = write!(out, "<{name}");
+        let mut content_children = Vec::new();
+        for c in self.children(id) {
+            let cname = self.name_of(c);
+            if let Some(attr) = cname.strip_prefix(ATTRIBUTE_PREFIX) {
+                let _ = write!(out, " {attr}=\"");
+                if let Some(v) = &self.node(c).value {
+                    escape_attr(v, out);
+                }
+                out.push('"');
+            } else {
+                content_children.push(c);
+            }
+        }
+        let value = self.node(id).value.as_deref();
+        if value.is_none() && content_children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        let mut wrote_child_lines = false;
+        if let Some(v) = value {
+            escape_text(v, out);
+        }
+        for c in content_children {
+            // Text children stay inline even when pretty-printing, so mixed
+            // content round-trips without gaining spurious whitespace.
+            if self.name_of(c) == TEXT_TAG {
+                self.write_node(c, out, None, 0);
+            } else {
+                self.write_node(c, out, indent, depth + 1);
+                wrote_child_lines = indent.is_some();
+            }
+        }
+        if wrote_child_lines {
+            out.push('\n');
+            out.push_str(&" ".repeat(indent.unwrap_or(0) * depth));
+        }
+        let _ = write!(out, "</{name}>");
+    }
+}
+
+fn escape_text(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn escape_attr(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+
+    #[test]
+    fn roundtrip_simple() {
+        let src = r#"<site><regions><africa><item id="i0"><name>gold</name></item></africa></regions></site>"#;
+        let d = parse(src).unwrap();
+        assert_eq!(d.to_xml(), src);
+    }
+
+    #[test]
+    fn roundtrip_mixed_and_escapes() {
+        let src = "<text>a &amp; b<bold>x &lt; y</bold>tail</text>";
+        let d = parse(src).unwrap();
+        let ser = d.to_xml();
+        let d2 = parse(&ser).unwrap();
+        assert_eq!(d.len(), d2.len());
+        assert_eq!(ser, src);
+    }
+
+    #[test]
+    fn self_closing_when_empty() {
+        let d = parse("<a><b></b></a>").unwrap();
+        assert_eq!(d.to_xml(), "<a><b/></a>");
+    }
+
+    #[test]
+    fn pretty_output_reparses_identically() {
+        let src = "<a><b><c>v</c></b><d/></a>";
+        let d = parse(src).unwrap();
+        let pretty = d.to_xml_pretty(2);
+        assert!(pretty.contains('\n'));
+        let d2 = parse(&pretty).unwrap();
+        assert_eq!(d2.to_xml(), src);
+    }
+
+    #[test]
+    fn attribute_escaping() {
+        let src = r#"<a k="x &quot;q&quot; &amp; y"/>"#;
+        let d = parse(src).unwrap();
+        assert_eq!(d.to_xml(), src);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests: the streaming event reader agrees with the tree parser
+//! on random documents.
+
+use dol_xml::{parse_with_options, DocumentBuilder, EventReader, ParseOptions, XmlEvent};
+use proptest::prelude::*;
+
+const TAGS: [&str; 5] = ["alpha", "beta", "gamma", "delta", "eps"];
+
+fn arb_xml() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        (0usize..5, 0u8..5, proptest::option::of(0usize..3)),
+        1..80,
+    )
+    .prop_map(|raw| {
+        let mut b = DocumentBuilder::new();
+        b.open("root");
+        let mut depth = 1;
+        for (tag, action, attr) in raw {
+            match action {
+                0 if depth < 7 => {
+                    let id = b.open(TAGS[tag]);
+                    let _ = id;
+                    if let Some(a) = attr {
+                        b.attribute(&format!("a{a}"), "v & <w>");
+                    }
+                    depth += 1;
+                }
+                1 => {
+                    b.leaf(TAGS[tag], Some("text > & < data"));
+                }
+                2 => {
+                    b.text("chunk & <esc>");
+                }
+                _ => {
+                    if depth > 1 {
+                        b.close();
+                        depth -= 1;
+                    }
+                }
+            }
+        }
+        while depth > 0 {
+            b.close();
+            depth -= 1;
+        }
+        b.finish().unwrap().to_xml()
+    })
+}
+
+proptest! {
+    #[test]
+    fn event_stream_matches_tree_parse(xml in arb_xml()) {
+        let opts = ParseOptions {
+            coalesce_single_text: false,
+            ..Default::default()
+        };
+        let doc = parse_with_options(&xml, &opts).unwrap();
+        // Replay the event stream, assigning stream positions per the
+        // documented convention, and compare against the parsed arena.
+        let mut pos = 0u32;
+        let mut depth_stack: Vec<String> = Vec::new();
+        for ev in EventReader::new(&xml) {
+            match ev.unwrap() {
+                XmlEvent::Start { name, attributes } => {
+                    let id = dol_xml::NodeId(pos);
+                    prop_assert_eq!(doc.name_of(id), name.as_str());
+                    pos += 1;
+                    for (k, v) in &attributes {
+                        let aid = dol_xml::NodeId(pos);
+                        let expect_name = format!("@{k}");
+                        prop_assert_eq!(doc.name_of(aid), expect_name.as_str());
+                        prop_assert_eq!(doc.node(aid).value.as_deref(), Some(v.as_str()));
+                        pos += 1;
+                    }
+                    depth_stack.push(name);
+                }
+                XmlEvent::Text(t) => {
+                    let id = dol_xml::NodeId(pos);
+                    prop_assert_eq!(doc.name_of(id), "#text");
+                    prop_assert_eq!(doc.node(id).value.as_deref(), Some(t.as_str()));
+                    pos += 1;
+                }
+                XmlEvent::End { name } => {
+                    prop_assert_eq!(depth_stack.pop(), Some(name));
+                }
+            }
+        }
+        prop_assert!(depth_stack.is_empty());
+        prop_assert_eq!(pos as usize, doc.len());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests: random documents survive serialize → parse round trips and
+//! random structural edits preserve arena invariants.
+
+use dol_xml::{Document, DocumentBuilder, NodeId};
+use proptest::prelude::*;
+
+/// A recipe for building a random document: a preorder walk encoded as
+/// (tag index, children count) with bounded depth/width.
+#[derive(Debug, Clone)]
+enum Step {
+    Open(u8),
+    Leaf(u8, bool),
+    Close,
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    // Generate a random tree shape by a stack discipline simulation.
+    proptest::collection::vec((0u8..6, 0u8..4), 1..120).prop_map(|raw| {
+        let mut steps = vec![Step::Open(0)];
+        let mut depth = 1;
+        for (tag, action) in raw {
+            match action {
+                0 if depth < 8 => {
+                    steps.push(Step::Open(tag));
+                    depth += 1;
+                }
+                1 => steps.push(Step::Leaf(tag, false)),
+                2 => steps.push(Step::Leaf(tag, true)),
+                _ => {
+                    if depth > 1 {
+                        steps.push(Step::Close);
+                        depth -= 1;
+                    }
+                }
+            }
+        }
+        while depth > 0 {
+            steps.push(Step::Close);
+            depth -= 1;
+        }
+        steps
+    })
+}
+
+fn build(steps: &[Step]) -> Document {
+    const TAGS: [&str; 6] = ["alpha", "beta", "gamma", "delta", "eps", "zeta"];
+    let mut b = DocumentBuilder::new();
+    for s in steps {
+        match s {
+            Step::Open(t) => {
+                b.open(TAGS[*t as usize]);
+            }
+            Step::Leaf(t, valued) => {
+                b.leaf(TAGS[*t as usize], valued.then_some("some value & <markup>"));
+            }
+            Step::Close => b.close(),
+        }
+    }
+    b.finish().expect("stack discipline guarantees balance")
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_preserves_structure(steps in arb_steps()) {
+        let doc = build(&steps);
+        doc.check_integrity().unwrap();
+        let xml = doc.to_xml();
+        let reparsed = dol_xml::parse(&xml).unwrap();
+        reparsed.check_integrity().unwrap();
+        prop_assert_eq!(doc.len(), reparsed.len());
+        for (a, b) in doc.preorder().zip(reparsed.preorder()) {
+            prop_assert_eq!(doc.name_of(a), reparsed.name_of(b));
+            prop_assert_eq!(doc.node(a).size, reparsed.node(b).size);
+            prop_assert_eq!(&doc.node(a).value, &reparsed.node(b).value);
+        }
+    }
+
+    #[test]
+    fn pretty_roundtrip_preserves_structure(steps in arb_steps()) {
+        let doc = build(&steps);
+        let reparsed = dol_xml::parse(&doc.to_xml_pretty(2)).unwrap();
+        prop_assert_eq!(doc.len(), reparsed.len());
+    }
+
+    #[test]
+    fn delete_then_reinsert_preserves_invariants(steps in arb_steps(), pick in 0u32..1000) {
+        let mut doc = build(&steps);
+        if doc.len() < 2 { return Ok(()); }
+        let victim = NodeId(1 + pick % (doc.len() as u32 - 1));
+        let saved = doc.copy_subtree(victim);
+        let parent = doc.parent(victim).unwrap();
+        doc.delete_subtree(victim).unwrap();
+        doc.check_integrity().unwrap();
+        let reinserted = doc.insert_subtree(parent, None, &saved).unwrap();
+        doc.check_integrity().unwrap();
+        prop_assert_eq!(doc.node(reinserted).size, saved.node(saved.root()).size);
+    }
+
+    #[test]
+    fn subtree_sizes_tile(steps in arb_steps()) {
+        let doc = build(&steps);
+        for id in doc.preorder() {
+            let child_sum: u32 = doc.children(id).map(|c| doc.node(c).size).sum();
+            prop_assert_eq!(doc.node(id).size, child_sum + 1);
+        }
+    }
+}

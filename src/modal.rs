@@ -1,0 +1,188 @@
+//! Multi-mode databases: one DOL for several action modes.
+//!
+//! The paper presents DOL for one action mode and notes (§2) that multiple
+//! modes are handled "in a similar way [as] for multiple users": treat each
+//! `(subject, mode)` pair as a codebook column. [`ModalDb`] packages that
+//! recipe — it owns a [`SecureXmlDb`] whose subject universe is
+//! `modes × subjects` and translates `(subject, mode)` to the right column
+//! on every call, so callers keep thinking in subjects and modes.
+
+use crate::{DbConfig, DbError, ModalOracle, QueryResult, SecureXmlDb, Security};
+use dol_acl::{AccessOracle, SubjectId};
+use dol_xml::Document;
+
+/// How a [`ModalDb`] query should be secured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModalSecurity {
+    /// Unsecured evaluation.
+    None,
+    /// Binding-level (Cho et al.) semantics for `(subject, mode)`.
+    BindingLevel(SubjectId, usize),
+    /// Subtree-visibility (Gabillon–Bruno) semantics for `(subject, mode)`.
+    SubtreeVisibility(SubjectId, usize),
+}
+
+/// A secured XML database covering several action modes.
+pub struct ModalDb {
+    db: SecureXmlDb,
+    subjects_per_mode: usize,
+    modes: usize,
+}
+
+impl ModalDb {
+    /// Builds a multi-mode database from one oracle per mode (all with the
+    /// same subject count).
+    pub fn from_document<O: AccessOracle>(
+        doc: Document,
+        mode_oracles: Vec<&O>,
+    ) -> Result<Self, DbError> {
+        Self::with_config(doc, mode_oracles, DbConfig::default())
+    }
+
+    /// Builds with explicit storage configuration.
+    pub fn with_config<O: AccessOracle>(
+        doc: Document,
+        mode_oracles: Vec<&O>,
+        cfg: DbConfig,
+    ) -> Result<Self, DbError> {
+        assert!(!mode_oracles.is_empty(), "at least one mode required");
+        let modes = mode_oracles.len();
+        let subjects_per_mode = mode_oracles[0].subject_count();
+        let modal = ModalOracle::new(mode_oracles);
+        let db = SecureXmlDb::with_config(doc, &modal, cfg)?;
+        Ok(Self {
+            db,
+            subjects_per_mode,
+            modes,
+        })
+    }
+
+    /// Number of action modes.
+    pub fn modes(&self) -> usize {
+        self.modes
+    }
+
+    /// Number of subjects per mode.
+    pub fn subjects(&self) -> usize {
+        self.subjects_per_mode
+    }
+
+    /// The codebook column of `(subject, mode)`.
+    pub fn column(&self, subject: SubjectId, mode: usize) -> SubjectId {
+        assert!(mode < self.modes, "mode {mode} out of range");
+        assert!(subject.index() < self.subjects_per_mode);
+        SubjectId((mode * self.subjects_per_mode + subject.index()) as u16)
+    }
+
+    /// Whether `subject` may perform `mode` on the node at `pos`.
+    pub fn accessible(&self, pos: u64, subject: SubjectId, mode: usize) -> Result<bool, DbError> {
+        self.db.accessible(pos, self.column(subject, mode))
+    }
+
+    /// Evaluates a query under a `(subject, mode)` security context.
+    pub fn query(&self, query: &str, security: ModalSecurity) -> Result<QueryResult, DbError> {
+        let sec = match security {
+            ModalSecurity::None => Security::None,
+            ModalSecurity::BindingLevel(s, m) => Security::BindingLevel(self.column(s, m)),
+            ModalSecurity::SubtreeVisibility(s, m) => {
+                Security::SubtreeVisibility(self.column(s, m))
+            }
+        };
+        self.db.query(query, sec)
+    }
+
+    /// Grants or revokes `(subject, mode)` on a single node.
+    pub fn set_node_access(
+        &mut self,
+        pos: u64,
+        subject: SubjectId,
+        mode: usize,
+        allow: bool,
+    ) -> Result<(), DbError> {
+        let col = self.column(subject, mode);
+        self.db.set_node_access(pos, col, allow)
+    }
+
+    /// Grants or revokes `(subject, mode)` on a whole subtree.
+    pub fn set_subtree_access(
+        &mut self,
+        pos: u64,
+        subject: SubjectId,
+        mode: usize,
+        allow: bool,
+    ) -> Result<(), DbError> {
+        let col = self.column(subject, mode);
+        self.db.set_subtree_access(pos, col, allow)
+    }
+
+    /// The underlying single-universe database.
+    pub fn db(&self) -> &SecureXmlDb {
+        &self.db
+    }
+
+    /// Mutable access to the underlying database (columns are
+    /// `(mode, subject)`-indexed; use [`column`](ModalDb::column)).
+    pub fn db_mut(&mut self) -> &mut SecureXmlDb {
+        &mut self.db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dol_acl::{AccessibilityMap, ModeCatalog, Policy};
+    use dol_xml::NodeId;
+
+    fn setup() -> ModalDb {
+        let doc = dol_xml::parse("<a><b><c>v</c></b><d/></a>").unwrap();
+        let modes = ModeCatalog::read_write();
+        let mut policy = Policy::new();
+        // Subject 0: read everything, write nothing. Subject 1: read+write d.
+        policy.grant_subtree(SubjectId(0), modes.get("read").unwrap(), NodeId(0));
+        policy.grant_subtree(SubjectId(1), modes.get("read").unwrap(), NodeId(3));
+        policy.grant_subtree(SubjectId(1), modes.get("write").unwrap(), NodeId(3));
+        let maps: Vec<AccessibilityMap> = policy.compile_all(&doc, 2, 2);
+        ModalDb::from_document(doc, maps.iter().collect()).unwrap()
+    }
+
+    #[test]
+    fn per_mode_accessibility() {
+        let m = setup();
+        assert!(m.accessible(1, SubjectId(0), 0).unwrap()); // read b
+        assert!(!m.accessible(1, SubjectId(0), 1).unwrap()); // write b denied
+        assert!(m.accessible(3, SubjectId(1), 1).unwrap()); // write d
+        assert!(!m.accessible(1, SubjectId(1), 0).unwrap()); // read b denied
+    }
+
+    #[test]
+    fn per_mode_queries() {
+        let m = setup();
+        let r = m
+            .query("//c", ModalSecurity::BindingLevel(SubjectId(0), 0))
+            .unwrap();
+        assert_eq!(r.matches, vec![2]);
+        let r = m
+            .query("//c", ModalSecurity::BindingLevel(SubjectId(0), 1))
+            .unwrap();
+        assert!(r.matches.is_empty());
+        let r = m.query("//c", ModalSecurity::None).unwrap();
+        assert_eq!(r.matches, vec![2]);
+    }
+
+    #[test]
+    fn per_mode_updates() {
+        let mut m = setup();
+        m.set_subtree_access(1, SubjectId(1), 0, true).unwrap();
+        assert!(m.accessible(2, SubjectId(1), 0).unwrap());
+        assert!(!m.accessible(2, SubjectId(1), 1).unwrap()); // other mode untouched
+        m.set_node_access(2, SubjectId(1), 1, true).unwrap();
+        assert!(m.accessible(2, SubjectId(1), 1).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "mode 7 out of range")]
+    fn out_of_range_mode_panics() {
+        let m = setup();
+        let _ = m.column(SubjectId(0), 7);
+    }
+}

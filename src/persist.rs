@@ -1,0 +1,293 @@
+//! Database persistence: save/load a [`SecureXmlDb`] to a single page file.
+//!
+//! The on-disk layout is canonical and self-describing:
+//!
+//! ```text
+//! page 0            catalog (magic, version, section sizes)
+//! pages 1..=B       NoK structure blocks in document order (chained)
+//! next V pages      value log (scannable (pos, len, bytes) records)
+//! next C pages      codebook blob (see Codebook::to_bytes)
+//! next T pages      tag-name blob (names joined by '\n')
+//! ```
+//!
+//! `open` rebuilds everything the paper keeps in memory — the page-header
+//! directory (by walking the block chain), the value index (by scanning the
+//! log), the codebook and the tag table — in one pass each.
+
+use crate::{DbError, SecureXmlDb};
+use dol_core::{Codebook, EmbeddedDol};
+use dol_nok::{build_tag_index, build_value_index};
+use dol_storage::disk::StorageError;
+use dol_storage::{
+    BufferPool, FileDisk, PageId, PagedLog, StoreConfig, StructStore, ValueStore,
+};
+use dol_xml::{NodeId, TagInterner};
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: u32 = 0x444F_4C58; // "DOLX"
+const VERSION: u32 = 1;
+
+struct Catalog {
+    struct_blocks: u32,
+    max_records: u32,
+    value_pages: u32,
+    value_tail: u64,
+    codebook_pages: u32,
+    codebook_bytes: u64,
+    tags_pages: u32,
+    tags_bytes: u64,
+}
+
+impl SecureXmlDb {
+    /// Writes the database to `path` in the canonical page layout.
+    pub fn save_to(&self, path: &Path) -> Result<(), DbError> {
+        let disk = Arc::new(FileDisk::create(path)?);
+        let pool = Arc::new(BufferPool::new(disk, 256));
+        let meta_page = pool.allocate_page()?;
+        debug_assert_eq!(meta_page, PageId(0));
+
+        // 1. Structure blocks, re-packed deterministically from page 1.
+        let items = self
+            .store()
+            .read_block_range(0..self.store().block_count())?;
+        let cfg = self.store().config();
+        let new_store = StructStore::build(pool.clone(), cfg, items)?;
+        let struct_blocks = new_store.block_count() as u32;
+
+        // 2. Value log, in position order.
+        let mut new_values = ValueStore::new(pool.clone());
+        for (pos, _) in self.values().iter_lens() {
+            let v = self.values().get(pos)?.expect("indexed value exists");
+            new_values.put(pos, &v)?;
+        }
+        let value_pages = new_values.log_pages().len() as u32;
+        let value_tail = new_values.log_tail();
+
+        // 3. Codebook blob.
+        let cb_blob = self.dol().codebook().to_bytes();
+        let mut cb_log = PagedLog::new(pool.clone());
+        cb_log.append(&cb_blob)?;
+        let codebook_pages = cb_log.num_pages() as u32;
+
+        // 4. Tag-name blob.
+        let names: Vec<&str> = self.document().tags().iter().map(|(_, n)| n).collect();
+        let tag_blob = names.join("\n").into_bytes();
+        let mut tag_log = PagedLog::new(pool.clone());
+        tag_log.append(&tag_blob)?;
+        let tags_pages = tag_log.num_pages() as u32;
+
+        // 5. Catalog.
+        let cat = Catalog {
+            struct_blocks,
+            max_records: cfg.max_records_per_block as u32,
+            value_pages,
+            value_tail,
+            codebook_pages,
+            codebook_bytes: cb_blob.len() as u64,
+            tags_pages,
+            tags_bytes: tag_blob.len() as u64,
+        };
+        pool.with_page_mut(PageId(0), |p| {
+            p.put_u32(0, MAGIC);
+            p.put_u32(4, VERSION);
+            p.put_u32(8, cat.struct_blocks);
+            p.put_u32(12, cat.max_records);
+            p.put_u32(16, cat.value_pages);
+            p.put_u64(24, cat.value_tail);
+            p.put_u32(32, cat.codebook_pages);
+            p.put_u64(40, cat.codebook_bytes);
+            p.put_u32(48, cat.tags_pages);
+            p.put_u64(56, cat.tags_bytes);
+        })?;
+        pool.flush_all()?;
+        Ok(())
+    }
+
+    /// Opens a database previously written by [`save_to`](SecureXmlDb::save_to).
+    pub fn open_from(path: &Path) -> Result<SecureXmlDb, DbError> {
+        let disk = Arc::new(FileDisk::open(path)?);
+        let pool = Arc::new(BufferPool::new(disk, 1024));
+        let cat = pool.with_page(PageId(0), |p| {
+            if p.get_u32(0) != MAGIC {
+                return Err("not a secure-xml database file".to_string());
+            }
+            if p.get_u32(4) != VERSION {
+                return Err(format!("unsupported version {}", p.get_u32(4)));
+            }
+            Ok(Catalog {
+                struct_blocks: p.get_u32(8),
+                max_records: p.get_u32(12),
+                value_pages: p.get_u32(16),
+                value_tail: p.get_u64(24),
+                codebook_pages: p.get_u32(32),
+                codebook_bytes: p.get_u64(40),
+                tags_pages: p.get_u32(48),
+                tags_bytes: p.get_u64(56),
+            })
+        })?
+        .map_err(|m| {
+            DbError::Storage(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                m,
+            )))
+        })?;
+
+        // Sections occupy consecutive page ranges after the catalog.
+        let struct_first = PageId(1);
+        let value_first = 1 + cat.struct_blocks;
+        let cb_first = value_first + cat.value_pages;
+        let tags_first = cb_first + cat.codebook_pages;
+
+        let store = StructStore::open_chain(
+            pool.clone(),
+            StoreConfig {
+                max_records_per_block: cat.max_records as usize,
+            },
+            struct_first,
+        )?;
+        if store.block_count() as u32 != cat.struct_blocks {
+            return Err(DbError::Storage(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "block chain length disagrees with catalog",
+            ))));
+        }
+        let values = ValueStore::open(
+            pool.clone(),
+            (value_first..value_first + cat.value_pages)
+                .map(PageId)
+                .collect(),
+            cat.value_tail,
+        )?;
+        let cb_log = PagedLog::from_parts(
+            pool.clone(),
+            (cb_first..cb_first + cat.codebook_pages).map(PageId).collect(),
+            cat.codebook_bytes,
+        );
+        let codebook = Codebook::from_bytes(&cb_log.read(0, cat.codebook_bytes as usize)?)
+            .map_err(|m| {
+                DbError::Storage(StorageError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    m,
+                )))
+            })?;
+        let tag_log = PagedLog::from_parts(
+            pool.clone(),
+            (tags_first..tags_first + cat.tags_pages).map(PageId).collect(),
+            cat.tags_bytes,
+        );
+        let tag_blob = tag_log.read(0, cat.tags_bytes as usize)?;
+        let mut tags = TagInterner::new();
+        for name in String::from_utf8_lossy(&tag_blob).split('\n') {
+            tags.intern(name);
+        }
+
+        // Reconstruct the in-memory master document (tags + values).
+        let mut doc = store.to_document(&tags)?;
+        for (pos, _) in values.iter_lens() {
+            let v = values.get(pos)?.expect("indexed value exists");
+            doc.set_value(NodeId(pos as u32), Some(&v));
+        }
+        let tag_index = build_tag_index(&store)?;
+        let value_index = build_value_index(&store, &values)?;
+        Ok(SecureXmlDb {
+            doc,
+            store,
+            values,
+            dol: EmbeddedDol::from_codebook(codebook),
+            tag_index,
+            value_index,
+            pool,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SecureXmlDb, Security};
+    use dol_acl::{AccessibilityMap, SubjectId};
+    use dol_xml::NodeId;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("secure-xml-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn save_open_roundtrip() {
+        let xml = "<a><b att=\"7\"><c>v1</c></b><d><e>v2</e><f/></d></a>";
+        let doc = dol_xml::parse(xml).unwrap();
+        let mut map = AccessibilityMap::new(2, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        for p in [0u32, 4, 5, 6] {
+            map.set(SubjectId(1), NodeId(p), true);
+        }
+        let db = SecureXmlDb::from_document(doc, &map).unwrap();
+        let path = tmp("roundtrip.dolx");
+        db.save_to(&path).unwrap();
+
+        let back = SecureXmlDb::open_from(&path).unwrap();
+        back.store().check_integrity().unwrap();
+        assert_eq!(back.len(), db.len());
+        assert_eq!(back.document().to_xml(), db.document().to_xml());
+        for p in 0..db.len() as u64 {
+            for s in [SubjectId(0), SubjectId(1)] {
+                assert_eq!(
+                    back.accessible(p, s).unwrap(),
+                    db.accessible(p, s).unwrap(),
+                    "pos {p} subject {s}"
+                );
+            }
+        }
+        // Queries behave identically.
+        for q in ["//c", "//d/e", "//b[@att=\"7\"]"] {
+            for s in [Security::None, Security::BindingLevel(SubjectId(1))] {
+                assert_eq!(
+                    back.query(q, s).unwrap().matches,
+                    db.query(q, s).unwrap().matches,
+                    "{q}"
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_after_updates_preserves_state() {
+        let xml = "<r><x>alpha</x><y><z>beta</z></y></r>";
+        let doc = dol_xml::parse(xml).unwrap();
+        let mut map = AccessibilityMap::new(1, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        let mut db = SecureXmlDb::from_document(doc, &map).unwrap();
+        db.set_subtree_access(2, SubjectId(0), false).unwrap();
+        let extra = db.add_subject(Some(SubjectId(0)));
+        let path = tmp("updated.dolx");
+        db.save_to(&path).unwrap();
+
+        let back = SecureXmlDb::open_from(&path).unwrap();
+        assert!(!back.accessible(2, SubjectId(0)).unwrap());
+        assert!(back.accessible(1, extra).unwrap());
+        assert_eq!(back.value(1).unwrap().as_deref(), Some("alpha"));
+        assert_eq!(
+            back.query("//z", Security::BindingLevel(SubjectId(0)))
+                .unwrap()
+                .matches
+                .len(),
+            0
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let path = tmp("garbage.dolx");
+        std::fs::write(&path, vec![0u8; 8192]).unwrap();
+        assert!(SecureXmlDb::open_from(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

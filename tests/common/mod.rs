@@ -1,0 +1,25 @@
+//! Shared test infrastructure: re-exports the engine's reference evaluator
+//! (see `dol_nok::reference`) under the names the integration tests use.
+
+#![allow(dead_code)] // each integration test binary uses a subset
+
+use secure_xml::acl::{AccessibilityMap, SubjectId};
+use secure_xml::xml::{Document, NodeId};
+
+pub use secure_xml::query::reference::RefSecurity;
+
+/// Evaluates `query` over `doc` with the naive reference algorithm.
+pub fn naive_eval(doc: &Document, query: &str, sec: RefSecurity<'_>) -> Vec<u64> {
+    secure_xml::query::reference::naive_eval_str(doc, query, sec)
+}
+
+/// Builds an all-grant map.
+pub fn grant_all(subjects: usize, nodes: usize) -> AccessibilityMap {
+    let mut m = AccessibilityMap::new(subjects, nodes);
+    for s in 0..subjects {
+        for p in 0..nodes {
+            m.set(SubjectId(s as u16), NodeId(p as u32), true);
+        }
+    }
+    m
+}

@@ -1,0 +1,76 @@
+//! End-to-end dissemination: the pruned-view export and the subtree-secure
+//! query semantics must tell one consistent story.
+
+use secure_xml::acl::{AccessibilityMap, SubjectId};
+use secure_xml::workloads::{synth_multi, xmark, SynthAclConfig, XmarkConfig};
+use secure_xml::xml::NodeId;
+use secure_xml::{SecureXmlDb, Security};
+
+fn setup() -> (SecureXmlDb, AccessibilityMap) {
+    let doc = xmark(&XmarkConfig {
+        scale: 0.03,
+        seed: 21,
+    });
+    let mut map = synth_multi(
+        &doc,
+        &SynthAclConfig {
+            propagation_ratio: 0.05,
+            accessibility_ratio: 0.7,
+            sibling_locality: 0.5,
+            seed: 5,
+        },
+        2,
+    );
+    // Keep the root visible so the export is non-empty.
+    map.set(SubjectId(0), NodeId(0), true);
+    let db = SecureXmlDb::from_document(doc, &map).unwrap();
+    (db, map)
+}
+
+#[test]
+fn export_contains_exactly_the_visible_nodes() {
+    let (db, map) = setup();
+    let s = SubjectId(0);
+    let out = db.export_visible(s).unwrap().expect("root visible");
+    let exported = secure_xml::xml::parse(&out).unwrap();
+    // Expected: nodes whose whole ancestor path is accessible.
+    let doc = db.document();
+    let visible: Vec<NodeId> = doc
+        .preorder()
+        .filter(|&n| {
+            map.accessible(s, n) && doc.ancestors(n).all(|a| map.accessible(s, a))
+        })
+        .collect();
+    assert_eq!(exported.len(), visible.len());
+    for (e, v) in exported.preorder().zip(&visible) {
+        assert_eq!(exported.name_of(e), doc.name_of(*v));
+    }
+}
+
+#[test]
+fn export_agrees_with_subtree_visibility_queries() {
+    let (db, _) = setup();
+    let s = SubjectId(0);
+    let out = db.export_visible(s).unwrap().expect("root visible");
+    let exported = secure_xml::xml::parse(&out).unwrap();
+    // Every tag's GB-secure match count on the full database equals its
+    // node count in the exported fragment.
+    for tag in ["item", "keyword", "category", "parlist", "person"] {
+        let gb = db
+            .query(&format!("//{tag}"), Security::SubtreeVisibility(s))
+            .unwrap();
+        let in_export = exported
+            .tags()
+            .get(tag)
+            .map(|t| exported.nodes_with_tag(t).len())
+            .unwrap_or(0);
+        assert_eq!(gb.matches.len(), in_export, "tag {tag}");
+    }
+}
+
+#[test]
+fn export_for_blind_subject_is_none() {
+    let (mut db, _) = setup();
+    let blind = db.add_subject(None);
+    assert!(db.export_visible(blind).unwrap().is_none());
+}

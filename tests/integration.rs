@@ -1,0 +1,175 @@
+//! End-to-end tests: generated XMark data + synthetic access controls,
+//! evaluated through the full stack (parser → block store → embedded DOL →
+//! ε-NoK → structural joins) and compared against a naive reference
+//! evaluator for all three security semantics.
+
+mod common;
+
+use common::{naive_eval, RefSecurity};
+use secure_xml::acl::{AccessibilityMap, SubjectId};
+use secure_xml::workloads::{synth_multi, xmark, SynthAclConfig, XmarkConfig};
+use secure_xml::xml::Document;
+use secure_xml::{DbConfig, SecureXmlDb, Security};
+
+const QUERIES: &[&str] = &[
+    // The paper's Table 1.
+    "/site/regions/africa/item[location][name][quantity]",
+    "/site/categories/category[name]/description/text/bold",
+    "/site/categories/category/name[description/text/bold]",
+    "//parlist//parlist",
+    "//listitem//keyword",
+    "//item//emph",
+    // Extra structural coverage.
+    "/site/regions/*/item/name",
+    "//item[name=\"gold\"]",
+    "//category[name]",
+    "//description//keyword",
+    "//person[address/city]/name",
+    "//open_auction[bidder/increase]//emph",
+    "//mail[from]/text",
+    "//listitem/text/keyword",
+];
+
+fn setup(subjects: usize) -> (Document, AccessibilityMap, SecureXmlDb) {
+    let doc = xmark(&XmarkConfig {
+        scale: 0.04,
+        seed: 99,
+    });
+    let map = synth_multi(
+        &doc,
+        &SynthAclConfig {
+            propagation_ratio: 0.05,
+            accessibility_ratio: 0.6,
+            sibling_locality: 0.5,
+            seed: 41,
+        },
+        subjects,
+    );
+    let db = SecureXmlDb::with_config(
+        doc.clone(),
+        &map,
+        DbConfig {
+            buffer_pool_pages: 64,
+            max_records_per_block: 24, // force multi-block layout
+        },
+    )
+    .unwrap();
+    (doc, map, db)
+}
+
+#[test]
+fn unsecured_matches_reference() {
+    let (doc, _, db) = setup(2);
+    for q in QUERIES {
+        let got = db.query(q, Security::None).unwrap().matches;
+        let expect = naive_eval(&doc, q, RefSecurity::None);
+        assert_eq!(got, expect, "query {q}");
+    }
+}
+
+#[test]
+fn binding_level_security_matches_reference() {
+    let (doc, map, db) = setup(3);
+    for s in 0..3u16 {
+        for q in QUERIES {
+            let got = db
+                .query(q, Security::BindingLevel(SubjectId(s)))
+                .unwrap()
+                .matches;
+            let expect = naive_eval(&doc, q, RefSecurity::Binding(&map, SubjectId(s)));
+            assert_eq!(got, expect, "query {q} subject {s}");
+        }
+    }
+}
+
+#[test]
+fn subtree_visibility_security_matches_reference() {
+    let (doc, map, db) = setup(3);
+    for s in 0..3u16 {
+        for q in QUERIES {
+            let got = db
+                .query(q, Security::SubtreeVisibility(SubjectId(s)))
+                .unwrap()
+                .matches;
+            let expect = naive_eval(&doc, q, RefSecurity::Subtree(&map, SubjectId(s)));
+            assert_eq!(got, expect, "query {q} subject {s}");
+        }
+    }
+}
+
+#[test]
+fn secure_results_are_subset_of_unsecured() {
+    let (_, _, db) = setup(2);
+    for q in QUERIES {
+        let all: std::collections::HashSet<u64> = db
+            .query(q, Security::None)
+            .unwrap()
+            .matches
+            .into_iter()
+            .collect();
+        for s in 0..2u16 {
+            let cho = db
+                .query(q, Security::BindingLevel(SubjectId(s)))
+                .unwrap()
+                .matches;
+            let gb = db
+                .query(q, Security::SubtreeVisibility(SubjectId(s)))
+                .unwrap()
+                .matches;
+            let cho_set: std::collections::HashSet<u64> = cho.iter().copied().collect();
+            assert!(cho.iter().all(|m| all.contains(m)), "{q}");
+            // GB is strictly stronger than Cho.
+            assert!(gb.iter().all(|m| cho_set.contains(m)), "{q}");
+        }
+    }
+}
+
+#[test]
+fn secure_evaluation_costs_no_extra_physical_io() {
+    // The paper's core claim: accessibility checks are piggy-backed on the
+    // pages evaluation reads anyway, so physical reads do not increase.
+    let (_, _, db) = setup(2);
+    for q in QUERIES {
+        db.reset_io_stats();
+        let _ = db.query(q, Security::None).unwrap();
+        let unsecured = db.io_stats();
+        db.reset_io_stats();
+        let _ = db
+            .query(q, Security::BindingLevel(SubjectId(0)))
+            .unwrap();
+        let secured = db.io_stats();
+        assert!(
+            secured.physical_reads <= unsecured.physical_reads,
+            "{q}: secured {} vs unsecured {} physical reads",
+            secured.physical_reads,
+            unsecured.physical_reads
+        );
+    }
+}
+
+#[test]
+fn dol_accessibility_agrees_with_map_everywhere() {
+    let (doc, map, db) = setup(4);
+    for p in 0..doc.len() as u64 {
+        for s in 0..4u16 {
+            assert_eq!(
+                db.accessible(p, SubjectId(s)).unwrap(),
+                map.accessible(SubjectId(s), secure_xml::xml::NodeId(p as u32)),
+                "pos {p} subject {s}"
+            );
+        }
+    }
+}
+
+#[test]
+fn store_integrity_after_build() {
+    let (_, _, db) = setup(2);
+    db.store().check_integrity().unwrap();
+    let stats = db.dol_stats().unwrap();
+    assert!(stats.transitions > 0);
+    assert!(stats.codebook_entries >= 1);
+    assert!(
+        stats.transitions < stats.total_nodes as usize / 2,
+        "structural locality should keep transitions sparse: {stats}"
+    );
+}

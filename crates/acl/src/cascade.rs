@@ -103,11 +103,7 @@ impl CascadeRules {
     ///
     /// When `restrict` is given, rows cover only those subjects, in the
     /// given order (used by the subject-subset scaling experiments).
-    pub fn row_stream(
-        &self,
-        doc: &Document,
-        restrict: Option<&[SubjectId]>,
-    ) -> Vec<(u64, BitVec)> {
+    pub fn row_stream(&self, doc: &Document, restrict: Option<&[SubjectId]>) -> Vec<(u64, BitVec)> {
         // Dense re-indexing of the involved subjects.
         let width;
         let mut dense: Vec<Option<usize>> = vec![None; self.subjects];

@@ -412,7 +412,10 @@ mod tests {
 
     #[test]
     fn path_selection() {
-        let doc = parse("<site><regions><africa><item/><item/></africa><asia><item/></asia></regions></site>").unwrap();
+        let doc = parse(
+            "<site><regions><africa><item/><item/></africa><asia><item/></asia></regions></site>",
+        )
+        .unwrap();
         assert_eq!(select_nodes(&doc, "/site/regions/africa").len(), 1);
         assert_eq!(select_nodes(&doc, "/site/regions/*").len(), 2);
         assert_eq!(select_nodes(&doc, "//item").len(), 3);

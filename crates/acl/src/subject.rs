@@ -71,9 +71,8 @@ impl SubjectCatalog {
             !self.by_name.contains_key(name),
             "duplicate subject name `{name}`"
         );
-        let id = SubjectId(
-            u16::try_from(self.subjects.len()).expect("more than u16::MAX subjects"),
-        );
+        let id =
+            SubjectId(u16::try_from(self.subjects.len()).expect("more than u16::MAX subjects"));
         self.subjects.push(SubjectInfo {
             name: name.to_owned(),
             kind,

@@ -1,0 +1,58 @@
+//! Criterion benchmark for parallel candidate matching: the descendant-join
+//! queries at worker counts 1/2/4/8, secured and unsecured. Sequential
+//! (`parallelism = 1`) is the baseline the speedups in CHANGES.md quote.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dol_bench::setup::{synth_column, xmark_doc, BenchDb, ColumnOracle, SUBJECT};
+use dol_nok::{parse_query, ExecOptions, QueryPlan, Security};
+
+fn parallel_query(c: &mut Criterion) {
+    let doc = xmark_doc(0.5);
+    let col = synth_column(&doc, 0.5, 0.03, 7);
+    let db = BenchDb::build(doc, &ColumnOracle(col), 8192);
+    let engine = db.engine();
+    for (qid, q) in [("Q5", "//listitem//keyword"), ("Q6", "//item//emph")] {
+        let plan = QueryPlan::new(parse_query(q).unwrap());
+        let baseline = engine
+            .execute_plan(&plan, Security::BindingLevel(SUBJECT))
+            .unwrap()
+            .matches;
+        let mut g = c.benchmark_group(format!("parallel/{qid}"));
+        for workers in [1usize, 2, 4, 8] {
+            let opts = ExecOptions {
+                parallelism: workers,
+                ..ExecOptions::default()
+            };
+            let res = engine
+                .execute_plan_opts(&plan, Security::BindingLevel(SUBJECT), opts)
+                .unwrap();
+            assert_eq!(res.matches, baseline, "{qid}: answers diverged");
+            g.bench_with_input(BenchmarkId::new("eNoK", workers), &workers, |b, _| {
+                b.iter(|| {
+                    engine
+                        .execute_plan_opts(&plan, Security::BindingLevel(SUBJECT), opts)
+                        .unwrap()
+                        .matches
+                        .len()
+                })
+            });
+            g.bench_with_input(BenchmarkId::new("NoK", workers), &workers, |b, _| {
+                b.iter(|| {
+                    engine
+                        .execute_plan_opts(&plan, Security::None, opts)
+                        .unwrap()
+                        .matches
+                        .len()
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = parallel_query
+}
+criterion_main!(benches);

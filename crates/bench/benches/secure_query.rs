@@ -2,7 +2,9 @@
 //! single-fragment queries Q1–Q3 at several accessibility ratios.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dol_bench::setup::{synth_column, xmark_doc, BenchDb, ColumnOracle, Q3_SINGLE_PATH, SUBJECT, TABLE1};
+use dol_bench::setup::{
+    synth_column, xmark_doc, BenchDb, ColumnOracle, Q3_SINGLE_PATH, SUBJECT, TABLE1,
+};
 use dol_nok::Security;
 
 fn secure_query(c: &mut Criterion) {

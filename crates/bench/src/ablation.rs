@@ -80,7 +80,12 @@ fn page_skip(effort: Effort) {
     let plan = QueryPlan::new(parse_query("//item[name]").unwrap());
     let mut t = Table::new(
         "ablation: page-skip optimization (//item[name], 5% accessible)",
-        &["page skip", "blocks skipped", "nodes visited", "cold physical reads"],
+        &[
+            "page skip",
+            "blocks skipped",
+            "nodes visited",
+            "cold physical reads",
+        ],
     );
     for on in [true, false] {
         db.pool.clear_cache().expect("clear");
@@ -89,7 +94,10 @@ fn page_skip(effort: Effort) {
             .execute_plan_opts(
                 &plan,
                 Security::BindingLevel(SUBJECT),
-                ExecOptions { page_skip: on },
+                ExecOptions {
+                    page_skip: on,
+                    ..ExecOptions::default()
+                },
             )
             .expect("query");
         let io = db.pool.stats();

@@ -81,7 +81,12 @@ pub fn unixfs(effort: Effort) {
     );
     let mut t = Table::new(
         "fig5b/6b",
-        &["subjects", "codebook entries", "transition nodes", "trans/node"],
+        &[
+            "subjects",
+            "codebook entries",
+            "transition nodes",
+            "trans/node",
+        ],
     );
     for n in subset_sizes(world.subject_count()) {
         let subset = world.sample_subjects(n, 13);

@@ -8,7 +8,9 @@
 //! headers (the page-skip optimization that can make ε-NoK *faster* at low
 //! accessibility).
 
-use crate::setup::{synth_column, xmark_doc, BenchDb, ColumnOracle, Q3_SINGLE_PATH, SUBJECT, TABLE1};
+use crate::setup::{
+    synth_column, xmark_doc, BenchDb, ColumnOracle, Q3_SINGLE_PATH, SUBJECT, TABLE1,
+};
 use crate::table::{f3, Table};
 use crate::Effort;
 use dol_nok::Security;

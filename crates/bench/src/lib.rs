@@ -18,12 +18,14 @@
 //! | [`fig8`] | §4.2 extension: (ε-)STD joins under both secure semantics |
 //! | [`updates`] | Proposition 1 / §3.4: update costs and transition growth |
 //! | [`ablation`] | design-choice ablations: codebook, page skip, block size |
+//! | [`parallel`] | parallel candidate matching: worker-count scaling (not a paper artifact) |
 
 pub mod ablation;
 pub mod fig4;
 pub mod fig56;
 pub mod fig7;
 pub mod fig8;
+pub mod parallel;
 pub mod queries;
 pub mod setup;
 pub mod storage;

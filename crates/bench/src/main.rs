@@ -1,20 +1,31 @@
 //! `experiments` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--quick|--full] [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates | all]
+//! experiments [--quick|--full] [--parallelism=N]
+//!             [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates parallel | all]
 //! ```
+//!
+//! `--parallelism=N` caps the worker sweep of the `parallel` experiment
+//! (`0` = all available cores, the default).
 
-use dol_bench::{ablation, fig4, fig56, fig7, fig8, queries, storage, updates, Effort};
+use dol_bench::{ablation, fig4, fig56, fig7, fig8, parallel, queries, storage, updates, Effort};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut effort = Effort::Quick;
+    let mut parallelism = 0usize;
     let mut selected: Vec<String> = Vec::new();
     for a in &args {
         match a.as_str() {
             "--quick" => effort = Effort::Quick,
             "--full" => effort = Effort::Full,
-            other => selected.push(other.to_string()),
+            other => match other.strip_prefix("--parallelism=") {
+                Some(n) => match n.parse() {
+                    Ok(n) => parallelism = n,
+                    Err(_) => eprintln!("bad --parallelism value `{n}` (ignored)"),
+                },
+                None => selected.push(other.to_string()),
+            },
         }
     }
     if selected.is_empty() || selected.iter().any(|s| s == "all") {
@@ -28,6 +39,7 @@ fn main() {
             "fig8".into(),
             "updates".into(),
             "ablation".into(),
+            "parallel".into(),
         ];
     }
     println!(
@@ -53,6 +65,7 @@ fn main() {
             "fig8" => fig8::run(effort),
             "updates" => updates::run(effort),
             "ablation" => ablation::run(effort),
+            "parallel" => parallel::run(effort, parallelism),
             other => eprintln!("unknown experiment `{other}` (skipped)"),
         }
     }

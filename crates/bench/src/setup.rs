@@ -29,9 +29,8 @@ impl BenchDb {
     /// Builds a secured database from a document and oracle.
     pub fn build(doc: Document, oracle: &impl AccessOracle, pool_pages: usize) -> BenchDb {
         let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), pool_pages));
-        let (store, dol) =
-            EmbeddedDol::build(pool.clone(), StoreConfig::default(), &doc, oracle)
-                .expect("bulk build");
+        let (store, dol) = EmbeddedDol::build(pool.clone(), StoreConfig::default(), &doc, oracle)
+            .expect("bulk build");
         let mut values = ValueStore::new(pool.clone());
         for id in doc.preorder() {
             if let Some(v) = &doc.node(id).value {
@@ -115,8 +114,14 @@ pub fn density(col: &BitVec) -> f64 {
 /// The six Table-1 queries, in paper order.
 pub const TABLE1: [(&str, &str); 6] = [
     ("Q1", "/site/regions/africa/item[location][name][quantity]"),
-    ("Q2", "/site/categories/category[name]/description/text/bold"),
-    ("Q3", "/site/categories/category/name[description/text/bold]"),
+    (
+        "Q2",
+        "/site/categories/category[name]/description/text/bold",
+    ),
+    (
+        "Q3",
+        "/site/categories/category/name[description/text/bold]",
+    ),
     ("Q4", "//parlist//parlist"),
     ("Q5", "//listitem//keyword"),
     ("Q6", "//item//emph"),

@@ -105,7 +105,9 @@ pub fn run(effort: Effort) {
         max_growth.to_string(),
     ]);
     t.print();
-    store.check_integrity().expect("integrity after update storm");
+    store
+        .check_integrity()
+        .expect("integrity after update storm");
     println!(
         "(Paper shape: node updates touch ~a page; an N-node subtree costs on the order of\n\
          N/B pages because the preorder layout clusters the subtree; Proposition 1 bounds\n\

@@ -9,6 +9,7 @@
 //! are `bit(code, subject)`, and subject-set updates (§3.4) are *column*
 //! operations that never touch the embedded transition data.
 
+use crate::column::SubjectColumn;
 use dol_acl::{BitVec, SubjectId};
 use std::collections::HashMap;
 
@@ -22,6 +23,10 @@ pub struct Codebook {
     /// (deletion is "accomplished within the codebook … any such redundancy
     /// can be corrected lazily", §3.4).
     removed: Vec<bool>,
+    /// Bumped by every mutation that can change a `(code, subject)` answer
+    /// or the code space, so decoded [`SubjectColumn`] snapshots can
+    /// revalidate cheaply.
+    version: u64,
 }
 
 impl Codebook {
@@ -32,7 +37,21 @@ impl Codebook {
             index: HashMap::new(),
             width: subjects,
             removed: vec![false; subjects],
+            version: 0,
         }
+    }
+
+    /// The mutation stamp: changes whenever a decoded [`SubjectColumn`]
+    /// could be stale.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Decodes `subject`'s column into a packed code-indexed bitset — the
+    /// branch-free fast path for repeated [`bit`](Codebook::bit) lookups with
+    /// a fixed subject.
+    pub fn column(&self, subject: SubjectId) -> SubjectColumn {
+        SubjectColumn::decode(self, subject)
     }
 
     /// Interns an ACL, returning its code. The ACL's length must equal the
@@ -45,6 +64,7 @@ impl Codebook {
         let code = u32::try_from(self.entries.len()).expect("more than u32::MAX ACLs");
         self.entries.push(acl.clone());
         self.index.insert(acl.clone(), code);
+        self.version += 1;
         code
     }
 
@@ -93,6 +113,7 @@ impl Codebook {
         }
         self.width += 1;
         self.removed.push(false);
+        self.version += 1;
         self.rebuild_index();
         new
     }
@@ -111,6 +132,7 @@ impl Codebook {
         }
         self.width += 1;
         self.removed.push(false);
+        self.version += 1;
         self.rebuild_index();
         new
     }
@@ -124,6 +146,7 @@ impl Codebook {
         for e in &mut self.entries {
             e.set(subject.index(), false);
         }
+        self.version += 1;
         self.rebuild_index();
     }
 
@@ -152,6 +175,7 @@ impl Codebook {
         self.index = new_index;
         self.width = keep.len();
         self.removed = vec![false; self.width];
+        self.version += 1;
         remap
     }
 
@@ -184,7 +208,8 @@ impl Codebook {
     /// each, u64-word aligned)`.
     pub fn to_bytes(&self) -> Vec<u8> {
         let words_per_entry = self.width.div_ceil(64);
-        let mut out = Vec::with_capacity(16 + self.width / 8 + self.entries.len() * words_per_entry * 8);
+        let mut out =
+            Vec::with_capacity(16 + self.width / 8 + self.entries.len() * words_per_entry * 8);
         out.extend_from_slice(&(self.width as u32).to_le_bytes());
         let removed = BitVec::from_fn(self.width, |i| self.removed[i]);
         for w in removed.words() {

@@ -1,0 +1,170 @@
+//! Decoded per-subject codebook columns — the fast path for accessibility.
+//!
+//! [`Codebook::bit`] resolves a `(code, subject)` pair through the interned
+//! ACL entry for `code`: an index into `entries`, a second index into the
+//! entry's words, plus the removed-column bookkeeping. Query evaluation asks
+//! that question millions of times **for one fixed subject**, so the column
+//! for that subject can be decoded once into a packed bitset indexed by code.
+//! [`SubjectColumn::check_code`] is then a single shift-and-mask over one
+//! contiguous word array — no entry indirection, no hashing, and trivially
+//! shareable across worker threads because it is immutable.
+//!
+//! Columns are **snapshots**. Every codebook mutation (interning a new entry,
+//! adding/removing a subject, compaction) bumps the codebook's version
+//! stamp; a column remembers the version and subject it was decoded from, so
+//! caches can revalidate with two integer compares (see
+//! [`SubjectColumn::matches`]).
+
+use crate::codebook::Codebook;
+use dol_acl::SubjectId;
+
+/// One subject's accessibility bit for every codebook entry, packed into
+/// `u64` words and indexed by access-control code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubjectColumn {
+    subject: SubjectId,
+    version: u64,
+    codes: usize,
+    words: Vec<u64>,
+}
+
+impl SubjectColumn {
+    /// Decodes `subject`'s column from `codebook`.
+    pub fn decode(codebook: &Codebook, subject: SubjectId) -> Self {
+        let codes = codebook.len();
+        let mut words = vec![0u64; codes.div_ceil(64)];
+        for (code, entry) in codebook.iter() {
+            if entry.get(subject.index()) {
+                words[(code >> 6) as usize] |= 1u64 << (code & 63);
+            }
+        }
+        Self {
+            subject,
+            version: codebook.version(),
+            codes,
+            words,
+        }
+    }
+
+    /// Whether `subject` is granted by the ACL behind `code` — one shift and
+    /// mask, equivalent to [`Codebook::bit`] at the column's snapshot.
+    /// Unknown codes (interned after the snapshot) read as deny.
+    #[inline]
+    pub fn check_code(&self, code: u32) -> bool {
+        let w = self.words.get((code >> 6) as usize).copied().unwrap_or(0);
+        (w >> (code & 63)) & 1 != 0
+    }
+
+    /// The subject this column was decoded for.
+    pub fn subject(&self) -> SubjectId {
+        self.subject
+    }
+
+    /// The codebook version stamp at decode time.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of codes covered by the snapshot.
+    pub fn len(&self) -> usize {
+        self.codes
+    }
+
+    /// Whether the snapshot covers no code.
+    pub fn is_empty(&self) -> bool {
+        self.codes == 0
+    }
+
+    /// Whether this column is current for `(codebook, subject)` — the cache
+    /// revalidation test: same subject, same codebook version.
+    #[inline]
+    pub fn matches(&self, codebook: &Codebook, subject: SubjectId) -> bool {
+        self.subject == subject && self.version == codebook.version()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dol_acl::BitVec;
+
+    fn acl(bits: &str) -> BitVec {
+        BitVec::from_fn(bits.len(), |i| bits.as_bytes()[i] == b'1')
+    }
+
+    /// Exhaustive equivalence: `column.check_code(c) == codebook.bit(c, s)`
+    /// for every code and subject, including across add/remove/compact.
+    #[test]
+    fn column_equals_codebook_bit_through_mutations() {
+        let mut cb = Codebook::new(3);
+        for i in 0..70u32 {
+            // >64 entries exercises the multi-word path.
+            cb.intern(&BitVec::from_fn(3, |s| {
+                (i + s as u32).is_multiple_of(s as u32 + 2)
+            }));
+        }
+        let check_all = |cb: &Codebook| {
+            for s in 0..cb.width() as u16 {
+                let col = SubjectColumn::decode(cb, SubjectId(s));
+                assert!(col.matches(cb, SubjectId(s)));
+                for code in 0..cb.len() as u32 {
+                    assert_eq!(
+                        col.check_code(code),
+                        cb.bit(code, SubjectId(s)),
+                        "code {code} subject {s}"
+                    );
+                }
+            }
+        };
+        check_all(&cb);
+
+        let old = SubjectColumn::decode(&cb, SubjectId(0));
+        let s3 = cb.add_subject(Some(SubjectId(1)));
+        assert!(
+            !old.matches(&cb, SubjectId(0)),
+            "add_subject must invalidate"
+        );
+        check_all(&cb);
+
+        cb.add_subject_union(&[SubjectId(0), s3]);
+        check_all(&cb);
+
+        let old = SubjectColumn::decode(&cb, SubjectId(1));
+        cb.remove_subject(SubjectId(1));
+        assert!(
+            !old.matches(&cb, SubjectId(1)),
+            "remove_subject must invalidate"
+        );
+        check_all(&cb);
+
+        let old = SubjectColumn::decode(&cb, SubjectId(0));
+        cb.compact();
+        assert!(!old.matches(&cb, SubjectId(0)), "compact must invalidate");
+        check_all(&cb);
+    }
+
+    #[test]
+    fn interning_new_entry_invalidates_but_duplicate_does_not() {
+        let mut cb = Codebook::new(2);
+        cb.intern(&acl("10"));
+        let col = SubjectColumn::decode(&cb, SubjectId(0));
+        cb.intern(&acl("10")); // already interned: no new entry
+        assert!(col.matches(&cb, SubjectId(0)));
+        cb.intern(&acl("01")); // new entry: snapshot is stale
+        assert!(!col.matches(&cb, SubjectId(0)));
+        // The stale column still answers its own snapshot correctly and
+        // denies the unseen code.
+        assert!(col.check_code(0));
+        assert!(!col.check_code(1));
+        assert!(!col.check_code(999));
+    }
+
+    #[test]
+    fn empty_codebook_column() {
+        let cb = Codebook::new(4);
+        let col = SubjectColumn::decode(&cb, SubjectId(2));
+        assert!(col.is_empty());
+        assert_eq!(col.len(), 0);
+        assert!(!col.check_code(0));
+    }
+}

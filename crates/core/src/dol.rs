@@ -131,16 +131,33 @@ impl Dol {
         self.codebook.bit(self.code_at(pos), subject)
     }
 
+    /// Decodes `subject`'s accessibility column (see
+    /// [`Codebook::column`]) for repeated lookups via
+    /// [`accessible_with`](Dol::accessible_with).
+    pub fn column(&self, subject: SubjectId) -> crate::column::SubjectColumn {
+        self.codebook.column(subject)
+    }
+
+    /// [`accessible`](Dol::accessible) against an already-decoded column —
+    /// avoids the per-lookup codebook entry indirection on scan-heavy paths.
+    #[inline]
+    pub fn accessible_with(&self, pos: u64, column: &crate::column::SubjectColumn) -> bool {
+        column.check_code(self.code_at(pos))
+    }
+
     /// Iterates maximal runs of equal code as `(start, end, code)`.
     pub fn runs(&self) -> impl Iterator<Item = (u64, u64, u32)> + '_ {
-        self.transitions.iter().enumerate().map(move |(i, &(p, c))| {
-            let end = self
-                .transitions
-                .get(i + 1)
-                .map(|&(q, _)| q)
-                .unwrap_or(self.total);
-            (p, end, c)
-        })
+        self.transitions
+            .iter()
+            .enumerate()
+            .map(move |(i, &(p, c))| {
+                let end = self
+                    .transitions
+                    .get(i + 1)
+                    .map(|&(q, _)| q)
+                    .unwrap_or(self.total);
+                (p, end, c)
+            })
     }
 
     /// Size accounting for the experiments.
@@ -186,10 +203,7 @@ impl Dol {
             // The run's successor keeps code `ec`; it is a transition iff it
             // differs from the run's code. A pre-existing entry at `end`
             // falls in `hi..` and must be dropped if now redundant.
-            let had_entry = self
-                .transitions
-                .get(hi)
-                .is_some_and(|&(p, _)| p == end);
+            let had_entry = self.transitions.get(hi).is_some_and(|&(p, _)| p == end);
             let hi_end = if had_entry { hi + 1 } else { hi };
             if ec != code {
                 splice.push((end, ec));
@@ -284,10 +298,7 @@ impl Dol {
         self.total -= k;
         // Boundary: the old `end` node now sits at `start`.
         if let Some(ec) = end_code {
-            let has_entry = self
-                .transitions
-                .get(lo)
-                .is_some_and(|&(p, _)| p == start);
+            let has_entry = self.transitions.get(lo).is_some_and(|&(p, _)| p == start);
             if ec != pred_code && !has_entry {
                 self.transitions.insert(lo, (start, ec));
             } else if ec == pred_code && has_entry {
@@ -331,10 +342,7 @@ impl Dol {
         }
         // Boundary: the old `at` node now sits at `at + k`.
         if let Some(nc) = next_code {
-            let has_entry = self
-                .transitions
-                .get(lo)
-                .is_some_and(|&(p, _)| p == at + k);
+            let has_entry = self.transitions.get(lo).is_some_and(|&(p, _)| p == at + k);
             if nc != last_code && !has_entry {
                 insert.push((at + k, nc));
             } else if nc == last_code && has_entry {
@@ -504,7 +512,7 @@ mod tests {
         let col = BitVec::from_fn(10, |i| (4..8).contains(&i));
         let mut dol = Dol::build_single(&col);
         assert_eq!(dol.transition_count(), 3); // 0−, 4+, 8−
-        // Delete [4, 8): all nodes denied again → single run.
+                                               // Delete [4, 8): all nodes denied again → single run.
         dol.delete_range(4, 8);
         assert_eq!(dol.total_nodes(), 6);
         assert_eq!(dol.transition_count(), 1);

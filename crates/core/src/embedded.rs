@@ -7,12 +7,13 @@
 //! page-skip test, and the accessibility-update entry points.
 
 use crate::codebook::Codebook;
+use crate::column::SubjectColumn;
 use crate::dol::Dol;
 use crate::stats::DolStats;
 use dol_acl::{AccessOracle, BitVec, SubjectId};
 use dol_storage::{BufferPool, BulkItem, StoreConfig, StructStore};
 use dol_xml::Document;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Storage-layer errors bubbled up from the block store.
 pub type StorageError = dol_storage::disk::StorageError;
@@ -20,10 +21,7 @@ pub type StorageError = dol_storage::disk::StorageError;
 /// Produces the document-order [`BulkItem`] stream for a secured bulk load,
 /// interning each node's ACL on the fly — the paper's single-pass
 /// construction "using a single pass through a labeled XML document".
-pub fn build_secure_items(
-    doc: &Document,
-    oracle: &impl AccessOracle,
-) -> (Vec<BulkItem>, Codebook) {
+pub fn build_secure_items(doc: &Document, oracle: &impl AccessOracle) -> (Vec<BulkItem>, Codebook) {
     let mut codebook = Codebook::new(oracle.subject_count());
     let mut row = BitVec::zeros(0);
     let mut prev: Option<u32> = None;
@@ -48,9 +46,30 @@ pub fn build_secure_items(
 
 /// The in-memory half of an embedded DOL: the codebook plus the operations
 /// that interpret the codes stored in a [`StructStore`].
-#[derive(Debug, Clone)]
 pub struct EmbeddedDol {
     codebook: Codebook,
+    /// Most-recently decoded subject column, revalidated against the
+    /// codebook's version stamp on every [`column`](EmbeddedDol::column)
+    /// call. Codebook mutations require `&mut self`, so a column handed out
+    /// under `&self` can never race a code-space change.
+    column_cache: Mutex<Option<Arc<SubjectColumn>>>,
+}
+
+impl Clone for EmbeddedDol {
+    fn clone(&self) -> Self {
+        Self {
+            codebook: self.codebook.clone(),
+            column_cache: Mutex::new(self.column_cache.lock().unwrap().clone()),
+        }
+    }
+}
+
+impl std::fmt::Debug for EmbeddedDol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EmbeddedDol")
+            .field("codebook", &self.codebook)
+            .finish_non_exhaustive()
+    }
 }
 
 impl EmbeddedDol {
@@ -64,12 +83,31 @@ impl EmbeddedDol {
     ) -> Result<(StructStore, EmbeddedDol), StorageError> {
         let (items, codebook) = build_secure_items(doc, oracle);
         let store = StructStore::build(pool, cfg, items)?;
-        Ok((store, EmbeddedDol { codebook }))
+        Ok((store, EmbeddedDol::from_codebook(codebook)))
     }
 
     /// Wraps an existing codebook (e.g. loaded from persisted form).
     pub fn from_codebook(codebook: Codebook) -> Self {
-        Self { codebook }
+        Self {
+            codebook,
+            column_cache: Mutex::new(None),
+        }
+    }
+
+    /// The decoded accessibility column for `subject`, cached until the next
+    /// codebook mutation. The returned column is immutable and cheap to
+    /// clone, so per-query (or per-worker) holders pay the cache lock once
+    /// and then check codes with a single shift-and-mask.
+    pub fn column(&self, subject: SubjectId) -> Arc<SubjectColumn> {
+        let mut cache = self.column_cache.lock().unwrap();
+        if let Some(col) = cache.as_ref() {
+            if col.matches(&self.codebook, subject) {
+                return Arc::clone(col);
+            }
+        }
+        let col = Arc::new(self.codebook.column(subject));
+        *cache = Some(Arc::clone(&col));
+        col
     }
 
     /// The codebook.
@@ -92,14 +130,16 @@ impl EmbeddedDol {
 
     /// Whether `subject` may access the node at `pos` (one page access,
     /// shared with the structural read — see
-    /// [`StructStore::node_and_code`]).
+    /// [`StructStore::node_and_code`]). Resolves the code through the cached
+    /// decoded column for `subject`.
     pub fn accessible(
         &self,
         store: &StructStore,
         pos: u64,
         subject: SubjectId,
     ) -> Result<bool, StorageError> {
-        Ok(self.check_code(store.code_at(pos)?, subject))
+        let column = self.column(subject);
+        Ok(column.check_code(store.code_at(pos)?))
     }
 
     /// The page-skip test (§3.3): if block `idx`'s first node is
@@ -107,8 +147,19 @@ impl EmbeddedDol {
     /// the block is inaccessible — and this is decided **from memory**,
     /// without reading the page.
     pub fn block_skippable(&self, store: &StructStore, idx: usize, subject: SubjectId) -> bool {
+        self.block_skippable_with(store, idx, &self.column(subject))
+    }
+
+    /// [`block_skippable`](EmbeddedDol::block_skippable) against an
+    /// already-decoded column — the per-worker fast path.
+    pub fn block_skippable_with(
+        &self,
+        store: &StructStore,
+        idx: usize,
+        column: &SubjectColumn,
+    ) -> bool {
         let info = store.block_info(idx);
-        !info.change && !self.check_code(info.first_code, subject)
+        !info.change && !column.check_code(info.first_code)
     }
 
     /// Grants or revokes one subject's access to the single node at `pos`
@@ -352,6 +403,31 @@ mod tests {
         // New subject mirrors subject 1.
         assert!(dol.accessible(&store, 4, new).unwrap());
         assert!(!dol.accessible(&store, 1, new).unwrap());
+    }
+
+    #[test]
+    fn column_cache_revalidates_on_codebook_mutation() {
+        let (store, mut dol, _, doc) = setup(300);
+        let col = dol.column(SubjectId(1));
+        // Cache hit: same snapshot object.
+        assert!(Arc::ptr_eq(&col, &dol.column(SubjectId(1))));
+        // Different subject: recomputed.
+        assert!(!Arc::ptr_eq(&col, &dol.column(SubjectId(0))));
+        // The column agrees with the codebook for every code.
+        for code in 0..dol.codebook().len() as u32 {
+            assert_eq!(col.check_code(code), dol.codebook().bit(code, SubjectId(1)));
+        }
+        // A codebook mutation invalidates the snapshot.
+        let s = dol.codebook_mut().add_subject(Some(SubjectId(1)));
+        let col2 = dol.column(SubjectId(1));
+        assert!(!Arc::ptr_eq(&col, &col2));
+        for p in 0..doc.len() as u64 {
+            assert_eq!(
+                dol.accessible(&store, p, s).unwrap(),
+                dol.accessible(&store, p, SubjectId(1)).unwrap(),
+                "copied subject must mirror source at pos {p}"
+            );
+        }
     }
 
     #[test]

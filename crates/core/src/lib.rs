@@ -45,12 +45,14 @@
 //! ```
 
 pub mod codebook;
+pub mod column;
 pub mod dol;
 pub mod embedded;
 pub mod stats;
 pub mod stream;
 
 pub use codebook::Codebook;
+pub use column::SubjectColumn;
 pub use dol::Dol;
 pub use embedded::{build_secure_items, EmbeddedDol};
 pub use stats::DolStats;

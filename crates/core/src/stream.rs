@@ -27,10 +27,7 @@ use dol_xml::{EventReader, ParseError, XmlEvent};
 
 /// Builds a DOL over an XML text in one streaming pass, assigning stream
 /// positions per the module convention and querying `oracle` per node.
-pub fn build_dol_from_stream(
-    xml: &str,
-    oracle: &impl AccessOracle,
-) -> Result<Dol, ParseError> {
+pub fn build_dol_from_stream(xml: &str, oracle: &impl AccessOracle) -> Result<Dol, ParseError> {
     let mut codebook = Codebook::new(oracle.subject_count());
     let mut transitions: Vec<(u64, u32)> = Vec::new();
     let mut row = BitVec::zeros(0);
@@ -70,11 +67,7 @@ pub fn build_dol_from_stream(
 /// pruned **with their whole subtree**, inaccessible attributes and text
 /// chunks are dropped individually. Returns the filtered document (an empty
 /// string if the root itself is inaccessible).
-pub fn secure_filter(
-    xml: &str,
-    dol: &Dol,
-    subject: SubjectId,
-) -> Result<String, ParseError> {
+pub fn secure_filter(xml: &str, dol: &Dol, subject: SubjectId) -> Result<String, ParseError> {
     let mut out = String::with_capacity(xml.len() / 2);
     let mut pos = 0u64;
     // Depth (in open *visible* terms) at which a skipped subtree started.
@@ -83,7 +76,10 @@ pub fn secure_filter(
     // One-event lookahead so childless elements serialize as `<e/>`.
     let mut pending_start: Option<String> = None;
 
-    let accessible = |p: u64| dol.accessible(p, subject);
+    // One decoded column for the whole pass: every per-position check is a
+    // transition lookup plus a shift-and-mask, never an ACL-entry read.
+    let column = dol.column(subject);
+    let accessible = |p: u64| dol.accessible_with(p, &column);
     for ev in EventReader::new(xml) {
         let ev = ev?;
         match ev {
@@ -153,7 +149,9 @@ pub fn secure_filter(
 }
 
 fn escape_text(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn escape_attr(s: &str) -> String {
@@ -237,10 +235,7 @@ mod tests {
         for p in 0..doc.len() as u32 {
             map.set(SubjectId(0), NodeId(p), true);
         }
-        let first_x = doc
-            .preorder()
-            .find(|&n| doc.name_of(n) == "x")
-            .unwrap();
+        let first_x = doc.preorder().find(|&n| doc.name_of(n) == "x").unwrap();
         map.set(SubjectId(0), NodeId(first_x.0), false);
         let dol = Dol::build(&doc, &map);
         let out = secure_filter(xml, &dol, SubjectId(0)).unwrap();

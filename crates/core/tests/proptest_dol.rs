@@ -67,8 +67,7 @@ fn arb_updates() -> impl Strategy<Value = Vec<Update>> {
     proptest::collection::vec(
         prop_oneof![
             (any::<u32>(), 0u8..3, any::<bool>()).prop_map(|(p, s, a)| Update::SetNode(p, s, a)),
-            (any::<u32>(), 0u8..3, any::<bool>())
-                .prop_map(|(p, s, a)| Update::SetSubtree(p, s, a)),
+            (any::<u32>(), 0u8..3, any::<bool>()).prop_map(|(p, s, a)| Update::SetSubtree(p, s, a)),
             (any::<u32>(), any::<u32>(), any::<u8>()).prop_map(|(a, b, v)| Update::SetRun(a, b, v)),
         ],
         0..25,

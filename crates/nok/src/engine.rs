@@ -76,11 +76,33 @@ impl From<StorageError> for QueryError {
 pub struct ExecOptions {
     /// Enable the §3.3 page-skip optimization (default: true).
     pub page_skip: bool,
+    /// Worker threads for candidate matching: `1` (the default) evaluates
+    /// sequentially on the calling thread, `0` uses all available cores, any
+    /// other value spawns exactly that many scoped workers. Results are
+    /// byte-identical to sequential evaluation at every setting: candidates
+    /// are split into contiguous chunks and worker outputs are concatenated
+    /// in chunk order.
+    pub parallelism: usize,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        Self { page_skip: true }
+        Self {
+            page_skip: true,
+            parallelism: 1,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// The effective worker count (`0` resolved to the core count).
+    pub fn effective_parallelism(&self) -> usize {
+        match self.parallelism {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
     }
 }
 
@@ -103,6 +125,16 @@ pub struct ExecStats {
     pub io: IoStats,
     /// Wall-clock evaluation time.
     pub elapsed: Duration,
+}
+
+impl ExecStats {
+    /// Folds one matcher's counters in (workers merge in chunk order, but
+    /// these sums are order-independent).
+    fn add_match(&mut self, m: &crate::matcher::MatchStats) {
+        self.nodes_visited += m.nodes_visited;
+        self.nodes_denied += m.nodes_denied;
+        self.blocks_skipped += m.candidates_block_skipped;
+    }
 }
 
 /// The result of one evaluation.
@@ -305,13 +337,13 @@ impl<'a> QueryEngine<'a> {
         if subject.is_some() && self.dol.is_none() {
             return Err(QueryError::NoAccessControl);
         }
-        let ctx = MatchContext {
-            store: self.store,
-            values: self.values,
-            tags: self.tags,
-            access: subject.map(|s| (self.dol.unwrap(), s)),
-            page_skip: opts.page_skip,
-        };
+        let ctx = MatchContext::new(
+            self.store,
+            self.values,
+            self.tags,
+            subject.map(|s| (self.dol.unwrap(), s)),
+            opts.page_skip,
+        );
 
         // Under subtree-visibility semantics every fragment root's binding
         // must be exported so its ancestor path can be checked.
@@ -328,7 +360,12 @@ impl<'a> QueryEngine<'a> {
             plan
         };
 
-        // 1. Match every fragment.
+        // 1. Match every fragment. With `parallelism > 1`, the candidate
+        //    list is split into contiguous chunks over scoped workers; each
+        //    worker runs its own matcher (sharing the context's decoded
+        //    column) and outputs are concatenated in chunk order, so the
+        //    tuple stream is byte-identical to sequential evaluation.
+        let workers = opts.effective_parallelism().max(1);
         let mut results: Vec<Vec<Binding>> = Vec::with_capacity(plan.trees.len());
         for (i, tree) in plan.trees.iter().enumerate() {
             let mut matcher = FragmentMatcher::new(&ctx, plan, i);
@@ -341,13 +378,43 @@ impl<'a> QueryEngine<'a> {
                 Vec::new()
             };
             stats.candidates += candidates.len() as u64;
-            let mut tuples = Vec::new();
-            for c in candidates {
-                tuples.extend(matcher.match_root(c)?);
-            }
-            stats.nodes_visited += matcher.stats.nodes_visited;
-            stats.nodes_denied += matcher.stats.nodes_denied;
-            stats.blocks_skipped += matcher.stats.candidates_block_skipped;
+            let tuples = if workers <= 1 || candidates.len() < 2 {
+                let mut tuples = Vec::new();
+                for c in candidates {
+                    tuples.extend(matcher.match_root(c)?);
+                }
+                stats.add_match(&matcher.stats);
+                tuples
+            } else {
+                let chunk = candidates.len().div_ceil(workers.min(candidates.len()));
+                let per_chunk: Vec<_> = std::thread::scope(|scope| {
+                    let ctx = &ctx;
+                    let handles: Vec<_> = candidates
+                        .chunks(chunk)
+                        .map(|chunk| {
+                            scope.spawn(move || {
+                                let mut m = FragmentMatcher::new(ctx, plan, i);
+                                let mut tuples = Vec::new();
+                                for &c in chunk {
+                                    tuples.extend(m.match_root(c)?);
+                                }
+                                Ok::<_, StorageError>((tuples, m.stats))
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("matcher worker panicked"))
+                        .collect()
+                });
+                let mut tuples = Vec::new();
+                for r in per_chunk {
+                    let (t, ms) = r?;
+                    tuples.extend(t);
+                    stats.add_match(&ms);
+                }
+                tuples
+            };
             let _ = tree;
             results.push(tuples);
         }
@@ -415,10 +482,7 @@ impl<'a> QueryEngine<'a> {
 
         // 4. Project the returning node.
         let returning = plan.pattern.returning();
-        let mut matches: Vec<u64> = results[0]
-            .iter()
-            .map(|b| bound(b, returning))
-            .collect();
+        let mut matches: Vec<u64> = results[0].iter().map(|b| bound(b, returning)).collect();
         matches.sort_unstable();
         matches.dedup();
 
@@ -492,18 +556,22 @@ mod tests {
     fn single_fragment_queries() {
         let d = db(DOC, None, 300);
         assert_eq!(
-            query(&d, "/site/regions/africa/item[name][quantity]", Security::None),
+            query(
+                &d,
+                "/site/regions/africa/item[name][quantity]",
+                Security::None
+            ),
             vec![3]
         );
         assert_eq!(
             query(&d, "/site/regions/africa/item", Security::None),
             vec![3, 6]
         );
-        assert_eq!(query(&d, "/site/*/africa/item/name", Security::None), vec![4, 7]);
         assert_eq!(
-            query(&d, "//item[name=\"salt\"]", Security::None),
-            vec![6]
+            query(&d, "/site/*/africa/item/name", Security::None),
+            vec![4, 7]
         );
+        assert_eq!(query(&d, "//item[name=\"salt\"]", Security::None), vec![6]);
         assert_eq!(query(&d, "/regions", Security::None), Vec::<u64>::new());
     }
 
@@ -513,16 +581,15 @@ mod tests {
         assert_eq!(query(&d, "//regions//name", Security::None), vec![4, 7]);
         assert_eq!(query(&d, "//site//name", Security::None), vec![4, 7, 10]);
         assert_eq!(query(&d, "//africa//quantity", Security::None), vec![5]);
-        assert_eq!(query(&d, "//category//quantity", Security::None), Vec::<u64>::new());
+        assert_eq!(
+            query(&d, "//category//quantity", Security::None),
+            Vec::<u64>::new()
+        );
     }
 
     #[test]
     fn chained_descendants() {
-        let d = db(
-            "<a><p><x/><p><x/></p></p><p><y/></p></a>",
-            None,
-            300,
-        );
+        let d = db("<a><p><x/><p><x/></p></p><p><y/></p></a>", None, 300);
         // a=0 p=1 x=2 p=3 x=4 p=5 y=6.
         // x at 2 descends from p at 1; x at 4 descends from both p nodes.
         assert_eq!(query(&d, "//p//x", Security::None), vec![2, 4]);
@@ -567,7 +634,11 @@ mod tests {
         );
         // Gabillon–Bruno: names under africa are hidden with their subtree.
         assert_eq!(
-            query(&d, "//site//name", Security::SubtreeVisibility(SubjectId(0))),
+            query(
+                &d,
+                "//site//name",
+                Security::SubtreeVisibility(SubjectId(0))
+            ),
             vec![10]
         );
     }
@@ -588,7 +659,11 @@ mod tests {
             vec![3, 6]
         );
         assert_eq!(
-            query(&d, "//item[name]", Security::SubtreeVisibility(SubjectId(0))),
+            query(
+                &d,
+                "//item[name]",
+                Security::SubtreeVisibility(SubjectId(0))
+            ),
             Vec::<u64>::new()
         );
     }
@@ -601,7 +676,10 @@ mod tests {
             engine.execute("//item", Security::BindingLevel(SubjectId(0))),
             Err(QueryError::NoAccessControl)
         ));
-        assert_eq!(engine.execute("//item", Security::None).unwrap().matches, vec![3, 6]);
+        assert_eq!(
+            engine.execute("//item", Security::None).unwrap().matches,
+            vec![3, 6]
+        );
     }
 
     #[test]
@@ -621,21 +699,14 @@ mod tests {
         let d = db(DOC, None, 300);
         let engine = QueryEngine::new(&d.store, &d.values, d.doc.tags(), Some(&d.dol)).unwrap();
         // //name="gold": the value index seeds exactly the matching node.
-        let narrowed = engine
-            .execute("//name[=\"gold\"]", Security::None)
-            .unwrap();
+        let narrowed = engine.execute("//name[=\"gold\"]", Security::None).unwrap();
         assert_eq!(narrowed.matches, vec![4]);
         assert_eq!(narrowed.stats.candidates, 1, "value index should seed 1");
         // Without the value index (borrowed-index engine), all `name` nodes
         // are candidates — same answer, more work.
         let tag_index = build_tag_index(&d.store).unwrap();
-        let plain = QueryEngine::with_index(
-            &d.store,
-            &d.values,
-            d.doc.tags(),
-            Some(&d.dol),
-            &tag_index,
-        );
+        let plain =
+            QueryEngine::with_index(&d.store, &d.values, d.doc.tags(), Some(&d.dol), &tag_index);
         let wide = plain.execute("//name[=\"gold\"]", Security::None).unwrap();
         assert_eq!(wide.matches, narrowed.matches);
         assert!(wide.stats.candidates > narrowed.stats.candidates);
@@ -675,6 +746,55 @@ mod tests {
             query(&d, "//a~b", Security::BindingLevel(SubjectId(0))),
             vec![2]
         );
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let doc = parse(DOC).unwrap();
+        let mut map = AccessibilityMap::new(1, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        map.set(SubjectId(0), NodeId(5), false);
+        let d = db(DOC, Some(&map), 2);
+        let engine = QueryEngine::new(&d.store, &d.values, d.doc.tags(), Some(&d.dol)).unwrap();
+        for q in [
+            "//site//name",
+            "//item[name]",
+            "/site/regions/africa/item[name][quantity]",
+        ] {
+            for sec in [
+                Security::None,
+                Security::BindingLevel(SubjectId(0)),
+                Security::SubtreeVisibility(SubjectId(0)),
+            ] {
+                let plan = QueryPlan::new(parse_query(q).unwrap());
+                let seq = engine
+                    .execute_plan_opts(&plan, sec, ExecOptions::default())
+                    .unwrap();
+                for parallelism in [0, 2, 3, 7] {
+                    let par = engine
+                        .execute_plan_opts(
+                            &plan,
+                            sec,
+                            ExecOptions {
+                                parallelism,
+                                ..ExecOptions::default()
+                            },
+                        )
+                        .unwrap();
+                    assert_eq!(
+                        par.matches, seq.matches,
+                        "query {q} parallelism {parallelism}"
+                    );
+                    assert_eq!(par.stats.candidates, seq.stats.candidates);
+                    assert_eq!(par.stats.nodes_visited, seq.stats.nodes_visited);
+                    assert_eq!(par.stats.nodes_denied, seq.stats.nodes_denied);
+                    assert_eq!(par.stats.blocks_skipped, seq.stats.blocks_skipped);
+                    assert_eq!(par.stats.join_pairs, seq.stats.join_pairs);
+                }
+            }
+        }
     }
 
     #[test]

@@ -273,13 +273,16 @@ mod tests {
             m
         };
         let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 64));
-        let (store, dol) =
-            EmbeddedDol::build(pool, StoreConfig::default(), &doc, &map).unwrap();
+        let (store, dol) = EmbeddedDol::build(pool, StoreConfig::default(), &doc, &map).unwrap();
         let mut vc = VisibilityChecker::new(&store, &dol, SubjectId(0));
         for p in 2..6 {
             assert!(vc.check(p).unwrap());
         }
         // Path sharing: root + b read once, then one read per sibling.
-        assert!(vc.nodes_inspected <= 2 + 4, "inspected {}", vc.nodes_inspected);
+        assert!(
+            vc.nodes_inspected <= 2 + 4,
+            "inspected {}",
+            vc.nodes_inspected
+        );
     }
 }

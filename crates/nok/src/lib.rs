@@ -45,7 +45,10 @@ pub mod plan;
 pub mod reference;
 pub mod xpath;
 
-pub use engine::{build_tag_index, build_value_index, ExecOptions, ExecStats, QueryEngine, QueryError, QueryResult, Security};
+pub use engine::{
+    build_tag_index, build_value_index, ExecOptions, ExecStats, QueryEngine, QueryError,
+    QueryResult, Security,
+};
 pub use pattern::{Axis, PNodeId, PatternNode, PatternTree};
 pub use plan::{JoinEdge, NokTree, QueryPlan};
 pub use xpath::{parse_query, QueryParseError};

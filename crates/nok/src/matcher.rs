@@ -19,10 +19,11 @@
 use crate::pattern::{Axis, PNodeId, PatternTree};
 use crate::plan::{NokTree, QueryPlan};
 use dol_acl::SubjectId;
-use dol_core::EmbeddedDol;
+use dol_core::{EmbeddedDol, SubjectColumn};
 use dol_storage::disk::StorageError;
 use dol_storage::{NodeRec, StructStore, ValueStore};
 use dol_xml::{TagId, TagInterner};
+use std::sync::Arc;
 
 /// A partial result: data positions bound to output pattern nodes,
 /// ascending by pattern node id.
@@ -38,20 +39,46 @@ pub struct MatchContext<'a> {
     pub tags: &'a TagInterner,
     /// `Some((dol, subject))` enables ε-NoK accessibility checking.
     pub access: Option<(&'a EmbeddedDol, SubjectId)>,
+    /// Decoded accessibility column for the subject, shared by every matcher
+    /// (and every worker thread) of one evaluation. When present, the
+    /// per-node check is a single shift-and-mask on an immutable snapshot —
+    /// no codebook lock, no ACL-entry read.
+    pub column: Option<Arc<SubjectColumn>>,
     /// Whether candidates may be rejected from in-memory block headers
     /// without reading their page (§3.3). On by default; the ablation
     /// benchmarks switch it off to isolate its effect.
     pub page_skip: bool,
 }
 
-impl MatchContext<'_> {
+impl<'a> MatchContext<'a> {
+    /// Builds a context, decoding the subject's column once up front when
+    /// access control is attached.
+    pub fn new(
+        store: &'a StructStore,
+        values: &'a ValueStore,
+        tags: &'a TagInterner,
+        access: Option<(&'a EmbeddedDol, SubjectId)>,
+        page_skip: bool,
+    ) -> Self {
+        let column = access.map(|(dol, s)| dol.column(s));
+        Self {
+            store,
+            values,
+            tags,
+            access,
+            column,
+            page_skip,
+        }
+    }
+
     /// Whether the node whose code is `code` is accessible (always true in
     /// unsecured mode).
     #[inline]
     pub fn code_accessible(&self, code: u32) -> bool {
-        match self.access {
-            None => true,
-            Some((dol, s)) => dol.check_code(code, s),
+        match (&self.column, self.access) {
+            (Some(col), _) => col.check_code(code),
+            (None, Some((dol, s))) => dol.check_code(code, s),
+            (None, None) => true,
         }
     }
 }
@@ -138,7 +165,11 @@ impl<'a> FragmentMatcher<'a> {
     /// Whether this fragment can match anything at all (false when a pattern
     /// tag does not occur in the document).
     pub fn is_satisfiable(&self) -> bool {
-        !self.tree.members.iter().any(|m| self.unmatchable[m.index()])
+        !self
+            .tree
+            .members
+            .iter()
+            .any(|m| self.unmatchable[m.index()])
     }
 
     /// The resolved tag of the fragment root (`None` = wildcard).
@@ -156,8 +187,13 @@ impl<'a> FragmentMatcher<'a> {
         // Page-skip fast path (§3.3): decided from the in-memory header.
         if let Some((dol, s)) = self.ctx.access.filter(|_| self.ctx.page_skip) {
             let block = self.ctx.store.block_of_pos(pos);
-            if dol.block_skippable(self.ctx.store, block, s) {
+            let skippable = match &self.ctx.column {
+                Some(col) => dol.block_skippable_with(self.ctx.store, block, col),
+                None => dol.block_skippable(self.ctx.store, block, s),
+            };
+            if skippable {
                 self.stats.candidates_block_skipped += 1;
+                self.ctx.store.pool().note_page_skipped();
                 return Ok(Vec::new());
             }
         }
@@ -303,8 +339,7 @@ impl<'a> FragmentMatcher<'a> {
             }
             // Early exit once everything is satisfied and no further scan
             // can add output bindings.
-            if satisfied.iter().all(|&s| s)
-                && pats.iter().all(|&c| !self.carries_output[c.index()])
+            if satisfied.iter().all(|&s| s) && pats.iter().all(|&c| !self.carries_output[c.index()])
             {
                 break;
             }
@@ -365,13 +400,13 @@ mod tests {
         candidates: &[u64],
     ) -> Vec<Vec<(u32, u64)>> {
         let plan = QueryPlan::new(parse_query(query).unwrap());
-        let ctx = MatchContext {
-            store: &f.store,
-            values: &f.values,
-            tags: f.doc.tags(),
-            access: secure.map(|s| (&f.dol, s)),
-            page_skip: true,
-        };
+        let ctx = MatchContext::new(
+            &f.store,
+            &f.values,
+            f.doc.tags(),
+            secure.map(|s| (&f.dol, s)),
+            true,
+        );
         let mut m = FragmentMatcher::new(&ctx, &plan, 0);
         let mut out = Vec::new();
         for &c in candidates {
@@ -467,18 +502,19 @@ mod tests {
         let map = AccessibilityMap::new(1, doc.len());
         let f = fixture(FIG2, Some(&map), 2);
         let plan = QueryPlan::new(parse_query("//h").unwrap());
-        let ctx = MatchContext {
-            store: &f.store,
-            values: &f.values,
-            tags: f.doc.tags(),
-            access: Some((&f.dol, SubjectId(0))),
-            page_skip: true,
-        };
+        let ctx = MatchContext::new(
+            &f.store,
+            &f.values,
+            f.doc.tags(),
+            Some((&f.dol, SubjectId(0))),
+            true,
+        );
         let mut m = FragmentMatcher::new(&ctx, &plan, 0);
         f.store.pool().reset_stats();
         assert!(m.match_root(7).unwrap().is_empty());
         assert_eq!(m.stats.candidates_block_skipped, 1);
         assert_eq!(f.store.pool().stats().logical_reads, 0, "no page touched");
+        assert_eq!(f.store.pool().stats().pages_skipped, 1, "skip counted");
     }
 
     #[test]

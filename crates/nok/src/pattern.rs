@@ -68,7 +68,11 @@ impl PatternTree {
             nodes: vec![PatternNode {
                 tag: tag.map(Into::into),
                 value: None,
-                axis: if anchored { Axis::Child } else { Axis::Descendant },
+                axis: if anchored {
+                    Axis::Child
+                } else {
+                    Axis::Descendant
+                },
                 children: Vec::new(),
                 parent: None,
             }],

@@ -52,8 +52,7 @@ impl QueryPlan {
         let mut joins: Vec<JoinEdge> = Vec::new();
         // (fragment root, ancestor fragment index + anchor) stack, seeded
         // with the pattern root.
-        let mut pending: Vec<(PNodeId, Option<(usize, PNodeId)>)> =
-            vec![(pattern.root(), None)];
+        let mut pending: Vec<(PNodeId, Option<(usize, PNodeId)>)> = vec![(pattern.root(), None)];
         // Depth-first over fragments, so tree 0 holds the pattern root and
         // every join's desc_tree exceeds its anc_tree.
         let mut queue_idx = 0;

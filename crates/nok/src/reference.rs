@@ -59,17 +59,18 @@ pub fn naive_eval(doc: &Document, pattern: &PatternTree, sec: RefSecurity<'_>) -
             if !node_ok(p, d) {
                 continue;
             }
-            let all_children = pattern.node(p).children.iter().all(|&c| {
-                match pattern.node(c).axis {
-                    Axis::Child => doc.children(d).any(|x| sat[c.index()][x.index()]),
-                    Axis::Descendant => {
-                        doc.descendants(d).any(|x| sat[c.index()][x.index()])
-                    }
-                    Axis::FollowingSibling => {
-                        following_siblings(doc, d).any(|x| sat[c.index()][x.index()])
-                    }
-                }
-            });
+            let all_children =
+                pattern
+                    .node(p)
+                    .children
+                    .iter()
+                    .all(|&c| match pattern.node(c).axis {
+                        Axis::Child => doc.children(d).any(|x| sat[c.index()][x.index()]),
+                        Axis::Descendant => doc.descendants(d).any(|x| sat[c.index()][x.index()]),
+                        Axis::FollowingSibling => {
+                            following_siblings(doc, d).any(|x| sat[c.index()][x.index()])
+                        }
+                    });
             if all_children {
                 sat[p.index()][d.index()] = true;
             }
@@ -141,13 +142,13 @@ mod tests {
     #[test]
     fn matches_hand_computed_results() {
         let doc = parse("<a><b><c/></b><b/><d><b><c/></b></d></a>").unwrap();
-        assert_eq!(naive_eval_str(&doc, "//b[c]", RefSecurity::None), vec![1, 5]);
+        assert_eq!(
+            naive_eval_str(&doc, "//b[c]", RefSecurity::None),
+            vec![1, 5]
+        );
         assert_eq!(naive_eval_str(&doc, "/a/b", RefSecurity::None), vec![1, 3]);
         assert_eq!(naive_eval_str(&doc, "//d//c", RefSecurity::None), vec![6]);
-        assert_eq!(
-            naive_eval_str(&doc, "//a/*/c", RefSecurity::None),
-            vec![2]
-        );
+        assert_eq!(naive_eval_str(&doc, "//a/*/c", RefSecurity::None), vec![2]);
     }
 
     #[test]
@@ -160,11 +161,7 @@ mod tests {
             naive_eval_str(&doc, "//c", RefSecurity::Binding(&m, SubjectId(0))),
             vec![2]
         );
-        assert!(
-            naive_eval_str(&doc, "//c", RefSecurity::Subtree(&m, SubjectId(0))).is_empty()
-        );
-        assert!(
-            naive_eval_str(&doc, "//b/c", RefSecurity::Binding(&m, SubjectId(0))).is_empty()
-        );
+        assert!(naive_eval_str(&doc, "//c", RefSecurity::Subtree(&m, SubjectId(0))).is_empty());
+        assert!(naive_eval_str(&doc, "//b/c", RefSecurity::Binding(&m, SubjectId(0))).is_empty());
     }
 }

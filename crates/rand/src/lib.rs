@@ -1,0 +1,274 @@
+//! Offline stand-in for the `rand` crate (0.8 API surface).
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the subset of `rand` it uses: seedable deterministic generators
+//! ([`rngs::StdRng`], [`rngs::SmallRng`]), the [`Rng`] sampling methods
+//! (`gen_range`, `gen_bool`, `gen`), and the [`seq::SliceRandom`] slice
+//! helpers (`shuffle`, `choose`).
+//!
+//! Generated sequences differ from upstream `rand` for the same seed —
+//! everything in this workspace that consumes randomness is model-based or
+//! statistical, never locked to upstream byte sequences. Determinism per seed
+//! *within this crate* is guaranteed (xoshiro256\*\* with SplitMix64 seeding),
+//! which is what the reproducible-experiment harness needs.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling from a range type. Mirrors `rand::distributions::uniform`
+/// just enough for `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// The raw entropy source: one required method.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Sampling methods over an [`RngCore`].
+pub trait Rng: RngCore + Sized {
+    /// A uniform draw from `range` (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (`0.0 ≤ p ≤ 1.0`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A uniformly random value of a primitive type.
+    fn gen<T: Fill>(&mut self) -> T {
+        T::fill(self)
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// Primitive types [`Rng::gen`] can produce.
+pub trait Fill {
+    /// Draws one uniformly random value.
+    fn fill(rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! impl_fill {
+    ($($t:ty),*) => {$(
+        impl Fill for $t {
+            fn fill(rng: &mut dyn RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_fill!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Fill for bool {
+    fn fill(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Fill for f64 {
+    fn fill(rng: &mut dyn RngCore) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+/// Maps 64 random bits onto `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types uniformly sampleable over a bounded range. A single blanket impl of
+/// [`SampleRange`] over this trait keeps type inference identical to upstream
+/// `rand` (unsuffixed integer literals fall back to `i32`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws from `[lo, hi)` (`inclusive = false`) or `[lo, hi]` (`true`).
+    fn sample_range(lo: Self, hi: Self, inclusive: bool, rng: &mut dyn RngCore) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        T::sample_range(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range(lo, hi, true, rng)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: Self, hi: Self, inclusive: bool, rng: &mut dyn RngCore) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "gen_range: empty range");
+                    // u128 wrapping arithmetic handles negative bounds (they
+                    // sign-extend, and the subtraction cancels the extension).
+                    let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                    if span == 0 || span > u64::MAX as u128 {
+                        return rng.next_u64() as $t; // full-width range
+                    }
+                    lo.wrapping_add((rng.next_u64() % span as u64) as $t)
+                } else {
+                    assert!(lo < hi, "gen_range: empty range");
+                    let span = (hi as u128).wrapping_sub(lo as u128) as u64;
+                    lo.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range(lo: Self, hi: Self, _inclusive: bool, rng: &mut dyn RngCore) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+/// Deterministic generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256\*\* seeded via SplitMix64 — the workspace's stand-in for
+    /// `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// Small-state generator; identical to [`StdRng`] here.
+    pub type SmallRng = StdRng;
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+/// Slice sampling helpers (`rand::seq` subset).
+pub mod seq {
+    use super::Rng;
+
+    /// `shuffle` / `choose` over slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u64 = rng.gen_range(5..=5);
+            assert_eq!(w, 5);
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_rates() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "p=0.3 gave {hits}/10000");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -143,32 +143,30 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         max: usize,
     ) -> (Option<V>, Option<(K, Box<Node<K, V>>)>) {
         match node {
-            Node::Leaf { entries } => {
-                match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
-                    Ok(i) => {
-                        let old = std::mem::replace(&mut entries[i].1, value);
-                        (Some(old), None)
-                    }
-                    Err(i) => {
-                        entries.insert(i, (key, value));
-                        if entries.len() > max {
-                            let right_entries = entries.split_off(entries.len() / 2);
-                            let sep = right_entries[0].0.clone();
-                            (
-                                None,
-                                Some((
-                                    sep,
-                                    Box::new(Node::Leaf {
-                                        entries: right_entries,
-                                    }),
-                                )),
-                            )
-                        } else {
-                            (None, None)
-                        }
+            Node::Leaf { entries } => match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+                Ok(i) => {
+                    let old = std::mem::replace(&mut entries[i].1, value);
+                    (Some(old), None)
+                }
+                Err(i) => {
+                    entries.insert(i, (key, value));
+                    if entries.len() > max {
+                        let right_entries = entries.split_off(entries.len() / 2);
+                        let sep = right_entries[0].0.clone();
+                        (
+                            None,
+                            Some((
+                                sep,
+                                Box::new(Node::Leaf {
+                                    entries: right_entries,
+                                }),
+                            )),
+                        )
+                    } else {
+                        (None, None)
                     }
                 }
-            }
+            },
             Node::Internal { keys, children } => {
                 let idx = match keys.binary_search(&key) {
                     Ok(i) => i + 1,

@@ -1,21 +1,40 @@
-//! An LRU buffer pool with exact I/O accounting.
+//! A sharded LRU buffer pool with exact I/O accounting.
 //!
 //! Every page access in the engine goes through [`BufferPool::with_page`] /
 //! [`BufferPool::with_page_mut`]. The pool tracks logical reads (accesses),
-//! physical reads (disk fetches on miss), physical writes and evictions in
-//! [`IoStats`]. The experiment harness resets and samples these counters to
-//! reproduce the paper's I/O claims: ε-NoK's accessibility checks cause *zero*
-//! additional physical reads because codes live on the same page as the node
-//! records, and the page-skip optimization reduces reads when most of a
-//! document is inaccessible.
+//! physical reads (disk fetches on miss), physical writes, evictions, and
+//! pages skipped by the §3.3 page-skip test in [`IoStats`]. The experiment
+//! harness resets and samples these counters to reproduce the paper's I/O
+//! claims: ε-NoK's accessibility checks cause *zero* additional physical
+//! reads because codes live on the same page as the node records, and the
+//! page-skip optimization reduces reads when most of a document is
+//! inaccessible.
+//!
+//! # Sharding
+//!
+//! [`BufferPool::new`] builds a **single-shard** pool whose LRU decisions and
+//! counter totals are exactly those of the classic one-mutex design — the
+//! experiment harness depends on replaying identical I/O counts.
+//! [`BufferPool::with_shards`] splits the frames across `shards` (rounded up
+//! to a power of two) independent LRU shards, each with its own mutex and
+//! counters; a page's shard is a multiply-shift hash of its [`PageId`], so
+//! concurrent workers touching disjoint pages rarely contend.
+//! [`BufferPool::stats`] aggregates across shards and
+//! [`BufferPool::shard_stats`] exposes the per-shard breakdown.
+//!
+//! Within one shard the pool is **not re-entrant**: accessing a page from
+//! within an access to a page of the same shard panics instead of
+//! deadlocking (with a single shard, that is any nested access — the legacy
+//! semantics).
 
 use crate::disk::{Disk, StorageError};
 use crate::page::{Page, PageId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// Cumulative I/O counters of a [`BufferPool`].
+/// Cumulative I/O counters of a [`BufferPool`] (or one of its shards).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct IoStats {
     /// Page accesses served (hit or miss).
@@ -26,6 +45,9 @@ pub struct IoStats {
     pub physical_writes: u64,
     /// Frames evicted to make room.
     pub evictions: u64,
+    /// Page reads avoided by the §3.3 page-skip test (whole block known
+    /// inaccessible from memory). Counted pool-wide, not per shard.
+    pub pages_skipped: u64,
 }
 
 impl IoStats {
@@ -36,7 +58,16 @@ impl IoStats {
             physical_reads: self.physical_reads - earlier.physical_reads,
             physical_writes: self.physical_writes - earlier.physical_writes,
             evictions: self.evictions - earlier.evictions,
+            pages_skipped: self.pages_skipped - earlier.pages_skipped,
         }
+    }
+
+    fn add(&mut self, other: &IoStats) {
+        self.logical_reads += other.logical_reads;
+        self.physical_reads += other.physical_reads;
+        self.physical_writes += other.physical_writes;
+        self.evictions += other.evictions;
+        self.pages_skipped += other.pages_skipped;
     }
 }
 
@@ -54,37 +85,124 @@ struct Inner {
     stats: IoStats,
 }
 
-/// A fixed-capacity LRU page cache over a [`Disk`].
-///
-/// Access is closure-scoped ([`with_page`](BufferPool::with_page)); pages are
-/// never pinned across calls, so eviction can always make progress. The pool
-/// is internally synchronized but **not re-entrant**: accessing a page from
-/// within another page access panics instead of deadlocking.
-pub struct BufferPool {
-    disk: Arc<dyn Disk>,
+/// The LRU victim: the resident frame with the oldest access tick.
+fn victim_slot(frames: &[Frame]) -> usize {
+    frames
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, fr)| fr.last_used)
+        .map(|(i, _)| i)
+        .expect("victim_slot on an empty frame list")
+}
+
+struct Shard {
     inner: Mutex<Inner>,
+    /// Thread token of the current lock holder (0 = unheld). Lets the pool
+    /// distinguish same-thread re-entry (a bug: panic, as the classic pool
+    /// did) from cross-thread contention (legitimate: block).
+    owner: AtomicUsize,
     capacity: usize,
 }
 
+/// A per-thread unique, nonzero token (the address of a thread-local).
+fn thread_token() -> usize {
+    thread_local! {
+        static TOKEN: u8 = const { 0 };
+    }
+    TOKEN.with(|t| t as *const u8 as usize)
+}
+
+/// Shard lock guard that releases the owner mark on drop.
+struct ShardGuard<'a> {
+    guard: parking_lot::MutexGuard<'a, Inner>,
+    owner: &'a AtomicUsize,
+}
+
+impl Drop for ShardGuard<'_> {
+    fn drop(&mut self) {
+        self.owner.store(0, Ordering::Release);
+    }
+}
+
+impl std::ops::Deref for ShardGuard<'_> {
+    type Target = Inner;
+    fn deref(&self) -> &Inner {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for ShardGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Inner {
+        &mut self.guard
+    }
+}
+
+/// A fixed-capacity sharded LRU page cache over a [`Disk`].
+///
+/// Access is closure-scoped ([`with_page`](BufferPool::with_page)); pages are
+/// never pinned across calls, so eviction can always make progress. Shards
+/// are internally synchronized but **not re-entrant**: accessing a page from
+/// within an access to a page of the same shard panics instead of
+/// deadlocking.
+pub struct BufferPool {
+    disk: Arc<dyn Disk>,
+    shards: Vec<Shard>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    shard_mask: u64,
+    capacity: usize,
+    /// Pool-wide §3.3 skip counter; atomic because skips are decided from
+    /// memory without taking any shard lock.
+    pages_skipped: AtomicU64,
+}
+
 impl BufferPool {
-    /// Creates a pool caching at most `capacity` pages of `disk`.
+    /// Creates a single-shard pool caching at most `capacity` pages of
+    /// `disk`. LRU behavior and I/O counters are deterministic and identical
+    /// to the classic single-mutex pool.
     pub fn new(disk: Arc<dyn Disk>, capacity: usize) -> Self {
+        Self::with_shards(disk, capacity, 1)
+    }
+
+    /// Creates a pool of `shards` independent LRU shards (rounded up to a
+    /// power of two) sharing `capacity` frames as evenly as possible, each
+    /// shard getting at least one frame. Use for concurrent workloads where
+    /// single-mutex contention matters; counter *totals* remain exact, but
+    /// eviction decisions differ from the single-shard pool because each
+    /// shard only sees its own pages.
+    pub fn with_shards(disk: Arc<dyn Disk>, capacity: usize, shards: usize) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
+        assert!(shards > 0, "buffer pool needs at least one shard");
+        let n = shards.next_power_of_two();
+        let per_shard = capacity.div_ceil(n).max(1);
+        let shards: Vec<Shard> = (0..n)
+            .map(|_| Shard {
+                inner: Mutex::new(Inner {
+                    frames: Vec::with_capacity(per_shard),
+                    map: HashMap::new(),
+                    tick: 0,
+                    stats: IoStats::default(),
+                }),
+                owner: AtomicUsize::new(0),
+                capacity: per_shard,
+            })
+            .collect();
         Self {
             disk,
-            inner: Mutex::new(Inner {
-                frames: Vec::with_capacity(capacity.min(1024)),
-                map: HashMap::new(),
-                tick: 0,
-                stats: IoStats::default(),
-            }),
-            capacity,
+            shard_mask: (n - 1) as u64,
+            capacity: per_shard * n,
+            shards,
+            pages_skipped: AtomicU64::new(0),
         }
     }
 
-    /// Frame capacity of this pool.
+    /// Total frame capacity of this pool (all shards).
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// The underlying disk.
@@ -92,10 +210,19 @@ impl BufferPool {
         &self.disk
     }
 
+    /// The shard caching `id` (Fibonacci multiply-shift over the page
+    /// number; with one shard this is always shard 0).
+    #[inline]
+    fn shard_of(&self, id: PageId) -> &Shard {
+        let h = (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h & self.shard_mask) as usize]
+    }
+
     /// Runs `f` with shared access to page `id`.
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R, StorageError> {
-        let mut inner = self.lock();
-        let slot = self.fetch(&mut inner, id)?;
+        let shard = self.shard_of(id);
+        let mut inner = Self::lock(shard);
+        let slot = self.fetch(shard, &mut inner, id)?;
         inner.stats.logical_reads += 1;
         Ok(f(&inner.frames[slot].page))
     }
@@ -106,8 +233,9 @@ impl BufferPool {
         id: PageId,
         f: impl FnOnce(&mut Page) -> R,
     ) -> Result<R, StorageError> {
-        let mut inner = self.lock();
-        let slot = self.fetch(&mut inner, id)?;
+        let shard = self.shard_of(id);
+        let mut inner = Self::lock(shard);
+        let slot = self.fetch(shard, &mut inner, id)?;
         inner.stats.logical_reads += 1;
         inner.frames[slot].dirty = true;
         Ok(f(&mut inner.frames[slot].page))
@@ -118,55 +246,90 @@ impl BufferPool {
         self.disk.allocate_page()
     }
 
+    /// Records that the §3.3 page-skip test avoided reading one page.
+    pub fn note_page_skipped(&self) {
+        self.pages_skipped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Writes all dirty cached pages back to the disk.
     pub fn flush_all(&self) -> Result<(), StorageError> {
-        let mut inner = self.lock();
-        let mut writes = 0;
-        for frame in inner.frames.iter_mut() {
-            if frame.dirty {
-                self.disk.write_page(frame.id, &frame.page)?;
-                frame.dirty = false;
-                writes += 1;
+        for shard in &self.shards {
+            let mut inner = Self::lock(shard);
+            let mut writes = 0;
+            for frame in inner.frames.iter_mut() {
+                if frame.dirty {
+                    self.disk.write_page(frame.id, &frame.page)?;
+                    frame.dirty = false;
+                    writes += 1;
+                }
             }
+            inner.stats.physical_writes += writes;
         }
-        inner.stats.physical_writes += writes;
         Ok(())
     }
 
     /// Drops every cached page (flushing dirty ones), so the next accesses
     /// are cold. Experiments call this between runs.
     pub fn clear_cache(&self) -> Result<(), StorageError> {
-        let mut inner = self.lock();
-        let mut writes = 0;
-        for frame in inner.frames.drain(..) {
-            if frame.dirty {
-                self.disk.write_page(frame.id, &frame.page)?;
-                writes += 1;
+        for shard in &self.shards {
+            let mut inner = Self::lock(shard);
+            let mut writes = 0;
+            for frame in inner.frames.drain(..) {
+                if frame.dirty {
+                    self.disk.write_page(frame.id, &frame.page)?;
+                    writes += 1;
+                }
             }
+            inner.map.clear();
+            inner.stats.physical_writes += writes;
         }
-        inner.map.clear();
-        inner.stats.physical_writes += writes;
         Ok(())
     }
 
-    /// A snapshot of the I/O counters.
+    /// A snapshot of the I/O counters, aggregated over all shards.
     pub fn stats(&self) -> IoStats {
-        self.lock().stats
+        let mut total = IoStats {
+            pages_skipped: self.pages_skipped.load(Ordering::Relaxed),
+            ..IoStats::default()
+        };
+        for shard in &self.shards {
+            total.add(&Self::lock(shard).stats);
+        }
+        total
     }
 
-    /// Zeroes the I/O counters.
+    /// Per-shard counter snapshots (`pages_skipped` is pool-wide and
+    /// reported only by [`stats`](BufferPool::stats)).
+    pub fn shard_stats(&self) -> Vec<IoStats> {
+        self.shards
+            .iter()
+            .map(|shard| Self::lock(shard).stats)
+            .collect()
+    }
+
+    /// Zeroes the I/O counters of every shard.
     pub fn reset_stats(&self) {
-        self.lock().stats = IoStats::default();
+        self.pages_skipped.store(0, Ordering::Relaxed);
+        for shard in &self.shards {
+            Self::lock(shard).stats = IoStats::default();
+        }
     }
 
-    fn lock(&self) -> parking_lot::MutexGuard<'_, Inner> {
-        self.inner
-            .try_lock()
-            .expect("buffer pool re-entered from within a page access")
+    fn lock(shard: &Shard) -> ShardGuard<'_> {
+        let me = thread_token();
+        if shard.owner.load(Ordering::Acquire) == me {
+            panic!("buffer pool re-entered from within a page access");
+        }
+        let guard = shard.inner.lock();
+        shard.owner.store(me, Ordering::Release);
+        ShardGuard {
+            guard,
+            owner: &shard.owner,
+        }
     }
 
-    /// Ensures `id` is resident; returns its frame slot.
-    fn fetch(&self, inner: &mut Inner, id: PageId) -> Result<usize, StorageError> {
+    /// Ensures `id` is resident in `shard`; returns its frame slot.
+    fn fetch(&self, shard: &Shard, inner: &mut Inner, id: PageId) -> Result<usize, StorageError> {
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(&slot) = inner.map.get(&id) {
@@ -174,7 +337,7 @@ impl BufferPool {
             return Ok(slot);
         }
         inner.stats.physical_reads += 1;
-        let slot = if inner.frames.len() < self.capacity {
+        let slot = if inner.frames.len() < shard.capacity {
             inner.frames.push(Frame {
                 id,
                 page: Page::zeroed(),
@@ -183,14 +346,7 @@ impl BufferPool {
             });
             inner.frames.len() - 1
         } else {
-            // Evict the least recently used frame.
-            let slot = inner
-                .frames
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, fr)| fr.last_used)
-                .map(|(i, _)| i)
-                .expect("capacity > 0");
+            let slot = victim_slot(&inner.frames);
             let victim = &mut inner.frames[slot];
             if victim.dirty {
                 self.disk.write_page(victim.id, &victim.page)?;
@@ -219,6 +375,12 @@ mod tests {
         let disk = Arc::new(MemDisk::new());
         let ids: Vec<PageId> = (0..8).map(|_| disk.allocate_page().unwrap()).collect();
         (BufferPool::new(disk, capacity), ids)
+    }
+
+    fn sharded(capacity: usize, shards: usize) -> (BufferPool, Vec<PageId>) {
+        let disk = Arc::new(MemDisk::new());
+        let ids: Vec<PageId> = (0..32).map(|_| disk.allocate_page().unwrap()).collect();
+        (BufferPool::with_shards(disk, capacity, shards), ids)
     }
 
     #[test]
@@ -280,5 +442,102 @@ mod tests {
             let _ = pool.with_page(ids[1], |_| ());
         })
         .unwrap();
+    }
+
+    #[test]
+    fn victim_slot_picks_least_recently_used() {
+        let mk = |id: u32, last_used: u64| Frame {
+            id: PageId(id),
+            page: Page::zeroed(),
+            dirty: false,
+            last_used,
+        };
+        assert_eq!(victim_slot(&[mk(0, 5), mk(1, 2), mk(2, 9)]), 1);
+        assert_eq!(victim_slot(&[mk(0, 1)]), 0);
+        // Ties break toward the lowest slot (stable min).
+        assert_eq!(victim_slot(&[mk(0, 3), mk(1, 3)]), 0);
+    }
+
+    #[test]
+    fn new_pool_reserves_full_capacity() {
+        // The frame vector must never reallocate mid-run: the pool reserves
+        // its full per-shard capacity up front (frames are ~40 bytes; pages
+        // themselves are boxed).
+        let disk = Arc::new(MemDisk::new());
+        let ids: Vec<PageId> = (0..2000).map(|_| disk.allocate_page().unwrap()).collect();
+        let pool = BufferPool::new(disk, 2000);
+        for &id in &ids {
+            pool.with_page(id, |_| ()).unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.physical_reads, 2000);
+        assert_eq!(s.evictions, 0, "capacity 2000 must hold 2000 pages");
+    }
+
+    #[test]
+    fn sharded_pool_spreads_pages_and_preserves_totals() {
+        let (pool, ids) = sharded(16, 4);
+        assert_eq!(pool.shard_count(), 4);
+        assert_eq!(pool.capacity(), 16);
+        for &id in &ids {
+            pool.with_page(id, |_| ()).unwrap();
+        }
+        for &id in &ids {
+            pool.with_page(id, |_| ()).unwrap();
+        }
+        let total = pool.stats();
+        assert_eq!(total.logical_reads, 64);
+        let per_shard = pool.shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        assert_eq!(
+            per_shard.iter().map(|s| s.logical_reads).sum::<u64>(),
+            total.logical_reads
+        );
+        assert_eq!(
+            per_shard.iter().map(|s| s.physical_reads).sum::<u64>(),
+            total.physical_reads
+        );
+        // More than one shard saw traffic.
+        assert!(per_shard.iter().filter(|s| s.logical_reads > 0).count() > 1);
+    }
+
+    #[test]
+    fn sharded_pool_roundtrips_writes() {
+        let (pool, ids) = sharded(8, 4);
+        for (i, &id) in ids.iter().enumerate() {
+            pool.with_page_mut(id, |p| p.put_u32(0, i as u32)).unwrap();
+        }
+        // 32 dirty pages through 8 frames forces evictions in every shard.
+        for (i, &id) in ids.iter().enumerate() {
+            let v = pool.with_page(id, |p| p.get_u32(0)).unwrap();
+            assert_eq!(v, i as u32);
+        }
+        assert!(pool.stats().evictions > 0);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let disk = Arc::new(MemDisk::new());
+        let pool = BufferPool::with_shards(disk, 64, 3);
+        assert_eq!(pool.shard_count(), 4);
+        // Every shard holds at least one frame even when shards > capacity.
+        let disk = Arc::new(MemDisk::new());
+        let pool = BufferPool::with_shards(disk, 2, 8);
+        assert_eq!(pool.shard_count(), 8);
+        assert!(pool.capacity() >= 8);
+    }
+
+    #[test]
+    fn page_skip_counter() {
+        let (pool, ids) = pool(4);
+        pool.note_page_skipped();
+        pool.note_page_skipped();
+        assert_eq!(pool.stats().pages_skipped, 2);
+        let snap = pool.stats();
+        pool.note_page_skipped();
+        assert_eq!(pool.stats().since(&snap).pages_skipped, 1);
+        pool.reset_stats();
+        assert_eq!(pool.stats(), IoStats::default());
+        let _ = ids;
     }
 }

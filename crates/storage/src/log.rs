@@ -213,11 +213,8 @@ impl ValueStore {
         if delta == 0 {
             return;
         }
-        let moved: Vec<(u64, (u64, u32))> = self
-            .index
-            .range(from..)
-            .map(|(&p, &v)| (p, v))
-            .collect();
+        let moved: Vec<(u64, (u64, u32))> =
+            self.index.range(from..).map(|(&p, &v)| (p, v)).collect();
         for (p, _) in &moved {
             self.index.remove(p);
         }

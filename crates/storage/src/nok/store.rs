@@ -98,7 +98,11 @@ impl NodeRec {
             size: self.size,
             depth: self.depth,
             flags: (if self.has_value { RFLAG_HAS_VALUE } else { 0 })
-                | (if self.is_transition { RFLAG_TRANSITION } else { 0 }),
+                | (if self.is_transition {
+                    RFLAG_TRANSITION
+                } else {
+                    0
+                }),
         }
     }
 }
@@ -377,7 +381,11 @@ impl StructStore {
     }
 
     /// Following sibling of the node at `pos` whose record is `rec`.
-    pub fn following_sibling_of(&self, pos: u64, rec: &NodeRec) -> Result<Option<u64>, StorageError> {
+    pub fn following_sibling_of(
+        &self,
+        pos: u64,
+        rec: &NodeRec,
+    ) -> Result<Option<u64>, StorageError> {
         let next = pos + rec.size as u64;
         if next >= self.total {
             return Ok(None);
@@ -434,10 +442,12 @@ impl StructStore {
         let b_last = self.block_of_pos(end - 1);
         for b in b_first..=b_last {
             let info = self.dir[b];
-            if info.first_pos > start && info.first_pos < end
-                && out.last().unwrap().1 != info.first_code {
-                    out.push((info.first_pos, info.first_code));
-                }
+            if info.first_pos > start
+                && info.first_pos < end
+                && out.last().unwrap().1 != info.first_code
+            {
+                out.push((info.first_pos, info.first_code));
+            }
             if info.change {
                 let trans = self
                     .pool
@@ -455,7 +465,10 @@ impl StructStore {
 
     /// Iterates `(pos, record)` over all nodes in document order.
     pub fn iter(&self) -> StoreIter<'_> {
-        StoreIter { store: self, pos: 0 }
+        StoreIter {
+            store: self,
+            pos: 0,
+        }
     }
 
     /// Counts logical DOL transition nodes (nodes whose code differs from
@@ -465,8 +478,7 @@ impl StructStore {
         for info in &self.dir {
             count += self.pool.with_page(info.page, |p| {
                 let hdr = BlockHeader::read(p);
-                let first_flag =
-                    RawRec::read(p, 0).flags & RFLAG_TRANSITION != 0;
+                let first_flag = RawRec::read(p, 0).flags & RFLAG_TRANSITION != 0;
                 u64::from(hdr.trans_count) + u64::from(first_flag)
             })?;
         }
@@ -556,10 +568,14 @@ impl StructStore {
             let first_is_trans = recs[0].flags & RFLAG_TRANSITION != 0;
             if let Some(pc) = prev_code {
                 if first_is_trans && hdr.first_code == pc {
-                    return Err(format!("block {i} first node flagged transition but code unchanged"));
+                    return Err(format!(
+                        "block {i} first node flagged transition but code unchanged"
+                    ));
                 }
                 if !first_is_trans && hdr.first_code != pc {
-                    return Err(format!("block {i} first code changed without transition flag"));
+                    return Err(format!(
+                        "block {i} first code changed without transition flag"
+                    ));
                 }
             } else if !first_is_trans {
                 return Err("document's first node must be a transition".into());
@@ -587,7 +603,11 @@ impl StructStore {
                 }
             }
             if rec.depth as usize != stack.len() {
-                return Err(format!("pos {p}: depth {} != stack {}", rec.depth, stack.len()));
+                return Err(format!(
+                    "pos {p}: depth {} != stack {}",
+                    rec.depth,
+                    stack.len()
+                ));
             }
             if let Some(&end) = stack.last() {
                 if p + rec.size as u64 > end {
@@ -765,7 +785,11 @@ mod tests {
             store.check_integrity().unwrap();
             for pos in 0..store.total_nodes() {
                 let expect = if (4..9).contains(&pos) { 2 } else { 1 };
-                assert_eq!(store.code_at(pos).unwrap(), expect, "pos {pos} max {max_rec}");
+                assert_eq!(
+                    store.code_at(pos).unwrap(),
+                    expect,
+                    "pos {pos} max {max_rec}"
+                );
                 assert_eq!(store.node_and_code(pos).unwrap().1, expect);
             }
             assert_eq!(store.logical_transition_count().unwrap(), 3);
@@ -807,10 +831,7 @@ mod tests {
         let (store, _) = sample_store(3);
         for i in 0..store.block_count() {
             let info = *store.block_info(i);
-            let hdr = store
-                .pool
-                .with_page(info.page, BlockHeader::read)
-                .unwrap();
+            let hdr = store.pool.with_page(info.page, BlockHeader::read).unwrap();
             assert_eq!(hdr.count as u32, info.count);
             assert_eq!(hdr.first_code, info.first_code);
         }

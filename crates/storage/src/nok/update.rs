@@ -131,7 +131,11 @@ impl StructStore {
     ) -> Result<(), StorageError> {
         assert!(!items.is_empty());
         assert!(at > 0 && at <= self.total, "insert position out of range");
-        assert_eq!(items[0].size as usize, items.len(), "items must be one subtree");
+        assert_eq!(
+            items[0].size as usize,
+            items.len(),
+            "items must be one subtree"
+        );
         let k = items.len() as u64;
         let pred_code = self.code_at(at - 1)?;
         let next_code = if at < self.total {
@@ -286,7 +290,8 @@ impl StructStore {
         let mut pos = first_pos;
         for item in items {
             let would_be_trans = !chunk.is_empty() && item.is_transition;
-            if chunk.len() >= max || (would_be_trans && trans_in_chunk + 1 > self.cfg.trans_cap(max))
+            if chunk.len() >= max
+                || (would_be_trans && trans_in_chunk + 1 > self.cfg.trans_cap(max))
             {
                 let info = self.write_fresh_block(&chunk, pos)?;
                 pos += u64::from(info.count);
@@ -568,7 +573,8 @@ mod tests {
     fn delete_run_removes_subtree() {
         for max_rec in [300usize, 3] {
             let doc = doc12();
-            let mut store = secured_store(&doc, max_rec, |p| if (4..9).contains(&p) { 2 } else { 1 });
+            let mut store =
+                secured_store(&doc, max_rec, |p| if (4..9).contains(&p) { 2 } else { 1 });
             // Delete subtree of g = positions [6, 10), size 4.
             let k = store.delete_run(6, 10).unwrap();
             assert_eq!(k, 4);

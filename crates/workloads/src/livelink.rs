@@ -321,11 +321,7 @@ impl LiveLinkWorld {
     /// Document-order ACL row-change stream for a mode, optionally
     /// restricted to a subject subset (see
     /// [`CascadeRules::row_stream`]).
-    pub fn row_stream(
-        &self,
-        mode: usize,
-        restrict: Option<&[SubjectId]>,
-    ) -> Vec<(u64, BitVec)> {
+    pub fn row_stream(&self, mode: usize, restrict: Option<&[SubjectId]>) -> Vec<(u64, BitVec)> {
         self.rules[mode].row_stream(&self.doc, restrict)
     }
 
@@ -460,8 +456,7 @@ mod tests {
     fn subject_correlation_bounds_distinct_rows() {
         let w = world();
         let stream = w.row_stream(0, None);
-        let distinct: std::collections::HashSet<&BitVec> =
-            stream.iter().map(|(_, r)| r).collect();
+        let distinct: std::collections::HashSet<&BitVec> = stream.iter().map(|(_, r)| r).collect();
         // Correlated grants keep distinct ACLs far below both bounds of
         // §2.1: min(|D|, 2^|S|).
         assert!(

@@ -73,7 +73,9 @@ fn synth_column(doc: &Document, cfg: &SynthAclConfig, rng: &mut StdRng) -> BitVe
         if !is_seed[id.index()] {
             continue;
         }
-        let Some(parent) = doc.parent(id) else { continue };
+        let Some(parent) = doc.parent(id) else {
+            continue;
+        };
         let val = label[id.index()].unwrap();
         for sib in doc.children(parent) {
             if sib != id && !is_seed[sib.index()] && rng.gen_bool(cfg.sibling_locality) {

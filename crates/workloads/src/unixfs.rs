@@ -110,16 +110,10 @@ impl UnixFsWorld {
         for u in 0..cfg.users {
             let g = rng.gen_range(0..cfg.groups);
             primary_group.push(g as u16);
-            subjects.add_membership(
-                SubjectId(u as u16),
-                SubjectId((cfg.users + g) as u16),
-            );
+            subjects.add_membership(SubjectId(u as u16), SubjectId((cfg.users + g) as u16));
             if rng.gen_bool(0.3) {
                 let extra = rng.gen_range(0..cfg.groups);
-                subjects.add_membership(
-                    SubjectId(u as u16),
-                    SubjectId((cfg.users + extra) as u16),
-                );
+                subjects.add_membership(SubjectId(u as u16), SubjectId((cfg.users + extra) as u16));
             }
         }
 
@@ -303,14 +297,8 @@ impl AccessOracle for UnixOracle<'_> {
                 out.resize(w.subject_count());
                 out.fill(other);
                 // Owner and group overrides.
-                out.set(
-                    m.owner as usize,
-                    m.mode >> shift & 1 == 1,
-                );
-                out.set(
-                    w.users + m.group as usize,
-                    m.mode >> (shift - 3) & 1 == 1,
-                );
+                out.set(m.owner as usize, m.mode >> shift & 1 == 1);
+                out.set(w.users + m.group as usize, m.mode >> (shift - 3) & 1 == 1);
             }
         }
     }
@@ -354,10 +342,7 @@ fn grow_dir(
             default_file_mode
         };
         b.leaf("file", None);
-        meta.push(Meta {
-            mode,
-            ..inherited
-        });
+        meta.push(Meta { mode, ..inherited });
         *remaining -= 1;
     }
     // Subdirectories.
@@ -443,10 +428,7 @@ mod tests {
             );
             // The owning group uses the group bit.
             let gsub = SubjectId((w.users + m.group as usize) as u16);
-            assert_eq!(
-                w.accessible(gsub, n, UnixMode::Read),
-                m.mode >> 5 & 1 == 1
-            );
+            assert_eq!(w.accessible(gsub, n, UnixMode::Read), m.mode >> 5 & 1 == 1);
         }
     }
 

@@ -259,7 +259,8 @@ impl Gen<'_> {
         self.b.attribute("id", &format!("person{no}"));
         let w = self.word();
         self.b.leaf("name", Some(&format!("{w} {no}")));
-        self.b.leaf("emailaddress", Some(&format!("mailto:p{no}@example.org")));
+        self.b
+            .leaf("emailaddress", Some(&format!("mailto:p{no}@example.org")));
         if self.rng.gen_bool(0.4) {
             self.b.leaf("phone", Some("+1 519 555 0100"));
         }
@@ -398,15 +399,31 @@ mod tests {
             seed: 7,
         });
         for tag in [
-            "site", "regions", "africa", "item", "location", "name", "quantity", "categories",
-            "category", "description", "text", "bold", "parlist", "listitem", "keyword", "emph",
-            "people", "person", "open_auctions",
+            "site",
+            "regions",
+            "africa",
+            "item",
+            "location",
+            "name",
+            "quantity",
+            "categories",
+            "category",
+            "description",
+            "text",
+            "bold",
+            "parlist",
+            "listitem",
+            "keyword",
+            "emph",
+            "people",
+            "person",
+            "open_auctions",
         ] {
-            let t = doc.tags().get(tag).unwrap_or_else(|| panic!("missing tag {tag}"));
-            assert!(
-                !doc.nodes_with_tag(t).is_empty(),
-                "no nodes with tag {tag}"
-            );
+            let t = doc
+                .tags()
+                .get(tag)
+                .unwrap_or_else(|| panic!("missing tag {tag}"));
+            assert!(!doc.nodes_with_tag(t).is_empty(), "no nodes with tag {tag}");
         }
     }
 
@@ -418,10 +435,9 @@ mod tests {
         });
         let parlist = doc.tags().get("parlist").unwrap();
         let lists = doc.nodes_with_tag(parlist);
-        let nested = lists.iter().any(|&p| {
-            doc.descendants(p)
-                .any(|d| doc.node(d).tag == parlist)
-        });
+        let nested = lists
+            .iter()
+            .any(|&p| doc.descendants(p).any(|d| doc.node(d).tag == parlist));
         assert!(nested, "need nested parlists for //parlist//parlist");
     }
 

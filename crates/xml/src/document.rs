@@ -104,7 +104,9 @@ impl Document {
 
     /// Fallible access to a node.
     pub fn try_node(&self, id: NodeId) -> Result<&Node, XmlError> {
-        self.nodes.get(id.index()).ok_or(XmlError::InvalidNodeId(id.0))
+        self.nodes
+            .get(id.index())
+            .ok_or(XmlError::InvalidNodeId(id.0))
     }
 
     /// The tag interner of this document.
@@ -474,7 +476,6 @@ impl Document {
     pub fn set_value(&mut self, id: NodeId, value: Option<&str>) {
         self.nodes[id.index()].value = value.map(Into::into);
     }
-
 }
 
 /// Iterator over a node's children. See [`Document::children`].
@@ -739,7 +740,10 @@ mod tests {
         assert_eq!(k, 3);
         assert_eq!(d.len(), 4);
         d.check_integrity().unwrap();
-        let kids: Vec<_> = d.children(d.root()).map(|n| d.name_of(n).to_string()).collect();
+        let kids: Vec<_> = d
+            .children(d.root())
+            .map(|n| d.name_of(n).to_string())
+            .collect();
         assert_eq!(kids, vec!["b", "c", "g"]);
     }
 

@@ -119,9 +119,8 @@ impl<'a> EventReader<'a> {
     fn read_name(&mut self) -> Result<String, ParseError> {
         let start = self.pos;
         while let Some(b) = self.peek() {
-            let ok = b.is_ascii_alphanumeric()
-                || matches!(b, b'_' | b'-' | b'.' | b':')
-                || b >= 0x80;
+            let ok =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             if !ok {
                 break;
             }
@@ -134,8 +133,7 @@ impl<'a> EventReader<'a> {
     }
 
     fn decode(&self, raw: &str) -> Result<String, ParseError> {
-        decode_entities_str(raw)
-            .map_err(|m| ParseError::new(self.pos, self.line, m))
+        decode_entities_str(raw).map_err(|m| ParseError::new(self.pos, self.line, m))
     }
 
     fn next_event(&mut self) -> Result<Option<XmlEvent>, ParseError> {
@@ -209,9 +207,7 @@ impl<'a> EventReader<'a> {
                             "mismatched closing tag: expected `</{open}>`, found `</{name}>`"
                         )))
                     }
-                    None => {
-                        return Err(self.err(format!("closing `</{name}>` with nothing open")))
-                    }
+                    None => return Err(self.err(format!("closing `</{name}>` with nothing open"))),
                 }
             } else {
                 self.bump(); // '<'
@@ -248,8 +244,7 @@ impl<'a> EventReader<'a> {
                                 .bump()
                                 .filter(|&q| q == b'"' || q == b'\'')
                                 .ok_or_else(|| self.err("expected quoted attribute value"))?;
-                            let raw =
-                                self.until(if quote == b'"' { "\"" } else { "'" })?;
+                            let raw = self.until(if quote == b'"' { "\"" } else { "'" })?;
                             attributes.push((attr, self.decode(&raw)?));
                         }
                         None => return Err(self.err("unterminated start tag")),

@@ -319,8 +319,7 @@ impl<'a> Parser<'a> {
                     if self.opts.attributes_as_nodes {
                         let top = self.stack.last_mut().unwrap();
                         top.children += 1;
-                        self.builder
-                            .leaf(&format!("@{attr}"), Some(&value));
+                        self.builder.leaf(&format!("@{attr}"), Some(&value));
                     }
                 }
                 None => return Err(self.err("unterminated start tag")),
@@ -415,7 +414,10 @@ mod tests {
     fn attributes_become_pseudo_children() {
         let d = parse(r#"<item id="i1" featured="yes"><name>x</name></item>"#).unwrap();
         d.check_integrity().unwrap();
-        let kids: Vec<_> = d.children(d.root()).map(|n| d.name_of(n).to_string()).collect();
+        let kids: Vec<_> = d
+            .children(d.root())
+            .map(|n| d.name_of(n).to_string())
+            .collect();
         assert_eq!(kids, vec!["@id", "@featured", "name"]);
         assert_eq!(d.node(NodeId(1)).value.as_deref(), Some("i1"));
     }
@@ -424,7 +426,10 @@ mod tests {
     fn mixed_content_produces_text_nodes() {
         let d = parse("<text>alpha<bold>b</bold>omega</text>").unwrap();
         d.check_integrity().unwrap();
-        let kids: Vec<_> = d.children(d.root()).map(|n| d.name_of(n).to_string()).collect();
+        let kids: Vec<_> = d
+            .children(d.root())
+            .map(|n| d.name_of(n).to_string())
+            .collect();
         assert_eq!(kids, vec![TEXT_TAG, "bold", TEXT_TAG]);
         assert_eq!(d.node(NodeId(1)).value.as_deref(), Some("alpha"));
         assert_eq!(d.node(NodeId(3)).value.as_deref(), Some("omega"));
@@ -438,7 +443,10 @@ mod tests {
         )
         .unwrap();
         d.check_integrity().unwrap();
-        let kids: Vec<_> = d.children(d.root()).map(|n| d.name_of(n).to_string()).collect();
+        let kids: Vec<_> = d
+            .children(d.root())
+            .map(|n| d.name_of(n).to_string())
+            .collect();
         assert_eq!(kids, vec![TEXT_TAG, "b"]);
         assert_eq!(d.node(NodeId(1)).value.as_deref(), Some("raw <stuff>"));
     }
@@ -446,10 +454,7 @@ mod tests {
     #[test]
     fn entity_decoding() {
         let d = parse("<a>a &lt; b &amp;&amp; c &gt; d &#65;&#x42;</a>").unwrap();
-        assert_eq!(
-            d.node(d.root()).value.as_deref(),
-            Some("a < b && c > d AB")
-        );
+        assert_eq!(d.node(d.root()).value.as_deref(), Some("a < b && c > d AB"));
     }
 
     #[test]

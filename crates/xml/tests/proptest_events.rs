@@ -7,44 +7,42 @@ use proptest::prelude::*;
 const TAGS: [&str; 5] = ["alpha", "beta", "gamma", "delta", "eps"];
 
 fn arb_xml() -> impl Strategy<Value = String> {
-    proptest::collection::vec(
-        (0usize..5, 0u8..5, proptest::option::of(0usize..3)),
-        1..80,
-    )
-    .prop_map(|raw| {
-        let mut b = DocumentBuilder::new();
-        b.open("root");
-        let mut depth = 1;
-        for (tag, action, attr) in raw {
-            match action {
-                0 if depth < 7 => {
-                    let id = b.open(TAGS[tag]);
-                    let _ = id;
-                    if let Some(a) = attr {
-                        b.attribute(&format!("a{a}"), "v & <w>");
+    proptest::collection::vec((0usize..5, 0u8..5, proptest::option::of(0usize..3)), 1..80).prop_map(
+        |raw| {
+            let mut b = DocumentBuilder::new();
+            b.open("root");
+            let mut depth = 1;
+            for (tag, action, attr) in raw {
+                match action {
+                    0 if depth < 7 => {
+                        let id = b.open(TAGS[tag]);
+                        let _ = id;
+                        if let Some(a) = attr {
+                            b.attribute(&format!("a{a}"), "v & <w>");
+                        }
+                        depth += 1;
                     }
-                    depth += 1;
-                }
-                1 => {
-                    b.leaf(TAGS[tag], Some("text > & < data"));
-                }
-                2 => {
-                    b.text("chunk & <esc>");
-                }
-                _ => {
-                    if depth > 1 {
-                        b.close();
-                        depth -= 1;
+                    1 => {
+                        b.leaf(TAGS[tag], Some("text > & < data"));
+                    }
+                    2 => {
+                        b.text("chunk & <esc>");
+                    }
+                    _ => {
+                        if depth > 1 {
+                            b.close();
+                            depth -= 1;
+                        }
                     }
                 }
             }
-        }
-        while depth > 0 {
-            b.close();
-            depth -= 1;
-        }
-        b.finish().unwrap().to_xml()
-    })
+            while depth > 0 {
+                b.close();
+                depth -= 1;
+            }
+            b.finish().unwrap().to_xml()
+        },
+    )
 }
 
 proptest! {

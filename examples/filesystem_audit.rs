@@ -80,11 +80,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Simulate a `chmod -R` as a DOL subtree update.
     let mut db = db;
     let user0 = SubjectId(0);
-    let before = db.query("//file", Security::BindingLevel(user0))?.matches.len();
+    let before = db
+        .query("//file", Security::BindingLevel(user0))?
+        .matches
+        .len();
     let some_dir = db.query("//dir/dir", Security::None)?.matches[0];
     let subtree_nodes = db.store().node(some_dir)?.size;
     db.set_subtree_access(some_dir, user0, false)?;
-    let after = db.query("//file", Security::BindingLevel(user0))?.matches.len();
+    let after = db
+        .query("//file", Security::BindingLevel(user0))?
+        .matches
+        .len();
     println!(
         "\nchmod -R on node {some_dir} ({subtree_nodes} nodes): user0 readable files {before} -> {after}",
     );

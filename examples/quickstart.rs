@@ -66,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let book = report.matches[0];
     db.set_subtree_access(book, guest, true)?;
     let res = db.query(q, Security::BindingLevel(guest))?;
-    println!("\nafter granting the report: guest sees {} book(s)", res.matches.len());
+    println!(
+        "\nafter granting the report: guest sees {} book(s)",
+        res.matches.len()
+    );
 
     // The accessibility check itself is free of extra I/O: it reads the
     // code stored on the same page as the node.

@@ -290,7 +290,9 @@ impl SecureXmlDb {
         self.store.delete_run(pos, pos + size)?;
         self.values.remove_range(pos, pos + size);
         self.values.shift_positions(pos + size, -(size as i64));
-        self.doc.delete_subtree(NodeId(pos as u32)).map_err(|_| DbError::InvalidNode(pos))?;
+        self.doc
+            .delete_subtree(NodeId(pos as u32))
+            .map_err(|_| DbError::InvalidNode(pos))?;
         self.tag_index = build_tag_index(&self.store)?;
         self.value_index = build_value_index(&self.store, &self.values)?;
         Ok(())
@@ -444,7 +446,9 @@ impl SecureXmlDb {
         }
         // Delete back-to-front so earlier positions stay valid.
         for &p in doomed.iter().rev() {
-            pruned.delete_subtree(NodeId(p as u32)).map_err(|_| DbError::InvalidNode(p))?;
+            pruned
+                .delete_subtree(NodeId(p as u32))
+                .map_err(|_| DbError::InvalidNode(p))?;
         }
         Ok(Some(pruned.to_xml()))
     }
@@ -599,17 +603,17 @@ mod tests {
         db.document().check_integrity().unwrap();
         // e moved from 4 to 2 and kept its value.
         assert_eq!(db.value(2).unwrap().as_deref(), Some("v2"));
-        assert_eq!(
-            db.query("//d/e", Security::None).unwrap().matches,
-            vec![2]
-        );
+        assert_eq!(db.query("//d/e", Security::None).unwrap().matches, vec![2]);
         // Insert a new subtree under d (now at position 1).
         let sub = dol_xml::parse("<g><h>v3</h></g>").unwrap();
         let at = db.insert_subtree(1, &sub).unwrap();
         assert_eq!(db.len(), 6);
         db.store().check_integrity().unwrap();
         assert_eq!(db.value(at + 1).unwrap().as_deref(), Some("v3"));
-        assert_eq!(db.query("//d/g/h", Security::None).unwrap().matches, vec![at + 1]);
+        assert_eq!(
+            db.query("//d/g/h", Security::None).unwrap().matches,
+            vec![at + 1]
+        );
         // Inherited accessibility: subject 1 could see d's area, so it sees g.
         assert!(db.accessible(at, SubjectId(1)).unwrap());
     }
@@ -699,8 +703,8 @@ mod tests {
         // The db's subject 0 = the user's own rights, subject 1 = the team.
         let view = db.create_user_view(&catalog, user);
         for p in 0..db.len() as u64 {
-            let expect = db.accessible(p, SubjectId(0)).unwrap()
-                || db.accessible(p, SubjectId(1)).unwrap();
+            let expect =
+                db.accessible(p, SubjectId(0)).unwrap() || db.accessible(p, SubjectId(1)).unwrap();
             assert_eq!(db.accessible(p, view).unwrap(), expect);
         }
     }

@@ -18,9 +18,7 @@ use crate::{DbError, SecureXmlDb};
 use dol_core::{Codebook, EmbeddedDol};
 use dol_nok::{build_tag_index, build_value_index};
 use dol_storage::disk::StorageError;
-use dol_storage::{
-    BufferPool, FileDisk, PageId, PagedLog, StoreConfig, StructStore, ValueStore,
-};
+use dol_storage::{BufferPool, FileDisk, PageId, PagedLog, StoreConfig, StructStore, ValueStore};
 use dol_xml::{NodeId, TagInterner};
 use std::path::Path;
 use std::sync::Arc;
@@ -108,30 +106,31 @@ impl SecureXmlDb {
     pub fn open_from(path: &Path) -> Result<SecureXmlDb, DbError> {
         let disk = Arc::new(FileDisk::open(path)?);
         let pool = Arc::new(BufferPool::new(disk, 1024));
-        let cat = pool.with_page(PageId(0), |p| {
-            if p.get_u32(0) != MAGIC {
-                return Err("not a secure-xml database file".to_string());
-            }
-            if p.get_u32(4) != VERSION {
-                return Err(format!("unsupported version {}", p.get_u32(4)));
-            }
-            Ok(Catalog {
-                struct_blocks: p.get_u32(8),
-                max_records: p.get_u32(12),
-                value_pages: p.get_u32(16),
-                value_tail: p.get_u64(24),
-                codebook_pages: p.get_u32(32),
-                codebook_bytes: p.get_u64(40),
-                tags_pages: p.get_u32(48),
-                tags_bytes: p.get_u64(56),
-            })
-        })?
-        .map_err(|m| {
-            DbError::Storage(StorageError::Io(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                m,
-            )))
-        })?;
+        let cat = pool
+            .with_page(PageId(0), |p| {
+                if p.get_u32(0) != MAGIC {
+                    return Err("not a secure-xml database file".to_string());
+                }
+                if p.get_u32(4) != VERSION {
+                    return Err(format!("unsupported version {}", p.get_u32(4)));
+                }
+                Ok(Catalog {
+                    struct_blocks: p.get_u32(8),
+                    max_records: p.get_u32(12),
+                    value_pages: p.get_u32(16),
+                    value_tail: p.get_u64(24),
+                    codebook_pages: p.get_u32(32),
+                    codebook_bytes: p.get_u64(40),
+                    tags_pages: p.get_u32(48),
+                    tags_bytes: p.get_u64(56),
+                })
+            })?
+            .map_err(|m| {
+                DbError::Storage(StorageError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    m,
+                )))
+            })?;
 
         // Sections occupy consecutive page ranges after the catalog.
         let struct_first = PageId(1);
@@ -161,7 +160,9 @@ impl SecureXmlDb {
         )?;
         let cb_log = PagedLog::from_parts(
             pool.clone(),
-            (cb_first..cb_first + cat.codebook_pages).map(PageId).collect(),
+            (cb_first..cb_first + cat.codebook_pages)
+                .map(PageId)
+                .collect(),
             cat.codebook_bytes,
         );
         let codebook = Codebook::from_bytes(&cb_log.read(0, cat.codebook_bytes as usize)?)
@@ -173,7 +174,9 @@ impl SecureXmlDb {
             })?;
         let tag_log = PagedLog::from_parts(
             pool.clone(),
-            (tags_first..tags_first + cat.tags_pages).map(PageId).collect(),
+            (tags_first..tags_first + cat.tags_pages)
+                .map(PageId)
+                .collect(),
             cat.tags_bytes,
         );
         let tag_blob = tag_log.read(0, cat.tags_bytes as usize)?;

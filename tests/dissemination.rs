@@ -37,14 +37,31 @@ fn export_contains_exactly_the_visible_nodes() {
     let doc = db.document();
     let visible: Vec<NodeId> = doc
         .preorder()
-        .filter(|&n| {
-            map.accessible(s, n) && doc.ancestors(n).all(|a| map.accessible(s, a))
-        })
+        .filter(|&n| map.accessible(s, n) && doc.ancestors(n).all(|a| map.accessible(s, a)))
         .collect();
-    assert_eq!(exported.len(), visible.len());
-    for (e, v) in exported.preorder().zip(&visible) {
-        assert_eq!(exported.name_of(e), doc.name_of(*v));
+    // `#text` boundaries cannot survive an XML round trip: pruning an element
+    // between two text runs leaves adjacent character data, which serializes
+    // as one run (and a lone run coalesces into the parent's value). So the
+    // export may hold *fewer* text nodes than the oracle, never more, and
+    // element/attribute nodes must match one-for-one in document order.
+    let is_text = |name: &str| name == "#text";
+    let exported_elems: Vec<_> = exported
+        .preorder()
+        .filter(|&e| !is_text(exported.name_of(e)))
+        .collect();
+    let visible_elems: Vec<_> = visible
+        .iter()
+        .copied()
+        .filter(|&v| !is_text(doc.name_of(v)))
+        .collect();
+    assert_eq!(exported_elems.len(), visible_elems.len());
+    for (&e, &v) in exported_elems.iter().zip(&visible_elems) {
+        assert_eq!(exported.name_of(e), doc.name_of(v));
     }
+    assert!(exported.len() <= visible.len());
+    let text_count =
+        |d: &secure_xml::xml::Document| d.preorder().filter(|&n| is_text(d.name_of(n))).count();
+    assert!(text_count(&exported) <= visible.len() - visible_elems.len());
 }
 
 #[test]

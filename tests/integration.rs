@@ -134,9 +134,7 @@ fn secure_evaluation_costs_no_extra_physical_io() {
         let _ = db.query(q, Security::None).unwrap();
         let unsecured = db.io_stats();
         db.reset_io_stats();
-        let _ = db
-            .query(q, Security::BindingLevel(SubjectId(0)))
-            .unwrap();
+        let _ = db.query(q, Security::BindingLevel(SubjectId(0))).unwrap();
         let secured = db.io_stats();
         assert!(
             secured.physical_reads <= unsecured.physical_reads,

@@ -14,10 +14,7 @@ fn tmp(name: &str) -> std::path::PathBuf {
 #[test]
 fn generated_database_roundtrips_through_disk() {
     for seed in [1u64, 2, 3] {
-        let doc = xmark(&XmarkConfig {
-            scale: 0.03,
-            seed,
-        });
+        let doc = xmark(&XmarkConfig { scale: 0.03, seed });
         let map = synth_multi(
             &doc,
             &SynthAclConfig {

@@ -86,7 +86,11 @@ fn updates_change_query_results_correctly() {
     assert_eq!(all, sec);
     // Revoke everything: no results.
     db.set_subtree_access(0, s, false).unwrap();
-    assert!(db.query(q, Security::BindingLevel(s)).unwrap().matches.is_empty());
+    assert!(db
+        .query(q, Security::BindingLevel(s))
+        .unwrap()
+        .matches
+        .is_empty());
     let _ = map;
 }
 
@@ -120,11 +124,15 @@ fn insert_then_query_finds_new_content() {
         "<item><location>zanzibar</location><quantity>3</quantity><name>unobtainium</name></item>",
     )
     .unwrap();
-    let before = db.query("//item[name=\"unobtainium\"]", Security::None).unwrap();
+    let before = db
+        .query("//item[name=\"unobtainium\"]", Security::None)
+        .unwrap();
     assert!(before.matches.is_empty());
     let at = db.insert_subtree(africa, &sub).unwrap();
     db.store().check_integrity().unwrap();
-    let after = db.query("//item[name=\"unobtainium\"]", Security::None).unwrap();
+    let after = db
+        .query("//item[name=\"unobtainium\"]", Security::None)
+        .unwrap();
     assert_eq!(after.matches, vec![at]);
     // Cross-check everything against the maintained master document.
     for q in ["//africa/item", "//item/quantity"] {

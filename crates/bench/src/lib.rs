@@ -19,8 +19,10 @@
 //! | [`updates`] | Proposition 1 / §3.4: update costs and transition growth |
 //! | [`ablation`] | design-choice ablations: codebook, page skip, block size |
 //! | [`parallel`] | parallel candidate matching: worker-count scaling (not a paper artifact) |
+//! | [`faults`] | fault injection: checksum detection, fail-closed semantics, verify overhead (not a paper artifact) |
 
 pub mod ablation;
+pub mod faults;
 pub mod fig4;
 pub mod fig56;
 pub mod fig7;

@@ -1,19 +1,23 @@
 //! `experiments` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--quick|--full] [--parallelism=N]
-//!             [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates parallel | all]
+//! experiments [--quick|--full] [--parallelism=N] [--seed=N]
+//!             [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates parallel faults | all]
 //! ```
 //!
 //! `--parallelism=N` caps the worker sweep of the `parallel` experiment
-//! (`0` = all available cores, the default).
+//! (`0` = all available cores, the default). `--seed=N` re-seeds the
+//! `faults` experiment's deterministic fault schedule.
 
-use dol_bench::{ablation, fig4, fig56, fig7, fig8, parallel, queries, storage, updates, Effort};
+use dol_bench::{
+    ablation, faults, fig4, fig56, fig7, fig8, parallel, queries, storage, updates, Effort,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut effort = Effort::Quick;
     let mut parallelism = 0usize;
+    let mut seed = faults::DEFAULT_SEED;
     let mut selected: Vec<String> = Vec::new();
     for a in &args {
         match a.as_str() {
@@ -24,7 +28,13 @@ fn main() {
                     Ok(n) => parallelism = n,
                     Err(_) => eprintln!("bad --parallelism value `{n}` (ignored)"),
                 },
-                None => selected.push(other.to_string()),
+                None => match other.strip_prefix("--seed=") {
+                    Some(n) => match n.parse() {
+                        Ok(n) => seed = n,
+                        Err(_) => eprintln!("bad --seed value `{n}` (ignored)"),
+                    },
+                    None => selected.push(other.to_string()),
+                },
             },
         }
     }
@@ -40,6 +50,7 @@ fn main() {
             "updates".into(),
             "ablation".into(),
             "parallel".into(),
+            "faults".into(),
         ];
     }
     println!(
@@ -66,6 +77,7 @@ fn main() {
             "updates" => updates::run(effort),
             "ablation" => ablation::run(effort),
             "parallel" => parallel::run(effort, parallelism),
+            "faults" => faults::run(effort, seed),
             other => eprintln!("unknown experiment `{other}` (skipped)"),
         }
     }

@@ -3,7 +3,7 @@
 use dol_acl::{AccessOracle, BitVec, SubjectId};
 use dol_core::EmbeddedDol;
 use dol_nok::build_tag_index;
-use dol_storage::{BPlusTree, BufferPool, MemDisk, StoreConfig, StructStore, ValueStore};
+use dol_storage::{BPlusTree, BufferPool, Disk, MemDisk, StoreConfig, StructStore, ValueStore};
 use dol_workloads::{xmark, SynthAclConfig, XmarkConfig};
 use dol_xml::{Document, NodeId, TagId};
 use std::sync::Arc;
@@ -28,7 +28,27 @@ pub struct BenchDb {
 impl BenchDb {
     /// Builds a secured database from a document and oracle.
     pub fn build(doc: Document, oracle: &impl AccessOracle, pool_pages: usize) -> BenchDb {
-        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), pool_pages));
+        Self::build_on(Arc::new(MemDisk::new()), doc, oracle, pool_pages)
+    }
+
+    /// Builds a secured database on an explicit disk (the fault-injection
+    /// experiment passes a [`dol_storage::FaultDisk`] here).
+    pub fn build_on(
+        disk: Arc<dyn Disk>,
+        doc: Document,
+        oracle: &impl AccessOracle,
+        pool_pages: usize,
+    ) -> BenchDb {
+        Self::build_with_pool(Arc::new(BufferPool::new(disk, pool_pages)), doc, oracle)
+    }
+
+    /// Builds a secured database through a caller-configured buffer pool
+    /// (e.g. with checksum verification toggled for overhead measurements).
+    pub fn build_with_pool(
+        pool: Arc<BufferPool>,
+        doc: Document,
+        oracle: &impl AccessOracle,
+    ) -> BenchDb {
         let (store, dol) = EmbeddedDol::build(pool.clone(), StoreConfig::default(), &doc, oracle)
             .expect("bulk build");
         let mut values = ValueStore::new(pool.clone());

@@ -121,6 +121,10 @@ pub struct ExecStats {
     pub join_pairs: u64,
     /// Path nodes inspected by the subtree-visibility checker (ε-STD only).
     pub visibility_nodes: u64,
+    /// Storage failures masked as inaccessibility during secure evaluation
+    /// (the fail-closed policy). Always 0 in [`Security::None`], where
+    /// storage errors abort the query instead.
+    pub blocks_failed_closed: u64,
     /// Buffer-pool I/O incurred by this query.
     pub io: IoStats,
     /// Wall-clock evaluation time.
@@ -134,6 +138,7 @@ impl ExecStats {
         self.nodes_visited += m.nodes_visited;
         self.nodes_denied += m.nodes_denied;
         self.blocks_skipped += m.candidates_block_skipped;
+        self.blocks_failed_closed += m.blocks_failed_closed;
     }
 }
 
@@ -434,7 +439,15 @@ impl<'a> QueryEngine<'a> {
                 let mut keep = vec![false; results[i].len()];
                 for t in order {
                     let pos = bound(&results[i][t], root);
-                    keep[t] = checker.check(pos)?;
+                    keep[t] = match checker.check(pos) {
+                        Ok(visible) => visible,
+                        Err(_) => {
+                            // Subtree visibility is always a secure mode:
+                            // an unverifiable ancestor path fails closed.
+                            stats.blocks_failed_closed += 1;
+                            false
+                        }
+                    };
                 }
                 stats.visibility_nodes += checker.nodes_inspected;
                 let mut it = keep.iter();
@@ -458,11 +471,23 @@ impl<'a> QueryEngine<'a> {
             let mut desc_sorted: Vec<&Binding> = desc_tuples.iter().collect();
             desc_sorted.sort_unstable_by_key(|b| bound(b, desc_root));
             let mut anc_intervals = Vec::with_capacity(anc_sorted.len());
-            for b in &anc_sorted {
+            let mut anc_kept: Vec<&Binding> = Vec::with_capacity(anc_sorted.len());
+            for b in anc_sorted {
                 let pos = bound(b, join.anc_pnode);
-                let size = self.store.node(pos)?.size as u64;
-                anc_intervals.push((pos, pos + size));
+                match self.store.node(pos) {
+                    Ok(rec) => {
+                        anc_intervals.push((pos, pos + rec.size as u64));
+                        anc_kept.push(b);
+                    }
+                    Err(_) if subject.is_some() => {
+                        // Fail closed: a binding whose anchor can no longer
+                        // be verified is dropped from the join.
+                        stats.blocks_failed_closed += 1;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
+            let anc_sorted = anc_kept;
             let desc_positions: Vec<u64> =
                 desc_sorted.iter().map(|b| bound(b, desc_root)).collect();
             let pairs = stack_tree_desc(&anc_intervals, &desc_positions);
@@ -505,7 +530,7 @@ fn bound(binding: &Binding, pnode: crate::pattern::PNodeId) -> u64 {
 mod tests {
     use super::*;
     use dol_acl::{AccessibilityMap, FnOracle};
-    use dol_storage::{BufferPool, MemDisk, StoreConfig};
+    use dol_storage::{BufferPool, FaultConfig, FaultDisk, MemDisk, StoreConfig};
     use dol_xml::{parse, Document, NodeId};
     use std::sync::Arc;
 
@@ -795,6 +820,67 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn storage_failures_fail_closed_in_secure_modes() {
+        let doc = parse(DOC).unwrap();
+        let mut map = AccessibilityMap::new(1, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        // Every page read fails once the faults are armed; the build and the
+        // index scans run disarmed so layout and candidates are intact.
+        let fault = Arc::new(FaultDisk::new(
+            Arc::new(MemDisk::new()),
+            FaultConfig {
+                permanent_read_failure: 1.0,
+                ..FaultConfig::default()
+            },
+        ));
+        fault.set_armed(false);
+        let pool = Arc::new(BufferPool::new(fault.clone(), 256));
+        let cfg = StoreConfig {
+            max_records_per_block: 2,
+        };
+        let (store, dol) = EmbeddedDol::build(pool.clone(), cfg, &doc, &map).unwrap();
+        let mut values = ValueStore::new(pool.clone());
+        for id in doc.preorder() {
+            if let Some(v) = &doc.node(id).value {
+                values.put(u64::from(id.0), v).unwrap();
+            }
+        }
+        let engine = QueryEngine::new(&store, &values, doc.tags(), Some(&dol)).unwrap();
+        pool.flush_all().unwrap();
+        fault.set_armed(true);
+
+        // Secure modes: unreadable blocks hide their nodes — the query
+        // completes with a (possibly empty) answer and the stat records why.
+        for sec in [
+            Security::BindingLevel(SubjectId(0)),
+            Security::SubtreeVisibility(SubjectId(0)),
+        ] {
+            pool.clear_cache().unwrap();
+            let r = engine.execute("//item[name]", sec).unwrap();
+            assert!(r.matches.is_empty(), "{sec:?}");
+            assert!(r.stats.blocks_failed_closed > 0, "{sec:?}");
+        }
+
+        // Unsecured evaluation has nothing to protect: the error surfaces.
+        pool.clear_cache().unwrap();
+        assert!(matches!(
+            engine.execute("//item[name]", Security::None),
+            Err(QueryError::Storage(_))
+        ));
+
+        // Disarmed again, everything is back to normal.
+        fault.set_armed(false);
+        pool.clear_cache().unwrap();
+        let ok = engine
+            .execute("//item[name]", Security::BindingLevel(SubjectId(0)))
+            .unwrap();
+        assert_eq!(ok.matches, vec![3, 6]);
+        assert_eq!(ok.stats.blocks_failed_closed, 0);
     }
 
     #[test]

@@ -93,6 +93,11 @@ pub struct MatchStats {
     /// Candidate roots rejected without any page read thanks to the
     /// in-memory block-header skip test.
     pub candidates_block_skipped: u64,
+    /// Reads that failed (corrupt or unreadable page) during secure
+    /// evaluation and were treated as entirely inaccessible instead of
+    /// aborting — the fail-closed policy. Always 0 in unsecured mode, where
+    /// storage errors propagate to the caller.
+    pub blocks_failed_closed: u64,
 }
 
 /// Matches one NoK fragment of a plan against the data.
@@ -177,6 +182,43 @@ impl<'a> FragmentMatcher<'a> {
         self.tag_of[self.tree.root.index()]
     }
 
+    /// Whether storage failures must be masked as inaccessibility. Secure
+    /// evaluation (ε-NoK) may never answer with data it could not verify, so
+    /// a corrupt or unreadable block simply hides its nodes — the answer can
+    /// only shrink, never leak. Unsecured evaluation has nothing to protect
+    /// and reports the error instead.
+    #[inline]
+    fn fail_closed(&self) -> bool {
+        self.ctx.access.is_some()
+    }
+
+    /// Loads a node record and its piggy-backed code, applying the
+    /// fail-closed policy: in secure mode a storage error yields `Ok(None)`
+    /// ("treat as inaccessible") and bumps `blocks_failed_closed`.
+    fn load_node(&mut self, pos: u64) -> Result<Option<(NodeRec, u32)>, StorageError> {
+        match self.ctx.store.node_and_code(pos) {
+            Ok(nc) => Ok(Some(nc)),
+            Err(_) if self.fail_closed() => {
+                self.stats.blocks_failed_closed += 1;
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// FOLLOWING-SIBLING with the fail-closed policy: in secure mode a
+    /// storage error truncates the sibling chain instead of aborting.
+    fn next_sibling(&mut self, pos: u64, rec: &NodeRec) -> Result<Option<u64>, StorageError> {
+        match self.ctx.store.following_sibling_of(pos, rec) {
+            Ok(next) => Ok(next),
+            Err(_) if self.fail_closed() => {
+                self.stats.blocks_failed_closed += 1;
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Attempts to match the fragment with its root bound to `pos`.
     /// Returns the distinct output bindings (empty = no match). The
     /// candidate's own tag/value/accessibility are (re)checked here.
@@ -197,7 +239,9 @@ impl<'a> FragmentMatcher<'a> {
                 return Ok(Vec::new());
             }
         }
-        let (rec, code) = self.ctx.store.node_and_code(pos)?;
+        let Some((rec, code)) = self.load_node(pos)? else {
+            return Ok(Vec::new());
+        };
         self.stats.nodes_visited += 1;
         if !self.ctx.code_accessible(code) {
             self.stats.nodes_denied += 1;
@@ -210,7 +254,12 @@ impl<'a> FragmentMatcher<'a> {
     }
 
     /// Tag and value test of `pnode` against the data node at `pos`.
-    fn node_matches(&self, pnode: PNodeId, pos: u64, rec: &NodeRec) -> Result<bool, StorageError> {
+    fn node_matches(
+        &mut self,
+        pnode: PNodeId,
+        pos: u64,
+        rec: &NodeRec,
+    ) -> Result<bool, StorageError> {
         let p = self.pattern.node(pnode);
         if let Some(t) = self.tag_of[pnode.index()] {
             if rec.tag != t {
@@ -223,7 +272,16 @@ impl<'a> FragmentMatcher<'a> {
             if !rec.has_value {
                 return Ok(false);
             }
-            match self.ctx.values.get(pos)? {
+            let actual = match self.ctx.values.get(pos) {
+                Ok(a) => a,
+                Err(_) if self.fail_closed() => {
+                    // An unverifiable value cannot witness the predicate.
+                    self.stats.blocks_failed_closed += 1;
+                    return Ok(false);
+                }
+                Err(e) => return Err(e),
+            };
+            match actual {
                 Some(actual) if &actual == v => {}
                 _ => return Ok(false),
             }
@@ -269,7 +327,7 @@ impl<'a> FragmentMatcher<'a> {
         let child_results = self.scan_kin(&pchildren, first)?;
         // Following-sibling pattern nodes: the second next-of-kin
         // relationship; scan this node's own following siblings.
-        let next = self.ctx.store.following_sibling_of(pos, rec)?;
+        let next = self.next_sibling(pos, rec)?;
         let sib_results = self.scan_kin(&psiblings, next)?;
         let (Some(child_results), Some(sib_results)) = (child_results, sib_results) else {
             return Ok(Vec::new());
@@ -318,7 +376,11 @@ impl<'a> FragmentMatcher<'a> {
         let mut satisfied: Vec<bool> = vec![false; pats.len()];
         let mut u = start;
         while let Some(upos) = u {
-            let (urec, ucode) = self.ctx.store.node_and_code(upos)?;
+            // Fail-closed: an unreadable link truncates the kin chain — the
+            // remaining siblings are unreachable, hence hidden.
+            let Some((urec, ucode)) = self.load_node(upos)? else {
+                break;
+            };
             self.stats.nodes_visited += 1;
             if self.ctx.code_accessible(ucode) {
                 for (i, &c) in pats.iter().enumerate() {
@@ -343,7 +405,7 @@ impl<'a> FragmentMatcher<'a> {
             {
                 break;
             }
-            u = self.ctx.store.following_sibling_of(upos, &urec)?;
+            u = self.next_sibling(upos, &urec)?;
         }
         if satisfied.iter().any(|&s| !s) {
             return Ok(None);

@@ -274,7 +274,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         // Collapse a root that became a single-child internal node.
         if let Node::Internal { children, .. } = self.root.as_mut() {
             if children.len() == 1 {
-                let only = children.pop().unwrap();
+                let only = children.pop().expect("single-child root has one child");
                 self.root = only;
             }
         }
@@ -317,11 +317,11 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         // Try borrowing from the left sibling.
         if idx > 0 && children[idx - 1].can_lend(min) {
             let (left, right) = children.split_at_mut(idx);
-            let left = left.last_mut().unwrap();
+            let left = left.last_mut().expect("idx > 0: left split is non-empty");
             let right = &mut right[0];
             match (left.as_mut(), right.as_mut()) {
                 (Node::Leaf { entries: le }, Node::Leaf { entries: re }) => {
-                    let moved = le.pop().unwrap();
+                    let moved = le.pop().expect("lender holds more than min entries");
                     keys[idx - 1] = moved.0.clone();
                     re.insert(0, moved);
                 }
@@ -335,8 +335,8 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
                         children: rc,
                     },
                 ) => {
-                    let moved_child = lc.pop().unwrap();
-                    let moved_key = lk.pop().unwrap();
+                    let moved_child = lc.pop().expect("lender holds more than min children");
+                    let moved_key = lk.pop().expect("internal node has one key per extra child");
                     let sep = std::mem::replace(&mut keys[idx - 1], moved_key);
                     rk.insert(0, sep);
                     rc.insert(0, moved_child);
@@ -348,7 +348,9 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         // Try borrowing from the right sibling.
         if idx + 1 < children.len() && children[idx + 1].can_lend(min) {
             let (left, right) = children.split_at_mut(idx + 1);
-            let left = left.last_mut().unwrap();
+            let left = left
+                .last_mut()
+                .expect("split at idx+1 >= 1 leaves a left node");
             let right = &mut right[0];
             match (left.as_mut(), right.as_mut()) {
                 (Node::Leaf { entries: le }, Node::Leaf { entries: re }) => {
@@ -483,7 +485,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
                             return Err("leaves at different depths".into());
                         }
                     }
-                    Ok(leaf_depth.unwrap())
+                    Ok(leaf_depth.expect("tree has at least one leaf"))
                 }
             }
         }

@@ -26,13 +26,30 @@
 //! within an access to a page of the same shard panics instead of
 //! deadlocking (with a single shard, that is any nested access — the legacy
 //! semantics).
+//!
+//! # Integrity
+//!
+//! The pool is the integrity boundary of the engine. Every dirty page is
+//! [sealed](Page::seal) (payload CRC written to the trailer) before it
+//! reaches the disk, and every physical read verifies the trailer before
+//! the page enters the cache. Transient disk errors and checksum mismatches
+//! are retried up to [`MAX_IO_ATTEMPTS`] times; a page that still fails
+//! surfaces as [`StorageError::Corrupt`] and is **never** cached, so no
+//! reader can observe corrupt payload bytes. Verification can be switched
+//! off ([`BufferPool::set_verify_checksums`]) for overhead ablations; the
+//! switch also skips sealing, so it must be chosen for the lifetime of a
+//! disk image, not toggled mid-run.
 
 use crate::disk::{Disk, StorageError};
 use crate::page::{Page, PageId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Attempts per physical page I/O before a transient error or checksum
+/// mismatch is treated as permanent.
+pub const MAX_IO_ATTEMPTS: u32 = 4;
 
 /// Cumulative I/O counters of a [`BufferPool`] (or one of its shards).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +65,14 @@ pub struct IoStats {
     /// Page reads avoided by the §3.3 page-skip test (whole block known
     /// inaccessible from memory). Counted pool-wide, not per shard.
     pub pages_skipped: u64,
+    /// Physical reads repeated after a transient error or a checksum
+    /// mismatch (each extra attempt counts once).
+    pub read_retries: u64,
+    /// Physical writes repeated after a transient error.
+    pub write_retries: u64,
+    /// Checksum verifications that found a payload/trailer mismatch
+    /// (including mismatches later cleared by a successful retry).
+    pub checksum_failures: u64,
 }
 
 impl IoStats {
@@ -59,6 +84,9 @@ impl IoStats {
             physical_writes: self.physical_writes - earlier.physical_writes,
             evictions: self.evictions - earlier.evictions,
             pages_skipped: self.pages_skipped - earlier.pages_skipped,
+            read_retries: self.read_retries - earlier.read_retries,
+            write_retries: self.write_retries - earlier.write_retries,
+            checksum_failures: self.checksum_failures - earlier.checksum_failures,
         }
     }
 
@@ -68,6 +96,9 @@ impl IoStats {
         self.physical_writes += other.physical_writes;
         self.evictions += other.evictions;
         self.pages_skipped += other.pages_skipped;
+        self.read_retries += other.read_retries;
+        self.write_retries += other.write_retries;
+        self.checksum_failures += other.checksum_failures;
     }
 }
 
@@ -153,6 +184,8 @@ pub struct BufferPool {
     /// Pool-wide §3.3 skip counter; atomic because skips are decided from
     /// memory without taking any shard lock.
     pages_skipped: AtomicU64,
+    /// Whether physical reads verify (and writes seal) the CRC trailer.
+    verify_checksums: AtomicBool,
 }
 
 impl BufferPool {
@@ -192,7 +225,20 @@ impl BufferPool {
             capacity: per_shard * n,
             shards,
             pages_skipped: AtomicU64::new(0),
+            verify_checksums: AtomicBool::new(true),
         }
+    }
+
+    /// Turns checksum verification (and sealing of dirty pages) on or off.
+    /// Off is for overhead ablations only; choose it for the lifetime of a
+    /// disk image — pages written unsealed will fail verification later.
+    pub fn set_verify_checksums(&self, on: bool) {
+        self.verify_checksums.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether physical reads verify the CRC trailer.
+    pub fn verify_checksums(&self) -> bool {
+        self.verify_checksums.load(Ordering::SeqCst)
     }
 
     /// Total frame capacity of this pool (all shards).
@@ -255,15 +301,20 @@ impl BufferPool {
     pub fn flush_all(&self) -> Result<(), StorageError> {
         for shard in &self.shards {
             let mut inner = Self::lock(shard);
-            let mut writes = 0;
+            let mut writes = IoStats::default();
+            let mut result = Ok(());
             for frame in inner.frames.iter_mut() {
                 if frame.dirty {
-                    self.disk.write_page(frame.id, &frame.page)?;
+                    if let Err(e) = self.write_back(frame.id, &mut frame.page, &mut writes) {
+                        result = Err(e);
+                        break;
+                    }
                     frame.dirty = false;
-                    writes += 1;
+                    writes.physical_writes += 1;
                 }
             }
-            inner.stats.physical_writes += writes;
+            inner.stats.add(&writes);
+            result?;
         }
         Ok(())
     }
@@ -273,15 +324,20 @@ impl BufferPool {
     pub fn clear_cache(&self) -> Result<(), StorageError> {
         for shard in &self.shards {
             let mut inner = Self::lock(shard);
-            let mut writes = 0;
-            for frame in inner.frames.drain(..) {
+            let mut writes = IoStats::default();
+            let mut result = Ok(());
+            for mut frame in inner.frames.drain(..) {
                 if frame.dirty {
-                    self.disk.write_page(frame.id, &frame.page)?;
-                    writes += 1;
+                    if let Err(e) = self.write_back(frame.id, &mut frame.page, &mut writes) {
+                        result = Err(e);
+                        break;
+                    }
+                    writes.physical_writes += 1;
                 }
             }
             inner.map.clear();
-            inner.stats.physical_writes += writes;
+            inner.stats.add(&writes);
+            result?;
         }
         Ok(())
     }
@@ -347,10 +403,13 @@ impl BufferPool {
             inner.frames.len() - 1
         } else {
             let slot = victim_slot(&inner.frames);
-            let victim = &mut inner.frames[slot];
-            if victim.dirty {
-                self.disk.write_page(victim.id, &victim.page)?;
-                inner.stats.physical_writes += 1;
+            {
+                let (frames, stats) = (&mut inner.frames, &mut inner.stats);
+                let victim = &mut frames[slot];
+                if victim.dirty {
+                    self.write_back(victim.id, &mut victim.page, stats)?;
+                    stats.physical_writes += 1;
+                }
             }
             let old_id = inner.frames[slot].id;
             inner.map.remove(&old_id);
@@ -360,9 +419,89 @@ impl BufferPool {
             inner.frames[slot].last_used = tick;
             slot
         };
-        self.disk.read_page(id, &mut inner.frames[slot].page)?;
+        let (frames, stats) = (&mut inner.frames, &mut inner.stats);
+        if let Err(e) = self.read_verified(id, &mut frames[slot].page, stats) {
+            // The frame holds a partial or unverified read: mark it vacant
+            // so no later victim write or map hit can expose its bytes.
+            frames[slot].id = PageId::INVALID;
+            frames[slot].dirty = false;
+            frames[slot].last_used = 0;
+            return Err(e);
+        }
         inner.map.insert(id, slot);
         Ok(slot)
+    }
+
+    /// One verified physical read: retries transient errors and checksum
+    /// mismatches up to [`MAX_IO_ATTEMPTS`] times, surfacing persistent
+    /// mismatches as [`StorageError::Corrupt`].
+    fn read_verified(
+        &self,
+        id: PageId,
+        page: &mut Page,
+        stats: &mut IoStats,
+    ) -> Result<(), StorageError> {
+        let verify = self.verify_checksums();
+        let mut mismatch: Option<(u32, u32)> = None;
+        for attempt in 1..=MAX_IO_ATTEMPTS {
+            match self.disk.read_page(id, page) {
+                Ok(()) => {
+                    if !verify {
+                        return Ok(());
+                    }
+                    match page.verify_checksum() {
+                        Ok(()) => return Ok(()),
+                        Err(m) => {
+                            // Could be a transient bus glitch: re-read.
+                            stats.checksum_failures += 1;
+                            mismatch = Some(m);
+                        }
+                    }
+                }
+                Err(e) if !e.is_transient() => return Err(e),
+                Err(_) => {} // transient: retry
+            }
+            if attempt < MAX_IO_ATTEMPTS {
+                stats.read_retries += 1;
+            }
+        }
+        Err(match mismatch {
+            Some((expected, found)) => StorageError::Corrupt {
+                page: id,
+                expected,
+                found,
+            },
+            None => StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                format!(
+                    "page {id}: transient read error persisted after {MAX_IO_ATTEMPTS} attempts"
+                ),
+            )),
+        })
+    }
+
+    /// One durable physical write: seals the trailer (unless verification
+    /// is off) and retries transient errors up to [`MAX_IO_ATTEMPTS`] times.
+    fn write_back(
+        &self,
+        id: PageId,
+        page: &mut Page,
+        stats: &mut IoStats,
+    ) -> Result<(), StorageError> {
+        if self.verify_checksums() {
+            page.seal();
+        }
+        let mut attempt = 1;
+        loop {
+            match self.disk.write_page(id, page) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt < MAX_IO_ATTEMPTS => {
+                    stats.write_retries += 1;
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 
@@ -525,6 +664,157 @@ mod tests {
         let pool = BufferPool::with_shards(disk, 2, 8);
         assert_eq!(pool.shard_count(), 8);
         assert!(pool.capacity() >= 8);
+    }
+
+    #[test]
+    fn transient_read_errors_are_retried() {
+        use crate::fault::{FaultConfig, FaultDisk};
+        let mem = Arc::new(MemDisk::new());
+        let ids: Vec<PageId> = (0..16).map(|_| mem.allocate_page().unwrap()).collect();
+        let faulty = Arc::new(FaultDisk::new(
+            mem,
+            FaultConfig {
+                seed: 5,
+                // Low enough that this seed never fails 4 times in a row
+                // (exhaustion has its own test below).
+                transient_read_error: 0.15,
+                ..Default::default()
+            },
+        ));
+        let pool = BufferPool::new(faulty.clone(), 4);
+        // Transient errors fire on ~15% of raw reads, but every logical
+        // access must still succeed within the retry budget.
+        for round in 0..4 {
+            for &id in &ids {
+                pool.with_page(id, |_| ()).unwrap();
+            }
+            if round < 3 {
+                pool.clear_cache().unwrap();
+            }
+        }
+        let s = pool.stats();
+        let injected = faulty
+            .stats()
+            .transient_read_errors
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert!(injected > 0, "p=0.4 over 64 cold reads must fire");
+        assert_eq!(
+            s.read_retries, injected,
+            "every injected error costs one retry"
+        );
+        assert_eq!(s.checksum_failures, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_transient_error() {
+        use crate::fault::{FaultConfig, FaultDisk};
+        let mem = Arc::new(MemDisk::new());
+        let id = mem.allocate_page().unwrap();
+        let faulty = Arc::new(FaultDisk::new(
+            mem,
+            FaultConfig {
+                seed: 1,
+                transient_read_error: 1.0, // every attempt fails
+                ..Default::default()
+            },
+        ));
+        let pool = BufferPool::new(faulty.clone(), 4);
+        let err = pool.with_page(id, |_| ()).unwrap_err();
+        assert!(err.is_transient());
+        let s = pool.stats();
+        assert_eq!(s.read_retries, u64::from(MAX_IO_ATTEMPTS - 1));
+        assert_eq!(
+            faulty
+                .stats()
+                .transient_read_errors
+                .load(std::sync::atomic::Ordering::Relaxed),
+            u64::from(MAX_IO_ATTEMPTS)
+        );
+    }
+
+    #[test]
+    fn corrupt_page_surfaces_typed_error_and_is_not_cached() {
+        use crate::fault::{FaultConfig, FaultDisk};
+        let mem = Arc::new(MemDisk::new());
+        let ids: Vec<PageId> = (0..64).map(|_| mem.allocate_page().unwrap()).collect();
+        let faulty = Arc::new(FaultDisk::new(
+            mem,
+            FaultConfig {
+                seed: 9,
+                sticky_bit_flip: 0.15,
+                ..Default::default()
+            },
+        ));
+        // Seal real content onto every page first, with faults off.
+        faulty.set_armed(false);
+        let pool = BufferPool::new(faulty.clone(), 8);
+        for (i, &id) in ids.iter().enumerate() {
+            pool.with_page_mut(id, |p| p.put_u64(0, i as u64)).unwrap();
+        }
+        pool.clear_cache().unwrap();
+        faulty.set_armed(true);
+
+        let bad = faulty.sticky_corrupt_pages();
+        assert!(!bad.is_empty());
+        for &id in &ids {
+            let res = pool.with_page(id, |p| p.get_u64(0));
+            if bad.contains(&id) {
+                match res {
+                    Err(StorageError::Corrupt {
+                        page,
+                        expected,
+                        found,
+                    }) => {
+                        assert_eq!(page, id);
+                        assert_ne!(expected, found);
+                    }
+                    other => panic!("expected Corrupt for {id}, got {other:?}"),
+                }
+                // Still corrupt on the next access: the page was not cached.
+                assert!(matches!(
+                    pool.with_page(id, |_| ()),
+                    Err(StorageError::Corrupt { .. })
+                ));
+            } else {
+                res.unwrap();
+            }
+        }
+        assert!(pool.stats().checksum_failures >= bad.len() as u64);
+    }
+
+    #[test]
+    fn verification_off_skips_checks() {
+        use crate::fault::{FaultConfig, FaultDisk};
+        let mem = Arc::new(MemDisk::new());
+        let id = mem.allocate_page().unwrap();
+        let faulty = Arc::new(FaultDisk::new(
+            mem,
+            FaultConfig {
+                seed: 2,
+                sticky_bit_flip: 1.0, // every page corrupt on read
+                ..Default::default()
+            },
+        ));
+        let pool = BufferPool::new(faulty, 4);
+        pool.set_verify_checksums(false);
+        assert!(!pool.verify_checksums());
+        // The flipped bit sails through unverified (the ablation mode).
+        pool.with_page(id, |_| ()).unwrap();
+        assert_eq!(pool.stats().checksum_failures, 0);
+    }
+
+    #[test]
+    fn evicted_dirty_pages_are_sealed() {
+        let (pool, ids) = pool(2);
+        pool.with_page_mut(ids[0], |p| p.put_u64(0, 1234)).unwrap();
+        pool.with_page(ids[1], |_| ()).unwrap();
+        pool.with_page(ids[2], |_| ()).unwrap(); // evicts ids[0]
+                                                 // Read the raw page straight off the disk: the trailer must hold
+                                                 // the payload CRC, not zeros.
+        let mut raw = Page::zeroed();
+        pool.disk().read_page(ids[0], &mut raw).unwrap();
+        assert_eq!(raw.verify_checksum(), Ok(()));
+        assert_ne!(raw.stored_checksum(), 0);
     }
 
     #[test]

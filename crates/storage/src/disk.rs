@@ -16,8 +16,51 @@ use std::path::Path;
 pub enum StorageError {
     /// Page id past the end of the disk.
     PageOutOfRange(PageId),
-    /// An underlying I/O failure (file-backed disks only).
+    /// An underlying I/O failure (file-backed disks, or injected faults).
     Io(std::io::Error),
+    /// Page failed checksum verification even after bounded retries. The
+    /// buffer pool never caches a page in this state, so readers cannot
+    /// observe corrupt payload bytes.
+    Corrupt {
+        /// The page whose trailer disagreed with its payload.
+        page: PageId,
+        /// CRC-32C recomputed from the payload as read.
+        expected: u32,
+        /// CRC-32C found in the page trailer.
+        found: u32,
+    },
+    /// A [`crate::PagedLog`] catalog carried a `tail` offset beyond the
+    /// capacity of its page list (rejected on reload instead of trusted).
+    InvalidTail {
+        /// The inconsistent tail offset.
+        tail: u64,
+        /// Total bytes the catalog's pages can hold.
+        capacity: u64,
+    },
+    /// A read addressed bytes past the end of a log or store.
+    OutOfBounds {
+        /// First byte requested.
+        offset: u64,
+        /// Bytes requested.
+        len: u64,
+        /// Logical end of the structure.
+        end: u64,
+    },
+}
+
+impl StorageError {
+    /// Whether retrying the same operation may succeed (e.g. an interrupted
+    /// read). The buffer pool retries these a bounded number of times before
+    /// surfacing the error; everything else is permanent.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted | std::io::ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for StorageError {
@@ -25,6 +68,20 @@ impl std::fmt::Display for StorageError {
         match self {
             StorageError::PageOutOfRange(id) => write!(f, "page {id} out of range"),
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::Corrupt {
+                page,
+                expected,
+                found,
+            } => write!(
+                f,
+                "page {page} corrupt: payload CRC {expected:#010x}, trailer {found:#010x}"
+            ),
+            StorageError::InvalidTail { tail, capacity } => {
+                write!(f, "log tail {tail} exceeds page capacity {capacity}")
+            }
+            StorageError::OutOfBounds { offset, len, end } => {
+                write!(f, "read of {len} bytes at {offset} past logical end {end}")
+            }
         }
     }
 }

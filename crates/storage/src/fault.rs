@@ -1,0 +1,444 @@
+//! Deterministic fault injection for storage robustness testing.
+//!
+//! [`FaultDisk`] wraps any [`Disk`] and misbehaves on a schedule derived
+//! purely from `(seed, fault kind, page id, per-page operation index)` — the
+//! same seed over the same operation sequence yields byte-identical faults,
+//! so failing runs replay exactly. Modeled faults:
+//!
+//! * **Transient read/write errors** — `ErrorKind::Interrupted`, classified
+//!   transient by [`StorageError::is_transient`]; retrying succeeds.
+//! * **Permanent page read failure** — a per-page coin makes every read of
+//!   an unlucky page fail with a non-transient error (a dead sector).
+//! * **Sticky single-bit flips** — a per-page coin picks a bad cell; every
+//!   read of that page returns the payload with one fixed bit inverted.
+//! * **Transient single-bit flips** — a per-operation coin flips one bit in
+//!   a single read's result (a bus glitch).
+//! * **Torn writes** — a write silently persists only a sector-aligned
+//!   prefix of the new page, leaving the old suffix (a power-cut tear).
+//!
+//! Every injected fault increments a counter in [`FaultStats`] so tests can
+//! reconcile "faults injected" against "retries and detections observed".
+//! The whole schedule sits behind an armed/disarmed switch: fixtures build
+//! with the disk disarmed, then [`FaultDisk::set_armed`] turns faults on for
+//! the measured phase.
+
+use crate::disk::{Disk, StorageError};
+use crate::page::{Page, PageId, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Probabilities (per operation or per page) for each fault kind.
+/// All default to zero; a default config injects nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultConfig {
+    /// Seed for the deterministic schedule.
+    pub seed: u64,
+    /// Per-read probability of a transient (`Interrupted`) error.
+    pub transient_read_error: f64,
+    /// Per-write probability of a transient (`Interrupted`) error.
+    pub transient_write_error: f64,
+    /// Per-read probability of a one-off single-bit flip in the result.
+    pub read_bit_flip: f64,
+    /// Per-page probability that the page has a bad cell: every read
+    /// returns it with the same bit inverted.
+    pub sticky_bit_flip: f64,
+    /// Per-page probability that every read fails permanently.
+    pub permanent_read_failure: f64,
+    /// Per-write probability that only a prefix of the page is persisted.
+    pub torn_write: f64,
+}
+
+/// Counters of injected faults, all monotonically increasing.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    /// Reads attempted while armed.
+    pub reads: AtomicU64,
+    /// Writes attempted while armed.
+    pub writes: AtomicU64,
+    /// Transient read errors injected.
+    pub transient_read_errors: AtomicU64,
+    /// Transient write errors injected.
+    pub transient_write_errors: AtomicU64,
+    /// Reads that failed permanently.
+    pub permanent_read_failures: AtomicU64,
+    /// One-off bit flips injected into read results.
+    pub read_bit_flips: AtomicU64,
+    /// Reads of sticky-corrupt pages (each returned a flipped bit).
+    pub sticky_corrupt_reads: AtomicU64,
+    /// Writes that were silently torn.
+    pub torn_writes: AtomicU64,
+}
+
+impl FaultStats {
+    /// Total faults of every kind injected so far.
+    pub fn total_injected(&self) -> u64 {
+        self.transient_read_errors.load(Ordering::Relaxed)
+            + self.transient_write_errors.load(Ordering::Relaxed)
+            + self.permanent_read_failures.load(Ordering::Relaxed)
+            + self.read_bit_flips.load(Ordering::Relaxed)
+            + self.sticky_corrupt_reads.load(Ordering::Relaxed)
+            + self.torn_writes.load(Ordering::Relaxed)
+    }
+}
+
+// Domain-separation tags so the per-kind coin flips are independent.
+const TAG_TRANSIENT_READ: u64 = 1;
+const TAG_TRANSIENT_WRITE: u64 = 2;
+const TAG_READ_BIT_FLIP: u64 = 3;
+const TAG_STICKY_PAGE: u64 = 4;
+const TAG_STICKY_BIT: u64 = 5;
+const TAG_PERMANENT_PAGE: u64 = 6;
+const TAG_TORN_WRITE: u64 = 7;
+const TAG_TORN_SPLIT: u64 = 8;
+const TAG_FLIP_BIT: u64 = 9;
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A [`Disk`] decorator injecting deterministic faults.
+pub struct FaultDisk {
+    inner: Arc<dyn Disk>,
+    cfg: FaultConfig,
+    stats: FaultStats,
+    armed: AtomicBool,
+    /// Per-page operation indexes, separate for reads and writes, so a
+    /// page's fault pattern is independent of interleaving with other pages.
+    read_ops: Mutex<HashMap<u32, u64>>,
+    write_ops: Mutex<HashMap<u32, u64>>,
+}
+
+impl FaultDisk {
+    /// Wraps `inner` with the fault schedule in `cfg`, initially **armed**.
+    pub fn new(inner: Arc<dyn Disk>, cfg: FaultConfig) -> Self {
+        Self {
+            inner,
+            cfg,
+            stats: FaultStats::default(),
+            armed: AtomicBool::new(true),
+            read_ops: Mutex::new(HashMap::new()),
+            write_ops: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Arms or disarms the schedule. Disarmed, the disk is a pure
+    /// pass-through and op counters do not advance, so fixture building
+    /// never perturbs the measured schedule.
+    pub fn set_armed(&self, armed: bool) {
+        self.armed.store(armed, Ordering::SeqCst);
+    }
+
+    /// Whether faults are currently injected.
+    pub fn armed(&self) -> bool {
+        self.armed.load(Ordering::SeqCst)
+    }
+
+    /// Injected-fault counters.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// The configured schedule.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    fn hash(&self, tag: u64, page: u32, op: u64) -> u64 {
+        mix(self.cfg.seed ^ mix(tag ^ mix(u64::from(page) ^ mix(op))))
+    }
+
+    /// A deterministic Bernoulli trial with probability `p`.
+    fn roll(&self, tag: u64, page: u32, op: u64, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        // Top 53 bits → uniform in [0, 1).
+        let u = (self.hash(tag, page, op) >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+
+    /// Whether `page` carries a sticky bad cell under this schedule.
+    /// Decided once per page (op index 0), independent of access order.
+    pub fn is_sticky_corrupt(&self, page: PageId) -> bool {
+        self.roll(TAG_STICKY_PAGE, page.0, 0, self.cfg.sticky_bit_flip)
+    }
+
+    /// Whether every read of `page` fails permanently under this schedule.
+    pub fn is_permanently_failed(&self, page: PageId) -> bool {
+        self.roll(
+            TAG_PERMANENT_PAGE,
+            page.0,
+            0,
+            self.cfg.permanent_read_failure,
+        )
+    }
+
+    /// All pages `< num_pages` that return corrupt payloads on read
+    /// (sticky bad cells). Used by tests to audit detection coverage.
+    pub fn sticky_corrupt_pages(&self) -> Vec<PageId> {
+        (0..self.inner.num_pages())
+            .map(PageId)
+            .filter(|&p| self.is_sticky_corrupt(p))
+            .collect()
+    }
+
+    fn next_op(map: &Mutex<HashMap<u32, u64>>, page: u32) -> u64 {
+        let mut ops = map.lock();
+        let slot = ops.entry(page).or_insert(0);
+        let op = *slot;
+        *slot += 1;
+        op
+    }
+
+    fn flip_bit(buf: &mut Page, bit: u64) {
+        let bit = (bit % (PAGE_SIZE as u64 * 8)) as usize;
+        buf.bytes_mut()[bit / 8] ^= 1 << (bit % 8);
+    }
+}
+
+impl Disk for FaultDisk {
+    fn read_page(&self, id: PageId, buf: &mut Page) -> Result<(), StorageError> {
+        if !self.armed() {
+            return self.inner.read_page(id, buf);
+        }
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        let op = Self::next_op(&self.read_ops, id.0);
+        if self.is_permanently_failed(id) {
+            self.stats
+                .permanent_read_failures
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::Io(std::io::Error::other(format!(
+                "injected permanent read failure on {id}"
+            ))));
+        }
+        if self.roll(TAG_TRANSIENT_READ, id.0, op, self.cfg.transient_read_error) {
+            self.stats
+                .transient_read_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                format!("injected transient read error on {id}"),
+            )));
+        }
+        self.inner.read_page(id, buf)?;
+        if self.is_sticky_corrupt(id) {
+            // Same bad cell on every read of this page.
+            Self::flip_bit(buf, self.hash(TAG_STICKY_BIT, id.0, 0));
+            self.stats
+                .sticky_corrupt_reads
+                .fetch_add(1, Ordering::Relaxed);
+        } else if self.roll(TAG_READ_BIT_FLIP, id.0, op, self.cfg.read_bit_flip) {
+            // One-off glitch: a different bit each time, this read only.
+            Self::flip_bit(buf, self.hash(TAG_FLIP_BIT, id.0, op));
+            self.stats.read_bit_flips.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, buf: &Page) -> Result<(), StorageError> {
+        if !self.armed() {
+            return self.inner.write_page(id, buf);
+        }
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        let op = Self::next_op(&self.write_ops, id.0);
+        if self.roll(
+            TAG_TRANSIENT_WRITE,
+            id.0,
+            op,
+            self.cfg.transient_write_error,
+        ) {
+            self.stats
+                .transient_write_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                format!("injected transient write error on {id}"),
+            )));
+        }
+        if self.roll(TAG_TORN_WRITE, id.0, op, self.cfg.torn_write) {
+            // Persist a sector-aligned prefix of the new page over the old
+            // content and report success: a silent tear the checksum layer
+            // must catch on the next read.
+            let mut merged = Page::zeroed();
+            self.inner.read_page(id, &mut merged)?;
+            let sectors = PAGE_SIZE / 512;
+            let keep = 512 * (1 + (self.hash(TAG_TORN_SPLIT, id.0, op) as usize) % (sectors - 1));
+            merged.bytes_mut()[..keep].copy_from_slice(&buf.bytes()[..keep]);
+            self.stats.torn_writes.fetch_add(1, Ordering::Relaxed);
+            return self.inner.write_page(id, &merged);
+        }
+        self.inner.write_page(id, buf)
+    }
+
+    fn allocate_page(&self) -> Result<PageId, StorageError> {
+        // Allocation is metadata, not payload I/O; keeping it fault-free
+        // keeps page layouts identical between faulty and oracle runs.
+        self.inner.allocate_page()
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    fn faulty(cfg: FaultConfig) -> FaultDisk {
+        FaultDisk::new(Arc::new(MemDisk::new()), cfg)
+    }
+
+    #[test]
+    fn default_config_is_transparent() {
+        let disk = faulty(FaultConfig::default());
+        let id = disk.allocate_page().unwrap();
+        let mut p = Page::zeroed();
+        p.put_u64(0, 99);
+        disk.write_page(id, &p).unwrap();
+        let mut r = Page::zeroed();
+        disk.read_page(id, &mut r).unwrap();
+        assert_eq!(r.get_u64(0), 99);
+        assert_eq!(disk.stats().total_injected(), 0);
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let cfg = FaultConfig {
+            seed: 42,
+            transient_read_error: 0.3,
+            read_bit_flip: 0.2,
+            ..Default::default()
+        };
+        let run = || {
+            let disk = faulty(cfg);
+            let id = disk.allocate_page().unwrap();
+            let mut outcomes = Vec::new();
+            let mut buf = Page::zeroed();
+            for _ in 0..64 {
+                match disk.read_page(id, &mut buf) {
+                    Ok(()) => outcomes.push(buf.bytes()[..8].to_vec()),
+                    Err(e) => outcomes.push(format!("{e}").into_bytes()),
+                }
+            }
+            (outcomes, disk.stats().total_injected())
+        };
+        let (a, na) = run();
+        let (b, nb) = run();
+        assert_eq!(a, b);
+        assert_eq!(na, nb);
+        assert!(na > 0, "schedule with p=0.3 over 64 ops must fire");
+    }
+
+    #[test]
+    fn transient_errors_are_transient() {
+        let disk = faulty(FaultConfig {
+            seed: 7,
+            transient_read_error: 0.5,
+            ..Default::default()
+        });
+        let id = disk.allocate_page().unwrap();
+        let mut buf = Page::zeroed();
+        // With p=0.5, 100 attempts must both fail sometimes and succeed
+        // sometimes, and every failure must classify as transient.
+        let mut ok = 0;
+        let mut failed = 0;
+        for _ in 0..100 {
+            match disk.read_page(id, &mut buf) {
+                Ok(()) => ok += 1,
+                Err(e) => {
+                    assert!(e.is_transient(), "unexpected permanent error: {e}");
+                    failed += 1;
+                }
+            }
+        }
+        assert!(ok > 0 && failed > 0);
+        assert_eq!(
+            failed,
+            disk.stats().transient_read_errors.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn sticky_pages_flip_the_same_bit_every_read() {
+        let disk = faulty(FaultConfig {
+            seed: 3,
+            sticky_bit_flip: 0.2,
+            ..Default::default()
+        });
+        for _ in 0..64 {
+            disk.allocate_page().unwrap();
+        }
+        let sticky = disk.sticky_corrupt_pages();
+        assert!(!sticky.is_empty(), "p=0.2 over 64 pages must mark some");
+        assert!(sticky.len() < 64);
+        let bad = sticky[0];
+        let mut a = Page::zeroed();
+        let mut b = Page::zeroed();
+        disk.read_page(bad, &mut a).unwrap();
+        disk.read_page(bad, &mut b).unwrap();
+        assert_eq!(a.bytes(), b.bytes(), "sticky flip must be stable");
+        let flipped: u32 = a.bytes().iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit flipped in a zero page");
+        // A healthy page reads back clean.
+        let good = (0..64)
+            .map(PageId)
+            .find(|p| !disk.is_sticky_corrupt(*p))
+            .unwrap();
+        let mut c = Page::zeroed();
+        disk.read_page(good, &mut c).unwrap();
+        assert!(c.bytes().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn torn_write_keeps_old_suffix() {
+        let disk = faulty(FaultConfig {
+            seed: 11,
+            torn_write: 1.0, // tear every write
+            ..Default::default()
+        });
+        let id = disk.allocate_page().unwrap();
+        disk.set_armed(false);
+        let mut old = Page::zeroed();
+        old.bytes_mut().fill(0xAA);
+        disk.write_page(id, &old).unwrap();
+        disk.set_armed(true);
+        let mut new = Page::zeroed();
+        new.bytes_mut().fill(0xBB);
+        disk.write_page(id, &new).unwrap(); // reports success, actually torn
+        assert_eq!(disk.stats().torn_writes.load(Ordering::Relaxed), 1);
+        disk.set_armed(false);
+        let mut r = Page::zeroed();
+        disk.read_page(id, &mut r).unwrap();
+        assert_eq!(r.bytes()[0], 0xBB, "prefix comes from the new write");
+        assert_eq!(r.bytes()[PAGE_SIZE - 1], 0xAA, "suffix keeps old bytes");
+    }
+
+    #[test]
+    fn disarmed_disk_is_a_pure_passthrough() {
+        let disk = faulty(FaultConfig {
+            seed: 1,
+            transient_read_error: 1.0,
+            transient_write_error: 1.0,
+            sticky_bit_flip: 1.0,
+            ..Default::default()
+        });
+        disk.set_armed(false);
+        let id = disk.allocate_page().unwrap();
+        let mut p = Page::zeroed();
+        p.put_u32(0, 7);
+        disk.write_page(id, &p).unwrap();
+        let mut r = Page::zeroed();
+        disk.read_page(id, &mut r).unwrap();
+        assert_eq!(r.get_u32(0), 7);
+        assert_eq!(disk.stats().reads.load(Ordering::Relaxed), 0);
+        assert_eq!(disk.stats().total_injected(), 0);
+    }
+}

@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// The storage layer is the fail-closed boundary: production code must
+// propagate typed errors, never unwrap them. Tests may unwrap freely.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 //! Block-oriented storage substrate for the DOL secure XML query engine.
 //!
@@ -22,6 +26,11 @@
 //!   keeping character data out of the structural encoding.
 //! * [`btree`] — a B+-tree used for the tag and tag+value indexes that seed
 //!   NoK pattern matching.
+//! * [`checksum`] / [`fault`] — the robustness layer: a CRC-32C page trailer
+//!   verified on every physical read (see [`page`]), and a deterministic
+//!   fault-injecting [`FaultDisk`] decorator used to prove the engine fails
+//!   *closed* — a corrupt or unreadable block can hide authorized nodes but
+//!   never leak protected ones.
 //!
 //! Higher layers: `dol-core` implements the logical DOL and drives the
 //! embedded representation through [`StructStore`]'s code-run primitives;
@@ -30,14 +39,17 @@
 
 pub mod btree;
 pub mod buffer;
+pub mod checksum;
 pub mod disk;
+pub mod fault;
 pub mod log;
 pub mod nok;
 pub mod page;
 
 pub use btree::BPlusTree;
-pub use buffer::{BufferPool, IoStats};
-pub use disk::{Disk, FileDisk, MemDisk};
+pub use buffer::{BufferPool, IoStats, MAX_IO_ATTEMPTS};
+pub use disk::{Disk, FileDisk, MemDisk, StorageError};
+pub use fault::{FaultConfig, FaultDisk, FaultStats};
 pub use log::{PagedLog, ValueStore};
 pub use nok::{BlockInfo, BulkItem, NodeRec, StoreConfig, StructStore, NO_CODE};
-pub use page::{Page, PageId, PAGE_SIZE};
+pub use page::{Page, PageId, CHECKSUM_SIZE, PAGE_SIZE, PAYLOAD_SIZE};

@@ -9,14 +9,15 @@
 
 use crate::buffer::BufferPool;
 use crate::disk::StorageError;
-use crate::page::{PageId, PAGE_SIZE};
+use crate::page::{PageId, PAYLOAD_SIZE};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// An append-only byte log spread over pages of a [`BufferPool`].
 ///
-/// Logical offsets are dense: byte `o` lives on the log's `o / PAGE_SIZE`-th
-/// page. Records may span page boundaries.
+/// Logical offsets are dense over page *payloads*: byte `o` lives on the
+/// log's `o / PAYLOAD_SIZE`-th page (the last 4 bytes of each page are the
+/// CRC trailer). Records may span page boundaries.
 pub struct PagedLog {
     pool: Arc<BufferPool>,
     pages: Vec<PageId>,
@@ -34,9 +35,20 @@ impl PagedLog {
     }
 
     /// Re-attaches a log to pages written earlier (persistence reload).
-    pub fn from_parts(pool: Arc<BufferPool>, pages: Vec<PageId>, tail: u64) -> Self {
-        assert!(tail <= pages.len() as u64 * PAGE_SIZE as u64);
-        Self { pool, pages, tail }
+    ///
+    /// A catalog whose `tail` exceeds the capacity of `pages` is corrupt
+    /// (or stale); it is rejected with [`StorageError::InvalidTail`] rather
+    /// than trusted — indexing past the page list would panic later.
+    pub fn from_parts(
+        pool: Arc<BufferPool>,
+        pages: Vec<PageId>,
+        tail: u64,
+    ) -> Result<Self, StorageError> {
+        let capacity = pages.len() as u64 * PAYLOAD_SIZE as u64;
+        if tail > capacity {
+            return Err(StorageError::InvalidTail { tail, capacity });
+        }
+        Ok(Self { pool, pages, tail })
     }
 
     /// The pages backing the log, in logical order.
@@ -64,12 +76,12 @@ impl PagedLog {
         let start = self.tail;
         let mut written = 0usize;
         while written < data.len() {
-            let off = self.tail as usize % PAGE_SIZE;
-            let page_idx = (self.tail / PAGE_SIZE as u64) as usize;
+            let off = self.tail as usize % PAYLOAD_SIZE;
+            let page_idx = (self.tail / PAYLOAD_SIZE as u64) as usize;
             if page_idx == self.pages.len() {
                 self.pages.push(self.pool.allocate_page()?);
             }
-            let n = (PAGE_SIZE - off).min(data.len() - written);
+            let n = (PAYLOAD_SIZE - off).min(data.len() - written);
             let chunk = &data[written..written + n];
             self.pool
                 .with_page_mut(self.pages[page_idx], |p| p.put_bytes(off, chunk))?;
@@ -80,19 +92,27 @@ impl PagedLog {
         Ok(start)
     }
 
-    /// Reads `len` bytes starting at logical `offset`.
+    /// Reads `len` bytes starting at logical `offset`. A read past the tail
+    /// returns [`StorageError::OutOfBounds`] — with a rebuilt-by-scan index
+    /// (see [`ValueStore::open`]) a stale or corrupt header can request
+    /// arbitrary ranges, and that must not crash the process.
     pub fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>, StorageError> {
-        assert!(
-            offset + len as u64 <= self.tail,
-            "read past end of log ({offset}+{len} > {})",
-            self.tail
-        );
+        if offset
+            .checked_add(len as u64)
+            .is_none_or(|end| end > self.tail)
+        {
+            return Err(StorageError::OutOfBounds {
+                offset,
+                len: len as u64,
+                end: self.tail,
+            });
+        }
         let mut out = Vec::with_capacity(len);
         let mut pos = offset;
         while out.len() < len {
-            let page_idx = (pos / PAGE_SIZE as u64) as usize;
-            let off = pos as usize % PAGE_SIZE;
-            let n = (PAGE_SIZE - off).min(len - out.len());
+            let page_idx = (pos / PAYLOAD_SIZE as u64) as usize;
+            let off = pos as usize % PAYLOAD_SIZE;
+            let n = (PAYLOAD_SIZE - off).min(len - out.len());
             self.pool.with_page(self.pages[page_idx], |p| {
                 out.extend_from_slice(p.get_bytes(off, n))
             })?;
@@ -133,13 +153,13 @@ impl ValueStore {
         pages: Vec<PageId>,
         tail: u64,
     ) -> Result<Self, StorageError> {
-        let log = PagedLog::from_parts(pool, pages, tail);
+        let log = PagedLog::from_parts(pool, pages, tail)?;
         let mut index = BTreeMap::new();
         let mut off = 0u64;
         while off < log.len() {
             let hdr = log.read(off, 12)?;
-            let pos = u64::from_le_bytes(hdr[0..8].try_into().unwrap());
-            let len = u32::from_le_bytes(hdr[8..12].try_into().unwrap());
+            let pos = u64::from_le_bytes(hdr[0..8].try_into().expect("12-byte header"));
+            let len = u32::from_le_bytes(hdr[8..12].try_into().expect("12-byte header"));
             index.insert(pos, (off + 12, len));
             off += 12 + u64::from(len);
         }
@@ -254,13 +274,13 @@ mod tests {
     #[test]
     fn values_span_pages() {
         let mut vs = store();
-        let big = "x".repeat(3 * PAGE_SIZE + 17);
+        let big = "x".repeat(3 * PAYLOAD_SIZE + 17);
         vs.put(0, "small").unwrap();
         vs.put(1, &big).unwrap();
         vs.put(2, "after").unwrap();
         assert_eq!(vs.get(1).unwrap().unwrap(), big);
         assert_eq!(vs.get(2).unwrap().as_deref(), Some("after"));
-        assert!(vs.bytes() > 3 * PAGE_SIZE as u64);
+        assert!(vs.bytes() > 3 * PAYLOAD_SIZE as u64);
     }
 
     #[test]
@@ -292,6 +312,51 @@ mod tests {
     }
 
     #[test]
+    fn from_parts_rejects_inconsistent_tail() {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 16));
+        let pages = vec![pool.allocate_page().unwrap(), pool.allocate_page().unwrap()];
+        let capacity = 2 * PAYLOAD_SIZE as u64;
+        // Exactly full is fine; one byte past the capacity is rejected.
+        assert!(PagedLog::from_parts(pool.clone(), pages.clone(), capacity).is_ok());
+        match PagedLog::from_parts(pool.clone(), pages, capacity + 1) {
+            Err(StorageError::InvalidTail {
+                tail,
+                capacity: cap,
+            }) => {
+                assert_eq!(tail, capacity + 1);
+                assert_eq!(cap, capacity);
+            }
+            other => panic!("expected InvalidTail, got {:?}", other.map(|_| ())),
+        }
+        // A non-empty tail with no pages at all is the degenerate case.
+        assert!(matches!(
+            PagedLog::from_parts(pool, Vec::new(), 1),
+            Err(StorageError::InvalidTail { .. })
+        ));
+    }
+
+    #[test]
+    fn read_past_tail_is_a_typed_error() {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 16));
+        let mut log = PagedLog::new(pool);
+        log.append(b"0123456789").unwrap();
+        assert_eq!(log.read(4, 3).unwrap(), b"456");
+        assert!(matches!(
+            log.read(8, 5),
+            Err(StorageError::OutOfBounds {
+                offset: 8,
+                len: 5,
+                end: 10
+            })
+        ));
+        // Offset + len overflowing u64 must not wrap around into range.
+        assert!(matches!(
+            log.read(u64::MAX - 1, 4),
+            Err(StorageError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
     fn empty_value_ok() {
         let mut vs = store();
         vs.put(1, "").unwrap();
@@ -306,7 +371,7 @@ mod tests {
             vs.put(p, &format!("value-{p}")).unwrap();
         }
         vs.put(13, "overwritten").unwrap(); // later entry must win
-        let big = "y".repeat(2 * PAGE_SIZE);
+        let big = "y".repeat(2 * PAYLOAD_SIZE);
         vs.put(500, &big).unwrap();
         let pages = vs.log_pages().to_vec();
         let tail = vs.log_tail();

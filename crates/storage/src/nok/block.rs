@@ -11,10 +11,11 @@
 //! 16      8     reserved
 //! 24      12·c  node records  (tag u32, size u32, depth u16, flags u16)
 //! tail    8·t   transition entries (slot u16, pad u16, code u32),
-//!               entry j at offset PAGE_SIZE − 8·(j+1), ascending slot order
+//!               entry j at offset PAYLOAD_SIZE − 8·(j+1), ascending slot
+//!               order (the last 4 bytes of the page are the CRC trailer)
 //! ```
 
-use crate::page::{Page, PageId, PAGE_SIZE};
+use crate::page::{Page, PageId, PAYLOAD_SIZE};
 
 /// Byte size of the block header.
 pub(crate) const HDR_SIZE: usize = 24;
@@ -23,7 +24,8 @@ pub const REC_SIZE: usize = 12;
 /// Byte size of one transition entry.
 pub(crate) const TRANS_SIZE: usize = 8;
 
-/// Default cap on records per block: leaves room for 59 transition entries.
+/// Default cap on records per block: leaves room for 58 transition entries
+/// beside the CRC trailer.
 pub const MAX_RECORDS_DEFAULT: usize = 300;
 
 /// Header flag bit: block contains a transition node beyond its first node.
@@ -103,7 +105,7 @@ pub(crate) fn read_transitions(p: &Page) -> Vec<(u16, u32)> {
     let hdr = BlockHeader::read(p);
     let mut out = Vec::with_capacity(hdr.trans_count as usize);
     for j in 0..hdr.trans_count as usize {
-        let off = PAGE_SIZE - (j + 1) * TRANS_SIZE;
+        let off = PAYLOAD_SIZE - (j + 1) * TRANS_SIZE;
         out.push((p.get_u16(off), p.get_u32(off + 4)));
     }
     debug_assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
@@ -115,7 +117,7 @@ pub(crate) fn read_transitions(p: &Page) -> Vec<(u16, u32)> {
 pub(crate) fn write_transitions(p: &mut Page, entries: &[(u16, u32)]) {
     debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
     for (j, &(slot, code)) in entries.iter().enumerate() {
-        let off = PAGE_SIZE - (j + 1) * TRANS_SIZE;
+        let off = PAYLOAD_SIZE - (j + 1) * TRANS_SIZE;
         p.put_u16(off, slot);
         p.put_u16(off + 2, 0);
         p.put_u32(off + 4, code);
@@ -128,12 +130,12 @@ pub(crate) fn write_transitions(p: &mut Page, entries: &[(u16, u32)]) {
 
 /// Maximum transition entries that fit alongside `count` records.
 pub(crate) fn trans_capacity(count: usize) -> usize {
-    (PAGE_SIZE - HDR_SIZE - count * REC_SIZE) / TRANS_SIZE
+    (PAYLOAD_SIZE - HDR_SIZE - count * REC_SIZE) / TRANS_SIZE
 }
 
 /// Checks that `count` records plus `trans` transition entries fit in a page.
 pub(crate) fn fits(count: usize, trans: usize) -> bool {
-    HDR_SIZE + count * REC_SIZE + trans * TRANS_SIZE <= PAGE_SIZE
+    HDR_SIZE + count * REC_SIZE + trans * TRANS_SIZE <= PAYLOAD_SIZE
 }
 
 #[cfg(test)]
@@ -194,9 +196,31 @@ mod tests {
 
     #[test]
     fn capacity_math() {
-        assert!(fits(MAX_RECORDS_DEFAULT, 59));
-        assert!(!fits(MAX_RECORDS_DEFAULT, 60));
-        assert_eq!(trans_capacity(MAX_RECORDS_DEFAULT), 59);
+        assert!(fits(MAX_RECORDS_DEFAULT, 58));
+        assert!(!fits(MAX_RECORDS_DEFAULT, 59));
+        assert_eq!(trans_capacity(MAX_RECORDS_DEFAULT), 58);
         assert!(fits(8, 8));
+    }
+
+    #[test]
+    fn full_block_stays_clear_of_the_trailer() {
+        // The densest legal block must not overlap the CRC trailer.
+        let max_trans = trans_capacity(MAX_RECORDS_DEFAULT);
+        assert!(HDR_SIZE + MAX_RECORDS_DEFAULT * REC_SIZE + max_trans * TRANS_SIZE <= PAYLOAD_SIZE);
+        let mut p = Page::zeroed();
+        BlockHeader {
+            count: MAX_RECORDS_DEFAULT as u16,
+            first_depth: 0,
+            trans_count: 0,
+            change: false,
+            first_code: 1,
+            next: PageId::INVALID,
+        }
+        .write(&mut p);
+        let entries: Vec<(u16, u32)> = (0..max_trans as u16).map(|s| (s, u32::from(s))).collect();
+        write_transitions(&mut p, &entries);
+        assert_eq!(read_transitions(&p), entries);
+        // The trailer region itself was never touched by the codec.
+        assert_eq!(p.stored_checksum(), 0);
     }
 }

@@ -444,7 +444,7 @@ impl StructStore {
             let info = self.dir[b];
             if info.first_pos > start
                 && info.first_pos < end
-                && out.last().unwrap().1 != info.first_code
+                && out.last().expect("pushed above").1 != info.first_code
             {
                 out.push((info.first_pos, info.first_code));
             }
@@ -454,7 +454,10 @@ impl StructStore {
                     .with_page(info.page, super::block::read_transitions)?;
                 for (slot, code) in trans {
                     let pos = info.first_pos + u64::from(slot);
-                    if pos > start && pos < end && out.last().unwrap().1 != code {
+                    if pos > start
+                        && pos < end
+                        && out.last().expect("run starts at start").1 != code
+                    {
                         out.push((pos, code));
                     }
                 }

@@ -53,7 +53,7 @@ impl StructStore {
             } else if pos == end {
                 // The run's successor keeps its code; only its transition
                 // status can change.
-                item.is_transition = end_is_trans.unwrap();
+                item.is_transition = end_is_trans.expect("end < total: flag was recorded");
             }
         }
         let covers_end = end < base + items.len() as u64;
@@ -161,7 +161,7 @@ impl StructStore {
         let mut new_items = items.to_vec();
         new_items[0].is_transition = new_items[0].code != pred_code;
         // Code in effect at the end of the inserted run.
-        let last_code = new_items.last().unwrap().code;
+        let last_code = new_items.last().expect("run is non-empty").code;
         let insert_slot = (at - base) as usize;
         let covers_next = insert_slot < buf.len();
         buf.splice(insert_slot..insert_slot, new_items);

@@ -168,10 +168,18 @@ impl SecureXmlDb {
         oracle: &impl AccessOracle,
         cfg: DbConfig,
     ) -> Result<Self, DbError> {
-        let pool = Arc::new(BufferPool::new(
-            Arc::new(MemDisk::new()),
-            cfg.buffer_pool_pages,
-        ));
+        Self::with_config_on(Arc::new(MemDisk::new()), doc, oracle, cfg)
+    }
+
+    /// Builds a database on an explicit disk — e.g. a
+    /// [`dol_storage::FaultDisk`] for fault-injection testing.
+    pub fn with_config_on(
+        disk: Arc<dyn dol_storage::Disk>,
+        doc: Document,
+        oracle: &impl AccessOracle,
+        cfg: DbConfig,
+    ) -> Result<Self, DbError> {
+        let pool = Arc::new(BufferPool::new(disk, cfg.buffer_pool_pages));
         let store_cfg = StoreConfig {
             max_records_per_block: cfg.max_records_per_block,
         };

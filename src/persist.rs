@@ -164,7 +164,7 @@ impl SecureXmlDb {
                 .map(PageId)
                 .collect(),
             cat.codebook_bytes,
-        );
+        )?;
         let codebook = Codebook::from_bytes(&cb_log.read(0, cat.codebook_bytes as usize)?)
             .map_err(|m| {
                 DbError::Storage(StorageError::Io(std::io::Error::new(
@@ -178,7 +178,7 @@ impl SecureXmlDb {
                 .map(PageId)
                 .collect(),
             cat.tags_bytes,
-        );
+        )?;
         let tag_blob = tag_log.read(0, cat.tags_bytes as usize)?;
         let mut tags = TagInterner::new();
         for name in String::from_utf8_lossy(&tag_blob).split('\n') {

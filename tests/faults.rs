@@ -1,0 +1,112 @@
+//! End-to-end fault robustness through the public API: a [`SecureXmlDb`]
+//! built over a [`FaultDisk`] must fail closed under secure semantics
+//! (answers shrink, queries never error) and fail loudly — a typed error,
+//! never a wrong answer — when unsecured.
+
+mod common;
+
+use common::{naive_eval, RefSecurity};
+use secure_xml::acl::{AccessibilityMap, SubjectId};
+use secure_xml::storage::{FaultConfig, FaultDisk, MemDisk};
+use secure_xml::workloads::{synth_multi, xmark, SynthAclConfig, XmarkConfig};
+use secure_xml::{DbConfig, SecureXmlDb, Security};
+use std::sync::Arc;
+
+const QUERIES: &[&str] = &[
+    "/site/regions/africa/item[location][name][quantity]",
+    "//listitem//keyword",
+    "//item//emph",
+    "//category[name]",
+];
+
+fn build_on_faulty(cfg: FaultConfig) -> (SecureXmlDb, Arc<FaultDisk>, AccessibilityMap) {
+    let doc = xmark(&XmarkConfig {
+        scale: 0.04,
+        seed: 99,
+    });
+    let map = synth_multi(
+        &doc,
+        &SynthAclConfig {
+            propagation_ratio: 0.05,
+            accessibility_ratio: 0.6,
+            sibling_locality: 0.5,
+            seed: 41,
+        },
+        2,
+    );
+    let fault = Arc::new(FaultDisk::new(Arc::new(MemDisk::new()), cfg));
+    fault.set_armed(false);
+    let db = SecureXmlDb::with_config_on(
+        fault.clone(),
+        doc,
+        &map,
+        DbConfig {
+            buffer_pool_pages: 64,
+            max_records_per_block: 24,
+        },
+    )
+    .unwrap();
+    db.store().pool().flush_all().unwrap();
+    fault.set_armed(true);
+    db.store().pool().clear_cache().unwrap();
+    (db, fault, map)
+}
+
+#[test]
+fn secure_queries_fail_closed_through_the_public_api() {
+    // Every read of an unlucky page fails; bit flips corrupt some others.
+    let (db, fault, map) = build_on_faulty(FaultConfig {
+        seed: 77,
+        transient_read_error: 0.05,
+        sticky_bit_flip: 0.05,
+        permanent_read_failure: 0.1,
+        ..FaultConfig::default()
+    });
+    let subject = SubjectId(0);
+    for q in QUERIES {
+        // The oracle comes from the in-memory reference evaluator — no
+        // storage involved, so faults cannot touch it.
+        let expect = naive_eval(db.document(), q, RefSecurity::Binding(&map, subject));
+        db.store().pool().clear_cache().unwrap();
+        let got = db
+            .query(q, Security::BindingLevel(subject))
+            .unwrap_or_else(|e| panic!("{q}: secure query must not error: {e}"));
+        for m in &got.matches {
+            assert!(
+                expect.contains(m),
+                "{q}: faulty store leaked {m} absent from the reference answer"
+            );
+        }
+    }
+    assert!(
+        fault.stats().total_injected() > 0,
+        "the schedule must actually have fired"
+    );
+
+    // Disarmed, the same database answers exactly.
+    fault.set_armed(false);
+    db.store().pool().clear_cache().unwrap();
+    for q in QUERIES {
+        let expect = naive_eval(db.document(), q, RefSecurity::Binding(&map, SubjectId(0)));
+        let got = db.query(q, Security::BindingLevel(SubjectId(0))).unwrap();
+        assert_eq!(got.matches, expect, "{q}: clean store must be exact");
+        assert_eq!(got.stats.blocks_failed_closed, 0);
+    }
+}
+
+#[test]
+fn unsecured_queries_surface_the_storage_error() {
+    let (db, _fault, _map) = build_on_faulty(FaultConfig {
+        seed: 5,
+        permanent_read_failure: 1.0,
+        ..FaultConfig::default()
+    });
+    for q in QUERIES {
+        db.store().pool().clear_cache().unwrap();
+        let res = db.query(q, Security::None);
+        assert!(
+            res.is_err(),
+            "{q}: with every page dead, an unsecured query must error, not answer"
+        );
+    }
+}

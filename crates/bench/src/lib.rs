@@ -20,8 +20,10 @@
 //! | [`ablation`] | design-choice ablations: codebook, page skip, block size |
 //! | [`parallel`] | parallel candidate matching: worker-count scaling (not a paper artifact) |
 //! | [`faults`] | fault injection: checksum detection, fail-closed semantics, verify overhead (not a paper artifact) |
+//! | [`crash`] | crash-recovery torture: power cut at every physical write point, recovery must land on a state boundary (not a paper artifact) |
 
 pub mod ablation;
+pub mod crash;
 pub mod faults;
 pub mod fig4;
 pub mod fig56;

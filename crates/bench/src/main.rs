@@ -2,15 +2,15 @@
 //!
 //! ```text
 //! experiments [--quick|--full] [--parallelism=N] [--seed=N]
-//!             [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates parallel faults | all]
+//!             [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates parallel faults crash | all]
 //! ```
 //!
 //! `--parallelism=N` caps the worker sweep of the `parallel` experiment
 //! (`0` = all available cores, the default). `--seed=N` re-seeds the
-//! `faults` experiment's deterministic fault schedule.
+//! `faults` and `crash` experiments' deterministic schedules.
 
 use dol_bench::{
-    ablation, faults, fig4, fig56, fig7, fig8, parallel, queries, storage, updates, Effort,
+    ablation, crash, faults, fig4, fig56, fig7, fig8, parallel, queries, storage, updates, Effort,
 };
 
 fn main() {
@@ -51,6 +51,7 @@ fn main() {
             "ablation".into(),
             "parallel".into(),
             "faults".into(),
+            "crash".into(),
         ];
     }
     println!(
@@ -78,6 +79,7 @@ fn main() {
             "ablation" => ablation::run(effort),
             "parallel" => parallel::run(effort, parallelism),
             "faults" => faults::run(effort, seed),
+            "crash" => crash::run(effort, seed),
             other => eprintln!("unknown experiment `{other}` (skipped)"),
         }
     }

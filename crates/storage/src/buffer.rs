@@ -39,17 +39,45 @@
 //! off ([`BufferPool::set_verify_checksums`]) for overhead ablations; the
 //! switch also skips sealing, so it must be chosen for the lifetime of a
 //! disk image, not toggled mid-run.
+//!
+//! # Transactions
+//!
+//! [`BufferPool::atomic_update`] runs a closure as one atomic multi-page
+//! mutation. While the transaction is open, the first `with_page_mut` on
+//! each page snapshots a **pre-image** (for rollback), and no uncommitted
+//! byte can reach the data disk: evicting a transaction-dirtied page moves
+//! its bytes into the transaction's in-memory **shadow** instead of writing
+//! them (a later fetch reloads from the shadow), so transactions can dirty
+//! far more pages than the pool holds frames. If the closure fails, the
+//! pre-images are restored and the cache and disk are exactly as before. If
+//! it succeeds and a [`Wal`] is
+//! [attached](BufferPool::attach_wal), the after-images of every dirtied
+//! page are committed to the log — synced *before* any of them may be
+//! lazily flushed (WAL-before-data) — so a crash at any later point redoes
+//! the whole transaction or none of it. Nested `atomic_update` calls join
+//! the outermost transaction (a subtree move is a delete + insert in one
+//! atom); inner failures must be propagated outward. Transactions serialize
+//! updates: they are for the single-writer update path, not for concurrent
+//! writers. With no transaction open, every code path — and every I/O
+//! counter — is bit-identical to the pre-WAL pool, so experiment replays
+//! are unaffected.
 
 use crate::disk::{Disk, StorageError};
 use crate::page::{Page, PageId};
+use crate::wal::Wal;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Attempts per physical page I/O before a transient error or checksum
 /// mismatch is treated as permanent.
 pub const MAX_IO_ATTEMPTS: u32 = 4;
+
+/// Default auto-checkpoint threshold: a commit that leaves more than this
+/// many bytes in the attached WAL triggers a checkpoint (flush + sync +
+/// epoch bump). Tune with [`BufferPool::set_checkpoint_threshold`].
+pub const DEFAULT_CHECKPOINT_THRESHOLD: u64 = 4 << 20;
 
 /// Cumulative I/O counters of a [`BufferPool`] (or one of its shards).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +154,23 @@ fn victim_slot(frames: &[Frame]) -> usize {
         .expect("victim_slot on an empty frame list")
 }
 
+/// State of the open [`BufferPool::atomic_update`] transaction.
+struct TxnState {
+    /// Nesting depth: inner `atomic_update` calls join the outermost
+    /// transaction and only bump this counter.
+    depth: usize,
+    /// First-touch pre-images (page bytes + prior dirty flag) for rollback.
+    /// Pages with a pre-image must not reach the data disk mid-transaction.
+    pre: HashMap<PageId, (Page, bool)>,
+    /// Page ids in first-dirtied order: the deterministic order their
+    /// after-images are logged (and spilled images written) in.
+    order: Vec<PageId>,
+    /// After-images of transaction pages evicted from the cache: eviction
+    /// must not write uncommitted bytes to the data disk, so they live here
+    /// until re-fetched or committed.
+    shadow: HashMap<PageId, Page>,
+}
+
 struct Shard {
     inner: Mutex<Inner>,
     /// Thread token of the current lock holder (0 = unheld). Lets the pool
@@ -186,6 +231,18 @@ pub struct BufferPool {
     pages_skipped: AtomicU64,
     /// Whether physical reads verify (and writes seal) the CRC trailer.
     verify_checksums: AtomicBool,
+    /// The write-ahead log, if one is attached.
+    wal: Mutex<Option<Arc<Wal>>>,
+    /// The open transaction, if any. Lock order: a shard lock may be held
+    /// while taking this lock, never the reverse.
+    txn: Mutex<Option<TxnState>>,
+    /// Fast gate mirroring `txn.is_some()`: with no transaction open, hot
+    /// paths pay one relaxed load and nothing else.
+    txn_active: AtomicBool,
+    /// Monotonic transaction ids for WAL records.
+    next_txn_id: AtomicU64,
+    /// Auto-checkpoint when the log exceeds this many bytes (0 = never).
+    checkpoint_threshold: AtomicU64,
 }
 
 impl BufferPool {
@@ -226,6 +283,11 @@ impl BufferPool {
             shards,
             pages_skipped: AtomicU64::new(0),
             verify_checksums: AtomicBool::new(true),
+            wal: Mutex::new(None),
+            txn: Mutex::new(None),
+            txn_active: AtomicBool::new(false),
+            next_txn_id: AtomicU64::new(1),
+            checkpoint_threshold: AtomicU64::new(DEFAULT_CHECKPOINT_THRESHOLD),
         }
     }
 
@@ -274,6 +336,8 @@ impl BufferPool {
     }
 
     /// Runs `f` with exclusive access to page `id`, marking it dirty.
+    /// Inside an open transaction the first mutation of each page snapshots
+    /// its pre-image (see [`atomic_update`](Self::atomic_update)).
     pub fn with_page_mut<R>(
         &self,
         id: PageId,
@@ -283,6 +347,16 @@ impl BufferPool {
         let mut inner = Self::lock(shard);
         let slot = self.fetch(shard, &mut inner, id)?;
         inner.stats.logical_reads += 1;
+        if self.txn_active.load(Ordering::Acquire) {
+            let mut txn = self.txn.lock();
+            if let Some(t) = txn.as_mut() {
+                if let std::collections::hash_map::Entry::Vacant(e) = t.pre.entry(id) {
+                    let frame = &inner.frames[slot];
+                    e.insert((frame.page.clone(), frame.dirty));
+                    t.order.push(id);
+                }
+            }
+        }
         inner.frames[slot].dirty = true;
         Ok(f(&mut inner.frames[slot].page))
     }
@@ -297,49 +371,77 @@ impl BufferPool {
         self.pages_skipped.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Writes all dirty cached pages back to the disk.
+    /// Writes all dirty cached pages back to the disk. Pages pinned by an
+    /// open transaction are skipped (their bytes are uncommitted). Every
+    /// shard and page is attempted even after a failure; the failures are
+    /// aggregated into one [`StorageError::FlushFailed`], so one bad page
+    /// cannot block durability of the rest.
     pub fn flush_all(&self) -> Result<(), StorageError> {
+        let pinned = self.pinned_pages();
+        let mut failures: Vec<(PageId, StorageError)> = Vec::new();
         for shard in &self.shards {
             let mut inner = Self::lock(shard);
             let mut writes = IoStats::default();
-            let mut result = Ok(());
             for frame in inner.frames.iter_mut() {
-                if frame.dirty {
-                    if let Err(e) = self.write_back(frame.id, &mut frame.page, &mut writes) {
-                        result = Err(e);
-                        break;
+                if frame.dirty && !pinned.contains(&frame.id) {
+                    match self.write_back(frame.id, &mut frame.page, &mut writes) {
+                        Ok(()) => {
+                            frame.dirty = false;
+                            writes.physical_writes += 1;
+                        }
+                        Err(e) => failures.push((frame.id, e)),
                     }
-                    frame.dirty = false;
-                    writes.physical_writes += 1;
                 }
             }
             inner.stats.add(&writes);
-            result?;
         }
-        Ok(())
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(StorageError::FlushFailed(failures))
+        }
     }
 
     /// Drops every cached page (flushing dirty ones), so the next accesses
-    /// are cold. Experiments call this between runs.
+    /// are cold. Experiments call this between runs. Pages pinned by an open
+    /// transaction stay cached; dirty pages whose write fails also stay
+    /// cached (nothing is lost), with the failures aggregated into one
+    /// [`StorageError::FlushFailed`].
     pub fn clear_cache(&self) -> Result<(), StorageError> {
+        let pinned = self.pinned_pages();
+        let mut failures: Vec<(PageId, StorageError)> = Vec::new();
         for shard in &self.shards {
             let mut inner = Self::lock(shard);
             let mut writes = IoStats::default();
-            let mut result = Ok(());
-            for mut frame in inner.frames.drain(..) {
+            let frames = std::mem::take(&mut inner.frames);
+            let mut kept: Vec<Frame> = Vec::new();
+            for mut frame in frames {
+                if pinned.contains(&frame.id) {
+                    kept.push(frame);
+                    continue;
+                }
                 if frame.dirty {
-                    if let Err(e) = self.write_back(frame.id, &mut frame.page, &mut writes) {
-                        result = Err(e);
-                        break;
+                    match self.write_back(frame.id, &mut frame.page, &mut writes) {
+                        Ok(()) => writes.physical_writes += 1,
+                        Err(e) => {
+                            failures.push((frame.id, e));
+                            kept.push(frame);
+                        }
                     }
-                    writes.physical_writes += 1;
                 }
             }
             inner.map.clear();
+            for (slot, frame) in kept.iter().enumerate() {
+                inner.map.insert(frame.id, slot);
+            }
+            inner.frames = kept;
             inner.stats.add(&writes);
-            result?;
         }
-        Ok(())
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(StorageError::FlushFailed(failures))
+        }
     }
 
     /// A snapshot of the I/O counters, aggregated over all shards.
@@ -371,6 +473,268 @@ impl BufferPool {
         }
     }
 
+    /// Attaches a write-ahead log: from now on every
+    /// [`atomic_update`](Self::atomic_update) commits its page after-images
+    /// to `wal` (synced) before any of them can reach the data disk.
+    pub fn attach_wal(&self, wal: Arc<Wal>) {
+        *self.wal.lock() = Some(wal);
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<Arc<Wal>> {
+        self.wal.lock().clone()
+    }
+
+    /// Sets the auto-checkpoint threshold in WAL bytes (0 disables
+    /// auto-checkpointing; see [`DEFAULT_CHECKPOINT_THRESHOLD`]).
+    pub fn set_checkpoint_threshold(&self, bytes: u64) {
+        self.checkpoint_threshold.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Whether an [`atomic_update`](Self::atomic_update) is currently open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn_active.load(Ordering::Acquire)
+    }
+
+    /// Runs `f` as one atomic multi-page mutation.
+    ///
+    /// On success, the after-images of every page `f` dirtied are committed
+    /// to the attached WAL (one synced log append) before returning; a crash
+    /// at any later moment recovers the whole mutation. On failure the
+    /// dirtied pages are rolled back to their pre-images and the error is
+    /// returned — the cache and disk are exactly as before `f` ran. Nested
+    /// calls join the outermost transaction; inner errors must be propagated
+    /// (an inner `Err` that the outer closure swallows leaves the inner
+    /// mutations in the joined transaction).
+    ///
+    /// Without an attached WAL this still gives all-or-nothing semantics in
+    /// the cache (rollback on error), just no crash durability.
+    pub fn atomic_update<R, E: From<StorageError>>(
+        &self,
+        f: impl FnOnce() -> Result<R, E>,
+    ) -> Result<R, E> {
+        self.txn_begin();
+        match f() {
+            Ok(r) => match self.txn_commit() {
+                Ok(()) => Ok(r),
+                Err(e) => Err(E::from(e)),
+            },
+            Err(e) => {
+                self.txn_rollback();
+                Err(e)
+            }
+        }
+    }
+
+    /// Flushes all dirty pages, syncs the data disk, then truncates the WAL
+    /// (header epoch bump). After a checkpoint the log is empty and recovery
+    /// has nothing to redo. Returns an error (and does nothing) inside an
+    /// open transaction: uncommitted pages cannot be flushed, and bumping
+    /// the epoch would orphan committed-but-unflushed images.
+    pub fn checkpoint(&self) -> Result<(), StorageError> {
+        if self.in_transaction() {
+            return Err(StorageError::Io(std::io::Error::other(
+                "checkpoint inside an open transaction",
+            )));
+        }
+        let Some(wal) = self.wal() else {
+            return self.flush_all();
+        };
+        self.flush_all()?;
+        self.disk.sync()?;
+        wal.checkpoint()
+    }
+
+    fn txn_begin(&self) {
+        let mut txn = self.txn.lock();
+        match txn.as_mut() {
+            Some(t) => t.depth += 1,
+            None => {
+                *txn = Some(TxnState {
+                    depth: 1,
+                    pre: HashMap::new(),
+                    order: Vec::new(),
+                    shadow: HashMap::new(),
+                });
+                self.txn_active.store(true, Ordering::Release);
+            }
+        }
+    }
+
+    /// Commits the innermost scope; the outermost commit writes the WAL.
+    fn txn_commit(&self) -> Result<(), StorageError> {
+        {
+            let mut txn = self.txn.lock();
+            let t = txn.as_mut().expect("commit without an open transaction");
+            if t.depth > 1 {
+                t.depth -= 1;
+                return Ok(());
+            }
+        }
+        // Outermost commit. Snapshot the dirtied-page order; the transaction
+        // stays open while their images are read, and no shard lock is
+        // taken while the txn lock is held.
+        let order: Vec<PageId> = {
+            let txn = self.txn.lock();
+            txn.as_ref()
+                .expect("commit without an open transaction")
+                .order
+                .clone()
+        };
+        let wal = self.wal();
+        if let Some(wal) = &wal {
+            if !order.is_empty() {
+                let mut images = Vec::with_capacity(order.len());
+                for &id in &order {
+                    match self.page_image(id) {
+                        Ok(img) => images.push((id, img)),
+                        Err(e) => {
+                            self.txn_rollback();
+                            return Err(e);
+                        }
+                    }
+                }
+                let txn_id = self.next_txn_id.fetch_add(1, Ordering::Relaxed);
+                if let Err(e) = wal.commit(txn_id, &images) {
+                    self.txn_rollback();
+                    return Err(e);
+                }
+            }
+        }
+        // The transaction is now durable (or no WAL is attached). Pages
+        // spilled out of the cache exist nowhere else once the transaction
+        // closes: write them to the data disk, in first-dirtied order for
+        // determinism. A failure here is reported but NOT rolled back — the
+        // commit already happened; on a logged database, reopening redoes
+        // the missing pages from the WAL.
+        let mut failures: Vec<(PageId, StorageError)> = Vec::new();
+        for &id in &order {
+            let spilled = {
+                let mut txn = self.txn.lock();
+                txn.as_mut()
+                    .expect("commit without an open transaction")
+                    .shadow
+                    .remove(&id)
+            };
+            if let Some(mut page) = spilled {
+                let shard = self.shard_of(id);
+                let mut inner = Self::lock(shard);
+                match self.write_back(id, &mut page, &mut inner.stats) {
+                    Ok(()) => inner.stats.physical_writes += 1,
+                    Err(e) => failures.push((id, e)),
+                }
+            }
+        }
+        {
+            let mut txn = self.txn.lock();
+            *txn = None;
+            self.txn_active.store(false, Ordering::Release);
+        }
+        if !failures.is_empty() {
+            return Err(StorageError::FlushFailed(failures));
+        }
+        // The transaction is durable; opportunistically bound the log.
+        if let Some(wal) = &wal {
+            let threshold = self.checkpoint_threshold.load(Ordering::Relaxed);
+            if threshold > 0 && wal.log_bytes() >= threshold {
+                self.checkpoint()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rolls back the innermost scope; the outermost rollback restores every
+    /// pre-image (bytes and dirty flag) into the cache.
+    fn txn_rollback(&self) {
+        let state = {
+            let mut txn = self.txn.lock();
+            let t = txn.as_mut().expect("rollback without an open transaction");
+            if t.depth > 1 {
+                t.depth -= 1;
+                return;
+            }
+            txn.take().expect("checked above")
+        };
+        for id in &state.order {
+            let (image, was_dirty) = state.pre.get(id).expect("order tracks pre");
+            let shard = self.shard_of(*id);
+            let mut inner = Self::lock(shard);
+            if let Some(&slot) = inner.map.get(id) {
+                let frame = &mut inner.frames[slot];
+                frame.page.bytes_mut().copy_from_slice(image.bytes());
+                frame.dirty = *was_dirty;
+            } else if *was_dirty {
+                // The page was spilled out of the cache and its pre-image
+                // was dirty (never durable): restore it straight to the
+                // disk, best-effort — on a logged database the WAL still
+                // holds the committed image a failure would lose.
+                let mut page = image.clone();
+                if self.write_back(*id, &mut page, &mut inner.stats).is_ok() {
+                    inner.stats.physical_writes += 1;
+                }
+            }
+        }
+        self.txn_active.store(false, Ordering::Release);
+    }
+
+    /// Pages captured by the open transaction (empty set when none is
+    /// open). Their cached bytes are uncommitted: flushes must skip them.
+    fn pinned_pages(&self) -> HashSet<PageId> {
+        if !self.txn_active.load(Ordering::Acquire) {
+            return HashSet::new();
+        }
+        self.txn
+            .lock()
+            .as_ref()
+            .map(|t| t.pre.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// If `victim` belongs to the open transaction, moves its uncommitted
+    /// bytes into the transaction shadow and reports `true` — the caller
+    /// then evicts the frame *without* writing it (WAL-before-data: no
+    /// uncommitted byte may reach the data disk).
+    fn spill_to_shadow(&self, victim: &Frame) -> bool {
+        if !self.txn_active.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut txn = self.txn.lock();
+        match txn.as_mut() {
+            Some(t) if t.pre.contains_key(&victim.id) => {
+                t.shadow.insert(victim.id, victim.page.clone());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// A sealed copy of a transaction page's current bytes (the WAL
+    /// after-image): from its frame if resident, from the transaction
+    /// shadow if it was spilled.
+    fn page_image(&self, id: PageId) -> Result<Page, StorageError> {
+        let shard = self.shard_of(id);
+        let resident = {
+            let inner = Self::lock(shard);
+            inner
+                .map
+                .get(&id)
+                .map(|&slot| inner.frames[slot].page.clone())
+        };
+        let mut image = match resident {
+            Some(page) => page,
+            None => self
+                .txn
+                .lock()
+                .as_ref()
+                .and_then(|t| t.shadow.get(&id).cloned())
+                .ok_or(StorageError::PageOutOfRange(id))?,
+        };
+        if self.verify_checksums() {
+            image.seal();
+        }
+        Ok(image)
+    }
+
     fn lock(shard: &Shard) -> ShardGuard<'_> {
         let me = thread_token();
         if shard.owner.load(Ordering::Acquire) == me {
@@ -392,7 +756,16 @@ impl BufferPool {
             inner.frames[slot].last_used = tick;
             return Ok(slot);
         }
-        inner.stats.physical_reads += 1;
+        // The open transaction's shadow may hold the page's latest bytes
+        // (spilled by an earlier eviction): reload from there, not the disk.
+        let shadow_page = if self.txn_active.load(Ordering::Acquire) {
+            self.txn.lock().as_mut().and_then(|t| t.shadow.remove(&id))
+        } else {
+            None
+        };
+        if shadow_page.is_none() {
+            inner.stats.physical_reads += 1;
+        }
         let slot = if inner.frames.len() < shard.capacity {
             inner.frames.push(Frame {
                 id,
@@ -406,7 +779,7 @@ impl BufferPool {
             {
                 let (frames, stats) = (&mut inner.frames, &mut inner.stats);
                 let victim = &mut frames[slot];
-                if victim.dirty {
+                if victim.dirty && !self.spill_to_shadow(victim) {
                     self.write_back(victim.id, &mut victim.page, stats)?;
                     stats.physical_writes += 1;
                 }
@@ -419,6 +792,12 @@ impl BufferPool {
             inner.frames[slot].last_used = tick;
             slot
         };
+        if let Some(page) = shadow_page {
+            inner.frames[slot].page = page;
+            inner.frames[slot].dirty = true;
+            inner.map.insert(id, slot);
+            return Ok(slot);
+        }
         let (frames, stats) = (&mut inner.frames, &mut inner.stats);
         if let Err(e) = self.read_verified(id, &mut frames[slot].page, stats) {
             // The frame holds a partial or unverified read: mark it vacant
@@ -815,6 +1194,169 @@ mod tests {
         pool.disk().read_page(ids[0], &mut raw).unwrap();
         assert_eq!(raw.verify_checksum(), Ok(()));
         assert_ne!(raw.stored_checksum(), 0);
+    }
+
+    #[test]
+    fn atomic_update_rolls_back_on_error() {
+        let (pool, ids) = pool(4);
+        pool.with_page_mut(ids[0], |p| p.put_u32(0, 1)).unwrap();
+        pool.flush_all().unwrap();
+        let err: Result<(), StorageError> = pool.atomic_update(|| {
+            pool.with_page_mut(ids[0], |p| p.put_u32(0, 99))?;
+            pool.with_page_mut(ids[1], |p| p.put_u32(0, 50))?;
+            Err(StorageError::PageOutOfRange(PageId(77)))
+        });
+        assert!(err.is_err());
+        assert!(!pool.in_transaction());
+        assert_eq!(pool.with_page(ids[0], |p| p.get_u32(0)).unwrap(), 1);
+        assert_eq!(pool.with_page(ids[1], |p| p.get_u32(0)).unwrap(), 0);
+        // ids[0] was clean pre-txn (flushed): rollback restored that too.
+        pool.clear_cache().unwrap();
+        assert_eq!(pool.with_page(ids[0], |p| p.get_u32(0)).unwrap(), 1);
+    }
+
+    #[test]
+    fn atomic_update_commits_to_wal_before_data() {
+        use crate::wal::Wal;
+        let data = Arc::new(MemDisk::new());
+        let log = Arc::new(MemDisk::new());
+        let ids: Vec<PageId> = (0..4).map(|_| data.allocate_page().unwrap()).collect();
+        let pool = BufferPool::new(data.clone(), 8);
+        pool.attach_wal(Arc::new(Wal::open(log.clone()).unwrap()));
+        pool.atomic_update(|| -> Result<(), StorageError> {
+            pool.with_page_mut(ids[0], |p| p.put_u32(0, 7))?;
+            pool.with_page_mut(ids[2], |p| p.put_u32(0, 8))
+        })
+        .unwrap();
+        // The data disk has NOT been written (pages are lazily flushed)...
+        let mut raw = Page::zeroed();
+        data.read_page(ids[0], &mut raw).unwrap();
+        assert_eq!(raw.get_u32(0), 0);
+        // ...but the WAL has the whole transaction: redo recovers it.
+        let wal2 = Wal::open(log).unwrap();
+        let report = wal2.recover_onto(&*data).unwrap();
+        assert_eq!(report.committed_txns, 1);
+        assert_eq!(report.pages_redone, 2);
+        data.read_page(ids[0], &mut raw).unwrap();
+        assert_eq!(raw.get_u32(0), 7);
+        assert_eq!(raw.verify_checksum(), Ok(()), "WAL images are sealed");
+        data.read_page(ids[2], &mut raw).unwrap();
+        assert_eq!(raw.get_u32(0), 8);
+    }
+
+    #[test]
+    fn nested_atomic_updates_join_one_transaction() {
+        use crate::wal::Wal;
+        let data = Arc::new(MemDisk::new());
+        let log = Arc::new(MemDisk::new());
+        let ids: Vec<PageId> = (0..4).map(|_| data.allocate_page().unwrap()).collect();
+        let wal = Arc::new(Wal::open(log).unwrap());
+        let pool = BufferPool::new(data, 8);
+        pool.attach_wal(wal.clone());
+        pool.atomic_update(|| -> Result<(), StorageError> {
+            pool.with_page_mut(ids[0], |p| p.put_u32(0, 1))?;
+            pool.atomic_update(|| pool.with_page_mut(ids[1], |p| p.put_u32(0, 2)))?;
+            assert!(pool.in_transaction());
+            pool.with_page_mut(ids[3], |p| p.put_u32(0, 3))
+        })
+        .unwrap();
+        assert!(!pool.in_transaction());
+        assert_eq!(wal.stats().commits, 1, "nested scopes commit once");
+    }
+
+    #[test]
+    fn transaction_larger_than_the_pool_spills_and_commits() {
+        use crate::wal::Wal;
+        let data = Arc::new(MemDisk::new());
+        let log = Arc::new(MemDisk::new());
+        let ids: Vec<PageId> = (0..12).map(|_| data.allocate_page().unwrap()).collect();
+        let pool = BufferPool::new(data.clone(), 2); // two frames only
+        pool.attach_wal(Arc::new(Wal::open(log).unwrap()));
+        pool.atomic_update(|| -> Result<(), StorageError> {
+            for (i, &id) in ids.iter().enumerate() {
+                pool.with_page_mut(id, |p| p.put_u32(0, i as u32 + 1))?;
+            }
+            // Mid-transaction, no uncommitted byte has reached the disk:
+            // evicted transaction pages went to the shadow, not the disk.
+            let mut raw = Page::zeroed();
+            data.read_page(ids[0], &mut raw).unwrap();
+            assert_eq!(raw.get_u32(0), 0);
+            // Revisiting a spilled page serves its bytes from the shadow.
+            pool.with_page(ids[0], |p| assert_eq!(p.get_u32(0), 1))?;
+            Ok(())
+        })
+        .unwrap();
+        // Commit pushed the spilled after-images to the data disk; every
+        // page reads back, through the pool and raw.
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(pool.with_page(id, |p| p.get_u32(0)).unwrap(), i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn transaction_larger_than_the_pool_rolls_back() {
+        let (pool, ids) = pool(2);
+        for &id in &ids {
+            pool.with_page_mut(id, |p| p.put_u32(0, 7)).unwrap();
+        }
+        pool.flush_all().unwrap();
+        let res: Result<(), StorageError> = pool.atomic_update(|| {
+            for &id in &ids {
+                pool.with_page_mut(id, |p| p.put_u32(0, 99))?;
+            }
+            Err(StorageError::PageOutOfRange(PageId(1234)))
+        });
+        assert!(res.is_err());
+        assert!(!pool.in_transaction());
+        // Spilled and resident pages alike are back at their pre-images.
+        pool.clear_cache().unwrap();
+        for &id in &ids {
+            assert_eq!(pool.with_page(id, |p| p.get_u32(0)).unwrap(), 7);
+        }
+    }
+
+    #[test]
+    fn flush_all_attempts_every_page_and_aggregates() {
+        use crate::fault::{CrashDisk, CrashState};
+        let mem = Arc::new(MemDisk::new());
+        let ids: Vec<PageId> = (0..6).map(|_| mem.allocate_page().unwrap()).collect();
+        // Allow exactly 2 writes, no tear: the remaining dirty pages fail.
+        let state = CrashState::new(2, false, 0);
+        let pool = BufferPool::new(Arc::new(CrashDisk::new(mem, state)), 8);
+        for &id in &ids {
+            pool.with_page_mut(id, |p| p.put_u32(0, 5)).unwrap();
+        }
+        match pool.flush_all() {
+            Err(StorageError::FlushFailed(failures)) => {
+                assert_eq!(failures.len(), 4, "2 of 6 writes succeeded");
+            }
+            other => panic!("expected FlushFailed, got {other:?}"),
+        }
+        assert_eq!(pool.stats().physical_writes, 2);
+    }
+
+    #[test]
+    fn clear_cache_keeps_unflushed_dirty_pages() {
+        use crate::fault::{CrashDisk, CrashState};
+        let mem = Arc::new(MemDisk::new());
+        let ids: Vec<PageId> = (0..4).map(|_| mem.allocate_page().unwrap()).collect();
+        let state = CrashState::new(1, false, 0);
+        let pool = BufferPool::new(Arc::new(CrashDisk::new(mem.clone(), state)), 8);
+        for &id in &ids {
+            pool.with_page_mut(id, |p| p.put_u32(0, 9)).unwrap();
+        }
+        assert!(matches!(
+            pool.clear_cache(),
+            Err(StorageError::FlushFailed(f)) if f.len() == 3
+        ));
+        // The one flushed page reached the substrate; the three unflushed
+        // pages are still cached with their dirty bytes (nothing was lost).
+        let mut raw = Page::zeroed();
+        mem.read_page(ids[0], &mut raw).unwrap();
+        assert_eq!(raw.get_u32(0), 9);
+        for &id in &ids[1..] {
+            assert_eq!(pool.with_page(id, |p| p.get_u32(0)).unwrap(), 9);
+        }
     }
 
     #[test]

@@ -46,6 +46,28 @@ pub enum StorageError {
         /// Logical end of the structure.
         end: u64,
     },
+    /// A structural-update entry point was handed a position range that is
+    /// empty, inverted, or extends past the store (formerly an `assert!`).
+    InvalidRange {
+        /// First position of the requested run.
+        start: u64,
+        /// One past the last position of the requested run.
+        end: u64,
+        /// Total nodes in the store.
+        total: u64,
+    },
+    /// [`crate::BufferPool::flush_all`] could not write every dirty page.
+    /// Each failed page is listed with its own error; pages not listed were
+    /// flushed successfully.
+    FlushFailed(
+        /// The pages that could not be written, with their causes.
+        Vec<(PageId, StorageError)>,
+    ),
+    /// A write-ahead-log header or record failed validation on open.
+    WalCorrupt(
+        /// What was wrong with the log.
+        &'static str,
+    ),
 }
 
 impl StorageError {
@@ -82,6 +104,20 @@ impl std::fmt::Display for StorageError {
             StorageError::OutOfBounds { offset, len, end } => {
                 write!(f, "read of {len} bytes at {offset} past logical end {end}")
             }
+            StorageError::InvalidRange { start, end, total } => {
+                write!(
+                    f,
+                    "invalid run [{start},{end}) for a store of {total} nodes"
+                )
+            }
+            StorageError::FlushFailed(failures) => {
+                write!(f, "flush failed for {} page(s):", failures.len())?;
+                for (id, e) in failures {
+                    write!(f, " [{id}: {e}]")?;
+                }
+                Ok(())
+            }
+            StorageError::WalCorrupt(why) => write!(f, "write-ahead log corrupt: {why}"),
         }
     }
 }
@@ -107,6 +143,12 @@ pub trait Disk: Send + Sync {
     fn allocate_page(&self) -> Result<PageId, StorageError>;
     /// Number of allocated pages.
     fn num_pages(&self) -> u32;
+    /// Forces previously written pages onto stable storage. The write-ahead
+    /// log relies on this barrier to order log records before data pages;
+    /// in-memory disks are trivially durable, so the default is a no-op.
+    fn sync(&self) -> Result<(), StorageError> {
+        Ok(())
+    }
 }
 
 /// An in-memory disk: a growable vector of pages.
@@ -122,6 +164,15 @@ impl MemDisk {
     /// Creates an empty in-memory disk.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A deep copy of the current page array. The crash-recovery torture
+    /// harness snapshots a pristine image once and forks it for every crash
+    /// point, so each run replays against identical bytes.
+    pub fn fork(&self) -> MemDisk {
+        MemDisk {
+            pages: Mutex::new(self.pages.lock().clone()),
+        }
     }
 }
 
@@ -222,6 +273,11 @@ impl Disk for FileDisk {
 
     fn num_pages(&self) -> u32 {
         *self.pages.lock()
+    }
+
+    fn sync(&self) -> Result<(), StorageError> {
+        self.file.lock().sync_all()?;
+        Ok(())
     }
 }
 

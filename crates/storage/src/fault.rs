@@ -285,6 +285,132 @@ impl Disk for FaultDisk {
     fn num_pages(&self) -> u32 {
         self.inner.num_pages()
     }
+
+    fn sync(&self) -> Result<(), StorageError> {
+        self.inner.sync()
+    }
+}
+
+/// Shared power-rail state for one or more [`CrashDisk`]s.
+///
+/// The crash-recovery harness wraps the data disk *and* the WAL disk around
+/// one `CrashState` so a single "power cut after N physical writes" budget
+/// spans both devices, exactly as one machine losing power would.
+pub struct CrashState {
+    /// Successful `write_page` calls allowed before the cut.
+    limit: u64,
+    /// Whether the cut write persists a sector-aligned prefix (a torn
+    /// write) instead of nothing.
+    tear_final: bool,
+    /// Seed for the deterministic tear split point.
+    seed: u64,
+    writes: AtomicU64,
+    crashed: AtomicBool,
+}
+
+impl CrashState {
+    /// A power rail that cuts after `crash_after_writes` successful page
+    /// writes. With `tear_final`, the fatal write leaves a sector-aligned
+    /// prefix of the new bytes (split chosen deterministically from `seed`).
+    pub fn new(crash_after_writes: u64, tear_final: bool, seed: u64) -> Arc<Self> {
+        Arc::new(Self {
+            limit: crash_after_writes,
+            tear_final,
+            seed,
+            writes: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+        })
+    }
+
+    /// A rail that never cuts — used for the oracle run, whose write count
+    /// sizes the crash-point sweep.
+    pub fn unlimited() -> Arc<Self> {
+        Self::new(u64::MAX, false, 0)
+    }
+
+    /// Physical page writes issued so far (including the fatal one).
+    pub fn writes_issued(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Whether the power has been cut.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`Disk`] decorator that simulates a power cut after exactly N physical
+/// writes (see [`CrashState`]). After the cut every operation fails with a
+/// non-transient error, like a device whose power is gone; the disk
+/// underneath retains whatever had been written, and the test harness
+/// re-wraps it (or reads it raw) to model the post-reboot recovery.
+pub struct CrashDisk {
+    inner: Arc<dyn Disk>,
+    state: Arc<CrashState>,
+}
+
+impl CrashDisk {
+    /// Wraps `inner` on the given power rail.
+    pub fn new(inner: Arc<dyn Disk>, state: Arc<CrashState>) -> Self {
+        Self { inner, state }
+    }
+
+    /// The shared power-rail state.
+    pub fn state(&self) -> &Arc<CrashState> {
+        &self.state
+    }
+
+    fn power_cut() -> StorageError {
+        StorageError::Io(std::io::Error::other("simulated power cut"))
+    }
+}
+
+impl Disk for CrashDisk {
+    fn read_page(&self, id: PageId, buf: &mut Page) -> Result<(), StorageError> {
+        if self.state.crashed() {
+            return Err(Self::power_cut());
+        }
+        self.inner.read_page(id, buf)
+    }
+
+    fn write_page(&self, id: PageId, buf: &Page) -> Result<(), StorageError> {
+        if self.state.crashed() {
+            return Err(Self::power_cut());
+        }
+        let n = self.state.writes.fetch_add(1, Ordering::SeqCst);
+        if n < self.state.limit {
+            return self.inner.write_page(id, buf);
+        }
+        // This is the write the power cut interrupts.
+        self.state.crashed.store(true, Ordering::SeqCst);
+        if n == self.state.limit && self.state.tear_final {
+            let sectors = PAGE_SIZE / 512;
+            let keep = 512 * (1 + (mix(self.state.seed ^ n) as usize) % (sectors - 1));
+            let mut merged = Page::zeroed();
+            self.inner.read_page(id, &mut merged)?;
+            merged.bytes_mut()[..keep].copy_from_slice(&buf.bytes()[..keep]);
+            self.inner.write_page(id, &merged)?;
+        }
+        Err(Self::power_cut())
+    }
+
+    fn allocate_page(&self) -> Result<PageId, StorageError> {
+        if self.state.crashed() {
+            return Err(Self::power_cut());
+        }
+        self.inner.allocate_page()
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+
+    fn sync(&self) -> Result<(), StorageError> {
+        if self.state.crashed() {
+            return Err(Self::power_cut());
+        }
+        self.inner.sync()
+    }
 }
 
 #[cfg(test)]
@@ -440,5 +566,69 @@ mod tests {
         assert_eq!(r.get_u32(0), 7);
         assert_eq!(disk.stats().reads.load(Ordering::Relaxed), 0);
         assert_eq!(disk.stats().total_injected(), 0);
+    }
+
+    #[test]
+    fn crash_disk_cuts_power_after_n_writes() {
+        let mem = Arc::new(MemDisk::new());
+        let state = CrashState::new(2, false, 0);
+        let disk = CrashDisk::new(mem.clone(), state.clone());
+        let a = disk.allocate_page().unwrap();
+        let b = disk.allocate_page().unwrap();
+        let mut p = Page::zeroed();
+        p.put_u32(0, 1);
+        disk.write_page(a, &p).unwrap();
+        p.put_u32(0, 2);
+        disk.write_page(b, &p).unwrap();
+        // Third write is the cut: it fails and persists nothing.
+        p.put_u32(0, 3);
+        assert!(disk.write_page(a, &p).is_err());
+        assert!(state.crashed());
+        assert_eq!(state.writes_issued(), 3);
+        // Everything afterwards fails too.
+        let mut r = Page::zeroed();
+        assert!(disk.read_page(a, &mut r).is_err());
+        assert!(disk.write_page(b, &p).is_err());
+        assert!(disk.allocate_page().is_err());
+        assert!(disk.sync().is_err());
+        // The substrate kept the pre-crash bytes.
+        mem.read_page(a, &mut r).unwrap();
+        assert_eq!(r.get_u32(0), 1);
+    }
+
+    #[test]
+    fn crash_disk_shares_one_rail_across_devices() {
+        let state = CrashState::new(1, false, 0);
+        let d1 = CrashDisk::new(Arc::new(MemDisk::new()), state.clone());
+        let d2 = CrashDisk::new(Arc::new(MemDisk::new()), state.clone());
+        let a = d1.allocate_page().unwrap();
+        let b = d2.allocate_page().unwrap();
+        let p = Page::zeroed();
+        d1.write_page(a, &p).unwrap();
+        // The budget is shared: the next write on the *other* disk crashes.
+        assert!(d2.write_page(b, &p).is_err());
+        assert!(state.crashed());
+    }
+
+    #[test]
+    fn crash_disk_can_tear_the_fatal_write() {
+        let mem = Arc::new(MemDisk::new());
+        let state = CrashState::new(0, true, 42);
+        let disk = CrashDisk::new(mem.clone(), state);
+        let id = disk.allocate_page().unwrap();
+        let mut old = Page::zeroed();
+        for b in old.bytes_mut().iter_mut() {
+            *b = 0xAA;
+        }
+        mem.write_page(id, &old).unwrap();
+        let mut new = Page::zeroed();
+        for b in new.bytes_mut().iter_mut() {
+            *b = 0xBB;
+        }
+        assert!(disk.write_page(id, &new).is_err());
+        let mut r = Page::zeroed();
+        mem.read_page(id, &mut r).unwrap();
+        assert_eq!(r.bytes()[0], 0xBB, "some sector prefix was persisted");
+        assert_eq!(r.bytes()[PAGE_SIZE - 1], 0xAA, "the suffix kept old bytes");
     }
 }

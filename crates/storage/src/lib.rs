@@ -31,6 +31,10 @@
 //!   fault-injecting [`FaultDisk`] decorator used to prove the engine fails
 //!   *closed* — a corrupt or unreadable block can hide authorized nodes but
 //!   never leak protected ones.
+//! * [`wal`] — the crash-consistency layer: a physical write-ahead log
+//!   ([`Wal`]) driven by [`BufferPool::atomic_update`], with redo recovery
+//!   on open and a [`CrashDisk`] power-cut simulator (in [`fault`]) plus a
+//!   crash-point torture harness to prove every multi-page update is atomic.
 //!
 //! Higher layers: `dol-core` implements the logical DOL and drives the
 //! embedded representation through [`StructStore`]'s code-run primitives;
@@ -45,11 +49,13 @@ pub mod fault;
 pub mod log;
 pub mod nok;
 pub mod page;
+pub mod wal;
 
 pub use btree::BPlusTree;
-pub use buffer::{BufferPool, IoStats, MAX_IO_ATTEMPTS};
+pub use buffer::{BufferPool, IoStats, DEFAULT_CHECKPOINT_THRESHOLD, MAX_IO_ATTEMPTS};
 pub use disk::{Disk, FileDisk, MemDisk, StorageError};
-pub use fault::{FaultConfig, FaultDisk, FaultStats};
+pub use fault::{CrashDisk, CrashState, FaultConfig, FaultDisk, FaultStats};
 pub use log::{PagedLog, ValueStore};
 pub use nok::{BlockInfo, BulkItem, NodeRec, StoreConfig, StructStore, NO_CODE};
 pub use page::{Page, PageId, CHECKSUM_SIZE, PAGE_SIZE, PAYLOAD_SIZE};
+pub use wal::{RecoveryReport, Wal, WalStats};

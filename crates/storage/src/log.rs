@@ -166,6 +166,42 @@ impl ValueStore {
         Ok(Self { log, index })
     }
 
+    /// Reopens a value store from an explicitly persisted index instead of
+    /// a log scan. Structural updates edit the index without rewriting the
+    /// log ([`remove_range`](Self::remove_range) /
+    /// [`shift_positions`](Self::shift_positions)), so after updates the log
+    /// contains stale records that a scan would resurrect; the persistence
+    /// layer therefore saves [`index_entries`](Self::index_entries) and
+    /// restores them here.
+    pub fn from_snapshot(
+        pool: Arc<BufferPool>,
+        pages: Vec<PageId>,
+        tail: u64,
+        entries: impl IntoIterator<Item = (u64, u64, u32)>,
+    ) -> Result<Self, StorageError> {
+        let log = PagedLog::from_parts(pool, pages, tail)?;
+        let mut index = BTreeMap::new();
+        for (pos, off, len) in entries {
+            let end = off.checked_add(u64::from(len));
+            if end.is_none() || end.expect("checked above") > log.len() {
+                return Err(StorageError::OutOfBounds {
+                    offset: off,
+                    len: u64::from(len),
+                    end: log.len(),
+                });
+            }
+            index.insert(pos, (off, len));
+        }
+        Ok(Self { log, index })
+    }
+
+    /// The live index as `(pos, log offset, byte length)` entries in
+    /// position order — the exact input
+    /// [`from_snapshot`](Self::from_snapshot) takes.
+    pub fn index_entries(&self) -> impl Iterator<Item = (u64, u64, u32)> + '_ {
+        self.index.iter().map(|(&p, &(off, len))| (p, off, len))
+    }
+
     /// Stores the value of the node at `pos` (replacing any previous value).
     /// Entries carry a `(pos, len)` header so the log is self-describing and
     /// the index can be rebuilt by a scan on reopen.

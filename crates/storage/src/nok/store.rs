@@ -436,7 +436,13 @@ impl StructStore {
     /// Blocks whose change bit is clear are answered from the in-memory
     /// header mirror without any page read.
     pub fn runs_in(&self, start: u64, end: u64) -> Result<Vec<(u64, u32)>, StorageError> {
-        assert!(start < end && end <= self.total);
+        if !(start < end && end <= self.total) {
+            return Err(StorageError::InvalidRange {
+                start,
+                end,
+                total: self.total,
+            });
+        }
         let mut out: Vec<(u64, u32)> = vec![(start, self.code_at(start)?)];
         let b_first = self.block_of_pos(start);
         let b_last = self.block_of_pos(end - 1);
@@ -625,9 +631,13 @@ impl StructStore {
     }
 
     /// Reconstructs an equivalent [`Document`] (tags resolved via `tags`,
-    /// values omitted). Intended for tests and tooling.
+    /// values omitted). The rebuilt document's interner is seeded with
+    /// `tags` so its ids stay aligned with the on-disk node records: a
+    /// fresh first-occurrence interner would renumber tags after any
+    /// structural update that changed first-occurrence order, and every
+    /// index keyed by the store's ids would then resolve names wrongly.
     pub fn to_document(&self, tags: &TagInterner) -> Result<Document, StorageError> {
-        let mut b = Document::builder();
+        let mut b = dol_xml::DocumentBuilder::with_tags(tags.clone());
         let mut stack: Vec<u64> = Vec::new();
         for entry in self.iter() {
             let (p, rec) = entry?;

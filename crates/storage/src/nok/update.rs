@@ -26,8 +26,17 @@ impl StructStore {
     ///   document-order predecessor;
     /// * redundant transitions at the run boundaries are removed;
     /// * block headers, change bits and the in-memory mirror stay exact.
+    ///
+    /// An empty, inverted or out-of-range run is rejected as
+    /// [`StorageError::InvalidRange`].
     pub fn set_code_run(&mut self, start: u64, end: u64, code: u32) -> Result<(), StorageError> {
-        assert!(start < end && end <= self.total, "bad run [{start},{end})");
+        if !(start < end && end <= self.total) {
+            return Err(StorageError::InvalidRange {
+                start,
+                end,
+                total: self.total,
+            });
+        }
         let pred_code = if start > 0 {
             Some(self.code_at(start - 1)?)
         } else {
@@ -70,9 +79,17 @@ impl StructStore {
     /// order) from the store. `ancestors` must be the positions of the
     /// subtree root's proper ancestors (as returned by
     /// [`ancestors_of`](StructStore::ancestors_of)); their subtree sizes are
-    /// decremented. Returns the number of nodes removed.
+    /// decremented. Returns the number of nodes removed. Deleting the root,
+    /// an empty range, or past the end is rejected as
+    /// [`StorageError::InvalidRange`].
     pub fn delete_run(&mut self, start: u64, end: u64) -> Result<u64, StorageError> {
-        assert!(start > 0 && start < end && end <= self.total);
+        if !(start > 0 && start < end && end <= self.total) {
+            return Err(StorageError::InvalidRange {
+                start,
+                end,
+                total: self.total,
+            });
+        }
         debug_assert_eq!(
             end - start,
             u64::from(self.node(start)?.size),
@@ -129,13 +146,18 @@ impl StructStore {
         ancestors: &[u64],
         items: &[BulkItem],
     ) -> Result<(), StorageError> {
-        assert!(!items.is_empty());
-        assert!(at > 0 && at <= self.total, "insert position out of range");
-        assert_eq!(
-            items[0].size as usize,
-            items.len(),
-            "items must be one subtree"
-        );
+        // An empty item list, an out-of-range anchor, or an item list that
+        // is not exactly one subtree is rejected instead of panicking.
+        if items.is_empty()
+            || !(at > 0 && at <= self.total)
+            || items[0].size as usize != items.len()
+        {
+            return Err(StorageError::InvalidRange {
+                start: at,
+                end: at + items.len() as u64,
+                total: self.total,
+            });
+        }
         let k = items.len() as u64;
         let pred_code = self.code_at(at - 1)?;
         let next_code = if at < self.total {

@@ -555,6 +555,17 @@ impl DocumentBuilder {
         Self::default()
     }
 
+    /// Creates a builder whose interner is pre-seeded with `tags`: names
+    /// already interned keep their ids. Used when rebuilding a document
+    /// from storage, where node records hold ids in `tags`'s id space —
+    /// a fresh first-occurrence interner would silently renumber them.
+    pub fn with_tags(tags: TagInterner) -> Self {
+        Self {
+            tags,
+            ..Self::default()
+        }
+    }
+
     /// Opens a new element; it stays open until the matching [`close`].
     ///
     /// [`close`]: DocumentBuilder::close

@@ -84,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let users = world.sample_users(4, 11);
     let all_docs = db.query("//document", Security::None)?.matches.len();
     for u in users {
-        let view = db.create_user_view(&world.subjects, u);
+        let view = db.create_user_view(&world.subjects, u)?;
         let res = db.query("//document", Security::BindingLevel(view))?;
         println!(
             "  {:<10} reaches {:>5} of {} documents",

@@ -149,6 +149,9 @@ pub struct SecureXmlDb {
     tag_index: BPlusTree<TagId, Vec<u64>>,
     value_index: BPlusTree<(TagId, u64), Vec<u64>>,
     pool: Arc<BufferPool>,
+    /// Opened from a saved image with an attached write-ahead log: updates
+    /// must also rewrite the on-disk catalog and meta blob.
+    persistent: bool,
 }
 
 impl SecureXmlDb {
@@ -200,7 +203,36 @@ impl SecureXmlDb {
             tag_index,
             value_index,
             pool,
+            persistent: false,
         })
+    }
+
+    /// Runs `f` as one crash-consistent transaction: every page it dirties
+    /// is captured, and on commit the after-images reach the write-ahead log
+    /// (when one is attached) before any data page. On a persistent database
+    /// the catalog and meta blob are rewritten inside the same transaction,
+    /// so a crash anywhere leaves the image in exactly the before- or
+    /// after-state. If `f` fails, the pages roll back to their pre-images —
+    /// but in-memory mirrors (master document, indexes) may have advanced,
+    /// so a failed update leaves the handle good only for reopening.
+    fn run_txn<R>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<R, DbError>,
+    ) -> Result<R, DbError> {
+        let pool = self.pool.clone();
+        pool.atomic_update(|| {
+            let r = f(self)?;
+            if self.persistent {
+                self.rewrite_meta()?;
+            }
+            Ok(r)
+        })
+    }
+
+    /// Flushes all dirty pages and truncates the write-ahead log. A no-op
+    /// fast path when no log is attached (in-memory databases).
+    pub fn checkpoint(&self) -> Result<(), DbError> {
+        Ok(self.pool.checkpoint()?)
     }
 
     /// Evaluates a twig query (see [`dol_nok::xpath`] for the syntax) under
@@ -232,7 +264,7 @@ impl SecureXmlDb {
         if pos >= self.store.total_nodes() {
             return Err(DbError::InvalidNode(pos));
         }
-        Ok(self.dol.set_node(&mut self.store, pos, subject, allow)?)
+        self.run_txn(|db| Ok(db.dol.set_node(&mut db.store, pos, subject, allow)?))
     }
 
     /// Grants or revokes one subject's access to the whole subtree of the
@@ -247,34 +279,39 @@ impl SecureXmlDb {
             return Err(DbError::InvalidNode(pos));
         }
         let size = self.store.node(pos)?.size as u64;
-        Ok(self
-            .dol
-            .set_subtree(&mut self.store, pos, pos + size, subject, allow)?)
+        self.run_txn(|db| {
+            Ok(db
+                .dol
+                .set_subtree(&mut db.store, pos, pos + size, subject, allow)?)
+        })
     }
 
     /// Adds a subject, optionally copying an existing subject's rights — a
     /// pure codebook operation (§3.4).
-    pub fn add_subject(&mut self, copy_from: Option<SubjectId>) -> SubjectId {
-        self.dol.codebook_mut().add_subject(copy_from)
+    pub fn add_subject(&mut self, copy_from: Option<SubjectId>) -> Result<SubjectId, DbError> {
+        self.run_txn(|db| Ok(db.dol.codebook_mut().add_subject(copy_from)))
     }
 
     /// Removes a subject lazily (codebook-only; §3.4).
-    pub fn remove_subject(&mut self, subject: SubjectId) {
-        self.dol.codebook_mut().remove_subject(subject);
+    pub fn remove_subject(&mut self, subject: SubjectId) -> Result<(), DbError> {
+        self.run_txn(|db| {
+            db.dol.codebook_mut().remove_subject(subject);
+            Ok(())
+        })
     }
 
     /// Performs the §3.4 lazy cleanup after subject removals: compacts the
     /// codebook and rewrites the embedded codes in one pass. Subject ids
     /// shift (removed columns disappear), so callers must re-derive ids.
     pub fn compact_subjects(&mut self) -> Result<(), DbError> {
-        Ok(self.dol.compact_subjects(&mut self.store)?)
+        self.run_txn(|db| Ok(db.dol.compact_subjects(&mut db.store)?))
     }
 
     /// Creates a virtual subject whose rights are the union of the given
     /// subjects' rights (paper §4: a user's rights are her own plus those of
     /// her groups). Queries then run under the returned id. Codebook-only.
-    pub fn create_union_view(&mut self, subjects: &[SubjectId]) -> SubjectId {
-        self.dol.codebook_mut().add_subject_union(subjects)
+    pub fn create_union_view(&mut self, subjects: &[SubjectId]) -> Result<SubjectId, DbError> {
+        self.run_txn(|db| Ok(db.dol.codebook_mut().add_subject_union(subjects)))
     }
 
     /// Creates a union view for `user` from a subject catalog: the user's
@@ -284,7 +321,7 @@ impl SecureXmlDb {
         &mut self,
         catalog: &dol_acl::SubjectCatalog,
         user: SubjectId,
-    ) -> SubjectId {
+    ) -> Result<SubjectId, DbError> {
         let eff = catalog.effective_subjects(user);
         self.create_union_view(&eff)
     }
@@ -295,15 +332,17 @@ impl SecureXmlDb {
             return Err(DbError::InvalidNode(pos));
         }
         let size = self.store.node(pos)?.size as u64;
-        self.store.delete_run(pos, pos + size)?;
-        self.values.remove_range(pos, pos + size);
-        self.values.shift_positions(pos + size, -(size as i64));
-        self.doc
-            .delete_subtree(NodeId(pos as u32))
-            .map_err(|_| DbError::InvalidNode(pos))?;
-        self.tag_index = build_tag_index(&self.store)?;
-        self.value_index = build_value_index(&self.store, &self.values)?;
-        Ok(())
+        self.run_txn(|db| {
+            db.store.delete_run(pos, pos + size)?;
+            db.values.remove_range(pos, pos + size);
+            db.values.shift_positions(pos + size, -(size as i64));
+            db.doc
+                .delete_subtree(NodeId(pos as u32))
+                .map_err(|_| DbError::InvalidNode(pos))?;
+            db.tag_index = build_tag_index(&db.store)?;
+            db.value_index = build_value_index(&db.store, &db.values)?;
+            Ok(())
+        })
     }
 
     /// Inserts `subtree` as the last child of the node at `parent_pos`.
@@ -315,38 +354,40 @@ impl SecureXmlDb {
         if parent_pos >= self.store.total_nodes() || subtree.is_empty() {
             return Err(DbError::InvalidNode(parent_pos));
         }
-        let parent_rec = self.store.node(parent_pos)?;
-        let at = parent_pos + parent_rec.size as u64;
-        let code = self.store.code_at(at - 1)?;
-        // Encode the subtree (tags interned into the master document).
-        let mut items = Vec::with_capacity(subtree.len());
-        for id in subtree.preorder() {
-            let n = subtree.node(id);
-            items.push(BulkItem {
-                tag: self.doc.tags_mut().intern(subtree.tags().name(n.tag)),
-                size: n.size,
-                depth: n.depth + parent_rec.depth + 1,
-                has_value: n.value.is_some(),
-                code,
-                is_transition: false,
-            });
-        }
-        let mut ancestors = self.store.ancestors_of(parent_pos)?;
-        ancestors.push(parent_pos);
-        self.store.insert_run(at, &ancestors, &items)?;
-        // Values: shift the tail, then add the new nodes' values.
-        self.values.shift_positions(at, subtree.len() as i64);
-        for id in subtree.preorder() {
-            if let Some(v) = &subtree.node(id).value {
-                self.values.put(at + u64::from(id.0), v)?;
+        self.run_txn(|db| {
+            let parent_rec = db.store.node(parent_pos)?;
+            let at = parent_pos + parent_rec.size as u64;
+            let code = db.store.code_at(at - 1)?;
+            // Encode the subtree (tags interned into the master document).
+            let mut items = Vec::with_capacity(subtree.len());
+            for id in subtree.preorder() {
+                let n = subtree.node(id);
+                items.push(BulkItem {
+                    tag: db.doc.tags_mut().intern(subtree.tags().name(n.tag)),
+                    size: n.size,
+                    depth: n.depth + parent_rec.depth + 1,
+                    has_value: n.value.is_some(),
+                    code,
+                    is_transition: false,
+                });
             }
-        }
-        self.doc
-            .insert_subtree(NodeId(parent_pos as u32), None, subtree)
-            .map_err(|_| DbError::InvalidNode(parent_pos))?;
-        self.tag_index = build_tag_index(&self.store)?;
-        self.value_index = build_value_index(&self.store, &self.values)?;
-        Ok(at)
+            let mut ancestors = db.store.ancestors_of(parent_pos)?;
+            ancestors.push(parent_pos);
+            db.store.insert_run(at, &ancestors, &items)?;
+            // Values: shift the tail, then add the new nodes' values.
+            db.values.shift_positions(at, subtree.len() as i64);
+            for id in subtree.preorder() {
+                if let Some(v) = &subtree.node(id).value {
+                    db.values.put(at + u64::from(id.0), v)?;
+                }
+            }
+            db.doc
+                .insert_subtree(NodeId(parent_pos as u32), None, subtree)
+                .map_err(|_| DbError::InvalidNode(parent_pos))?;
+            db.tag_index = build_tag_index(&db.store)?;
+            db.value_index = build_value_index(&db.store, &db.values)?;
+            Ok(at)
+        })
     }
 
     /// Moves the subtree rooted at `pos` to become the last child of the
@@ -362,68 +403,70 @@ impl SecureXmlDb {
         if new_parent_pos >= pos && new_parent_pos < pos + size {
             return Err(DbError::InvalidNode(new_parent_pos)); // own descendant
         }
-        // Capture the subtree: structure from the master document, per-node
-        // codes from the embedded runs.
-        let sub = self.doc.copy_subtree(NodeId(pos as u32));
-        let runs = self.store.runs_in(pos, pos + size)?;
-        let code_at = |p: u64| -> u32 {
-            let i = runs.partition_point(|&(q, _)| q <= p) - 1;
-            runs[i].1
-        };
-        let values: Vec<(u64, Option<String>)> = (pos..pos + size)
-            .map(|p| Ok((p - pos, self.values.get(p)?)))
-            .collect::<Result<_, StorageError>>()?;
+        self.run_txn(|db| {
+            // Capture the subtree: structure from the master document,
+            // per-node codes from the embedded runs.
+            let sub = db.doc.copy_subtree(NodeId(pos as u32));
+            let runs = db.store.runs_in(pos, pos + size)?;
+            let code_at = |p: u64| -> u32 {
+                let i = runs.partition_point(|&(q, _)| q <= p) - 1;
+                runs[i].1
+            };
+            let values: Vec<(u64, Option<String>)> = (pos..pos + size)
+                .map(|p| Ok((p - pos, db.values.get(p)?)))
+                .collect::<Result<_, StorageError>>()?;
 
-        // Remove at the old location.
-        self.store.delete_run(pos, pos + size)?;
-        self.values.remove_range(pos, pos + size);
-        self.values.shift_positions(pos + size, -(size as i64));
-        self.doc
-            .delete_subtree(NodeId(pos as u32))
-            .map_err(|_| DbError::InvalidNode(pos))?;
+            // Remove at the old location.
+            db.store.delete_run(pos, pos + size)?;
+            db.values.remove_range(pos, pos + size);
+            db.values.shift_positions(pos + size, -(size as i64));
+            db.doc
+                .delete_subtree(NodeId(pos as u32))
+                .map_err(|_| DbError::InvalidNode(pos))?;
 
-        // Re-anchor at the new parent (position shifts if it was after the
-        // removed range).
-        let parent = if new_parent_pos >= pos + size {
-            new_parent_pos - size
-        } else {
-            new_parent_pos
-        };
-        let parent_rec = self.store.node(parent)?;
-        let at = parent + parent_rec.size as u64;
-        let mut prev_code: Option<u32> = None;
-        let items: Vec<BulkItem> = sub
-            .preorder()
-            .map(|id| {
-                let n = sub.node(id);
-                let code = code_at(pos + u64::from(id.0));
-                let is_transition = prev_code != Some(code);
-                prev_code = Some(code);
-                BulkItem {
-                    tag: self.doc.tags_mut().intern(sub.tags().name(n.tag)),
-                    size: n.size,
-                    depth: n.depth + parent_rec.depth + 1,
-                    has_value: n.value.is_some(),
-                    code,
-                    is_transition,
+            // Re-anchor at the new parent (position shifts if it was after
+            // the removed range).
+            let parent = if new_parent_pos >= pos + size {
+                new_parent_pos - size
+            } else {
+                new_parent_pos
+            };
+            let parent_rec = db.store.node(parent)?;
+            let at = parent + parent_rec.size as u64;
+            let mut prev_code: Option<u32> = None;
+            let items: Vec<BulkItem> = sub
+                .preorder()
+                .map(|id| {
+                    let n = sub.node(id);
+                    let code = code_at(pos + u64::from(id.0));
+                    let is_transition = prev_code != Some(code);
+                    prev_code = Some(code);
+                    BulkItem {
+                        tag: db.doc.tags_mut().intern(sub.tags().name(n.tag)),
+                        size: n.size,
+                        depth: n.depth + parent_rec.depth + 1,
+                        has_value: n.value.is_some(),
+                        code,
+                        is_transition,
+                    }
+                })
+                .collect();
+            let mut ancestors = db.store.ancestors_of(parent)?;
+            ancestors.push(parent);
+            db.store.insert_run(at, &ancestors, &items)?;
+            db.values.shift_positions(at, size as i64);
+            for (off, v) in values {
+                if let Some(v) = v {
+                    db.values.put(at + off, &v)?;
                 }
-            })
-            .collect();
-        let mut ancestors = self.store.ancestors_of(parent)?;
-        ancestors.push(parent);
-        self.store.insert_run(at, &ancestors, &items)?;
-        self.values.shift_positions(at, size as i64);
-        for (off, v) in values {
-            if let Some(v) = v {
-                self.values.put(at + off, &v)?;
             }
-        }
-        self.doc
-            .insert_subtree(NodeId(parent as u32), None, &sub)
-            .map_err(|_| DbError::InvalidNode(parent))?;
-        self.tag_index = build_tag_index(&self.store)?;
-        self.value_index = build_value_index(&self.store, &self.values)?;
-        Ok(at)
+            db.doc
+                .insert_subtree(NodeId(parent as u32), None, &sub)
+                .map_err(|_| DbError::InvalidNode(parent))?;
+            db.tag_index = build_tag_index(&db.store)?;
+            db.value_index = build_value_index(&db.store, &db.values)?;
+            Ok(at)
+        })
     }
 
     /// Exports the fragment of the document visible to `subject` as XML:
@@ -629,10 +672,10 @@ mod tests {
     #[test]
     fn subject_lifecycle() {
         let (mut db, _) = two_subject_db();
-        let s2 = db.add_subject(Some(SubjectId(1)));
+        let s2 = db.add_subject(Some(SubjectId(1))).unwrap();
         assert!(db.accessible(4, s2).unwrap());
         assert!(!db.accessible(1, s2).unwrap());
-        db.remove_subject(SubjectId(1));
+        db.remove_subject(SubjectId(1)).unwrap();
         assert!(!db.accessible(4, SubjectId(1)).unwrap());
         // The copy is unaffected by removing the original.
         assert!(db.accessible(4, s2).unwrap());
@@ -680,7 +723,7 @@ mod tests {
         assert_eq!(out, "<a><d><e>v2</e><f/></d></a>");
         // A subject with no rights sees nothing.
         let mut db2 = db;
-        let blind = db2.add_subject(None);
+        let blind = db2.add_subject(None).unwrap();
         assert_eq!(db2.export_visible(blind).unwrap(), None);
     }
 
@@ -689,11 +732,11 @@ mod tests {
         let (mut db, _) = two_subject_db();
         // Subject 0 sees everything, subject 1 sees {0,3,4,5}: the union
         // view behaves like subject 0.
-        let view = db.create_union_view(&[SubjectId(0), SubjectId(1)]);
+        let view = db.create_union_view(&[SubjectId(0), SubjectId(1)]).unwrap();
         for p in 0..db.len() as u64 {
             assert!(db.accessible(p, view).unwrap());
         }
-        let narrow = db.create_union_view(&[SubjectId(1)]);
+        let narrow = db.create_union_view(&[SubjectId(1)]).unwrap();
         assert!(!db.accessible(1, narrow).unwrap());
         assert!(db.accessible(4, narrow).unwrap());
         // Queries run under the view.
@@ -709,7 +752,7 @@ mod tests {
         let team = catalog.add_group("team"); // SubjectId(1)
         catalog.add_membership(user, team);
         // The db's subject 0 = the user's own rights, subject 1 = the team.
-        let view = db.create_user_view(&catalog, user);
+        let view = db.create_user_view(&catalog, user).unwrap();
         for p in 0..db.len() as u64 {
             let expect =
                 db.accessible(p, SubjectId(0)).unwrap() || db.accessible(p, SubjectId(1)).unwrap();

@@ -1,49 +1,247 @@
-//! Database persistence: save/load a [`SecureXmlDb`] to a single page file.
+//! Database persistence: save/load a [`SecureXmlDb`] to a page file, with
+//! crash-consistent updates through the write-ahead log.
 //!
-//! The on-disk layout is canonical and self-describing:
+//! The on-disk layout (version 2, "journaled image") is self-describing:
 //!
 //! ```text
-//! page 0            catalog (magic, version, section sizes)
-//! pages 1..=B       NoK structure blocks in document order (chained)
-//! next V pages      value log (scannable (pos, len, bytes) records)
-//! next C pages      codebook blob (see Codebook::to_bytes)
-//! next T pages      tag-name blob (names joined by '\n')
+//! page 0      catalog: magic, version, struct chain head, meta chain head
+//! other pages NoK structure blocks (chained), value-log pages, and
+//!             meta-blob pages (chained), wherever allocation placed them
 //! ```
 //!
-//! `open` rebuilds everything the paper keeps in memory — the page-header
-//! directory (by walking the block chain), the value index (by scanning the
-//! log), the codebook and the tag table — in one pass each.
+//! Unlike the version-1 layout (contiguous sections, index rebuilt by
+//! scanning the value log), nothing here assumes fixed page ranges: the
+//! catalog stores the *chain heads*, and a chained **meta blob** carries the
+//! codebook bytes, the tag-name table, and an explicit serialized value
+//! index. That makes the whole image updatable in place: every update
+//! transaction on a persistent database rewrites the meta blob and the
+//! catalog inside the same [`BufferPool::atomic_update`] as the structural
+//! pages, so the write-ahead log recovers catalog, meta and data together —
+//! the reopened database is in exactly the before- or after-state of each
+//! update. (Superseded meta pages are not reclaimed in place;
+//! [`SecureXmlDb::save_to`] compacts the image.)
+//!
+//! A database at `path` pairs with its log at `path + ".wal"`.
+//! [`SecureXmlDb::open_from`] replays the log *before* reading any page, so
+//! a crash between page flushes is invisible to the reader.
 
-use crate::{DbError, SecureXmlDb};
+use crate::{DbConfig, DbError, SecureXmlDb};
 use dol_core::{Codebook, EmbeddedDol};
 use dol_nok::{build_tag_index, build_value_index};
 use dol_storage::disk::StorageError;
-use dol_storage::{BufferPool, FileDisk, PageId, PagedLog, StoreConfig, StructStore, ValueStore};
+use dol_storage::{
+    BufferPool, Disk, FileDisk, PageId, StoreConfig, StructStore, ValueStore, Wal, PAYLOAD_SIZE,
+};
 use dol_xml::{NodeId, TagInterner};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 const MAGIC: u32 = 0x444F_4C58; // "DOLX"
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// Payload bytes per meta-blob page after the `[next u32][len u32]` header.
+const BLOB_CAP: usize = PAYLOAD_SIZE - 8;
 
 struct Catalog {
-    struct_blocks: u32,
+    struct_first: PageId,
     max_records: u32,
-    value_pages: u32,
+    meta_head: PageId,
+    meta_bytes: u64,
+    total_nodes: u64,
+}
+
+fn invalid_data(msg: impl Into<String>) -> DbError {
+    DbError::Storage(StorageError::Io(std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        msg.into(),
+    )))
+}
+
+/// The log file that pairs with a database file: `<path>.wal`.
+fn wal_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".wal");
+    os.into()
+}
+
+/// Writes `bytes` as a fresh chained blob; returns the head page.
+fn write_blob(pool: &BufferPool, bytes: &[u8]) -> Result<PageId, StorageError> {
+    let mut chunks = bytes.chunks(BLOB_CAP).peekable();
+    let head = pool.allocate_page()?;
+    let mut page = head;
+    loop {
+        let chunk = chunks.next().unwrap_or(&[]);
+        let next = if chunks.peek().is_some() {
+            pool.allocate_page()?
+        } else {
+            PageId::INVALID
+        };
+        pool.with_page_mut(page, |p| {
+            p.put_u32(0, next.0);
+            p.put_u32(4, chunk.len() as u32);
+            p.put_bytes(8, chunk);
+        })?;
+        if !next.is_valid() {
+            return Ok(head);
+        }
+        page = next;
+    }
+}
+
+/// Reads a chained blob of `total` bytes starting at `head`.
+fn read_blob(pool: &BufferPool, head: PageId, total: u64) -> Result<Vec<u8>, DbError> {
+    let mut out = Vec::with_capacity(total as usize);
+    let mut page = head;
+    // Chain-length bound: a cycle or a lying catalog terminates the walk.
+    let max_pages = (total as usize).div_ceil(BLOB_CAP) + 1;
+    for _ in 0..max_pages {
+        if !page.is_valid() {
+            break;
+        }
+        let next = pool.with_page(page, |p| {
+            let next = PageId(p.get_u32(0));
+            let len = p.get_u32(4) as usize;
+            if len > BLOB_CAP {
+                return Err(format!("meta page {page} claims {len} bytes"));
+            }
+            out.extend_from_slice(p.get_bytes(8, len));
+            Ok(next)
+        })?;
+        page = next.map_err(invalid_data)?;
+    }
+    if out.len() as u64 != total {
+        return Err(invalid_data(format!(
+            "meta blob is {} bytes, catalog says {total}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// The deserialized meta blob.
+struct MetaParts {
+    codebook: Codebook,
+    tag_blob: Vec<u8>,
+    value_pages: Vec<PageId>,
     value_tail: u64,
-    codebook_pages: u32,
-    codebook_bytes: u64,
-    tags_pages: u32,
-    tags_bytes: u64,
+    value_index: Vec<(u64, u64, u32)>,
+}
+
+fn encode_meta(codebook: &Codebook, tag_blob: &[u8], values: &ValueStore) -> Vec<u8> {
+    let cb = codebook.to_bytes();
+    let mut out = Vec::with_capacity(cb.len() + tag_blob.len() + 64);
+    out.extend_from_slice(&(cb.len() as u64).to_le_bytes());
+    out.extend_from_slice(&cb);
+    out.extend_from_slice(&(tag_blob.len() as u64).to_le_bytes());
+    out.extend_from_slice(tag_blob);
+    out.extend_from_slice(&values.log_tail().to_le_bytes());
+    let pages = values.log_pages();
+    out.extend_from_slice(&(pages.len() as u32).to_le_bytes());
+    for p in pages {
+        out.extend_from_slice(&p.0.to_le_bytes());
+    }
+    let n = values.len() as u64;
+    out.extend_from_slice(&n.to_le_bytes());
+    for (pos, off, len) in values.index_entries() {
+        out.extend_from_slice(&pos.to_le_bytes());
+        out.extend_from_slice(&off.to_le_bytes());
+        out.extend_from_slice(&len.to_le_bytes());
+    }
+    out
+}
+
+fn decode_meta(bytes: &[u8]) -> Result<MetaParts, DbError> {
+    struct Reader<'a>(&'a [u8]);
+    impl<'a> Reader<'a> {
+        fn take(&mut self, n: usize) -> Result<&'a [u8], DbError> {
+            if self.0.len() < n {
+                return Err(invalid_data("meta blob truncated"));
+            }
+            let (head, rest) = self.0.split_at(n);
+            self.0 = rest;
+            Ok(head)
+        }
+        fn u32(&mut self) -> Result<u32, DbError> {
+            Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        }
+        fn u64(&mut self) -> Result<u64, DbError> {
+            Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        }
+    }
+    let mut r = Reader(bytes);
+    let cb_len = r.u64()? as usize;
+    let codebook = Codebook::from_bytes(r.take(cb_len)?).map_err(invalid_data)?;
+    let tag_len = r.u64()? as usize;
+    let tag_blob = r.take(tag_len)?.to_vec();
+    let value_tail = r.u64()?;
+    let n_pages = r.u32()? as usize;
+    let mut value_pages = Vec::with_capacity(n_pages);
+    for _ in 0..n_pages {
+        value_pages.push(PageId(r.u32()?));
+    }
+    let n_index = r.u64()? as usize;
+    let mut value_index = Vec::with_capacity(n_index);
+    for _ in 0..n_index {
+        let pos = r.u64()?;
+        let off = r.u64()?;
+        let len = r.u32()?;
+        value_index.push((pos, off, len));
+    }
+    Ok(MetaParts {
+        codebook,
+        tag_blob,
+        value_pages,
+        value_tail,
+        value_index,
+    })
+}
+
+fn write_catalog(pool: &BufferPool, cat: &Catalog) -> Result<(), StorageError> {
+    pool.with_page_mut(PageId(0), |p| {
+        p.put_u32(0, MAGIC);
+        p.put_u32(4, VERSION);
+        p.put_u32(8, cat.struct_first.0);
+        p.put_u32(12, cat.max_records);
+        p.put_u32(16, cat.meta_head.0);
+        p.put_u64(20, cat.meta_bytes);
+        p.put_u64(28, cat.total_nodes);
+    })
 }
 
 impl SecureXmlDb {
-    /// Writes the database to `path` in the canonical page layout.
-    pub fn save_to(&self, path: &Path) -> Result<(), DbError> {
-        let disk = Arc::new(FileDisk::create(path)?);
+    /// Serialized tag-name table ('\n'-joined interner contents).
+    fn tag_blob(&self) -> Vec<u8> {
+        let names: Vec<&str> = self.document().tags().iter().map(|(_, n)| n).collect();
+        names.join("\n").into_bytes()
+    }
+
+    /// Rewrites the meta blob and the catalog on the *current* pool. Called
+    /// inside every update transaction of a persistent database, so the
+    /// catalog and meta recover atomically with the data pages. Superseded
+    /// meta pages leak until the next [`save_to`](SecureXmlDb::save_to).
+    pub(crate) fn rewrite_meta(&mut self) -> Result<(), DbError> {
+        let meta = encode_meta(self.dol.codebook(), &self.tag_blob(), &self.values);
+        let meta_head = write_blob(&self.pool, &meta)?;
+        write_catalog(
+            &self.pool,
+            &Catalog {
+                struct_first: self.store.block_info(0).page,
+                max_records: self.store.config().max_records_per_block as u32,
+                meta_head,
+                meta_bytes: meta.len() as u64,
+                total_nodes: self.store.total_nodes(),
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Writes a compact canonical image of the database onto `disk` (which
+    /// must be empty): catalog on page 0, structure re-packed from page 1,
+    /// then the value log and the meta blob.
+    pub fn save_to_disk(&self, disk: Arc<dyn Disk>) -> Result<(), DbError> {
         let pool = Arc::new(BufferPool::new(disk, 256));
-        let meta_page = pool.allocate_page()?;
-        debug_assert_eq!(meta_page, PageId(0));
+        let catalog_page = pool.allocate_page()?;
+        debug_assert_eq!(catalog_page, PageId(0));
 
         // 1. Structure blocks, re-packed deterministically from page 1.
         let items = self
@@ -51,61 +249,77 @@ impl SecureXmlDb {
             .read_block_range(0..self.store().block_count())?;
         let cfg = self.store().config();
         let new_store = StructStore::build(pool.clone(), cfg, items)?;
-        let struct_blocks = new_store.block_count() as u32;
 
-        // 2. Value log, in position order.
+        // 2. Value log, re-packed in position order.
         let mut new_values = ValueStore::new(pool.clone());
         for (pos, _) in self.values().iter_lens() {
             let v = self.values().get(pos)?.expect("indexed value exists");
             new_values.put(pos, &v)?;
         }
-        let value_pages = new_values.log_pages().len() as u32;
-        let value_tail = new_values.log_tail();
 
-        // 3. Codebook blob.
-        let cb_blob = self.dol().codebook().to_bytes();
-        let mut cb_log = PagedLog::new(pool.clone());
-        cb_log.append(&cb_blob)?;
-        let codebook_pages = cb_log.num_pages() as u32;
-
-        // 4. Tag-name blob.
-        let names: Vec<&str> = self.document().tags().iter().map(|(_, n)| n).collect();
-        let tag_blob = names.join("\n").into_bytes();
-        let mut tag_log = PagedLog::new(pool.clone());
-        tag_log.append(&tag_blob)?;
-        let tags_pages = tag_log.num_pages() as u32;
-
-        // 5. Catalog.
-        let cat = Catalog {
-            struct_blocks,
-            max_records: cfg.max_records_per_block as u32,
-            value_pages,
-            value_tail,
-            codebook_pages,
-            codebook_bytes: cb_blob.len() as u64,
-            tags_pages,
-            tags_bytes: tag_blob.len() as u64,
-        };
-        pool.with_page_mut(PageId(0), |p| {
-            p.put_u32(0, MAGIC);
-            p.put_u32(4, VERSION);
-            p.put_u32(8, cat.struct_blocks);
-            p.put_u32(12, cat.max_records);
-            p.put_u32(16, cat.value_pages);
-            p.put_u64(24, cat.value_tail);
-            p.put_u32(32, cat.codebook_pages);
-            p.put_u64(40, cat.codebook_bytes);
-            p.put_u32(48, cat.tags_pages);
-            p.put_u64(56, cat.tags_bytes);
-        })?;
+        // 3. Meta blob (codebook + tags + value index) and catalog.
+        let meta = encode_meta(self.dol().codebook(), &self.tag_blob(), &new_values);
+        let meta_head = write_blob(&pool, &meta)?;
+        write_catalog(
+            &pool,
+            &Catalog {
+                struct_first: new_store.block_info(0).page,
+                max_records: cfg.max_records_per_block as u32,
+                meta_head,
+                meta_bytes: meta.len() as u64,
+                total_nodes: new_store.total_nodes(),
+            },
+        )?;
         pool.flush_all()?;
+        pool.disk().sync()?;
         Ok(())
     }
 
-    /// Opens a database previously written by [`save_to`](SecureXmlDb::save_to).
+    /// Writes the database to `path` atomically: the image is built in
+    /// `path + ".tmp"`, synced, and renamed over `path`; the paired log at
+    /// `path + ".wal"` is then truncated (a fresh snapshot has nothing to
+    /// recover). A crash mid-save leaves the previous image untouched.
+    pub fn save_to(&self, path: &Path) -> Result<(), DbError> {
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        self.save_to_disk(Arc::new(FileDisk::create(&tmp)?))?;
+        std::fs::rename(&tmp, path).map_err(StorageError::Io)?;
+        // Any log left by a previous database at this path must not replay
+        // over the fresh image.
+        FileDisk::create(&wal_path(path))?;
+        Ok(())
+    }
+
+    /// Opens a database previously written by
+    /// [`save_to`](SecureXmlDb::save_to), running write-ahead-log recovery
+    /// from the paired `path + ".wal"` first. The returned database is
+    /// *persistent*: every update transactionally rewrites the image.
     pub fn open_from(path: &Path) -> Result<SecureXmlDb, DbError> {
-        let disk = Arc::new(FileDisk::open(path)?);
-        let pool = Arc::new(BufferPool::new(disk, 1024));
+        let data: Arc<dyn Disk> = Arc::new(FileDisk::open(path)?);
+        let wal = wal_path(path);
+        let wal: Arc<dyn Disk> = if wal.exists() {
+            Arc::new(FileDisk::open(&wal)?)
+        } else {
+            Arc::new(FileDisk::create(&wal)?)
+        };
+        Self::open_on(data, wal, DbConfig::default())
+    }
+
+    /// Opens a database image on explicit data and log disks: replays the
+    /// log onto `data` (redoing committed transactions, discarding torn
+    /// tails), then loads the image and attaches the log so further updates
+    /// are crash-consistent. The crash-recovery torture harness drives this
+    /// with [`dol_storage::CrashDisk`]-wrapped [`dol_storage::MemDisk`]s.
+    pub fn open_on(
+        data: Arc<dyn Disk>,
+        wal_disk: Arc<dyn Disk>,
+        cfg: DbConfig,
+    ) -> Result<SecureXmlDb, DbError> {
+        let wal = Arc::new(Wal::open(wal_disk)?);
+        wal.recover_onto(data.as_ref())?;
+
+        let pool = Arc::new(BufferPool::new(data, cfg.buffer_pool_pages));
         let cat = pool
             .with_page(PageId(0), |p| {
                 if p.get_u32(0) != MAGIC {
@@ -115,73 +329,38 @@ impl SecureXmlDb {
                     return Err(format!("unsupported version {}", p.get_u32(4)));
                 }
                 Ok(Catalog {
-                    struct_blocks: p.get_u32(8),
+                    struct_first: PageId(p.get_u32(8)),
                     max_records: p.get_u32(12),
-                    value_pages: p.get_u32(16),
-                    value_tail: p.get_u64(24),
-                    codebook_pages: p.get_u32(32),
-                    codebook_bytes: p.get_u64(40),
-                    tags_pages: p.get_u32(48),
-                    tags_bytes: p.get_u64(56),
+                    meta_head: PageId(p.get_u32(16)),
+                    meta_bytes: p.get_u64(20),
+                    total_nodes: p.get_u64(28),
                 })
             })?
-            .map_err(|m| {
-                DbError::Storage(StorageError::Io(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    m,
-                )))
-            })?;
-
-        // Sections occupy consecutive page ranges after the catalog.
-        let struct_first = PageId(1);
-        let value_first = 1 + cat.struct_blocks;
-        let cb_first = value_first + cat.value_pages;
-        let tags_first = cb_first + cat.codebook_pages;
+            .map_err(invalid_data)?;
 
         let store = StructStore::open_chain(
             pool.clone(),
             StoreConfig {
                 max_records_per_block: cat.max_records as usize,
             },
-            struct_first,
+            cat.struct_first,
         )?;
-        if store.block_count() as u32 != cat.struct_blocks {
-            return Err(DbError::Storage(StorageError::Io(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "block chain length disagrees with catalog",
-            ))));
+        if store.total_nodes() != cat.total_nodes {
+            return Err(invalid_data(format!(
+                "block chain holds {} nodes, catalog says {}",
+                store.total_nodes(),
+                cat.total_nodes
+            )));
         }
-        let values = ValueStore::open(
+        let meta = decode_meta(&read_blob(&pool, cat.meta_head, cat.meta_bytes)?)?;
+        let values = ValueStore::from_snapshot(
             pool.clone(),
-            (value_first..value_first + cat.value_pages)
-                .map(PageId)
-                .collect(),
-            cat.value_tail,
+            meta.value_pages,
+            meta.value_tail,
+            meta.value_index,
         )?;
-        let cb_log = PagedLog::from_parts(
-            pool.clone(),
-            (cb_first..cb_first + cat.codebook_pages)
-                .map(PageId)
-                .collect(),
-            cat.codebook_bytes,
-        )?;
-        let codebook = Codebook::from_bytes(&cb_log.read(0, cat.codebook_bytes as usize)?)
-            .map_err(|m| {
-                DbError::Storage(StorageError::Io(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    m,
-                )))
-            })?;
-        let tag_log = PagedLog::from_parts(
-            pool.clone(),
-            (tags_first..tags_first + cat.tags_pages)
-                .map(PageId)
-                .collect(),
-            cat.tags_bytes,
-        )?;
-        let tag_blob = tag_log.read(0, cat.tags_bytes as usize)?;
         let mut tags = TagInterner::new();
-        for name in String::from_utf8_lossy(&tag_blob).split('\n') {
+        for name in String::from_utf8_lossy(&meta.tag_blob).split('\n') {
             tags.intern(name);
         }
 
@@ -193,14 +372,16 @@ impl SecureXmlDb {
         }
         let tag_index = build_tag_index(&store)?;
         let value_index = build_value_index(&store, &values)?;
+        pool.attach_wal(wal);
         Ok(SecureXmlDb {
             doc,
             store,
             values,
-            dol: EmbeddedDol::from_codebook(codebook),
+            dol: EmbeddedDol::from_codebook(meta.codebook),
             tag_index,
             value_index,
             pool,
+            persistent: true,
         })
     }
 }
@@ -268,7 +449,7 @@ mod tests {
         }
         let mut db = SecureXmlDb::from_document(doc, &map).unwrap();
         db.set_subtree_access(2, SubjectId(0), false).unwrap();
-        let extra = db.add_subject(Some(SubjectId(0)));
+        let extra = db.add_subject(Some(SubjectId(0))).unwrap();
         let path = tmp("updated.dolx");
         db.save_to(&path).unwrap();
 
@@ -291,6 +472,42 @@ mod tests {
         let path = tmp("garbage.dolx");
         std::fs::write(&path, vec![0u8; 8192]).unwrap();
         assert!(SecureXmlDb::open_from(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn updates_on_reopened_database_persist_without_save() {
+        // The point of the journaled layout: a persistent database's updates
+        // survive a plain drop + reopen, with no explicit save_to.
+        let xml = "<a><b><c>v1</c></b><d><e>v2</e><f/></d></a>";
+        let doc = dol_xml::parse(xml).unwrap();
+        let mut map = AccessibilityMap::new(2, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        map.set(SubjectId(1), NodeId(0), true);
+        let db = SecureXmlDb::from_document(doc, &map).unwrap();
+        let path = tmp("journaled.dolx");
+        db.save_to(&path).unwrap();
+        drop(db);
+
+        {
+            let mut live = SecureXmlDb::open_from(&path).unwrap();
+            live.set_subtree_access(3, SubjectId(1), true).unwrap();
+            live.delete_subtree(1).unwrap();
+            let s2 = live.add_subject(Some(SubjectId(1))).unwrap();
+            assert!(live.accessible(1, s2).unwrap());
+            live.checkpoint().unwrap();
+        }
+        let back = SecureXmlDb::open_from(&path).unwrap();
+        back.store().check_integrity().unwrap();
+        assert_eq!(back.len(), 4);
+        assert!(
+            back.accessible(1, SubjectId(1)).unwrap(),
+            "d subtree granted"
+        );
+        assert!(back.accessible(1, SubjectId(2)).unwrap(), "copied subject");
+        assert_eq!(back.value(2).unwrap().as_deref(), Some("v2"));
         std::fs::remove_file(&path).ok();
     }
 }

@@ -88,6 +88,6 @@ fn export_agrees_with_subtree_visibility_queries() {
 #[test]
 fn export_for_blind_subject_is_none() {
     let (mut db, _) = setup();
-    let blind = db.add_subject(None);
+    let blind = db.add_subject(None).unwrap();
     assert!(db.export_visible(blind).unwrap().is_none());
 }

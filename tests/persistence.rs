@@ -37,7 +37,7 @@ fn generated_database_roundtrips_through_disk() {
         // A few updates before saving, so non-pristine state is covered.
         db.set_subtree_access(2, SubjectId(1), false).unwrap();
         db.set_node_access(5, SubjectId(2), true).unwrap();
-        let union = db.create_union_view(&[SubjectId(0), SubjectId(2)]);
+        let union = db.create_union_view(&[SubjectId(0), SubjectId(2)]).unwrap();
 
         let path = tmp(&format!("roundtrip-{seed}.dolx"));
         db.save_to(&path).unwrap();

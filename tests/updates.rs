@@ -145,7 +145,7 @@ fn insert_then_query_finds_new_content() {
 #[test]
 fn subject_add_remove_lifecycle_end_to_end() {
     let (mut db, _) = setup();
-    let clone = db.add_subject(Some(SubjectId(1)));
+    let clone = db.add_subject(Some(SubjectId(1))).unwrap();
     for p in (0..db.len() as u64).step_by(41) {
         assert_eq!(
             db.accessible(p, clone).unwrap(),
@@ -154,7 +154,7 @@ fn subject_add_remove_lifecycle_end_to_end() {
     }
     // Diverge the clone, then remove the original.
     db.set_subtree_access(0, clone, true).unwrap();
-    db.remove_subject(SubjectId(1));
+    db.remove_subject(SubjectId(1)).unwrap();
     assert!(db.accessible(0, clone).unwrap());
     assert!(!db.accessible(0, SubjectId(1)).unwrap());
 }

@@ -710,24 +710,23 @@ impl BufferPool {
 
     /// A sealed copy of a transaction page's current bytes (the WAL
     /// after-image): from its frame if resident, from the transaction
-    /// shadow if it was spilled.
+    /// shadow if it was spilled. The shard lock is held across both lookups
+    /// (shard → txn is the documented lock order): pages move between the
+    /// cache and the shadow only under the shard lock, so a concurrent
+    /// reader faulting the page cannot make both lookups miss.
     fn page_image(&self, id: PageId) -> Result<Page, StorageError> {
         let shard = self.shard_of(id);
-        let resident = {
+        let mut image = {
             let inner = Self::lock(shard);
-            inner
-                .map
-                .get(&id)
-                .map(|&slot| inner.frames[slot].page.clone())
-        };
-        let mut image = match resident {
-            Some(page) => page,
-            None => self
-                .txn
-                .lock()
-                .as_ref()
-                .and_then(|t| t.shadow.get(&id).cloned())
-                .ok_or(StorageError::PageOutOfRange(id))?,
+            match inner.map.get(&id) {
+                Some(&slot) => inner.frames[slot].page.clone(),
+                None => self
+                    .txn
+                    .lock()
+                    .as_ref()
+                    .and_then(|t| t.shadow.get(&id).cloned())
+                    .ok_or(StorageError::PageOutOfRange(id))?,
+            }
         };
         if self.verify_checksums() {
             image.seal();
@@ -758,8 +757,14 @@ impl BufferPool {
         }
         // The open transaction's shadow may hold the page's latest bytes
         // (spilled by an earlier eviction): reload from there, not the disk.
+        // Peek only — the entry is removed after a frame slot is secured, so
+        // a failed victim write-back below cannot cost the transaction its
+        // latest image of this page.
         let shadow_page = if self.txn_active.load(Ordering::Acquire) {
-            self.txn.lock().as_mut().and_then(|t| t.shadow.remove(&id))
+            self.txn
+                .lock()
+                .as_ref()
+                .and_then(|t| t.shadow.get(&id).cloned())
         } else {
             None
         };
@@ -793,6 +798,9 @@ impl BufferPool {
             slot
         };
         if let Some(page) = shadow_page {
+            if let Some(t) = self.txn.lock().as_mut() {
+                t.shadow.remove(&id);
+            }
             inner.frames[slot].page = page;
             inner.frames[slot].dirty = true;
             inner.map.insert(id, slot);
@@ -1313,6 +1321,66 @@ mod tests {
         for &id in &ids {
             assert_eq!(pool.with_page(id, |p| p.get_u32(0)).unwrap(), 7);
         }
+    }
+
+    #[test]
+    fn failed_victim_write_back_preserves_spilled_shadow() {
+        // Refetching a spilled transaction page must not drop its shadow
+        // image when the eviction making room for it fails partway.
+        struct ArmedFailDisk {
+            inner: MemDisk,
+            armed: AtomicBool,
+        }
+        impl Disk for ArmedFailDisk {
+            fn read_page(&self, id: PageId, buf: &mut Page) -> Result<(), StorageError> {
+                self.inner.read_page(id, buf)
+            }
+            fn write_page(&self, id: PageId, buf: &Page) -> Result<(), StorageError> {
+                if self.armed.load(Ordering::SeqCst) {
+                    return Err(StorageError::Io(std::io::Error::other(
+                        "injected write failure",
+                    )));
+                }
+                self.inner.write_page(id, buf)
+            }
+            fn allocate_page(&self) -> Result<PageId, StorageError> {
+                self.inner.allocate_page()
+            }
+            fn num_pages(&self) -> u32 {
+                self.inner.num_pages()
+            }
+        }
+        let disk = Arc::new(ArmedFailDisk {
+            inner: MemDisk::new(),
+            armed: AtomicBool::new(false),
+        });
+        let ids: Vec<PageId> = (0..4).map(|_| disk.inner.allocate_page().unwrap()).collect();
+        let (d, p1, p2, p3) = (ids[0], ids[1], ids[2], ids[3]);
+        let pool = BufferPool::new(disk.clone(), 3);
+        // A page dirtied before the transaction: the victim whose write-back
+        // is made to fail.
+        pool.with_page_mut(d, |p| p.put_u32(0, 2)).unwrap();
+        pool.atomic_update(|| -> Result<(), StorageError> {
+            pool.with_page_mut(p1, |p| p.put_u32(0, 11))?;
+            pool.with_page(d, |_| ())?; // keep `d` more recent than p1
+            pool.with_page_mut(p2, |p| p.put_u32(0, 22))?;
+            // Capacity 3: faulting p3 evicts LRU p1 into the shadow.
+            pool.with_page_mut(p3, |p| p.put_u32(0, 33))?;
+            // Refetching p1 picks dirty non-transaction `d` as the victim;
+            // its write-back fails, so the fetch fails...
+            disk.armed.store(true, Ordering::SeqCst);
+            assert!(pool.with_page(p1, |p| p.get_u32(0)).is_err());
+            disk.armed.store(false, Ordering::SeqCst);
+            // ...but the shadow still holds p1's transaction bytes.
+            let v = pool.with_page(p1, |p| p.get_u32(0))?;
+            assert_eq!(v, 11, "spilled image must survive the failed eviction");
+            Ok(())
+        })
+        .unwrap();
+        pool.flush_all().unwrap();
+        let mut raw = Page::zeroed();
+        disk.inner.read_page(p1, &mut raw).unwrap();
+        assert_eq!(raw.get_u32(0), 11);
     }
 
     #[test]

@@ -68,6 +68,10 @@ pub enum StorageError {
         /// What was wrong with the log.
         &'static str,
     ),
+    /// An earlier [`crate::Wal::commit`] failed partway, leaving frames on
+    /// disk in an unknown state; further commits are refused until a
+    /// checkpoint re-establishes a clean epoch.
+    WalPoisoned,
 }
 
 impl StorageError {
@@ -118,6 +122,10 @@ impl std::fmt::Display for StorageError {
                 Ok(())
             }
             StorageError::WalCorrupt(why) => write!(f, "write-ahead log corrupt: {why}"),
+            StorageError::WalPoisoned => write!(
+                f,
+                "write-ahead log poisoned by an earlier failed commit; checkpoint or reopen"
+            ),
         }
     }
 }

@@ -99,6 +99,10 @@ struct WalInner {
     tail: u64,
     /// In-memory image of the page the tail currently falls in.
     tail_page: Page,
+    /// Set when a commit failed partway: frames may sit on disk in an
+    /// unknown state, so no further transaction is acknowledged until a
+    /// checkpoint re-establishes a clean epoch.
+    poisoned: bool,
     stats: WalStats,
 }
 
@@ -159,6 +163,7 @@ impl Wal {
                 epoch,
                 tail: 0,
                 tail_page: Page::zeroed(),
+                poisoned: false,
                 stats: WalStats::default(),
             }),
         })
@@ -193,24 +198,52 @@ impl Wal {
     /// Appends `Begin` + one `PageImage` per entry + `Commit` for `txn_id`,
     /// then syncs the log disk. Returns the record bytes appended. Once this
     /// returns `Ok`, the transaction survives any crash.
+    ///
+    /// A failure partway through leaves frames on disk in an unknown state,
+    /// so the tail is rewound to its pre-commit position (the next commit
+    /// rewrites the same bytes — the record stream never has a hole a
+    /// recovery scan would stop at) and the log is **poisoned**: every
+    /// further commit fails with [`StorageError::WalPoisoned`] rather than
+    /// acknowledging a transaction recovery might not see. A successful
+    /// [`checkpoint`](Self::checkpoint) (flushed + synced data, fresh epoch)
+    /// clears the poison.
     pub fn commit(&self, txn_id: u64, pages: &[(PageId, Page)]) -> Result<u64, StorageError> {
         let mut inner = self.inner.lock();
-        let start = inner.tail;
-        let mut id_buf = [0u8; 8];
-        id_buf.copy_from_slice(&txn_id.to_le_bytes());
-        self.append_record(&mut inner, REC_BEGIN, &id_buf, &[])?;
-        for (id, page) in pages {
-            let id_bytes = id.0.to_le_bytes();
-            self.append_record(&mut inner, REC_PAGE_IMAGE, &id_bytes, page.bytes())?;
+        if inner.poisoned {
+            return Err(StorageError::WalPoisoned);
         }
-        self.append_record(&mut inner, REC_COMMIT, &id_buf, &[])?;
-        self.flush_tail(&mut inner)?;
-        self.disk.sync()?;
+        let start = inner.tail;
+        let saved_tail_page = inner.tail_page.clone();
+        if let Err(e) = self.commit_records(&mut inner, txn_id, pages) {
+            inner.tail = start;
+            inner.tail_page = saved_tail_page;
+            inner.poisoned = true;
+            return Err(e);
+        }
         let bytes = inner.tail - start;
         inner.stats.commits += 1;
         inner.stats.records += 2 + pages.len() as u64;
         inner.stats.bytes_logged += bytes;
         Ok(bytes)
+    }
+
+    /// The fallible body of [`commit`](Self::commit): append every frame,
+    /// flush the partial tail page, sync.
+    fn commit_records(
+        &self,
+        inner: &mut WalInner,
+        txn_id: u64,
+        pages: &[(PageId, Page)],
+    ) -> Result<(), StorageError> {
+        let id_buf = txn_id.to_le_bytes();
+        self.append_record(inner, REC_BEGIN, &id_buf, &[])?;
+        for (id, page) in pages {
+            let id_bytes = id.0.to_le_bytes();
+            self.append_record(inner, REC_PAGE_IMAGE, &id_bytes, page.bytes())?;
+        }
+        self.append_record(inner, REC_COMMIT, &id_buf, &[])?;
+        self.flush_tail(inner)?;
+        self.disk.sync()
     }
 
     /// Logically truncates the log by bumping the header epoch (one synced
@@ -228,8 +261,17 @@ impl Wal {
         inner.epoch = next;
         inner.tail = 0;
         inner.tail_page = Page::zeroed();
+        // The fresh epoch orphans whatever a failed commit left on disk; the
+        // caller flushed and synced the data first, so the log is clean again.
+        inner.poisoned = false;
         inner.stats.checkpoints += 1;
         Ok(())
+    }
+
+    /// Whether a failed commit has poisoned the log (cleared by a
+    /// successful [`checkpoint`](Self::checkpoint)).
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.lock().poisoned
     }
 
     /// Scans the log and redoes committed transactions onto `data`
@@ -565,6 +607,94 @@ mod tests {
             Wal::open(log),
             Err(StorageError::WalCorrupt("header CRC mismatch"))
         ));
+    }
+
+    /// A disk that fails the next N `write_page` calls with a permanent
+    /// I/O error, then behaves normally again.
+    struct FlakyDisk {
+        inner: MemDisk,
+        fail_next: std::sync::atomic::AtomicU64,
+    }
+
+    impl FlakyDisk {
+        fn new() -> Self {
+            Self {
+                inner: MemDisk::new(),
+                fail_next: std::sync::atomic::AtomicU64::new(0),
+            }
+        }
+
+        fn fail_next_writes(&self, n: u64) {
+            self.fail_next.store(n, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    impl Disk for FlakyDisk {
+        fn read_page(&self, id: PageId, buf: &mut Page) -> Result<(), StorageError> {
+            self.inner.read_page(id, buf)
+        }
+
+        fn write_page(&self, id: PageId, buf: &Page) -> Result<(), StorageError> {
+            use std::sync::atomic::Ordering;
+            if self.fail_next.load(Ordering::SeqCst) > 0 {
+                self.fail_next.fetch_sub(1, Ordering::SeqCst);
+                return Err(StorageError::Io(std::io::Error::other(
+                    "injected write failure",
+                )));
+            }
+            self.inner.write_page(id, buf)
+        }
+
+        fn allocate_page(&self) -> Result<PageId, StorageError> {
+            self.inner.allocate_page()
+        }
+
+        fn num_pages(&self) -> u32 {
+            self.inner.num_pages()
+        }
+    }
+
+    #[test]
+    fn failed_commit_rewinds_and_poisons_until_checkpoint() {
+        let log = Arc::new(FlakyDisk::new());
+        let wal = Wal::open(log.clone()).unwrap();
+        wal.commit(1, &[(PageId(1), filled(1))]).unwrap();
+        let tail_before = wal.log_bytes();
+
+        // A one-page commit spans a log-page boundary, so one physical write
+        // happens mid-append; fail it.
+        log.fail_next_writes(1);
+        assert!(wal.commit(2, &[(PageId(2), filled(2))]).is_err());
+        assert!(wal.is_poisoned());
+        assert_eq!(wal.log_bytes(), tail_before); // tail rewound, no hole
+
+        // No further transaction is acknowledged while poisoned.
+        assert!(matches!(
+            wal.commit(3, &[(PageId(3), filled(3))]),
+            Err(StorageError::WalPoisoned)
+        ));
+
+        // Recovery from the bytes actually on disk sees only txn 1.
+        {
+            let data = MemDisk::new();
+            let wal2 = Wal::open(Arc::new(log.inner.fork())).unwrap();
+            let report = wal2.recover_onto(&data).unwrap();
+            assert_eq!(report.committed_txns, 1);
+        }
+
+        // A checkpoint re-establishes a clean epoch and clears the poison;
+        // the next commit overwrites the failed one's leftover frames.
+        wal.checkpoint().unwrap();
+        assert!(!wal.is_poisoned());
+        wal.commit(4, &[(PageId(7), filled(9))]).unwrap();
+
+        let data = MemDisk::new();
+        let wal2 = Wal::open(Arc::new(log.inner.fork())).unwrap();
+        let report = wal2.recover_onto(&data).unwrap();
+        assert_eq!(report.committed_txns, 1); // txn 1 checkpointed away
+        let mut p = Page::zeroed();
+        data.read_page(PageId(7), &mut p).unwrap();
+        assert_eq!(p.bytes(), filled(9).bytes());
     }
 
     #[test]

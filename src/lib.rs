@@ -74,6 +74,8 @@ use dol_storage::{
     BPlusTree, BufferPool, BulkItem, IoStats, MemDisk, StoreConfig, StructStore, ValueStore,
 };
 use dol_xml::{Document, NodeId, TagId};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Errors from the high-level database API.
@@ -87,6 +89,11 @@ pub enum DbError {
     Query(QueryError),
     /// A node id was out of range or structurally invalid for the operation.
     InvalidNode(u64),
+    /// A previous update failed and rolled back its pages, or the on-disk
+    /// image was compacted underneath this handle: the in-memory mirrors can
+    /// no longer be trusted against the pages, so every further update is
+    /// refused until the database is reopened.
+    Poisoned,
 }
 
 impl std::fmt::Display for DbError {
@@ -96,6 +103,10 @@ impl std::fmt::Display for DbError {
             DbError::Storage(e) => write!(f, "{e}"),
             DbError::Query(e) => write!(f, "{e}"),
             DbError::InvalidNode(p) => write!(f, "invalid node position {p}"),
+            DbError::Poisoned => write!(
+                f,
+                "database handle poisoned by a failed or superseding update; reopen to continue"
+            ),
         }
     }
 }
@@ -152,6 +163,16 @@ pub struct SecureXmlDb {
     /// Opened from a saved image with an attached write-ahead log: updates
     /// must also rewrite the on-disk catalog and meta blob.
     persistent: bool,
+    /// The file this persistent handle was opened from (`None` for
+    /// in-memory databases and explicit-disk opens). [`SecureXmlDb::save_to`]
+    /// compares against it to tell same-path compaction from a save to a
+    /// fresh destination.
+    image_path: Option<PathBuf>,
+    /// Set when a failed update rolled back its pages (the in-memory
+    /// mirrors may have advanced past them) or when [`SecureXmlDb::save_to`]
+    /// compacted the image underneath this handle; every further update
+    /// fails with [`DbError::Poisoned`] until the database is reopened.
+    poisoned: AtomicBool,
 }
 
 impl SecureXmlDb {
@@ -204,6 +225,8 @@ impl SecureXmlDb {
             value_index,
             pool,
             persistent: false,
+            image_path: None,
+            poisoned: AtomicBool::new(false),
         })
     }
 
@@ -213,20 +236,36 @@ impl SecureXmlDb {
     /// the catalog and meta blob are rewritten inside the same transaction,
     /// so a crash anywhere leaves the image in exactly the before- or
     /// after-state. If `f` fails, the pages roll back to their pre-images —
-    /// but in-memory mirrors (master document, indexes) may have advanced,
-    /// so a failed update leaves the handle good only for reopening.
+    /// but in-memory mirrors (master document, value index, codebook, tag
+    /// and value B+-trees) may have advanced past them, so the handle is
+    /// **poisoned**: every further update fails with [`DbError::Poisoned`]
+    /// until the database is reopened (queries keep working against the
+    /// in-memory state).
     fn run_txn<R>(
         &mut self,
         f: impl FnOnce(&mut Self) -> Result<R, DbError>,
     ) -> Result<R, DbError> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(DbError::Poisoned);
+        }
         let pool = self.pool.clone();
-        pool.atomic_update(|| {
+        let res = pool.atomic_update(|| {
             let r = f(self)?;
             if self.persistent {
                 self.rewrite_meta()?;
             }
             Ok(r)
-        })
+        });
+        if res.is_err() {
+            self.poisoned.store(true, Ordering::Release);
+        }
+        res
+    }
+
+    /// Whether a failed update (or a same-path [`save_to`](Self::save_to)
+    /// compaction) has poisoned this handle; see [`DbError::Poisoned`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
     }
 
     /// Flushes all dirty pages and truncates the write-ahead log. A no-op

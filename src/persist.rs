@@ -275,19 +275,72 @@ impl SecureXmlDb {
         Ok(())
     }
 
-    /// Writes the database to `path` atomically: the image is built in
-    /// `path + ".tmp"`, synced, and renamed over `path`; the paired log at
-    /// `path + ".wal"` is then truncated (a fresh snapshot has nothing to
-    /// recover). A crash mid-save leaves the previous image untouched.
+    /// Writes the database to `path` atomically: the paired log at
+    /// `path + ".wal"` is first drained to a logically empty state, then the
+    /// image is built in `path + ".tmp"`, synced, renamed over `path`, and
+    /// the parent directory is fsynced. The log is neutralized *before* the
+    /// rename, so there is no window in which a stale log could replay over
+    /// the fresh image, and never by truncating the file out-of-band:
+    ///
+    /// * on a live persistent handle saving to its own path, the pool is
+    ///   [checkpointed](SecureXmlDb::checkpoint) *through the attached log*
+    ///   (flush + sync + epoch bump, keeping the handle's cached log state
+    ///   coherent), and the handle is then **poisoned** — the compacted
+    ///   image has a different page layout, so further updates through this
+    ///   handle must fail until it is reopened;
+    /// * an orphan log at any other destination (left by a previously
+    ///   opened database there) has its committed transactions recovered
+    ///   onto the old image before the epoch bump, so a crash mid-save
+    ///   still leaves the previous database exactly as it was.
     pub fn save_to(&self, path: &Path) -> Result<(), DbError> {
+        let same_image = self.image_path.as_deref().is_some_and(|ip| {
+            match (std::fs::canonicalize(ip), std::fs::canonicalize(path)) {
+                (Ok(a), Ok(b)) => a == b,
+                _ => ip == path,
+            }
+        });
+        if same_image {
+            // Flush + sync the data, epoch-bump the attached log.
+            self.checkpoint()?;
+        } else {
+            let wal_file = wal_path(path);
+            if wal_file.exists() {
+                match Wal::open(Arc::new(FileDisk::open(&wal_file)?)) {
+                    Ok(wal) if path.exists() => {
+                        // Fold committed transactions into the old image and
+                        // bump the epoch: the old database stays whole until
+                        // the rename below, and nothing can replay after it.
+                        wal.recover_onto(&FileDisk::open(path)?)
+                            .map_err(DbError::Storage)?;
+                    }
+                    Ok(wal) => wal.checkpoint().map_err(DbError::Storage)?,
+                    // An unreadable orphan log recovers nothing: reset it.
+                    Err(_) => {
+                        FileDisk::create(&wal_file)?;
+                    }
+                }
+            }
+        }
         let mut tmp = path.as_os_str().to_os_string();
         tmp.push(".tmp");
         let tmp = PathBuf::from(tmp);
         self.save_to_disk(Arc::new(FileDisk::create(&tmp)?))?;
         std::fs::rename(&tmp, path).map_err(StorageError::Io)?;
-        // Any log left by a previous database at this path must not replay
-        // over the fresh image.
-        FileDisk::create(&wal_path(path))?;
+        // The rename must itself be durable before the save is reported
+        // done: fsync the directory holding the entry.
+        match path.parent() {
+            Some(dir) if !dir.as_os_str().is_empty() => std::fs::File::open(dir)
+                .and_then(|d| d.sync_all())
+                .map_err(StorageError::Io)?,
+            _ => {}
+        }
+        if same_image {
+            // The live handle's pool still addresses the superseded layout:
+            // updates through it would log pages that mean nothing in the
+            // compacted image. Queries stay valid (the old file handle
+            // survives the rename); updates require a reopen.
+            self.poisoned.store(true, std::sync::atomic::Ordering::Release);
+        }
         Ok(())
     }
 
@@ -303,7 +356,9 @@ impl SecureXmlDb {
         } else {
             Arc::new(FileDisk::create(&wal)?)
         };
-        Self::open_on(data, wal, DbConfig::default())
+        let mut db = Self::open_on(data, wal, DbConfig::default())?;
+        db.image_path = Some(path.to_path_buf());
+        Ok(db)
     }
 
     /// Opens a database image on explicit data and log disks: replays the
@@ -382,6 +437,8 @@ impl SecureXmlDb {
             value_index,
             pool,
             persistent: true,
+            image_path: None,
+            poisoned: std::sync::atomic::AtomicBool::new(false),
         })
     }
 }
@@ -509,5 +566,70 @@ mod tests {
         assert!(back.accessible(1, SubjectId(2)).unwrap(), "copied subject");
         assert_eq!(back.value(2).unwrap().as_deref(), Some("v2"));
         std::fs::remove_file(&path).ok();
+    }
+
+    fn all_access_db(xml: &str) -> SecureXmlDb {
+        let doc = dol_xml::parse(xml).unwrap();
+        let mut map = AccessibilityMap::new(1, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        SecureXmlDb::from_document(doc, &map).unwrap()
+    }
+
+    #[test]
+    fn stale_wal_never_replays_over_a_fresh_save() {
+        // A handle dropped without a checkpoint leaves committed
+        // transactions in the paired log; saving a *different* database to
+        // the same path must not let them replay over the fresh image.
+        let db = all_access_db("<a><b><c>v1</c></b><d><e>v2</e><f/></d></a>");
+        let path = tmp("stale-wal.dolx");
+        db.save_to(&path).unwrap();
+        {
+            let mut live = SecureXmlDb::open_from(&path).unwrap();
+            live.delete_subtree(1).unwrap();
+            // No checkpoint: the delete lives only in the log.
+        }
+        let db2 = all_access_db("<r><x>other</x></r>");
+        db2.save_to(&path).unwrap();
+
+        let back = SecureXmlDb::open_from(&path).unwrap();
+        back.store().check_integrity().unwrap();
+        assert_eq!(back.document().to_xml(), db2.document().to_xml());
+        assert_eq!(back.value(1).unwrap().as_deref(), Some("other"));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(super::wal_path(&path)).ok();
+    }
+
+    #[test]
+    fn save_to_own_path_compacts_and_poisons() {
+        use crate::DbError;
+        let db = all_access_db("<a><b><c>v1</c></b><d><e>v2</e><f/></d></a>");
+        let path = tmp("compact.dolx");
+        db.save_to(&path).unwrap();
+
+        let mut live = SecureXmlDb::open_from(&path).unwrap();
+        live.delete_subtree(4).unwrap(); // a structural update in the log
+        let expect = live.document().to_xml();
+        // Compacting onto its own path checkpoints through the attached
+        // log, then poisons the handle: its pool and cached log state
+        // address the superseded layout.
+        live.save_to(&path).unwrap();
+        assert!(live.is_poisoned());
+        assert!(matches!(
+            live.set_node_access(1, SubjectId(0), false),
+            Err(DbError::Poisoned)
+        ));
+        // Queries on the live handle keep working: the renamed-over inode
+        // stays open underneath its pool.
+        assert_eq!(live.query("//c", Security::None).unwrap().matches.len(), 1);
+        drop(live);
+
+        let back = SecureXmlDb::open_from(&path).unwrap();
+        back.store().check_integrity().unwrap();
+        assert_eq!(back.document().to_xml(), expect);
+        assert_eq!(back.value(2).unwrap().as_deref(), Some("v1"));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(super::wal_path(&path)).ok();
     }
 }

@@ -110,3 +110,36 @@ fn unsecured_queries_surface_the_storage_error() {
         );
     }
 }
+
+#[test]
+fn failed_update_poisons_the_handle() {
+    use secure_xml::DbError;
+    // Arm every read permanently: the first storage access inside the update
+    // transaction fails, the dirtied pages roll back, the handle poisons.
+    let (mut db, fault, map) = build_on_faulty(FaultConfig {
+        seed: 7,
+        permanent_read_failure: 1.0,
+        ..FaultConfig::default()
+    });
+    // Revoke a currently granted bit so the update really touches a block
+    // (a no-op grant/revoke never reaches the storage layer).
+    let pos = (1..db.len() as u64)
+        .find(|&p| map.accessible(SubjectId(0), dol_xml::NodeId(p as u32)))
+        .expect("subject 0 can access something");
+    let err = db.set_node_access(pos, SubjectId(0), false).unwrap_err();
+    assert!(
+        !matches!(err, DbError::Poisoned),
+        "the first failure surfaces its real cause, got: {err}"
+    );
+    assert!(db.is_poisoned());
+    // Every further update is refused outright, even with the disk healthy
+    // again — the in-memory mirrors can no longer be trusted.
+    fault.set_armed(false);
+    assert!(matches!(
+        db.set_node_access(pos, SubjectId(0), false),
+        Err(DbError::Poisoned)
+    ));
+    // Queries still answer: the committed pages were never touched.
+    db.store().pool().clear_cache().unwrap();
+    db.query(QUERIES[0], Security::None).unwrap();
+}

@@ -1,16 +1,21 @@
 //! `experiments` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--quick|--full] [--parallelism=N] [--seed=N]
-//!             [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates parallel faults crash | all]
+//! experiments [--quick|--full] [--parallelism=N] [--seed=N] [--clients=N] [--smoke]
+//!             [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates parallel faults crash serve | all]
 //! ```
 //!
 //! `--parallelism=N` caps the worker sweep of the `parallel` experiment
 //! (`0` = all available cores, the default). `--seed=N` re-seeds the
-//! `faults` and `crash` experiments' deterministic schedules.
+//! `faults`, `crash`, and `serve` experiments' deterministic schedules.
+//! `--clients=N` caps the `serve` experiment's client sweep, and `--smoke`
+//! makes `serve` run a small pinned configuration that asserts determinism,
+//! zero oracle divergences, zero stale-read errors, and a >90% shared-latch
+//! ratio (the CI gate).
 
 use dol_bench::{
-    ablation, crash, faults, fig4, fig56, fig7, fig8, parallel, queries, storage, updates, Effort,
+    ablation, crash, faults, fig4, fig56, fig7, fig8, parallel, queries, serve, storage, updates,
+    Effort,
 };
 
 fn main() {
@@ -18,22 +23,32 @@ fn main() {
     let mut effort = Effort::Quick;
     let mut parallelism = 0usize;
     let mut seed = faults::DEFAULT_SEED;
+    let mut clients = 0usize;
+    let mut smoke = false;
     let mut selected: Vec<String> = Vec::new();
     for a in &args {
         match a.as_str() {
             "--quick" => effort = Effort::Quick,
             "--full" => effort = Effort::Full,
+            "--smoke" => smoke = true,
             other => match other.strip_prefix("--parallelism=") {
                 Some(n) => match n.parse() {
                     Ok(n) => parallelism = n,
                     Err(_) => eprintln!("bad --parallelism value `{n}` (ignored)"),
                 },
-                None => match other.strip_prefix("--seed=") {
-                    Some(n) => match n.parse() {
+                None => match (
+                    other.strip_prefix("--seed="),
+                    other.strip_prefix("--clients="),
+                ) {
+                    (Some(n), _) => match n.parse() {
                         Ok(n) => seed = n,
                         Err(_) => eprintln!("bad --seed value `{n}` (ignored)"),
                     },
-                    None => selected.push(other.to_string()),
+                    (None, Some(n)) => match n.parse() {
+                        Ok(n) => clients = n,
+                        Err(_) => eprintln!("bad --clients value `{n}` (ignored)"),
+                    },
+                    (None, None) => selected.push(other.to_string()),
                 },
             },
         }
@@ -52,6 +67,7 @@ fn main() {
             "parallel".into(),
             "faults".into(),
             "crash".into(),
+            "serve".into(),
         ];
     }
     println!(
@@ -80,6 +96,7 @@ fn main() {
             "parallel" => parallel::run(effort, parallelism),
             "faults" => faults::run(effort, seed),
             "crash" => crash::run(effort, seed),
+            "serve" => serve::run(effort, seed, clients, smoke),
             other => eprintln!("unknown experiment `{other}` (skipped)"),
         }
     }

@@ -1,0 +1,601 @@
+//! `serve` — multi-client secure-query serving throughput (not a paper
+//! artifact).
+//!
+//! N client threads replay a Zipf-weighted mix of the Table-1 queries over a
+//! shared [`SecureXmlDb`], each through its own [`secure_xml::DbReader`]
+//! snapshot:
+//! readers share the store, indexes, DOL, and the plan/result caches by
+//! `Arc`, so the serving path takes no database-wide lock — page accesses on
+//! the warm buffer pool take *shared* latches, and warm result-cache hits do
+//! no page I/O at all. An optional writer interleaves single-node ACL
+//! updates; overtaken readers fail with `StaleReader` and the clients retry
+//! on a fresh snapshot (retries are counted, never surfaced).
+//!
+//! Reported per client count: QPS, p50/p99 latency, plan/result cache hit
+//! rates, the shared-vs-exclusive page-latch ratio, stale retries, and an
+//! order-independent fingerprint of every result (equal across same-seed
+//! runs — re-checked here by running one mix twice). Every read-only result
+//! is also compared against a sequential oracle computed up front. Machine-
+//! readable output goes to `BENCH_serve.json`.
+//!
+//! `--smoke` runs a pinned-seed configuration and asserts determinism, zero
+//! divergences, zero stale-read errors, and a >90% shared-latch ratio on the
+//! read-only mix. Throughput is *reported but not gated*: the CI container
+//! has a single CPU, so thread scaling is measured for shape, not asserted.
+
+use crate::setup::{xmark_doc, TABLE1};
+use crate::table::{pct, Table};
+use crate::Effort;
+use dol_acl::SubjectId;
+use dol_nok::Security;
+use dol_storage::IoStats;
+use dol_workloads::{synth_multi, SynthAclConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use secure_xml::{CacheStats, DbError, SecureXmlDb};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// Pinned seed for CI smoke runs (the paper's submission date).
+pub const DEFAULT_SEED: u64 = 20050405;
+
+/// Subjects in the synthetic ACL (queries pick one uniformly).
+const SUBJECTS: usize = 4;
+/// Zipf exponent of the query-mix weights.
+const ZIPF_EXPONENT: f64 = 1.0;
+/// Per-operation bound on stale-reader retries before the client gives up
+/// and counts a stale-read *error* (never hit in practice: the writer is
+/// finite, so some retry always lands in a quiet epoch).
+const MAX_STALE_RETRIES: usize = 1000;
+
+/// One serving mix configuration.
+struct MixConfig {
+    clients: usize,
+    ops_per_client: usize,
+    /// Client 0 replaces every `update_every`-th operation with an ACL
+    /// update through the write lock; `0` = read-only mix.
+    update_every: usize,
+    seed: u64,
+}
+
+/// Everything one mix run reports.
+struct MixReport {
+    clients: usize,
+    read_only: bool,
+    queries: u64,
+    updates: u64,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    plan_hit_rate: f64,
+    result_hit_rate: f64,
+    shared_reads: u64,
+    exclusive_fallbacks: u64,
+    stale_retries: u64,
+    stale_errors: u64,
+    divergences: u64,
+    fingerprint: u64,
+}
+
+impl MixReport {
+    fn shared_ratio(&self) -> f64 {
+        let total = self.shared_reads + self.exclusive_fallbacks;
+        if total == 0 {
+            return 1.0; // no page access at all (fully cache-served)
+        }
+        self.shared_reads as f64 / total as f64
+    }
+}
+
+struct ClientOutcome {
+    latencies_ns: Vec<u64>,
+    queries: u64,
+    updates: u64,
+    stale_retries: u64,
+    stale_errors: u64,
+    divergences: u64,
+    fingerprint: u64,
+}
+
+/// Oracle key: (Table-1 query index, subject, subtree-visibility?).
+type OpKey = (usize, u16, bool);
+
+fn fnv_fold(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// Zipf cumulative weights over the Table-1 queries.
+fn zipf_cumulative() -> Vec<f64> {
+    let mut cum = Vec::with_capacity(TABLE1.len());
+    let mut total = 0.0;
+    for i in 0..TABLE1.len() {
+        total += 1.0 / ((i + 1) as f64).powf(ZIPF_EXPONENT);
+        cum.push(total);
+    }
+    cum
+}
+
+fn pick_weighted(rng: &mut StdRng, cum: &[f64]) -> usize {
+    let total = *cum.last().expect("nonempty mix");
+    let r = rng.gen_range(0.0..total);
+    cum.partition_point(|&c| c <= r).min(cum.len() - 1)
+}
+
+/// Draws one operation of the mix (shared by clients and the oracle).
+fn draw_op(rng: &mut StdRng, cum: &[f64]) -> OpKey {
+    let qi = pick_weighted(rng, cum);
+    let subject = rng.gen_range(0..SUBJECTS) as u16;
+    let subtree_vis = rng.gen_bool(0.25);
+    (qi, subject, subtree_vis)
+}
+
+fn security_of(key: OpKey) -> Security {
+    let s = SubjectId(key.1);
+    if key.2 {
+        Security::SubtreeVisibility(s)
+    } else {
+        Security::BindingLevel(s)
+    }
+}
+
+/// Sequential answers for every possible operation, through the uncached
+/// `SecureXmlDb::query` path.
+fn sequential_oracle(db: &SecureXmlDb) -> HashMap<OpKey, Vec<u64>> {
+    let mut oracle = HashMap::new();
+    for (qi, (_, query)) in TABLE1.iter().enumerate() {
+        for subject in 0..SUBJECTS as u16 {
+            for subtree_vis in [false, true] {
+                let key = (qi, subject, subtree_vis);
+                let r = db.query(query, security_of(key)).expect("oracle query");
+                oracle.insert(key, r.matches);
+            }
+        }
+    }
+    oracle
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+fn cache_delta(after: CacheStats, before: CacheStats) -> CacheStats {
+    CacheStats {
+        plan_hits: after.plan_hits - before.plan_hits,
+        plan_misses: after.plan_misses - before.plan_misses,
+        result_hits: after.result_hits - before.result_hits,
+        result_misses: after.result_misses - before.result_misses,
+    }
+}
+
+fn hit_rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        return 0.0;
+    }
+    hits as f64 / total as f64
+}
+
+/// Runs one serving mix and gathers its report. The oracle check only
+/// applies to read-only mixes (updates change the answers mid-run).
+fn run_mix(
+    db: &Arc<RwLock<SecureXmlDb>>,
+    oracle: &HashMap<OpKey, Vec<u64>>,
+    cfg: &MixConfig,
+) -> MixReport {
+    let (io0, cache0) = {
+        let g = db.read().expect("db lock");
+        (g.io_stats(), g.cache_stats())
+    };
+    let cum = zipf_cumulative();
+    let start = Instant::now();
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|client| {
+                let cum = &cum;
+                scope.spawn(move || run_client(db, oracle, cfg, client, cum))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    let (io1, cache1) = {
+        let g = db.read().expect("db lock");
+        (g.io_stats(), g.cache_stats())
+    };
+    let io = io1.since(&io0);
+    let caches = cache_delta(cache1, cache0);
+
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_ns.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let queries: u64 = outcomes.iter().map(|o| o.queries).sum();
+    MixReport {
+        clients: cfg.clients,
+        read_only: cfg.update_every == 0,
+        queries,
+        updates: outcomes.iter().map(|o| o.updates).sum(),
+        qps: queries as f64 / elapsed.as_secs_f64(),
+        p50_us: percentile_us(&latencies, 0.50),
+        p99_us: percentile_us(&latencies, 0.99),
+        plan_hit_rate: hit_rate(caches.plan_hits, caches.plan_misses),
+        result_hit_rate: hit_rate(caches.result_hits, caches.result_misses),
+        shared_reads: io.read_shared,
+        exclusive_fallbacks: io.read_exclusive_fallback,
+        stale_retries: outcomes.iter().map(|o| o.stale_retries).sum(),
+        stale_errors: outcomes.iter().map(|o| o.stale_errors).sum(),
+        divergences: outcomes.iter().map(|o| o.divergences).sum(),
+        // Order-independent across clients: XOR of per-client streams.
+        fingerprint: outcomes.iter().fold(0, |h, o| h ^ o.fingerprint),
+    }
+}
+
+fn run_client(
+    db: &Arc<RwLock<SecureXmlDb>>,
+    oracle: &HashMap<OpKey, Vec<u64>>,
+    cfg: &MixConfig,
+    client: usize,
+    cum: &[f64],
+) -> ClientOutcome {
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed ^ (client as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut reader = db.read().expect("db lock").reader();
+    let mut out = ClientOutcome {
+        latencies_ns: Vec::with_capacity(cfg.ops_per_client),
+        queries: 0,
+        updates: 0,
+        stale_retries: 0,
+        stale_errors: 0,
+        divergences: 0,
+        fingerprint: 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
+    };
+    for op in 0..cfg.ops_per_client {
+        if cfg.update_every > 0 && client == 0 && (op + 1) % cfg.update_every == 0 {
+            let mut g = db.write().expect("db lock");
+            let pos = rng.gen_range(1..g.len() as u64);
+            let subject = SubjectId(rng.gen_range(0..SUBJECTS) as u16);
+            let allow = rng.gen_bool(0.5);
+            g.set_node_access(pos, subject, allow)
+                .expect("serve update");
+            out.updates += 1;
+            continue;
+        }
+        let key = draw_op(&mut rng, cum);
+        let security = security_of(key);
+        let t0 = Instant::now();
+        let mut retries = 0usize;
+        let result = loop {
+            match reader.query(TABLE1[key.0].1, security) {
+                Ok(r) => break Some(r),
+                Err(DbError::StaleReader { .. }) => {
+                    out.stale_retries += 1;
+                    retries += 1;
+                    if retries > MAX_STALE_RETRIES {
+                        out.stale_errors += 1;
+                        break None;
+                    }
+                    reader = db.read().expect("db lock").reader();
+                }
+                Err(e) => panic!("client {client} query failed: {e}"),
+            }
+        };
+        out.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+        out.queries += 1;
+        let Some(result) = result else { continue };
+        // Fingerprint the (operation, answer) pair, order-sensitively
+        // within this client's deterministic stream.
+        let mut h = out.fingerprint;
+        h = fnv_fold(h, op as u64);
+        h = fnv_fold(h, key.0 as u64);
+        h = fnv_fold(h, u64::from(key.1));
+        h = fnv_fold(h, u64::from(key.2));
+        h = fnv_fold(h, result.matches.len() as u64);
+        for &m in &result.matches {
+            h = fnv_fold(h, m);
+        }
+        out.fingerprint = h;
+        if cfg.update_every == 0 {
+            match oracle.get(&key) {
+                Some(expect) if *expect == result.matches => {}
+                _ => out.divergences += 1,
+            }
+        }
+    }
+    out
+}
+
+/// Escapes nothing (the emitted strings are plain identifiers); formats one
+/// report as a JSON object.
+fn json_object(r: &MixReport) -> String {
+    format!(
+        "{{\"clients\": {}, \"read_only\": {}, \"queries\": {}, \"updates\": {}, \
+         \"qps\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \
+         \"plan_hit_rate\": {:.4}, \"result_hit_rate\": {:.4}, \
+         \"shared_reads\": {}, \"exclusive_fallbacks\": {}, \"shared_ratio\": {:.4}, \
+         \"stale_retries\": {}, \"stale_errors\": {}, \"divergences\": {}, \
+         \"fingerprint\": \"{:#018x}\"}}",
+        r.clients,
+        r.read_only,
+        r.queries,
+        r.updates,
+        r.qps,
+        r.p50_us,
+        r.p99_us,
+        r.plan_hit_rate,
+        r.result_hit_rate,
+        r.shared_reads,
+        r.exclusive_fallbacks,
+        r.shared_ratio(),
+        r.stale_retries,
+        r.stale_errors,
+        r.divergences,
+        r.fingerprint,
+    )
+}
+
+fn write_json(
+    seed: u64,
+    scale: f64,
+    nodes: usize,
+    runs: &[MixReport],
+    deterministic: bool,
+    session_io: IoStats,
+) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"serve\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"xmark_scale\": {scale},\n"));
+    out.push_str(&format!("  \"nodes\": {nodes},\n"));
+    out.push_str(&format!("  \"subjects\": {SUBJECTS},\n"));
+    out.push_str(&format!("  \"zipf_exponent\": {ZIPF_EXPONENT},\n"));
+    out.push_str(&format!("  \"deterministic\": {deterministic},\n"));
+    out.push_str(&format!(
+        "  \"session_shared_ratio\": {:.4},\n",
+        shared_ratio_of(session_io)
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&json_object(r));
+        out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::File::create("BENCH_serve.json").and_then(|mut f| f.write_all(out.as_bytes())) {
+        Ok(()) => println!("(wrote BENCH_serve.json)\n"),
+        Err(e) => eprintln!("could not write BENCH_serve.json: {e}"),
+    }
+}
+
+fn shared_ratio_of(io: IoStats) -> f64 {
+    let total = io.read_shared + io.read_exclusive_fallback;
+    if total == 0 {
+        return 1.0;
+    }
+    io.read_shared as f64 / total as f64
+}
+
+/// Runs the serving benchmark. `max_clients` caps the thread-scaling sweep
+/// (`0` = default of 4); `smoke` pins a small deterministic configuration
+/// and asserts the invariants CI depends on.
+pub fn run(effort: Effort, seed: u64, max_clients: usize, smoke: bool) {
+    let max_clients = match max_clients {
+        0 => 4,
+        n => n,
+    };
+    let scale = if smoke { 0.05 } else { effort.scale(0.08, 0.5) };
+    let ops = if smoke { 300 } else { effort.pick(500, 3000) };
+    let doc = xmark_doc(scale);
+    let nodes = doc.len();
+    let map = synth_multi(
+        &doc,
+        &SynthAclConfig {
+            propagation_ratio: 0.05,
+            accessibility_ratio: 0.6,
+            sibling_locality: 0.5,
+            seed,
+        },
+        SUBJECTS,
+    );
+    let db = SecureXmlDb::from_document(doc, &map).expect("build db");
+    let oracle = sequential_oracle(&db);
+    db.reset_io_stats(); // exclude build + oracle I/O from the lock ratios
+    let session_io0 = db.io_stats();
+    let db = Arc::new(RwLock::new(db));
+
+    let mut t = Table::new(
+        &format!(
+            "secure serving throughput (XMark {nodes} nodes, {SUBJECTS} subjects, \
+             Zipf Table-1 mix, {ops} ops/client, seed {seed})"
+        ),
+        &[
+            "clients",
+            "mode",
+            "QPS",
+            "p50",
+            "p99",
+            "result hits",
+            "plan hits",
+            "shared latch",
+            "stale retries",
+            "divergences",
+        ],
+    );
+    let mut runs: Vec<MixReport> = Vec::new();
+
+    // Read-only thread-scaling sweep. On the 1-CPU CI container the QPS
+    // column measures overhead, not scaling — reported, never gated.
+    let mut clients = 1usize;
+    while clients <= max_clients {
+        let cfg = MixConfig {
+            clients,
+            ops_per_client: ops,
+            update_every: 0,
+            seed,
+        };
+        let r = run_mix(&db, &oracle, &cfg);
+        push_row(&mut t, &r);
+        runs.push(r);
+        clients *= 2;
+    }
+
+    // Determinism: replay the first configuration with the same seed; the
+    // result fingerprints must be bit-identical (the result cache is warm
+    // now, so this also proves cached answers equal executed answers).
+    let replay = run_mix(
+        &db,
+        &oracle,
+        &MixConfig {
+            clients: 1,
+            ops_per_client: ops,
+            update_every: 0,
+            seed,
+        },
+    );
+    let deterministic = replay.fingerprint == runs[0].fingerprint;
+    push_row(&mut t, &replay);
+    runs.push(replay);
+
+    // Update mix: client 0 interleaves ACL updates; stale readers retry.
+    let update_cfg = MixConfig {
+        clients: 2,
+        ops_per_client: ops,
+        update_every: 8,
+        seed: seed ^ 0xffff,
+    };
+    let upd = run_mix(&db, &oracle, &update_cfg);
+    push_row(&mut t, &upd);
+    runs.push(upd);
+    t.print();
+
+    let session_io = db.read().expect("db lock").io_stats().since(&session_io0);
+    println!(
+        "(Session shared-latch ratio {} over {} page reads; determinism replay {}.)\n",
+        pct(shared_ratio_of(session_io)),
+        session_io.read_shared + session_io.read_exclusive_fallback,
+        if deterministic { "matched" } else { "DIVERGED" },
+    );
+    write_json(seed, scale, nodes, &runs, deterministic, session_io);
+
+    if smoke {
+        assert!(deterministic, "same-seed replay fingerprint diverged");
+        for r in &runs {
+            assert_eq!(
+                r.stale_errors, 0,
+                "stale-read errors escaped the retry loop"
+            );
+            if r.read_only {
+                assert_eq!(r.stale_retries, 0, "read-only mix saw a stale reader");
+                assert_eq!(r.divergences, 0, "reader answers diverged from the oracle");
+            }
+        }
+        assert!(
+            session_io.read_shared > 0,
+            "serving mix never took the shared read path"
+        );
+        assert!(
+            shared_ratio_of(session_io) > 0.90,
+            "shared-latch ratio {:.4} <= 0.90",
+            shared_ratio_of(session_io)
+        );
+        println!("serve --smoke: all assertions passed\n");
+    }
+}
+
+fn push_row(t: &mut Table, r: &MixReport) {
+    t.row(&[
+        r.clients.to_string(),
+        if r.read_only {
+            "read-only".into()
+        } else {
+            format!("updates/{}", 8)
+        },
+        format!("{:.0}", r.qps),
+        format!("{:.1} us", r.p50_us),
+        format!("{:.1} us", r.p99_us),
+        pct(r.result_hit_rate),
+        pct(r.plan_hit_rate),
+        pct(r.shared_ratio()),
+        r.stale_retries.to_string(),
+        r.divergences.to_string(),
+    ]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_weights_are_cumulative_and_skewed() {
+        let cum = zipf_cumulative();
+        assert_eq!(cum.len(), TABLE1.len());
+        assert!(cum.windows(2).all(|w| w[0] < w[1]));
+        // The head query carries the largest single weight.
+        let w0 = cum[0];
+        let w_last = cum[TABLE1.len() - 1] - cum[TABLE1.len() - 2];
+        assert!(w0 > w_last * 2.0);
+        // Sampling respects the skew, roughly.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 6];
+        for _ in 0..6000 {
+            counts[pick_weighted(&mut rng, &cum)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn smoke_mix_on_a_tiny_db() {
+        let doc = xmark_doc(0.01);
+        let map = synth_multi(
+            &doc,
+            &SynthAclConfig {
+                propagation_ratio: 0.05,
+                accessibility_ratio: 0.6,
+                sibling_locality: 0.5,
+                seed: 3,
+            },
+            SUBJECTS,
+        );
+        let db = SecureXmlDb::from_document(doc, &map).unwrap();
+        let oracle = sequential_oracle(&db);
+        db.reset_io_stats();
+        let db = Arc::new(RwLock::new(db));
+        let cfg = MixConfig {
+            clients: 2,
+            ops_per_client: 40,
+            update_every: 0,
+            seed: 11,
+        };
+        let a = run_mix(&db, &oracle, &cfg);
+        let b = run_mix(&db, &oracle, &cfg);
+        assert_eq!(a.fingerprint, b.fingerprint, "same-seed mixes must agree");
+        assert_eq!(a.divergences + b.divergences, 0);
+        assert_eq!(a.stale_retries + b.stale_retries, 0);
+        assert!(b.result_hit_rate > 0.9, "second run must be cache-warm");
+
+        // And with updates: retries absorb staleness, nothing escapes.
+        let upd = run_mix(
+            &db,
+            &oracle,
+            &MixConfig {
+                clients: 2,
+                ops_per_client: 40,
+                update_every: 4,
+                seed: 11,
+            },
+        );
+        assert!(upd.updates > 0);
+        assert_eq!(upd.stale_errors, 0);
+    }
+}

@@ -13,6 +13,7 @@ use crate::stats::DolStats;
 use dol_acl::{AccessOracle, BitVec, SubjectId};
 use dol_storage::{BufferPool, BulkItem, StoreConfig, StructStore};
 use dol_xml::Document;
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// Storage-layer errors bubbled up from the block store.
@@ -48,11 +49,14 @@ pub fn build_secure_items(doc: &Document, oracle: &impl AccessOracle) -> (Vec<Bu
 /// that interpret the codes stored in a [`StructStore`].
 pub struct EmbeddedDol {
     codebook: Codebook,
-    /// Most-recently decoded subject column, revalidated against the
-    /// codebook's version stamp on every [`column`](EmbeddedDol::column)
-    /// call. Codebook mutations require `&mut self`, so a column handed out
-    /// under `&self` can never race a code-space change.
-    column_cache: Mutex<Option<Arc<SubjectColumn>>>,
+    /// Decoded subject columns, one per subject seen, each revalidated
+    /// against the codebook's version stamp on every
+    /// [`column`](EmbeddedDol::column) call — a serving mix that
+    /// interleaves subjects must not thrash a single slot. Codebook
+    /// mutations require `&mut self`, so a column handed out under `&self`
+    /// can never race a code-space change. Bounded by the subject count
+    /// (`u16`), so no eviction is needed.
+    column_cache: Mutex<HashMap<SubjectId, Arc<SubjectColumn>>>,
 }
 
 impl Clone for EmbeddedDol {
@@ -90,7 +94,7 @@ impl EmbeddedDol {
     pub fn from_codebook(codebook: Codebook) -> Self {
         Self {
             codebook,
-            column_cache: Mutex::new(None),
+            column_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -100,13 +104,13 @@ impl EmbeddedDol {
     /// and then check codes with a single shift-and-mask.
     pub fn column(&self, subject: SubjectId) -> Arc<SubjectColumn> {
         let mut cache = self.column_cache.lock().unwrap();
-        if let Some(col) = cache.as_ref() {
+        if let Some(col) = cache.get(&subject) {
             if col.matches(&self.codebook, subject) {
                 return Arc::clone(col);
             }
         }
         let col = Arc::new(self.codebook.column(subject));
-        *cache = Some(Arc::clone(&col));
+        cache.insert(subject, Arc::clone(&col));
         col
     }
 

@@ -1,0 +1,214 @@
+//! Query-serving caches: a small generic LRU and the compiled-plan cache.
+//!
+//! The serve path re-issues a handful of hot query strings thousands of
+//! times. Re-lexing and re-planning each is pure waste: [`PlanCache`] interns
+//! `query string → Arc<QueryPlan>` so a warm query costs one hash lookup.
+//! [`LruCache`] is the shared mechanism — it also backs the secure result
+//! cache at the database layer, keyed by `(query, security, epoch, codebook
+//! version)`.
+//!
+//! Both are internally synchronized (one mutex around a tick-stamped hash
+//! map) and count hits/misses with relaxed atomics so serving threads can
+//! share one instance behind an `Arc` and the harness can report hit rates
+//! without extra locking. Eviction is exact LRU by access tick; the O(n)
+//! victim scan is irrelevant at the intended capacities (tens to a few
+//! thousand entries).
+
+use crate::plan::QueryPlan;
+use crate::xpath::{parse_query, QueryParseError};
+use parking_lot::Mutex;
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct LruInner<K, V> {
+    map: HashMap<K, (V, u64)>,
+    tick: u64,
+}
+
+/// A thread-safe fixed-capacity LRU map with hit/miss accounting.
+///
+/// Values are returned by clone; intended use is `V = Arc<T>` (or another
+/// cheaply clonable handle) so a hit is one lookup plus one refcount bump.
+pub struct LruCache<K, V> {
+    inner: Mutex<LruInner<K, V>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU cache needs at least one slot");
+        Self {
+            inner: Mutex::new(LruInner {
+                map: HashMap::with_capacity(capacity),
+                tick: 0,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency. Counts one hit or miss.
+    pub fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some((v, used)) => {
+                *used = tick;
+                let v = v.clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least recently used entry
+    /// when the cache is full.
+    pub fn insert(&self, key: K, value: V) {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            // One key clone per eviction (the borrow must end before the
+            // map is mutated), never per hit.
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+            }
+        }
+        inner.map.insert(key, (value, tick));
+    }
+
+    /// Drops every entry (the wholesale invalidation path). Hit/miss
+    /// counters are preserved — they describe the workload, not the content.
+    pub fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// An LRU of compiled query plans keyed by the query string.
+pub struct PlanCache {
+    plans: LruCache<String, Arc<QueryPlan>>,
+}
+
+impl PlanCache {
+    /// Creates a plan cache holding at most `capacity` compiled plans.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            plans: LruCache::new(capacity),
+        }
+    }
+
+    /// The compiled plan for `query`: from the cache if warm, otherwise
+    /// parsed, planned, and cached. Parse errors are not cached (they are
+    /// cheap to rediscover and should not occupy slots).
+    pub fn get_or_parse(&self, query: &str) -> Result<Arc<QueryPlan>, QueryParseError> {
+        if let Some(plan) = self.plans.get(query) {
+            return Ok(plan);
+        }
+        let plan = Arc::new(QueryPlan::new(parse_query(query)?));
+        self.plans.insert(query.to_owned(), Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.plans.hits()
+    }
+
+    /// Lookups that had to parse.
+    pub fn misses(&self) -> u64 {
+        self.plans.misses()
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache: LruCache<u32, Arc<u32>> = LruCache::new(2);
+        cache.insert(1, Arc::new(10));
+        cache.insert(2, Arc::new(20));
+        assert_eq!(cache.get(&1).as_deref(), Some(&10)); // 1 now most recent
+        cache.insert(3, Arc::new(30)); // evicts 2
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&1).as_deref(), Some(&10));
+        assert_eq!(cache.get(&3).as_deref(), Some(&30));
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn plan_cache_parses_once() {
+        let cache = PlanCache::new(8);
+        let a = cache.get_or_parse("//item//emph").unwrap();
+        let b = cache.get_or_parse("//item//emph").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert!(cache.get_or_parse("not a { query").is_err());
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache: LruCache<String, Arc<u32>> = LruCache::new(4);
+        cache.insert("a".into(), Arc::new(1));
+        assert!(cache.get("a").is_some());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.get("a").is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+}

@@ -9,10 +9,12 @@ use dol_core::EmbeddedDol;
 use dol_storage::disk::StorageError;
 use dol_storage::{BPlusTree, IoStats, StructStore, ValueStore};
 use dol_xml::{TagId, TagInterner};
+use std::borrow::Cow;
 use std::time::{Duration, Instant};
 
-/// The security mode of one evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The security mode of one evaluation. `Hash`/`Eq` so a (query, security)
+/// pair can key a result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Security {
     /// Unsecured evaluation (the plain NoK baseline).
     None,
@@ -294,20 +296,28 @@ impl<'a> QueryEngine<'a> {
     }
 
     /// The positions of every node with `tag` (ascending), or of every node
-    /// for the wildcard.
-    pub fn candidates(&self, tag: Option<TagId>) -> Vec<u64> {
+    /// for the wildcard. Borrows straight from the tag index when possible —
+    /// a candidate list is consulted once per query, and cloning the hottest
+    /// tag's full position vector per call dominated the serve mix.
+    pub fn candidates(&self, tag: Option<TagId>) -> Cow<'_, [u64]> {
         match tag {
-            Some(t) => self.tag_index.get().get(&t).cloned().unwrap_or_default(),
-            None => (0..self.store.total_nodes()).collect(),
+            Some(t) => match self.tag_index.get().get(&t) {
+                Some(v) => Cow::Borrowed(v.as_slice()),
+                None => Cow::Owned(Vec::new()),
+            },
+            None => Cow::Owned((0..self.store.total_nodes()).collect()),
         }
     }
 
     /// Candidate positions for a fragment root with an optional value
     /// constraint: the tag+value index narrows the list when available
     /// (hash collisions are re-checked by the matcher).
-    pub fn candidates_for(&self, tag: Option<TagId>, value: Option<&str>) -> Vec<u64> {
+    pub fn candidates_for(&self, tag: Option<TagId>, value: Option<&str>) -> Cow<'_, [u64]> {
         if let (Some(t), Some(v), Some(idx)) = (tag, value, self.value_index.get()) {
-            return idx.get(&(t, value_hash(v))).cloned().unwrap_or_default();
+            return match idx.get(&(t, value_hash(v))) {
+                Some(list) => Cow::Borrowed(list.as_slice()),
+                None => Cow::Owned(Vec::new()),
+            };
         }
         self.candidates(tag)
     }
@@ -374,18 +384,18 @@ impl<'a> QueryEngine<'a> {
         let mut results: Vec<Vec<Binding>> = Vec::with_capacity(plan.trees.len());
         for (i, tree) in plan.trees.iter().enumerate() {
             let mut matcher = FragmentMatcher::new(&ctx, plan, i);
-            let candidates = if i == 0 && plan.pattern.anchored() {
-                vec![0u64]
+            let candidates: Cow<'_, [u64]> = if i == 0 && plan.pattern.anchored() {
+                Cow::Owned(vec![0u64])
             } else if matcher.is_satisfiable() {
                 let root_value = plan.pattern.node(tree.root).value.as_deref();
                 self.candidates_for(matcher.root_tag(), root_value)
             } else {
-                Vec::new()
+                Cow::Owned(Vec::new())
             };
             stats.candidates += candidates.len() as u64;
             let tuples = if workers <= 1 || candidates.len() < 2 {
                 let mut tuples = Vec::new();
-                for c in candidates {
+                for &c in candidates.iter() {
                     tuples.extend(matcher.match_root(c)?);
                 }
                 stats.add_match(&matcher.stats);

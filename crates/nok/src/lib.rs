@@ -37,6 +37,7 @@
 //! * [`Security::SubtreeVisibility`] — Gabillon–Bruno: additionally every
 //!   ancestor of every bound node must be accessible.
 
+pub mod cache;
 pub mod engine;
 pub mod join;
 pub mod matcher;
@@ -45,6 +46,7 @@ pub mod plan;
 pub mod reference;
 pub mod xpath;
 
+pub use cache::{LruCache, PlanCache};
 pub use engine::{
     build_tag_index, build_value_index, ExecOptions, ExecStats, QueryEngine, QueryError,
     QueryResult, Security,

@@ -20,6 +20,7 @@ use std::ops::Bound;
 pub const DEFAULT_ORDER: usize = 64;
 
 #[allow(clippy::vec_box)] // Box keeps child links pointer-sized and moves cheap during splits
+#[derive(Clone)]
 enum Node<K, V> {
     Internal {
         /// `keys[i]` separates `children[i]` (keys < `keys[i]`) from
@@ -70,6 +71,7 @@ impl<K, V> Node<K, V> {
 /// let keys: Vec<i32> = t.iter().map(|(k, _)| *k).collect();
 /// assert_eq!(keys, vec![1, 2, 3]);
 /// ```
+#[derive(Clone)]
 pub struct BPlusTree<K, V> {
     root: Box<Node<K, V>>,
     order: usize,

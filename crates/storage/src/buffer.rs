@@ -27,6 +27,20 @@
 //! deadlocking (with a single shard, that is any nested access — the legacy
 //! semantics).
 //!
+//! # Shared-lock read path
+//!
+//! Each shard is guarded by an `RwLock`, not a mutex. [`BufferPool::with_page`]
+//! on a **cached** page runs the closure under the *shared* lock: the LRU
+//! tick, the frame's `last_used` stamp, and every counter are atomics, so a
+//! hit mutates no lock-protected state and any number of readers proceed in
+//! parallel. Only a cache miss (and everything that reshapes the frame table:
+//! `with_page_mut`, eviction, flush, transaction traffic) falls back to the
+//! exclusive lock. The split is observable on any core count through two
+//! counters: [`IoStats::read_shared`] (hits served under the shared lock) and
+//! [`IoStats::read_exclusive_fallback`] (`with_page` calls that had to take
+//! the exclusive path). Counters are relaxed atomics; [`BufferPool::stats`]
+//! never takes a shard lock.
+//!
 //! # Integrity
 //!
 //! The pool is the integrity boundary of the engine. Every dirty page is
@@ -65,9 +79,10 @@
 use crate::disk::{Disk, StorageError};
 use crate::page::{Page, PageId};
 use crate::wal::Wal;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Attempts per physical page I/O before a transient error or checksum
@@ -101,6 +116,13 @@ pub struct IoStats {
     /// Checksum verifications that found a payload/trailer mismatch
     /// (including mismatches later cleared by a successful retry).
     pub checksum_failures: u64,
+    /// [`with_page`](BufferPool::with_page) hits served entirely under the
+    /// shard's *shared* lock (no exclusive lock taken).
+    pub read_shared: u64,
+    /// [`with_page`](BufferPool::with_page) calls that fell back to the
+    /// exclusive lock (cache miss, or the page appeared between the shared
+    /// probe and the exclusive acquisition).
+    pub read_exclusive_fallback: u64,
 }
 
 impl IoStats {
@@ -115,6 +137,8 @@ impl IoStats {
             read_retries: self.read_retries - earlier.read_retries,
             write_retries: self.write_retries - earlier.write_retries,
             checksum_failures: self.checksum_failures - earlier.checksum_failures,
+            read_shared: self.read_shared - earlier.read_shared,
+            read_exclusive_fallback: self.read_exclusive_fallback - earlier.read_exclusive_fallback,
         }
     }
 
@@ -127,6 +151,54 @@ impl IoStats {
         self.read_retries += other.read_retries;
         self.write_retries += other.write_retries;
         self.checksum_failures += other.checksum_failures;
+        self.read_shared += other.read_shared;
+        self.read_exclusive_fallback += other.read_exclusive_fallback;
+    }
+}
+
+/// Per-shard counters as relaxed atomics: the shared-lock read path and
+/// [`BufferPool::stats`] touch them without any lock. Counters only ever
+/// increase between resets, so `IoStats::since` on two snapshots never
+/// underflows even while other threads are counting.
+#[derive(Default)]
+struct AtomicIoStats {
+    logical_reads: AtomicU64,
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+    evictions: AtomicU64,
+    read_retries: AtomicU64,
+    write_retries: AtomicU64,
+    checksum_failures: AtomicU64,
+    read_shared: AtomicU64,
+    read_exclusive_fallback: AtomicU64,
+}
+
+impl AtomicIoStats {
+    fn snapshot(&self) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.physical_writes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            pages_skipped: 0, // pool-wide, not per shard
+            read_retries: self.read_retries.load(Ordering::Relaxed),
+            write_retries: self.write_retries.load(Ordering::Relaxed),
+            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
+            read_shared: self.read_shared.load(Ordering::Relaxed),
+            read_exclusive_fallback: self.read_exclusive_fallback.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.logical_reads.store(0, Ordering::Relaxed);
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.physical_writes.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.read_retries.store(0, Ordering::Relaxed);
+        self.write_retries.store(0, Ordering::Relaxed);
+        self.checksum_failures.store(0, Ordering::Relaxed);
+        self.read_shared.store(0, Ordering::Relaxed);
+        self.read_exclusive_fallback.store(0, Ordering::Relaxed);
     }
 }
 
@@ -134,14 +206,14 @@ struct Frame {
     id: PageId,
     page: Page,
     dirty: bool,
-    last_used: u64,
+    /// Atomic so a shared-lock hit can refresh the LRU stamp without
+    /// upgrading to the exclusive lock.
+    last_used: AtomicU64,
 }
 
 struct Inner {
     frames: Vec<Frame>,
     map: HashMap<PageId, usize>,
-    tick: u64,
-    stats: IoStats,
 }
 
 /// The LRU victim: the resident frame with the oldest access tick.
@@ -149,7 +221,7 @@ fn victim_slot(frames: &[Frame]) -> usize {
     frames
         .iter()
         .enumerate()
-        .min_by_key(|(_, fr)| fr.last_used)
+        .min_by_key(|(_, fr)| fr.last_used.load(Ordering::Relaxed))
         .map(|(i, _)| i)
         .expect("victim_slot on an empty frame list")
 }
@@ -172,44 +244,54 @@ struct TxnState {
 }
 
 struct Shard {
-    inner: Mutex<Inner>,
-    /// Thread token of the current lock holder (0 = unheld). Lets the pool
-    /// distinguish same-thread re-entry (a bug: panic, as the classic pool
-    /// did) from cross-thread contention (legitimate: block).
-    owner: AtomicUsize,
+    inner: RwLock<Inner>,
+    /// Monotonic access clock; atomic so shared-lock hits can advance it.
+    tick: AtomicU64,
+    /// Per-shard I/O counters; atomic so neither the shared-lock hit path
+    /// nor a stats read ever touches the shard lock.
+    stats: AtomicIoStats,
     capacity: usize,
 }
 
-/// A per-thread unique, nonzero token (the address of a thread-local).
-fn thread_token() -> usize {
-    thread_local! {
-        static TOKEN: u8 = const { 0 };
+thread_local! {
+    /// Addresses of the shards this thread currently holds (shared *or*
+    /// exclusive). Lets the pool distinguish same-thread re-entry (a bug:
+    /// panic, as the classic pool did) from cross-thread contention
+    /// (legitimate: block) — an owner token cannot express this once shared
+    /// locks admit many simultaneous holders.
+    static HELD_SHARDS: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII marker that a thread is inside an access to `shard`. Constructed
+/// *before* the lock is acquired so same-thread re-entry panics instead of
+/// deadlocking (a read→write upgrade or a recursive read while a writer
+/// waits would both self-deadlock on an `RwLock`).
+struct HeldShard {
+    addr: usize,
+}
+
+impl HeldShard {
+    fn enter(shard: &Shard) -> HeldShard {
+        let addr = shard as *const Shard as usize;
+        HELD_SHARDS.with(|held| {
+            let mut held = held.borrow_mut();
+            if held.contains(&addr) {
+                panic!("buffer pool re-entered from within a page access");
+            }
+            held.push(addr);
+        });
+        HeldShard { addr }
     }
-    TOKEN.with(|t| t as *const u8 as usize)
 }
 
-/// Shard lock guard that releases the owner mark on drop.
-struct ShardGuard<'a> {
-    guard: parking_lot::MutexGuard<'a, Inner>,
-    owner: &'a AtomicUsize,
-}
-
-impl Drop for ShardGuard<'_> {
+impl Drop for HeldShard {
     fn drop(&mut self) {
-        self.owner.store(0, Ordering::Release);
-    }
-}
-
-impl std::ops::Deref for ShardGuard<'_> {
-    type Target = Inner;
-    fn deref(&self) -> &Inner {
-        &self.guard
-    }
-}
-
-impl std::ops::DerefMut for ShardGuard<'_> {
-    fn deref_mut(&mut self) -> &mut Inner {
-        &mut self.guard
+        HELD_SHARDS.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(i) = held.iter().rposition(|&a| a == self.addr) {
+                held.remove(i);
+            }
+        });
     }
 }
 
@@ -266,13 +348,12 @@ impl BufferPool {
         let per_shard = capacity.div_ceil(n).max(1);
         let shards: Vec<Shard> = (0..n)
             .map(|_| Shard {
-                inner: Mutex::new(Inner {
+                inner: RwLock::new(Inner {
                     frames: Vec::with_capacity(per_shard),
                     map: HashMap::new(),
-                    tick: 0,
-                    stats: IoStats::default(),
                 }),
-                owner: AtomicUsize::new(0),
+                tick: AtomicU64::new(0),
+                stats: AtomicIoStats::default(),
                 capacity: per_shard,
             })
             .collect();
@@ -327,11 +408,31 @@ impl BufferPool {
     }
 
     /// Runs `f` with shared access to page `id`.
+    ///
+    /// A cached page is served under the shard's *shared* lock (the fast
+    /// path: any number of concurrent readers, no exclusive-lock traffic);
+    /// only a miss falls back to the exclusive lock to fetch the page.
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R, StorageError> {
         let shard = self.shard_of(id);
-        let mut inner = Self::lock(shard);
+        let _held = HeldShard::enter(shard);
+        {
+            let inner = shard.inner.read();
+            if let Some(&slot) = inner.map.get(&id) {
+                let tick = shard.tick.fetch_add(1, Ordering::Relaxed) + 1;
+                let frame = &inner.frames[slot];
+                frame.last_used.store(tick, Ordering::Relaxed);
+                shard.stats.logical_reads.fetch_add(1, Ordering::Relaxed);
+                shard.stats.read_shared.fetch_add(1, Ordering::Relaxed);
+                return Ok(f(&frame.page));
+            }
+        }
+        let mut inner = shard.inner.write();
+        shard
+            .stats
+            .read_exclusive_fallback
+            .fetch_add(1, Ordering::Relaxed);
         let slot = self.fetch(shard, &mut inner, id)?;
-        inner.stats.logical_reads += 1;
+        shard.stats.logical_reads.fetch_add(1, Ordering::Relaxed);
         Ok(f(&inner.frames[slot].page))
     }
 
@@ -344,9 +445,10 @@ impl BufferPool {
         f: impl FnOnce(&mut Page) -> R,
     ) -> Result<R, StorageError> {
         let shard = self.shard_of(id);
-        let mut inner = Self::lock(shard);
+        let _held = HeldShard::enter(shard);
+        let mut inner = shard.inner.write();
         let slot = self.fetch(shard, &mut inner, id)?;
-        inner.stats.logical_reads += 1;
+        shard.stats.logical_reads.fetch_add(1, Ordering::Relaxed);
         if self.txn_active.load(Ordering::Acquire) {
             let mut txn = self.txn.lock();
             if let Some(t) = txn.as_mut() {
@@ -380,20 +482,19 @@ impl BufferPool {
         let pinned = self.pinned_pages();
         let mut failures: Vec<(PageId, StorageError)> = Vec::new();
         for shard in &self.shards {
-            let mut inner = Self::lock(shard);
-            let mut writes = IoStats::default();
+            let _held = HeldShard::enter(shard);
+            let mut inner = shard.inner.write();
             for frame in inner.frames.iter_mut() {
                 if frame.dirty && !pinned.contains(&frame.id) {
-                    match self.write_back(frame.id, &mut frame.page, &mut writes) {
+                    match self.write_back(frame.id, &mut frame.page, &shard.stats) {
                         Ok(()) => {
                             frame.dirty = false;
-                            writes.physical_writes += 1;
+                            shard.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
                         }
                         Err(e) => failures.push((frame.id, e)),
                     }
                 }
             }
-            inner.stats.add(&writes);
         }
         if failures.is_empty() {
             Ok(())
@@ -411,8 +512,8 @@ impl BufferPool {
         let pinned = self.pinned_pages();
         let mut failures: Vec<(PageId, StorageError)> = Vec::new();
         for shard in &self.shards {
-            let mut inner = Self::lock(shard);
-            let mut writes = IoStats::default();
+            let _held = HeldShard::enter(shard);
+            let mut inner = shard.inner.write();
             let frames = std::mem::take(&mut inner.frames);
             let mut kept: Vec<Frame> = Vec::new();
             for mut frame in frames {
@@ -421,8 +522,10 @@ impl BufferPool {
                     continue;
                 }
                 if frame.dirty {
-                    match self.write_back(frame.id, &mut frame.page, &mut writes) {
-                        Ok(()) => writes.physical_writes += 1,
+                    match self.write_back(frame.id, &mut frame.page, &shard.stats) {
+                        Ok(()) => {
+                            shard.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+                        }
                         Err(e) => {
                             failures.push((frame.id, e));
                             kept.push(frame);
@@ -435,7 +538,6 @@ impl BufferPool {
                 inner.map.insert(frame.id, slot);
             }
             inner.frames = kept;
-            inner.stats.add(&writes);
         }
         if failures.is_empty() {
             Ok(())
@@ -444,32 +546,34 @@ impl BufferPool {
         }
     }
 
-    /// A snapshot of the I/O counters, aggregated over all shards.
+    /// A snapshot of the I/O counters, aggregated over all shards. Entirely
+    /// lock-free: safe to sample from any thread at any time, including
+    /// while other threads hold page accesses open.
     pub fn stats(&self) -> IoStats {
         let mut total = IoStats {
             pages_skipped: self.pages_skipped.load(Ordering::Relaxed),
             ..IoStats::default()
         };
         for shard in &self.shards {
-            total.add(&Self::lock(shard).stats);
+            total.add(&shard.stats.snapshot());
         }
         total
     }
 
     /// Per-shard counter snapshots (`pages_skipped` is pool-wide and
-    /// reported only by [`stats`](BufferPool::stats)).
+    /// reported only by [`stats`](BufferPool::stats)). Lock-free.
     pub fn shard_stats(&self) -> Vec<IoStats> {
         self.shards
             .iter()
-            .map(|shard| Self::lock(shard).stats)
+            .map(|shard| shard.stats.snapshot())
             .collect()
     }
 
-    /// Zeroes the I/O counters of every shard.
+    /// Zeroes the I/O counters of every shard. Lock-free.
     pub fn reset_stats(&self) {
         self.pages_skipped.store(0, Ordering::Relaxed);
         for shard in &self.shards {
-            Self::lock(shard).stats = IoStats::default();
+            shard.stats.reset();
         }
     }
 
@@ -618,9 +722,14 @@ impl BufferPool {
             };
             if let Some(mut page) = spilled {
                 let shard = self.shard_of(id);
-                let mut inner = Self::lock(shard);
-                match self.write_back(id, &mut page, &mut inner.stats) {
-                    Ok(()) => inner.stats.physical_writes += 1,
+                let _held = HeldShard::enter(shard);
+                // Exclusive lock: a concurrent reader must not fetch the
+                // page from the data disk while its committed image lands.
+                let _inner = shard.inner.write();
+                match self.write_back(id, &mut page, &shard.stats) {
+                    Ok(()) => {
+                        shard.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+                    }
                     Err(e) => failures.push((id, e)),
                 }
             }
@@ -658,7 +767,8 @@ impl BufferPool {
         for id in &state.order {
             let (image, was_dirty) = state.pre.get(id).expect("order tracks pre");
             let shard = self.shard_of(*id);
-            let mut inner = Self::lock(shard);
+            let _held = HeldShard::enter(shard);
+            let mut inner = shard.inner.write();
             if let Some(&slot) = inner.map.get(id) {
                 let frame = &mut inner.frames[slot];
                 frame.page.bytes_mut().copy_from_slice(image.bytes());
@@ -669,8 +779,8 @@ impl BufferPool {
                 // disk, best-effort — on a logged database the WAL still
                 // holds the committed image a failure would lose.
                 let mut page = image.clone();
-                if self.write_back(*id, &mut page, &mut inner.stats).is_ok() {
-                    inner.stats.physical_writes += 1;
+                if self.write_back(*id, &mut page, &shard.stats).is_ok() {
+                    shard.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -717,7 +827,11 @@ impl BufferPool {
     fn page_image(&self, id: PageId) -> Result<Page, StorageError> {
         let shard = self.shard_of(id);
         let mut image = {
-            let inner = Self::lock(shard);
+            let _held = HeldShard::enter(shard);
+            // Pages move between the cache and the shadow only under the
+            // exclusive lock, so holding the shared lock across both lookups
+            // suffices to keep them from both missing.
+            let inner = shard.inner.read();
             match inner.map.get(&id) {
                 Some(&slot) => inner.frames[slot].page.clone(),
                 None => self
@@ -734,25 +848,12 @@ impl BufferPool {
         Ok(image)
     }
 
-    fn lock(shard: &Shard) -> ShardGuard<'_> {
-        let me = thread_token();
-        if shard.owner.load(Ordering::Acquire) == me {
-            panic!("buffer pool re-entered from within a page access");
-        }
-        let guard = shard.inner.lock();
-        shard.owner.store(me, Ordering::Release);
-        ShardGuard {
-            guard,
-            owner: &shard.owner,
-        }
-    }
-
-    /// Ensures `id` is resident in `shard`; returns its frame slot.
+    /// Ensures `id` is resident in `shard`; returns its frame slot. Caller
+    /// holds the shard's exclusive lock (`inner`).
     fn fetch(&self, shard: &Shard, inner: &mut Inner, id: PageId) -> Result<usize, StorageError> {
-        inner.tick += 1;
-        let tick = inner.tick;
+        let tick = shard.tick.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(&slot) = inner.map.get(&id) {
-            inner.frames[slot].last_used = tick;
+            inner.frames[slot].last_used.store(tick, Ordering::Relaxed);
             return Ok(slot);
         }
         // The open transaction's shadow may hold the page's latest bytes
@@ -769,32 +870,31 @@ impl BufferPool {
             None
         };
         if shadow_page.is_none() {
-            inner.stats.physical_reads += 1;
+            shard.stats.physical_reads.fetch_add(1, Ordering::Relaxed);
         }
         let slot = if inner.frames.len() < shard.capacity {
             inner.frames.push(Frame {
                 id,
                 page: Page::zeroed(),
                 dirty: false,
-                last_used: tick,
+                last_used: AtomicU64::new(tick),
             });
             inner.frames.len() - 1
         } else {
             let slot = victim_slot(&inner.frames);
             {
-                let (frames, stats) = (&mut inner.frames, &mut inner.stats);
-                let victim = &mut frames[slot];
+                let victim = &mut inner.frames[slot];
                 if victim.dirty && !self.spill_to_shadow(victim) {
-                    self.write_back(victim.id, &mut victim.page, stats)?;
-                    stats.physical_writes += 1;
+                    self.write_back(victim.id, &mut victim.page, &shard.stats)?;
+                    shard.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
                 }
             }
             let old_id = inner.frames[slot].id;
             inner.map.remove(&old_id);
-            inner.stats.evictions += 1;
+            shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
             inner.frames[slot].id = id;
             inner.frames[slot].dirty = false;
-            inner.frames[slot].last_used = tick;
+            inner.frames[slot].last_used.store(tick, Ordering::Relaxed);
             slot
         };
         if let Some(page) = shadow_page {
@@ -806,13 +906,12 @@ impl BufferPool {
             inner.map.insert(id, slot);
             return Ok(slot);
         }
-        let (frames, stats) = (&mut inner.frames, &mut inner.stats);
-        if let Err(e) = self.read_verified(id, &mut frames[slot].page, stats) {
+        if let Err(e) = self.read_verified(id, &mut inner.frames[slot].page, &shard.stats) {
             // The frame holds a partial or unverified read: mark it vacant
             // so no later victim write or map hit can expose its bytes.
-            frames[slot].id = PageId::INVALID;
-            frames[slot].dirty = false;
-            frames[slot].last_used = 0;
+            inner.frames[slot].id = PageId::INVALID;
+            inner.frames[slot].dirty = false;
+            inner.frames[slot].last_used.store(0, Ordering::Relaxed);
             return Err(e);
         }
         inner.map.insert(id, slot);
@@ -826,7 +925,7 @@ impl BufferPool {
         &self,
         id: PageId,
         page: &mut Page,
-        stats: &mut IoStats,
+        stats: &AtomicIoStats,
     ) -> Result<(), StorageError> {
         let verify = self.verify_checksums();
         let mut mismatch: Option<(u32, u32)> = None;
@@ -840,7 +939,7 @@ impl BufferPool {
                         Ok(()) => return Ok(()),
                         Err(m) => {
                             // Could be a transient bus glitch: re-read.
-                            stats.checksum_failures += 1;
+                            stats.checksum_failures.fetch_add(1, Ordering::Relaxed);
                             mismatch = Some(m);
                         }
                     }
@@ -849,7 +948,7 @@ impl BufferPool {
                 Err(_) => {} // transient: retry
             }
             if attempt < MAX_IO_ATTEMPTS {
-                stats.read_retries += 1;
+                stats.read_retries.fetch_add(1, Ordering::Relaxed);
             }
         }
         Err(match mismatch {
@@ -873,7 +972,7 @@ impl BufferPool {
         &self,
         id: PageId,
         page: &mut Page,
-        stats: &mut IoStats,
+        stats: &AtomicIoStats,
     ) -> Result<(), StorageError> {
         if self.verify_checksums() {
             page.seal();
@@ -883,7 +982,7 @@ impl BufferPool {
             match self.disk.write_page(id, page) {
                 Ok(()) => return Ok(()),
                 Err(e) if e.is_transient() && attempt < MAX_IO_ATTEMPTS => {
-                    stats.write_retries += 1;
+                    stats.write_retries.fetch_add(1, Ordering::Relaxed);
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -976,12 +1075,96 @@ mod tests {
             id: PageId(id),
             page: Page::zeroed(),
             dirty: false,
-            last_used,
+            last_used: AtomicU64::new(last_used),
         };
         assert_eq!(victim_slot(&[mk(0, 5), mk(1, 2), mk(2, 9)]), 1);
         assert_eq!(victim_slot(&[mk(0, 1)]), 0);
         // Ties break toward the lowest slot (stable min).
         assert_eq!(victim_slot(&[mk(0, 3), mk(1, 3)]), 0);
+    }
+
+    #[test]
+    fn shared_and_exclusive_read_counters() {
+        let (pool, ids) = pool(4);
+        // Cold: both accesses miss and take the exclusive path.
+        pool.with_page(ids[0], |_| ()).unwrap();
+        pool.with_page(ids[1], |_| ()).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.read_shared, 0);
+        assert_eq!(s.read_exclusive_fallback, 2);
+        // Warm: hits stay entirely on the shared path.
+        pool.with_page(ids[0], |_| ()).unwrap();
+        pool.with_page(ids[1], |_| ()).unwrap();
+        pool.with_page(ids[0], |_| ()).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.read_shared, 3);
+        assert_eq!(s.read_exclusive_fallback, 2);
+        // Mutation does not count toward either read-path counter.
+        pool.with_page_mut(ids[0], |p| p.put_u32(0, 1)).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.read_shared, 3);
+        assert_eq!(s.read_exclusive_fallback, 2);
+        assert_eq!(s.logical_reads, 6);
+    }
+
+    #[test]
+    fn shared_hits_keep_lru_order() {
+        // A shared-lock hit must still refresh the LRU stamp: touch ids[0]
+        // read-only, then fault a new page — the victim must be ids[1].
+        let (pool, ids) = pool(2);
+        pool.with_page(ids[0], |_| ()).unwrap();
+        pool.with_page(ids[1], |_| ()).unwrap();
+        pool.with_page(ids[0], |_| ()).unwrap(); // shared hit
+        pool.with_page(ids[2], |_| ()).unwrap(); // evicts ids[1]
+        let before = pool.stats();
+        pool.with_page(ids[0], |_| ()).unwrap();
+        let d = pool.stats().since(&before);
+        assert_eq!(d.physical_reads, 0, "ids[0] must have survived");
+    }
+
+    #[test]
+    fn stats_read_is_lock_free_during_a_page_access() {
+        // stats() from inside a with_page closure would deadlock if it took
+        // the shard lock; with atomic counters it must just work.
+        let (pool, ids) = pool(4);
+        pool.with_page(ids[0], |_| ()).unwrap();
+        pool.with_page(ids[0], |_| {
+            let s = pool.stats();
+            assert_eq!(s.logical_reads, 2);
+            assert_eq!(s.read_shared, 1);
+            let _ = pool.shard_stats();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn concurrent_shared_readers_make_progress() {
+        // Several threads hammering the same cached pages read-only must all
+        // complete, and (almost) every access after warmup stays shared.
+        // Per-shard capacity 32: even a maximally skewed hash cannot evict.
+        let (pool, ids) = sharded(64, 2);
+        for &id in &ids {
+            pool.with_page(id, |_| ()).unwrap();
+        }
+        let warm = pool.stats();
+        let pool = Arc::new(pool);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                let ids = ids.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        for &id in &ids {
+                            pool.with_page(id, |_| ()).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        let d = pool.stats().since(&warm);
+        assert_eq!(d.logical_reads, 4 * 50 * 32);
+        assert_eq!(d.read_shared, d.logical_reads, "warm mix is all-shared");
+        assert_eq!(d.physical_reads, 0);
     }
 
     #[test]
@@ -1354,7 +1537,9 @@ mod tests {
             inner: MemDisk::new(),
             armed: AtomicBool::new(false),
         });
-        let ids: Vec<PageId> = (0..4).map(|_| disk.inner.allocate_page().unwrap()).collect();
+        let ids: Vec<PageId> = (0..4)
+            .map(|_| disk.inner.allocate_page().unwrap())
+            .collect();
         let (d, p1, p2, p3) = (ids[0], ids[1], ids[2], ids[3]);
         let pool = BufferPool::new(disk.clone(), 3);
         // A page dirtied before the transaction: the victim whose write-back

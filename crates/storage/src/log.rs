@@ -18,6 +18,7 @@ use std::sync::Arc;
 /// Logical offsets are dense over page *payloads*: byte `o` lives on the
 /// log's `o / PAYLOAD_SIZE`-th page (the last 4 bytes of each page are the
 /// CRC trailer). Records may span page boundaries.
+#[derive(Clone)]
 pub struct PagedLog {
     pool: Arc<BufferPool>,
     pages: Vec<PageId>,
@@ -131,6 +132,7 @@ impl PagedLog {
 /// The bytes themselves are immutable in the log; deletion only drops index
 /// entries (space is reclaimed by a rebuild, which the engine performs on
 /// bulk reload).
+#[derive(Clone)]
 pub struct ValueStore {
     log: PagedLog,
     index: BTreeMap<u64, (u64, u32)>,

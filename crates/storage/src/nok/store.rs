@@ -127,6 +127,12 @@ pub struct BlockInfo {
 }
 
 /// The NoK block store. See the [module docs](super) for the layout.
+///
+/// Cloning is cheap-ish (the pool is shared via `Arc`; the block directory
+/// is a flat `Vec` of `Copy` entries) and yields a handle over the *same*
+/// pages — it exists so `SecureXmlDb` can copy-on-write its in-memory
+/// mirrors for snapshot readers.
+#[derive(Clone)]
 pub struct StructStore {
     pub(crate) pool: Arc<BufferPool>,
     pub(crate) dir: Vec<BlockInfo>,

@@ -53,6 +53,7 @@
 
 mod modal;
 mod persist;
+mod reader;
 
 pub use dol_acl as acl;
 pub use dol_cam as cam;
@@ -65,6 +66,7 @@ pub use dol_xml as xml;
 pub use dol_nok::{QueryResult, Security};
 
 pub use modal::{ModalDb, ModalSecurity};
+pub use reader::{CacheStats, DbReader};
 
 use dol_acl::{AccessOracle, BitVec, SubjectId};
 use dol_core::{DolStats, EmbeddedDol};
@@ -75,7 +77,7 @@ use dol_storage::{
 };
 use dol_xml::{Document, NodeId, TagId};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Errors from the high-level database API.
@@ -94,6 +96,16 @@ pub enum DbError {
     /// no longer be trusted against the pages, so every further update is
     /// refused until the database is reopened.
     Poisoned,
+    /// A [`DbReader`] snapshot was overtaken by an update: the reader was
+    /// stamped with epoch `seen`, but the database has advanced to `now`.
+    /// The query result (if any was computed) may mix pre- and post-update
+    /// pages and has been discarded; take a fresh reader and retry.
+    StaleReader {
+        /// The update epoch the reader was created at.
+        seen: u64,
+        /// The database's current update epoch.
+        now: u64,
+    },
 }
 
 impl std::fmt::Display for DbError {
@@ -106,6 +118,11 @@ impl std::fmt::Display for DbError {
             DbError::Poisoned => write!(
                 f,
                 "database handle poisoned by a failed or superseding update; reopen to continue"
+            ),
+            DbError::StaleReader { seen, now } => write!(
+                f,
+                "snapshot reader at epoch {seen} overtaken by update (database at epoch {now}); \
+                 take a fresh reader and retry"
             ),
         }
     }
@@ -153,13 +170,26 @@ impl Default for DbConfig {
 /// pairs as subjects, as the paper suggests in §2; the experiment harness
 /// does exactly that for the LiveLink workload.)
 pub struct SecureXmlDb {
-    doc: Document,
-    store: StructStore,
-    values: ValueStore,
-    dol: EmbeddedDol,
-    tag_index: BPlusTree<TagId, Vec<u64>>,
-    value_index: BPlusTree<(TagId, u64), Vec<u64>>,
+    // The read-side state is `Arc`-shared so [`SecureXmlDb::reader`] can
+    // hand out cheap snapshot handles; updates go through `Arc::make_mut`,
+    // which clones a mirror only while a reader still holds it (copy on
+    // write). Page *contents* are shared through the pool regardless — the
+    // epoch protocol below is what keeps overtaken readers honest.
+    doc: Arc<Document>,
+    store: Arc<StructStore>,
+    values: Arc<ValueStore>,
+    dol: Arc<EmbeddedDol>,
+    tag_index: Arc<BPlusTree<TagId, Vec<u64>>>,
+    value_index: Arc<BPlusTree<(TagId, u64), Vec<u64>>>,
     pool: Arc<BufferPool>,
+    /// Update epoch: bumped at the start of every update transaction
+    /// (successful or not). [`DbReader`]s stamp it at creation and verify
+    /// it before and after each query, failing with
+    /// [`DbError::StaleReader`] instead of returning a possibly mixed-epoch
+    /// answer. Also the result-cache invalidation stamp.
+    epoch: Arc<AtomicU64>,
+    /// Compiled-plan and secure-result caches, shared with every reader.
+    caches: Arc<reader::QueryCaches>,
     /// Opened from a saved image with an attached write-ahead log: updates
     /// must also rewrite the on-disk catalog and meta blob.
     persistent: bool,
@@ -217,13 +247,15 @@ impl SecureXmlDb {
         let tag_index = build_tag_index(&store)?;
         let value_index = build_value_index(&store, &values)?;
         Ok(Self {
-            doc,
-            store,
-            values,
-            dol,
-            tag_index,
-            value_index,
+            doc: Arc::new(doc),
+            store: Arc::new(store),
+            values: Arc::new(values),
+            dol: Arc::new(dol),
+            tag_index: Arc::new(tag_index),
+            value_index: Arc::new(value_index),
             pool,
+            epoch: Arc::new(AtomicU64::new(0)),
+            caches: Arc::new(reader::QueryCaches::default()),
             persistent: false,
             image_path: None,
             poisoned: AtomicBool::new(false),
@@ -248,6 +280,16 @@ impl SecureXmlDb {
         if self.poisoned.load(Ordering::Acquire) {
             return Err(DbError::Poisoned);
         }
+        // Bump the epoch *before* any page changes: a reader that observes
+        // even one post-update byte was created before this store (readers
+        // are handed out through `&self`, updates come through `&mut self`),
+        // so its end-of-query epoch check must fail. SeqCst pairs with the
+        // readers' SeqCst loads; the pool's own locks order the page writes
+        // behind it. Bumping also invalidates the whole result cache (its
+        // keys carry the epoch); dropping the dead entries keeps the LRU
+        // from nursing unreachable results.
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        self.caches.invalidate_results();
         let pool = self.pool.clone();
         let res = pool.atomic_update(|| {
             let r = f(self)?;
@@ -276,7 +318,18 @@ impl SecureXmlDb {
 
     /// Evaluates a twig query (see [`dol_nok::xpath`] for the syntax) under
     /// the given [`Security`] mode.
+    ///
+    /// Compiled plans are reused across calls, but *every* call executes
+    /// against the pages — this path is deliberately not result-cached, so
+    /// repeated queries observe storage-fault state changes exactly (the
+    /// fail-closed tests and the experiment harness depend on that). The
+    /// serving path with result caching is [`SecureXmlDb::reader`].
     pub fn query(&self, query: &str, security: Security) -> Result<QueryResult, DbError> {
+        let plan = self
+            .caches
+            .plans()
+            .get_or_parse(query)
+            .map_err(QueryError::Parse)?;
         let mut engine = QueryEngine::with_index(
             &self.store,
             &self.values,
@@ -285,7 +338,17 @@ impl SecureXmlDb {
             &self.tag_index,
         );
         engine.set_value_index(&self.value_index);
-        Ok(engine.execute(query, security)?)
+        Ok(engine.execute_plan(&plan, security)?)
+    }
+
+    /// A cheap snapshot handle for concurrent read-only serving: shares the
+    /// store, indexes, and DOL by `Arc`, is stamped with the current update
+    /// epoch, and serves queries through the plan and secure-result caches
+    /// (a warm result hit does zero page I/O). Readers overtaken by an
+    /// update fail fast with [`DbError::StaleReader`] rather than return a
+    /// mixed-epoch answer; take a fresh reader and retry.
+    pub fn reader(&self) -> DbReader {
+        DbReader::new(self)
     }
 
     /// Whether `subject` may access the node at `pos`.
@@ -303,7 +366,11 @@ impl SecureXmlDb {
         if pos >= self.store.total_nodes() {
             return Err(DbError::InvalidNode(pos));
         }
-        self.run_txn(|db| Ok(db.dol.set_node(&mut db.store, pos, subject, allow)?))
+        self.run_txn(|db| {
+            let dol = Arc::make_mut(&mut db.dol);
+            let store = Arc::make_mut(&mut db.store);
+            Ok(dol.set_node(store, pos, subject, allow)?)
+        })
     }
 
     /// Grants or revokes one subject's access to the whole subtree of the
@@ -319,22 +386,28 @@ impl SecureXmlDb {
         }
         let size = self.store.node(pos)?.size as u64;
         self.run_txn(|db| {
-            Ok(db
-                .dol
-                .set_subtree(&mut db.store, pos, pos + size, subject, allow)?)
+            let dol = Arc::make_mut(&mut db.dol);
+            let store = Arc::make_mut(&mut db.store);
+            Ok(dol.set_subtree(store, pos, pos + size, subject, allow)?)
         })
     }
 
     /// Adds a subject, optionally copying an existing subject's rights — a
     /// pure codebook operation (§3.4).
     pub fn add_subject(&mut self, copy_from: Option<SubjectId>) -> Result<SubjectId, DbError> {
-        self.run_txn(|db| Ok(db.dol.codebook_mut().add_subject(copy_from)))
+        self.run_txn(|db| {
+            Ok(Arc::make_mut(&mut db.dol)
+                .codebook_mut()
+                .add_subject(copy_from))
+        })
     }
 
     /// Removes a subject lazily (codebook-only; §3.4).
     pub fn remove_subject(&mut self, subject: SubjectId) -> Result<(), DbError> {
         self.run_txn(|db| {
-            db.dol.codebook_mut().remove_subject(subject);
+            Arc::make_mut(&mut db.dol)
+                .codebook_mut()
+                .remove_subject(subject);
             Ok(())
         })
     }
@@ -343,14 +416,22 @@ impl SecureXmlDb {
     /// codebook and rewrites the embedded codes in one pass. Subject ids
     /// shift (removed columns disappear), so callers must re-derive ids.
     pub fn compact_subjects(&mut self) -> Result<(), DbError> {
-        self.run_txn(|db| Ok(db.dol.compact_subjects(&mut db.store)?))
+        self.run_txn(|db| {
+            let dol = Arc::make_mut(&mut db.dol);
+            let store = Arc::make_mut(&mut db.store);
+            Ok(dol.compact_subjects(store)?)
+        })
     }
 
     /// Creates a virtual subject whose rights are the union of the given
     /// subjects' rights (paper §4: a user's rights are her own plus those of
     /// her groups). Queries then run under the returned id. Codebook-only.
     pub fn create_union_view(&mut self, subjects: &[SubjectId]) -> Result<SubjectId, DbError> {
-        self.run_txn(|db| Ok(db.dol.codebook_mut().add_subject_union(subjects)))
+        self.run_txn(|db| {
+            Ok(Arc::make_mut(&mut db.dol)
+                .codebook_mut()
+                .add_subject_union(subjects))
+        })
     }
 
     /// Creates a union view for `user` from a subject catalog: the user's
@@ -372,14 +453,16 @@ impl SecureXmlDb {
         }
         let size = self.store.node(pos)?.size as u64;
         self.run_txn(|db| {
-            db.store.delete_run(pos, pos + size)?;
-            db.values.remove_range(pos, pos + size);
-            db.values.shift_positions(pos + size, -(size as i64));
-            db.doc
-                .delete_subtree(NodeId(pos as u32))
+            let store = Arc::make_mut(&mut db.store);
+            let values = Arc::make_mut(&mut db.values);
+            let doc = Arc::make_mut(&mut db.doc);
+            store.delete_run(pos, pos + size)?;
+            values.remove_range(pos, pos + size);
+            values.shift_positions(pos + size, -(size as i64));
+            doc.delete_subtree(NodeId(pos as u32))
                 .map_err(|_| DbError::InvalidNode(pos))?;
-            db.tag_index = build_tag_index(&db.store)?;
-            db.value_index = build_value_index(&db.store, &db.values)?;
+            db.tag_index = Arc::new(build_tag_index(&db.store)?);
+            db.value_index = Arc::new(build_value_index(&db.store, &db.values)?);
             Ok(())
         })
     }
@@ -394,15 +477,18 @@ impl SecureXmlDb {
             return Err(DbError::InvalidNode(parent_pos));
         }
         self.run_txn(|db| {
-            let parent_rec = db.store.node(parent_pos)?;
+            let store = Arc::make_mut(&mut db.store);
+            let values = Arc::make_mut(&mut db.values);
+            let doc = Arc::make_mut(&mut db.doc);
+            let parent_rec = store.node(parent_pos)?;
             let at = parent_pos + parent_rec.size as u64;
-            let code = db.store.code_at(at - 1)?;
+            let code = store.code_at(at - 1)?;
             // Encode the subtree (tags interned into the master document).
             let mut items = Vec::with_capacity(subtree.len());
             for id in subtree.preorder() {
                 let n = subtree.node(id);
                 items.push(BulkItem {
-                    tag: db.doc.tags_mut().intern(subtree.tags().name(n.tag)),
+                    tag: doc.tags_mut().intern(subtree.tags().name(n.tag)),
                     size: n.size,
                     depth: n.depth + parent_rec.depth + 1,
                     has_value: n.value.is_some(),
@@ -410,21 +496,20 @@ impl SecureXmlDb {
                     is_transition: false,
                 });
             }
-            let mut ancestors = db.store.ancestors_of(parent_pos)?;
+            let mut ancestors = store.ancestors_of(parent_pos)?;
             ancestors.push(parent_pos);
-            db.store.insert_run(at, &ancestors, &items)?;
+            store.insert_run(at, &ancestors, &items)?;
             // Values: shift the tail, then add the new nodes' values.
-            db.values.shift_positions(at, subtree.len() as i64);
+            values.shift_positions(at, subtree.len() as i64);
             for id in subtree.preorder() {
                 if let Some(v) = &subtree.node(id).value {
-                    db.values.put(at + u64::from(id.0), v)?;
+                    values.put(at + u64::from(id.0), v)?;
                 }
             }
-            db.doc
-                .insert_subtree(NodeId(parent_pos as u32), None, subtree)
+            doc.insert_subtree(NodeId(parent_pos as u32), None, subtree)
                 .map_err(|_| DbError::InvalidNode(parent_pos))?;
-            db.tag_index = build_tag_index(&db.store)?;
-            db.value_index = build_value_index(&db.store, &db.values)?;
+            db.tag_index = Arc::new(build_tag_index(&db.store)?);
+            db.value_index = Arc::new(build_value_index(&db.store, &db.values)?);
             Ok(at)
         })
     }
@@ -443,24 +528,26 @@ impl SecureXmlDb {
             return Err(DbError::InvalidNode(new_parent_pos)); // own descendant
         }
         self.run_txn(|db| {
+            let store = Arc::make_mut(&mut db.store);
+            let vals = Arc::make_mut(&mut db.values);
+            let doc = Arc::make_mut(&mut db.doc);
             // Capture the subtree: structure from the master document,
             // per-node codes from the embedded runs.
-            let sub = db.doc.copy_subtree(NodeId(pos as u32));
-            let runs = db.store.runs_in(pos, pos + size)?;
+            let sub = doc.copy_subtree(NodeId(pos as u32));
+            let runs = store.runs_in(pos, pos + size)?;
             let code_at = |p: u64| -> u32 {
                 let i = runs.partition_point(|&(q, _)| q <= p) - 1;
                 runs[i].1
             };
             let values: Vec<(u64, Option<String>)> = (pos..pos + size)
-                .map(|p| Ok((p - pos, db.values.get(p)?)))
+                .map(|p| Ok((p - pos, vals.get(p)?)))
                 .collect::<Result<_, StorageError>>()?;
 
             // Remove at the old location.
-            db.store.delete_run(pos, pos + size)?;
-            db.values.remove_range(pos, pos + size);
-            db.values.shift_positions(pos + size, -(size as i64));
-            db.doc
-                .delete_subtree(NodeId(pos as u32))
+            store.delete_run(pos, pos + size)?;
+            vals.remove_range(pos, pos + size);
+            vals.shift_positions(pos + size, -(size as i64));
+            doc.delete_subtree(NodeId(pos as u32))
                 .map_err(|_| DbError::InvalidNode(pos))?;
 
             // Re-anchor at the new parent (position shifts if it was after
@@ -470,7 +557,7 @@ impl SecureXmlDb {
             } else {
                 new_parent_pos
             };
-            let parent_rec = db.store.node(parent)?;
+            let parent_rec = store.node(parent)?;
             let at = parent + parent_rec.size as u64;
             let mut prev_code: Option<u32> = None;
             let items: Vec<BulkItem> = sub
@@ -481,7 +568,7 @@ impl SecureXmlDb {
                     let is_transition = prev_code != Some(code);
                     prev_code = Some(code);
                     BulkItem {
-                        tag: db.doc.tags_mut().intern(sub.tags().name(n.tag)),
+                        tag: doc.tags_mut().intern(sub.tags().name(n.tag)),
                         size: n.size,
                         depth: n.depth + parent_rec.depth + 1,
                         has_value: n.value.is_some(),
@@ -490,20 +577,19 @@ impl SecureXmlDb {
                     }
                 })
                 .collect();
-            let mut ancestors = db.store.ancestors_of(parent)?;
+            let mut ancestors = store.ancestors_of(parent)?;
             ancestors.push(parent);
-            db.store.insert_run(at, &ancestors, &items)?;
-            db.values.shift_positions(at, size as i64);
+            store.insert_run(at, &ancestors, &items)?;
+            vals.shift_positions(at, size as i64);
             for (off, v) in values {
                 if let Some(v) = v {
-                    db.values.put(at + off, &v)?;
+                    vals.put(at + off, &v)?;
                 }
             }
-            db.doc
-                .insert_subtree(NodeId(parent as u32), None, &sub)
+            doc.insert_subtree(NodeId(parent as u32), None, &sub)
                 .map_err(|_| DbError::InvalidNode(parent))?;
-            db.tag_index = build_tag_index(&db.store)?;
-            db.value_index = build_value_index(&db.store, &db.values)?;
+            db.tag_index = Arc::new(build_tag_index(&db.store)?);
+            db.value_index = Arc::new(build_value_index(&db.store, &db.values)?);
             Ok(at)
         })
     }
@@ -520,7 +606,7 @@ impl SecureXmlDb {
         }
         // Copy the document, delete inaccessible subtrees (shallowest first;
         // re-resolve positions after each deletion since ids shift).
-        let mut pruned = self.doc.clone();
+        let mut pruned = (*self.doc).clone();
         // Collect inaccessible positions against the *original* numbering.
         let mut doomed: Vec<u64> = Vec::new();
         let mut pos = 0u64;
@@ -551,6 +637,17 @@ impl SecureXmlDb {
     /// Buffer-pool I/O counters.
     pub fn io_stats(&self) -> IoStats {
         self.pool.stats()
+    }
+
+    /// The current update epoch (starts at 0, bumped by every update
+    /// transaction — successful or not).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Hit/miss counters of the shared plan and secure-result caches.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.caches.stats()
     }
 
     /// Resets the I/O counters (e.g. between measured queries).

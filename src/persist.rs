@@ -339,7 +339,8 @@ impl SecureXmlDb {
             // updates through it would log pages that mean nothing in the
             // compacted image. Queries stay valid (the old file handle
             // survives the rename); updates require a reopen.
-            self.poisoned.store(true, std::sync::atomic::Ordering::Release);
+            self.poisoned
+                .store(true, std::sync::atomic::Ordering::Release);
         }
         Ok(())
     }
@@ -429,13 +430,15 @@ impl SecureXmlDb {
         let value_index = build_value_index(&store, &values)?;
         pool.attach_wal(wal);
         Ok(SecureXmlDb {
-            doc,
-            store,
-            values,
-            dol: EmbeddedDol::from_codebook(meta.codebook),
-            tag_index,
-            value_index,
+            doc: Arc::new(doc),
+            store: Arc::new(store),
+            values: Arc::new(values),
+            dol: Arc::new(EmbeddedDol::from_codebook(meta.codebook)),
+            tag_index: Arc::new(tag_index),
+            value_index: Arc::new(value_index),
             pool,
+            epoch: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            caches: Arc::new(crate::reader::QueryCaches::default()),
             persistent: true,
             image_path: None,
             poisoned: std::sync::atomic::AtomicBool::new(false),

@@ -1,0 +1,402 @@
+//! Snapshot readers: cheap, concurrently usable query handles over a
+//! [`SecureXmlDb`], with plan and secure-result caching.
+//!
+//! A [`DbReader`] is a clone of the database's `Arc`-shared read-side state
+//! (master document, block-store mirror, value store, embedded DOL, tag and
+//! value indexes) stamped with the **update epoch** at creation time.
+//! Readers execute queries without taking the database handle at all, so any
+//! number of them can run on separate threads while the owner keeps the
+//! `&mut self` update API to itself.
+//!
+//! The epoch protocol keeps overtaken readers honest. Every update
+//! transaction bumps the epoch *before* touching any page; a reader verifies
+//! the epoch both before and after executing a query and fails with
+//! [`DbError::StaleReader`] instead of returning an answer that might mix
+//! pre- and post-update pages. The window is torn-*set*, never torn-*page*:
+//! individual pages only change under the buffer pool's exclusive latch, so
+//! a racing reader sees each page whole — the end-of-query check exists
+//! because a query spans many pages and two epochs' worth of them do not
+//! form a snapshot.
+//!
+//! Two caches ride along, shared by the database handle and every reader:
+//!
+//! * the **plan cache** interns `query string → compiled plan` (epoch-
+//!   independent: plans mention tags and axes, never data);
+//! * the **secure result cache** maps `(query, security mode, epoch,
+//!   codebook version) → result`. A warm hit returns the cached matches
+//!   with **zero page I/O** — the key's epoch and codebook-version stamps
+//!   prove the cached answer is still the answer, so not even a §3.3
+//!   header probe is needed. Updates invalidate wholesale by bumping the
+//!   epoch (every key dies at once); codebook-only changes such as
+//!   [`SecureXmlDb::add_subject`] are additionally fenced by the codebook
+//!   version stamp carried from PR 1.
+//!
+//! [`SecureXmlDb::query`] deliberately bypasses the result cache (the
+//! fail-closed fault tests re-run identical queries expecting *different*
+//! answers as disk faults arm and disarm); only readers serve cached
+//! results.
+
+use crate::{DbError, SecureXmlDb};
+use dol_core::EmbeddedDol;
+use dol_nok::{LruCache, PlanCache, QueryEngine, QueryError, QueryResult, Security};
+use dol_storage::{BPlusTree, IoStats, StructStore, ValueStore};
+use dol_xml::{Document, TagId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What makes a cached secure result reusable: the exact query text, the
+/// security mode (subject and semantics), the update epoch, and the codebook
+/// version. If all four match, the database cannot have changed in any way
+/// the query could observe.
+type ResultKey = (String, Security, u64, u64);
+
+/// Plan- and result-cache capacities. The serve mix has a handful of hot
+/// queries per subject; these bounds are generous for that shape while
+/// keeping the O(n) LRU victim scans trivial.
+const PLAN_CACHE_CAPACITY: usize = 64;
+const RESULT_CACHE_CAPACITY: usize = 1024;
+
+/// The caches shared between a [`SecureXmlDb`] and all its readers.
+pub(crate) struct QueryCaches {
+    plans: PlanCache,
+    results: LruCache<ResultKey, Arc<QueryResult>>,
+}
+
+impl Default for QueryCaches {
+    fn default() -> Self {
+        Self {
+            plans: PlanCache::new(PLAN_CACHE_CAPACITY),
+            results: LruCache::new(RESULT_CACHE_CAPACITY),
+        }
+    }
+}
+
+impl QueryCaches {
+    pub(crate) fn plans(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// Drops every cached result. Called on each epoch bump: the keys carry
+    /// the epoch so the entries are already unreachable — clearing just
+    /// stops the LRU from nursing dead weight.
+    pub(crate) fn invalidate_results(&self) {
+        self.results.clear();
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            plan_hits: self.plans.hits(),
+            plan_misses: self.plans.misses(),
+            result_hits: self.results.hits(),
+            result_misses: self.results.misses(),
+        }
+    }
+}
+
+/// Hit/miss counters of the shared plan and secure-result caches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries whose compiled plan was already cached.
+    pub plan_hits: u64,
+    /// Queries that had to be parsed and planned.
+    pub plan_misses: u64,
+    /// Reader queries answered from the result cache (zero page I/O).
+    pub result_hits: u64,
+    /// Reader queries that executed against the pages.
+    pub result_misses: u64,
+}
+
+/// A snapshot read handle created by [`SecureXmlDb::reader`].
+///
+/// Cloning the handle is cheap (seven `Arc` bumps) and stamps nothing new:
+/// clones share the original's epoch stamp. Readers are `Send`, so the
+/// usual serving shape is one reader per client thread, re-created whenever
+/// a query fails with [`DbError::StaleReader`].
+pub struct DbReader {
+    doc: Arc<Document>,
+    store: Arc<StructStore>,
+    values: Arc<ValueStore>,
+    dol: Arc<EmbeddedDol>,
+    tag_index: Arc<BPlusTree<TagId, Vec<u64>>>,
+    value_index: Arc<BPlusTree<(TagId, u64), Vec<u64>>>,
+    epoch: Arc<AtomicU64>,
+    caches: Arc<QueryCaches>,
+    /// The update epoch this snapshot was taken at.
+    seen: u64,
+    /// The codebook version at snapshot time (part of every result key).
+    codebook_version: u64,
+}
+
+impl Clone for DbReader {
+    fn clone(&self) -> Self {
+        Self {
+            doc: Arc::clone(&self.doc),
+            store: Arc::clone(&self.store),
+            values: Arc::clone(&self.values),
+            dol: Arc::clone(&self.dol),
+            tag_index: Arc::clone(&self.tag_index),
+            value_index: Arc::clone(&self.value_index),
+            epoch: Arc::clone(&self.epoch),
+            caches: Arc::clone(&self.caches),
+            seen: self.seen,
+            codebook_version: self.codebook_version,
+        }
+    }
+}
+
+impl DbReader {
+    pub(crate) fn new(db: &SecureXmlDb) -> Self {
+        Self {
+            doc: Arc::clone(&db.doc),
+            store: Arc::clone(&db.store),
+            values: Arc::clone(&db.values),
+            dol: Arc::clone(&db.dol),
+            tag_index: Arc::clone(&db.tag_index),
+            value_index: Arc::clone(&db.value_index),
+            epoch: Arc::clone(&db.epoch),
+            caches: Arc::clone(&db.caches),
+            seen: db.epoch.load(Ordering::SeqCst),
+            codebook_version: db.dol.codebook().version(),
+        }
+    }
+
+    /// The update epoch this snapshot was stamped with.
+    pub fn epoch(&self) -> u64 {
+        self.seen
+    }
+
+    /// Whether an update has overtaken this snapshot (every further query
+    /// will fail with [`DbError::StaleReader`]).
+    pub fn is_stale(&self) -> bool {
+        self.epoch.load(Ordering::SeqCst) != self.seen
+    }
+
+    fn check_fresh(&self) -> Result<(), DbError> {
+        let now = self.epoch.load(Ordering::SeqCst);
+        if now != self.seen {
+            return Err(DbError::StaleReader {
+                seen: self.seen,
+                now,
+            });
+        }
+        Ok(())
+    }
+
+    /// Evaluates a twig query under the given [`Security`] mode against this
+    /// snapshot.
+    ///
+    /// A warm result-cache hit performs **zero page I/O** (the returned
+    /// statistics report an all-zero [`IoStats`] and zero elapsed time for
+    /// the call). On a miss the query executes normally and the result is
+    /// cached — but only after a second epoch check proves the whole
+    /// execution fit inside one epoch; results overtaken mid-flight are
+    /// discarded and reported as [`DbError::StaleReader`].
+    pub fn query(&self, query: &str, security: Security) -> Result<QueryResult, DbError> {
+        self.check_fresh()?;
+        let key: ResultKey = (query.to_owned(), security, self.seen, self.codebook_version);
+        if let Some(hit) = self.caches.results.get(&key) {
+            let mut result = (*hit).clone();
+            result.stats.io = IoStats::default();
+            result.stats.elapsed = Duration::ZERO;
+            return Ok(result);
+        }
+        let plan = self
+            .caches
+            .plans
+            .get_or_parse(query)
+            .map_err(QueryError::Parse)?;
+        let mut engine = QueryEngine::with_index(
+            &self.store,
+            &self.values,
+            self.doc.tags(),
+            Some(&self.dol),
+            &self.tag_index,
+        );
+        engine.set_value_index(&self.value_index);
+        let result = engine.execute_plan(&plan, security)?;
+        // Cache (and return) only results computed entirely inside one
+        // epoch; anything else may mix pre- and post-update pages.
+        self.check_fresh()?;
+        self.caches.results.insert(key, Arc::new(result.clone()));
+        Ok(result)
+    }
+
+    /// Whether `subject` may access the node at `pos` in this snapshot.
+    pub fn accessible(&self, pos: u64, subject: dol_acl::SubjectId) -> Result<bool, DbError> {
+        self.check_fresh()?;
+        let ok = self.dol.accessible(&self.store, pos, subject)?;
+        self.check_fresh()?;
+        Ok(ok)
+    }
+
+    /// Fetches the value of the node at `pos` in this snapshot.
+    pub fn value(&self, pos: u64) -> Result<Option<String>, DbError> {
+        self.check_fresh()?;
+        let v = self.values.get(pos)?;
+        self.check_fresh()?;
+        Ok(v)
+    }
+
+    /// The snapshot's master document.
+    pub fn document(&self) -> &Document {
+        &self.doc
+    }
+
+    /// Number of nodes in the snapshot.
+    pub fn len(&self) -> usize {
+        self.store.total_nodes() as usize
+    }
+
+    /// A snapshot is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Hit/miss counters of the shared caches (same counters as
+    /// [`SecureXmlDb::cache_stats`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.caches.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dol_acl::{AccessibilityMap, SubjectId};
+    use dol_xml::NodeId;
+
+    fn two_subject_db() -> SecureXmlDb {
+        let xml = "<a><b><c>v1</c></b><d><e>v2</e><f/></d></a>";
+        let doc = dol_xml::parse(xml).unwrap();
+        let mut map = AccessibilityMap::new(2, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        for p in [0u32, 3, 4, 5] {
+            map.set(SubjectId(1), NodeId(p), true);
+        }
+        SecureXmlDb::from_document(doc, &map).unwrap()
+    }
+
+    #[test]
+    fn warm_result_hit_does_zero_page_io() {
+        let db = two_subject_db();
+        let r = db.reader();
+        let sec = Security::BindingLevel(SubjectId(0));
+        let cold = r.query("//d/e", sec).unwrap();
+        assert_eq!(cold.matches, vec![4]);
+        assert!(
+            cold.stats.io.logical_reads > 0,
+            "cold query must touch pages"
+        );
+
+        let before = db.io_stats();
+        let warm = r.query("//d/e", sec).unwrap();
+        let delta = db.io_stats().since(&before);
+        assert_eq!(warm.matches, cold.matches);
+        assert_eq!(delta.logical_reads, 0, "warm hit must not read pages");
+        assert_eq!(delta.physical_reads, 0);
+        assert_eq!(warm.stats.io, IoStats::default());
+        assert_eq!(r.cache_stats().result_hits, 1);
+    }
+
+    #[test]
+    fn result_cache_is_keyed_by_security_mode() {
+        let db = two_subject_db();
+        let r = db.reader();
+        // Same query, different subjects: subject 1 cannot see //b/c.
+        let open = r
+            .query("//b/c", Security::BindingLevel(SubjectId(0)))
+            .unwrap();
+        let shut = r
+            .query("//b/c", Security::BindingLevel(SubjectId(1)))
+            .unwrap();
+        assert_eq!(open.matches, vec![2]);
+        assert_eq!(shut.matches, Vec::<u64>::new());
+        // Warm re-reads stay per-subject.
+        assert_eq!(
+            r.query("//b/c", Security::BindingLevel(SubjectId(1)))
+                .unwrap()
+                .matches,
+            Vec::<u64>::new()
+        );
+    }
+
+    #[test]
+    fn overtaken_reader_fails_fast_with_stale_reader() {
+        let mut db = two_subject_db();
+        let r = db.reader();
+        assert_eq!(r.epoch(), 0);
+        assert!(!r.is_stale());
+        db.set_subtree_access(1, SubjectId(1), true).unwrap();
+        assert!(r.is_stale());
+        match r.query("//b/c", Security::BindingLevel(SubjectId(1))) {
+            Err(DbError::StaleReader { seen: 0, now: 1 }) => {}
+            other => panic!("expected StaleReader, got {other:?}"),
+        }
+        // A fresh reader sees the update.
+        let r2 = db.reader();
+        assert_eq!(r2.epoch(), 1);
+        assert_eq!(
+            r2.query("//b/c", Security::BindingLevel(SubjectId(1)))
+                .unwrap()
+                .matches,
+            vec![2]
+        );
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_cached_results() {
+        let mut db = two_subject_db();
+        let sec = Security::BindingLevel(SubjectId(1));
+        let r = db.reader();
+        assert_eq!(r.query("//d/e", sec).unwrap().matches, vec![4]);
+        // Revoke access to e; the old reader is stale, and a new reader
+        // must re-execute (not serve the epoch-0 cached answer).
+        db.set_node_access(4, SubjectId(1), false).unwrap();
+        let r2 = db.reader();
+        assert_eq!(r2.query("//d/e", sec).unwrap().matches, Vec::<u64>::new());
+    }
+
+    #[test]
+    fn codebook_only_updates_also_fence_the_cache() {
+        let mut db = two_subject_db();
+        let r = db.reader();
+        let _ = r
+            .query("//d/e", Security::BindingLevel(SubjectId(1)))
+            .unwrap();
+        // add_subject is codebook-only but still bumps the epoch.
+        let s2 = db.add_subject(Some(SubjectId(0))).unwrap();
+        assert!(r.is_stale());
+        let r2 = db.reader();
+        assert_eq!(
+            r2.query("//b/c", Security::BindingLevel(s2))
+                .unwrap()
+                .matches,
+            vec![2]
+        );
+    }
+
+    #[test]
+    fn readers_share_the_plan_cache_with_the_handle() {
+        let db = two_subject_db();
+        let _ = db.query("//d/e", Security::None).unwrap();
+        let r = db.reader();
+        let _ = r.query("//d/e", Security::None).unwrap();
+        let stats = db.cache_stats();
+        assert_eq!(stats.plan_misses, 1, "one parse for both paths");
+        assert_eq!(stats.plan_hits, 1);
+    }
+
+    #[test]
+    fn cloned_readers_share_the_snapshot() {
+        let db = two_subject_db();
+        let r = db.reader();
+        let r2 = r.clone();
+        assert_eq!(r2.epoch(), r.epoch());
+        assert_eq!(r2.len(), 6);
+        assert_eq!(r2.value(2).unwrap().as_deref(), Some("v1"));
+        assert!(r2.accessible(4, SubjectId(1)).unwrap());
+    }
+}

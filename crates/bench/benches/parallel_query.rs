@@ -24,13 +24,13 @@ fn parallel_query(c: &mut Criterion) {
                 ..ExecOptions::default()
             };
             let res = engine
-                .execute_plan_opts(&plan, Security::BindingLevel(SUBJECT), opts)
+                .execute_plan_opts(&plan, Security::BindingLevel(SUBJECT), opts.clone())
                 .unwrap();
             assert_eq!(res.matches, baseline, "{qid}: answers diverged");
             g.bench_with_input(BenchmarkId::new("eNoK", workers), &workers, |b, _| {
                 b.iter(|| {
                     engine
-                        .execute_plan_opts(&plan, Security::BindingLevel(SUBJECT), opts)
+                        .execute_plan_opts(&plan, Security::BindingLevel(SUBJECT), opts.clone())
                         .unwrap()
                         .matches
                         .len()
@@ -39,7 +39,7 @@ fn parallel_query(c: &mut Criterion) {
             g.bench_with_input(BenchmarkId::new("NoK", workers), &workers, |b, _| {
                 b.iter(|| {
                     engine
-                        .execute_plan_opts(&plan, Security::None, opts)
+                        .execute_plan_opts(&plan, Security::None, opts.clone())
                         .unwrap()
                         .matches
                         .len()

@@ -47,6 +47,8 @@ pub fn run(effort: Effort, seed: u64) {
             "silent",
             "transient",
             "retries",
+            "backoffs",
+            "breaker trips",
         ],
     );
     let mut sweep = Table::new(
@@ -166,6 +168,12 @@ fn audit_row(name: &str, db: &BenchDb, fault: &FaultDisk) -> Vec<String> {
             .load(Ordering::Relaxed)
             .to_string(),
         io.read_retries.to_string(),
+        io.backoffs.to_string(),
+        // The audit runs under the default policy (breaker disabled), so a
+        // deterministic fault schedule keeps its exact per-page retry
+        // sequence; the column proves the counter stays quiet here (the
+        // soak experiment exercises the tripping path).
+        io.breaker_trips.to_string(),
     ]
 }
 

@@ -22,6 +22,7 @@
 //! | [`serve`] | multi-client secure-query serving: snapshot readers, caches, shared latches (not a paper artifact) |
 //! | [`faults`] | fault injection: checksum detection, fail-closed semantics, verify overhead (not a paper artifact) |
 //! | [`crash`] | crash-recovery torture: power cut at every physical write point, recovery must land on a state boundary (not a paper artifact) |
+//! | [`soak`] | combined chaos soak: brownouts, power cuts, deadlines, in-process recovery under a live serving mix (not a paper artifact) |
 
 pub mod ablation;
 pub mod crash;
@@ -34,6 +35,7 @@ pub mod parallel;
 pub mod queries;
 pub mod serve;
 pub mod setup;
+pub mod soak;
 pub mod storage;
 pub mod table;
 pub mod updates;

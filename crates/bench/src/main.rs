@@ -2,20 +2,23 @@
 //!
 //! ```text
 //! experiments [--quick|--full] [--parallelism=N] [--seed=N] [--clients=N] [--smoke]
-//!             [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates parallel faults crash serve | all]
+//!             [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates parallel faults crash serve soak | all]
 //! ```
 //!
 //! `--parallelism=N` caps the worker sweep of the `parallel` experiment
 //! (`0` = all available cores, the default). `--seed=N` re-seeds the
-//! `faults`, `crash`, and `serve` experiments' deterministic schedules.
-//! `--clients=N` caps the `serve` experiment's client sweep, and `--smoke`
-//! makes `serve` run a small pinned configuration that asserts determinism,
-//! zero oracle divergences, zero stale-read errors, and a >90% shared-latch
-//! ratio (the CI gate).
+//! `faults`, `crash`, `serve`, and `soak` experiments' deterministic
+//! schedules. `--clients=N` caps the `serve` experiment's client sweep, and
+//! `--smoke` makes `serve` run a small pinned configuration that asserts
+//! determinism, zero oracle divergences, zero stale-read errors, and a >90%
+//! shared-latch ratio, and shrinks the `soak` chaos schedule to CI size
+//! (its gates — zero wrong answers, zero unrecovered poison windows,
+//! breaker trip/probe and deadline-abort coverage — are asserted in every
+//! mode).
 
 use dol_bench::{
-    ablation, crash, faults, fig4, fig56, fig7, fig8, parallel, queries, serve, storage, updates,
-    Effort,
+    ablation, crash, faults, fig4, fig56, fig7, fig8, parallel, queries, serve, soak, storage,
+    updates, Effort,
 };
 
 fn main() {
@@ -68,6 +71,7 @@ fn main() {
             "faults".into(),
             "crash".into(),
             "serve".into(),
+            "soak".into(),
         ];
     }
     println!(
@@ -97,6 +101,7 @@ fn main() {
             "faults" => faults::run(effort, seed),
             "crash" => crash::run(effort, seed),
             "serve" => serve::run(effort, seed, clients, smoke),
+            "soak" => soak::run(effort, seed, smoke),
             other => eprintln!("unknown experiment `{other}` (skipped)"),
         }
     }

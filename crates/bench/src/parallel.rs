@@ -23,7 +23,7 @@ fn best_time(
     for _ in 0..reps {
         let start = Instant::now();
         let res = engine
-            .execute_plan_opts(plan, Security::BindingLevel(SUBJECT), opts)
+            .execute_plan_opts(plan, Security::BindingLevel(SUBJECT), opts.clone())
             .expect("query");
         let t = start.elapsed();
         if t < best {

@@ -45,10 +45,11 @@ pub const DEFAULT_SEED: u64 = 20050405;
 const SUBJECTS: usize = 4;
 /// Zipf exponent of the query-mix weights.
 const ZIPF_EXPONENT: f64 = 1.0;
-/// Per-operation bound on stale-reader retries before the client gives up
-/// and counts a stale-read *error* (never hit in practice: the writer is
+/// Per-operation bound on stale-reader retries before
+/// [`secure_xml::DbReader::query_with_retry`] gives up and the client
+/// counts a stale-read *error* (never hit in practice: the writer is
 /// finite, so some retry always lands in a quiet epoch).
-const MAX_STALE_RETRIES: usize = 1000;
+const MAX_STALE_RETRIES: u32 = 1000;
 
 /// One serving mix configuration.
 struct MixConfig {
@@ -76,6 +77,10 @@ struct MixReport {
     stale_retries: u64,
     stale_errors: u64,
     divergences: u64,
+    /// Queries aborted by a deadline or cancellation during the mix (the
+    /// serving mix sets no deadlines, so a nonzero value means the counter
+    /// plumbing leaked from somewhere else).
+    deadline_aborts: u64,
     fingerprint: u64,
 }
 
@@ -86,6 +91,15 @@ impl MixReport {
             return 1.0; // no page access at all (fully cache-served)
         }
         self.shared_reads as f64 / total as f64
+    }
+
+    /// Fraction of query operations that produced an answer (the rest
+    /// exhausted the stale-retry budget).
+    fn availability(&self) -> f64 {
+        if self.queries == 0 {
+            return 1.0;
+        }
+        (self.queries - self.stale_errors) as f64 / self.queries as f64
     }
 }
 
@@ -170,6 +184,7 @@ fn cache_delta(after: CacheStats, before: CacheStats) -> CacheStats {
         plan_misses: after.plan_misses - before.plan_misses,
         result_hits: after.result_hits - before.result_hits,
         result_misses: after.result_misses - before.result_misses,
+        deadline_aborts: after.deadline_aborts - before.deadline_aborts,
     }
 }
 
@@ -235,6 +250,7 @@ fn run_mix(
         stale_retries: outcomes.iter().map(|o| o.stale_retries).sum(),
         stale_errors: outcomes.iter().map(|o| o.stale_errors).sum(),
         divergences: outcomes.iter().map(|o| o.divergences).sum(),
+        deadline_aborts: caches.deadline_aborts,
         // Order-independent across clients: XOR of per-client streams.
         fingerprint: outcomes.iter().fold(0, |h, o| h ^ o.fingerprint),
     }
@@ -273,22 +289,23 @@ fn run_client(
         let key = draw_op(&mut rng, cum);
         let security = security_of(key);
         let t0 = Instant::now();
-        let mut retries = 0usize;
-        let result = loop {
-            match reader.query(TABLE1[key.0].1, security) {
-                Ok(r) => break Some(r),
+        // The stale-retry loop lives in the library now: `query_with_retry`
+        // re-snapshots on `StaleReader` up to the budget. The refresh
+        // closure runs exactly once per retry, so counting is free.
+        let mut retries = 0u64;
+        let result =
+            match reader.query_with_retry(TABLE1[key.0].1, security, MAX_STALE_RETRIES, || {
+                retries += 1;
+                db.read().expect("db lock").reader()
+            }) {
+                Ok(r) => Some(r),
                 Err(DbError::StaleReader { .. }) => {
-                    out.stale_retries += 1;
-                    retries += 1;
-                    if retries > MAX_STALE_RETRIES {
-                        out.stale_errors += 1;
-                        break None;
-                    }
-                    reader = db.read().expect("db lock").reader();
+                    out.stale_errors += 1;
+                    None
                 }
                 Err(e) => panic!("client {client} query failed: {e}"),
-            }
-        };
+            };
+        out.stale_retries += retries;
         out.latencies_ns.push(t0.elapsed().as_nanos() as u64);
         out.queries += 1;
         let Some(result) = result else { continue };
@@ -322,7 +339,8 @@ fn json_object(r: &MixReport) -> String {
          \"qps\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \
          \"plan_hit_rate\": {:.4}, \"result_hit_rate\": {:.4}, \
          \"shared_reads\": {}, \"exclusive_fallbacks\": {}, \"shared_ratio\": {:.4}, \
-         \"stale_retries\": {}, \"stale_errors\": {}, \"divergences\": {}, \
+         \"stale_retries\": {}, \"stale_errors\": {}, \"availability\": {:.4}, \
+         \"deadline_aborts\": {}, \"divergences\": {}, \
          \"fingerprint\": \"{:#018x}\"}}",
         r.clients,
         r.read_only,
@@ -338,6 +356,8 @@ fn json_object(r: &MixReport) -> String {
         r.shared_ratio(),
         r.stale_retries,
         r.stale_errors,
+        r.availability(),
+        r.deadline_aborts,
         r.divergences,
         r.fingerprint,
     )
@@ -428,6 +448,8 @@ pub fn run(effort: Effort, seed: u64, max_clients: usize, smoke: bool) {
             "plan hits",
             "shared latch",
             "stale retries",
+            "avail",
+            "deadline aborts",
             "divergences",
         ],
     );
@@ -494,6 +516,15 @@ pub fn run(effort: Effort, seed: u64, max_clients: usize, smoke: bool) {
                 r.stale_errors, 0,
                 "stale-read errors escaped the retry loop"
             );
+            assert_eq!(
+                r.availability(),
+                1.0,
+                "a serving mix left queries unanswered"
+            );
+            assert_eq!(
+                r.deadline_aborts, 0,
+                "the deadline-abort counter moved in a mix that sets no deadlines"
+            );
             if r.read_only {
                 assert_eq!(r.stale_retries, 0, "read-only mix saw a stale reader");
                 assert_eq!(r.divergences, 0, "reader answers diverged from the oracle");
@@ -527,6 +558,8 @@ fn push_row(t: &mut Table, r: &MixReport) {
         pct(r.plan_hit_rate),
         pct(r.shared_ratio()),
         r.stale_retries.to_string(),
+        pct(r.availability()),
+        r.deadline_aborts.to_string(),
         r.divergences.to_string(),
     ]);
 }

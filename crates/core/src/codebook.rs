@@ -229,7 +229,7 @@ impl Codebook {
     pub fn from_bytes(bytes: &[u8]) -> Result<Codebook, String> {
         let take_u32 = |b: &[u8], off: usize| -> Result<u32, String> {
             b.get(off..off + 4)
-                .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+                .map(|s| u32::from_le_bytes(s.try_into().expect("4-byte slice")))
                 .ok_or_else(|| "codebook blob truncated".to_string())
         };
         let width = take_u32(bytes, 0)? as usize;
@@ -241,7 +241,7 @@ impl Codebook {
                 let w_off = off + (i / 64) * 8;
                 let word = bytes
                     .get(w_off..w_off + 8)
-                    .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+                    .map(|s| u64::from_le_bytes(s.try_into().expect("8-byte slice")))
                     .ok_or("codebook blob truncated")?;
                 if word >> (i % 64) & 1 == 1 {
                     v.set(i, true);

@@ -63,7 +63,15 @@ impl Clone for EmbeddedDol {
     fn clone(&self) -> Self {
         Self {
             codebook: self.codebook.clone(),
-            column_cache: Mutex::new(self.column_cache.lock().unwrap().clone()),
+            // A poisoned cache lock only means a panic mid-insert; the map
+            // itself is always valid, so recover the guard rather than
+            // propagate the poison.
+            column_cache: Mutex::new(
+                self.column_cache
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .clone(),
+            ),
         }
     }
 }
@@ -103,7 +111,7 @@ impl EmbeddedDol {
     /// clone, so per-query (or per-worker) holders pay the cache lock once
     /// and then check codes with a single shift-and-mask.
     pub fn column(&self, subject: SubjectId) -> Arc<SubjectColumn> {
-        let mut cache = self.column_cache.lock().unwrap();
+        let mut cache = self.column_cache.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(col) = cache.get(&subject) {
             if col.matches(&self.codebook, subject) {
                 return Arc::clone(col);

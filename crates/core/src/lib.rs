@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// The DOL is what secure answers are decided from: production code must
+// propagate typed errors, never unwrap them. Tests may unwrap freely.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 //! **Document Ordered Labeling (DOL)** — the paper's contribution.
 //!

@@ -1,13 +1,13 @@
 //! The query engine: candidates → fragment matches → joins → answers.
 
 use crate::join::{stack_tree_desc, VisibilityChecker};
-use crate::matcher::{Binding, FragmentMatcher, MatchContext};
+use crate::matcher::{is_availability, Binding, FragmentMatcher, MatchContext};
 use crate::plan::QueryPlan;
 use crate::xpath::{parse_query, QueryParseError};
 use dol_acl::SubjectId;
 use dol_core::EmbeddedDol;
 use dol_storage::disk::StorageError;
-use dol_storage::{BPlusTree, IoStats, StructStore, ValueStore};
+use dol_storage::{with_io_deadline, BPlusTree, Deadline, IoStats, StructStore, ValueStore};
 use dol_xml::{TagId, TagInterner};
 use std::borrow::Cow;
 use std::time::{Duration, Instant};
@@ -45,6 +45,10 @@ pub enum QueryError {
     Storage(StorageError),
     /// A secure mode was requested on an engine built without a DOL.
     NoAccessControl,
+    /// The evaluation's [`ExecOptions::deadline`] expired (or was cancelled)
+    /// mid-query. The boxed stats describe the *partial* work done before
+    /// the abort — counters and I/O only, never a partial answer.
+    DeadlineExceeded(Box<ExecStats>),
 }
 
 impl std::fmt::Display for QueryError {
@@ -55,6 +59,11 @@ impl std::fmt::Display for QueryError {
             QueryError::NoAccessControl => {
                 write!(f, "secure evaluation requested but no DOL is attached")
             }
+            QueryError::DeadlineExceeded(stats) => write!(
+                f,
+                "query deadline exceeded after visiting {} node(s)",
+                stats.nodes_visited
+            ),
         }
     }
 }
@@ -73,8 +82,8 @@ impl From<StorageError> for QueryError {
     }
 }
 
-/// Execution options (ablation knobs).
-#[derive(Debug, Clone, Copy)]
+/// Execution options (ablation knobs plus the evaluation's time budget).
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Enable the §3.3 page-skip optimization (default: true).
     pub page_skip: bool,
@@ -85,6 +94,12 @@ pub struct ExecOptions {
     /// are split into contiguous chunks and worker outputs are concatenated
     /// in chunk order.
     pub parallelism: usize,
+    /// Cooperative deadline/cancellation for the whole evaluation (default:
+    /// [`Deadline::never`]). The matcher checks it between node loads and
+    /// the buffer pool between retry attempts; expiry aborts the query with
+    /// [`QueryError::DeadlineExceeded`] carrying the partial-work stats —
+    /// never with a partial answer, and never masked by fail-closed.
+    pub deadline: Deadline,
 }
 
 impl Default for ExecOptions {
@@ -92,6 +107,7 @@ impl Default for ExecOptions {
         Self {
             page_skip: true,
             parallelism: 1,
+            deadline: Deadline::never(),
         }
     }
 }
@@ -338,6 +354,11 @@ impl<'a> QueryEngine<'a> {
     }
 
     /// Evaluates a pre-built plan with explicit execution options.
+    ///
+    /// The options' [`deadline`](ExecOptions::deadline) is installed as the
+    /// calling thread's (and every worker's) I/O deadline for the duration;
+    /// on expiry the query aborts with [`QueryError::DeadlineExceeded`]
+    /// carrying the counters and I/O accumulated so far.
     pub fn execute_plan_opts(
         &self,
         plan: &QueryPlan,
@@ -347,18 +368,38 @@ impl<'a> QueryEngine<'a> {
         let start = Instant::now();
         let io_before = self.store.pool().stats();
         let mut stats = ExecStats::default();
-
-        let subject = security.subject();
-        if subject.is_some() && self.dol.is_none() {
-            return Err(QueryError::NoAccessControl);
+        let outcome = with_io_deadline(&opts.deadline, || {
+            self.run_pipeline(plan, security, &opts, &mut stats)
+        });
+        stats.io = self.store.pool().stats().since(&io_before);
+        stats.elapsed = start.elapsed();
+        match outcome {
+            Ok(matches) => Ok(QueryResult { matches, stats }),
+            Err(QueryError::Storage(StorageError::DeadlineExceeded)) => {
+                Err(QueryError::DeadlineExceeded(Box::new(stats)))
+            }
+            Err(e) => Err(e),
         }
-        let ctx = MatchContext::new(
-            self.store,
-            self.values,
-            self.tags,
-            subject.map(|s| (self.dol.unwrap(), s)),
-            opts.page_skip,
-        );
+    }
+
+    /// Stages 1–4 of one evaluation; split out so the caller can attach the
+    /// partial stats to a deadline abort.
+    fn run_pipeline(
+        &self,
+        plan: &QueryPlan,
+        security: Security,
+        opts: &ExecOptions,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<u64>, QueryError> {
+        let subject = security.subject();
+        let access = match (subject, self.dol) {
+            (Some(s), Some(dol)) => Some((dol, s)),
+            (Some(_), None) => return Err(QueryError::NoAccessControl),
+            (None, _) => None,
+        };
+        let mut ctx = MatchContext::new(self.store, self.values, self.tags, access, opts.page_skip);
+        ctx.deadline = opts.deadline.clone();
+        let ctx = ctx;
 
         // Under subtree-visibility semantics every fragment root's binding
         // must be exported so its ancestor path can be checked.
@@ -408,12 +449,17 @@ impl<'a> QueryEngine<'a> {
                         .chunks(chunk)
                         .map(|chunk| {
                             scope.spawn(move || {
-                                let mut m = FragmentMatcher::new(ctx, plan, i);
-                                let mut tuples = Vec::new();
-                                for &c in chunk {
-                                    tuples.extend(m.match_root(c)?);
-                                }
-                                Ok::<_, StorageError>((tuples, m.stats))
+                                // Thread-locals don't cross scope boundaries:
+                                // each worker installs the evaluation's
+                                // deadline for its own buffer-pool I/O.
+                                with_io_deadline(&ctx.deadline, || {
+                                    let mut m = FragmentMatcher::new(ctx, plan, i);
+                                    let mut tuples = Vec::new();
+                                    for &c in chunk {
+                                        tuples.extend(m.match_root(c)?);
+                                    }
+                                    Ok::<_, StorageError>((tuples, m.stats))
+                                })
                             })
                         })
                         .collect();
@@ -436,7 +482,9 @@ impl<'a> QueryEngine<'a> {
 
         // 2. Subtree-visibility filter on fragment-root bindings.
         if let Security::SubtreeVisibility(s) = security {
-            let dol = self.dol.unwrap();
+            let Some(dol) = self.dol else {
+                return Err(QueryError::NoAccessControl);
+            };
             for (i, tree) in plan.trees.iter().enumerate() {
                 if results[i].is_empty() {
                     continue;
@@ -451,17 +499,18 @@ impl<'a> QueryEngine<'a> {
                     let pos = bound(&results[i][t], root);
                     keep[t] = match checker.check(pos) {
                         Ok(visible) => visible,
-                        Err(_) => {
+                        Err(e) if !is_availability(&e) => {
                             // Subtree visibility is always a secure mode:
                             // an unverifiable ancestor path fails closed.
                             stats.blocks_failed_closed += 1;
                             false
                         }
+                        Err(e) => return Err(e.into()),
                     };
                 }
                 stats.visibility_nodes += checker.nodes_inspected;
-                let mut it = keep.iter();
-                results[i].retain(|_| *it.next().unwrap());
+                let mut it = keep.into_iter();
+                results[i].retain(|_| it.next().unwrap_or(false));
             }
         }
 
@@ -489,7 +538,7 @@ impl<'a> QueryEngine<'a> {
                         anc_intervals.push((pos, pos + rec.size as u64));
                         anc_kept.push(b);
                     }
-                    Err(_) if subject.is_some() => {
+                    Err(e) if subject.is_some() && !is_availability(&e) => {
                         // Fail closed: a binding whose anchor can no longer
                         // be verified is dropped from the join.
                         stats.blocks_failed_closed += 1;
@@ -520,10 +569,7 @@ impl<'a> QueryEngine<'a> {
         let mut matches: Vec<u64> = results[0].iter().map(|b| bound(b, returning)).collect();
         matches.sort_unstable();
         matches.dedup();
-
-        stats.io = self.store.pool().stats().since(&io_before);
-        stats.elapsed = start.elapsed();
-        Ok(QueryResult { matches, stats })
+        Ok(matches)
     }
 }
 
@@ -891,6 +937,124 @@ mod tests {
             .unwrap();
         assert_eq!(ok.matches, vec![3, 6]);
         assert_eq!(ok.stats.blocks_failed_closed, 0);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_with_partial_stats_in_every_mode() {
+        let doc = parse(DOC).unwrap();
+        let mut map = AccessibilityMap::new(1, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        let d = db(DOC, Some(&map), 2);
+        let engine = QueryEngine::new(&d.store, &d.values, d.doc.tags(), Some(&d.dol)).unwrap();
+        let plan = QueryPlan::new(parse_query("//item[name]").unwrap());
+        for sec in [
+            Security::None,
+            Security::BindingLevel(SubjectId(0)),
+            Security::SubtreeVisibility(SubjectId(0)),
+        ] {
+            // Sanity: with no deadline the query answers.
+            let ok = engine
+                .execute_plan_opts(&plan, sec, ExecOptions::default())
+                .unwrap();
+            assert_eq!(ok.matches, vec![3, 6], "{sec:?}");
+            // An already-expired deadline aborts — typed error with the
+            // partial-work stats, never a (shrunken) answer.
+            let opts = ExecOptions {
+                deadline: Deadline::after(Duration::ZERO),
+                ..ExecOptions::default()
+            };
+            match engine.execute_plan_opts(&plan, sec, opts) {
+                Err(QueryError::DeadlineExceeded(stats)) => {
+                    assert_eq!(stats.blocks_failed_closed, 0, "{sec:?}: not a data fault");
+                }
+                other => panic!("{sec:?}: expected deadline abort, got {other:?}"),
+            }
+            // Cancellation mid-flight behaves identically (token fired
+            // before execution here; the matcher re-checks between loads).
+            let deadline = Deadline::never();
+            deadline.token().cancel();
+            let opts = ExecOptions {
+                deadline,
+                ..ExecOptions::default()
+            };
+            assert!(matches!(
+                engine.execute_plan_opts(&plan, sec, opts),
+                Err(QueryError::DeadlineExceeded(_))
+            ));
+        }
+        // Parallel workers propagate the abort too.
+        let opts = ExecOptions {
+            parallelism: 3,
+            deadline: Deadline::after(Duration::ZERO),
+            ..ExecOptions::default()
+        };
+        assert!(matches!(
+            engine.execute_plan_opts(&plan, Security::BindingLevel(SubjectId(0)), opts),
+            Err(QueryError::DeadlineExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn breaker_open_surfaces_instead_of_masking() {
+        use dol_storage::RetryPolicy;
+        let doc = parse(DOC).unwrap();
+        let mut map = AccessibilityMap::new(1, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        let fault = Arc::new(FaultDisk::new(
+            Arc::new(MemDisk::new()),
+            FaultConfig {
+                permanent_read_failure: 1.0,
+                ..FaultConfig::default()
+            },
+        ));
+        fault.set_armed(false);
+        let pool = Arc::new(BufferPool::new(fault.clone(), 256));
+        let cfg = StoreConfig {
+            max_records_per_block: 2,
+        };
+        let (store, dol) = EmbeddedDol::build(pool.clone(), cfg, &doc, &map).unwrap();
+        let mut values = ValueStore::new(pool.clone());
+        for id in doc.preorder() {
+            if let Some(v) = &doc.node(id).value {
+                values.put(u64::from(id.0), v).unwrap();
+            }
+        }
+        let engine = QueryEngine::new(&store, &values, doc.tags(), Some(&dol)).unwrap();
+        pool.flush_all().unwrap();
+        pool.set_retry_policy(RetryPolicy {
+            max_attempts: 1,
+            backoff_start: Duration::ZERO,
+            breaker_threshold: 1,
+            breaker_probe_every: 1_000,
+            ..RetryPolicy::default()
+        });
+        fault.set_armed(true);
+        pool.clear_cache().unwrap();
+
+        // The first failed read is a data fault (masked, fail-closed); it
+        // trips the breaker, and the very next read is refused with
+        // `BreakerOpen` — which must surface even in secure mode: a tripped
+        // breaker is unavailability, not "inaccessible".
+        let err = engine.execute("//item[name]", Security::BindingLevel(SubjectId(0)));
+        assert!(
+            matches!(err, Err(QueryError::Storage(StorageError::BreakerOpen))),
+            "expected BreakerOpen, got {err:?}"
+        );
+        assert!(pool.breaker_is_open());
+
+        // Healing: disarm the faults, reset the breaker, and the same
+        // engine answers again.
+        fault.set_armed(false);
+        pool.set_retry_policy(RetryPolicy::default());
+        pool.clear_cache().unwrap();
+        let ok = engine
+            .execute("//item[name]", Security::BindingLevel(SubjectId(0)))
+            .unwrap();
+        assert_eq!(ok.matches, vec![3, 6]);
     }
 
     #[test]

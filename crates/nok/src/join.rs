@@ -115,7 +115,7 @@ impl<'a> VisibilityChecker<'a> {
         }
         // Descend from the deepest retained ancestor to pos.
         loop {
-            let &(start, end, visible, next_child) = self.stack.last().unwrap();
+            let &(start, end, visible, next_child) = self.stack.last().expect("root pushed above");
             debug_assert!(start <= pos && pos < end);
             if start == pos {
                 return Ok(visible);
@@ -134,12 +134,12 @@ impl<'a> VisibilityChecker<'a> {
                 let cend = child + rec.size as u64;
                 if pos < cend {
                     // The parent resumes after this child once it is popped.
-                    self.stack.last_mut().unwrap().3 = cend;
+                    self.stack.last_mut().expect("root pushed above").3 = cend;
                     let cvis = visible && self.dol.check_code(code, self.subject);
                     self.stack.push((child, cend, cvis, child + 1));
                     break;
                 }
-                self.stack.last_mut().unwrap().3 = cend;
+                self.stack.last_mut().expect("root pushed above").3 = cend;
                 child = cend;
             }
         }

@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// Query evaluation sits on the fail-closed boundary: production code must
+// propagate typed errors, never unwrap them. Tests may unwrap freely.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 //! The NoK twig query processor with secure evaluation (paper §3.1, §4).
 //!

@@ -21,13 +21,31 @@ use crate::plan::{NokTree, QueryPlan};
 use dol_acl::SubjectId;
 use dol_core::{EmbeddedDol, SubjectColumn};
 use dol_storage::disk::StorageError;
-use dol_storage::{NodeRec, StructStore, ValueStore};
+use dol_storage::{Deadline, NodeRec, StructStore, ValueStore};
 use dol_xml::{TagId, TagInterner};
 use std::sync::Arc;
 
 /// A partial result: data positions bound to output pattern nodes,
 /// ascending by pattern node id.
 pub type Binding = Vec<(PNodeId, u64)>;
+
+/// Whether `e` is an *availability* outcome — the caller's deadline expired
+/// (or was cancelled), or the buffer pool's circuit breaker refused the
+/// operation. These must never be masked by the fail-closed policy: masking
+/// would silently shrink a secure answer, whereas the contract of a timed-out
+/// or breaker-refused query is a typed error and *no* answer.
+#[inline]
+pub(crate) fn is_availability(e: &StorageError) -> bool {
+    matches!(
+        e,
+        StorageError::DeadlineExceeded | StorageError::BreakerOpen
+    )
+}
+
+/// Deadline checks piggy-back on node loads, once every this many visited
+/// nodes (power of two; the check itself is an atomic load plus, for real
+/// deadlines, one `Instant::now()`).
+const DEADLINE_CHECK_MASK: u64 = 0xFF;
 
 /// Everything a fragment match needs to read.
 pub struct MatchContext<'a> {
@@ -48,6 +66,11 @@ pub struct MatchContext<'a> {
     /// without reading their page (§3.3). On by default; the ablation
     /// benchmarks switch it off to isolate its effect.
     pub page_skip: bool,
+    /// The evaluation's cooperative time budget, checked between node loads
+    /// (every [`DEADLINE_CHECK_MASK`]` + 1` visits). Defaults to
+    /// [`Deadline::never`]; expiry surfaces as
+    /// [`StorageError::DeadlineExceeded`] and is never fail-closed-masked.
+    pub deadline: Deadline,
 }
 
 impl<'a> MatchContext<'a> {
@@ -68,6 +91,7 @@ impl<'a> MatchContext<'a> {
             access,
             column,
             page_skip,
+            deadline: Deadline::never(),
         }
     }
 
@@ -194,11 +218,17 @@ impl<'a> FragmentMatcher<'a> {
 
     /// Loads a node record and its piggy-backed code, applying the
     /// fail-closed policy: in secure mode a storage error yields `Ok(None)`
-    /// ("treat as inaccessible") and bumps `blocks_failed_closed`.
+    /// ("treat as inaccessible") and bumps `blocks_failed_closed`. Deadline
+    /// expiry and breaker refusal are availability outcomes, not data
+    /// faults, and always propagate. The context's deadline is re-checked
+    /// here every [`DEADLINE_CHECK_MASK`]` + 1` node visits.
     fn load_node(&mut self, pos: u64) -> Result<Option<(NodeRec, u32)>, StorageError> {
+        if self.stats.nodes_visited & DEADLINE_CHECK_MASK == 0 {
+            self.ctx.deadline.check()?;
+        }
         match self.ctx.store.node_and_code(pos) {
             Ok(nc) => Ok(Some(nc)),
-            Err(_) if self.fail_closed() => {
+            Err(e) if self.fail_closed() && !is_availability(&e) => {
                 self.stats.blocks_failed_closed += 1;
                 Ok(None)
             }
@@ -207,11 +237,12 @@ impl<'a> FragmentMatcher<'a> {
     }
 
     /// FOLLOWING-SIBLING with the fail-closed policy: in secure mode a
-    /// storage error truncates the sibling chain instead of aborting.
+    /// storage error truncates the sibling chain instead of aborting
+    /// (availability outcomes excepted — see [`load_node`](Self::load_node)).
     fn next_sibling(&mut self, pos: u64, rec: &NodeRec) -> Result<Option<u64>, StorageError> {
         match self.ctx.store.following_sibling_of(pos, rec) {
             Ok(next) => Ok(next),
-            Err(_) if self.fail_closed() => {
+            Err(e) if self.fail_closed() && !is_availability(&e) => {
                 self.stats.blocks_failed_closed += 1;
                 Ok(None)
             }
@@ -274,7 +305,7 @@ impl<'a> FragmentMatcher<'a> {
             }
             let actual = match self.ctx.values.get(pos) {
                 Ok(a) => a,
-                Err(_) if self.fail_closed() => {
+                Err(e) if self.fail_closed() && !is_availability(&e) => {
                     // An unverifiable value cannot witness the predicate.
                     self.stats.blocks_failed_closed += 1;
                     return Ok(false);
@@ -577,6 +608,49 @@ mod tests {
         assert_eq!(m.stats.candidates_block_skipped, 1);
         assert_eq!(f.store.pool().stats().logical_reads, 0, "no page touched");
         assert_eq!(f.store.pool().stats().pages_skipped, 1, "skip counted");
+    }
+
+    #[test]
+    fn expired_deadline_is_never_masked_by_fail_closed() {
+        let doc = parse(FIG2).unwrap();
+        let mut map = AccessibilityMap::new(1, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        let f = fixture(FIG2, Some(&map), 300);
+        let plan = QueryPlan::new(parse_query("//h[j][k]/l").unwrap());
+        let mut ctx = MatchContext::new(
+            &f.store,
+            &f.values,
+            f.doc.tags(),
+            Some((&f.dol, SubjectId(0))),
+            true,
+        );
+        ctx.deadline = Deadline::after(std::time::Duration::ZERO);
+        let mut m = FragmentMatcher::new(&ctx, &plan, 0);
+        // Secure mode would normally mask storage errors; the deadline must
+        // abort the match instead of shrinking the answer.
+        assert!(matches!(
+            m.match_root(7),
+            Err(StorageError::DeadlineExceeded)
+        ));
+        assert_eq!(m.stats.blocks_failed_closed, 0, "not a data fault");
+
+        // Cancellation through a token behaves identically.
+        let mut ctx2 = MatchContext::new(
+            &f.store,
+            &f.values,
+            f.doc.tags(),
+            Some((&f.dol, SubjectId(0))),
+            true,
+        );
+        ctx2.deadline = Deadline::never();
+        ctx2.deadline.token().cancel();
+        let mut m2 = FragmentMatcher::new(&ctx2, &plan, 0);
+        assert!(matches!(
+            m2.match_root(7),
+            Err(StorageError::DeadlineExceeded)
+        ));
     }
 
     #[test]

@@ -237,7 +237,7 @@ proptest! {
             Security::SubtreeVisibility(SubjectId(1)),
         ] {
             let seq = engine.execute_plan_opts(&plan, sec, ExecOptions::default()).unwrap();
-            let par = engine.execute_plan_opts(&plan, sec, par_opts).unwrap();
+            let par = engine.execute_plan_opts(&plan, sec, par_opts.clone()).unwrap();
             prop_assert_eq!(&par.matches, &seq.matches, "query {}", pattern.to_query_string());
             prop_assert_eq!(par.stats.candidates, seq.stats.candidates);
             prop_assert_eq!(par.stats.nodes_visited, seq.stats.nodes_visited);

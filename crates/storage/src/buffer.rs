@@ -78,15 +78,18 @@
 
 use crate::disk::{Disk, StorageError};
 use crate::page::{Page, PageId};
+use crate::retry::{current_io_deadline, RetryPolicy};
 use crate::wal::Wal;
 use parking_lot::{Mutex, RwLock};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Attempts per physical page I/O before a transient error or checksum
-/// mismatch is treated as permanent.
+/// Default attempts per physical page I/O before a transient error or
+/// checksum mismatch is treated as permanent (the
+/// [`RetryPolicy::max_attempts`] default; tune per pool with
+/// [`BufferPool::set_retry_policy`]).
 pub const MAX_IO_ATTEMPTS: u32 = 4;
 
 /// Default auto-checkpoint threshold: a commit that leaves more than this
@@ -123,6 +126,19 @@ pub struct IoStats {
     /// exclusive lock (cache miss, or the page appeared between the shared
     /// probe and the exclusive acquisition).
     pub read_exclusive_fallback: u64,
+    /// Exponential-backoff pauses slept between I/O attempts (one per
+    /// non-zero pause; see [`RetryPolicy::backoff_for`]).
+    pub backoffs: u64,
+    /// Times the circuit breaker tripped open (a run of
+    /// [`RetryPolicy::breaker_threshold`] consecutive surfaced I/O
+    /// failures). Counted pool-wide, not per shard.
+    pub breaker_trips: u64,
+    /// Operations refused with [`StorageError::BreakerOpen`] while the
+    /// breaker was open. Counted pool-wide, not per shard.
+    pub breaker_fast_fails: u64,
+    /// Half-open probes admitted while the breaker was open (successful
+    /// probes close it). Counted pool-wide, not per shard.
+    pub breaker_probes: u64,
 }
 
 impl IoStats {
@@ -139,6 +155,10 @@ impl IoStats {
             checksum_failures: self.checksum_failures - earlier.checksum_failures,
             read_shared: self.read_shared - earlier.read_shared,
             read_exclusive_fallback: self.read_exclusive_fallback - earlier.read_exclusive_fallback,
+            backoffs: self.backoffs - earlier.backoffs,
+            breaker_trips: self.breaker_trips - earlier.breaker_trips,
+            breaker_fast_fails: self.breaker_fast_fails - earlier.breaker_fast_fails,
+            breaker_probes: self.breaker_probes - earlier.breaker_probes,
         }
     }
 
@@ -153,6 +173,10 @@ impl IoStats {
         self.checksum_failures += other.checksum_failures;
         self.read_shared += other.read_shared;
         self.read_exclusive_fallback += other.read_exclusive_fallback;
+        self.backoffs += other.backoffs;
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_fast_fails += other.breaker_fast_fails;
+        self.breaker_probes += other.breaker_probes;
     }
 }
 
@@ -171,6 +195,7 @@ struct AtomicIoStats {
     checksum_failures: AtomicU64,
     read_shared: AtomicU64,
     read_exclusive_fallback: AtomicU64,
+    backoffs: AtomicU64,
 }
 
 impl AtomicIoStats {
@@ -186,6 +211,11 @@ impl AtomicIoStats {
             checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
             read_shared: self.read_shared.load(Ordering::Relaxed),
             read_exclusive_fallback: self.read_exclusive_fallback.load(Ordering::Relaxed),
+            backoffs: self.backoffs.load(Ordering::Relaxed),
+            // Breaker counters are pool-wide, not per shard.
+            breaker_trips: 0,
+            breaker_fast_fails: 0,
+            breaker_probes: 0,
         }
     }
 
@@ -199,6 +229,7 @@ impl AtomicIoStats {
         self.checksum_failures.store(0, Ordering::Relaxed);
         self.read_shared.store(0, Ordering::Relaxed);
         self.read_exclusive_fallback.store(0, Ordering::Relaxed);
+        self.backoffs.store(0, Ordering::Relaxed);
     }
 }
 
@@ -325,6 +356,20 @@ pub struct BufferPool {
     next_txn_id: AtomicU64,
     /// Auto-checkpoint when the log exceeds this many bytes (0 = never).
     checkpoint_threshold: AtomicU64,
+    /// How physical I/O faults are retried (attempts, backoff, breaker).
+    retry_policy: Mutex<RetryPolicy>,
+    /// Circuit breaker: open after `breaker_threshold` consecutive surfaced
+    /// I/O failures; half-open probes may close it again.
+    breaker_open: AtomicBool,
+    /// Consecutive surfaced I/O failures (reset by any success).
+    breaker_consecutive: AtomicU32,
+    /// Admission ticket while open: every `breaker_probe_every`-th ticket
+    /// runs as a probe, the rest fail fast.
+    breaker_ticket: AtomicU64,
+    /// Pool-wide breaker counters (see [`IoStats`]).
+    breaker_trips: AtomicU64,
+    breaker_fast_fails: AtomicU64,
+    breaker_probes: AtomicU64,
 }
 
 impl BufferPool {
@@ -369,6 +414,85 @@ impl BufferPool {
             txn_active: AtomicBool::new(false),
             next_txn_id: AtomicU64::new(1),
             checkpoint_threshold: AtomicU64::new(DEFAULT_CHECKPOINT_THRESHOLD),
+            retry_policy: Mutex::new(RetryPolicy::default()),
+            breaker_open: AtomicBool::new(false),
+            breaker_consecutive: AtomicU32::new(0),
+            breaker_ticket: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+            breaker_fast_fails: AtomicU64::new(0),
+            breaker_probes: AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces the I/O fault policy (attempt budget, backoff ladder,
+    /// circuit-breaker knobs). Takes effect for subsequent physical I/O;
+    /// also resets the breaker state so a newly enabled breaker starts
+    /// closed.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry_policy.lock() = policy;
+        self.reset_breaker();
+    }
+
+    /// The current I/O fault policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.retry_policy.lock()
+    }
+
+    /// Whether the circuit breaker is currently open (new I/O fails fast
+    /// except for half-open probes).
+    pub fn breaker_is_open(&self) -> bool {
+        self.breaker_open.load(Ordering::Acquire)
+    }
+
+    /// Force-closes the circuit breaker and zeroes its consecutive-failure
+    /// run. In-process recovery calls this so a repaired database does not
+    /// keep refusing I/O.
+    pub fn reset_breaker(&self) {
+        self.breaker_open.store(false, Ordering::Release);
+        self.breaker_consecutive.store(0, Ordering::Relaxed);
+        self.breaker_ticket.store(0, Ordering::Relaxed);
+    }
+
+    /// Gate at the top of every physical I/O. `Ok(false)`: breaker closed
+    /// (or disabled), run the full retry ladder. `Ok(true)`: breaker open
+    /// but this operation is admitted as a half-open probe (single
+    /// attempt). `Err(BreakerOpen)`: refused without touching the disk.
+    fn breaker_admit(&self, policy: &RetryPolicy) -> Result<bool, StorageError> {
+        if policy.breaker_threshold == 0 || !self.breaker_open.load(Ordering::Acquire) {
+            return Ok(false);
+        }
+        let ticket = self.breaker_ticket.fetch_add(1, Ordering::Relaxed);
+        if (ticket + 1).is_multiple_of(u64::from(policy.breaker_probe_every.max(1))) {
+            self.breaker_probes.fetch_add(1, Ordering::Relaxed);
+            Ok(true)
+        } else {
+            self.breaker_fast_fails.fetch_add(1, Ordering::Relaxed);
+            Err(StorageError::BreakerOpen)
+        }
+    }
+
+    /// Records the outcome of an admitted physical I/O for the breaker:
+    /// success (`None`) closes it and zeroes the failure run; a surfaced
+    /// failure extends the run and trips the breaker at the threshold.
+    /// Deadline aborts are neither — they say nothing about the device.
+    fn breaker_record(&self, policy: &RetryPolicy, error: Option<&StorageError>) {
+        if policy.breaker_threshold == 0 {
+            return;
+        }
+        match error {
+            None => {
+                self.breaker_consecutive.store(0, Ordering::Relaxed);
+                self.breaker_open.store(false, Ordering::Release);
+            }
+            Some(StorageError::DeadlineExceeded) => {}
+            Some(_) => {
+                let run = self.breaker_consecutive.fetch_add(1, Ordering::Relaxed) + 1;
+                if run >= policy.breaker_threshold
+                    && !self.breaker_open.swap(true, Ordering::AcqRel)
+                {
+                    self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 
@@ -552,6 +676,9 @@ impl BufferPool {
     pub fn stats(&self) -> IoStats {
         let mut total = IoStats {
             pages_skipped: self.pages_skipped.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
+            breaker_probes: self.breaker_probes.load(Ordering::Relaxed),
             ..IoStats::default()
         };
         for shard in &self.shards {
@@ -572,6 +699,9 @@ impl BufferPool {
     /// Zeroes the I/O counters of every shard. Lock-free.
     pub fn reset_stats(&self) {
         self.pages_skipped.store(0, Ordering::Relaxed);
+        self.breaker_trips.store(0, Ordering::Relaxed);
+        self.breaker_fast_fails.store(0, Ordering::Relaxed);
+        self.breaker_probes.store(0, Ordering::Relaxed);
         for shard in &self.shards {
             shard.stats.reset();
         }
@@ -918,18 +1048,61 @@ impl BufferPool {
         Ok(slot)
     }
 
+    /// Sleeps the policy's backoff for `attempt`, bounded by the thread's
+    /// I/O deadline. Returns `Err(DeadlineExceeded)` instead of sleeping (or
+    /// after waking) once the deadline is spent.
+    fn backoff_pause(
+        &self,
+        policy: &RetryPolicy,
+        attempt: u32,
+        stats: &AtomicIoStats,
+    ) -> Result<(), StorageError> {
+        let deadline = current_io_deadline();
+        if let Some(d) = &deadline {
+            d.check()?;
+        }
+        let pause = policy.backoff_for(attempt);
+        if !pause.is_zero() {
+            stats.backoffs.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(pause);
+            if let Some(d) = &deadline {
+                d.check()?;
+            }
+        }
+        Ok(())
+    }
+
     /// One verified physical read: retries transient errors and checksum
-    /// mismatches up to [`MAX_IO_ATTEMPTS`] times, surfacing persistent
-    /// mismatches as [`StorageError::Corrupt`].
+    /// mismatches per the pool's [`RetryPolicy`] (exponential backoff
+    /// between attempts, deadline-checked), surfacing persistent mismatches
+    /// as [`StorageError::Corrupt`]. Runs through the circuit breaker: while
+    /// open, non-probe reads fail fast with [`StorageError::BreakerOpen`].
     fn read_verified(
         &self,
         id: PageId,
         page: &mut Page,
         stats: &AtomicIoStats,
     ) -> Result<(), StorageError> {
+        let policy = self.retry_policy();
+        let probe = self.breaker_admit(&policy)?;
+        let result = self.read_attempts(id, page, stats, &policy, probe);
+        self.breaker_record(&policy, result.as_ref().err());
+        result
+    }
+
+    /// The retry ladder of [`read_verified`](Self::read_verified).
+    fn read_attempts(
+        &self,
+        id: PageId,
+        page: &mut Page,
+        stats: &AtomicIoStats,
+        policy: &RetryPolicy,
+        probe: bool,
+    ) -> Result<(), StorageError> {
+        let max_attempts = if probe { 1 } else { policy.max_attempts.max(1) };
         let verify = self.verify_checksums();
         let mut mismatch: Option<(u32, u32)> = None;
-        for attempt in 1..=MAX_IO_ATTEMPTS {
+        for attempt in 1..=max_attempts {
             match self.disk.read_page(id, page) {
                 Ok(()) => {
                     if !verify {
@@ -947,8 +1120,9 @@ impl BufferPool {
                 Err(e) if !e.is_transient() => return Err(e),
                 Err(_) => {} // transient: retry
             }
-            if attempt < MAX_IO_ATTEMPTS {
+            if attempt < max_attempts {
                 stats.read_retries.fetch_add(1, Ordering::Relaxed);
+                self.backoff_pause(policy, attempt, stats)?;
             }
         }
         Err(match mismatch {
@@ -959,35 +1133,77 @@ impl BufferPool {
             },
             None => StorageError::Io(std::io::Error::new(
                 std::io::ErrorKind::Interrupted,
-                format!(
-                    "page {id}: transient read error persisted after {MAX_IO_ATTEMPTS} attempts"
-                ),
+                format!("page {id}: transient read error persisted after {max_attempts} attempts"),
             )),
         })
     }
 
     /// One durable physical write: seals the trailer (unless verification
-    /// is off) and retries transient errors up to [`MAX_IO_ATTEMPTS`] times.
+    /// is off) and retries transient errors per the pool's [`RetryPolicy`],
+    /// with backoff and breaker admission as for reads.
     fn write_back(
         &self,
         id: PageId,
         page: &mut Page,
         stats: &AtomicIoStats,
     ) -> Result<(), StorageError> {
+        let policy = self.retry_policy();
+        let probe = self.breaker_admit(&policy)?;
+        let result = self.write_attempts(id, page, stats, &policy, probe);
+        self.breaker_record(&policy, result.as_ref().err());
+        result
+    }
+
+    /// The retry ladder of [`write_back`](Self::write_back).
+    fn write_attempts(
+        &self,
+        id: PageId,
+        page: &mut Page,
+        stats: &AtomicIoStats,
+        policy: &RetryPolicy,
+        probe: bool,
+    ) -> Result<(), StorageError> {
         if self.verify_checksums() {
             page.seal();
         }
+        let max_attempts = if probe { 1 } else { policy.max_attempts.max(1) };
         let mut attempt = 1;
         loop {
             match self.disk.write_page(id, page) {
                 Ok(()) => return Ok(()),
-                Err(e) if e.is_transient() && attempt < MAX_IO_ATTEMPTS => {
+                Err(e) if e.is_transient() && attempt < max_attempts => {
                     stats.write_retries.fetch_add(1, Ordering::Relaxed);
+                    self.backoff_pause(policy, attempt, stats)?;
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Drops every cached frame **without writing anything back** and
+    /// abandons any open transaction (pre-images and shadow included), then
+    /// force-closes the circuit breaker.
+    ///
+    /// For in-process recovery only: the caller is about to redo the
+    /// committed WAL state onto the data disk and rebuild its in-memory
+    /// structures from those bytes, so whatever the cache holds — possibly
+    /// pages of a failed or half-rolled-back update — must not survive.
+    /// Not a durability operation: any dirty byte not covered by the WAL is
+    /// deliberately discarded.
+    pub fn discard_cache_and_txn(&self) {
+        {
+            let mut txn = self.txn.lock();
+            *txn = None;
+            self.txn_active.store(false, Ordering::Release);
+        }
+        for shard in &self.shards {
+            let _held = HeldShard::enter(shard);
+            let mut inner = shard.inner.write();
+            inner.frames.clear();
+            inner.map.clear();
+        }
+        self.reset_breaker();
     }
 }
 
@@ -1624,5 +1840,148 @@ mod tests {
         pool.reset_stats();
         assert_eq!(pool.stats(), IoStats::default());
         let _ = ids;
+    }
+
+    #[test]
+    fn backoff_pauses_are_counted() {
+        use crate::fault::{FaultConfig, FaultDisk};
+        use std::time::Duration;
+        let mem = Arc::new(MemDisk::new());
+        let id = mem.allocate_page().unwrap();
+        let faulty = Arc::new(FaultDisk::new(
+            mem,
+            FaultConfig {
+                seed: 3,
+                transient_read_error: 1.0,
+                ..Default::default()
+            },
+        ));
+        let pool = BufferPool::new(faulty, 4);
+        pool.set_retry_policy(RetryPolicy {
+            max_attempts: 2,
+            backoff_start: Duration::from_micros(1),
+            ..RetryPolicy::default()
+        });
+        let err = pool.with_page(id, |_| ()).unwrap_err();
+        assert!(err.is_transient());
+        let s = pool.stats();
+        assert_eq!(s.read_retries, 1, "2 attempts = 1 retry");
+        assert_eq!(s.backoffs, 1, "one pause between the two attempts");
+    }
+
+    #[test]
+    fn breaker_trips_fast_fails_probes_and_recloses() {
+        use crate::fault::{FaultConfig, FaultDisk};
+        let mem = Arc::new(MemDisk::new());
+        let id = mem.allocate_page().unwrap();
+        let faulty = Arc::new(FaultDisk::new(
+            mem,
+            FaultConfig {
+                seed: 11,
+                permanent_read_failure: 1.0, // every armed read fails hard
+                ..Default::default()
+            },
+        ));
+        let pool = BufferPool::new(faulty.clone(), 4);
+        pool.set_retry_policy(RetryPolicy {
+            max_attempts: 1,
+            breaker_threshold: 2,
+            breaker_probe_every: 4,
+            ..RetryPolicy::default()
+        });
+
+        // Two consecutive permanent failures trip the breaker.
+        assert!(pool.with_page(id, |_| ()).is_err());
+        assert!(!pool.breaker_is_open());
+        assert!(pool.with_page(id, |_| ()).is_err());
+        assert!(pool.breaker_is_open());
+        assert_eq!(pool.stats().breaker_trips, 1);
+
+        // While open: tickets 1–3 fail fast, ticket 4 probes (still faulty).
+        for _ in 0..3 {
+            assert!(matches!(
+                pool.with_page(id, |_| ()),
+                Err(StorageError::BreakerOpen)
+            ));
+        }
+        assert!(matches!(
+            pool.with_page(id, |_| ()),
+            Err(StorageError::Io(_))
+        ));
+        assert!(pool.breaker_is_open(), "failed probe keeps it open");
+
+        // Device heals: the next admitted probe closes the breaker.
+        faulty.set_armed(false);
+        let mut probe_closed = false;
+        for _ in 0..4 {
+            match pool.with_page(id, |p| p.get_u32(0)) {
+                Ok(_) => {
+                    probe_closed = true;
+                    break;
+                }
+                Err(StorageError::BreakerOpen) => {}
+                Err(e) => panic!("unexpected error while healing: {e}"),
+            }
+        }
+        assert!(probe_closed, "a successful probe must close the breaker");
+        assert!(!pool.breaker_is_open());
+        pool.clear_cache().unwrap();
+        pool.with_page(id, |_| ()).unwrap();
+
+        let s = pool.stats();
+        assert_eq!(s.breaker_trips, 1);
+        assert_eq!(s.breaker_probes, 2, "one failed + one successful probe");
+        assert_eq!(s.breaker_fast_fails, 6);
+    }
+
+    #[test]
+    fn deadline_aborts_the_retry_ladder_without_tripping_the_breaker() {
+        use crate::fault::{FaultConfig, FaultDisk};
+        use crate::retry::{with_io_deadline, Deadline};
+        use std::time::Duration;
+        let mem = Arc::new(MemDisk::new());
+        let id = mem.allocate_page().unwrap();
+        let faulty = Arc::new(FaultDisk::new(
+            mem,
+            FaultConfig {
+                seed: 4,
+                transient_read_error: 1.0,
+                ..Default::default()
+            },
+        ));
+        let pool = BufferPool::new(faulty, 4);
+        pool.set_retry_policy(RetryPolicy {
+            breaker_threshold: 1,
+            ..RetryPolicy::default()
+        });
+        let spent = Deadline::after(Duration::ZERO);
+        let err = with_io_deadline(&spent, || pool.with_page(id, |_| ())).unwrap_err();
+        assert!(matches!(err, StorageError::DeadlineExceeded));
+        assert!(
+            !pool.breaker_is_open(),
+            "a deadline abort says nothing about the device"
+        );
+        // Without the deadline, the same ladder runs to exhaustion.
+        let err = pool.with_page(id, |_| ()).unwrap_err();
+        assert!(err.is_transient());
+        assert!(pool.breaker_is_open(), "a real exhaustion does trip it");
+    }
+
+    #[test]
+    fn discard_cache_and_txn_forgets_uncommitted_bytes() {
+        let (pool, ids) = pool(4);
+        pool.with_page_mut(ids[0], |p| p.put_u32(0, 1)).unwrap();
+        pool.flush_all().unwrap();
+        // Dirty bytes never flushed: discard must lose them, not write them.
+        pool.with_page_mut(ids[0], |p| p.put_u32(0, 99)).unwrap();
+        let before = pool.stats();
+        pool.discard_cache_and_txn();
+        assert!(!pool.in_transaction());
+        assert_eq!(
+            pool.stats().since(&before).physical_writes,
+            0,
+            "discard writes nothing back"
+        );
+        assert_eq!(pool.with_page(ids[0], |p| p.get_u32(0)).unwrap(), 1);
     }
 }

@@ -72,6 +72,19 @@ pub enum StorageError {
     /// disk in an unknown state; further commits are refused until a
     /// checkpoint re-establishes a clean epoch.
     WalPoisoned,
+    /// The caller's [`crate::retry::Deadline`] expired (or its
+    /// [`crate::retry::CancelToken`] fired) before the operation finished.
+    /// This is an *availability* outcome, not a data fault: fail-closed
+    /// masking never converts it into "inaccessible", so a timed-out secure
+    /// query aborts instead of returning a silently shrunken answer.
+    DeadlineExceeded,
+    /// The buffer pool's circuit breaker is open after a run of consecutive
+    /// surfaced I/O failures; the operation was refused without touching the
+    /// disk. Half-open probes (see [`crate::retry::RetryPolicy`]) close the
+    /// breaker once the device answers again. Like
+    /// [`DeadlineExceeded`](Self::DeadlineExceeded), never masked by
+    /// fail-closed.
+    BreakerOpen,
 }
 
 impl StorageError {
@@ -125,6 +138,13 @@ impl std::fmt::Display for StorageError {
             StorageError::WalPoisoned => write!(
                 f,
                 "write-ahead log poisoned by an earlier failed commit; checkpoint or reopen"
+            ),
+            StorageError::DeadlineExceeded => {
+                write!(f, "deadline exceeded or operation cancelled")
+            }
+            StorageError::BreakerOpen => write!(
+                f,
+                "I/O circuit breaker open after consecutive faults; awaiting a successful probe"
             ),
         }
     }

@@ -297,8 +297,9 @@ impl Disk for FaultDisk {
 /// one `CrashState` so a single "power cut after N physical writes" budget
 /// spans both devices, exactly as one machine losing power would.
 pub struct CrashState {
-    /// Successful `write_page` calls allowed before the cut.
-    limit: u64,
+    /// Successful `write_page` calls allowed before the cut (atomic so
+    /// [`restore_power`](Self::restore_power) can grant a fresh budget).
+    limit: AtomicU64,
     /// Whether the cut write persists a sector-aligned prefix (a torn
     /// write) instead of nothing.
     tear_final: bool,
@@ -314,7 +315,7 @@ impl CrashState {
     /// prefix of the new bytes (split chosen deterministically from `seed`).
     pub fn new(crash_after_writes: u64, tear_final: bool, seed: u64) -> Arc<Self> {
         Arc::new(Self {
-            limit: crash_after_writes,
+            limit: AtomicU64::new(crash_after_writes),
             tear_final,
             seed,
             writes: AtomicU64::new(0),
@@ -336,6 +337,19 @@ impl CrashState {
     /// Whether the power has been cut.
     pub fn crashed(&self) -> bool {
         self.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Restores power after a cut: clears the crashed latch and grants
+    /// `more_writes` further successful page writes before the next cut
+    /// (`u64::MAX` for no further cut). The bytes on the underlying disk
+    /// are untouched — exactly a machine coming back up on the same
+    /// storage. The chaos soak uses this to exercise *in-process* recovery
+    /// against a disk left mid-update by the cut.
+    pub fn restore_power(&self, more_writes: u64) {
+        let issued = self.writes.load(Ordering::SeqCst);
+        self.limit
+            .store(issued.saturating_add(more_writes), Ordering::SeqCst);
+        self.crashed.store(false, Ordering::SeqCst);
     }
 }
 
@@ -378,12 +392,13 @@ impl Disk for CrashDisk {
             return Err(Self::power_cut());
         }
         let n = self.state.writes.fetch_add(1, Ordering::SeqCst);
-        if n < self.state.limit {
+        let limit = self.state.limit.load(Ordering::SeqCst);
+        if n < limit {
             return self.inner.write_page(id, buf);
         }
         // This is the write the power cut interrupts.
         self.state.crashed.store(true, Ordering::SeqCst);
-        if n == self.state.limit && self.state.tear_final {
+        if n == limit && self.state.tear_final {
             let sectors = PAGE_SIZE / 512;
             let keep = 512 * (1 + (mix(self.state.seed ^ n) as usize) % (sectors - 1));
             let mut merged = Page::zeroed();

@@ -49,6 +49,7 @@ pub mod fault;
 pub mod log;
 pub mod nok;
 pub mod page;
+pub mod retry;
 pub mod wal;
 
 pub use btree::BPlusTree;
@@ -58,4 +59,5 @@ pub use fault::{CrashDisk, CrashState, FaultConfig, FaultDisk, FaultStats};
 pub use log::{PagedLog, ValueStore};
 pub use nok::{BlockInfo, BulkItem, NodeRec, StoreConfig, StructStore, NO_CODE};
 pub use page::{Page, PageId, CHECKSUM_SIZE, PAGE_SIZE, PAYLOAD_SIZE};
+pub use retry::{current_io_deadline, with_io_deadline, CancelToken, Deadline, RetryPolicy};
 pub use wal::{RecoveryReport, Wal, WalStats};

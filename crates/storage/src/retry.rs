@@ -1,0 +1,262 @@
+//! Fault backoff policy and cooperative deadlines for the I/O layer.
+//!
+//! [`RetryPolicy`] replaces the old fixed bounded-retry of the buffer pool:
+//! it makes the attempt budget and the pause between attempts configurable
+//! (exponential backoff, so a burst of transient faults stops hammering the
+//! disk with immediate re-reads), and adds a per-pool **circuit breaker**
+//! that trips to fail-closed after a run of consecutive permanent faults —
+//! a dying device should answer fast with a typed error, not burn a full
+//! retry ladder on every access. While open, the breaker lets every
+//! [`breaker_probe_every`](RetryPolicy::breaker_probe_every)-th attempt
+//! through as a half-open *probe*; a probe that succeeds closes the breaker.
+//!
+//! [`Deadline`] / [`CancelToken`] carry a cooperative time budget through a
+//! query: the ε-NoK matcher checks it between node loads, and the buffer
+//! pool checks it between physical-read attempts (so a retry ladder with
+//! backoff cannot sleep past the caller's budget). An expired deadline
+//! surfaces as [`StorageError::DeadlineExceeded`] and is **never** masked by
+//! the fail-closed policy — a timed-out secure query aborts with a typed
+//! error instead of silently returning the partial answer matched so far.
+//!
+//! The deadline travels to the buffer pool through a thread-local
+//! ([`with_io_deadline`]) rather than through every call signature: page
+//! accesses are closure-scoped and synchronous, so the innermost installed
+//! deadline is exactly the one governing the current I/O.
+
+use crate::buffer::MAX_IO_ATTEMPTS;
+use crate::disk::StorageError;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the buffer pool treats physical I/O faults: attempt budget,
+/// exponential backoff between attempts, and the circuit-breaker knobs.
+///
+/// The default reproduces the historic behavior (4 attempts, breaker off)
+/// plus a short backoff ladder; `breaker_threshold: 0` disables the breaker
+/// entirely so deterministic fault-injection experiments keep their exact
+/// per-page retry schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per physical page I/O before a transient error or checksum
+    /// mismatch is treated as permanent (minimum 1).
+    pub max_attempts: u32,
+    /// Pause before the second attempt; doubles per further attempt.
+    /// `Duration::ZERO` disables backoff sleeping.
+    pub backoff_start: Duration,
+    /// Upper bound on a single backoff pause.
+    pub backoff_cap: Duration,
+    /// Consecutive *surfaced* I/O failures (exhausted retries, corrupt
+    /// pages, permanent errors) that trip the breaker open. `0` disables
+    /// the breaker.
+    pub breaker_threshold: u32,
+    /// While the breaker is open, every N-th admitted operation runs as a
+    /// half-open probe (a single attempt, no retries); the others fail fast
+    /// with [`StorageError::BreakerOpen`]. Minimum 1 (every operation
+    /// probes).
+    pub breaker_probe_every: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: MAX_IO_ATTEMPTS,
+            backoff_start: Duration::from_micros(100),
+            backoff_cap: Duration::from_millis(5),
+            breaker_threshold: 0,
+            breaker_probe_every: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pause after attempt number `attempt` (1-based): exponential from
+    /// [`backoff_start`](Self::backoff_start), capped.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        if self.backoff_start.is_zero() {
+            return Duration::ZERO;
+        }
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        (self.backoff_start * factor).min(self.backoff_cap)
+    }
+}
+
+#[derive(Debug)]
+struct DeadlineInner {
+    cancelled: AtomicBool,
+    expires_at: Option<Instant>,
+}
+
+/// A cooperative time budget: an optional wall-clock expiry plus a
+/// cancellation flag settable from any thread through a [`CancelToken`].
+/// Cheap to clone (one `Arc`); clones observe the same state.
+#[derive(Debug, Clone)]
+pub struct Deadline {
+    inner: Arc<DeadlineInner>,
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Self::never()
+    }
+}
+
+impl Deadline {
+    /// A deadline that never expires on its own (it can still be
+    /// [cancelled](CancelToken::cancel)).
+    pub fn never() -> Self {
+        Self {
+            inner: Arc::new(DeadlineInner {
+                cancelled: AtomicBool::new(false),
+                expires_at: None,
+            }),
+        }
+    }
+
+    /// Expires `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Self::at(Instant::now() + budget)
+    }
+
+    /// Expires at `instant`.
+    pub fn at(instant: Instant) -> Self {
+        Self {
+            inner: Arc::new(DeadlineInner {
+                cancelled: AtomicBool::new(false),
+                expires_at: Some(instant),
+            }),
+        }
+    }
+
+    /// A handle that can cancel this deadline from another thread.
+    pub fn token(&self) -> CancelToken {
+        CancelToken {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Whether the budget is spent (cancelled, or past the expiry instant).
+    pub fn is_expired(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.expires_at {
+            Some(t) => Instant::now() >= t,
+            None => false,
+        }
+    }
+
+    /// `Err(StorageError::DeadlineExceeded)` once the budget is spent.
+    pub fn check(&self) -> Result<(), StorageError> {
+        if self.is_expired() {
+            Err(StorageError::DeadlineExceeded)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Cancels the [`Deadline`] it was taken from. Cloneable and sendable; all
+/// clones cancel the same deadline.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<DeadlineInner>,
+}
+
+impl CancelToken {
+    /// Marks the deadline expired immediately.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    /// Stack of installed I/O deadlines; the innermost governs.
+    static IO_DEADLINES: RefCell<Vec<Deadline>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with `deadline` installed as this thread's I/O deadline: buffer
+/// pool read/write retry ladders check it between attempts (and before
+/// backoff sleeps). Installations nest; the innermost wins.
+pub fn with_io_deadline<R>(deadline: &Deadline, f: impl FnOnce() -> R) -> R {
+    IO_DEADLINES.with(|s| s.borrow_mut().push(deadline.clone()));
+    struct Pop;
+    impl Drop for Pop {
+        fn drop(&mut self) {
+            IO_DEADLINES.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+    let _pop = Pop;
+    f()
+}
+
+/// The innermost I/O deadline installed on this thread, if any.
+pub fn current_io_deadline() -> Option<Deadline> {
+    IO_DEADLINES.with(|s| s.borrow().last().cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_matches_legacy_attempts_with_breaker_off() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_attempts, MAX_IO_ATTEMPTS);
+        assert_eq!(p.breaker_threshold, 0);
+        assert!(p.backoff_for(1) > Duration::ZERO);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            backoff_start: Duration::from_micros(100),
+            backoff_cap: Duration::from_micros(350),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff_for(1), Duration::from_micros(100));
+        assert_eq!(p.backoff_for(2), Duration::from_micros(200));
+        assert_eq!(p.backoff_for(3), Duration::from_micros(350), "capped");
+        assert_eq!(p.backoff_for(30), Duration::from_micros(350));
+        let zero = RetryPolicy {
+            backoff_start: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(zero.backoff_for(5), Duration::ZERO);
+    }
+
+    #[test]
+    fn deadline_expiry_and_cancellation() {
+        let never = Deadline::never();
+        assert!(!never.is_expired());
+        assert!(never.check().is_ok());
+
+        let spent = Deadline::after(Duration::ZERO);
+        assert!(spent.is_expired());
+        assert!(matches!(spent.check(), Err(StorageError::DeadlineExceeded)));
+
+        let d = Deadline::never();
+        let t = d.token();
+        let clone = d.clone();
+        t.cancel();
+        assert!(d.is_expired() && clone.is_expired(), "clones share state");
+    }
+
+    #[test]
+    fn io_deadline_nests_innermost_wins() {
+        assert!(current_io_deadline().is_none());
+        let outer = Deadline::never();
+        let inner = Deadline::after(Duration::ZERO);
+        with_io_deadline(&outer, || {
+            assert!(!current_io_deadline().expect("outer").is_expired());
+            with_io_deadline(&inner, || {
+                assert!(current_io_deadline().expect("inner").is_expired());
+            });
+            assert!(!current_io_deadline().expect("outer again").is_expired());
+        });
+        assert!(current_io_deadline().is_none());
+    }
+}

@@ -391,6 +391,11 @@ impl Wal {
         } else {
             inner.tail = 0;
             inner.tail_page = Page::zeroed();
+            // No current-epoch bytes survive on disk, so whatever a failed
+            // commit left behind is unreachable: the log is clean again and
+            // in-process recovery may resume committing without a separate
+            // checkpoint.
+            inner.poisoned = false;
         }
         Ok(report)
     }

@@ -63,7 +63,8 @@ pub use dol_storage as storage;
 pub use dol_workloads as workloads;
 pub use dol_xml as xml;
 
-pub use dol_nok::{QueryResult, Security};
+pub use dol_nok::{ExecOptions, ExecStats, QueryResult, Security};
+pub use dol_storage::{CancelToken, Deadline, RecoveryReport, RetryPolicy};
 
 pub use modal::{ModalDb, ModalSecurity};
 pub use reader::{CacheStats, DbReader};
@@ -78,7 +79,7 @@ use dol_storage::{
 use dol_xml::{Document, NodeId, TagId};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Errors from the high-level database API.
 #[derive(Debug)]
@@ -106,6 +107,13 @@ pub enum DbError {
         /// The database's current update epoch.
         now: u64,
     },
+    /// A query ran past its [`Deadline`] or its [`CancelToken`] fired. The
+    /// boxed statistics describe the partial work done before the abort —
+    /// a partial *answer* is never returned.
+    DeadlineExceeded(Box<ExecStats>),
+    /// [`SecureXmlDb::verify_integrity`] found the embedded DOL or the
+    /// block store inconsistent; the message names the first violation.
+    Integrity(String),
 }
 
 impl std::fmt::Display for DbError {
@@ -124,6 +132,12 @@ impl std::fmt::Display for DbError {
                 "snapshot reader at epoch {seen} overtaken by update (database at epoch {now}); \
                  take a fresh reader and retry"
             ),
+            DbError::DeadlineExceeded(stats) => write!(
+                f,
+                "query deadline exceeded after visiting {} node(s); no partial answer returned",
+                stats.nodes_visited
+            ),
+            DbError::Integrity(msg) => write!(f, "integrity check failed: {msg}"),
         }
     }
 }
@@ -142,7 +156,12 @@ impl From<StorageError> for DbError {
 }
 impl From<QueryError> for DbError {
     fn from(e: QueryError) -> Self {
-        DbError::Query(e)
+        match e {
+            // Keep the typed deadline signal (and its partial-work stats)
+            // first-class instead of burying it inside a query error.
+            QueryError::DeadlineExceeded(stats) => DbError::DeadlineExceeded(stats),
+            e => DbError::Query(e),
+        }
     }
 }
 
@@ -201,8 +220,47 @@ pub struct SecureXmlDb {
     /// Set when a failed update rolled back its pages (the in-memory
     /// mirrors may have advanced past them) or when [`SecureXmlDb::save_to`]
     /// compacted the image underneath this handle; every further update
-    /// fails with [`DbError::Poisoned`] until the database is reopened.
+    /// fails with [`DbError::Poisoned`] until the database is
+    /// [recovered](SecureXmlDb::recover) or reopened.
     poisoned: AtomicBool,
+    /// Set by a same-path [`SecureXmlDb::save_to`] compaction: the on-disk
+    /// image no longer matches this pool's page layout, so in-process
+    /// [`SecureXmlDb::recover`] is impossible — only a reopen from the path
+    /// can continue.
+    detached: AtomicBool,
+    /// The pre-transaction mirror snapshot stashed when an update poisons
+    /// the handle. The failed transaction's pages rolled back to their
+    /// pre-images, so these mirrors — not the possibly-advanced live ones —
+    /// are what matches the pages: degraded [readers](SecureXmlDb::reader)
+    /// serve from them, and in-memory [`SecureXmlDb::recover`] restores
+    /// them.
+    rollback_mirrors: Mutex<Option<MirrorSnapshot>>,
+}
+
+/// The `Arc`-shared read-side state of a [`SecureXmlDb`] at one instant.
+/// Capturing it is six reference bumps; holding it makes the next update's
+/// `Arc::make_mut` copy-on-write instead of mutating in place (the price of
+/// having a known-good state to fall back to).
+pub(crate) struct MirrorSnapshot {
+    pub(crate) doc: Arc<Document>,
+    pub(crate) store: Arc<StructStore>,
+    pub(crate) values: Arc<ValueStore>,
+    pub(crate) dol: Arc<EmbeddedDol>,
+    pub(crate) tag_index: Arc<BPlusTree<TagId, Vec<u64>>>,
+    pub(crate) value_index: Arc<BPlusTree<(TagId, u64), Vec<u64>>>,
+}
+
+impl MirrorSnapshot {
+    fn capture(db: &SecureXmlDb) -> Self {
+        Self {
+            doc: Arc::clone(&db.doc),
+            store: Arc::clone(&db.store),
+            values: Arc::clone(&db.values),
+            dol: Arc::clone(&db.dol),
+            tag_index: Arc::clone(&db.tag_index),
+            value_index: Arc::clone(&db.value_index),
+        }
+    }
 }
 
 impl SecureXmlDb {
@@ -259,6 +317,8 @@ impl SecureXmlDb {
             persistent: false,
             image_path: None,
             poisoned: AtomicBool::new(false),
+            detached: AtomicBool::new(false),
+            rollback_mirrors: Mutex::new(None),
         })
     }
 
@@ -290,6 +350,11 @@ impl SecureXmlDb {
         // from nursing unreachable results.
         self.epoch.fetch_add(1, Ordering::SeqCst);
         self.caches.invalidate_results();
+        // Capture the pre-transaction mirrors. Holding these Arcs forces the
+        // transaction body's `Arc::make_mut`s to copy-on-write, so on failure
+        // a known-good mirror set (matching the rolled-back pages) survives
+        // for degraded readers and in-process recovery.
+        let before = MirrorSnapshot::capture(self);
         let pool = self.pool.clone();
         let res = pool.atomic_update(|| {
             let r = f(self)?;
@@ -299,6 +364,10 @@ impl SecureXmlDb {
             Ok(r)
         });
         if res.is_err() {
+            *self
+                .rollback_mirrors
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()) = Some(before);
             self.poisoned.store(true, Ordering::Release);
         }
         res
@@ -308,6 +377,160 @@ impl SecureXmlDb {
     /// compaction) has poisoned this handle; see [`DbError::Poisoned`].
     pub fn is_poisoned(&self) -> bool {
         self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Repairs a poisoned handle **in process**, equivalent to dropping it
+    /// and reopening the image — without losing the process, the pool, or
+    /// the attached write-ahead log.
+    ///
+    /// * On a **persistent** database, every cached frame and any half-open
+    ///   transaction state is discarded, the write-ahead log's committed
+    ///   transactions are replayed onto the data disk (exactly what
+    ///   [`open_on`](Self::open_on) does first), and all in-memory mirrors
+    ///   — master document, block store, value store, DOL, tag and value
+    ///   indexes — are rebuilt from the recovered pages.
+    /// * On an **in-memory** database, the failed transaction already
+    ///   rolled its pages back to their pre-images; the pre-transaction
+    ///   mirror snapshot is restored to match them.
+    ///
+    /// Either way the rebuilt state must pass
+    /// [`verify_integrity`](Self::verify_integrity) before the poison latch
+    /// is cleared; on failure the handle stays poisoned and the error is
+    /// returned. Success bumps the update epoch (outstanding readers fail
+    /// [`DbError::StaleReader`] and re-snapshot), drops all cached results,
+    /// and resets the I/O circuit breaker.
+    ///
+    /// A handle *detached* by a same-path [`save_to`](Self::save_to)
+    /// compaction cannot recover — the on-disk image no longer matches this
+    /// pool's layout — and fails with [`DbError::Poisoned`]; reopen from
+    /// the path instead. An un-poisoned handle recovers trivially: the call
+    /// just resets the breaker and returns `Ok(None)`.
+    pub fn recover(&mut self) -> Result<Option<RecoveryReport>, DbError> {
+        if self.detached.load(Ordering::Acquire) {
+            return Err(DbError::Poisoned);
+        }
+        if !self.is_poisoned() {
+            self.pool.reset_breaker();
+            return Ok(None);
+        }
+        let report = if self.persistent {
+            // The cache may hold rolled-back frames or bytes that never
+            // became durable (e.g. after a power cut): drop them all, then
+            // redo the log's committed transactions onto the data disk and
+            // reload the image exactly as a fresh open would.
+            self.pool.discard_cache_and_txn();
+            let wal = self.pool.wal().ok_or(DbError::Poisoned)?;
+            let report = wal.recover_onto(self.pool.disk().as_ref())?;
+            let img = persist::load_image(&self.pool)?;
+            self.doc = Arc::new(img.doc);
+            self.store = Arc::new(img.store);
+            self.values = Arc::new(img.values);
+            self.dol = Arc::new(EmbeddedDol::from_codebook(img.codebook));
+            self.tag_index = Arc::new(img.tag_index);
+            self.value_index = Arc::new(img.value_index);
+            *self
+                .rollback_mirrors
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()) = None;
+            Some(report)
+        } else {
+            // In-memory: the rollback already restored the page pre-images;
+            // restore the matching pre-transaction mirrors. If the snapshot
+            // is gone (already consumed by a failed recovery), reopening is
+            // the only way out.
+            let snap = self
+                .rollback_mirrors
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .ok_or(DbError::Poisoned)?;
+            self.doc = snap.doc;
+            self.store = snap.store;
+            self.values = snap.values;
+            self.dol = snap.dol;
+            self.tag_index = snap.tag_index;
+            self.value_index = snap.value_index;
+            None
+        };
+        // Never declare health unverified: the poison latch stays set if the
+        // rebuilt state is inconsistent (e.g. torn pages with no log to redo
+        // from).
+        self.verify_integrity()?;
+        self.poisoned.store(false, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        self.caches.invalidate_results();
+        self.pool.reset_breaker();
+        Ok(report)
+    }
+
+    /// Verifies the full embedded-DOL and block-store invariants:
+    ///
+    /// * the block store's structural integrity (directory vs. on-page
+    ///   headers, transition tables, sizes and depths walked as a tree);
+    /// * the logical DOL transition list is strictly document-ordered and
+    ///   deduplicated — a node is flagged as a transition *iff* its code
+    ///   differs from its document-order predecessor, and the first node is
+    ///   always a transition;
+    /// * every transition code is within the codebook's bounds;
+    /// * each block header's first-code and change bit agree with the
+    ///   records actually in the block.
+    ///
+    /// Returns [`DbError::Integrity`] naming the first violation. The chaos
+    /// soak runs this after every in-process recovery.
+    pub fn verify_integrity(&self) -> Result<(), DbError> {
+        self.store.check_integrity().map_err(DbError::Integrity)?;
+        let items = self.store.read_block_range(0..self.store.block_count())?;
+        let codebook_len = self.dol.codebook().len() as u32;
+        let mut prev: Option<u32> = None;
+        for (pos, item) in items.iter().enumerate() {
+            if item.code >= codebook_len {
+                return Err(DbError::Integrity(format!(
+                    "node {pos}: access code {} out of codebook bounds ({codebook_len} entries)",
+                    item.code
+                )));
+            }
+            let expect_transition = prev != Some(item.code);
+            if item.is_transition != expect_transition {
+                return Err(DbError::Integrity(if item.is_transition {
+                    format!(
+                        "node {pos}: transition flagged but code {} unchanged",
+                        item.code
+                    )
+                } else {
+                    format!(
+                        "node {pos}: code changed {:?} -> {} without a transition flag",
+                        prev, item.code
+                    )
+                }));
+            }
+            prev = Some(item.code);
+        }
+        // Block headers against the records in each block.
+        let mut pos = 0usize;
+        for b in 0..self.store.block_count() {
+            let info = self.store.block_info(b);
+            let count = info.count as usize;
+            let Some(first) = items.get(pos) else {
+                return Err(DbError::Integrity(format!(
+                    "block {b} starts past the item list"
+                )));
+            };
+            if first.code != info.first_code {
+                return Err(DbError::Integrity(format!(
+                    "block {b}: header first_code {} but first record has code {}",
+                    info.first_code, first.code
+                )));
+            }
+            let change = items[pos + 1..pos + count].iter().any(|i| i.is_transition);
+            if change != info.change {
+                return Err(DbError::Integrity(format!(
+                    "block {b}: change bit {} but in-block transitions {}",
+                    info.change, change
+                )));
+            }
+            pos += count;
+        }
+        Ok(())
     }
 
     /// Flushes all dirty pages and truncates the write-ahead log. A no-op
@@ -325,6 +548,21 @@ impl SecureXmlDb {
     /// fail-closed tests and the experiment harness depend on that). The
     /// serving path with result caching is [`SecureXmlDb::reader`].
     pub fn query(&self, query: &str, security: Security) -> Result<QueryResult, DbError> {
+        self.query_opts(query, security, ExecOptions::default())
+    }
+
+    /// [`query`](Self::query) with explicit [`ExecOptions`] — notably a
+    /// [`Deadline`] (or [`CancelToken`]) for cooperative cancellation.
+    /// An expired deadline aborts the query with
+    /// [`DbError::DeadlineExceeded`] carrying the partial-work statistics;
+    /// a partial answer is never returned, and the abort is counted in
+    /// [`CacheStats::deadline_aborts`].
+    pub fn query_opts(
+        &self,
+        query: &str,
+        security: Security,
+        opts: ExecOptions,
+    ) -> Result<QueryResult, DbError> {
         let plan = self
             .caches
             .plans()
@@ -338,7 +576,13 @@ impl SecureXmlDb {
             &self.tag_index,
         );
         engine.set_value_index(&self.value_index);
-        Ok(engine.execute_plan(&plan, security)?)
+        match engine.execute_plan_opts(&plan, security, opts) {
+            Err(e @ QueryError::DeadlineExceeded(_)) => {
+                self.caches.note_deadline_abort();
+                Err(e.into())
+            }
+            other => Ok(other?),
+        }
     }
 
     /// A cheap snapshot handle for concurrent read-only serving: shares the
@@ -347,7 +591,22 @@ impl SecureXmlDb {
     /// (a warm result hit does zero page I/O). Readers overtaken by an
     /// update fail fast with [`DbError::StaleReader`] rather than return a
     /// mixed-epoch answer; take a fresh reader and retry.
+    ///
+    /// **Degraded mode:** a poisoned handle keeps serving readers. If the
+    /// poison came from a failed (rolled-back) update, the reader snapshots
+    /// the stashed *pre-transaction* mirrors — the state that matches the
+    /// rolled-back pages — so reads stay consistent while updates are
+    /// refused, until [`recover`](Self::recover) or a reopen.
     pub fn reader(&self) -> DbReader {
+        if self.poisoned.load(Ordering::Acquire) {
+            let snap = self
+                .rollback_mirrors
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if let Some(snap) = snap.as_ref() {
+                return DbReader::degraded(self, snap);
+            }
+        }
         DbReader::new(self)
     }
 
@@ -639,6 +898,32 @@ impl SecureXmlDb {
         self.pool.stats()
     }
 
+    /// Installs the buffer pool's fault [`RetryPolicy`] (attempt budget,
+    /// exponential backoff, circuit breaker). Resets the breaker.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.pool.set_retry_policy(policy);
+    }
+
+    /// The buffer pool's current fault [`RetryPolicy`].
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.pool.retry_policy()
+    }
+
+    /// Whether the I/O circuit breaker is open (reads and writes fail fast
+    /// with [`dol_storage::StorageError::BreakerOpen`], except half-open
+    /// probes). A tripped database still serves warm cached results through
+    /// its readers; [`recover`](Self::recover) or
+    /// [`reset_breaker`](Self::reset_breaker) closes it.
+    pub fn breaker_is_open(&self) -> bool {
+        self.pool.breaker_is_open()
+    }
+
+    /// Force-closes the I/O circuit breaker (e.g. after replacing a faulty
+    /// disk or disarming fault injection).
+    pub fn reset_breaker(&self) {
+        self.pool.reset_breaker();
+    }
+
     /// The current update epoch (starts at 0, bumped by every update
     /// transaction — successful or not).
     pub fn epoch(&self) -> u64 {
@@ -653,6 +938,13 @@ impl SecureXmlDb {
     /// Resets the I/O counters (e.g. between measured queries).
     pub fn reset_io_stats(&self) {
         self.pool.reset_stats();
+    }
+
+    /// Drops every cached page from the buffer pool (flushing dirty ones)
+    /// so subsequent reads are cold. Harnesses use this to measure or
+    /// provoke physical I/O; dirty pages whose flush fails stay cached.
+    pub fn drop_page_cache(&self) -> Result<(), DbError> {
+        Ok(self.pool.clear_cache()?)
     }
 
     /// Number of nodes.
@@ -919,5 +1211,122 @@ mod tests {
         assert_eq!(s.total_nodes, 6);
         assert_eq!(s.subjects, 2);
         assert!(s.transitions >= 2);
+    }
+
+    #[test]
+    fn verify_integrity_accepts_healthy_databases() {
+        let (mut db, _) = two_subject_db();
+        db.verify_integrity().unwrap();
+        db.set_subtree_access(1, SubjectId(1), true).unwrap();
+        db.delete_subtree(3).unwrap();
+        let s2 = db.add_subject(Some(SubjectId(1))).unwrap();
+        db.remove_subject(s2).unwrap();
+        db.compact_subjects().unwrap();
+        db.verify_integrity().unwrap();
+    }
+
+    fn faulty_two_subject_db() -> (SecureXmlDb, Arc<dol_storage::FaultDisk>) {
+        let xml = "<a><b><c>v1</c></b><d><e>v2</e><f/></d></a>";
+        let doc = dol_xml::parse(xml).unwrap();
+        let mut map = AccessibilityMap::new(2, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        for p in [0u32, 3, 4, 5] {
+            map.set(SubjectId(1), NodeId(p), true);
+        }
+        let disk = Arc::new(dol_storage::FaultDisk::new(
+            Arc::new(MemDisk::new()),
+            dol_storage::FaultConfig {
+                seed: 7,
+                permanent_read_failure: 1.0,
+                ..Default::default()
+            },
+        ));
+        disk.set_armed(false);
+        let db = SecureXmlDb::with_config_on(disk.clone(), doc, &map, DbConfig::default()).unwrap();
+        (db, disk)
+    }
+
+    #[test]
+    fn failed_update_poisons_then_degraded_reads_then_recover_heals() {
+        let (mut db, disk) = faulty_two_subject_db();
+        let sec = Security::BindingLevel(SubjectId(1));
+        assert_eq!(db.query("//d/e", sec).unwrap().matches, vec![4]);
+
+        // Arm: every cache-miss read fails permanently; the update fails
+        // inside its transaction and poisons the handle.
+        db.pool.clear_cache().unwrap();
+        disk.set_armed(true);
+        assert!(db.set_node_access(4, SubjectId(1), false).is_err());
+        assert!(db.is_poisoned());
+        assert!(matches!(
+            db.set_node_access(4, SubjectId(1), true),
+            Err(DbError::Poisoned)
+        ));
+        disk.set_armed(false);
+
+        // Degraded mode: readers keep serving the pre-transaction state.
+        let degraded = db.reader();
+        assert_eq!(degraded.query("//d/e", sec).unwrap().matches, vec![4]);
+
+        // In-process recovery restores the pre-transaction state, verified.
+        let report = db.recover().unwrap();
+        assert!(report.is_none(), "in-memory recovery has no log to replay");
+        assert!(!db.is_poisoned());
+        db.verify_integrity().unwrap();
+        assert_eq!(db.query("//d/e", sec).unwrap().matches, vec![4]);
+        // The recovery epoch bump fences the degraded snapshot.
+        assert!(degraded.is_stale());
+
+        // The healed handle accepts updates again.
+        db.set_subtree_access(1, SubjectId(1), true).unwrap();
+        assert_eq!(db.query("//b/c", sec).unwrap().matches, vec![2]);
+    }
+
+    #[test]
+    fn recover_on_a_healthy_handle_is_a_cheap_noop() {
+        let (mut db, _) = two_subject_db();
+        assert!(db.recover().unwrap().is_none());
+        assert_eq!(db.epoch(), 0, "no-op recovery must not bump the epoch");
+        db.set_node_access(4, SubjectId(1), false).unwrap();
+        assert!(!db.accessible(4, SubjectId(1)).unwrap());
+    }
+
+    #[test]
+    fn expired_deadline_surfaces_typed_error_and_is_counted() {
+        let (db, _) = two_subject_db();
+        let opts = ExecOptions {
+            deadline: Deadline::after(std::time::Duration::ZERO),
+            ..ExecOptions::default()
+        };
+        match db.query_opts("//d/e", Security::BindingLevel(SubjectId(1)), opts) {
+            Err(DbError::DeadlineExceeded(stats)) => {
+                assert_eq!(stats.blocks_failed_closed, 0, "not masked as inaccessible");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(db.cache_stats().deadline_aborts, 1);
+
+        // A cancel token fired mid-flight behaves identically.
+        let deadline = Deadline::never();
+        deadline.token().cancel();
+        let opts = ExecOptions {
+            deadline,
+            ..ExecOptions::default()
+        };
+        assert!(matches!(
+            db.query_opts("//d/e", Security::None, opts),
+            Err(DbError::DeadlineExceeded(_))
+        ));
+        assert_eq!(db.cache_stats().deadline_aborts, 2);
+
+        // Without a deadline the same queries still answer.
+        assert_eq!(
+            db.query("//d/e", Security::BindingLevel(SubjectId(1)))
+                .unwrap()
+                .matches,
+            vec![4]
+        );
     }
 }

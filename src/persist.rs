@@ -30,9 +30,10 @@ use dol_core::{Codebook, EmbeddedDol};
 use dol_nok::{build_tag_index, build_value_index};
 use dol_storage::disk::StorageError;
 use dol_storage::{
-    BufferPool, Disk, FileDisk, PageId, StoreConfig, StructStore, ValueStore, Wal, PAYLOAD_SIZE,
+    BPlusTree, BufferPool, Disk, FileDisk, PageId, StoreConfig, StructStore, ValueStore, Wal,
+    PAYLOAD_SIZE,
 };
-use dol_xml::{NodeId, TagInterner};
+use dol_xml::{Document, NodeId, TagId, TagInterner};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -196,6 +197,86 @@ fn decode_meta(bytes: &[u8]) -> Result<MetaParts, DbError> {
     })
 }
 
+/// The complete read-side state decoded from an image: everything
+/// [`SecureXmlDb`] mirrors in memory. Produced by [`load_image`], consumed
+/// by [`SecureXmlDb::open_on`] (fresh handle) and [`SecureXmlDb::recover`]
+/// (rebuilding a poisoned handle's mirrors in place).
+pub(crate) struct LoadedImage {
+    pub(crate) doc: Document,
+    pub(crate) store: StructStore,
+    pub(crate) values: ValueStore,
+    pub(crate) codebook: Codebook,
+    pub(crate) tag_index: BPlusTree<TagId, Vec<u64>>,
+    pub(crate) value_index: BPlusTree<(TagId, u64), Vec<u64>>,
+}
+
+/// Loads a version-2 image through `pool`: catalog, structure chain, meta
+/// blob, value store, master document, and both B+-tree indexes. The pool's
+/// cache must reflect the durable page state (fresh pool, or one whose cache
+/// was discarded after write-ahead-log recovery).
+pub(crate) fn load_image(pool: &Arc<BufferPool>) -> Result<LoadedImage, DbError> {
+    let cat = pool
+        .with_page(PageId(0), |p| {
+            if p.get_u32(0) != MAGIC {
+                return Err("not a secure-xml database file".to_string());
+            }
+            if p.get_u32(4) != VERSION {
+                return Err(format!("unsupported version {}", p.get_u32(4)));
+            }
+            Ok(Catalog {
+                struct_first: PageId(p.get_u32(8)),
+                max_records: p.get_u32(12),
+                meta_head: PageId(p.get_u32(16)),
+                meta_bytes: p.get_u64(20),
+                total_nodes: p.get_u64(28),
+            })
+        })?
+        .map_err(invalid_data)?;
+
+    let store = StructStore::open_chain(
+        pool.clone(),
+        StoreConfig {
+            max_records_per_block: cat.max_records as usize,
+        },
+        cat.struct_first,
+    )?;
+    if store.total_nodes() != cat.total_nodes {
+        return Err(invalid_data(format!(
+            "block chain holds {} nodes, catalog says {}",
+            store.total_nodes(),
+            cat.total_nodes
+        )));
+    }
+    let meta = decode_meta(&read_blob(pool, cat.meta_head, cat.meta_bytes)?)?;
+    let values = ValueStore::from_snapshot(
+        pool.clone(),
+        meta.value_pages,
+        meta.value_tail,
+        meta.value_index,
+    )?;
+    let mut tags = TagInterner::new();
+    for name in String::from_utf8_lossy(&meta.tag_blob).split('\n') {
+        tags.intern(name);
+    }
+
+    // Reconstruct the in-memory master document (tags + values).
+    let mut doc = store.to_document(&tags)?;
+    for (pos, _) in values.iter_lens() {
+        let v = values.get(pos)?.expect("indexed value exists");
+        doc.set_value(NodeId(pos as u32), Some(&v));
+    }
+    let tag_index = build_tag_index(&store)?;
+    let value_index = build_value_index(&store, &values)?;
+    Ok(LoadedImage {
+        doc,
+        store,
+        values,
+        codebook: meta.codebook,
+        tag_index,
+        value_index,
+    })
+}
+
 fn write_catalog(pool: &BufferPool, cat: &Catalog) -> Result<(), StorageError> {
     pool.with_page_mut(PageId(0), |p| {
         p.put_u32(0, MAGIC);
@@ -338,7 +419,12 @@ impl SecureXmlDb {
             // The live handle's pool still addresses the superseded layout:
             // updates through it would log pages that mean nothing in the
             // compacted image. Queries stay valid (the old file handle
-            // survives the rename); updates require a reopen.
+            // survives the rename); updates require a reopen. This poison is
+            // *detached* — the image on disk no longer matches this pool, so
+            // [`SecureXmlDb::recover`] refuses it too: only a reopen from
+            // the path can continue.
+            self.detached
+                .store(true, std::sync::atomic::Ordering::Release);
             self.poisoned
                 .store(true, std::sync::atomic::Ordering::Release);
         }
@@ -376,72 +462,23 @@ impl SecureXmlDb {
         wal.recover_onto(data.as_ref())?;
 
         let pool = Arc::new(BufferPool::new(data, cfg.buffer_pool_pages));
-        let cat = pool
-            .with_page(PageId(0), |p| {
-                if p.get_u32(0) != MAGIC {
-                    return Err("not a secure-xml database file".to_string());
-                }
-                if p.get_u32(4) != VERSION {
-                    return Err(format!("unsupported version {}", p.get_u32(4)));
-                }
-                Ok(Catalog {
-                    struct_first: PageId(p.get_u32(8)),
-                    max_records: p.get_u32(12),
-                    meta_head: PageId(p.get_u32(16)),
-                    meta_bytes: p.get_u64(20),
-                    total_nodes: p.get_u64(28),
-                })
-            })?
-            .map_err(invalid_data)?;
-
-        let store = StructStore::open_chain(
-            pool.clone(),
-            StoreConfig {
-                max_records_per_block: cat.max_records as usize,
-            },
-            cat.struct_first,
-        )?;
-        if store.total_nodes() != cat.total_nodes {
-            return Err(invalid_data(format!(
-                "block chain holds {} nodes, catalog says {}",
-                store.total_nodes(),
-                cat.total_nodes
-            )));
-        }
-        let meta = decode_meta(&read_blob(&pool, cat.meta_head, cat.meta_bytes)?)?;
-        let values = ValueStore::from_snapshot(
-            pool.clone(),
-            meta.value_pages,
-            meta.value_tail,
-            meta.value_index,
-        )?;
-        let mut tags = TagInterner::new();
-        for name in String::from_utf8_lossy(&meta.tag_blob).split('\n') {
-            tags.intern(name);
-        }
-
-        // Reconstruct the in-memory master document (tags + values).
-        let mut doc = store.to_document(&tags)?;
-        for (pos, _) in values.iter_lens() {
-            let v = values.get(pos)?.expect("indexed value exists");
-            doc.set_value(NodeId(pos as u32), Some(&v));
-        }
-        let tag_index = build_tag_index(&store)?;
-        let value_index = build_value_index(&store, &values)?;
+        let img = load_image(&pool)?;
         pool.attach_wal(wal);
         Ok(SecureXmlDb {
-            doc: Arc::new(doc),
-            store: Arc::new(store),
-            values: Arc::new(values),
-            dol: Arc::new(EmbeddedDol::from_codebook(meta.codebook)),
-            tag_index: Arc::new(tag_index),
-            value_index: Arc::new(value_index),
+            doc: Arc::new(img.doc),
+            store: Arc::new(img.store),
+            values: Arc::new(img.values),
+            dol: Arc::new(EmbeddedDol::from_codebook(img.codebook)),
+            tag_index: Arc::new(img.tag_index),
+            value_index: Arc::new(img.value_index),
             pool,
             epoch: Arc::new(std::sync::atomic::AtomicU64::new(0)),
             caches: Arc::new(crate::reader::QueryCaches::default()),
             persistent: true,
             image_path: None,
             poisoned: std::sync::atomic::AtomicBool::new(false),
+            detached: std::sync::atomic::AtomicBool::new(false),
+            rollback_mirrors: std::sync::Mutex::new(None),
         })
     }
 }
@@ -600,6 +637,90 @@ mod tests {
         back.store().check_integrity().unwrap();
         assert_eq!(back.document().to_xml(), db2.document().to_xml());
         assert_eq!(back.value(1).unwrap().as_deref(), Some("other"));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(super::wal_path(&path)).ok();
+    }
+
+    #[test]
+    fn persistent_recover_matches_a_fresh_reopen() {
+        use crate::DbConfig;
+        use dol_storage::{FaultConfig, FaultDisk, MemDisk};
+        use std::sync::Arc;
+        let db = all_access_db("<a><b><c>v1</c></b><d><e>v2</e><f/></d></a>");
+        let data = Arc::new(MemDisk::new());
+        db.save_to_disk(data.clone()).unwrap();
+        let fault = Arc::new(FaultDisk::new(
+            data.clone(),
+            FaultConfig {
+                seed: 11,
+                permanent_read_failure: 1.0,
+                ..Default::default()
+            },
+        ));
+        fault.set_armed(false);
+        let wal = Arc::new(MemDisk::new());
+        let mut live =
+            SecureXmlDb::open_on(fault.clone(), wal.clone(), DbConfig::default()).unwrap();
+        // A committed update that lives in the log.
+        live.set_subtree_access(3, SubjectId(0), false).unwrap();
+        let expect_xml = live.document().to_xml();
+
+        // Poison: with the cache cold and reads failing permanently, the
+        // next transaction dies inside its body.
+        live.pool.clear_cache().unwrap();
+        fault.set_armed(true);
+        assert!(live.set_node_access(1, SubjectId(0), false).is_err());
+        assert!(live.is_poisoned());
+        fault.set_armed(false);
+
+        // In-process recovery replays the log and rebuilds the mirrors.
+        let report = live.recover().unwrap();
+        assert!(report.is_some(), "persistent recovery replays the log");
+        assert!(!live.is_poisoned());
+        live.verify_integrity().unwrap();
+        assert_eq!(live.document().to_xml(), expect_xml);
+        assert!(!live.accessible(3, SubjectId(0)).unwrap());
+
+        // Equivalent to dropping the handle and reopening the same disks.
+        let back = SecureXmlDb::open_on(
+            Arc::new(data.fork()),
+            Arc::new(wal.fork()),
+            DbConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(back.document().to_xml(), expect_xml);
+        for p in 0..back.len() as u64 {
+            assert_eq!(
+                back.accessible(p, SubjectId(0)).unwrap(),
+                live.accessible(p, SubjectId(0)).unwrap(),
+                "pos {p}"
+            );
+        }
+
+        // The healed handle accepts and persists updates again.
+        live.set_node_access(1, SubjectId(0), false).unwrap();
+        assert!(!live.accessible(1, SubjectId(0)).unwrap());
+    }
+
+    #[test]
+    fn detached_handle_refuses_in_process_recovery() {
+        use crate::DbError;
+        let db = all_access_db("<a><b><c>v1</c></b><d><e>v2</e><f/></d></a>");
+        let path = tmp("detached.dolx");
+        db.save_to(&path).unwrap();
+        let mut live = SecureXmlDb::open_from(&path).unwrap();
+        live.delete_subtree(4).unwrap();
+        // Same-path compaction detaches the handle from the on-disk layout:
+        // recovery is impossible in process, only a reopen can continue.
+        live.save_to(&path).unwrap();
+        assert!(live.is_poisoned());
+        assert!(matches!(live.recover(), Err(DbError::Poisoned)));
+        assert!(live.is_poisoned());
+        // Queries still serve (degraded mode on the old layout).
+        assert_eq!(live.query("//c", Security::None).unwrap().matches.len(), 1);
+        drop(live);
+        let back = SecureXmlDb::open_from(&path).unwrap();
+        back.verify_integrity().unwrap();
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(super::wal_path(&path)).ok();
     }

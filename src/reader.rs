@@ -36,9 +36,9 @@
 //! answers as disk faults arm and disarm); only readers serve cached
 //! results.
 
-use crate::{DbError, SecureXmlDb};
+use crate::{DbError, MirrorSnapshot, SecureXmlDb};
 use dol_core::EmbeddedDol;
-use dol_nok::{LruCache, PlanCache, QueryEngine, QueryError, QueryResult, Security};
+use dol_nok::{ExecOptions, LruCache, PlanCache, QueryEngine, QueryError, QueryResult, Security};
 use dol_storage::{BPlusTree, IoStats, StructStore, ValueStore};
 use dol_xml::{Document, TagId};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,6 +61,9 @@ const RESULT_CACHE_CAPACITY: usize = 1024;
 pub(crate) struct QueryCaches {
     plans: PlanCache,
     results: LruCache<ResultKey, Arc<QueryResult>>,
+    /// Queries aborted by an expired [`dol_storage::Deadline`] or a fired
+    /// [`dol_storage::CancelToken`], across the handle and all readers.
+    deadline_aborts: AtomicU64,
 }
 
 impl Default for QueryCaches {
@@ -68,6 +71,7 @@ impl Default for QueryCaches {
         Self {
             plans: PlanCache::new(PLAN_CACHE_CAPACITY),
             results: LruCache::new(RESULT_CACHE_CAPACITY),
+            deadline_aborts: AtomicU64::new(0),
         }
     }
 }
@@ -84,17 +88,23 @@ impl QueryCaches {
         self.results.clear();
     }
 
+    pub(crate) fn note_deadline_abort(&self) {
+        self.deadline_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn stats(&self) -> CacheStats {
         CacheStats {
             plan_hits: self.plans.hits(),
             plan_misses: self.plans.misses(),
             result_hits: self.results.hits(),
             result_misses: self.results.misses(),
+            deadline_aborts: self.deadline_aborts.load(Ordering::Relaxed),
         }
     }
 }
 
-/// Hit/miss counters of the shared plan and secure-result caches.
+/// Hit/miss counters of the shared plan and secure-result caches, plus the
+/// deadline-abort count.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Queries whose compiled plan was already cached.
@@ -105,6 +115,9 @@ pub struct CacheStats {
     pub result_hits: u64,
     /// Reader queries that executed against the pages.
     pub result_misses: u64,
+    /// Queries aborted with [`DbError::DeadlineExceeded`] (expired deadline
+    /// or fired cancel token), across the handle and all readers.
+    pub deadline_aborts: u64,
 }
 
 /// A snapshot read handle created by [`SecureXmlDb::reader`].
@@ -161,6 +174,27 @@ impl DbReader {
         }
     }
 
+    /// A degraded-mode reader over a poisoned database's stashed
+    /// pre-transaction mirrors (the state matching the rolled-back pages).
+    /// Stamped with the *current* epoch: no further update can commit while
+    /// the handle is poisoned, so the snapshot stays fresh until
+    /// [`SecureXmlDb::recover`] bumps the epoch, at which point it fails
+    /// [`DbError::StaleReader`] like any overtaken reader.
+    pub(crate) fn degraded(db: &SecureXmlDb, snap: &MirrorSnapshot) -> Self {
+        Self {
+            doc: Arc::clone(&snap.doc),
+            store: Arc::clone(&snap.store),
+            values: Arc::clone(&snap.values),
+            dol: Arc::clone(&snap.dol),
+            tag_index: Arc::clone(&snap.tag_index),
+            value_index: Arc::clone(&snap.value_index),
+            epoch: Arc::clone(&db.epoch),
+            caches: Arc::clone(&db.caches),
+            seen: db.epoch.load(Ordering::SeqCst),
+            codebook_version: snap.dol.codebook().version(),
+        }
+    }
+
     /// The update epoch this snapshot was stamped with.
     pub fn epoch(&self) -> u64 {
         self.seen
@@ -193,6 +227,22 @@ impl DbReader {
     /// execution fit inside one epoch; results overtaken mid-flight are
     /// discarded and reported as [`DbError::StaleReader`].
     pub fn query(&self, query: &str, security: Security) -> Result<QueryResult, DbError> {
+        self.query_opts(query, security, ExecOptions::default())
+    }
+
+    /// [`query`](Self::query) with explicit [`ExecOptions`] — notably a
+    /// [`dol_storage::Deadline`] or [`dol_storage::CancelToken`] for
+    /// cooperative cancellation. A warm result-cache hit is served
+    /// regardless of the deadline (it costs no I/O); a miss that runs past
+    /// the deadline aborts with [`DbError::DeadlineExceeded`] carrying the
+    /// partial-work statistics, is counted in
+    /// [`CacheStats::deadline_aborts`], and caches nothing.
+    pub fn query_opts(
+        &self,
+        query: &str,
+        security: Security,
+        opts: ExecOptions,
+    ) -> Result<QueryResult, DbError> {
         self.check_fresh()?;
         let key: ResultKey = (query.to_owned(), security, self.seen, self.codebook_version);
         if let Some(hit) = self.caches.results.get(&key) {
@@ -214,12 +264,48 @@ impl DbReader {
             &self.tag_index,
         );
         engine.set_value_index(&self.value_index);
-        let result = engine.execute_plan(&plan, security)?;
+        let result = match engine.execute_plan_opts(&plan, security, opts) {
+            Ok(r) => r,
+            Err(e @ QueryError::DeadlineExceeded(_)) => {
+                self.caches.note_deadline_abort();
+                return Err(e.into());
+            }
+            Err(e) => return Err(e.into()),
+        };
         // Cache (and return) only results computed entirely inside one
         // epoch; anything else may mix pre- and post-update pages.
         self.check_fresh()?;
         self.caches.results.insert(key, Arc::new(result.clone()));
         Ok(result)
+    }
+
+    /// [`query`](Self::query) with bounded automatic re-snapshotting: when
+    /// the query fails [`DbError::StaleReader`] (an update overtook this
+    /// snapshot mid-flight), `refresh` is called for a fresh reader —
+    /// typically `|| db.reader()` through whatever latch guards the handle
+    /// — which replaces `self`, and the query is retried, at most
+    /// `max_retries` times. Every other outcome (including the final
+    /// staleness failure) is returned as-is.
+    pub fn query_with_retry<F>(
+        &mut self,
+        query: &str,
+        security: Security,
+        max_retries: u32,
+        mut refresh: F,
+    ) -> Result<QueryResult, DbError>
+    where
+        F: FnMut() -> DbReader,
+    {
+        let mut retries = 0;
+        loop {
+            match self.query(query, security) {
+                Err(DbError::StaleReader { .. }) if retries < max_retries => {
+                    retries += 1;
+                    *self = refresh();
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Whether `subject` may access the node at `pos` in this snapshot.

@@ -1,0 +1,127 @@
+//! Secure-result cache fencing under codebook mutations.
+//!
+//! The result cache's key is `(query, security, epoch, codebook_version)`.
+//! These tests prove the dangerous half of that contract: a **warm** entry is
+//! never served after [`SecureXmlDb::add_subject`],
+//! [`SecureXmlDb::remove_subject`] or [`SecureXmlDb::compact_subjects`]
+//! changed the codebook — even though none of those ops touches a structure
+//! page. Serving a stale entry would be an access-control hole (e.g. a
+//! removed subject still receiving its pre-removal answers), so each test
+//! checks both the mechanism (the post-update query re-executes against the
+//! pages) and the outcome (the answer reflects the new codebook).
+
+use secure_xml::acl::{AccessibilityMap, SubjectId};
+use secure_xml::xml::NodeId;
+use secure_xml::{SecureXmlDb, Security};
+
+/// Subject 0 sees everything; subject 1 sees {a, d, e, f} (positions
+/// 0, 3, 4, 5) of `<a><b><c>v1</c></b><d><e>v2</e><f/></d></a>`.
+fn two_subject_db() -> SecureXmlDb {
+    let doc = secure_xml::xml::parse("<a><b><c>v1</c></b><d><e>v2</e><f/></d></a>").unwrap();
+    let mut map = AccessibilityMap::new(2, doc.len());
+    for p in 0..doc.len() as u32 {
+        map.set(SubjectId(0), NodeId(p), true);
+    }
+    for p in [0u32, 3, 4, 5] {
+        map.set(SubjectId(1), NodeId(p), true);
+    }
+    SecureXmlDb::from_document(doc, &map).unwrap()
+}
+
+/// Runs `query` through a fresh reader and asserts it executed against the
+/// pages (result-cache miss + real page reads) rather than serving a warm
+/// entry; returns the matches.
+fn assert_re_executes(db: &SecureXmlDb, query: &str, sec: Security) -> Vec<u64> {
+    let misses_before = db.cache_stats().result_misses;
+    let io_before = db.io_stats();
+    let r = db.reader();
+    let res = r.query(query, sec).unwrap();
+    assert_eq!(
+        db.cache_stats().result_misses,
+        misses_before + 1,
+        "query must miss the result cache"
+    );
+    assert!(
+        db.io_stats().since(&io_before).logical_reads > 0,
+        "query must touch pages, not a warm entry"
+    );
+    res.matches
+}
+
+#[test]
+fn add_subject_fences_warm_results() {
+    let mut db = two_subject_db();
+    let sec0 = Security::BindingLevel(SubjectId(0));
+    let warm = db.reader();
+    assert_eq!(warm.query("//d/e", sec0).unwrap().matches, vec![4]);
+    let version_before = db.dol().codebook().version();
+
+    let s2 = db.add_subject(Some(SubjectId(1))).unwrap();
+    assert!(
+        db.dol().codebook().version() > version_before,
+        "add_subject must bump the codebook version"
+    );
+    // The old subject's identical query re-executes...
+    assert_eq!(assert_re_executes(&db, "//d/e", sec0), vec![4]);
+    // ...and the new subject immediately gets its own (copied) rights.
+    assert_eq!(
+        assert_re_executes(&db, "//d/e", Security::BindingLevel(s2)),
+        vec![4]
+    );
+    assert_eq!(
+        db.reader()
+            .query("//b/c", Security::BindingLevel(s2))
+            .unwrap()
+            .matches,
+        Vec::<u64>::new(),
+        "copied from subject 1, so b's subtree stays hidden"
+    );
+}
+
+#[test]
+fn remove_subject_never_serves_the_removed_subjects_warm_answers() {
+    let mut db = two_subject_db();
+    let sec1 = Security::BindingLevel(SubjectId(1));
+    let warm = db.reader();
+    assert_eq!(warm.query("//d/e", sec1).unwrap().matches, vec![4]);
+
+    db.remove_subject(SubjectId(1)).unwrap();
+    // The removed subject's query re-executes and now sees nothing — the
+    // pre-removal answer in the cache must not leak.
+    assert_eq!(
+        assert_re_executes(&db, "//d/e", sec1),
+        Vec::<u64>::new(),
+        "a removed subject must lose access immediately"
+    );
+    // The stale snapshot itself is fenced too.
+    assert!(warm.is_stale());
+}
+
+#[test]
+fn compact_subjects_fences_despite_subject_id_reuse() {
+    let mut db = two_subject_db();
+    // Warm an entry for subject 0 (sees everything, including //b/c).
+    let warm = db.reader();
+    assert_eq!(
+        warm.query("//b/c", Security::BindingLevel(SubjectId(0)))
+            .unwrap()
+            .matches,
+        vec![2]
+    );
+
+    // Remove subject 0 and compact: subject 1 shifts into id 0. The same
+    // (query, security) pair now means a *different* principal — serving
+    // the warm entry would hand subject 1 subject 0's answers.
+    db.remove_subject(SubjectId(0)).unwrap();
+    db.compact_subjects().unwrap();
+    assert_eq!(
+        assert_re_executes(&db, "//b/c", Security::BindingLevel(SubjectId(0))),
+        Vec::<u64>::new(),
+        "the shifted subject must not inherit the old subject's cached answer"
+    );
+    assert_eq!(
+        assert_re_executes(&db, "//d/e", Security::BindingLevel(SubjectId(0))),
+        vec![4],
+        "the shifted subject keeps its own rights"
+    );
+}

@@ -163,6 +163,57 @@ fn concurrent_readers_return_whole_epoch_answers() {
 }
 
 #[test]
+fn query_with_retry_rides_through_concurrent_updates() {
+    // The serving idiom: a reader that auto-re-snapshots on StaleReader
+    // keeps answering while the owner updates, and never returns a
+    // mixed-epoch answer (the retry loop only ever swallows staleness).
+    let db = xmark_db(0.02, 2, 9);
+    let db = RwLock::new(db);
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            let mut reader = db.read().unwrap().reader();
+            let mut served = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                for q in SUITE {
+                    reader
+                        .query_with_retry(q, Security::BindingLevel(SubjectId(1)), 1_000, || {
+                            db.read().unwrap().reader()
+                        })
+                        .expect("bounded re-snapshot must absorb staleness");
+                    served += 1;
+                }
+            }
+            served
+        });
+        for i in 0..20u64 {
+            {
+                let mut g = db.write().unwrap();
+                g.set_node_access(1 + (i % 5), SubjectId(1), i % 2 == 0)
+                    .unwrap();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        done.store(true, Ordering::Relaxed);
+        let served = server.join().expect("server thread");
+        assert!(served > 0, "the retry loop never completed a query");
+    });
+    // Terminal agreement with the sequential oracle.
+    let g = db.read().unwrap();
+    let mut reader = g.reader();
+    for q in SUITE {
+        let sec = Security::BindingLevel(SubjectId(1));
+        assert_eq!(
+            reader
+                .query_with_retry(q, sec, 4, || g.reader())
+                .unwrap()
+                .matches,
+            g.query(q, sec).unwrap().matches
+        );
+    }
+}
+
+#[test]
 fn readers_cache_refills_after_each_epoch() {
     // Same shape as above, single-threaded: prove the serving path re-warms
     // after invalidation and warm hits still do zero page I/O post-update.

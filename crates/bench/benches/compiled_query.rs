@@ -1,0 +1,59 @@
+//! Criterion benchmark for the query→automaton compilation: interpreted vs
+//! compiled execution of the Table-1 queries, unsecured and binding-level,
+//! with a warm plan cache (the lowering happens once, outside the timed
+//! loop — exactly how the serving path uses it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dol_bench::setup::{
+    synth_column, xmark_doc, BenchDb, ColumnOracle, Q3_SINGLE_PATH, SUBJECT, TABLE1,
+};
+use dol_nok::{ExecOptions, PlanCache, Security};
+
+fn compiled_query(c: &mut Criterion) {
+    let doc = xmark_doc(0.3);
+    let col = synth_column(&doc, 0.6, 0.05, 20050405);
+    let db = BenchDb::build(doc, &ColumnOracle(col), 8192);
+    let engine = db.engine();
+    let cache = PlanCache::new(16);
+    let mut queries: Vec<(&str, &str)> = TABLE1.to_vec();
+    queries.push(Q3_SINGLE_PATH);
+    for (sec_name, sec) in [
+        ("unsecured", Security::None),
+        ("binding", Security::BindingLevel(SUBJECT)),
+    ] {
+        let mut g = c.benchmark_group(format!("compiled_query/{sec_name}"));
+        for &(qid, q) in &queries {
+            let (plan, compiled) = cache.get_or_compile(q, db.doc.tags()).unwrap();
+            let interp_opts = ExecOptions {
+                compiled: false,
+                ..ExecOptions::default()
+            };
+            g.bench_with_input(BenchmarkId::new("interpreted", qid), &q, |b, _| {
+                b.iter(|| {
+                    engine
+                        .execute_plan_opts(&plan, sec, interp_opts.clone())
+                        .unwrap()
+                        .matches
+                        .len()
+                })
+            });
+            g.bench_with_input(BenchmarkId::new("compiled", qid), &q, |b, _| {
+                b.iter(|| {
+                    engine
+                        .execute_compiled_opts(&plan, &compiled, sec, ExecOptions::default())
+                        .unwrap()
+                        .matches
+                        .len()
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = compiled_query
+}
+criterion_main!(benches);

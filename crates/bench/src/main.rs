@@ -2,23 +2,26 @@
 //!
 //! ```text
 //! experiments [--quick|--full] [--parallelism=N] [--seed=N] [--clients=N] [--smoke]
-//!             [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates parallel faults crash serve soak | all]
+//!             [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates compile parallel faults crash serve soak | all]
 //! ```
 //!
 //! `--parallelism=N` caps the worker sweep of the `parallel` experiment
 //! (`0` = all available cores, the default). `--seed=N` re-seeds the
-//! `faults`, `crash`, `serve`, and `soak` experiments' deterministic
-//! schedules. `--clients=N` caps the `serve` experiment's client sweep, and
-//! `--smoke` makes `serve` run a small pinned configuration that asserts
-//! determinism, zero oracle divergences, zero stale-read errors, and a >90%
-//! shared-latch ratio, and shrinks the `soak` chaos schedule to CI size
-//! (its gates — zero wrong answers, zero unrecovered poison windows,
-//! breaker trip/probe and deadline-abort coverage — are asserted in every
-//! mode).
+//! `faults`, `crash`, `serve`, `soak`, and `compile` experiments'
+//! deterministic schedules. `--clients=N` caps the `serve` experiment's
+//! client sweep, and `--smoke` makes `serve` run a small pinned
+//! configuration that asserts determinism, zero oracle divergences, zero
+//! stale-read errors, and a >90% shared-latch ratio, shrinks the `soak`
+//! chaos schedule to CI size (its gates — zero wrong answers, zero
+//! unrecovered poison windows, breaker trip/probe and deadline-abort
+//! coverage — are asserted in every mode), and pins the `compile`
+//! experiment to a small instance whose byte-identity assertions
+//! (compiled answers ≡ interpreted answers, one lowering per query) gate
+//! CI while the speedup ratio is recorded, never gated.
 
 use dol_bench::{
-    ablation, crash, faults, fig4, fig56, fig7, fig8, parallel, queries, serve, soak, storage,
-    updates, Effort,
+    ablation, compile, crash, faults, fig4, fig56, fig7, fig8, parallel, queries, serve, soak,
+    storage, updates, Effort,
 };
 
 fn main() {
@@ -67,6 +70,7 @@ fn main() {
             "fig8".into(),
             "updates".into(),
             "ablation".into(),
+            "compile".into(),
             "parallel".into(),
             "faults".into(),
             "crash".into(),
@@ -97,6 +101,7 @@ fn main() {
             "fig8" => fig8::run(effort),
             "updates" => updates::run(effort),
             "ablation" => ablation::run(effort),
+            "compile" => compile::run(effort, seed, smoke),
             "parallel" => parallel::run(effort, parallelism),
             "faults" => faults::run(effort, seed),
             "crash" => crash::run(effort, seed),

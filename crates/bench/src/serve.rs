@@ -71,6 +71,9 @@ struct MixReport {
     p50_us: f64,
     p99_us: f64,
     plan_hit_rate: f64,
+    /// Query→automaton lowerings during the mix. After the first mix warms
+    /// the plan cache this stays 0: serving reuses cached lowerings.
+    plan_compiles: u64,
     result_hit_rate: f64,
     shared_reads: u64,
     exclusive_fallbacks: u64,
@@ -182,6 +185,7 @@ fn cache_delta(after: CacheStats, before: CacheStats) -> CacheStats {
     CacheStats {
         plan_hits: after.plan_hits - before.plan_hits,
         plan_misses: after.plan_misses - before.plan_misses,
+        plan_compiles: after.plan_compiles - before.plan_compiles,
         result_hits: after.result_hits - before.result_hits,
         result_misses: after.result_misses - before.result_misses,
         deadline_aborts: after.deadline_aborts - before.deadline_aborts,
@@ -244,6 +248,7 @@ fn run_mix(
         p50_us: percentile_us(&latencies, 0.50),
         p99_us: percentile_us(&latencies, 0.99),
         plan_hit_rate: hit_rate(caches.plan_hits, caches.plan_misses),
+        plan_compiles: caches.plan_compiles,
         result_hit_rate: hit_rate(caches.result_hits, caches.result_misses),
         shared_reads: io.read_shared,
         exclusive_fallbacks: io.read_exclusive_fallback,
@@ -337,7 +342,7 @@ fn json_object(r: &MixReport) -> String {
     format!(
         "{{\"clients\": {}, \"read_only\": {}, \"queries\": {}, \"updates\": {}, \
          \"qps\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \
-         \"plan_hit_rate\": {:.4}, \"result_hit_rate\": {:.4}, \
+         \"plan_hit_rate\": {:.4}, \"plan_compiles\": {}, \"result_hit_rate\": {:.4}, \
          \"shared_reads\": {}, \"exclusive_fallbacks\": {}, \"shared_ratio\": {:.4}, \
          \"stale_retries\": {}, \"stale_errors\": {}, \"availability\": {:.4}, \
          \"deadline_aborts\": {}, \"divergences\": {}, \
@@ -350,6 +355,7 @@ fn json_object(r: &MixReport) -> String {
         r.p50_us,
         r.p99_us,
         r.plan_hit_rate,
+        r.plan_compiles,
         r.result_hit_rate,
         r.shared_reads,
         r.exclusive_fallbacks,
@@ -446,6 +452,7 @@ pub fn run(effort: Effort, seed: u64, max_clients: usize, smoke: bool) {
             "p99",
             "result hits",
             "plan hits",
+            "compiles",
             "shared latch",
             "stale retries",
             "avail",
@@ -556,6 +563,7 @@ fn push_row(t: &mut Table, r: &MixReport) {
         format!("{:.1} us", r.p99_us),
         pct(r.result_hit_rate),
         pct(r.plan_hit_rate),
+        r.plan_compiles.to_string(),
         pct(r.shared_ratio()),
         r.stale_retries.to_string(),
         pct(r.availability()),

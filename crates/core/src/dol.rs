@@ -145,6 +145,17 @@ impl Dol {
         column.check_code(self.code_at(pos))
     }
 
+    /// Expands an already-decoded `column` into a per-**position**
+    /// [`AccessBitmap`](crate::column::AccessBitmap): accessibility runs are
+    /// filled 64 positions per word op, so scan-heavy consumers replace the
+    /// per-position `code_at` binary search with one shift-and-mask.
+    pub fn access_bitmap(
+        &self,
+        column: &crate::column::SubjectColumn,
+    ) -> crate::column::AccessBitmap {
+        crate::column::AccessBitmap::from_runs(self.total, self.runs(), column)
+    }
+
     /// Iterates maximal runs of equal code as `(start, end, code)`.
     pub fn runs(&self) -> impl Iterator<Item = (u64, u64, u32)> + '_ {
         self.transitions

@@ -174,6 +174,34 @@ impl EmbeddedDol {
         !info.change && !column.check_code(info.first_code)
     }
 
+    /// The §3.3 page-skip test evaluated **word-parallel over the whole
+    /// block directory**: bit `b & 63` of word `b >> 6` is set iff block `b`
+    /// is skippable for `column`'s subject. Built from the in-memory
+    /// [`BlockInfo`](dol_storage::BlockInfo) directory with one
+    /// [`SubjectColumn::check_codes64`] gather per 64 blocks — still zero
+    /// page I/O, but one bit test per candidate afterwards instead of a
+    /// header load and branch.
+    pub fn block_skip_mask(&self, store: &StructStore, column: &SubjectColumn) -> Vec<u64> {
+        let nblocks = store.block_count();
+        let mut mask = vec![0u64; nblocks.div_ceil(64)];
+        let mut codes = [0u32; 64];
+        for (w, chunk) in (0..nblocks).step_by(64).enumerate() {
+            let n = 64.min(nblocks - chunk);
+            let mut change = 0u64;
+            for (i, code) in codes.iter_mut().enumerate().take(n) {
+                let info = store.block_info(chunk + i);
+                *code = info.first_code;
+                if info.change {
+                    change |= 1u64 << i;
+                }
+            }
+            let accessible = column.check_codes64(&codes[..n]);
+            let valid = if n == 64 { !0u64 } else { (1u64 << n) - 1 };
+            mask[w] = !accessible & !change & valid;
+        }
+        mask
+    }
+
     /// Grants or revokes one subject's access to the single node at `pos`
     /// (§3.4 single-node accessibility update: one page read + one write).
     pub fn set_node(
@@ -354,6 +382,31 @@ mod tests {
             assert!(!dol.block_skippable(&store, b, SubjectId(0)));
         }
         assert!(skippable >= 1, "expected skippable blocks");
+    }
+
+    /// The word-parallel skip mask must agree with the per-block scalar
+    /// `block_skippable` for every block, subject, and block size.
+    #[test]
+    fn block_skip_mask_matches_scalar() {
+        for max_rec in [300, 3, 2] {
+            let (store, dol, _, _) = setup(max_rec);
+            for s in [SubjectId(0), SubjectId(1)] {
+                let col = dol.column(s);
+                let mask = dol.block_skip_mask(&store, &col);
+                for b in 0..store.block_count() {
+                    assert_eq!(
+                        mask[b >> 6] >> (b & 63) & 1 != 0,
+                        dol.block_skippable(&store, b, s),
+                        "block {b} subject {s} max_rec {max_rec}"
+                    );
+                }
+                // No bits past the directory.
+                if store.block_count() % 64 != 0 {
+                    let last = mask.last().copied().unwrap_or(0);
+                    assert_eq!(last >> (store.block_count() % 64), 0);
+                }
+            }
+        }
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod stats;
 pub mod stream;
 
 pub use codebook::Codebook;
-pub use column::SubjectColumn;
+pub use column::{AccessBitmap, SubjectColumn};
 pub use dol::Dol;
 pub use embedded::{build_secure_items, EmbeddedDol};
 pub use stats::DolStats;

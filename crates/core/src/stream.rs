@@ -76,10 +76,14 @@ pub fn secure_filter(xml: &str, dol: &Dol, subject: SubjectId) -> Result<String,
     // One-event lookahead so childless elements serialize as `<e/>`.
     let mut pending_start: Option<String> = None;
 
-    // One decoded column for the whole pass: every per-position check is a
-    // transition lookup plus a shift-and-mask, never an ACL-entry read.
+    // Hoisted accessibility state for the whole pass: the subject column is
+    // decoded once (the codebook-version check happens here, not per
+    // position) and expanded word-parallel into a positional bitmap, so the
+    // per-position check in the loop below is one shift-and-mask — no
+    // transition-list binary search, no ACL-entry read, no version check.
     let column = dol.column(subject);
-    let accessible = |p: u64| dol.accessible_with(p, &column);
+    let access = dol.access_bitmap(&column);
+    let accessible = |p: u64| p < access.len() && access.get(p);
     for ev in EventReader::new(xml) {
         let ev = ev?;
         match ev {

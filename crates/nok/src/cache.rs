@@ -1,10 +1,13 @@
 //! Query-serving caches: a small generic LRU and the compiled-plan cache.
 //!
 //! The serve path re-issues a handful of hot query strings thousands of
-//! times. Re-lexing and re-planning each is pure waste: [`PlanCache`] interns
-//! `query string → Arc<QueryPlan>` so a warm query costs one hash lookup.
-//! [`LruCache`] is the shared mechanism — it also backs the secure result
-//! cache at the database layer, keyed by `(query, security, epoch, codebook
+//! times. Re-lexing, re-planning, and re-lowering each is pure waste:
+//! [`PlanCache`] interns `fnv1a(query) → `[`PlanEntry`]` {plan, compiled}` so
+//! a warm query costs one integer-keyed lookup (the stored query string is
+//! verified on hit, so hash collisions are harmless) and the query→automaton
+//! lowering ([`CompiledPlan`]) happens once per tag space. [`LruCache`] is
+//! the shared mechanism — it also backs the secure result cache at the
+//! database layer, keyed by `(fnv1a(query), security, epoch, codebook
 //! version)`.
 //!
 //! Both are internally synchronized (one mutex around a tick-stamped hash
@@ -14,14 +17,30 @@
 //! victim scan is irrelevant at the intended capacities (tens to a few
 //! thousand entries).
 
+use crate::compiled::CompiledPlan;
 use crate::plan::QueryPlan;
 use crate::xpath::{parse_query, QueryParseError};
+use dol_xml::TagInterner;
 use parking_lot::Mutex;
 use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// FNV-1a over a query string — the shared cache-key hash. Callers key the
+/// plan and result caches by this `u64` instead of cloning the full `String`
+/// per lookup; the (astronomically unlikely) collision case is handled by
+/// verifying the stored query string on every hit.
+#[inline]
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
 
 struct LruInner<K, V> {
     map: HashMap<K, (V, u64)>,
@@ -125,9 +144,33 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
     }
 }
 
-/// An LRU of compiled query plans keyed by the query string.
+/// One cached query: the parsed plan plus, lazily, its compiled lowering.
+///
+/// The compiled half is fenced by the tag space it was lowered against
+/// ([`CompiledPlan::is_current`]); a stale lowering is replaced in place
+/// without re-parsing.
+pub struct PlanEntry {
+    /// The exact query string this entry was parsed from — verified on every
+    /// hash hit to make FNV collisions harmless.
+    query: Box<str>,
+    /// The parsed, decomposed plan.
+    plan: Arc<QueryPlan>,
+    /// The lowered automaton, if any lowering has happened yet.
+    compiled: Mutex<Option<Arc<CompiledPlan>>>,
+}
+
+impl PlanEntry {
+    /// The parsed plan.
+    pub fn plan(&self) -> &Arc<QueryPlan> {
+        &self.plan
+    }
+}
+
+/// An LRU of parsed (and lazily compiled) query plans keyed by the FNV-1a
+/// hash of the query string — lookups never clone or allocate the key.
 pub struct PlanCache {
-    plans: LruCache<String, Arc<QueryPlan>>,
+    plans: LruCache<u64, Arc<PlanEntry>>,
+    compiles: AtomicU64,
 }
 
 impl PlanCache {
@@ -135,19 +178,56 @@ impl PlanCache {
     pub fn new(capacity: usize) -> Self {
         Self {
             plans: LruCache::new(capacity),
+            compiles: AtomicU64::new(0),
         }
     }
 
-    /// The compiled plan for `query`: from the cache if warm, otherwise
-    /// parsed, planned, and cached. Parse errors are not cached (they are
-    /// cheap to rediscover and should not occupy slots).
-    pub fn get_or_parse(&self, query: &str) -> Result<Arc<QueryPlan>, QueryParseError> {
-        if let Some(plan) = self.plans.get(query) {
-            return Ok(plan);
+    /// The cache entry for `query`: from the cache if warm (string-verified
+    /// against hash collisions), otherwise parsed, planned, and cached.
+    /// Parse errors are not cached (they are cheap to rediscover and should
+    /// not occupy slots).
+    pub fn entry(&self, query: &str) -> Result<Arc<PlanEntry>, QueryParseError> {
+        let key = fnv1a(query);
+        if let Some(entry) = self.plans.get(&key) {
+            if &*entry.query == query {
+                return Ok(entry);
+            }
+            // Colliding key: fall through and overwrite with the newcomer.
         }
         let plan = Arc::new(QueryPlan::new(parse_query(query)?));
-        self.plans.insert(query.to_owned(), Arc::clone(&plan));
-        Ok(plan)
+        let entry = Arc::new(PlanEntry {
+            query: query.into(),
+            plan,
+            compiled: Mutex::new(None),
+        });
+        self.plans.insert(key, Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// The parsed plan for `query` (compatibility shim over [`entry`](Self::entry)).
+    pub fn get_or_parse(&self, query: &str) -> Result<Arc<QueryPlan>, QueryParseError> {
+        Ok(Arc::clone(&self.entry(query)?.plan))
+    }
+
+    /// The parsed plan *and* its compiled lowering for `query`, lowering (or
+    /// re-lowering) against `tags` only when the cached automaton is missing
+    /// or stale for that tag space.
+    pub fn get_or_compile(
+        &self,
+        query: &str,
+        tags: &TagInterner,
+    ) -> Result<(Arc<QueryPlan>, Arc<CompiledPlan>), QueryParseError> {
+        let entry = self.entry(query)?;
+        let mut slot = entry.compiled.lock();
+        if let Some(c) = slot.as_ref() {
+            if c.is_current(tags) {
+                return Ok((Arc::clone(&entry.plan), Arc::clone(c)));
+            }
+        }
+        let compiled = Arc::new(CompiledPlan::compile(&entry.plan, tags));
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        *slot = Some(Arc::clone(&compiled));
+        Ok((Arc::clone(&entry.plan), compiled))
     }
 
     /// Lookups served from the cache.
@@ -158,6 +238,12 @@ impl PlanCache {
     /// Lookups that had to parse.
     pub fn misses(&self) -> u64 {
         self.plans.misses()
+    }
+
+    /// Plan lowerings performed (first compilations plus tag-space
+    /// recompilations).
+    pub fn compiles(&self) -> u64 {
+        self.compiles.load(Ordering::Relaxed)
     }
 
     /// Number of cached plans.
@@ -198,6 +284,36 @@ mod tests {
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
         assert!(cache.get_or_parse("not a { query").is_err());
+    }
+
+    #[test]
+    fn plan_cache_compiles_once_per_tag_space() {
+        let cache = PlanCache::new(8);
+        let mut tags = TagInterner::new();
+        tags.intern("item");
+        tags.intern("emph");
+        let (p1, c1) = cache.get_or_compile("//item//emph", &tags).unwrap();
+        let (p2, c2) = cache.get_or_compile("//item//emph", &tags).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert!(Arc::ptr_eq(&c1, &c2), "same tag space must reuse");
+        assert_eq!(cache.compiles(), 1);
+        // Growing the tag space invalidates the lowering but not the plan.
+        tags.intern("keyword");
+        let (p3, c3) = cache.get_or_compile("//item//emph", &tags).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p3), "parse survives tag growth");
+        assert!(!Arc::ptr_eq(&c1, &c3), "stale lowering must be replaced");
+        assert_eq!(cache.compiles(), 2);
+        let (_, c4) = cache.get_or_compile("//item//emph", &tags).unwrap();
+        assert!(Arc::ptr_eq(&c3, &c4));
+        assert_eq!(cache.compiles(), 2);
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_distinguishes() {
+        // Pinned FNV-1a test vectors (offset basis / single byte).
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a("//item//emph"), fnv1a("//item//emp"));
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! The query engine: candidates → fragment matches → joins → answers.
 
+use crate::cache::fnv1a;
+use crate::compiled::{CompiledMatcher, CompiledPlan, SnapshotCache};
 use crate::join::{stack_tree_desc, VisibilityChecker};
 use crate::matcher::{is_availability, Binding, FragmentMatcher, MatchContext};
+use crate::pattern::PNodeId;
 use crate::plan::QueryPlan;
 use crate::xpath::{parse_query, QueryParseError};
 use dol_acl::SubjectId;
@@ -100,6 +103,11 @@ pub struct ExecOptions {
     /// [`QueryError::DeadlineExceeded`] carrying the partial-work stats —
     /// never with a partial answer, and never masked by fail-closed.
     pub deadline: Deadline,
+    /// Execute through the compiled automaton ([`CompiledPlan`]) rather than
+    /// the interpreted matcher (default: true). Answers are identical either
+    /// way (the differential property test enforces it); the flag exists for
+    /// the interpreted baseline in benchmarks and differential tests.
+    pub compiled: bool,
 }
 
 impl Default for ExecOptions {
@@ -108,6 +116,7 @@ impl Default for ExecOptions {
             page_skip: true,
             parallelism: 1,
             deadline: Deadline::never(),
+            compiled: true,
         }
     }
 }
@@ -256,15 +265,11 @@ pub fn build_value_index(
     Ok(idx)
 }
 
-/// A stable 64-bit value hash (FNV-1a) for the value index. Collisions are
-/// harmless: the matcher re-checks the actual value.
+/// A stable 64-bit value hash for the value index — the shared FNV-1a from
+/// the cache layer ([`fnv1a`]). Collisions are harmless: the matcher
+/// re-checks the actual value.
 fn value_hash(v: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in v.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
+    fnv1a(v)
 }
 
 impl<'a> QueryEngine<'a> {
@@ -313,12 +318,19 @@ impl<'a> QueryEngine<'a> {
 
     /// The positions of every node with `tag` (ascending), or of every node
     /// for the wildcard. Borrows straight from the tag index when possible —
-    /// a candidate list is consulted once per query, and cloning the hottest
-    /// tag's full position vector per call dominated the serve mix.
+    /// a candidate list is consulted once per query, and cloning (or
+    /// re-sorting) the hottest tag's full position vector per call dominated
+    /// the serve mix. Index lists are built by one document-order scan and
+    /// are therefore already strictly ascending; that invariant is
+    /// debug-asserted here (the leaf fast path and the join sort-elision
+    /// depend on it) instead of re-sorted away.
     pub fn candidates(&self, tag: Option<TagId>) -> Cow<'_, [u64]> {
         match tag {
             Some(t) => match self.tag_index.get().get(&t) {
-                Some(v) => Cow::Borrowed(v.as_slice()),
+                Some(v) => {
+                    debug_assert_doc_order(v);
+                    Cow::Borrowed(v.as_slice())
+                }
                 None => Cow::Owned(Vec::new()),
             },
             None => Cow::Owned((0..self.store.total_nodes()).collect()),
@@ -331,7 +343,10 @@ impl<'a> QueryEngine<'a> {
     pub fn candidates_for(&self, tag: Option<TagId>, value: Option<&str>) -> Cow<'_, [u64]> {
         if let (Some(t), Some(v), Some(idx)) = (tag, value, self.value_index.get()) {
             return match idx.get(&(t, value_hash(v))) {
-                Some(list) => Cow::Borrowed(list.as_slice()),
+                Some(list) => {
+                    debug_assert_doc_order(list);
+                    Cow::Borrowed(list.as_slice())
+                }
                 None => Cow::Owned(Vec::new()),
             };
         }
@@ -359,17 +374,59 @@ impl<'a> QueryEngine<'a> {
     /// calling thread's (and every worker's) I/O deadline for the duration;
     /// on expiry the query aborts with [`QueryError::DeadlineExceeded`]
     /// carrying the counters and I/O accumulated so far.
+    ///
+    /// With [`ExecOptions::compiled`] (the default) the plan is lowered to a
+    /// [`CompiledPlan`] for this call; long-lived callers should cache the
+    /// lowering and use [`execute_compiled_opts`](Self::execute_compiled_opts).
     pub fn execute_plan_opts(
         &self,
         plan: &QueryPlan,
         security: Security,
         opts: ExecOptions,
     ) -> Result<QueryResult, QueryError> {
+        if opts.compiled {
+            let compiled = CompiledPlan::compile(plan, self.tags);
+            self.run_timed(plan, Some(&compiled), security, &opts)
+        } else {
+            self.run_timed(plan, None, security, &opts)
+        }
+    }
+
+    /// Evaluates a plan through a pre-lowered automaton (normally from the
+    /// [`PlanCache`](crate::cache::PlanCache)). A lowering that is stale for
+    /// this engine's tag space ([`CompiledPlan::is_current`]) is replaced by
+    /// an ephemeral recompile — correctness never depends on freshness, only
+    /// the reuse does.
+    pub fn execute_compiled_opts(
+        &self,
+        plan: &QueryPlan,
+        compiled: &CompiledPlan,
+        security: Security,
+        opts: ExecOptions,
+    ) -> Result<QueryResult, QueryError> {
+        if compiled.is_current(self.tags) {
+            self.run_timed(plan, Some(compiled), security, &opts)
+        } else {
+            let fresh = CompiledPlan::compile(plan, self.tags);
+            self.run_timed(plan, Some(&fresh), security, &opts)
+        }
+    }
+
+    /// Timing, I/O delta, and deadline-abort plumbing shared by the
+    /// interpreted and compiled paths.
+    fn run_timed(
+        &self,
+        plan: &QueryPlan,
+        compiled: Option<&CompiledPlan>,
+        security: Security,
+        opts: &ExecOptions,
+    ) -> Result<QueryResult, QueryError> {
         let start = Instant::now();
         let io_before = self.store.pool().stats();
         let mut stats = ExecStats::default();
-        let outcome = with_io_deadline(&opts.deadline, || {
-            self.run_pipeline(plan, security, &opts, &mut stats)
+        let outcome = with_io_deadline(&opts.deadline, || match compiled {
+            Some(c) => self.run_pipeline_compiled(plan, c, security, opts, &mut stats),
+            None => self.run_pipeline(plan, security, opts, &mut stats),
         });
         stats.io = self.store.pool().stats().since(&io_before);
         stats.elapsed = start.elapsed();
@@ -480,6 +537,142 @@ impl<'a> QueryEngine<'a> {
             results.push(tuples);
         }
 
+        self.finish_pipeline(plan, security, results, stats, None)
+    }
+
+    /// Stage 1 of the compiled path: the same candidate seeding as the
+    /// interpreted pipeline, executed through [`CompiledMatcher`] — with the
+    /// §3.3 skip mask precomputed **once** per evaluation (word-parallel,
+    /// from in-memory headers) and single-node fragments routed through the
+    /// compressed-domain leaf fast path.
+    fn run_pipeline_compiled(
+        &self,
+        plan: &QueryPlan,
+        compiled: &CompiledPlan,
+        security: Security,
+        opts: &ExecOptions,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<u64>, QueryError> {
+        let subject = security.subject();
+        let access = match (subject, self.dol) {
+            (Some(s), Some(dol)) => Some((dol, s)),
+            (Some(_), None) => return Err(QueryError::NoAccessControl),
+            (None, _) => None,
+        };
+        let mut ctx = MatchContext::new(self.store, self.values, self.tags, access, opts.page_skip);
+        ctx.deadline = opts.deadline.clone();
+        let ctx = ctx;
+        // GB semantics need every fragment root exported; the compiled path
+        // passes a flag instead of cloning and re-lowering the plan (sound
+        // because a fragment root never appears in its own kin table).
+        let force_root_output = matches!(security, Security::SubtreeVisibility(_));
+        // One word-parallel pass over the in-memory block directory replaces
+        // the per-candidate skip probe. Purely in-memory: no I/O.
+        let skip_mask: Option<Vec<u64>> = match (&ctx.column, ctx.access) {
+            (Some(col), Some((dol, _))) if opts.page_skip => {
+                Some(dol.block_skip_mask(self.store, col))
+            }
+            _ => None,
+        };
+        let workers = opts.effective_parallelism().max(1);
+        debug_assert_eq!(
+            compiled.fragments().len(),
+            plan.trees.len(),
+            "compiled plan must be lowered from this query plan"
+        );
+        // Shared per-execution snapshot cache: the sequential leaf fast path
+        // and the join's ancestor-interval fetch latch each distinct block at
+        // most once between them.
+        let mut snaps = SnapshotCache::new(self.store.block_count());
+        let mut results: Vec<Vec<Binding>> = Vec::with_capacity(plan.trees.len());
+        for i in 0..plan.trees.len() {
+            let frag = compiled.fragment(i);
+            let anchored_root = i == 0 && plan.pattern.anchored();
+            let candidates: Cow<'_, [u64]> = if anchored_root {
+                Cow::Owned(vec![0u64])
+            } else if frag.is_satisfiable() {
+                self.candidates_for(frag.root_tag(), frag.root_value())
+            } else {
+                Cow::Owned(Vec::new())
+            };
+            stats.candidates += candidates.len() as u64;
+            // The leaf fast path classifies whole blocks in the compressed
+            // domain; it requires candidates drawn from the tag index (an
+            // anchored root's `[0]` is not), and is sequential by design —
+            // it does no per-candidate work worth parallelizing.
+            let tuples = if frag.is_leaf() && !anchored_root {
+                let mut m =
+                    CompiledMatcher::new(&ctx, frag, force_root_output, skip_mask.as_deref());
+                let t = m.match_leaf_candidates(&candidates, &mut snaps)?;
+                stats.add_match(&m.stats);
+                t
+            } else if workers <= 1 || candidates.len() < 2 {
+                let mut m =
+                    CompiledMatcher::new(&ctx, frag, force_root_output, skip_mask.as_deref());
+                let mut tuples = Vec::new();
+                for &c in candidates.iter() {
+                    tuples.extend(m.match_root(c)?);
+                }
+                stats.add_match(&m.stats);
+                tuples
+            } else {
+                let chunk = candidates.len().div_ceil(workers.min(candidates.len()));
+                let skip_mask = skip_mask.as_deref();
+                let per_chunk: Vec<_> = std::thread::scope(|scope| {
+                    let ctx = &ctx;
+                    let handles: Vec<_> = candidates
+                        .chunks(chunk)
+                        .map(|chunk| {
+                            scope.spawn(move || {
+                                with_io_deadline(&ctx.deadline, || {
+                                    let mut m = CompiledMatcher::new(
+                                        ctx,
+                                        frag,
+                                        force_root_output,
+                                        skip_mask,
+                                    );
+                                    let mut tuples = Vec::new();
+                                    for &c in chunk {
+                                        tuples.extend(m.match_root(c)?);
+                                    }
+                                    Ok::<_, StorageError>((tuples, m.stats))
+                                })
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("matcher worker panicked"))
+                        .collect()
+                });
+                let mut tuples = Vec::new();
+                for r in per_chunk {
+                    let (t, ms) = r?;
+                    tuples.extend(t);
+                    stats.add_match(&ms);
+                }
+                tuples
+            };
+            results.push(tuples);
+        }
+        self.finish_pipeline(plan, security, results, stats, Some(&mut snaps))
+    }
+
+    /// Stages 2–4, shared by the interpreted and compiled paths: the
+    /// subtree-visibility filter, the bottom-up structural joins, and the
+    /// returning-node projection. `snaps` (the compiled path) switches the
+    /// join's ancestor-interval fetch from per-binding `node()` loads to the
+    /// execution's shared [`SnapshotCache`] — one page access per distinct
+    /// block, shared with the leaf fast path that produced the bindings.
+    fn finish_pipeline(
+        &self,
+        plan: &QueryPlan,
+        security: Security,
+        mut results: Vec<Vec<Binding>>,
+        stats: &mut ExecStats,
+        mut snaps: Option<&mut SnapshotCache>,
+    ) -> Result<Vec<u64>, QueryError> {
+        let subject = security.subject();
         // 2. Subtree-visibility filter on fragment-root bindings.
         if let Security::SubtreeVisibility(s) = security {
             let Some(dol) = self.dol else {
@@ -524,15 +717,39 @@ impl<'a> QueryEngine<'a> {
                 results[join.anc_tree] = Vec::new();
                 continue;
             }
-            // Sort both sides in document order of their join positions.
+            // Sort both sides in document order of their join positions —
+            // unless a side already arrives sorted (leaf fast-path output
+            // and single-output fragments do), in which case the re-sort is
+            // elided.
             let mut anc_sorted: Vec<&Binding> = anc_tuples.iter().collect();
-            anc_sorted.sort_unstable_by_key(|b| bound(b, join.anc_pnode));
+            if !is_sorted_by_bound(&anc_sorted, join.anc_pnode) {
+                anc_sorted.sort_unstable_by_key(|b| bound(b, join.anc_pnode));
+            }
             let mut desc_sorted: Vec<&Binding> = desc_tuples.iter().collect();
-            desc_sorted.sort_unstable_by_key(|b| bound(b, desc_root));
+            if !is_sorted_by_bound(&desc_sorted, desc_root) {
+                desc_sorted.sort_unstable_by_key(|b| bound(b, desc_root));
+            }
             let mut anc_intervals = Vec::with_capacity(anc_sorted.len());
             let mut anc_kept: Vec<&Binding> = Vec::with_capacity(anc_sorted.len());
+            // Batched interval fetch: the execution's snapshot cache serves
+            // every anchor in a block from one page access — usually one the
+            // leaf fast path already paid for; a failed block fails closed
+            // once per binding it hides.
             for b in anc_sorted {
                 let pos = bound(b, join.anc_pnode);
+                if let Some(sn) = snaps.as_deref_mut() {
+                    let blk = self.store.block_of_pos(pos);
+                    match sn.get(self.store, blk, subject.is_some()) {
+                        Ok(Some(snap)) => {
+                            let size = snap.node((pos - snap.first_pos()) as usize).size;
+                            anc_intervals.push((pos, pos + u64::from(size)));
+                            anc_kept.push(b);
+                        }
+                        Ok(None) => stats.blocks_failed_closed += 1,
+                        Err(e) => return Err(e.into()),
+                    }
+                    continue;
+                }
                 match self.store.node(pos) {
                     Ok(rec) => {
                         anc_intervals.push((pos, pos + rec.size as u64));
@@ -574,12 +791,29 @@ impl<'a> QueryEngine<'a> {
 }
 
 /// The data position bound to `pnode` in a binding.
-fn bound(binding: &Binding, pnode: crate::pattern::PNodeId) -> u64 {
+fn bound(binding: &Binding, pnode: PNodeId) -> u64 {
     binding
         .iter()
         .find(|&&(p, _)| p == pnode)
         .map(|&(_, d)| d)
         .expect("pattern node is an output of its fragment")
+}
+
+/// Whether `tuples` is already non-decreasing in the position bound to
+/// `pnode` — the join's sort-elision test (O(n), no allocation).
+fn is_sorted_by_bound(tuples: &[&Binding], pnode: PNodeId) -> bool {
+    tuples
+        .windows(2)
+        .all(|w| bound(w[0], pnode) <= bound(w[1], pnode))
+}
+
+/// Debug invariant behind the no-re-sort policy: index candidate lists are
+/// produced by one document-order scan and must be strictly ascending.
+fn debug_assert_doc_order(list: &[u64]) {
+    debug_assert!(
+        list.windows(2).all(|w| w[0] < w[1]),
+        "index candidate list must be strictly ascending in document order"
+    );
 }
 
 #[cfg(test)]
@@ -767,12 +1001,113 @@ mod tests {
     fn stats_populated() {
         let d = db(DOC, None, 2);
         let engine = QueryEngine::new(&d.store, &d.values, d.doc.tags(), Some(&d.dol)).unwrap();
+        let plan = QueryPlan::new(parse_query("//site//name").unwrap());
+        // Default (compiled) execution: both fragments are single-node, so
+        // the leaf fast path answers from the index plus block headers —
+        // zero nodes materialized; the join still reads pages for intervals.
         let r = engine.execute("//site//name", Security::None).unwrap();
         assert_eq!(r.matches.len(), 3);
         assert!(r.stats.candidates >= 4);
-        assert!(r.stats.nodes_visited > 0);
+        assert_eq!(r.stats.nodes_visited, 0, "leaf fast path decodes no node");
         assert!(r.stats.join_pairs >= 3);
         assert!(r.stats.io.logical_reads > 0);
+        // The interpreted baseline visits every candidate and agrees.
+        let interp = engine
+            .execute_plan_opts(
+                &plan,
+                Security::None,
+                ExecOptions {
+                    compiled: false,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(interp.matches, r.matches);
+        assert!(interp.stats.nodes_visited > 0);
+    }
+
+    #[test]
+    fn compiled_matches_interpreted_end_to_end() {
+        let doc = parse(DOC).unwrap();
+        let mut map = AccessibilityMap::new(1, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        map.set(SubjectId(0), NodeId(5), false);
+        for max_rec in [300, 2] {
+            let d = db(DOC, Some(&map), max_rec);
+            let engine = QueryEngine::new(&d.store, &d.values, d.doc.tags(), Some(&d.dol)).unwrap();
+            for q in [
+                "/site/regions/africa/item[name][quantity]",
+                "//site//name",
+                "//item[name=\"salt\"]",
+                "//regions//name",
+                "/site/*/africa/item/name",
+                "//item[name]",
+                "/regions",
+                "//nosuchtag",
+            ] {
+                let plan = QueryPlan::new(parse_query(q).unwrap());
+                for sec in [
+                    Security::None,
+                    Security::BindingLevel(SubjectId(0)),
+                    Security::SubtreeVisibility(SubjectId(0)),
+                ] {
+                    for page_skip in [true, false] {
+                        let compiled = engine
+                            .execute_plan_opts(
+                                &plan,
+                                sec,
+                                ExecOptions {
+                                    page_skip,
+                                    ..ExecOptions::default()
+                                },
+                            )
+                            .unwrap();
+                        let interpreted = engine
+                            .execute_plan_opts(
+                                &plan,
+                                sec,
+                                ExecOptions {
+                                    page_skip,
+                                    compiled: false,
+                                    ..ExecOptions::default()
+                                },
+                            )
+                            .unwrap();
+                        assert_eq!(
+                            compiled.matches, interpreted.matches,
+                            "{q} {sec:?} page_skip={page_skip} max_rec={max_rec}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stale_compiled_plan_recompiles_and_answers() {
+        let d = db(DOC, None, 300);
+        let engine = QueryEngine::new(&d.store, &d.values, d.doc.tags(), Some(&d.dol)).unwrap();
+        let plan = QueryPlan::new(parse_query("//item[name]").unwrap());
+        // Lower against a *smaller* tag space (simulating a plan cached
+        // before this document's tags were interned): the fence detects it
+        // and the engine recompiles ephemerally — same answer.
+        let mut old_tags = TagInterner::new();
+        old_tags.intern("item");
+        old_tags.intern("name");
+        let stale = CompiledPlan::compile(&plan, &old_tags);
+        assert!(!stale.is_current(d.doc.tags()));
+        let r = engine
+            .execute_compiled_opts(&plan, &stale, Security::None, ExecOptions::default())
+            .unwrap();
+        assert_eq!(r.matches, vec![3, 6]);
+        // A current lowering is used as-is.
+        let fresh = CompiledPlan::compile(&plan, d.doc.tags());
+        let r2 = engine
+            .execute_compiled_opts(&plan, &fresh, Security::None, ExecOptions::default())
+            .unwrap();
+        assert_eq!(r2.matches, vec![3, 6]);
     }
 
     #[test]
@@ -850,29 +1185,39 @@ mod tests {
                 Security::SubtreeVisibility(SubjectId(0)),
             ] {
                 let plan = QueryPlan::new(parse_query(q).unwrap());
-                let seq = engine
-                    .execute_plan_opts(&plan, sec, ExecOptions::default())
-                    .unwrap();
-                for parallelism in [0, 2, 3, 7] {
-                    let par = engine
+                for compiled in [true, false] {
+                    let seq = engine
                         .execute_plan_opts(
                             &plan,
                             sec,
                             ExecOptions {
-                                parallelism,
+                                compiled,
                                 ..ExecOptions::default()
                             },
                         )
                         .unwrap();
-                    assert_eq!(
-                        par.matches, seq.matches,
-                        "query {q} parallelism {parallelism}"
-                    );
-                    assert_eq!(par.stats.candidates, seq.stats.candidates);
-                    assert_eq!(par.stats.nodes_visited, seq.stats.nodes_visited);
-                    assert_eq!(par.stats.nodes_denied, seq.stats.nodes_denied);
-                    assert_eq!(par.stats.blocks_skipped, seq.stats.blocks_skipped);
-                    assert_eq!(par.stats.join_pairs, seq.stats.join_pairs);
+                    for parallelism in [0, 2, 3, 7] {
+                        let par = engine
+                            .execute_plan_opts(
+                                &plan,
+                                sec,
+                                ExecOptions {
+                                    parallelism,
+                                    compiled,
+                                    ..ExecOptions::default()
+                                },
+                            )
+                            .unwrap();
+                        assert_eq!(
+                            par.matches, seq.matches,
+                            "query {q} parallelism {parallelism} compiled {compiled}"
+                        );
+                        assert_eq!(par.stats.candidates, seq.stats.candidates);
+                        assert_eq!(par.stats.nodes_visited, seq.stats.nodes_visited);
+                        assert_eq!(par.stats.nodes_denied, seq.stats.nodes_denied);
+                        assert_eq!(par.stats.blocks_skipped, seq.stats.blocks_skipped);
+                        assert_eq!(par.stats.join_pairs, seq.stats.join_pairs);
+                    }
                 }
             }
         }

@@ -20,9 +20,10 @@
 //! inspected once per query (the ε-STD pruning of [18]).
 
 use dol_acl::SubjectId;
-use dol_core::EmbeddedDol;
+use dol_core::{EmbeddedDol, SubjectColumn};
 use dol_storage::disk::StorageError;
 use dol_storage::StructStore;
+use std::sync::Arc;
 
 /// Joins sorted ancestor intervals with sorted descendant positions.
 ///
@@ -71,8 +72,13 @@ pub fn stack_tree_desc(anc: &[(u64, u64)], desc: &[u64]) -> Vec<(usize, usize)> 
 /// positions, sharing the root-to-node path across consecutive queries.
 pub struct VisibilityChecker<'a> {
     store: &'a StructStore,
-    dol: &'a EmbeddedDol,
-    subject: SubjectId,
+    /// The subject's accessibility column, decoded (with its
+    /// codebook-version revalidation) **once** at construction. A checker
+    /// lives inside one evaluation, which operates on a single snapshot, so
+    /// the per-candidate version check the shared
+    /// [`EmbeddedDol::check_code`] performs is loop-invariant here — hoisted
+    /// out of the hot path.
+    column: Arc<SubjectColumn>,
     /// Stack of `(start, end, visible, next_child)` for the current root
     /// path; `visible` includes the node itself and all its ancestors, and
     /// `next_child` is where the child scan resumes so shared prefixes and
@@ -87,8 +93,7 @@ impl<'a> VisibilityChecker<'a> {
     pub fn new(store: &'a StructStore, dol: &'a EmbeddedDol, subject: SubjectId) -> Self {
         Self {
             store,
-            dol,
-            subject,
+            column: dol.column(subject),
             stack: Vec::new(),
             nodes_inspected: 0,
         }
@@ -110,7 +115,7 @@ impl<'a> VisibilityChecker<'a> {
         if self.stack.is_empty() {
             let (rec, code) = self.store.node_and_code(0)?;
             self.nodes_inspected += 1;
-            let visible = self.dol.check_code(code, self.subject);
+            let visible = self.column.check_code(code);
             self.stack.push((0, rec.size as u64, visible, 1));
         }
         // Descend from the deepest retained ancestor to pos.
@@ -135,7 +140,7 @@ impl<'a> VisibilityChecker<'a> {
                 if pos < cend {
                     // The parent resumes after this child once it is popped.
                     self.stack.last_mut().expect("root pushed above").3 = cend;
-                    let cvis = visible && self.dol.check_code(code, self.subject);
+                    let cvis = visible && self.column.check_code(code);
                     self.stack.push((child, cend, cvis, child + 1));
                     break;
                 }

@@ -42,6 +42,7 @@
 //!   ancestor of every bound node must be accessible.
 
 pub mod cache;
+pub mod compiled;
 pub mod engine;
 pub mod join;
 pub mod matcher;
@@ -50,7 +51,8 @@ pub mod plan;
 pub mod reference;
 pub mod xpath;
 
-pub use cache::{LruCache, PlanCache};
+pub use cache::{fnv1a, LruCache, PlanCache};
+pub use compiled::{CompiledFragment, CompiledMatcher, CompiledPlan};
 pub use engine::{
     build_tag_index, build_value_index, ExecOptions, ExecStats, QueryEngine, QueryError,
     QueryResult, Security,

@@ -45,7 +45,7 @@ pub(crate) fn is_availability(e: &StorageError) -> bool {
 /// Deadline checks piggy-back on node loads, once every this many visited
 /// nodes (power of two; the check itself is an atomic load plus, for real
 /// deadlines, one `Instant::now()`).
-const DEADLINE_CHECK_MASK: u64 = 0xFF;
+pub(crate) const DEADLINE_CHECK_MASK: u64 = 0xFF;
 
 /// Everything a fragment match needs to read.
 pub struct MatchContext<'a> {

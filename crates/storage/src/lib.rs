@@ -57,7 +57,9 @@ pub use buffer::{BufferPool, IoStats, DEFAULT_CHECKPOINT_THRESHOLD, MAX_IO_ATTEM
 pub use disk::{Disk, FileDisk, MemDisk, StorageError};
 pub use fault::{CrashDisk, CrashState, FaultConfig, FaultDisk, FaultStats};
 pub use log::{PagedLog, ValueStore};
-pub use nok::{BlockInfo, BulkItem, NodeRec, StoreConfig, StructStore, NO_CODE};
+pub use nok::{
+    BlockInfo, BlockProbe, BlockSnapshot, BulkItem, NodeRec, StoreConfig, StructStore, NO_CODE,
+};
 pub use page::{Page, PageId, CHECKSUM_SIZE, PAGE_SIZE, PAYLOAD_SIZE};
 pub use retry::{current_io_deadline, with_io_deadline, CancelToken, Deadline, RetryPolicy};
 pub use wal::{RecoveryReport, Wal, WalStats};

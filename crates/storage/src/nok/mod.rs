@@ -31,7 +31,9 @@ mod store;
 mod update;
 
 pub use block::{MAX_RECORDS_DEFAULT, REC_SIZE};
-pub use store::{BlockInfo, BulkItem, NodeRec, StoreConfig, StoreIter, StructStore};
+pub use store::{
+    BlockInfo, BlockProbe, BlockSnapshot, BulkItem, NodeRec, StoreConfig, StoreIter, StructStore,
+};
 
 /// Code value used on unsecured stores (no DOL embedded).
 pub const NO_CODE: u32 = 0;

@@ -6,7 +6,7 @@ use super::block::{
 };
 use crate::buffer::BufferPool;
 use crate::disk::StorageError;
-use crate::page::PageId;
+use crate::page::{Page, PageId};
 use dol_xml::{Document, TagId, TagInterner};
 use std::sync::Arc;
 
@@ -124,6 +124,70 @@ pub struct BlockInfo {
     pub change: bool,
     /// Depth of the first node.
     pub first_depth: u16,
+}
+
+/// An owned snapshot of one block (see [`StructStore::block_snapshot`]): the
+/// raw page bytes plus the decoded code runs. Records are decoded lazily,
+/// slot by slot, so taking the snapshot costs one page access and one page
+/// copy regardless of how many of its records the caller ends up reading.
+pub struct BlockSnapshot {
+    first_pos: u64,
+    count: u32,
+    page: Page,
+    runs: Vec<(u32, u32)>,
+}
+
+impl BlockSnapshot {
+    /// Document position of slot 0.
+    #[inline]
+    pub fn first_pos(&self) -> u64 {
+        self.first_pos
+    }
+
+    /// Number of records in the block.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Decodes the record at `slot`.
+    ///
+    /// # Panics
+    /// Debug-asserts `slot < count`.
+    #[inline]
+    pub fn node(&self, slot: usize) -> NodeRec {
+        debug_assert!(slot < self.count as usize, "slot out of block bounds");
+        NodeRec::from_raw(RawRec::read(&self.page, slot))
+    }
+
+    /// The access-control code in effect at `slot`.
+    #[inline]
+    pub fn code(&self, slot: usize) -> u32 {
+        // runs[0] is always (0, first_code), so the partition point is >= 1.
+        let k = self.runs.partition_point(|&(s, _)| s <= slot as u32);
+        self.runs[k - 1].1
+    }
+}
+
+/// The result of probing one block in the compressed domain (see
+/// [`StructStore::block_probe`]): per-slot structural bit masks plus the
+/// block's code runs, everything a caller needs to word-test structure and
+/// accessibility **before** decoding any record or value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockProbe {
+    /// Document position of slot 0.
+    pub first_pos: u64,
+    /// Number of records in the block.
+    pub count: u32,
+    /// Bit `s & 63` of word `s >> 6` set iff slot `s`'s record carries the
+    /// probed tag (all `count` bits set when no tag was probed).
+    pub tag_mask: Vec<u64>,
+    /// Bit set iff the slot's record has a stored value.
+    pub value_mask: Vec<u64>,
+    /// `(slot, code)` code runs: `(0, first_code)` first, then every
+    /// in-block transition ascending by slot. Each run extends to the next
+    /// run's slot (or the end of the block).
+    pub runs: Vec<(u32, u32)>,
 }
 
 /// The NoK block store. See the [module docs](super) for the layout.
@@ -478,6 +542,93 @@ impl StructStore {
         Ok(out)
     }
 
+    /// Probes block `idx` in the compressed domain: one page access scans
+    /// the raw records (no [`NodeRec`] construction, no value decode) and
+    /// returns word-packed per-slot masks plus the block's code runs, so a
+    /// caller can classify every slot against a tag, a value predicate, and
+    /// an access column with word ops before deciding to decode anything.
+    ///
+    /// Blocks whose change bit is clear contribute a single `(0, first_code)`
+    /// run straight from the in-memory header; the page is still read once
+    /// for the structural masks.
+    pub fn block_probe(&self, idx: usize, tag: Option<TagId>) -> Result<BlockProbe, StorageError> {
+        let info = self.dir[idx];
+        let count = info.count as usize;
+        let words = count.div_ceil(64);
+        self.pool.with_page(info.page, |p| {
+            let mut tag_mask = vec![0u64; words];
+            let mut value_mask = vec![0u64; words];
+            for slot in 0..count {
+                let off = super::block::HDR_SIZE + slot * super::block::REC_SIZE;
+                let tag_ok = match tag {
+                    Some(t) => p.get_u32(off) == t.0,
+                    None => true,
+                };
+                if tag_ok {
+                    tag_mask[slot >> 6] |= 1u64 << (slot & 63);
+                }
+                if p.get_u16(off + 10) & RFLAG_HAS_VALUE != 0 {
+                    value_mask[slot >> 6] |= 1u64 << (slot & 63);
+                }
+            }
+            let mut runs: Vec<(u32, u32)> = Vec::with_capacity(1);
+            runs.push((0, info.first_code));
+            if info.change {
+                for (slot, code) in read_transitions(p) {
+                    runs.push((u32::from(slot), code));
+                }
+            }
+            BlockProbe {
+                first_pos: info.first_pos,
+                count: info.count,
+                tag_mask,
+                value_mask,
+                runs,
+            }
+        })
+    }
+
+    /// Takes an owned snapshot of block `idx` — the page bytes plus the
+    /// decoded code runs — in one page access. The snapshot decodes
+    /// individual records on demand, so callers that walk many nodes of the
+    /// same block (the compiled matcher's block cache) pay one latch per
+    /// block instead of one per [`node_and_code`](Self::node_and_code) call,
+    /// without eagerly decoding records they never visit.
+    pub fn block_snapshot(&self, idx: usize) -> Result<BlockSnapshot, StorageError> {
+        let info = self.dir[idx];
+        let (page, trans) = self.pool.with_page(info.page, |p| {
+            let trans = if info.change {
+                read_transitions(p)
+            } else {
+                Vec::new()
+            };
+            (p.clone(), trans)
+        })?;
+        let mut runs = Vec::with_capacity(1 + trans.len());
+        runs.push((0u32, info.first_code));
+        runs.extend(trans.into_iter().map(|(s, c)| (u32::from(s), c)));
+        Ok(BlockSnapshot {
+            first_pos: info.first_pos,
+            count: info.count,
+            page,
+            runs,
+        })
+    }
+
+    /// Reads every record's subtree size in block `idx` with one page
+    /// access — the batched form of per-position [`node`](Self::node) calls
+    /// when a caller needs the `[pos, pos + size)` interval of many nodes in
+    /// the same block.
+    pub fn block_sizes(&self, idx: usize) -> Result<Vec<u32>, StorageError> {
+        let info = self.dir[idx];
+        let count = info.count as usize;
+        self.pool.with_page(info.page, |p| {
+            (0..count)
+                .map(|slot| p.get_u32(super::block::HDR_SIZE + slot * super::block::REC_SIZE + 4))
+                .collect()
+        })
+    }
+
     /// Iterates `(pos, record)` over all nodes in document order.
     pub fn iter(&self) -> StoreIter<'_> {
         StoreIter {
@@ -812,6 +963,75 @@ mod tests {
                 assert_eq!(store.node_and_code(pos).unwrap().1, expect);
             }
             assert_eq!(store.logical_transition_count().unwrap(), 3);
+        }
+    }
+
+    /// `block_probe`'s masks and runs must agree with the per-position
+    /// record and code reads, for every block size and probed tag.
+    #[test]
+    fn block_probe_matches_per_node_reads() {
+        let doc = parse("<a><b/><c/><d><e/><f/><g><h/><i/><j/></g></d><k/></a>").unwrap();
+        let items: Vec<BulkItem> = doc
+            .preorder()
+            .map(|id| {
+                let n = doc.node(id);
+                let code = if (4..9).contains(&id.0) { 2 } else { 1 };
+                BulkItem {
+                    tag: n.tag,
+                    size: n.size,
+                    depth: n.depth,
+                    has_value: id.0 % 3 == 0,
+                    code,
+                    is_transition: id.0 == 0 || id.0 == 4 || id.0 == 9,
+                }
+            })
+            .collect();
+        for max_rec in [300usize, 3, 2] {
+            let store = StructStore::build(
+                small_pool(),
+                StoreConfig {
+                    max_records_per_block: max_rec,
+                },
+                items.iter().copied(),
+            )
+            .unwrap();
+            let probe_tag = doc.tags().get("e");
+            for b in 0..store.block_count() {
+                let probe = store.block_probe(b, probe_tag).unwrap();
+                let info = *store.block_info(b);
+                assert_eq!(probe.first_pos, info.first_pos);
+                assert_eq!(probe.count, info.count);
+                let sizes = store.block_sizes(b).unwrap();
+                assert_eq!(sizes.len(), info.count as usize);
+                for slot in 0..info.count as usize {
+                    let pos = info.first_pos + slot as u64;
+                    let (rec, code) = store.node_and_code(pos).unwrap();
+                    let bit = |m: &[u64]| m[slot >> 6] >> (slot & 63) & 1 != 0;
+                    assert_eq!(bit(&probe.tag_mask), Some(rec.tag) == probe_tag);
+                    assert_eq!(bit(&probe.value_mask), rec.has_value);
+                    assert_eq!(sizes[slot], rec.size);
+                    // Code run lookup: last run at or before the slot.
+                    let run_code = probe
+                        .runs
+                        .iter()
+                        .rev()
+                        .find(|&&(s, _)| s as usize <= slot)
+                        .map(|&(_, c)| c)
+                        .unwrap();
+                    assert_eq!(run_code, code, "block {b} slot {slot} max {max_rec}");
+                }
+                // No-tag probe sets every valid bit and nothing past count.
+                let all = store.block_probe(b, None).unwrap();
+                let n = info.count as usize;
+                for w in 0..all.tag_mask.len() {
+                    let valid = if n - w * 64 >= 64 {
+                        !0u64
+                    } else {
+                        (1u64 << (n - w * 64)) - 1
+                    };
+                    assert_eq!(all.tag_mask[w], valid);
+                }
+            }
         }
     }
 

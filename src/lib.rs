@@ -563,10 +563,10 @@ impl SecureXmlDb {
         security: Security,
         opts: ExecOptions,
     ) -> Result<QueryResult, DbError> {
-        let plan = self
+        let (plan, compiled) = self
             .caches
             .plans()
-            .get_or_parse(query)
+            .get_or_compile(query, self.doc.tags())
             .map_err(QueryError::Parse)?;
         let mut engine = QueryEngine::with_index(
             &self.store,
@@ -576,7 +576,12 @@ impl SecureXmlDb {
             &self.tag_index,
         );
         engine.set_value_index(&self.value_index);
-        match engine.execute_plan_opts(&plan, security, opts) {
+        let exec = if opts.compiled {
+            engine.execute_compiled_opts(&plan, &compiled, security, opts)
+        } else {
+            engine.execute_plan_opts(&plan, security, opts)
+        };
+        match exec {
             Err(e @ QueryError::DeadlineExceeded(_)) => {
                 self.caches.note_deadline_abort();
                 Err(e.into())

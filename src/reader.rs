@@ -20,9 +20,11 @@
 //!
 //! Two caches ride along, shared by the database handle and every reader:
 //!
-//! * the **plan cache** interns `query string → compiled plan` (epoch-
-//!   independent: plans mention tags and axes, never data);
-//! * the **secure result cache** maps `(query, security mode, epoch,
+//! * the **plan cache** interns `fnv1a(query) → parsed plan + compiled
+//!   automaton` (epoch-independent: plans mention tags and axes, never
+//!   data; the automaton is additionally fenced on the tag space it was
+//!   lowered against);
+//! * the **secure result cache** maps `(fnv1a(query), security mode, epoch,
 //!   codebook version) → result`. A warm hit returns the cached matches
 //!   with **zero page I/O** — the key's epoch and codebook-version stamps
 //!   prove the cached answer is still the answer, so not even a §3.3
@@ -38,18 +40,29 @@
 
 use crate::{DbError, MirrorSnapshot, SecureXmlDb};
 use dol_core::EmbeddedDol;
-use dol_nok::{ExecOptions, LruCache, PlanCache, QueryEngine, QueryError, QueryResult, Security};
+use dol_nok::{
+    fnv1a, ExecOptions, LruCache, PlanCache, QueryEngine, QueryError, QueryResult, Security,
+};
 use dol_storage::{BPlusTree, IoStats, StructStore, ValueStore};
 use dol_xml::{Document, TagId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// What makes a cached secure result reusable: the exact query text, the
+/// What makes a cached secure result reusable: the query text (as its FNV-1a
+/// hash — the full string is kept in the cached entry and verified on every
+/// hit, so collisions are harmless and lookups never clone a `String`), the
 /// security mode (subject and semantics), the update epoch, and the codebook
 /// version. If all four match, the database cannot have changed in any way
 /// the query could observe.
-type ResultKey = (String, Security, u64, u64);
+type ResultKey = (u64, Security, u64, u64);
+
+/// A cached secure result together with the exact query string it answers —
+/// the collision guard for the hashed [`ResultKey`].
+struct CachedResult {
+    query: Box<str>,
+    result: QueryResult,
+}
 
 /// Plan- and result-cache capacities. The serve mix has a handful of hot
 /// queries per subject; these bounds are generous for that shape while
@@ -60,7 +73,7 @@ const RESULT_CACHE_CAPACITY: usize = 1024;
 /// The caches shared between a [`SecureXmlDb`] and all its readers.
 pub(crate) struct QueryCaches {
     plans: PlanCache,
-    results: LruCache<ResultKey, Arc<QueryResult>>,
+    results: LruCache<ResultKey, Arc<CachedResult>>,
     /// Queries aborted by an expired [`dol_storage::Deadline`] or a fired
     /// [`dol_storage::CancelToken`], across the handle and all readers.
     deadline_aborts: AtomicU64,
@@ -96,6 +109,7 @@ impl QueryCaches {
         CacheStats {
             plan_hits: self.plans.hits(),
             plan_misses: self.plans.misses(),
+            plan_compiles: self.plans.compiles(),
             result_hits: self.results.hits(),
             result_misses: self.results.misses(),
             deadline_aborts: self.deadline_aborts.load(Ordering::Relaxed),
@@ -107,10 +121,13 @@ impl QueryCaches {
 /// deadline-abort count.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Queries whose compiled plan was already cached.
+    /// Queries whose parsed plan was already cached.
     pub plan_hits: u64,
     /// Queries that had to be parsed and planned.
     pub plan_misses: u64,
+    /// Query→automaton lowerings performed (first compilations plus
+    /// tag-space recompilations); warm queries reuse the cached lowering.
+    pub plan_compiles: u64,
     /// Reader queries answered from the result cache (zero page I/O).
     pub result_hits: u64,
     /// Reader queries that executed against the pages.
@@ -244,17 +261,24 @@ impl DbReader {
         opts: ExecOptions,
     ) -> Result<QueryResult, DbError> {
         self.check_fresh()?;
-        let key: ResultKey = (query.to_owned(), security, self.seen, self.codebook_version);
+        let key: ResultKey = (fnv1a(query), security, self.seen, self.codebook_version);
         if let Some(hit) = self.caches.results.get(&key) {
-            let mut result = (*hit).clone();
-            result.stats.io = IoStats::default();
-            result.stats.elapsed = Duration::ZERO;
-            return Ok(result);
+            if &*hit.query == query {
+                let mut result = hit.result.clone();
+                result.stats.io = IoStats::default();
+                result.stats.elapsed = Duration::ZERO;
+                return Ok(result);
+            }
+            // Hash collision: fall through, execute, and overwrite.
         }
-        let plan = self
+        // The compiled lowering is fenced on the snapshot's tag space:
+        // `get_or_compile` re-lowers if tags grew since it was cached, and
+        // `execute_compiled_opts` falls back to an ephemeral recompile if
+        // this snapshot's interner is older than the cached lowering.
+        let (plan, compiled) = self
             .caches
             .plans
-            .get_or_parse(query)
+            .get_or_compile(query, self.doc.tags())
             .map_err(QueryError::Parse)?;
         let mut engine = QueryEngine::with_index(
             &self.store,
@@ -264,7 +288,12 @@ impl DbReader {
             &self.tag_index,
         );
         engine.set_value_index(&self.value_index);
-        let result = match engine.execute_plan_opts(&plan, security, opts) {
+        let exec = if opts.compiled {
+            engine.execute_compiled_opts(&plan, &compiled, security, opts)
+        } else {
+            engine.execute_plan_opts(&plan, security, opts)
+        };
+        let result = match exec {
             Ok(r) => r,
             Err(e @ QueryError::DeadlineExceeded(_)) => {
                 self.caches.note_deadline_abort();
@@ -273,9 +302,16 @@ impl DbReader {
             Err(e) => return Err(e.into()),
         };
         // Cache (and return) only results computed entirely inside one
-        // epoch; anything else may mix pre- and post-update pages.
+        // epoch; anything else may mix pre- and post-update pages. This is
+        // the only place the query string is cloned.
         self.check_fresh()?;
-        self.caches.results.insert(key, Arc::new(result.clone()));
+        self.caches.results.insert(
+            key,
+            Arc::new(CachedResult {
+                query: query.into(),
+                result: result.clone(),
+            }),
+        );
         Ok(result)
     }
 

@@ -215,6 +215,7 @@ pub fn run(effort: Effort, seed: u64) {
         // back in, so data-page writes interleave with WAL writes.
         buffer_pool_pages: 40,
         max_records_per_block: 16,
+        epoch_retain: 8,
     };
     println!("Crash-recovery torture harness (seed {seed}, {ops_n} updates)\n");
 

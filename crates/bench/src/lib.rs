@@ -23,6 +23,7 @@
 //! | [`serve`] | multi-client secure-query serving: snapshot readers, caches, shared latches (not a paper artifact) |
 //! | [`faults`] | fault injection: checksum detection, fail-closed semantics, verify overhead (not a paper artifact) |
 //! | [`crash`] | crash-recovery torture: power cut at every physical write point, recovery must land on a state boundary (not a paper artifact) |
+//! | [`mvcc`] | MVCC epoch ring + group commit: pinned-reader oracles, retention refusals, solo vs batched update throughput at equal durability (not a paper artifact) |
 //! | [`soak`] | combined chaos soak: brownouts, power cuts, deadlines, in-process recovery under a live serving mix (not a paper artifact) |
 
 pub mod ablation;
@@ -33,6 +34,7 @@ pub mod fig4;
 pub mod fig56;
 pub mod fig7;
 pub mod fig8;
+pub mod mvcc;
 pub mod parallel;
 pub mod queries;
 pub mod serve;

@@ -2,12 +2,12 @@
 //!
 //! ```text
 //! experiments [--quick|--full] [--parallelism=N] [--seed=N] [--clients=N] [--smoke]
-//!             [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates compile parallel faults crash serve soak | all]
+//!             [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates compile parallel faults crash mvcc serve soak | all]
 //! ```
 //!
 //! `--parallelism=N` caps the worker sweep of the `parallel` experiment
 //! (`0` = all available cores, the default). `--seed=N` re-seeds the
-//! `faults`, `crash`, `serve`, `soak`, and `compile` experiments'
+//! `faults`, `crash`, `mvcc`, `serve`, `soak`, and `compile` experiments'
 //! deterministic schedules. `--clients=N` caps the `serve` experiment's
 //! client sweep, and `--smoke` makes `serve` run a small pinned
 //! configuration that asserts determinism, zero oracle divergences, zero
@@ -20,8 +20,8 @@
 //! CI while the speedup ratio is recorded, never gated.
 
 use dol_bench::{
-    ablation, compile, crash, faults, fig4, fig56, fig7, fig8, parallel, queries, serve, soak,
-    storage, updates, Effort,
+    ablation, compile, crash, faults, fig4, fig56, fig7, fig8, mvcc, parallel, queries, serve,
+    soak, storage, updates, Effort,
 };
 
 fn main() {
@@ -74,6 +74,7 @@ fn main() {
             "parallel".into(),
             "faults".into(),
             "crash".into(),
+            "mvcc".into(),
             "serve".into(),
             "soak".into(),
         ];
@@ -105,6 +106,7 @@ fn main() {
             "parallel" => parallel::run(effort, parallelism),
             "faults" => faults::run(effort, seed),
             "crash" => crash::run(effort, seed),
+            "mvcc" => mvcc::run(effort, seed, smoke),
             "serve" => serve::run(effort, seed, clients, smoke),
             "soak" => soak::run(effort, seed, smoke),
             other => eprintln!("unknown experiment `{other}` (skipped)"),

@@ -6,8 +6,14 @@
 //! transient read errors, always armed) → `FaultDisk` (100% transient
 //! errors, armed only during *brownout* windows) — while reader threads
 //! replay the Table-1 mix through [`DbReader::query_with_retry`] snapshots
-//! and an updater toggles one node's access back and forth. A driver
-//! choreographs repeated chaos cycles:
+//! and updater threads toggle one node's access through the
+//! [`GroupCommitter`]. A [`secure_xml::CommitObserver`] runs under the
+//! committer's write lock after every commit and publishes the toggle's
+//! post-commit state keyed by epoch, so a reader pinned to an
+//! observer-recorded epoch is classified against *that epoch's* oracle
+//! exactly — not merely "one of the two" — while epochs produced outside
+//! the committer (the driver's direct poison-latching writes) fall back to
+//! the either-oracle check. A driver choreographs repeated chaos cycles:
 //!
 //! 1. **Brownout** — arm the 100%-fault layer and force cold page reads
 //!    until the circuit breaker trips; while open, reads fail fast with
@@ -46,12 +52,13 @@ use dol_workloads::{synth_multi, SynthAclConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use secure_xml::{
-    CacheStats, DbConfig, DbError, DbReader, Deadline, ExecOptions, RetryPolicy, SecureXmlDb,
+    CacheStats, DbConfig, DbError, DbReader, Deadline, ExecOptions, GroupCommitConfig,
+    GroupCommitStats, GroupCommitter, RetryPolicy, SecureXmlDb,
 };
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 /// The fixed seed used when the caller does not supply one (CI does not).
@@ -65,13 +72,20 @@ const SUBJECTS: usize = 3;
 const MIX_SUBJECTS: u16 = 2;
 const PROBE_SUBJECT: SubjectId = SubjectId(2);
 const READERS: usize = 2;
-/// Stale-reader retry budget per reader operation (the updater is finite
+/// Updater threads pushing toggle commits through the group committer.
+const UPDATERS: usize = 2;
+/// Snapshot-refresh budget per reader operation (`StaleReader` in legacy
+/// mode, `RetentionExceeded` past the ring window; the updaters are finite
 /// per window, so a retry always lands).
 const MAX_STALE_RETRIES: u32 = 100_000;
 
 /// Oracle key: (Table-1 query index, subject, subtree-visibility?).
 type OpKey = (usize, u16, bool);
 type Oracle = HashMap<OpKey, Vec<u64>>;
+/// Epoch → the toggle's post-commit accessibility for subject 1, published
+/// by the commit observer under the committer's write lock. A reader
+/// pinned to a recorded epoch answers exactly that epoch's oracle.
+type EpochStates = Mutex<HashMap<u64, bool>>;
 
 fn security_of(key: OpKey) -> Security {
     let s = SubjectId(key.1);
@@ -101,10 +115,16 @@ struct Counters {
     deadline_aborts: AtomicU64,
     /// `CancelToken` cancellations aborted the same way.
     cancel_aborts: AtomicU64,
-    /// Fresh snapshots taken inside `query_with_retry` (stale retries).
+    /// Fresh snapshots taken inside `query_with_retry` (legacy stale
+    /// retries or MVCC retention-window expiries).
     stale_refreshes: AtomicU64,
-    /// Committed updater transactions.
+    /// Answers classified against an observer-recorded *per-epoch* oracle
+    /// (the strict check; the rest use the either-oracle fallback).
+    epoch_checked: AtomicU64,
+    /// Committed updater transactions (group-commit members).
     commits: AtomicU64,
+    /// Submissions pushed back by the committer's admission control.
+    gc_overloads: AtomicU64,
     /// Updates refused with `DbError::Poisoned` (degraded windows).
     refused_updates: AtomicU64,
     /// Updates that died on the failing disk (the poison moments).
@@ -193,6 +213,7 @@ fn reader_loop(
     db: &RwLock<SecureXmlDb>,
     allow: &Oracle,
     deny: &Oracle,
+    epochs: &EpochStates,
     c: &Counters,
     stop: &AtomicBool,
     seed: u64,
@@ -219,7 +240,9 @@ fn reader_loop(
                     assert_eq!(stats.blocks_failed_closed, 0, "abort is not fail-closed");
                     c.bump(&c.deadline_aborts);
                 }
-                Err(DbError::StaleReader { .. }) => reader = fresh(c),
+                Err(DbError::StaleReader { .. } | DbError::RetentionExceeded { .. }) => {
+                    reader = fresh(c)
+                }
                 Err(e) if is_availability(&e) => c.bump(&c.availability_errors),
                 Ok(_) => c.bump(&c.unexpected_errors),
                 Err(_) => c.bump(&c.unexpected_errors),
@@ -234,13 +257,29 @@ fn reader_loop(
         match reader.query_with_retry(TABLE1[key.0].1, security_of(key), MAX_STALE_RETRIES, || {
             fresh(c)
         }) {
-            Ok(r) => classify(
-                c,
-                &r.matches,
-                r.stats.blocks_failed_closed,
-                &allow[&key],
-                &deny[&key],
-            ),
+            Ok(r) => {
+                // The reader is pinned to one epoch; if the commit observer
+                // recorded that epoch's toggle state, demand *that* oracle.
+                let recorded = epochs
+                    .lock()
+                    .expect("epoch map")
+                    .get(&reader.epoch())
+                    .copied();
+                match recorded {
+                    Some(allowed) => {
+                        let expect = if allowed { &allow[&key] } else { &deny[&key] };
+                        classify(c, &r.matches, r.stats.blocks_failed_closed, expect, expect);
+                        c.bump(&c.epoch_checked);
+                    }
+                    None => classify(
+                        c,
+                        &r.matches,
+                        r.stats.blocks_failed_closed,
+                        &allow[&key],
+                        &deny[&key],
+                    ),
+                }
+            }
             Err(e) if is_availability(&e) => c.bump(&c.availability_errors),
             Err(e) => {
                 c.bump(&c.unexpected_errors);
@@ -250,32 +289,39 @@ fn reader_loop(
     }
 }
 
-/// The updater thread: toggles one node's access for subject 1. Failures
-/// are the chaos working as intended — counted, never fatal here (the
-/// driver heals; the final exact-suite check proves nothing was lost).
+/// One updater thread: toggles the node's access for subject 1 through the
+/// group committer. Two of these run, so concurrent submissions can fold
+/// into one batch. Failures are the chaos working as intended — counted,
+/// never fatal here (the driver heals; the final exact-suite check proves
+/// nothing was lost).
 fn updater_loop(
-    db: &RwLock<SecureXmlDb>,
+    gc: &GroupCommitter,
     toggle: u64,
     c: &Counters,
     stop: &AtomicBool,
     enabled: &AtomicBool,
+    idx: usize,
 ) {
-    let mut state = false;
+    let mut state = idx.is_multiple_of(2);
     while !stop.load(Ordering::Relaxed) {
         std::thread::sleep(Duration::from_micros(500));
-        // The driver parks the updater during brownout windows: a commit's
+        // The driver parks the updaters during brownout windows: a commit's
         // successful page *writes* would keep resetting the breaker's
         // consecutive-failure run, hiding the read outage it is staging.
         if !enabled.load(Ordering::Relaxed) {
             continue;
         }
-        let mut g = db.write().expect("db lock");
-        match g.set_node_access(toggle, SubjectId(1), state) {
+        let next = state;
+        match gc.submit_fn(move |d| d.set_node_access(toggle, SubjectId(1), next)) {
             Ok(()) => {
                 c.bump(&c.commits);
                 state = !state;
             }
+            // The batch's commit failed (power cut) or the handle was
+            // already poisoned when the member ran — either way the member
+            // was refused whole, never half-applied.
             Err(DbError::Poisoned) => c.bump(&c.refused_updates),
+            Err(DbError::Overloaded) => c.bump(&c.gc_overloads),
             Err(_) => c.bump(&c.failed_updates),
         }
     }
@@ -336,7 +382,7 @@ fn drain_suite(reader: &DbReader, allow: &Oracle, deny: &Oracle, c: &Counters, s
                     served.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(e) if is_availability(&e) => c.bump(&c.availability_errors),
-                Err(DbError::StaleReader { .. }) => {}
+                Err(DbError::StaleReader { .. } | DbError::RetentionExceeded { .. }) => {}
                 Err(e) => {
                     c.bump(&c.unexpected_errors);
                     eprintln!("degraded suite: unexpected error: {e}");
@@ -420,6 +466,7 @@ pub fn run(effort: Effort, seed: u64, smoke: bool) {
             // re-reading pages — faults stay reachable all soak long.
             buffer_pool_pages: 6,
             max_records_per_block: 16,
+            epoch_retain: 8,
         },
     )
     .expect("open on hostile stack");
@@ -437,15 +484,43 @@ pub fn run(effort: Effort, seed: u64, smoke: bool) {
     let stop = AtomicBool::new(false);
     let updates_enabled = AtomicBool::new(true);
 
+    // The group committer owns the write path. Its observer runs under the
+    // write lock after every commit attempt and publishes the toggle's
+    // post-commit state keyed by the new epoch — the per-epoch oracle the
+    // readers hold pinned snapshots against. A probe that fails under
+    // chaos just skips the entry (those epochs use the fallback check).
+    let epoch_states = Arc::new(EpochStates::default());
+    let obs_states = Arc::clone(&epoch_states);
+    let gc = GroupCommitter::with_observer(
+        Arc::clone(&db),
+        GroupCommitConfig {
+            queue_capacity: 8,
+            max_batch: 4,
+            flush_interval: Duration::from_micros(500),
+        },
+        Some(Box::new(move |d: &SecureXmlDb, healthy: bool| {
+            if !healthy {
+                return;
+            }
+            if let Ok(allowed) = d.reader().accessible(toggle, SubjectId(1)) {
+                obs_states
+                    .lock()
+                    .expect("epoch map")
+                    .insert(d.epoch(), allowed);
+            }
+        })),
+    );
+
     std::thread::scope(|scope| {
         for idx in 0..READERS {
             let db = &db;
+            let epochs = &*epoch_states;
             let (allow, deny, c, stop) = (&oracle_allow, &oracle_deny, &c, &stop);
-            scope.spawn(move || reader_loop(db, allow, deny, c, stop, seed, idx));
+            scope.spawn(move || reader_loop(db, allow, deny, epochs, c, stop, seed, idx));
         }
-        {
-            let (db, c, stop, enabled) = (&db, &c, &stop, &updates_enabled);
-            scope.spawn(move || updater_loop(db, toggle, c, stop, enabled));
+        for idx in 0..UPDATERS {
+            let (gc, c, stop, enabled) = (&gc, &c, &stop, &updates_enabled);
+            scope.spawn(move || updater_loop(gc, toggle, c, stop, enabled, idx));
         }
 
         // ---- the driver: one brownout + one power cut per cycle ----
@@ -515,6 +590,31 @@ pub fn run(effort: Effort, seed: u64, smoke: bool) {
                 std::thread::sleep(dwell); // let the reader threads ride it
             }
             recover_if_poisoned(&db, &c);
+
+            // With power restored and the handle healed, push one toggle
+            // commit through the committer and, if the observer recorded
+            // the resulting epoch, drain the suite against exactly that
+            // epoch's oracle — the strict MVCC classification.
+            let desired = cycle % 2 == 0;
+            for _ in 0..5 {
+                match gc.submit_fn(move |d| d.set_node_access(toggle, SubjectId(1), desired)) {
+                    Ok(()) => {
+                        c.bump(&c.commits);
+                        break;
+                    }
+                    Err(_) => recover_if_poisoned(&db, &c),
+                }
+            }
+            let reader = db.read().expect("db lock").reader();
+            let recorded = epoch_states
+                .lock()
+                .expect("epoch map")
+                .get(&reader.epoch())
+                .copied();
+            if let Some(allowed) = recorded {
+                let oracle = if allowed { &oracle_allow } else { &oracle_deny };
+                drain_suite(&reader, oracle, oracle, &c, &c.epoch_checked);
+            }
         }
 
         // One cancellation abort, for `CancelToken` coverage.
@@ -535,6 +635,8 @@ pub fn run(effort: Effort, seed: u64, smoke: bool) {
 
         stop.store(true, Ordering::Relaxed);
     });
+    let gc_stats = gc.stats();
+    gc.close();
 
     // ---- final: disarm everything, heal, and demand exact answers ----
     transient.set_armed(false);
@@ -582,9 +684,17 @@ pub fn run(effort: Effort, seed: u64, smoke: bool) {
             .load(Ordering::Relaxed);
     drop(g);
 
-    print_tables(&c, io, &caches, transient_injected, nodes, final_exact);
-    write_json(seed, nodes, cycles, &c, io, transient_injected);
-    assert_gates(&db, &c, io, &caches, transient_injected, cycles);
+    print_tables(
+        &c,
+        io,
+        &caches,
+        transient_injected,
+        nodes,
+        final_exact,
+        &gc_stats,
+    );
+    write_json(seed, nodes, cycles, &c, io, transient_injected, &gc_stats);
+    assert_gates(&db, &c, io, &caches, transient_injected, cycles, &gc_stats);
     if smoke {
         println!("soak --smoke: all gates passed\n");
     }
@@ -606,6 +716,7 @@ fn recover_if_poisoned_mut(g: &mut SecureXmlDb, c: &Counters) {
         .fetch_add(report.pages_redone, Ordering::Relaxed);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn print_tables(
     c: &Counters,
     io: dol_storage::IoStats,
@@ -613,10 +724,14 @@ fn print_tables(
     transient_injected: u64,
     nodes: usize,
     final_exact: u64,
+    gc: &GroupCommitStats,
 ) {
     let ld = |a: &AtomicU64| a.load(Ordering::Relaxed).to_string();
     let mut serving = Table::new(
-        &format!("serving under chaos (XMark {nodes} nodes, {READERS} readers + 1 updater)"),
+        &format!(
+            "serving under chaos (XMark {nodes} nodes, {READERS} readers + {UPDATERS} \
+             group-commit updaters)"
+        ),
         &[
             "exact",
             "masked",
@@ -624,7 +739,8 @@ fn print_tables(
             "avail errors",
             "deadline aborts",
             "cancel aborts",
-            "stale refreshes",
+            "refreshes",
+            "epoch-exact",
             "degraded reads",
             "final exact",
         ],
@@ -637,14 +753,17 @@ fn print_tables(
         ld(&c.deadline_aborts),
         ld(&c.cancel_aborts),
         ld(&c.stale_refreshes),
+        ld(&c.epoch_checked),
         ld(&c.degraded_served),
         final_exact.to_string(),
     ]);
     serving.print();
     println!(
         "(`wrong` must be 0: every answer equals the pre- or post-toggle oracle, or is a\n\
-         flagged fail-closed subset. `final exact` is the full suite after the last recovery\n\
-         — exact matches only, proving no permanent unavailability.)\n"
+         flagged fail-closed subset. `epoch-exact` answers were held to their pinned\n\
+         epoch's observer-recorded oracle specifically. `final exact` is the full suite\n\
+         after the last recovery — exact matches only, proving no permanent\n\
+         unavailability.)\n"
     );
 
     let mut healing = Table::new(
@@ -657,6 +776,8 @@ fn print_tables(
             "refused",
             "failed",
             "commits",
+            "batches",
+            "max batch",
             "trips",
             "fast fails",
             "probes",
@@ -673,6 +794,8 @@ fn print_tables(
         ld(&c.refused_updates),
         ld(&c.failed_updates),
         ld(&c.commits),
+        gc.batches.to_string(),
+        gc.max_batch_seen.to_string(),
         io.breaker_trips.to_string(),
         io.breaker_fast_fails.to_string(),
         io.breaker_probes.to_string(),
@@ -699,11 +822,34 @@ fn assert_gates(
     caches: &CacheStats,
     transient_injected: u64,
     cycles: usize,
+    gc: &GroupCommitStats,
 ) {
     let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
     assert_eq!(ld(&c.wrong), 0, "a served answer matched neither oracle");
     assert_eq!(ld(&c.unexpected_errors), 0, "an untyped error escaped");
     assert!(ld(&c.exact) > 0, "the mix never served an answer");
+    assert!(
+        ld(&c.epoch_checked) > 0,
+        "no answer was ever held to a per-epoch oracle"
+    );
+    // Group-commit reconciliation: every Ok a submitter saw is a committer
+    // commit, every member-level failure a rejection (the driver's
+    // unlogged retry rejections make this a lower bound), and nothing
+    // else; what remains of `submitted` is poisoned batches.
+    assert_eq!(
+        gc.committed,
+        ld(&c.commits),
+        "committer commits failed to reconcile with submitter Oks"
+    );
+    assert!(
+        gc.rejected >= ld(&c.failed_updates),
+        "member rejections failed to reconcile"
+    );
+    assert!(
+        gc.submitted >= gc.committed + gc.rejected,
+        "the committer accounted more outcomes than submissions"
+    );
+    assert!(gc.batches >= 1, "the committer never committed a batch");
     assert!(
         ld(&c.poison_windows) >= 1,
         "no power cut ever poisoned the handle"
@@ -743,6 +889,7 @@ fn assert_gates(
     assert!(ld(&c.commits) >= 1, "the updater never committed");
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     seed: u64,
     nodes: usize,
@@ -750,17 +897,20 @@ fn write_json(
     c: &Counters,
     io: dol_storage::IoStats,
     transient_injected: u64,
+    gc: &GroupCommitStats,
 ) {
     let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
     let out = format!(
         "{{\n  \"experiment\": \"soak\",\n  \"seed\": {seed},\n  \"nodes\": {nodes},\n  \
-         \"cycles\": {cycles},\n  \"readers\": {READERS},\n  \
+         \"cycles\": {cycles},\n  \"readers\": {READERS},\n  \"updaters\": {UPDATERS},\n  \
          \"exact\": {},\n  \"masked\": {},\n  \"wrong\": {},\n  \
          \"availability_errors\": {},\n  \"deadline_aborts\": {},\n  \
-         \"cancel_aborts\": {},\n  \"stale_refreshes\": {},\n  \
+         \"cancel_aborts\": {},\n  \"stale_refreshes\": {},\n  \"epoch_checked\": {},\n  \
          \"degraded_served\": {},\n  \"poison_windows\": {},\n  \
          \"recoveries\": {},\n  \"txns_redone\": {},\n  \"pages_redone\": {},\n  \
          \"refused_updates\": {},\n  \"failed_updates\": {},\n  \"commits\": {},\n  \
+         \"gc_submitted\": {},\n  \"gc_batches\": {},\n  \"gc_max_batch\": {},\n  \
+         \"gc_overloads\": {},\n  \"gc_solo_fallbacks\": {},\n  \
          \"breaker_trips\": {},\n  \"breaker_fast_fails\": {},\n  \
          \"breaker_probes\": {},\n  \"read_retries\": {},\n  \"backoffs\": {},\n  \
          \"transient_faults_injected\": {}\n}}\n",
@@ -771,6 +921,7 @@ fn write_json(
         ld(&c.deadline_aborts),
         ld(&c.cancel_aborts),
         ld(&c.stale_refreshes),
+        ld(&c.epoch_checked),
         ld(&c.degraded_served),
         ld(&c.poison_windows),
         ld(&c.recoveries),
@@ -779,6 +930,11 @@ fn write_json(
         ld(&c.refused_updates),
         ld(&c.failed_updates),
         ld(&c.commits),
+        gc.submitted,
+        gc.batches,
+        gc.max_batch_seen,
+        gc.overloads,
+        gc.solo_fallbacks,
         io.breaker_trips,
         io.breaker_fast_fails,
         io.breaker_probes,

@@ -123,6 +123,14 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
         self.inner.lock().map.clear();
     }
 
+    /// Drops every entry whose key fails `keep` (the targeted invalidation
+    /// path — e.g. evicting result-cache entries keyed on epochs the MVCC
+    /// ring no longer retains). Counters are preserved, as in
+    /// [`clear`](Self::clear).
+    pub fn retain(&self, mut keep: impl FnMut(&K) -> bool) {
+        self.inner.lock().map.retain(|k, _| keep(k));
+    }
+
     /// Current entry count.
     pub fn len(&self) -> usize {
         self.inner.lock().map.len()

@@ -82,7 +82,7 @@ use crate::retry::{current_io_deadline, RetryPolicy};
 use crate::wal::Wal;
 use parking_lot::{Mutex, RwLock};
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -139,6 +139,11 @@ pub struct IoStats {
     /// Half-open probes admitted while the breaker was open (successful
     /// probes close it). Counted pool-wide, not per shard.
     pub breaker_probes: u64,
+    /// [`with_page`](BufferPool::with_page) calls served from the version
+    /// ring's retained pre-images instead of the current frame — a pinned
+    /// reader time-traveling to its snapshot epoch (see
+    /// [`BufferPool::enable_version_ring`]).
+    pub versioned_reads: u64,
 }
 
 impl IoStats {
@@ -159,6 +164,7 @@ impl IoStats {
             breaker_trips: self.breaker_trips - earlier.breaker_trips,
             breaker_fast_fails: self.breaker_fast_fails - earlier.breaker_fast_fails,
             breaker_probes: self.breaker_probes - earlier.breaker_probes,
+            versioned_reads: self.versioned_reads - earlier.versioned_reads,
         }
     }
 
@@ -177,6 +183,7 @@ impl IoStats {
         self.breaker_trips += other.breaker_trips;
         self.breaker_fast_fails += other.breaker_fast_fails;
         self.breaker_probes += other.breaker_probes;
+        self.versioned_reads += other.versioned_reads;
     }
 }
 
@@ -196,6 +203,7 @@ struct AtomicIoStats {
     read_shared: AtomicU64,
     read_exclusive_fallback: AtomicU64,
     backoffs: AtomicU64,
+    versioned_reads: AtomicU64,
 }
 
 impl AtomicIoStats {
@@ -216,6 +224,7 @@ impl AtomicIoStats {
             breaker_trips: 0,
             breaker_fast_fails: 0,
             breaker_probes: 0,
+            versioned_reads: self.versioned_reads.load(Ordering::Relaxed),
         }
     }
 
@@ -230,6 +239,7 @@ impl AtomicIoStats {
         self.read_shared.store(0, Ordering::Relaxed);
         self.read_exclusive_fallback.store(0, Ordering::Relaxed);
         self.backoffs.store(0, Ordering::Relaxed);
+        self.versioned_reads.store(0, Ordering::Relaxed);
     }
 }
 
@@ -272,6 +282,53 @@ struct TxnState {
     /// must not write uncommitted bytes to the data disk, so they live here
     /// until re-fetched or committed.
     shadow: HashMap<PageId, Page>,
+    /// The active savepoint, if any: batch-member isolation for the group
+    /// committer (see [`BufferPool::txn_savepoint`]).
+    savepoint: Option<SavepointState>,
+    /// Savepoints released so far — one per committed batch member. The
+    /// outermost commit records `releases.max(1)` as the WAL batch record's
+    /// member count.
+    releases: u32,
+}
+
+/// Undo log of one savepoint: for every page first-touched since the
+/// savepoint was set, how to put it back. `None` — the page was *not* part
+/// of the transaction before the savepoint, so rolling back removes it from
+/// the transaction entirely and restores its pre-transaction image.
+/// `Some((page, dirty))` — the page was already transaction-dirty before the
+/// savepoint: restore these bytes and that flag, keeping it in the
+/// transaction.
+struct SavepointState {
+    undo: HashMap<PageId, Option<(Page, bool)>>,
+}
+
+/// One sealed commit's worth of pre-images: the state of every page the
+/// commit dirtied, *as of* epoch `as_of` — the epoch that was current while
+/// the transaction ran (the facade bumps the epoch only after a successful
+/// ring-mode commit). A reader pinned to epoch `e ≤ as_of` whose page was
+/// untouched between `e` and `as_of` finds its epoch-`e` bytes here.
+struct VersionDelta {
+    as_of: u64,
+    pages: HashMap<PageId, Page>,
+}
+
+/// Bounded MVCC retention (the epoch ring): the last `retain` sealed commit
+/// deltas, oldest first, plus the open transaction's pre-images. A reader
+/// pinned to any epoch ≥ `floor` can reconstruct every page as of its epoch;
+/// older pins are refused upstairs as `RetentionExceeded`.
+struct VersionRing {
+    /// The database epoch counter, shared with the facade; read at seal
+    /// time (pre-bump) to stamp each delta.
+    epoch: Arc<AtomicU64>,
+    /// How many sealed deltas to retain (≥ 1).
+    retain: usize,
+    /// Sealed deltas, oldest first; `as_of` is non-decreasing.
+    committed: VecDeque<VersionDelta>,
+    /// Pre-images captured by the open transaction: promoted to a sealed
+    /// delta at the outermost commit, discarded on rollback.
+    open: HashMap<PageId, Page>,
+    /// Oldest epoch still servable.
+    floor: u64,
 }
 
 struct Shard {
@@ -291,6 +348,31 @@ thread_local! {
     /// (legitimate: block) — an owner token cannot express this once shared
     /// locks admit many simultaneous holders.
     static HELD_SHARDS: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+
+    /// The epoch this thread's page reads are pinned to, if any (see
+    /// [`with_read_epoch`]). `None`: reads see the live frames.
+    static READ_EPOCH: RefCell<Option<u64>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with every [`BufferPool::with_page`] call on this thread pinned
+/// to `epoch`: pages the version ring retains pre-images for are served as
+/// of that epoch instead of from the live frame (see
+/// [`BufferPool::enable_version_ring`]). The previous pin is restored on
+/// exit — including on panic — so pinned scopes nest.
+pub fn with_read_epoch<R>(epoch: u64, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<u64>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            READ_EPOCH.with(|e| *e.borrow_mut() = self.0);
+        }
+    }
+    let _restore = Restore(READ_EPOCH.with(|e| e.borrow_mut().replace(epoch)));
+    f()
+}
+
+/// The epoch the current thread's page reads are pinned to, if any.
+pub fn current_read_epoch() -> Option<u64> {
+    READ_EPOCH.with(|e| *e.borrow())
 }
 
 /// RAII marker that a thread is inside an access to `shard`. Constructed
@@ -370,6 +452,11 @@ pub struct BufferPool {
     breaker_trips: AtomicU64,
     breaker_fast_fails: AtomicU64,
     breaker_probes: AtomicU64,
+    /// The MVCC version ring, if enabled. Lock order: a shard lock and/or
+    /// the txn lock may be held while taking this lock, never the reverse.
+    ring: Mutex<Option<VersionRing>>,
+    /// Fast gate mirroring `ring.is_some()`.
+    ring_active: AtomicBool,
 }
 
 impl BufferPool {
@@ -421,7 +508,100 @@ impl BufferPool {
             breaker_trips: AtomicU64::new(0),
             breaker_fast_fails: AtomicU64::new(0),
             breaker_probes: AtomicU64::new(0),
+            ring: Mutex::new(None),
+            ring_active: AtomicBool::new(false),
         }
+    }
+
+    /// Enables MVCC retention: from now on the pool keeps the pre-images of
+    /// the last `retain` committed transactions (one sealed delta per
+    /// outermost commit, empty commits included), each stamped with the
+    /// value of `epoch` — the database epoch counter — at seal time, read
+    /// *before* the facade bumps it. A reader pinned with
+    /// [`with_read_epoch`] to any epoch ≥ [`ring_floor`](Self::ring_floor)
+    /// is served every page as of its pinned epoch; an older pin must be
+    /// refused by the caller (the pool reports servability, the facade
+    /// types the error).
+    ///
+    /// # Panics
+    /// If `retain` is zero.
+    pub fn enable_version_ring(&self, epoch: Arc<AtomicU64>, retain: usize) {
+        assert!(retain > 0, "version ring needs retain >= 1");
+        let floor = epoch.load(Ordering::SeqCst);
+        *self.ring.lock() = Some(VersionRing {
+            epoch,
+            retain,
+            committed: VecDeque::new(),
+            open: HashMap::new(),
+            floor,
+        });
+        self.ring_active.store(true, Ordering::Release);
+    }
+
+    /// Whether the MVCC version ring is enabled.
+    pub fn version_ring_enabled(&self) -> bool {
+        self.ring_active.load(Ordering::Acquire)
+    }
+
+    /// Oldest epoch the version ring can still serve (0 when the ring is
+    /// disabled).
+    pub fn ring_floor(&self) -> u64 {
+        self.ring.lock().as_ref().map(|r| r.floor).unwrap_or(0)
+    }
+
+    /// Whether a reader pinned to `epoch` can still be served whole-epoch
+    /// answers. Always true with the ring disabled (the legacy
+    /// single-version mode has its own staleness protocol).
+    pub fn epoch_servable(&self, epoch: u64) -> bool {
+        match self.ring.lock().as_ref() {
+            Some(r) => epoch >= r.floor,
+            None => true,
+        }
+    }
+
+    /// Number of sealed deltas currently retained (diagnostic hook).
+    pub fn ring_depth(&self) -> usize {
+        self.ring
+            .lock()
+            .as_ref()
+            .map(|r| r.committed.len())
+            .unwrap_or(0)
+    }
+
+    /// Collapses the ring after recovery: drops every retained delta and
+    /// raises the floor to the current epoch, so a reader pinned before the
+    /// recovery is refused (`RetentionExceeded` upstairs) instead of being
+    /// served bytes whose provenance recovery just rewrote.
+    pub fn ring_barrier(&self) {
+        if let Some(r) = self.ring.lock().as_mut() {
+            r.committed.clear();
+            r.open.clear();
+            r.floor = r.epoch.load(Ordering::SeqCst);
+        }
+    }
+
+    /// The page image a reader pinned to `pin` should see for `id`, if the
+    /// ring retains one: the oldest sealed delta with `as_of ≥ pin` that
+    /// contains the page holds the page's state at `pin` (the page was
+    /// unmodified between `pin` and that commit, whose first touch preserved
+    /// the pre-image), with the open transaction's pre-images as the newest
+    /// layer. `None`: the live frame is the right answer — or the pin has
+    /// fallen below the floor, which the caller's end-of-query servability
+    /// check surfaces (a transiently wrong page is never exposed).
+    fn ring_image(&self, id: PageId, pin: u64) -> Option<Page> {
+        let ring = self.ring.lock();
+        let r = ring.as_ref()?;
+        if pin < r.floor {
+            return None;
+        }
+        for delta in &r.committed {
+            if delta.as_of >= pin {
+                if let Some(p) = delta.pages.get(&id) {
+                    return Some(p.clone());
+                }
+            }
+        }
+        r.open.get(&id).cloned()
     }
 
     /// Replaces the I/O fault policy (attempt budget, backoff ladder,
@@ -539,8 +719,24 @@ impl BufferPool {
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R, StorageError> {
         let shard = self.shard_of(id);
         let _held = HeldShard::enter(shard);
+        // MVCC pin: consult the version ring *under the shard lock* (shared
+        // suffices — writers capture pre-images under the exclusive lock),
+        // so the retained image and the live frame cannot both be wrong.
+        let pin = if self.ring_active.load(Ordering::Acquire) {
+            current_read_epoch()
+        } else {
+            None
+        };
         {
             let inner = shard.inner.read();
+            if let Some(pin) = pin {
+                if let Some(page) = self.ring_image(id, pin) {
+                    shard.stats.logical_reads.fetch_add(1, Ordering::Relaxed);
+                    shard.stats.versioned_reads.fetch_add(1, Ordering::Relaxed);
+                    shard.stats.read_shared.fetch_add(1, Ordering::Relaxed);
+                    return Ok(f(&page));
+                }
+            }
             if let Some(&slot) = inner.map.get(&id) {
                 let tick = shard.tick.fetch_add(1, Ordering::Relaxed) + 1;
                 let frame = &inner.frames[slot];
@@ -551,6 +747,20 @@ impl BufferPool {
             }
         }
         let mut inner = shard.inner.write();
+        // Re-check the overlay: between the shared probe and this exclusive
+        // acquisition a commit may have sealed a delta covering `id`, in
+        // which case the live frame is now too new for the pin.
+        if let Some(pin) = pin {
+            if let Some(page) = self.ring_image(id, pin) {
+                shard.stats.logical_reads.fetch_add(1, Ordering::Relaxed);
+                shard.stats.versioned_reads.fetch_add(1, Ordering::Relaxed);
+                shard
+                    .stats
+                    .read_exclusive_fallback
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(f(&page));
+            }
+        }
         shard
             .stats
             .read_exclusive_fallback
@@ -576,10 +786,31 @@ impl BufferPool {
         if self.txn_active.load(Ordering::Acquire) {
             let mut txn = self.txn.lock();
             if let Some(t) = txn.as_mut() {
+                let was_in_pre = t.pre.contains_key(&id);
                 if let std::collections::hash_map::Entry::Vacant(e) = t.pre.entry(id) {
                     let frame = &inner.frames[slot];
                     e.insert((frame.page.clone(), frame.dirty));
                     t.order.push(id);
+                    // MVCC: the pre-image is also this page's state at the
+                    // current epoch — retain it for pinned readers (shard →
+                    // txn → ring is the documented lock order).
+                    if self.ring_active.load(Ordering::Acquire) {
+                        if let Some(r) = self.ring.lock().as_mut() {
+                            r.open
+                                .entry(id)
+                                .or_insert_with(|| inner.frames[slot].page.clone());
+                        }
+                    }
+                }
+                if let Some(sp) = t.savepoint.as_mut() {
+                    if let std::collections::hash_map::Entry::Vacant(e) = sp.undo.entry(id) {
+                        e.insert(if was_in_pre {
+                            let frame = &inner.frames[slot];
+                            Some((frame.page.clone(), frame.dirty))
+                        } else {
+                            None
+                        });
+                    }
                 }
             }
         }
@@ -779,7 +1010,13 @@ impl BufferPool {
         wal.checkpoint()
     }
 
-    fn txn_begin(&self) {
+    /// Opens (or nests into) the pool transaction. Prefer
+    /// [`atomic_update`](Self::atomic_update); this is public for the group
+    /// committer, which interleaves [savepoints](Self::txn_savepoint) with
+    /// member closures and cannot express a batch as one closure. Every
+    /// `txn_begin` must be paired with [`txn_commit`](Self::txn_commit) or
+    /// [`txn_rollback`](Self::txn_rollback).
+    pub fn txn_begin(&self) {
         let mut txn = self.txn.lock();
         match txn.as_mut() {
             Some(t) => t.depth += 1,
@@ -789,14 +1026,149 @@ impl BufferPool {
                     pre: HashMap::new(),
                     order: Vec::new(),
                     shadow: HashMap::new(),
+                    savepoint: None,
+                    releases: 0,
                 });
                 self.txn_active.store(true, Ordering::Release);
             }
         }
     }
 
+    /// Establishes a savepoint inside the open transaction: a later
+    /// [`txn_rollback_to_savepoint`](Self::txn_rollback_to_savepoint) undoes
+    /// exactly the mutations made since this call, leaving earlier
+    /// transaction work intact — the isolation boundary between group-commit
+    /// batch members. One savepoint may be active at a time (members run
+    /// strictly in sequence); an unreleased savepoint is folded into the
+    /// outermost commit.
+    pub fn txn_savepoint(&self) -> Result<(), StorageError> {
+        let mut txn = self.txn.lock();
+        let t = txn.as_mut().ok_or_else(|| {
+            StorageError::Io(std::io::Error::other("savepoint outside a transaction"))
+        })?;
+        if t.savepoint.is_some() {
+            return Err(StorageError::Io(std::io::Error::other(
+                "a savepoint is already active",
+            )));
+        }
+        t.savepoint = Some(SavepointState {
+            undo: HashMap::new(),
+        });
+        Ok(())
+    }
+
+    /// Releases the active savepoint, folding its mutations into the
+    /// transaction (the batch member committed).
+    pub fn txn_release_savepoint(&self) -> Result<(), StorageError> {
+        let mut txn = self.txn.lock();
+        let t = txn.as_mut().ok_or_else(|| {
+            StorageError::Io(std::io::Error::other(
+                "savepoint release outside a transaction",
+            ))
+        })?;
+        if t.savepoint.take().is_none() {
+            return Err(StorageError::Io(std::io::Error::other(
+                "no savepoint to release",
+            )));
+        }
+        t.releases += 1;
+        Ok(())
+    }
+
+    /// Rolls back to (and consumes) the active savepoint: every page
+    /// first-touched since it was set is restored — reverted to its
+    /// pre-savepoint bytes if it was already transaction-dirty, removed from
+    /// the transaction entirely (and restored to its pre-transaction image)
+    /// if it joined after. Earlier transaction work is untouched. Each page
+    /// is fully restored *before* its transaction bookkeeping is dropped, so
+    /// even an interrupted rollback followed by a full
+    /// [`txn_rollback`](Self::txn_rollback) lands on the clean pre-
+    /// transaction state.
+    pub fn txn_rollback_to_savepoint(&self) -> Result<(), StorageError> {
+        // Extract the undo log under the txn lock alone; shard locks are
+        // taken below and shard → txn is the documented order.
+        let undo = {
+            let mut txn = self.txn.lock();
+            let t = txn.as_mut().ok_or_else(|| {
+                StorageError::Io(std::io::Error::other(
+                    "savepoint rollback outside a transaction",
+                ))
+            })?;
+            match t.savepoint.take() {
+                Some(sp) => sp.undo,
+                None => {
+                    return Err(StorageError::Io(std::io::Error::other(
+                        "no savepoint to roll back to",
+                    )))
+                }
+            }
+        };
+        for (id, entry) in undo {
+            match entry {
+                Some((image, was_dirty)) => {
+                    // Transaction-dirty before the savepoint: restore the
+                    // pre-savepoint bytes and flag, wherever the page lives.
+                    let shard = self.shard_of(id);
+                    let _held = HeldShard::enter(shard);
+                    let mut inner = shard.inner.write();
+                    if let Some(&slot) = inner.map.get(&id) {
+                        let frame = &mut inner.frames[slot];
+                        frame.page.bytes_mut().copy_from_slice(image.bytes());
+                        frame.dirty = was_dirty;
+                    } else if let Some(t) = self.txn.lock().as_mut() {
+                        // Evicted meanwhile: the latest bytes live in the
+                        // transaction shadow — replace them there.
+                        t.shadow.insert(id, image);
+                    }
+                }
+                None => {
+                    // Joined the transaction after the savepoint: restore
+                    // the pre-transaction image, then erase every trace.
+                    let pre = self
+                        .txn
+                        .lock()
+                        .as_ref()
+                        .and_then(|t| t.pre.get(&id).cloned());
+                    let Some((image, was_dirty)) = pre else {
+                        continue;
+                    };
+                    {
+                        let shard = self.shard_of(id);
+                        let _held = HeldShard::enter(shard);
+                        let mut inner = shard.inner.write();
+                        if let Some(&slot) = inner.map.get(&id) {
+                            let frame = &mut inner.frames[slot];
+                            frame.page.bytes_mut().copy_from_slice(image.bytes());
+                            frame.dirty = was_dirty;
+                        } else if was_dirty {
+                            // Spilled and its pre-image was never durable:
+                            // restore it straight to the disk, as the full
+                            // rollback does.
+                            let mut page = image.clone();
+                            if self.write_back(id, &mut page, &shard.stats).is_ok() {
+                                shard.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    if let Some(t) = self.txn.lock().as_mut() {
+                        t.pre.remove(&id);
+                        t.order.retain(|&p| p != id);
+                        t.shadow.remove(&id);
+                    }
+                    if self.ring_active.load(Ordering::Acquire) {
+                        if let Some(r) = self.ring.lock().as_mut() {
+                            r.open.remove(&id);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Commits the innermost scope; the outermost commit writes the WAL.
-    fn txn_commit(&self) -> Result<(), StorageError> {
+    /// Public for the group committer (see [`txn_begin`](Self::txn_begin)).
+    pub fn txn_commit(&self) -> Result<(), StorageError> {
         {
             let mut txn = self.txn.lock();
             let t = txn.as_mut().expect("commit without an open transaction");
@@ -807,13 +1179,16 @@ impl BufferPool {
         }
         // Outermost commit. Snapshot the dirtied-page order; the transaction
         // stays open while their images are read, and no shard lock is
-        // taken while the txn lock is held.
-        let order: Vec<PageId> = {
-            let txn = self.txn.lock();
-            txn.as_ref()
-                .expect("commit without an open transaction")
-                .order
-                .clone()
+        // taken while the txn lock is held. An unreleased savepoint (a batch
+        // member that succeeded without an explicit release) folds into the
+        // commit; `members` sizes the WAL batch record.
+        let (order, members): (Vec<PageId>, u32) = {
+            let mut txn = self.txn.lock();
+            let t = txn.as_mut().expect("commit without an open transaction");
+            if t.savepoint.take().is_some() {
+                t.releases += 1;
+            }
+            (t.order.clone(), t.releases.max(1))
         };
         let wal = self.wal();
         if let Some(wal) = &wal {
@@ -829,7 +1204,7 @@ impl BufferPool {
                     }
                 }
                 let txn_id = self.next_txn_id.fetch_add(1, Ordering::Relaxed);
-                if let Err(e) = wal.commit(txn_id, &images) {
+                if let Err(e) = wal.commit_batch(txn_id, &images, members) {
                     self.txn_rollback();
                     return Err(e);
                 }
@@ -869,6 +1244,24 @@ impl BufferPool {
             *txn = None;
             self.txn_active.store(false, Ordering::Release);
         }
+        // MVCC seal: promote the open pre-images to a sealed delta stamped
+        // with the pre-commit epoch (the facade bumps it only after this
+        // returns), evicting the oldest delta past the retention bound.
+        // Sealing happens even if spilled-page write-back failed below: the
+        // commit is durable, so readers pinned to the pre-commit epoch need
+        // the delta to keep answering coherently.
+        if self.ring_active.load(Ordering::Acquire) {
+            if let Some(r) = self.ring.lock().as_mut() {
+                let as_of = r.epoch.load(Ordering::SeqCst);
+                let pages = std::mem::take(&mut r.open);
+                r.committed.push_back(VersionDelta { as_of, pages });
+                while r.committed.len() > r.retain {
+                    if let Some(d) = r.committed.pop_front() {
+                        r.floor = d.as_of + 1;
+                    }
+                }
+            }
+        }
         if !failures.is_empty() {
             return Err(StorageError::FlushFailed(failures));
         }
@@ -883,8 +1276,9 @@ impl BufferPool {
     }
 
     /// Rolls back the innermost scope; the outermost rollback restores every
-    /// pre-image (bytes and dirty flag) into the cache.
-    fn txn_rollback(&self) {
+    /// pre-image (bytes and dirty flag) into the cache. Public for the group
+    /// committer (see [`txn_begin`](Self::txn_begin)).
+    pub fn txn_rollback(&self) {
         let state = {
             let mut txn = self.txn.lock();
             let t = txn.as_mut().expect("rollback without an open transaction");
@@ -915,6 +1309,15 @@ impl BufferPool {
             }
         }
         self.txn_active.store(false, Ordering::Release);
+        // MVCC: the aborted transaction's pre-images are now the live frame
+        // bytes again — nothing to retain. (Pinned readers racing the
+        // restore above read the same bytes from `open`, so clearing last
+        // keeps them torn-free.)
+        if self.ring_active.load(Ordering::Acquire) {
+            if let Some(r) = self.ring.lock().as_mut() {
+                r.open.clear();
+            }
+        }
     }
 
     /// Pages captured by the open transaction (empty set when none is
@@ -1983,5 +2386,189 @@ mod tests {
             "discard writes nothing back"
         );
         assert_eq!(pool.with_page(ids[0], |p| p.get_u32(0)).unwrap(), 1);
+    }
+
+    /// The facade's commit shape in miniature: one atomic update (which
+    /// seals the ring delta at the pre-bump epoch) followed by the epoch
+    /// bump.
+    fn commit_and_bump<E>(
+        pool: &BufferPool,
+        epoch: &Arc<AtomicU64>,
+        f: impl FnOnce() -> Result<(), E>,
+    ) where
+        E: From<StorageError> + std::fmt::Debug,
+    {
+        pool.atomic_update(f).unwrap();
+        epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn ring_serves_every_retained_epoch_its_own_pre_image() {
+        let (pool, ids) = pool(8);
+        let epoch = Arc::new(AtomicU64::new(0));
+        pool.enable_version_ring(Arc::clone(&epoch), 4);
+        assert!(pool.version_ring_enabled());
+        // Epoch 0 state: ids[0] untouched (zero). Commit 1 writes 11,
+        // commit 2 writes 22; ids[1] changes only in commit 2.
+        commit_and_bump::<StorageError>(&pool, &epoch, || {
+            pool.with_page_mut(ids[0], |p| p.put_u32(0, 11))
+        });
+        commit_and_bump::<StorageError>(&pool, &epoch, || {
+            pool.with_page_mut(ids[0], |p| p.put_u32(0, 22))?;
+            pool.with_page_mut(ids[1], |p| p.put_u32(0, 7))
+        });
+        let read = |pin: u64, id: PageId| {
+            with_read_epoch(pin, || pool.with_page(id, |p| p.get_u32(0)).unwrap())
+        };
+        // Every retained epoch answers with its own state of ids[0].
+        assert_eq!(read(0, ids[0]), 0, "epoch 0 pre-dates both commits");
+        assert_eq!(read(1, ids[0]), 11);
+        assert_eq!(read(2, ids[0]), 22, "current epoch reads the live frame");
+        // A page untouched between the pin and now is served live.
+        assert_eq!(read(0, ids[1]), 0);
+        assert_eq!(read(1, ids[1]), 0);
+        assert_eq!(read(2, ids[1]), 7);
+        // Unpinned reads never consult the ring.
+        assert_eq!(pool.with_page(ids[0], |p| p.get_u32(0)).unwrap(), 22);
+        assert!(pool.stats().versioned_reads > 0);
+        assert_eq!(pool.ring_depth(), 2);
+        assert!(pool.epoch_servable(0));
+    }
+
+    #[test]
+    fn ring_evicts_beyond_retain_and_raises_the_floor() {
+        let (pool, ids) = pool(8);
+        let epoch = Arc::new(AtomicU64::new(0));
+        pool.enable_version_ring(Arc::clone(&epoch), 1);
+        for v in 1..=3u32 {
+            commit_and_bump::<StorageError>(&pool, &epoch, || {
+                pool.with_page_mut(ids[0], |p| p.put_u32(0, v))
+            });
+        }
+        // Retain 1 keeps the last two epochs (2 and 3) servable.
+        assert_eq!(pool.ring_floor(), 2);
+        assert!(!pool.epoch_servable(0));
+        assert!(!pool.epoch_servable(1));
+        assert!(pool.epoch_servable(2));
+        assert!(pool.epoch_servable(3));
+        assert_eq!(
+            with_read_epoch(2, || pool.with_page(ids[0], |p| p.get_u32(0)).unwrap()),
+            2
+        );
+    }
+
+    #[test]
+    fn empty_commits_also_seal_and_advance_the_floor() {
+        let (pool, ids) = pool(8);
+        let epoch = Arc::new(AtomicU64::new(0));
+        pool.enable_version_ring(Arc::clone(&epoch), 1);
+        commit_and_bump::<StorageError>(&pool, &epoch, || {
+            pool.with_page_mut(ids[0], |p| p.put_u32(0, 1))
+        });
+        // A commit that dirties nothing still seals an (empty) delta, so
+        // the floor advances uniformly.
+        commit_and_bump::<StorageError>(&pool, &epoch, || Ok(()));
+        assert_eq!(pool.ring_floor(), 1);
+        assert!(!pool.epoch_servable(0));
+    }
+
+    #[test]
+    fn ring_barrier_collapses_the_window_to_now() {
+        let (pool, ids) = pool(8);
+        let epoch = Arc::new(AtomicU64::new(0));
+        pool.enable_version_ring(Arc::clone(&epoch), 4);
+        for v in 1..=2u32 {
+            commit_and_bump::<StorageError>(&pool, &epoch, || {
+                pool.with_page_mut(ids[0], |p| p.put_u32(0, v))
+            });
+        }
+        assert!(pool.epoch_servable(0));
+        pool.ring_barrier();
+        assert_eq!(pool.ring_depth(), 0);
+        assert_eq!(pool.ring_floor(), 2);
+        assert!(!pool.epoch_servable(1));
+        assert!(pool.epoch_servable(2));
+    }
+
+    #[test]
+    fn rolled_back_txn_leaves_no_ring_residue() {
+        let (pool, ids) = pool(8);
+        let epoch = Arc::new(AtomicU64::new(0));
+        pool.enable_version_ring(Arc::clone(&epoch), 4);
+        let err: Result<(), StorageError> = pool.atomic_update(|| {
+            pool.with_page_mut(ids[0], |p| p.put_u32(0, 99))?;
+            Err(StorageError::Io(std::io::Error::other("abort")))
+        });
+        assert!(err.is_err());
+        // No delta sealed, no open capture left behind; the next commit
+        // starts from a clean slate and epoch 0 still reads the original.
+        assert_eq!(pool.ring_depth(), 0);
+        commit_and_bump::<StorageError>(&pool, &epoch, || {
+            pool.with_page_mut(ids[0], |p| p.put_u32(0, 1))
+        });
+        assert_eq!(
+            with_read_epoch(0, || pool.with_page(ids[0], |p| p.get_u32(0)).unwrap()),
+            0
+        );
+    }
+
+    #[test]
+    fn savepoint_rollback_unwinds_exactly_the_member_suffix() {
+        let (pool, ids) = pool(8);
+        pool.txn_begin();
+        pool.with_page_mut(ids[0], |p| p.put_u32(0, 1)).unwrap();
+        pool.txn_savepoint().unwrap();
+        // The member touches a page the txn already owns (ids[0]) and one
+        // it first dirties itself (ids[1]).
+        pool.with_page_mut(ids[0], |p| p.put_u32(0, 9)).unwrap();
+        pool.with_page_mut(ids[1], |p| p.put_u32(0, 9)).unwrap();
+        pool.txn_rollback_to_savepoint().unwrap();
+        assert_eq!(pool.with_page(ids[0], |p| p.get_u32(0)).unwrap(), 1);
+        assert_eq!(pool.with_page(ids[1], |p| p.get_u32(0)).unwrap(), 0);
+        pool.txn_commit().unwrap();
+        // The pre-member work survives the commit; the unwound suffix is
+        // gone for good.
+        assert_eq!(pool.with_page(ids[0], |p| p.get_u32(0)).unwrap(), 1);
+        assert_eq!(pool.with_page(ids[1], |p| p.get_u32(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn released_savepoints_count_batch_members_in_the_wal() {
+        use crate::wal::Wal;
+        let data = Arc::new(MemDisk::new());
+        let log: Arc<MemDisk> = Arc::new(MemDisk::new());
+        let ids: Vec<PageId> = (0..4).map(|_| data.allocate_page().unwrap()).collect();
+        let pool = BufferPool::new(data, 8);
+        let wal = Arc::new(Wal::open(log).unwrap());
+        pool.attach_wal(wal.clone());
+        pool.txn_begin();
+        for (i, id) in ids.iter().take(3).enumerate() {
+            pool.txn_savepoint().unwrap();
+            pool.with_page_mut(*id, |p| p.put_u32(0, i as u32 + 1))
+                .unwrap();
+            pool.txn_release_savepoint().unwrap();
+        }
+        pool.txn_commit().unwrap();
+        let s = wal.stats();
+        assert_eq!(s.batch_commits, 1);
+        assert_eq!(s.batched_members, 3);
+    }
+
+    #[test]
+    fn savepoint_rollback_after_member_eviction_restores_the_disk_image() {
+        // Capacity 2 forces the member's dirty page out to disk before the
+        // rollback; the savepoint must restore the pre-member image anyway.
+        let (pool, ids) = pool(2);
+        pool.with_page_mut(ids[0], |p| p.put_u32(0, 5)).unwrap();
+        pool.flush_all().unwrap();
+        pool.txn_begin();
+        pool.txn_savepoint().unwrap();
+        pool.with_page_mut(ids[0], |p| p.put_u32(0, 77)).unwrap();
+        // Touch two other pages so ids[0] is evicted while dirty.
+        pool.with_page(ids[1], |_| ()).unwrap();
+        pool.with_page(ids[2], |_| ()).unwrap();
+        pool.txn_rollback_to_savepoint().unwrap();
+        pool.txn_commit().unwrap();
+        assert_eq!(pool.with_page(ids[0], |p| p.get_u32(0)).unwrap(), 5);
     }
 }

@@ -53,7 +53,10 @@ pub mod retry;
 pub mod wal;
 
 pub use btree::BPlusTree;
-pub use buffer::{BufferPool, IoStats, DEFAULT_CHECKPOINT_THRESHOLD, MAX_IO_ATTEMPTS};
+pub use buffer::{
+    current_read_epoch, with_read_epoch, BufferPool, IoStats, DEFAULT_CHECKPOINT_THRESHOLD,
+    MAX_IO_ATTEMPTS,
+};
 pub use disk::{Disk, FileDisk, MemDisk, StorageError};
 pub use fault::{CrashDisk, CrashState, FaultConfig, FaultDisk, FaultStats};
 pub use log::{PagedLog, ValueStore};

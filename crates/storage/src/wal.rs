@@ -36,6 +36,15 @@
 //! | 1 `Begin`     | `txn_id u64` |
 //! | 2 `PageImage` | `page_id u32` + 4096 page bytes |
 //! | 3 `Commit`    | `txn_id u64` |
+//! | 4 `Batch`     | `txn_id u64` + `members u32` |
+//!
+//! A `Batch` record directly follows `Begin` when the transaction is a
+//! group commit folding `members` logical updates into one WAL transaction
+//! and one sync. It is bookkeeping, not a unit of atomicity: the batch
+//! commits or vanishes as a whole exactly like a plain transaction (a
+//! power cut anywhere before the `Commit` record discards every member).
+//! Solo commits (`members == 1`) write no `Batch` record, so the format is
+//! byte-identical to the pre-batch log for non-batched workloads.
 //!
 //! A `Checkpoint` is not a record: it bumps the header epoch (one synced
 //! header write) after the data disk is flushed and synced, which logically
@@ -68,6 +77,7 @@ const WAL_VERSION: u32 = 1;
 const REC_BEGIN: u8 = 1;
 const REC_PAGE_IMAGE: u8 = 2;
 const REC_COMMIT: u8 = 3;
+const REC_BATCH: u8 = 4;
 
 /// type + epoch + len prefix of a record frame.
 const FRAME_HEADER: usize = 1 + 8 + 4;
@@ -91,6 +101,11 @@ pub struct WalStats {
     pub recovered_commits: u64,
     /// Page images written to the data disk by the last recovery.
     pub redone_pages: u64,
+    /// Group commits logged (transactions with a `Batch` record, i.e.
+    /// `members > 1`).
+    pub batch_commits: u64,
+    /// Logical updates folded into those group commits.
+    pub batched_members: u64,
 }
 
 struct WalInner {
@@ -208,13 +223,27 @@ impl Wal {
     /// [`checkpoint`](Self::checkpoint) (flushed + synced data, fresh epoch)
     /// clears the poison.
     pub fn commit(&self, txn_id: u64, pages: &[(PageId, Page)]) -> Result<u64, StorageError> {
+        self.commit_batch(txn_id, pages, 1)
+    }
+
+    /// [`commit`](Self::commit) for a group commit: one WAL transaction and
+    /// one sync covering `members` logical updates. `members > 1` adds a
+    /// `Batch` record after `Begin`; `members <= 1` is byte-identical to a
+    /// plain [`commit`](Self::commit). Atomicity is per *transaction*: a
+    /// crash before the `Commit` record discards every member together.
+    pub fn commit_batch(
+        &self,
+        txn_id: u64,
+        pages: &[(PageId, Page)],
+        members: u32,
+    ) -> Result<u64, StorageError> {
         let mut inner = self.inner.lock();
         if inner.poisoned {
             return Err(StorageError::WalPoisoned);
         }
         let start = inner.tail;
         let saved_tail_page = inner.tail_page.clone();
-        if let Err(e) = self.commit_records(&mut inner, txn_id, pages) {
+        if let Err(e) = self.commit_records(&mut inner, txn_id, pages, members) {
             inner.tail = start;
             inner.tail_page = saved_tail_page;
             inner.poisoned = true;
@@ -223,20 +252,29 @@ impl Wal {
         let bytes = inner.tail - start;
         inner.stats.commits += 1;
         inner.stats.records += 2 + pages.len() as u64;
+        if members > 1 {
+            inner.stats.records += 1;
+            inner.stats.batch_commits += 1;
+            inner.stats.batched_members += u64::from(members);
+        }
         inner.stats.bytes_logged += bytes;
         Ok(bytes)
     }
 
-    /// The fallible body of [`commit`](Self::commit): append every frame,
-    /// flush the partial tail page, sync.
+    /// The fallible body of [`commit_batch`](Self::commit_batch): append
+    /// every frame, flush the partial tail page, sync.
     fn commit_records(
         &self,
         inner: &mut WalInner,
         txn_id: u64,
         pages: &[(PageId, Page)],
+        members: u32,
     ) -> Result<(), StorageError> {
         let id_buf = txn_id.to_le_bytes();
         self.append_record(inner, REC_BEGIN, &id_buf, &[])?;
+        if members > 1 {
+            self.append_record(inner, REC_BATCH, &id_buf, &members.to_le_bytes())?;
+        }
         for (id, page) in pages {
             let id_bytes = id.0.to_le_bytes();
             self.append_record(inner, REC_PAGE_IMAGE, &id_bytes, page.bytes())?;
@@ -297,7 +335,7 @@ impl Wal {
             let rec_type = header[0];
             let rec_epoch = u64::from_le_bytes(header[1..9].try_into().expect("8-byte slice"));
             let len = u32::from_le_bytes(header[9..13].try_into().expect("4-byte slice")) as usize;
-            if !(REC_BEGIN..=REC_COMMIT).contains(&rec_type) || len > MAX_PAYLOAD {
+            if !(REC_BEGIN..=REC_BATCH).contains(&rec_type) || len > MAX_PAYLOAD {
                 break;
             }
             if rec_epoch != epoch {
@@ -326,6 +364,20 @@ impl Wal {
                     }
                     let id = u64::from_le_bytes(payload.try_into().expect("8-byte slice"));
                     open = Some((id, Vec::new()));
+                }
+                REC_BATCH => {
+                    // Group-commit bookkeeping: must sit inside the open
+                    // transaction it annotates and claim at least one member.
+                    if payload.len() != 12 {
+                        break;
+                    }
+                    let id = u64::from_le_bytes(payload[..8].try_into().expect("8-byte slice"));
+                    let members =
+                        u32::from_le_bytes(payload[8..12].try_into().expect("4-byte slice"));
+                    match open.as_ref() {
+                        Some((open_id, _)) if *open_id == id && members >= 1 => {}
+                        _ => break, // batch record outside its transaction
+                    }
                 }
                 REC_PAGE_IMAGE => {
                     if payload.len() != 4 + PAGE_SIZE {
@@ -700,6 +752,58 @@ mod tests {
         let mut p = Page::zeroed();
         data.read_page(PageId(7), &mut p).unwrap();
         assert_eq!(p.bytes(), filled(9).bytes());
+    }
+
+    #[test]
+    fn batched_commit_recovers_as_one_transaction() {
+        let log = Arc::new(MemDisk::new());
+        let wal = Wal::open(log.clone()).unwrap();
+        wal.commit_batch(1, &[(PageId(0), filled(1)), (PageId(1), filled(2))], 3)
+            .unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.batch_commits, 1);
+        assert_eq!(stats.batched_members, 3);
+        assert_eq!(stats.commits, 1);
+
+        let data = MemDisk::new();
+        let wal2 = Wal::open(log).unwrap();
+        let report = wal2.recover_onto(&data).unwrap();
+        assert_eq!(report.committed_txns, 1);
+        assert_eq!(report.pages_redone, 2);
+        let mut p = Page::zeroed();
+        data.read_page(PageId(1), &mut p).unwrap();
+        assert_eq!(p.bytes(), filled(2).bytes());
+    }
+
+    #[test]
+    fn torn_batched_commit_discards_every_member() {
+        // Append a batch whose Commit record never lands: the whole batch —
+        // every member's images — must be discarded, never a prefix.
+        let log = Arc::new(MemDisk::new());
+        let wal = Wal::open(log.clone()).unwrap();
+        {
+            let mut inner = wal.inner.lock();
+            let id = 7u64.to_le_bytes();
+            wal.append_record(&mut inner, REC_BEGIN, &id, &[]).unwrap();
+            wal.append_record(&mut inner, REC_BATCH, &id, &2u32.to_le_bytes())
+                .unwrap();
+            for pid in [3u32, 4u32] {
+                wal.append_record(
+                    &mut inner,
+                    REC_PAGE_IMAGE,
+                    &pid.to_le_bytes(),
+                    filled(9).bytes(),
+                )
+                .unwrap();
+            }
+            wal.flush_tail(&mut inner).unwrap();
+        }
+        let data = MemDisk::new();
+        let wal2 = Wal::open(log).unwrap();
+        let report = wal2.recover_onto(&data).unwrap();
+        assert_eq!(report.committed_txns, 0);
+        assert_eq!(report.pages_redone, 0);
+        assert_eq!(data.num_pages(), 0);
     }
 
     #[test]

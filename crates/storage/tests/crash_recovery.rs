@@ -250,6 +250,176 @@ fn checkpoint_truncates_the_log_and_reclaims_space() {
     assert_eq!(report.pages_redone, 0);
 }
 
+// ---------------------------------------------------------------------
+// Batched (group) commits: K members, savepoint isolation, one WAL txn
+// ---------------------------------------------------------------------
+
+/// Members folded into each batched commit.
+const BATCH: u64 = 3;
+
+/// Deterministic member failures: the member runs, dirties its pages, and
+/// is then rolled back to its savepoint — its work must vanish while its
+/// batch peers commit.
+fn member_fails(t: u64) -> bool {
+    t % 5 == 3
+}
+
+/// One group commit: members `b*BATCH..(b+1)*BATCH` of the same page
+/// workload as [`apply_op`], each under its own savepoint, folded into one
+/// WAL transaction (this is exactly what the database facade's `run_batch`
+/// drives underneath).
+fn apply_batch(pool: &BufferPool, b: u64, seed: u64) -> Result<(), StorageError> {
+    pool.txn_begin();
+    for t in b * BATCH..(b + 1) * BATCH {
+        if let Err(e) = pool.txn_savepoint() {
+            pool.txn_rollback();
+            return Err(e);
+        }
+        let member: Result<(), StorageError> = (|| {
+            for p in txn_pages(t, seed) {
+                pool.with_page_mut(PageId(p), |pg| pg.put_u32(0, t as u32 + 1))?;
+            }
+            pool.with_page_mut(PageId(0), |pg| pg.put_u32(0, t as u32 + 1))
+        })();
+        let sp = match member {
+            Ok(()) if member_fails(t) => pool.txn_rollback_to_savepoint(),
+            Ok(()) => pool.txn_release_savepoint(),
+            Err(e) => {
+                pool.txn_rollback();
+                return Err(e);
+            }
+        };
+        if let Err(e) = sp {
+            pool.txn_rollback();
+            return Err(e);
+        }
+    }
+    pool.txn_commit()
+}
+
+/// The value every page should hold after all members below
+/// `boundary` (a multiple of [`BATCH`]) ran, failing members excluded.
+fn batched_expected(page: u32, boundary: u64, seed: u64) -> u32 {
+    if page == 0 {
+        return (0..boundary)
+            .rev()
+            .find(|&t| !member_fails(t))
+            .map_or(0, |t| t as u32 + 1);
+    }
+    (0..boundary)
+        .rev()
+        .find(|&t| !member_fails(t) && txn_pages(t, seed).contains(&page))
+        .map_or(0, |t| t as u32 + 1)
+}
+
+/// Replays `batches` group commits behind one shared power rail.
+fn run_batched_workload(
+    batches: u64,
+    seed: u64,
+    pool_frames: usize,
+    crash_after: u64,
+    tear: bool,
+) -> Run {
+    let data = Arc::new(MemDisk::new());
+    let log = Arc::new(MemDisk::new());
+    for _ in 0..PAGES {
+        data.allocate_page().unwrap();
+    }
+    let state = if crash_after == u64::MAX {
+        CrashState::unlimited()
+    } else {
+        CrashState::new(crash_after, tear, seed)
+    };
+    let cdata: Arc<dyn Disk> = Arc::new(CrashDisk::new(data.clone(), state.clone()));
+    let clog: Arc<dyn Disk> = Arc::new(CrashDisk::new(log.clone(), state.clone()));
+
+    let mut committed_ok = 0;
+    if let Ok(wal) = Wal::open(clog) {
+        let wal = Arc::new(wal);
+        let pool = BufferPool::new(cdata, pool_frames);
+        pool.attach_wal(wal.clone());
+        pool.set_checkpoint_threshold(0);
+        for b in 0..batches {
+            match apply_batch(&pool, b, seed) {
+                Ok(()) => committed_ok += 1,
+                Err(_) => break,
+            }
+        }
+        if crash_after == u64::MAX {
+            let s = wal.stats();
+            assert_eq!(
+                s.batch_commits, batches,
+                "every commit carries a batch record"
+            );
+            // Each batch releases its non-failing members (2 of 3 here).
+            assert!(s.batched_members >= 2 * batches);
+        }
+    }
+    Run {
+        data,
+        log,
+        committed_ok,
+        writes_at_crash: state.writes_issued(),
+    }
+}
+
+/// Recovery must land on a **batch** boundary: either every batch that
+/// returned Ok, or one more (the batch in flight at the crash — all of it
+/// or none of it, never a member subset and never a torn member).
+fn recover_and_check_batched(run: &Run, seed: u64) -> u64 {
+    let wal = Wal::open(run.log.clone() as Arc<dyn Disk>).unwrap();
+    wal.recover_onto(run.data.as_ref()).unwrap();
+
+    let mut page = Page::zeroed();
+    run.data.read_page(PageId(0), &mut page).unwrap();
+    page.verify_checksum().unwrap();
+    let catalog = page.get_u32(0);
+    let boundary = [run.committed_ok, run.committed_ok + 1]
+        .into_iter()
+        .map(|b| b * BATCH)
+        .find(|&m| batched_expected(0, m, seed) == catalog)
+        .unwrap_or_else(|| {
+            panic!(
+                "catalog {catalog} is not a batch boundary ({} batches returned Ok)",
+                run.committed_ok
+            )
+        });
+    for p in 1..PAGES {
+        run.data.read_page(PageId(p), &mut page).unwrap();
+        if page.get_u32(0) != 0 || page.stored_checksum() != 0 {
+            page.verify_checksum().unwrap();
+        }
+        assert_eq!(
+            page.get_u32(0),
+            batched_expected(p, boundary, seed),
+            "page {p} mixes batch states (boundary = {boundary} members)"
+        );
+    }
+    boundary
+}
+
+#[test]
+fn every_crash_point_in_a_batched_commit_recovers_whole_batches() {
+    const BATCHES: u64 = 10;
+    const SEED: u64 = 13_639_585;
+    let oracle = run_batched_workload(BATCHES, SEED, 4, u64::MAX, false);
+    assert_eq!(oracle.committed_ok, BATCHES);
+    let total_writes = oracle.writes_at_crash;
+    assert!(
+        total_writes > 100,
+        "workload too small: {total_writes} writes"
+    );
+    let boundary = recover_and_check_batched(&oracle, SEED);
+    assert_eq!(boundary, BATCHES * BATCH);
+
+    for k in 0..total_writes {
+        let tear = k % 2 == 1;
+        let run = run_batched_workload(BATCHES, SEED, 4, k, tear);
+        assert!(run.committed_ok < BATCHES, "crash point {k} did not crash");
+        recover_and_check_batched(&run, SEED);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

@@ -1,0 +1,622 @@
+//! Group commit: an admission-controlled batch committer in front of the
+//! MVCC epoch ring.
+//!
+//! Concurrent update submissions queue into a [`GroupCommitter`]; a single
+//! worker thread drains them in batches of up to
+//! [`GroupCommitConfig::max_batch`] and folds each batch into **one**
+//! crash-consistent transaction via [`SecureXmlDb::run_batch`] — one WAL
+//! batch record, one durability point (fsync), one epoch bump — so update
+//! throughput under fsync-bound storage scales with the batch size instead
+//! of paying a flush per update.
+//!
+//! The contract per batch member is all-or-nothing *and* isolated:
+//!
+//! * a member whose closure fails is rolled back to its savepoint and
+//!   rejected with its own error, without poisoning its batch peers;
+//! * a batch that cannot be isolated (the savepoint machinery itself
+//!   errors) is cleanly aborted and every member is **replayed solo**
+//!   through [`SecureXmlDb::run_update`] — correctness first, batching
+//!   second;
+//! * a commit failure poisons the database exactly like a solo commit
+//!   failure would, and every member of the batch is told so.
+//!
+//! Backpressure is admission control, not queueing delay: when the bounded
+//! queue is full, [`GroupCommitter::submit`] refuses immediately with
+//! [`DbError::Overloaded`] — nothing was applied, the caller backs off and
+//! resubmits. Latency is capped by [`GroupCommitConfig::flush_interval`]:
+//! the worker waits at most one interval from the moment it sees the first
+//! queued member before flushing, so a lone writer never waits longer than
+//! one interval for its durability point.
+//!
+//! Member closures must not panic: a panic inside a batch unwinds through
+//! the open transaction and poisons the shared lock. Return a
+//! [`DbError`] instead — that is the isolated-rejection path.
+
+use crate::{DbError, DbReader, SecureXmlDb, UpdateFn};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`GroupCommitter`].
+#[derive(Debug, Clone, Copy)]
+pub struct GroupCommitConfig {
+    /// Bounded submission queue: a submit that finds the queue at capacity
+    /// is refused with [`DbError::Overloaded`] (admission control).
+    pub queue_capacity: usize,
+    /// Most members folded into one transaction. Larger batches amortize
+    /// the fsync further but widen the blast radius of a poisoning commit
+    /// failure.
+    pub max_batch: usize,
+    /// How long the worker accumulates a batch after seeing its first
+    /// member. This caps the latency a lone writer pays for batching.
+    pub flush_interval: Duration,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            max_batch: 16,
+            flush_interval: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Counters of a [`GroupCommitter`], all monotonically increasing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupCommitStats {
+    /// Updates accepted into the queue.
+    pub submitted: u64,
+    /// Members whose closure succeeded and whose batch committed.
+    pub committed: u64,
+    /// Members rejected by their own closure's error (batch peers
+    /// unaffected).
+    pub rejected: u64,
+    /// Batches committed (each one WAL transaction and one fsync).
+    pub batches: u64,
+    /// Members replayed through the solo-commit path because their batch
+    /// could not be isolated.
+    pub solo_fallbacks: u64,
+    /// Submissions refused with [`DbError::Overloaded`].
+    pub overloads: u64,
+    /// Largest batch committed so far.
+    pub max_batch_seen: u64,
+}
+
+#[derive(Default)]
+struct StatsCells {
+    submitted: AtomicU64,
+    committed: AtomicU64,
+    rejected: AtomicU64,
+    batches: AtomicU64,
+    solo_fallbacks: AtomicU64,
+    overloads: AtomicU64,
+    max_batch_seen: AtomicU64,
+}
+
+/// Where a submitter parks while the worker commits its batch.
+#[derive(Default)]
+struct SubmitSlot {
+    done: Mutex<Option<Result<(), DbError>>>,
+    cv: Condvar,
+}
+
+impl SubmitSlot {
+    fn deliver(&self, r: Result<(), DbError>) {
+        *lock_recover(&self.done) = Some(r);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<(), DbError> {
+        let mut done = lock_recover(&self.done);
+        loop {
+            if let Some(r) = done.take() {
+                return r;
+            }
+            done = match self.cv.wait(done) {
+                Ok(g) => g,
+                Err(e) => e.into_inner(),
+            };
+        }
+    }
+}
+
+struct Pending {
+    f: UpdateFn,
+    slot: Arc<SubmitSlot>,
+}
+
+struct Queue {
+    q: VecDeque<Pending>,
+    closed: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    nonempty: Condvar,
+    cfg: GroupCommitConfig,
+    stats: StatsCells,
+}
+
+/// Called by the worker under the database's write lock after every commit
+/// attempt, with the database and whether the attempt left it healthy.
+/// Because it runs before the lock is released, an observer can publish
+/// per-epoch oracles (or any other commit-ordered bookkeeping) without
+/// racing the next batch — the chaos soak classifies reader answers against
+/// oracles published this way.
+pub type CommitObserver = Box<dyn FnMut(&SecureXmlDb, bool) + Send>;
+
+/// Recover a poisoned `std` mutex: the data is a plain queue/result cell and
+/// every critical section is a handful of moves, so the contents are valid
+/// even if a holder panicked.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(e) => e.into_inner(),
+    }
+}
+
+/// The admission-controlled group committer. See the [module docs](self).
+///
+/// Owns the database behind an `Arc<RwLock<_>>`: the worker takes the write
+/// lock per batch, and any number of serving threads take the read lock to
+/// mint [`DbReader`]s (which then query without any lock at all).
+pub struct GroupCommitter {
+    db: Arc<RwLock<SecureXmlDb>>,
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl GroupCommitter {
+    /// Wraps `db` with a batch-commit worker using `cfg`.
+    pub fn new(db: Arc<RwLock<SecureXmlDb>>, cfg: GroupCommitConfig) -> Self {
+        Self::with_observer(db, cfg, None)
+    }
+
+    /// [`new`](Self::new) plus a [`CommitObserver`] invoked under the write
+    /// lock after every commit attempt.
+    pub fn with_observer(
+        db: Arc<RwLock<SecureXmlDb>>,
+        cfg: GroupCommitConfig,
+        mut observer: Option<CommitObserver>,
+    ) -> Self {
+        assert!(cfg.queue_capacity > 0, "queue capacity must be >= 1");
+        assert!(cfg.max_batch > 0, "max batch must be >= 1");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                q: VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            cfg,
+            stats: StatsCells::default(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker_db = Arc::clone(&db);
+        let worker = std::thread::spawn(move || loop {
+            let batch = match collect_batch(&worker_shared) {
+                Some(b) => b,
+                None => return,
+            };
+            commit_batch(&worker_db, &worker_shared, batch, &mut observer);
+        });
+        Self {
+            db,
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// The shared database handle (read-lock it to mint [`DbReader`]s).
+    pub fn db(&self) -> &Arc<RwLock<SecureXmlDb>> {
+        &self.db
+    }
+
+    /// A fresh snapshot reader, through the read lock.
+    pub fn reader(&self) -> DbReader {
+        match self.db.read() {
+            Ok(g) => g.reader(),
+            Err(e) => e.into_inner().reader(),
+        }
+    }
+
+    /// Submits one update and blocks until its batch's durability point.
+    ///
+    /// `Ok(())` means the closure ran successfully **and** its batch is
+    /// durable on disk. Typed failures:
+    ///
+    /// * [`DbError::Overloaded`] — the queue was full; nothing was queued
+    ///   or applied, back off and resubmit;
+    /// * the closure's own error — the member was rolled back to its
+    ///   savepoint and rejected; its batch peers committed normally;
+    /// * [`DbError::Poisoned`] — the batch's commit failed (or the
+    ///   committer was closed before the member ran); the database needs
+    ///   [`SecureXmlDb::recover`].
+    pub fn submit(&self, f: UpdateFn) -> Result<(), DbError> {
+        let slot = Arc::new(SubmitSlot::default());
+        {
+            let mut q = lock_recover(&self.shared.queue);
+            if q.closed {
+                return Err(DbError::Poisoned);
+            }
+            if q.q.len() >= self.shared.cfg.queue_capacity {
+                self.shared.stats.overloads.fetch_add(1, Ordering::Relaxed);
+                return Err(DbError::Overloaded);
+            }
+            q.q.push_back(Pending {
+                f,
+                slot: Arc::clone(&slot),
+            });
+            self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+            self.shared.nonempty.notify_all();
+        }
+        slot.wait()
+    }
+
+    /// [`submit`](Self::submit) without the boxing ceremony.
+    pub fn submit_fn<F>(&self, f: F) -> Result<(), DbError>
+    where
+        F: Fn(&mut SecureXmlDb) -> Result<(), DbError> + Send + 'static,
+    {
+        self.submit(Box::new(f))
+    }
+
+    /// Snapshot of the committer's counters.
+    pub fn stats(&self) -> GroupCommitStats {
+        let s = &self.shared.stats;
+        GroupCommitStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            committed: s.committed.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            solo_fallbacks: s.solo_fallbacks.load(Ordering::Relaxed),
+            overloads: s.overloads.load(Ordering::Relaxed),
+            max_batch_seen: s.max_batch_seen.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains the queue, commits what remains, and joins the worker.
+    /// Also runs on drop; calling it explicitly surfaces the join point.
+    pub fn close(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        {
+            let mut q = lock_recover(&self.shared.queue);
+            q.closed = true;
+        }
+        self.shared.nonempty.notify_all();
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for GroupCommitter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Blocks until at least one member is queued, then accumulates more until
+/// `max_batch` members are waiting or `flush_interval` has elapsed since
+/// the first was seen — the lone-writer latency cap. Returns `None` when
+/// the committer is closed and the queue fully drained.
+fn collect_batch(shared: &Shared) -> Option<Vec<Pending>> {
+    let cfg = &shared.cfg;
+    let mut q = lock_recover(&shared.queue);
+    while q.q.is_empty() {
+        if q.closed {
+            return None;
+        }
+        q = match shared.nonempty.wait(q) {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+    }
+    let deadline = Instant::now() + cfg.flush_interval;
+    while q.q.len() < cfg.max_batch && !q.closed {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (g, timeout) = match shared.nonempty.wait_timeout(q, deadline - now) {
+            Ok(r) => r,
+            Err(e) => e.into_inner(),
+        };
+        q = g;
+        if timeout.timed_out() {
+            break;
+        }
+    }
+    let n = q.q.len().min(cfg.max_batch);
+    Some(q.q.drain(..n).collect())
+}
+
+/// Runs one collected batch through [`SecureXmlDb::run_batch`] under the
+/// write lock and delivers each member's result to its parked submitter.
+fn commit_batch(
+    db: &Arc<RwLock<SecureXmlDb>>,
+    shared: &Shared,
+    batch: Vec<Pending>,
+    observer: &mut Option<CommitObserver>,
+) {
+    let (members, slots): (Vec<UpdateFn>, Vec<Arc<SubmitSlot>>) =
+        batch.into_iter().map(|p| (p.f, p.slot)).unzip();
+    let mut db = match db.write() {
+        Ok(g) => g,
+        Err(e) => e.into_inner(),
+    };
+    let stats = &shared.stats;
+    let mut healthy = true;
+    match db.run_batch(&members) {
+        Ok(results) => {
+            stats.batches.fetch_add(1, Ordering::Relaxed);
+            stats
+                .max_batch_seen
+                .fetch_max(members.len() as u64, Ordering::Relaxed);
+            for (slot, r) in slots.iter().zip(results) {
+                match r {
+                    Ok(()) => {
+                        stats.committed.fetch_add(1, Ordering::Relaxed);
+                        slot.deliver(Ok(()));
+                    }
+                    Err(e) => {
+                        stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        slot.deliver(Err(e));
+                    }
+                }
+            }
+        }
+        Err(_) if db.is_poisoned() => {
+            // The batch's commit failed after the members ran: the handle
+            // is poisoned (serving degraded readers) until recover(). Tell
+            // every member — their updates did NOT land.
+            healthy = false;
+            for slot in &slots {
+                slot.deliver(Err(DbError::Poisoned));
+            }
+        }
+        Err(_) => {
+            // The batch was cleanly aborted before its commit (the
+            // savepoint machinery could not isolate a member). Correctness
+            // over batching: replay every member as its own solo
+            // transaction.
+            for (slot, f) in slots.iter().zip(&members) {
+                stats.solo_fallbacks.fetch_add(1, Ordering::Relaxed);
+                let r = db.run_update(|d| f(d));
+                match &r {
+                    Ok(()) => {
+                        stats.committed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(DbError::Poisoned) => healthy = false,
+                    Err(_) => {
+                        stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                if db.is_poisoned() {
+                    healthy = false;
+                }
+                slot.deliver(r);
+            }
+        }
+    }
+    if let Some(obs) = observer.as_mut() {
+        obs(&db, healthy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dol_acl::{AccessibilityMap, SubjectId};
+    use dol_nok::Security;
+    use dol_xml::NodeId;
+
+    fn small_db() -> SecureXmlDb {
+        let xml = "<a><b><c>v1</c></b><d><e>v2</e><f/></d></a>";
+        let doc = dol_xml::parse(xml).unwrap();
+        let mut map = AccessibilityMap::new(2, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        SecureXmlDb::from_document(doc, &map).unwrap()
+    }
+
+    #[test]
+    fn concurrent_submissions_fold_into_few_batches() {
+        let db = Arc::new(RwLock::new(small_db()));
+        let gc = Arc::new(GroupCommitter::new(
+            Arc::clone(&db),
+            GroupCommitConfig {
+                flush_interval: Duration::from_millis(20),
+                ..GroupCommitConfig::default()
+            },
+        ));
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let gc = Arc::clone(&gc);
+                std::thread::spawn(move || {
+                    gc.submit_fn(move |d| d.set_node_access(5, SubjectId(1), i % 2 == 0))
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap().unwrap();
+        }
+        let stats = gc.stats();
+        assert_eq!(stats.submitted, 8);
+        assert_eq!(stats.committed, 8);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.solo_fallbacks, 0);
+        assert!(
+            stats.batches < 8,
+            "8 sequential flushes would defeat the point; got {} batches",
+            stats.batches
+        );
+        assert!(stats.max_batch_seen >= 2);
+        // Each batch bumped the epoch exactly once.
+        let epoch = db.read().unwrap().epoch();
+        assert_eq!(epoch, stats.batches);
+        Arc::try_unwrap(gc).ok().unwrap().close();
+    }
+
+    #[test]
+    fn failing_member_is_isolated_from_its_batch_peers() {
+        let db = Arc::new(RwLock::new(small_db()));
+        let gc = Arc::new(GroupCommitter::new(
+            Arc::clone(&db),
+            GroupCommitConfig {
+                flush_interval: Duration::from_millis(30),
+                ..GroupCommitConfig::default()
+            },
+        ));
+        let mut handles = Vec::new();
+        for i in 0..4u64 {
+            let gc = Arc::clone(&gc);
+            handles.push(std::thread::spawn(move || {
+                gc.submit_fn(move |d| {
+                    if i == 2 {
+                        // An invalid position: rejected by validation
+                        // before any page is touched... after the closure
+                        // already dirtied a page, to prove savepoint
+                        // rollback really unwinds partial work.
+                        d.set_node_access(5, SubjectId(1), true)?;
+                        return d.set_node_access(9_999, SubjectId(1), true);
+                    }
+                    d.set_node_access(4, SubjectId(1), true)
+                })
+            }));
+        }
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let failures = results.iter().filter(|r| r.is_err()).count();
+        assert_eq!(failures, 1, "exactly the invalid member fails");
+        assert!(results
+            .iter()
+            .any(|r| matches!(r, Err(DbError::InvalidNode(9_999)))));
+        // Peers landed; the failed member's partial work did not.
+        let d = db.read().unwrap();
+        assert!(!d.is_poisoned());
+        let r = d.reader();
+        assert!(r.accessible(4, SubjectId(1)).unwrap());
+        assert!(!r.accessible(5, SubjectId(1)).unwrap());
+        drop(d);
+        Arc::try_unwrap(gc).ok().unwrap().close();
+    }
+
+    #[test]
+    fn full_queue_refuses_with_overloaded() {
+        let db = Arc::new(RwLock::new(small_db()));
+        // Hold the write lock so the worker stalls mid-pipeline: it drains
+        // one member and blocks on the lock, the next submit fills the
+        // 1-slot queue, and a third concurrent submit must be refused.
+        let gc = GroupCommitter::new(
+            Arc::clone(&db),
+            GroupCommitConfig {
+                queue_capacity: 1,
+                max_batch: 1,
+                flush_interval: Duration::from_millis(1),
+            },
+        );
+        let blocker = db.write().unwrap();
+        // First submit is admitted (worker drains it but then blocks on the
+        // write lock, or it is still queued — either way the queue has no
+        // room by the time the second and third submits race it). Admission
+        // is capacity-based, so overfill deterministically: submit from
+        // threads until one observes Overloaded while the lock is held.
+        let gc = Arc::new(gc);
+        let mut spawned = Vec::new();
+        for _ in 0..3 {
+            let gc = Arc::clone(&gc);
+            spawned.push(std::thread::spawn(move || {
+                gc.submit_fn(|d| d.set_node_access(5, SubjectId(1), true))
+            }));
+        }
+        // Wait until every slot of the pipeline (queue + worker hand) is
+        // occupied and one submission has been refused.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while gc.stats().overloads == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            gc.stats().overloads >= 1,
+            "a third concurrent submit must be refused while the pipe is full"
+        );
+        drop(blocker);
+        let mut oks = 0;
+        for t in spawned {
+            match t.join().unwrap() {
+                Ok(()) => oks += 1,
+                Err(DbError::Overloaded) => {}
+                Err(e) => panic!("unexpected error: {e:?}"),
+            }
+        }
+        assert!(oks >= 1, "admitted members still commit after the stall");
+        Arc::try_unwrap(gc).ok().unwrap().close();
+    }
+
+    #[test]
+    fn lone_writer_waits_at_most_one_flush_interval() {
+        let db = Arc::new(RwLock::new(small_db()));
+        let gc = GroupCommitter::new(
+            Arc::clone(&db),
+            GroupCommitConfig {
+                flush_interval: Duration::from_millis(5),
+                ..GroupCommitConfig::default()
+            },
+        );
+        let t0 = Instant::now();
+        gc.submit_fn(|d| d.set_node_access(5, SubjectId(1), true))
+            .unwrap();
+        let waited = t0.elapsed();
+        assert!(
+            waited < Duration::from_secs(2),
+            "lone writer stalled {waited:?}"
+        );
+        assert_eq!(gc.stats().batches, 1);
+        gc.close();
+    }
+
+    #[test]
+    fn batch_members_share_one_epoch_and_readers_keep_answering() {
+        let db = Arc::new(RwLock::new(small_db()));
+        let pinned = db.read().unwrap().reader();
+        assert_eq!(pinned.epoch(), 0);
+        let gc = Arc::new(GroupCommitter::new(
+            Arc::clone(&db),
+            GroupCommitConfig {
+                flush_interval: Duration::from_millis(20),
+                ..GroupCommitConfig::default()
+            },
+        ));
+        let threads: Vec<_> = (3..6u64)
+            .map(|pos| {
+                let gc = Arc::clone(&gc);
+                std::thread::spawn(move || {
+                    gc.submit_fn(move |d| d.set_node_access(pos, SubjectId(1), true))
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap().unwrap();
+        }
+        // The pinned epoch-0 reader still answers epoch-0 truth.
+        assert!(!pinned.accessible(4, SubjectId(1)).unwrap());
+        assert_eq!(
+            pinned
+                .query("//d/e", Security::BindingLevel(SubjectId(1)))
+                .unwrap()
+                .matches,
+            Vec::<u64>::new()
+        );
+        // A fresh reader sees all three members at once.
+        let r = db.read().unwrap().reader();
+        for pos in 3..6 {
+            assert!(r.accessible(pos, SubjectId(1)).unwrap());
+        }
+        Arc::try_unwrap(gc).ok().unwrap().close();
+    }
+}

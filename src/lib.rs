@@ -51,6 +51,7 @@
 //! | [`query`] | `dol-nok` | twig queries, ε-NoK, structural joins |
 //! | [`workloads`] | `dol-workloads` | XMark, synthetic ACLs, LiveLink, UnixFS |
 
+mod commit;
 mod modal;
 mod persist;
 mod reader;
@@ -66,6 +67,7 @@ pub use dol_xml as xml;
 pub use dol_nok::{ExecOptions, ExecStats, QueryResult, Security};
 pub use dol_storage::{CancelToken, Deadline, RecoveryReport, RetryPolicy};
 
+pub use commit::{CommitObserver, GroupCommitConfig, GroupCommitStats, GroupCommitter};
 pub use modal::{ModalDb, ModalSecurity};
 pub use reader::{CacheStats, DbReader};
 
@@ -107,6 +109,24 @@ pub enum DbError {
         /// The database's current update epoch.
         now: u64,
     },
+    /// A [`DbReader`] pinned to epoch `seen` outlived the MVCC version
+    /// ring's retention window: the oldest epoch still servable is `oldest`
+    /// and the database has advanced to `now`. Any in-flight result was
+    /// discarded — never a wrong or torn answer. Take a fresh reader and
+    /// retry ([`DbReader::query_with_retry`] does so automatically); within
+    /// the window this error cannot happen.
+    RetentionExceeded {
+        /// The update epoch the reader was created at.
+        seen: u64,
+        /// The oldest epoch the version ring still retains.
+        oldest: u64,
+        /// The database's current update epoch.
+        now: u64,
+    },
+    /// The group-commit queue is full: the update was refused without
+    /// queueing (admission control, not failure — nothing was applied).
+    /// Back off and resubmit.
+    Overloaded,
     /// A query ran past its [`Deadline`] or its [`CancelToken`] fired. The
     /// boxed statistics describe the partial work done before the abort —
     /// a partial *answer* is never returned.
@@ -131,6 +151,16 @@ impl std::fmt::Display for DbError {
                 f,
                 "snapshot reader at epoch {seen} overtaken by update (database at epoch {now}); \
                  take a fresh reader and retry"
+            ),
+            DbError::RetentionExceeded { seen, oldest, now } => write!(
+                f,
+                "snapshot reader at epoch {seen} fell out of the retention window (oldest \
+                 retained epoch {oldest}, database at epoch {now}); refresh the reader and retry"
+            ),
+            DbError::Overloaded => write!(
+                f,
+                "group-commit queue full; the update was refused before queueing — back off and \
+                 resubmit"
             ),
             DbError::DeadlineExceeded(stats) => write!(
                 f,
@@ -172,6 +202,15 @@ pub struct DbConfig {
     pub buffer_pool_pages: usize,
     /// Node records per structure block (see [`StoreConfig`]).
     pub max_records_per_block: usize,
+    /// MVCC retention: how many committed epochs the version ring keeps
+    /// alive behind the current one. With `N > 0`, a [`DbReader`] pinned to
+    /// any of the last `N + 1` epochs keeps answering whole-epoch results —
+    /// zero [`DbError::StaleReader`] inside the window — and a reader beyond
+    /// it gets [`DbError::RetentionExceeded`] with a refresh path. `0`
+    /// disables the ring entirely: the legacy epoch-fencing protocol
+    /// (updates overtake every live reader, which fails fast with
+    /// `StaleReader`).
+    pub epoch_retain: usize,
 }
 
 impl Default for DbConfig {
@@ -179,6 +218,7 @@ impl Default for DbConfig {
         Self {
             buffer_pool_pages: 1024,
             max_records_per_block: StoreConfig::default().max_records_per_block,
+            epoch_retain: 8,
         }
     }
 }
@@ -235,7 +275,16 @@ pub struct SecureXmlDb {
     /// serve from them, and in-memory [`SecureXmlDb::recover`] restores
     /// them.
     rollback_mirrors: Mutex<Option<MirrorSnapshot>>,
+    /// Set while [`run_batch`](SecureXmlDb::run_batch) is driving member
+    /// closures: their internal `run_txn` calls short-circuit into the
+    /// already-open batch transaction instead of opening their own.
+    in_batch: bool,
 }
+
+/// One group-commit batch member: an update closure the batch committer can
+/// run (and, if the batch as a whole must be abandoned, re-run solo — hence
+/// `Fn`, not `FnOnce`) against the database.
+pub type UpdateFn = Box<dyn Fn(&mut SecureXmlDb) -> Result<(), DbError> + Send>;
 
 /// The `Arc`-shared read-side state of a [`SecureXmlDb`] at one instant.
 /// Capturing it is six reference bumps; holding it makes the next update's
@@ -304,6 +353,10 @@ impl SecureXmlDb {
         }
         let tag_index = build_tag_index(&store)?;
         let value_index = build_value_index(&store, &values)?;
+        let epoch = Arc::new(AtomicU64::new(0));
+        if cfg.epoch_retain > 0 {
+            pool.enable_version_ring(Arc::clone(&epoch), cfg.epoch_retain);
+        }
         Ok(Self {
             doc: Arc::new(doc),
             store: Arc::new(store),
@@ -312,13 +365,14 @@ impl SecureXmlDb {
             tag_index: Arc::new(tag_index),
             value_index: Arc::new(value_index),
             pool,
-            epoch: Arc::new(AtomicU64::new(0)),
+            epoch,
             caches: Arc::new(reader::QueryCaches::default()),
             persistent: false,
             image_path: None,
             poisoned: AtomicBool::new(false),
             detached: AtomicBool::new(false),
             rollback_mirrors: Mutex::new(None),
+            in_batch: false,
         })
     }
 
@@ -337,19 +391,29 @@ impl SecureXmlDb {
         &mut self,
         f: impl FnOnce(&mut Self) -> Result<R, DbError>,
     ) -> Result<R, DbError> {
+        // Inside a batch the enclosing run_batch owns the transaction, the
+        // epoch protocol, and the mirror snapshots; the member's update
+        // methods just run their bodies in the open transaction.
+        if self.in_batch {
+            return f(self);
+        }
         if self.poisoned.load(Ordering::Acquire) {
             return Err(DbError::Poisoned);
         }
-        // Bump the epoch *before* any page changes: a reader that observes
-        // even one post-update byte was created before this store (readers
-        // are handed out through `&self`, updates come through `&mut self`),
-        // so its end-of-query epoch check must fail. SeqCst pairs with the
-        // readers' SeqCst loads; the pool's own locks order the page writes
-        // behind it. Bumping also invalidates the whole result cache (its
-        // keys carry the epoch); dropping the dead entries keeps the LRU
-        // from nursing unreachable results.
-        self.epoch.fetch_add(1, Ordering::SeqCst);
-        self.caches.invalidate_results();
+        let ring = self.pool.version_ring_enabled();
+        if !ring {
+            // Legacy single-version protocol: bump the epoch *before* any
+            // page changes. A reader that observes even one post-update byte
+            // was created before this store (readers are handed out through
+            // `&self`, updates come through `&mut self`), so its
+            // end-of-query epoch check must fail. SeqCst pairs with the
+            // readers' SeqCst loads; the pool's own locks order the page
+            // writes behind it. Bumping also invalidates the whole result
+            // cache (its keys carry the epoch); dropping the dead entries
+            // keeps the LRU from nursing unreachable results.
+            self.epoch.fetch_add(1, Ordering::SeqCst);
+            self.caches.invalidate_results();
+        }
         // Capture the pre-transaction mirrors. Holding these Arcs forces the
         // transaction body's `Arc::make_mut`s to copy-on-write, so on failure
         // a known-good mirror set (matching the rolled-back pages) survives
@@ -363,14 +427,175 @@ impl SecureXmlDb {
             }
             Ok(r)
         });
-        if res.is_err() {
-            *self
-                .rollback_mirrors
-                .lock()
-                .unwrap_or_else(|e| e.into_inner()) = Some(before);
-            self.poisoned.store(true, Ordering::Release);
+        match &res {
+            Ok(_) if ring => {
+                // MVCC protocol: the commit sealed a delta preserving this
+                // epoch's pages, so pinned readers stay servable — bump only
+                // *after* success, and evict result-cache entries keyed on
+                // epochs the ring no longer retains (entries inside the
+                // window stay valid: their epoch's pages are reconstructible
+                // forever within the window).
+                self.epoch.fetch_add(1, Ordering::SeqCst);
+                self.caches.evict_dead_epochs(self.pool.ring_floor());
+            }
+            Ok(_) => {}
+            Err(_) => {
+                // No epoch bump in ring mode: the rollback restored the
+                // pages, so the current epoch still describes them.
+                *self
+                    .rollback_mirrors
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner()) = Some(before);
+                self.poisoned.store(true, Ordering::Release);
+            }
         }
         res
+    }
+
+    /// Runs one update closure as its own crash-consistent transaction —
+    /// the public solo-commit path, used by the group committer to replay
+    /// members of a batch that could not be committed together.
+    pub fn run_update(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<(), DbError>,
+    ) -> Result<(), DbError> {
+        self.run_txn(f)
+    }
+
+    /// Restores a captured mirror snapshot over the live mirrors.
+    fn restore_mirrors(&mut self, snap: MirrorSnapshot) {
+        self.doc = snap.doc;
+        self.store = snap.store;
+        self.values = snap.values;
+        self.dol = snap.dol;
+        self.tag_index = snap.tag_index;
+        self.value_index = snap.value_index;
+    }
+
+    /// Runs `members` as one **group commit**: every member executes inside
+    /// a single pool transaction, so the whole batch reaches the write-ahead
+    /// log as one WAL transaction and one sync — K updates, one fsync, and a
+    /// power cut anywhere commits all of them or none.
+    ///
+    /// Members are isolated from each other by savepoints: a member whose
+    /// closure fails is rolled back to its savepoint (pages *and* mirrors)
+    /// and reported `Err` in its result slot without poisoning its batch
+    /// peers, which commit normally. Only when the batch *mechanism* itself
+    /// fails — a savepoint operation errors, or the final commit fails —
+    /// does the whole call return `Err`: a cleanly-aborted batch (inner
+    /// savepoint failure) leaves the database unchanged and un-poisoned, so
+    /// the caller may replay the members solo via
+    /// [`run_update`](Self::run_update); a failed *commit* poisons the
+    /// handle exactly like a failed solo update.
+    ///
+    /// The epoch advances once per batch: all members land in the same new
+    /// epoch, and (with the version ring enabled) readers pinned to older
+    /// retained epochs keep answering.
+    pub fn run_batch(&mut self, members: &[UpdateFn]) -> Result<Vec<Result<(), DbError>>, DbError> {
+        if self.in_batch || self.pool.in_transaction() {
+            return Err(DbError::Storage(StorageError::Io(std::io::Error::other(
+                "run_batch inside an open transaction",
+            ))));
+        }
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(DbError::Poisoned);
+        }
+        if members.is_empty() {
+            return Ok(Vec::new());
+        }
+        let ring = self.pool.version_ring_enabled();
+        if !ring {
+            // Legacy protocol: fence readers before the first page changes.
+            self.epoch.fetch_add(1, Ordering::SeqCst);
+            self.caches.invalidate_results();
+        }
+        let batch_before = MirrorSnapshot::capture(self);
+        let pool = self.pool.clone();
+        pool.txn_begin();
+        self.in_batch = true;
+        let mut results: Vec<Result<(), DbError>> = Vec::with_capacity(members.len());
+        let mut abort: Option<DbError> = None;
+        for member in members {
+            // Per-member isolation: mirrors snapshot + page savepoint.
+            let member_before = MirrorSnapshot::capture(self);
+            if let Err(e) = pool.txn_savepoint() {
+                abort = Some(e.into());
+                break;
+            }
+            match member(self) {
+                Ok(()) => match pool.txn_release_savepoint() {
+                    Ok(()) => results.push(Ok(())),
+                    Err(e) => {
+                        abort = Some(e.into());
+                        break;
+                    }
+                },
+                Err(e) => {
+                    // The member failed: reject it without harming its
+                    // peers — pages back to the savepoint, mirrors back to
+                    // the member snapshot.
+                    self.restore_mirrors(member_before);
+                    match pool.txn_rollback_to_savepoint() {
+                        Ok(()) => results.push(Err(e)),
+                        Err(sp_err) => {
+                            abort = Some(sp_err.into());
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.in_batch = false;
+        if let Some(e) = abort {
+            // The batch mechanism failed: abandon the whole transaction
+            // cleanly. The rollback restores every page pre-image, the
+            // snapshot restores the matching mirrors — the database is
+            // exactly as before the call, so the caller may replay solo.
+            pool.txn_rollback();
+            self.restore_mirrors(batch_before);
+            if ring {
+                return Err(e);
+            }
+            // Legacy mode bumped the epoch up front; the pages rolled back,
+            // so invalidate again and leave the bump (readers re-snapshot).
+            self.caches.invalidate_results();
+            return Err(e);
+        }
+        let commit = (|| -> Result<(), DbError> {
+            if self.persistent {
+                self.rewrite_meta()?;
+            }
+            Ok(pool.txn_commit()?)
+        })();
+        match commit {
+            Ok(()) => {
+                if ring {
+                    self.epoch.fetch_add(1, Ordering::SeqCst);
+                    self.caches.evict_dead_epochs(self.pool.ring_floor());
+                }
+                Ok(results)
+            }
+            Err(e) => {
+                // rewrite_meta may have failed before the commit was
+                // attempted — the transaction is then still open.
+                if pool.in_transaction() {
+                    pool.txn_rollback();
+                }
+                *self
+                    .rollback_mirrors
+                    .lock()
+                    .unwrap_or_else(|er| er.into_inner()) = Some(batch_before);
+                self.poisoned.store(true, Ordering::Release);
+                Err(e)
+            }
+        }
+    }
+
+    /// The oldest epoch the MVCC version ring still retains (0 when the
+    /// ring is disabled). A [`DbReader`] pinned below this floor gets
+    /// [`DbError::RetentionExceeded`].
+    pub fn retention_floor(&self) -> u64 {
+        self.pool.ring_floor()
     }
 
     /// Whether a failed update (or a same-path [`save_to`](Self::save_to)
@@ -458,6 +683,11 @@ impl SecureXmlDb {
         self.verify_integrity()?;
         self.poisoned.store(false, Ordering::Release);
         self.epoch.fetch_add(1, Ordering::SeqCst);
+        // Recovery rewrote page provenance: collapse the version ring so
+        // readers pinned to pre-recovery epochs are refused
+        // (RetentionExceeded) instead of served reconstructed bytes, and
+        // drop every cached result (their epochs are all dead now).
+        self.pool.ring_barrier();
         self.caches.invalidate_results();
         self.pool.reset_breaker();
         Ok(report)

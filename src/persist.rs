@@ -464,6 +464,10 @@ impl SecureXmlDb {
         let pool = Arc::new(BufferPool::new(data, cfg.buffer_pool_pages));
         let img = load_image(&pool)?;
         pool.attach_wal(wal);
+        let epoch = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        if cfg.epoch_retain > 0 {
+            pool.enable_version_ring(Arc::clone(&epoch), cfg.epoch_retain);
+        }
         Ok(SecureXmlDb {
             doc: Arc::new(img.doc),
             store: Arc::new(img.store),
@@ -472,13 +476,14 @@ impl SecureXmlDb {
             tag_index: Arc::new(img.tag_index),
             value_index: Arc::new(img.value_index),
             pool,
-            epoch: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            epoch,
             caches: Arc::new(crate::reader::QueryCaches::default()),
             persistent: true,
             image_path: None,
             poisoned: std::sync::atomic::AtomicBool::new(false),
             detached: std::sync::atomic::AtomicBool::new(false),
             rollback_mirrors: std::sync::Mutex::new(None),
+            in_batch: false,
         })
     }
 }

@@ -8,15 +8,29 @@
 //! number of them can run on separate threads while the owner keeps the
 //! `&mut self` update API to itself.
 //!
-//! The epoch protocol keeps overtaken readers honest. Every update
-//! transaction bumps the epoch *before* touching any page; a reader verifies
-//! the epoch both before and after executing a query and fails with
-//! [`DbError::StaleReader`] instead of returning an answer that might mix
-//! pre- and post-update pages. The window is torn-*set*, never torn-*page*:
-//! individual pages only change under the buffer pool's exclusive latch, so
-//! a racing reader sees each page whole — the end-of-query check exists
+//! Two snapshot protocols exist, selected by
+//! [`crate::DbConfig::epoch_retain`]:
+//!
+//! * **MVCC (the default, `epoch_retain > 0`).** The buffer pool's version
+//!   ring keeps the pre-images of the last N committed epochs. Every query
+//!   pins its page reads to the reader's stamped epoch
+//!   ([`dol_storage::with_read_epoch`]), so a reader anywhere inside the
+//!   retention window keeps answering whole-epoch results *forever* — a
+//!   concurrent commit never turns it stale. Only a reader that outlives
+//!   the window fails, with the typed [`DbError::RetentionExceeded`]
+//!   carrying the refresh path; it is never served a wrong or torn answer.
+//! * **Legacy epoch fencing (`epoch_retain: 0`).** Every update transaction
+//!   bumps the epoch *before* touching any page; a reader verifies the
+//!   epoch both before and after executing a query and fails with
+//!   [`DbError::StaleReader`] instead of returning an answer that might mix
+//!   pre- and post-update pages.
+//!
+//! In both modes the window is torn-*set*, never torn-*page*: individual
+//! pages only change under the buffer pool's exclusive latch, so a racing
+//! reader sees each page whole — the end-of-query servability check exists
 //! because a query spans many pages and two epochs' worth of them do not
-//! form a snapshot.
+//! form a snapshot (under MVCC it only fires when the ring's floor advanced
+//! past the pin mid-query).
 //!
 //! Two caches ride along, shared by the database handle and every reader:
 //!
@@ -28,8 +42,11 @@
 //!   codebook version) → result`. A warm hit returns the cached matches
 //!   with **zero page I/O** — the key's epoch and codebook-version stamps
 //!   prove the cached answer is still the answer, so not even a §3.3
-//!   header probe is needed. Updates invalidate wholesale by bumping the
-//!   epoch (every key dies at once); codebook-only changes such as
+//!   header probe is needed. Under MVCC an old-epoch entry stays *valid*
+//!   as long as the ring can serve its epoch — commits evict exactly the
+//!   keys whose epoch fell below the retention floor
+//!   (`QueryCaches::evict_dead_epochs`); in legacy mode every bump
+//!   invalidates wholesale. Codebook-only changes such as
 //!   [`SecureXmlDb::add_subject`] are additionally fenced by the codebook
 //!   version stamp carried from PR 1.
 //!
@@ -43,7 +60,7 @@ use dol_core::EmbeddedDol;
 use dol_nok::{
     fnv1a, ExecOptions, LruCache, PlanCache, QueryEngine, QueryError, QueryResult, Security,
 };
-use dol_storage::{BPlusTree, IoStats, StructStore, ValueStore};
+use dol_storage::{with_read_epoch, BPlusTree, IoStats, StructStore, ValueStore};
 use dol_xml::{Document, TagId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -94,11 +111,23 @@ impl QueryCaches {
         &self.plans
     }
 
-    /// Drops every cached result. Called on each epoch bump: the keys carry
-    /// the epoch so the entries are already unreachable — clearing just
-    /// stops the LRU from nursing dead weight.
+    /// Drops every cached result. Called on each legacy-mode epoch bump
+    /// (the keys carry the epoch so the entries are already unreachable —
+    /// clearing just stops the LRU from nursing dead weight) and on
+    /// [`SecureXmlDb::recover`], where the ring barrier kills every old
+    /// epoch at once.
     pub(crate) fn invalidate_results(&self) {
         self.results.clear();
+    }
+
+    /// MVCC cache hygiene: drops exactly the results keyed on epochs the
+    /// version ring can no longer serve (`epoch < floor`). Entries at or
+    /// above the floor stay — under MVCC an old-epoch answer remains *the*
+    /// answer for readers pinned to that epoch. Called on every commit that
+    /// advances the ring, so no dead-epoch entry outlives the commit that
+    /// killed its epoch.
+    pub(crate) fn evict_dead_epochs(&self, floor: u64) {
+        self.results.retain(|k| k.2 >= floor);
     }
 
     pub(crate) fn note_deadline_abort(&self) {
@@ -141,8 +170,11 @@ pub struct CacheStats {
 ///
 /// Cloning the handle is cheap (seven `Arc` bumps) and stamps nothing new:
 /// clones share the original's epoch stamp. Readers are `Send`, so the
-/// usual serving shape is one reader per client thread, re-created whenever
-/// a query fails with [`DbError::StaleReader`].
+/// usual serving shape is one reader per client thread. Under MVCC (the
+/// default) a reader keeps answering across concurrent updates for as long
+/// as the version ring retains its epoch, and is re-created only on
+/// [`DbError::RetentionExceeded`]; in legacy mode (`epoch_retain: 0`) it is
+/// re-created whenever a query fails with [`DbError::StaleReader`].
 pub struct DbReader {
     doc: Arc<Document>,
     store: Arc<StructStore>,
@@ -195,8 +227,10 @@ impl DbReader {
     /// pre-transaction mirrors (the state matching the rolled-back pages).
     /// Stamped with the *current* epoch: no further update can commit while
     /// the handle is poisoned, so the snapshot stays fresh until
-    /// [`SecureXmlDb::recover`] bumps the epoch, at which point it fails
-    /// [`DbError::StaleReader`] like any overtaken reader.
+    /// [`SecureXmlDb::recover`] bumps the epoch — and raises the version
+    /// ring's barrier — at which point it fails
+    /// [`DbError::RetentionExceeded`] (MVCC) or [`DbError::StaleReader`]
+    /// (legacy) like any outlived reader.
     pub(crate) fn degraded(db: &SecureXmlDb, snap: &MirrorSnapshot) -> Self {
         Self {
             doc: Arc::clone(&snap.doc),
@@ -217,21 +251,42 @@ impl DbReader {
         self.seen
     }
 
-    /// Whether an update has overtaken this snapshot (every further query
-    /// will fail with [`DbError::StaleReader`]).
+    /// Whether an update has overtaken this snapshot. In legacy mode
+    /// (`epoch_retain: 0`) a stale reader fails every further query with
+    /// [`DbError::StaleReader`]; under MVCC it keeps answering as of its
+    /// pinned epoch for as long as the version ring retains it — staleness
+    /// only means "a newer epoch exists", not "unservable".
     pub fn is_stale(&self) -> bool {
         self.epoch.load(Ordering::SeqCst) != self.seen
     }
 
-    fn check_fresh(&self) -> Result<(), DbError> {
+    /// The gate every read path runs before and after touching pages. At the
+    /// current epoch the snapshot is trivially servable. Behind it, the
+    /// version ring decides: an epoch at or above the retention floor is
+    /// served whole from the ring's pre-images ([`with_read_epoch`] pins the
+    /// pool reads); one below it gets the typed [`DbError::RetentionExceeded`]
+    /// with the refresh path. With the ring disabled this is the legacy
+    /// fail-fast [`DbError::StaleReader`] protocol.
+    fn check_servable(&self) -> Result<(), DbError> {
         let now = self.epoch.load(Ordering::SeqCst);
-        if now != self.seen {
-            return Err(DbError::StaleReader {
+        if now == self.seen {
+            return Ok(());
+        }
+        let pool = self.store.pool();
+        if pool.version_ring_enabled() {
+            if pool.epoch_servable(self.seen) {
+                return Ok(());
+            }
+            return Err(DbError::RetentionExceeded {
                 seen: self.seen,
+                oldest: pool.ring_floor(),
                 now,
             });
         }
-        Ok(())
+        Err(DbError::StaleReader {
+            seen: self.seen,
+            now,
+        })
     }
 
     /// Evaluates a twig query under the given [`Security`] mode against this
@@ -240,9 +295,13 @@ impl DbReader {
     /// A warm result-cache hit performs **zero page I/O** (the returned
     /// statistics report an all-zero [`IoStats`] and zero elapsed time for
     /// the call). On a miss the query executes normally and the result is
-    /// cached — but only after a second epoch check proves the whole
-    /// execution fit inside one epoch; results overtaken mid-flight are
-    /// discarded and reported as [`DbError::StaleReader`].
+    /// cached — but only after a second servability check proves the whole
+    /// execution was answerable as of this snapshot's epoch. Under MVCC the
+    /// execution is pinned to that epoch (concurrent commits never tear or
+    /// stale it); a result whose epoch fell out of the retention window
+    /// mid-flight is discarded and reported as
+    /// [`DbError::RetentionExceeded`]. In legacy mode results overtaken
+    /// mid-flight are discarded and reported as [`DbError::StaleReader`].
     pub fn query(&self, query: &str, security: Security) -> Result<QueryResult, DbError> {
         self.query_opts(query, security, ExecOptions::default())
     }
@@ -260,7 +319,7 @@ impl DbReader {
         security: Security,
         opts: ExecOptions,
     ) -> Result<QueryResult, DbError> {
-        self.check_fresh()?;
+        self.check_servable()?;
         let key: ResultKey = (fnv1a(query), security, self.seen, self.codebook_version);
         if let Some(hit) = self.caches.results.get(&key) {
             if &*hit.query == query {
@@ -288,11 +347,16 @@ impl DbReader {
             &self.tag_index,
         );
         engine.set_value_index(&self.value_index);
-        let exec = if opts.compiled {
-            engine.execute_compiled_opts(&plan, &compiled, security, opts)
-        } else {
-            engine.execute_plan_opts(&plan, security, opts)
-        };
+        // Pin every page read to this snapshot's epoch: with the version
+        // ring enabled, the pool serves each page as of `seen` even while
+        // commits land concurrently (a no-op in legacy mode).
+        let exec = with_read_epoch(self.seen, || {
+            if opts.compiled {
+                engine.execute_compiled_opts(&plan, &compiled, security, opts)
+            } else {
+                engine.execute_plan_opts(&plan, security, opts)
+            }
+        });
         let result = match exec {
             Ok(r) => r,
             Err(e @ QueryError::DeadlineExceeded(_)) => {
@@ -301,10 +365,13 @@ impl DbReader {
             }
             Err(e) => return Err(e.into()),
         };
-        // Cache (and return) only results computed entirely inside one
-        // epoch; anything else may mix pre- and post-update pages. This is
-        // the only place the query string is cloned.
-        self.check_fresh()?;
+        // Cache (and return) only results that were servable end-to-end:
+        // in legacy mode that means computed entirely inside one epoch;
+        // under MVCC it means the retention floor never advanced past the
+        // pin mid-query (a pinned read past the floor may have been served
+        // a live frame, so the result is discarded unseen). This is the
+        // only place the query string is cloned.
+        self.check_servable()?;
         self.caches.results.insert(
             key,
             Arc::new(CachedResult {
@@ -316,12 +383,18 @@ impl DbReader {
     }
 
     /// [`query`](Self::query) with bounded automatic re-snapshotting: when
-    /// the query fails [`DbError::StaleReader`] (an update overtook this
-    /// snapshot mid-flight), `refresh` is called for a fresh reader —
-    /// typically `|| db.reader()` through whatever latch guards the handle
-    /// — which replaces `self`, and the query is retried, at most
-    /// `max_retries` times. Every other outcome (including the final
-    /// staleness failure) is returned as-is.
+    /// the query fails [`DbError::StaleReader`] (legacy mode: an update
+    /// overtook this snapshot mid-flight) or [`DbError::RetentionExceeded`]
+    /// (MVCC: the snapshot outlived the version ring's retention window),
+    /// `refresh` is called for a fresh reader — typically `|| db.reader()`
+    /// through whatever latch guards the handle — which replaces `self`,
+    /// and the query is retried, at most `max_retries` times. Every other
+    /// outcome (including the final staleness failure) is returned as-is.
+    ///
+    /// With the version ring enabled this is a *fallback*, not the common
+    /// path: inside the retention window plain [`query`](Self::query) never
+    /// fails for snapshot-age reasons, so the refresh closure only runs for
+    /// readers held across more committed epochs than the ring retains.
     pub fn query_with_retry<F>(
         &mut self,
         query: &str,
@@ -335,7 +408,9 @@ impl DbReader {
         let mut retries = 0;
         loop {
             match self.query(query, security) {
-                Err(DbError::StaleReader { .. }) if retries < max_retries => {
+                Err(DbError::StaleReader { .. } | DbError::RetentionExceeded { .. })
+                    if retries < max_retries =>
+                {
                     retries += 1;
                     *self = refresh();
                 }
@@ -346,17 +421,17 @@ impl DbReader {
 
     /// Whether `subject` may access the node at `pos` in this snapshot.
     pub fn accessible(&self, pos: u64, subject: dol_acl::SubjectId) -> Result<bool, DbError> {
-        self.check_fresh()?;
-        let ok = self.dol.accessible(&self.store, pos, subject)?;
-        self.check_fresh()?;
+        self.check_servable()?;
+        let ok = with_read_epoch(self.seen, || self.dol.accessible(&self.store, pos, subject))?;
+        self.check_servable()?;
         Ok(ok)
     }
 
     /// Fetches the value of the node at `pos` in this snapshot.
     pub fn value(&self, pos: u64) -> Result<Option<String>, DbError> {
-        self.check_fresh()?;
-        let v = self.values.get(pos)?;
-        self.check_fresh()?;
+        self.check_servable()?;
+        let v = with_read_epoch(self.seen, || self.values.get(pos))?;
+        self.check_servable()?;
         Ok(v)
     }
 
@@ -446,17 +521,32 @@ mod tests {
     }
 
     #[test]
-    fn overtaken_reader_fails_fast_with_stale_reader() {
+    fn overtaken_reader_keeps_serving_its_pinned_epoch() {
+        // MVCC (the default config): an update does NOT evict the reader —
+        // it keeps answering as of epoch 0 while a fresh reader sees the
+        // new epoch.
         let mut db = two_subject_db();
         let r = db.reader();
         assert_eq!(r.epoch(), 0);
         assert!(!r.is_stale());
+        // Subject 1 cannot see //b/c at epoch 0.
+        assert_eq!(
+            r.query("//b/c", Security::BindingLevel(SubjectId(1)))
+                .unwrap()
+                .matches,
+            Vec::<u64>::new()
+        );
         db.set_subtree_access(1, SubjectId(1), true).unwrap();
-        assert!(r.is_stale());
-        match r.query("//b/c", Security::BindingLevel(SubjectId(1))) {
-            Err(DbError::StaleReader { seen: 0, now: 1 }) => {}
-            other => panic!("expected StaleReader, got {other:?}"),
-        }
+        assert!(r.is_stale(), "a newer epoch exists");
+        // ... but the pinned reader still serves the epoch-0 answer.
+        assert_eq!(
+            r.query("//b/c", Security::BindingLevel(SubjectId(1)))
+                .unwrap()
+                .matches,
+            Vec::<u64>::new()
+        );
+        assert!(r.accessible(2, SubjectId(0)).unwrap());
+        assert!(!r.accessible(2, SubjectId(1)).unwrap());
         // A fresh reader sees the update.
         let r2 = db.reader();
         assert_eq!(r2.epoch(), 1);
@@ -466,6 +556,139 @@ mod tests {
                 .matches,
             vec![2]
         );
+        // And the epoch-0 reader is *still* right afterwards.
+        assert_eq!(
+            r.query("//d/e", Security::BindingLevel(SubjectId(1)))
+                .unwrap()
+                .matches,
+            vec![4]
+        );
+    }
+
+    #[test]
+    fn legacy_mode_overtaken_reader_fails_fast_with_stale_reader() {
+        let xml = "<a><b><c>v1</c></b><d><e>v2</e><f/></d></a>";
+        let doc = dol_xml::parse(xml).unwrap();
+        let mut map = AccessibilityMap::new(2, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        for p in [0u32, 3, 4, 5] {
+            map.set(SubjectId(1), NodeId(p), true);
+        }
+        let cfg = crate::DbConfig {
+            epoch_retain: 0,
+            ..crate::DbConfig::default()
+        };
+        let mut db = SecureXmlDb::with_config(doc, &map, cfg).unwrap();
+        let r = db.reader();
+        assert_eq!(r.epoch(), 0);
+        db.set_subtree_access(1, SubjectId(1), true).unwrap();
+        assert!(r.is_stale());
+        match r.query("//b/c", Security::BindingLevel(SubjectId(1))) {
+            Err(DbError::StaleReader { seen: 0, now: 1 }) => {}
+            other => panic!("expected StaleReader, got {other:?}"),
+        }
+        let r2 = db.reader();
+        assert_eq!(
+            r2.query("//b/c", Security::BindingLevel(SubjectId(1)))
+                .unwrap()
+                .matches,
+            vec![2]
+        );
+    }
+
+    #[test]
+    fn reader_past_the_retention_window_gets_retention_exceeded() {
+        let xml = "<a><b><c>v1</c></b><d><e>v2</e><f/></d></a>";
+        let doc = dol_xml::parse(xml).unwrap();
+        let mut map = AccessibilityMap::new(2, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        let cfg = crate::DbConfig {
+            epoch_retain: 1,
+            ..crate::DbConfig::default()
+        };
+        let mut db = SecureXmlDb::with_config(doc, &map, cfg).unwrap();
+        let mut r = db.reader();
+        // One commit behind: still inside the window (retain 1 keeps the
+        // last two epochs servable).
+        db.set_node_access(5, SubjectId(1), true).unwrap();
+        assert!(r
+            .query("//d/e", Security::BindingLevel(SubjectId(0)))
+            .is_ok());
+        // Two commits behind: epoch 0 fell below the floor.
+        db.set_node_access(5, SubjectId(1), false).unwrap();
+        match r.query("//d/e", Security::BindingLevel(SubjectId(0))) {
+            Err(DbError::RetentionExceeded {
+                seen: 0,
+                oldest: 1,
+                now: 2,
+            }) => {}
+            other => panic!("expected RetentionExceeded, got {other:?}"),
+        }
+        // accessible()/value() refuse identically — never a torn answer.
+        assert!(matches!(
+            r.accessible(2, SubjectId(0)),
+            Err(DbError::RetentionExceeded { .. })
+        ));
+        assert!(matches!(r.value(2), Err(DbError::RetentionExceeded { .. })));
+        // The refresh path: query_with_retry re-snapshots and succeeds.
+        let got = r
+            .query_with_retry("//d/e", Security::BindingLevel(SubjectId(0)), 1, || {
+                db.reader()
+            })
+            .unwrap();
+        assert_eq!(got.matches, vec![4]);
+        assert_eq!(r.epoch(), 2);
+    }
+
+    #[test]
+    fn commits_evict_exactly_the_dead_epoch_cache_entries() {
+        let xml = "<a><b><c>v1</c></b><d><e>v2</e><f/></d></a>";
+        let doc = dol_xml::parse(xml).unwrap();
+        let mut map = AccessibilityMap::new(2, doc.len());
+        for p in 0..doc.len() as u32 {
+            map.set(SubjectId(0), NodeId(p), true);
+        }
+        let cfg = crate::DbConfig {
+            epoch_retain: 2,
+            ..crate::DbConfig::default()
+        };
+        let mut db = SecureXmlDb::with_config(doc, &map, cfg).unwrap();
+        let sec = Security::BindingLevel(SubjectId(0));
+        // Populate a cached result at each of epochs 0, 1, 2.
+        let r0 = db.reader();
+        let _ = r0.query("//d/e", sec).unwrap();
+        db.set_node_access(5, SubjectId(1), true).unwrap();
+        let r1 = db.reader();
+        let _ = r1.query("//d/e", sec).unwrap();
+        db.set_node_access(5, SubjectId(1), false).unwrap();
+        let r2 = db.reader();
+        let _ = r2.query("//d/e", sec).unwrap();
+        let caches = Arc::clone(&db.caches);
+        let alive = move |epoch: u64| {
+            let mut found = false;
+            caches.results.retain(|k| {
+                if k.2 == epoch {
+                    found = true;
+                }
+                true
+            });
+            found
+        };
+        assert!(alive(0) && alive(1) && alive(2), "window is 3 epochs wide");
+        // The next commit advances the floor to 1: the epoch-0 entry must
+        // not survive it, while 1..=3 remain valid.
+        db.set_node_access(5, SubjectId(1), true).unwrap();
+        assert_eq!(db.retention_floor(), 1);
+        assert!(!alive(0), "no dead-epoch entry survives a ring advance");
+        assert!(alive(1) && alive(2));
+        // Old-but-retained entries still serve warm hits for pinned readers.
+        let warm = r1.query("//d/e", sec).unwrap();
+        assert_eq!(warm.matches, vec![4]);
+        assert_eq!(warm.stats.io, IoStats::default());
     }
 
     #[test]

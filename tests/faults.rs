@@ -43,6 +43,7 @@ fn build_on_faulty(cfg: FaultConfig) -> (SecureXmlDb, Arc<FaultDisk>, Accessibil
         DbConfig {
             buffer_pool_pages: 64,
             max_records_per_block: 24,
+            epoch_retain: 8,
         },
     )
     .unwrap();

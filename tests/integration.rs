@@ -51,6 +51,7 @@ fn setup(subjects: usize) -> (Document, AccessibilityMap, SecureXmlDb) {
         DbConfig {
             buffer_pool_pages: 64,
             max_records_per_block: 24, // force multi-block layout
+            epoch_retain: 8,
         },
     )
     .unwrap();

@@ -31,6 +31,7 @@ fn generated_database_roundtrips_through_disk() {
             DbConfig {
                 buffer_pool_pages: 64,
                 max_records_per_block: 32,
+                epoch_retain: 8,
             },
         )
         .unwrap();

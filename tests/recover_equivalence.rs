@@ -24,6 +24,7 @@ const SEED: u64 = 13_639_585;
 const CFG: DbConfig = DbConfig {
     buffer_pool_pages: 16,
     max_records_per_block: 4,
+    epoch_retain: 8,
 };
 const STEPS: u64 = 18;
 const SUITE: [&str; 3] = ["//b/c", "//d/e", "//d//keyword"];

@@ -32,6 +32,7 @@ fn setup() -> (SecureXmlDb, AccessibilityMap) {
         DbConfig {
             buffer_pool_pages: 48,
             max_records_per_block: 16,
+            epoch_retain: 8,
         },
     )
     .unwrap();

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [--quick|--full] [--parallelism=N] [--seed=N] [--clients=N] [--smoke]
-//!             [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates compile parallel faults crash mvcc serve soak | all]
+//!             [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates compile parallel faults crash mvcc serve soak shard | all]
 //! ```
 //!
 //! `--parallelism=N` caps the worker sweep of the `parallel` experiment
@@ -21,7 +21,7 @@
 
 use dol_bench::{
     ablation, compile, crash, faults, fig4, fig56, fig7, fig8, mvcc, parallel, queries, serve,
-    soak, storage, updates, Effort,
+    shard, soak, storage, updates, Effort,
 };
 
 fn main() {
@@ -77,6 +77,7 @@ fn main() {
             "mvcc".into(),
             "serve".into(),
             "soak".into(),
+            "shard".into(),
         ];
     }
     println!(
@@ -109,6 +110,7 @@ fn main() {
             "mvcc" => mvcc::run(effort, seed, smoke),
             "serve" => serve::run(effort, seed, clients, smoke),
             "soak" => soak::run(effort, seed, smoke),
+            "shard" => shard::run(effort, seed, smoke),
             other => eprintln!("unknown experiment `{other}` (skipped)"),
         }
     }

@@ -13,6 +13,7 @@ use dol_storage::disk::StorageError;
 use dol_storage::{with_io_deadline, BPlusTree, Deadline, IoStats, StructStore, ValueStore};
 use dol_xml::{TagId, TagInterner};
 use std::borrow::Cow;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// The security mode of one evaluation. `Hash`/`Eq` so a (query, security)
@@ -121,15 +122,33 @@ impl Default for ExecOptions {
     }
 }
 
+/// The machine's core count, detected once per process.
+/// `available_parallelism` can cost a syscall (cgroup probing on Linux), and
+/// `parallelism: 0` resolves through here on every fragment of every query.
+fn detected_parallelism() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
 impl ExecOptions {
-    /// The effective worker count (`0` resolved to the core count).
+    /// The effective worker count (`0` resolved to the core count, looked
+    /// up once per process).
     pub fn effective_parallelism(&self) -> usize {
         match self.parallelism {
-            0 => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            0 => detected_parallelism(),
             n => n,
         }
+    }
+
+    /// The worker count for one candidate list: effective parallelism
+    /// clamped to the number of candidates, so no worker is spawned without
+    /// a chunk to process (and never zero, so it is safe as a divisor).
+    pub fn workers_for(&self, candidates: usize) -> usize {
+        self.effective_parallelism().clamp(1, candidates.max(1))
     }
 }
 
@@ -499,7 +518,9 @@ impl<'a> QueryEngine<'a> {
                 stats.add_match(&matcher.stats);
                 tuples
             } else {
-                let chunk = candidates.len().div_ceil(workers.min(candidates.len()));
+                let chunk = candidates
+                    .len()
+                    .div_ceil(opts.workers_for(candidates.len()));
                 let per_chunk: Vec<_> = std::thread::scope(|scope| {
                     let ctx = &ctx;
                     let handles: Vec<_> = candidates
@@ -616,7 +637,9 @@ impl<'a> QueryEngine<'a> {
                 stats.add_match(&m.stats);
                 tuples
             } else {
-                let chunk = candidates.len().div_ceil(workers.min(candidates.len()));
+                let chunk = candidates
+                    .len()
+                    .div_ceil(opts.workers_for(candidates.len()));
                 let skip_mask = skip_mask.as_deref();
                 let per_chunk: Vec<_> = std::thread::scope(|scope| {
                     let ctx = &ctx;
@@ -866,6 +889,41 @@ mod tests {
                        <categories><category><name>metals</name></category></categories></site>";
     // positions: site=0 regions=1 africa=2 item=3 name=4 quantity=5 item=6
     //            name=7 categories=8 category=9 name=10
+
+    #[test]
+    fn parallelism_zero_resolves_once_and_workers_clamp() {
+        let auto = ExecOptions {
+            parallelism: 0,
+            ..ExecOptions::default()
+        };
+        let n = auto.effective_parallelism();
+        assert!(n >= 1, "core detection must never resolve to zero");
+        // The process-wide cache makes repeated resolution stable (and
+        // syscall-free after the first lookup).
+        assert_eq!(auto.effective_parallelism(), n);
+        assert_eq!(detected_parallelism(), n);
+        // Worker counts are clamped to the candidate list: never zero
+        // (safe divisor), never more workers than candidates.
+        assert_eq!(auto.workers_for(0), 1);
+        assert_eq!(auto.workers_for(1), 1);
+        assert!(auto.workers_for(usize::MAX) >= n);
+        let eight = ExecOptions {
+            parallelism: 8,
+            ..ExecOptions::default()
+        };
+        assert_eq!(eight.workers_for(3), 3);
+        assert_eq!(eight.workers_for(8), 8);
+        assert_eq!(eight.workers_for(100), 8);
+        // Chunk sizing through the clamp never yields more chunks than
+        // candidates and always covers the whole list.
+        for candidates in [1usize, 2, 3, 7, 8, 9, 1000] {
+            let workers = eight.workers_for(candidates);
+            let chunk = candidates.div_ceil(workers);
+            let chunks = candidates.div_ceil(chunk);
+            assert!(chunks <= candidates);
+            assert!(chunk * chunks >= candidates);
+        }
+    }
 
     #[test]
     fn single_fragment_queries() {

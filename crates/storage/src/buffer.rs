@@ -289,6 +289,12 @@ struct TxnState {
     /// outermost commit records `releases.max(1)` as the WAL batch record's
     /// member count.
     releases: u32,
+    /// Set by [`BufferPool::txn_prepare`]: the after-images are durable in
+    /// the WAL under a `Prepare` record and the transaction awaits its
+    /// distributed decision. While set, the transaction stays open (its
+    /// pages keep spilling to the shadow, never the data disk) and only
+    /// [`BufferPool::txn_finish_prepared`] may close it.
+    prepared: bool,
 }
 
 /// Undo log of one savepoint: for every page first-touched since the
@@ -1028,6 +1034,7 @@ impl BufferPool {
                     shadow: HashMap::new(),
                     savepoint: None,
                     releases: 0,
+                    prepared: false,
                 });
                 self.txn_active.store(true, Ordering::Release);
             }
@@ -1172,6 +1179,11 @@ impl BufferPool {
         {
             let mut txn = self.txn.lock();
             let t = txn.as_mut().expect("commit without an open transaction");
+            if t.prepared {
+                return Err(StorageError::Io(std::io::Error::other(
+                    "commit of a prepared transaction (use txn_finish_prepared)",
+                )));
+            }
             if t.depth > 1 {
                 t.depth -= 1;
                 return Ok(());
@@ -1182,14 +1194,7 @@ impl BufferPool {
         // taken while the txn lock is held. An unreleased savepoint (a batch
         // member that succeeded without an explicit release) folds into the
         // commit; `members` sizes the WAL batch record.
-        let (order, members): (Vec<PageId>, u32) = {
-            let mut txn = self.txn.lock();
-            let t = txn.as_mut().expect("commit without an open transaction");
-            if t.savepoint.take().is_some() {
-                t.releases += 1;
-            }
-            (t.order.clone(), t.releases.max(1))
-        };
+        let (order, members) = self.fold_savepoint_and_order();
         let wal = self.wal();
         if let Some(wal) = &wal {
             if !order.is_empty() {
@@ -1210,6 +1215,115 @@ impl BufferPool {
                 }
             }
         }
+        self.txn_close_durable(&order, wal)
+    }
+
+    /// First half of a distributed commit: appends the open transaction's
+    /// after-images to the WAL under a `Prepare` record keyed by `gtid`
+    /// (durable, synced), then leaves the transaction **open and marked
+    /// prepared** — its pages keep spilling to the transaction shadow, so no
+    /// post-prepare byte can reach the data disk before the decision, and
+    /// the pool refuses checkpoints exactly as for any open transaction.
+    /// Must be the outermost scope. On a WAL append failure the transaction
+    /// is rolled back and the error returned (a clean abort vote).
+    ///
+    /// Without an attached WAL this only marks the transaction prepared —
+    /// all-or-nothing in the cache, no crash durability, mirroring
+    /// [`atomic_update`](Self::atomic_update)'s contract.
+    pub fn txn_prepare(&self, gtid: u64) -> Result<(), StorageError> {
+        {
+            let mut txn = self.txn.lock();
+            let t = txn.as_mut().expect("prepare without an open transaction");
+            if t.prepared {
+                return Err(StorageError::Io(std::io::Error::other(
+                    "transaction already prepared",
+                )));
+            }
+            if t.depth > 1 {
+                return Err(StorageError::Io(std::io::Error::other(
+                    "prepare inside a nested transaction scope",
+                )));
+            }
+        }
+        let (order, members) = self.fold_savepoint_and_order();
+        if let Some(wal) = self.wal() {
+            if !order.is_empty() {
+                let mut images = Vec::with_capacity(order.len());
+                for &id in &order {
+                    match self.page_image(id) {
+                        Ok(img) => images.push((id, img)),
+                        Err(e) => {
+                            self.txn_rollback();
+                            return Err(e);
+                        }
+                    }
+                }
+                let txn_id = self.next_txn_id.fetch_add(1, Ordering::Relaxed);
+                if let Err(e) = wal.prepare(txn_id, &images, gtid, members) {
+                    self.txn_rollback();
+                    return Err(e);
+                }
+            }
+        }
+        let mut txn = self.txn.lock();
+        if let Some(t) = txn.as_mut() {
+            t.prepared = true;
+        }
+        Ok(())
+    }
+
+    /// Second half of a distributed commit: closes the transaction left
+    /// open by [`txn_prepare`](Self::txn_prepare). With `commit == true`
+    /// the decision record (the shard catalog entry) is durable elsewhere,
+    /// so the prepared images become the committed state: spilled shadows
+    /// are written back, the MVCC delta is sealed, and the log is bounded —
+    /// exactly the post-WAL half of [`txn_commit`](Self::txn_commit). With
+    /// `commit == false` every page is rolled back to its pre-image (the
+    /// prepared WAL frames are orphaned by the next checkpoint and ignored
+    /// by presumed-abort recovery).
+    pub fn txn_finish_prepared(&self, commit: bool) -> Result<(), StorageError> {
+        let order = {
+            let mut txn = self.txn.lock();
+            let t = txn
+                .as_mut()
+                .expect("finish_prepared without an open transaction");
+            if !t.prepared {
+                return Err(StorageError::Io(std::io::Error::other(
+                    "finish_prepared on an unprepared transaction",
+                )));
+            }
+            // Re-arm so txn_rollback and txn_close_durable run unguarded.
+            t.prepared = false;
+            t.order.clone()
+        };
+        if !commit {
+            self.txn_rollback();
+            return Ok(());
+        }
+        self.txn_close_durable(&order, self.wal())
+    }
+
+    /// Shared pre-WAL step of commit and prepare: folds an unreleased
+    /// savepoint into the transaction and snapshots the dirtied-page order
+    /// plus the batch member count.
+    fn fold_savepoint_and_order(&self) -> (Vec<PageId>, u32) {
+        let mut txn = self.txn.lock();
+        let t = txn.as_mut().expect("no open transaction");
+        if t.savepoint.take().is_some() {
+            t.releases += 1;
+        }
+        (t.order.clone(), t.releases.max(1))
+    }
+
+    /// The post-WAL half of a commit: write back spilled shadows, close the
+    /// transaction, seal the MVCC delta, report flush failures, bound the
+    /// log. Shared by [`txn_commit`](Self::txn_commit) and the commit arm of
+    /// [`txn_finish_prepared`](Self::txn_finish_prepared).
+    fn txn_close_durable(
+        &self,
+        order: &[PageId],
+        wal: Option<Arc<Wal>>,
+    ) -> Result<(), StorageError> {
         // The transaction is now durable (or no WAL is attached). Pages
         // spilled out of the cache exist nowhere else once the transaction
         // closes: write them to the data disk, in first-dirtied order for
@@ -1217,7 +1331,7 @@ impl BufferPool {
         // commit already happened; on a logged database, reopening redoes
         // the missing pages from the WAL.
         let mut failures: Vec<(PageId, StorageError)> = Vec::new();
-        for &id in &order {
+        for &id in order {
             let spilled = {
                 let mut txn = self.txn.lock();
                 txn.as_mut()
@@ -2052,6 +2166,71 @@ mod tests {
         assert_eq!(raw.verify_checksum(), Ok(()), "WAL images are sealed");
         data.read_page(ids[2], &mut raw).unwrap();
         assert_eq!(raw.get_u32(0), 8);
+    }
+
+    #[test]
+    fn prepared_txn_is_invisible_until_finished() {
+        use crate::wal::Wal;
+        let data = Arc::new(MemDisk::new());
+        let log = Arc::new(MemDisk::new());
+        let ids: Vec<PageId> = (0..2).map(|_| data.allocate_page().unwrap()).collect();
+        let pool = BufferPool::new(data.clone(), 8);
+        pool.attach_wal(Arc::new(Wal::open(log.clone()).unwrap()));
+        pool.txn_begin();
+        pool.with_page_mut(ids[0], |p| p.put_u32(0, 41)).unwrap();
+        pool.txn_prepare(900).unwrap();
+        // Prepared but undecided: the transaction is still open, a plain
+        // commit is refused, checkpoints are refused, and recovery from the
+        // on-disk bytes presumes abort.
+        assert!(pool.in_transaction());
+        assert!(pool.txn_commit().is_err());
+        assert!(pool.checkpoint().is_err());
+        {
+            let wal2 = Wal::open(Arc::new(log.fork())).unwrap();
+            let scratch = MemDisk::new();
+            let report = wal2.recover_onto(&scratch).unwrap();
+            assert_eq!(report.committed_txns, 0);
+            assert_eq!(report.prepared_aborted, 1);
+        }
+        // ...but with the decision, the same bytes redo the transaction.
+        {
+            let wal2 = Wal::open(Arc::new(log.fork())).unwrap();
+            let scratch = MemDisk::new();
+            let report = wal2.recover_onto_with_decisions(&scratch, &[900]).unwrap();
+            assert_eq!(report.prepared_decided, 1);
+            let mut raw = Page::zeroed();
+            scratch.read_page(ids[0], &mut raw).unwrap();
+            assert_eq!(raw.get_u32(0), 41);
+        }
+        pool.txn_finish_prepared(true).unwrap();
+        assert!(!pool.in_transaction());
+        assert_eq!(pool.with_page(ids[0], |p| p.get_u32(0)).unwrap(), 41);
+        pool.checkpoint().unwrap();
+    }
+
+    #[test]
+    fn finish_prepared_abort_restores_pre_images() {
+        use crate::wal::Wal;
+        let data = Arc::new(MemDisk::new());
+        let log = Arc::new(MemDisk::new());
+        let ids: Vec<PageId> = (0..2).map(|_| data.allocate_page().unwrap()).collect();
+        let pool = BufferPool::new(data.clone(), 8);
+        pool.attach_wal(Arc::new(Wal::open(log.clone()).unwrap()));
+        pool.with_page_mut(ids[0], |p| p.put_u32(0, 5)).unwrap();
+        pool.flush_all().unwrap();
+        pool.txn_begin();
+        pool.with_page_mut(ids[0], |p| p.put_u32(0, 99)).unwrap();
+        pool.txn_prepare(901).unwrap();
+        pool.txn_finish_prepared(false).unwrap();
+        assert!(!pool.in_transaction());
+        assert_eq!(pool.with_page(ids[0], |p| p.get_u32(0)).unwrap(), 5);
+        // The orphaned prepare frames never resurrect: recovery presumes
+        // abort, and the next checkpoint retires them entirely.
+        let wal2 = Wal::open(Arc::new(log.fork())).unwrap();
+        let scratch = MemDisk::new();
+        let report = wal2.recover_onto(&scratch).unwrap();
+        assert_eq!(report.prepared_aborted, 1);
+        assert_eq!(report.pages_redone, 0);
     }
 
     #[test]

@@ -37,6 +37,18 @@
 //! | 2 `PageImage` | `page_id u32` + 4096 page bytes |
 //! | 3 `Commit`    | `txn_id u64` |
 //! | 4 `Batch`     | `txn_id u64` + `members u32` |
+//! | 5 `Prepare`   | `txn_id u64` + `gtid u64` |
+//!
+//! A `Prepare` record closes a transaction exactly like `Commit`, but
+//! marks it *in doubt*: its images are durable yet must not be redone
+//! unless some higher-level commit record (a shard catalog entry keyed by
+//! the global transaction id `gtid`) says the distributed transaction
+//! committed. [`Wal::recover_onto`] treats undecided prepared
+//! transactions as aborted (*presumed abort* — they are discarded with
+//! the tail); [`Wal::recover_onto_with_decisions`] redoes a prepared
+//! transaction iff its `gtid` is in the decided set, at its position in
+//! the record stream (later same-log transactions were built on top of
+//! its in-memory effects, so stream order is the only correct order).
 //!
 //! A `Batch` record directly follows `Begin` when the transaction is a
 //! group commit folding `members` logical updates into one WAL transaction
@@ -78,6 +90,7 @@ const REC_BEGIN: u8 = 1;
 const REC_PAGE_IMAGE: u8 = 2;
 const REC_COMMIT: u8 = 3;
 const REC_BATCH: u8 = 4;
+const REC_PREPARE: u8 = 5;
 
 /// type + epoch + len prefix of a record frame.
 const FRAME_HEADER: usize = 1 + 8 + 4;
@@ -106,6 +119,8 @@ pub struct WalStats {
     pub batch_commits: u64,
     /// Logical updates folded into those group commits.
     pub batched_members: u64,
+    /// Prepared (in-doubt) transactions logged.
+    pub prepares: u64,
 }
 
 struct WalInner {
@@ -137,6 +152,12 @@ pub struct RecoveryReport {
     pub pages_redone: u64,
     /// Bytes of torn or uncommitted tail discarded.
     pub bytes_discarded: u64,
+    /// Prepared transactions found in the log.
+    pub prepared_txns: u64,
+    /// Prepared transactions promoted to committed by the decided set.
+    pub prepared_decided: u64,
+    /// Prepared transactions discarded as aborted (not in the decided set).
+    pub prepared_aborted: u64,
 }
 
 impl Wal {
@@ -237,20 +258,49 @@ impl Wal {
         pages: &[(PageId, Page)],
         members: u32,
     ) -> Result<u64, StorageError> {
+        self.commit_or_prepare(txn_id, pages, members, None)
+    }
+
+    /// Appends `Begin` + page images + a `Prepare` record carrying the
+    /// global transaction id `gtid`, then syncs. The transaction is durable
+    /// but **in doubt**: plain recovery discards it (*presumed abort*);
+    /// [`recover_onto_with_decisions`](Self::recover_onto_with_decisions)
+    /// redoes it iff `gtid` appears in the decided set. Failure semantics
+    /// (tail rewind + poison) are identical to [`commit`](Self::commit).
+    pub fn prepare(
+        &self,
+        txn_id: u64,
+        pages: &[(PageId, Page)],
+        gtid: u64,
+        members: u32,
+    ) -> Result<u64, StorageError> {
+        self.commit_or_prepare(txn_id, pages, members, Some(gtid))
+    }
+
+    fn commit_or_prepare(
+        &self,
+        txn_id: u64,
+        pages: &[(PageId, Page)],
+        members: u32,
+        gtid: Option<u64>,
+    ) -> Result<u64, StorageError> {
         let mut inner = self.inner.lock();
         if inner.poisoned {
             return Err(StorageError::WalPoisoned);
         }
         let start = inner.tail;
         let saved_tail_page = inner.tail_page.clone();
-        if let Err(e) = self.commit_records(&mut inner, txn_id, pages, members) {
+        if let Err(e) = self.commit_records(&mut inner, txn_id, pages, members, gtid) {
             inner.tail = start;
             inner.tail_page = saved_tail_page;
             inner.poisoned = true;
             return Err(e);
         }
         let bytes = inner.tail - start;
-        inner.stats.commits += 1;
+        match gtid {
+            None => inner.stats.commits += 1,
+            Some(_) => inner.stats.prepares += 1,
+        }
         inner.stats.records += 2 + pages.len() as u64;
         if members > 1 {
             inner.stats.records += 1;
@@ -262,13 +312,15 @@ impl Wal {
     }
 
     /// The fallible body of [`commit_batch`](Self::commit_batch): append
-    /// every frame, flush the partial tail page, sync.
+    /// every frame, flush the partial tail page, sync. With `gtid` set the
+    /// transaction ends in a `Prepare` record instead of `Commit`.
     fn commit_records(
         &self,
         inner: &mut WalInner,
         txn_id: u64,
         pages: &[(PageId, Page)],
         members: u32,
+        gtid: Option<u64>,
     ) -> Result<(), StorageError> {
         let id_buf = txn_id.to_le_bytes();
         self.append_record(inner, REC_BEGIN, &id_buf, &[])?;
@@ -279,7 +331,10 @@ impl Wal {
             let id_bytes = id.0.to_le_bytes();
             self.append_record(inner, REC_PAGE_IMAGE, &id_bytes, page.bytes())?;
         }
-        self.append_record(inner, REC_COMMIT, &id_buf, &[])?;
+        match gtid {
+            None => self.append_record(inner, REC_COMMIT, &id_buf, &[])?,
+            Some(g) => self.append_record(inner, REC_PREPARE, &id_buf, &g.to_le_bytes())?,
+        }
         self.flush_tail(inner)?;
         self.disk.sync()
     }
@@ -318,12 +373,29 @@ impl Wal {
     /// so a clean open performs no writes at all. Call before constructing a
     /// buffer pool over `data`.
     pub fn recover_onto(&self, data: &dyn Disk) -> Result<RecoveryReport, StorageError> {
+        self.recover_onto_with_decisions(data, &[])
+    }
+
+    /// [`recover_onto`](Self::recover_onto) for a participant in a
+    /// distributed commit: a prepared transaction whose `gtid` appears in
+    /// `decided` is redone exactly like a committed one, at its position in
+    /// the record stream; prepared transactions *not* in `decided` are
+    /// discarded (presumed abort). `decided` is the set of global
+    /// transaction ids whose catalog commit record landed.
+    pub fn recover_onto_with_decisions(
+        &self,
+        data: &dyn Disk,
+        decided: &[u64],
+    ) -> Result<RecoveryReport, StorageError> {
         let mut inner = self.inner.lock();
         let epoch = inner.epoch;
         let mut pos = 0u64;
         let mut saw_current_epoch = false;
-        // Transactions in commit order; the one currently open, if any.
-        let mut committed: Vec<Vec<(PageId, Page)>> = Vec::new();
+        // Transactions in stream (completion) order: `None` = committed,
+        // `Some(gtid)` = prepared, awaiting a decision. The one currently
+        // open, if any, sits in `open`.
+        type Done = (Option<u64>, Vec<(PageId, Page)>);
+        let mut committed: Vec<Done> = Vec::new();
         let mut open: Option<(u64, Vec<(PageId, Page)>)> = None;
         let mut frame = vec![0u8; FRAME_HEADER + MAX_PAYLOAD + FRAME_CRC];
         let mut discarded = 0u64;
@@ -335,7 +407,7 @@ impl Wal {
             let rec_type = header[0];
             let rec_epoch = u64::from_le_bytes(header[1..9].try_into().expect("8-byte slice"));
             let len = u32::from_le_bytes(header[9..13].try_into().expect("4-byte slice")) as usize;
-            if !(REC_BEGIN..=REC_BATCH).contains(&rec_type) || len > MAX_PAYLOAD {
+            if !(REC_BEGIN..=REC_PREPARE).contains(&rec_type) || len > MAX_PAYLOAD {
                 break;
             }
             if rec_epoch != epoch {
@@ -393,6 +465,20 @@ impl Wal {
                     page.bytes_mut().copy_from_slice(&payload[4..]);
                     images.push((id, page));
                 }
+                REC_PREPARE => {
+                    // Ends the open transaction in doubt, keyed by gtid.
+                    if payload.len() != 16 {
+                        break;
+                    }
+                    let id = u64::from_le_bytes(payload[..8].try_into().expect("8-byte slice"));
+                    let gtid = u64::from_le_bytes(payload[8..16].try_into().expect("8-byte slice"));
+                    match open.take() {
+                        Some((open_id, images)) if open_id == id => {
+                            committed.push((Some(gtid), images))
+                        }
+                        _ => break, // prepare without a matching begin
+                    }
+                }
                 _ => {
                     // REC_COMMIT (the range check above admits nothing else).
                     if payload.len() != 8 {
@@ -400,7 +486,7 @@ impl Wal {
                     }
                     let id = u64::from_le_bytes(payload.try_into().expect("8-byte slice"));
                     match open.take() {
-                        Some((open_id, images)) if open_id == id => committed.push(images),
+                        Some((open_id, images)) if open_id == id => committed.push((None, images)),
                         _ => break, // commit without a matching begin
                     }
                 }
@@ -418,11 +504,25 @@ impl Wal {
         }
 
         let mut report = RecoveryReport {
-            committed_txns: committed.len() as u64,
             bytes_discarded: discarded,
             ..RecoveryReport::default()
         };
-        for images in &committed {
+        let mut redone_any = false;
+        for (gtid, images) in &committed {
+            match gtid {
+                None => report.committed_txns += 1,
+                Some(g) if decided.contains(g) => {
+                    report.prepared_txns += 1;
+                    report.prepared_decided += 1;
+                }
+                Some(_) => {
+                    // Undecided prepared transaction: presumed abort. Its
+                    // images stay orphaned behind the ending checkpoint.
+                    report.prepared_txns += 1;
+                    report.prepared_aborted += 1;
+                    continue;
+                }
+            }
             for (id, page) in images {
                 while data.num_pages() <= id.0 {
                     data.allocate_page()?;
@@ -430,11 +530,12 @@ impl Wal {
                 data.write_page(*id, page)?;
                 report.pages_redone += 1;
             }
+            redone_any = true;
         }
-        if !committed.is_empty() {
+        if redone_any {
             data.sync()?;
         }
-        inner.stats.recovered_commits = report.committed_txns;
+        inner.stats.recovered_commits = report.committed_txns + report.prepared_decided;
         inner.stats.redone_pages = report.pages_redone;
         if saw_current_epoch {
             // Current-epoch frames exist on disk (committed, torn, or merely
@@ -804,6 +905,70 @@ mod tests {
         assert_eq!(report.committed_txns, 0);
         assert_eq!(report.pages_redone, 0);
         assert_eq!(data.num_pages(), 0);
+    }
+
+    #[test]
+    fn undecided_prepare_is_presumed_aborted() {
+        let log = Arc::new(MemDisk::new());
+        let wal = Wal::open(log.clone()).unwrap();
+        wal.commit(1, &[(PageId(0), filled(1))]).unwrap();
+        wal.prepare(2, &[(PageId(0), filled(99))], 77, 1).unwrap();
+        assert_eq!(wal.stats().prepares, 1);
+
+        let data = MemDisk::new();
+        let wal2 = Wal::open(log).unwrap();
+        let report = wal2.recover_onto(&data).unwrap();
+        assert_eq!(report.committed_txns, 1);
+        assert_eq!(report.prepared_txns, 1);
+        assert_eq!(report.prepared_aborted, 1);
+        assert_eq!(report.prepared_decided, 0);
+        let mut p = Page::zeroed();
+        data.read_page(PageId(0), &mut p).unwrap();
+        assert_eq!(p.bytes(), filled(1).bytes()); // prepare discarded
+    }
+
+    #[test]
+    fn decided_prepare_is_redone_in_stream_order() {
+        let log = Arc::new(MemDisk::new());
+        let wal = Wal::open(log.clone()).unwrap();
+        // prepare(gtid 77) then a later plain commit on the same page: the
+        // prepared images must replay first when decided.
+        wal.prepare(1, &[(PageId(0), filled(50)), (PageId(2), filled(5))], 77, 1)
+            .unwrap();
+        wal.commit(2, &[(PageId(0), filled(200))]).unwrap();
+
+        let data = MemDisk::new();
+        let wal2 = Wal::open(log.clone()).unwrap();
+        let report = wal2.recover_onto_with_decisions(&data, &[77]).unwrap();
+        assert_eq!(report.committed_txns, 1);
+        assert_eq!(report.prepared_decided, 1);
+        assert_eq!(report.pages_redone, 3);
+        let mut p = Page::zeroed();
+        data.read_page(PageId(0), &mut p).unwrap();
+        assert_eq!(p.bytes(), filled(200).bytes()); // later commit wins
+        data.read_page(PageId(2), &mut p).unwrap();
+        assert_eq!(p.bytes(), filled(5).bytes()); // prepared-only page lands
+    }
+
+    #[test]
+    fn decided_promotion_is_idempotent_across_recoveries() {
+        let log = Arc::new(MemDisk::new());
+        let wal = Wal::open(log.clone()).unwrap();
+        wal.prepare(1, &[(PageId(4), filled(44))], 9, 1).unwrap();
+
+        let data = MemDisk::new();
+        let wal2 = Wal::open(log.clone()).unwrap();
+        let r1 = wal2.recover_onto_with_decisions(&data, &[9]).unwrap();
+        assert_eq!(r1.prepared_decided, 1);
+        // The ending checkpoint orphaned the frames: a second recovery with
+        // the same (still-cataloged) decision finds nothing to redo.
+        let wal3 = Wal::open(log).unwrap();
+        let r2 = wal3.recover_onto_with_decisions(&data, &[9]).unwrap();
+        assert_eq!(r2.prepared_txns, 0);
+        assert_eq!(r2.pages_redone, 0);
+        let mut p = Page::zeroed();
+        data.read_page(PageId(4), &mut p).unwrap();
+        assert_eq!(p.bytes(), filled(44).bytes());
     }
 
     #[test]

@@ -55,6 +55,7 @@ mod commit;
 mod modal;
 mod persist;
 mod reader;
+mod shard;
 
 pub use dol_acl as acl;
 pub use dol_cam as cam;
@@ -70,6 +71,7 @@ pub use dol_storage::{CancelToken, Deadline, RecoveryReport, RetryPolicy};
 pub use commit::{CommitObserver, GroupCommitConfig, GroupCommitStats, GroupCommitter};
 pub use modal::{ModalDb, ModalSecurity};
 pub use reader::{CacheStats, DbReader};
+pub use shard::{DiskPair, ShardHealth, ShardStatus, ShardedDb, ShardedStats};
 
 use dol_acl::{AccessOracle, BitVec, SubjectId};
 use dol_core::{DolStats, EmbeddedDol};
@@ -134,6 +136,19 @@ pub enum DbError {
     /// [`SecureXmlDb::verify_integrity`] found the embedded DOL or the
     /// block store inconsistent; the message names the first violation.
     Integrity(String),
+    /// A [`ShardedDb`] query needed shard `shard`, which is quarantined
+    /// (poisoned handle or open circuit breaker — `cause` is the typed
+    /// reason). Queries provably confined to healthy shards still answer
+    /// exactly; a query that *touches* a quarantined shard is refused whole
+    /// rather than returning a silently-partial answer. Remedy:
+    /// [`ShardedDb::recover_shard`] heals the shard in process while the
+    /// healthy shards keep serving.
+    ShardUnavailable {
+        /// The quarantined shard's index.
+        shard: usize,
+        /// Why the shard is unavailable.
+        cause: Box<DbError>,
+    },
 }
 
 impl std::fmt::Display for DbError {
@@ -168,6 +183,11 @@ impl std::fmt::Display for DbError {
                 stats.nodes_visited
             ),
             DbError::Integrity(msg) => write!(f, "integrity check failed: {msg}"),
+            DbError::ShardUnavailable { shard, cause } => write!(
+                f,
+                "shard {shard} unavailable ({cause}); the query touches it and was refused whole \
+                 — recover the shard and retry"
+            ),
         }
     }
 }
@@ -279,6 +299,12 @@ pub struct SecureXmlDb {
     /// closures: their internal `run_txn` calls short-circuit into the
     /// already-open batch transaction instead of opening their own.
     in_batch: bool,
+    /// The in-flight distributed transaction, if any: its global id and the
+    /// pre-transaction mirror snapshot captured by
+    /// [`run_prepared`](SecureXmlDb::run_prepared), consumed by
+    /// [`finish_prepared`](SecureXmlDb::finish_prepared) (restored on
+    /// abort, dropped on commit).
+    prepared: Option<(u64, MirrorSnapshot)>,
 }
 
 /// One group-commit batch member: an update closure the batch committer can
@@ -373,6 +399,7 @@ impl SecureXmlDb {
             detached: AtomicBool::new(false),
             rollback_mirrors: Mutex::new(None),
             in_batch: false,
+            prepared: None,
         })
     }
 
@@ -591,6 +618,139 @@ impl SecureXmlDb {
         }
     }
 
+    /// First half of a distributed (cross-shard) commit: runs `f` inside a
+    /// pool transaction and **prepares** it under the global transaction id
+    /// `gtid` — the after-images reach the write-ahead log (synced) under a
+    /// `Prepare` record, but the transaction stays open and *invisible*:
+    /// no dirty byte can reach the data disk, recovery presumes abort, the
+    /// epoch does not advance, and readers keep answering the pre-prepare
+    /// state. The transaction is resolved by
+    /// [`finish_prepared`](Self::finish_prepared).
+    ///
+    /// An `Err` from `f` (or from the WAL append) is a clean **abort
+    /// vote**: pages and mirrors are rolled back and the handle stays
+    /// healthy — unlike [`run_update`](Self::run_update), nothing poisons,
+    /// because no cover story is needed for a transaction that was never
+    /// visible.
+    pub fn run_prepared(
+        &mut self,
+        gtid: u64,
+        f: impl FnOnce(&mut Self) -> Result<(), DbError>,
+    ) -> Result<(), DbError> {
+        if self.in_batch || self.prepared.is_some() || self.pool.in_transaction() {
+            return Err(DbError::Storage(StorageError::Io(std::io::Error::other(
+                "run_prepared inside an open transaction",
+            ))));
+        }
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(DbError::Poisoned);
+        }
+        let ring = self.pool.version_ring_enabled();
+        let before = MirrorSnapshot::capture(self);
+        let pool = self.pool.clone();
+        pool.txn_begin();
+        self.in_batch = true; // member update methods join this transaction
+        let body = (|| -> Result<(), DbError> {
+            f(self)?;
+            if self.persistent {
+                self.rewrite_meta()?;
+            }
+            Ok(())
+        })();
+        self.in_batch = false;
+        match body {
+            Ok(()) => match pool.txn_prepare(gtid) {
+                Ok(()) => {
+                    self.prepared = Some((gtid, before));
+                    Ok(())
+                }
+                Err(e) => {
+                    // txn_prepare rolled the pages back on failure; restore
+                    // the matching mirrors. Clean abort: no poison.
+                    self.restore_mirrors(before);
+                    if !ring {
+                        self.caches.invalidate_results();
+                    }
+                    Err(e.into())
+                }
+            },
+            Err(e) => {
+                pool.txn_rollback();
+                self.restore_mirrors(before);
+                if !ring {
+                    self.caches.invalidate_results();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Second half of a distributed commit: resolves the transaction left
+    /// open by [`run_prepared`](Self::run_prepared). With `commit == true`
+    /// (the catalog's commit record for `gtid` is durable) the prepared
+    /// images become the committed state and the epoch advances exactly as
+    /// for a solo commit; with `commit == false` everything rolls back to
+    /// the pre-prepare state and the handle stays healthy.
+    ///
+    /// A failure while *committing* (e.g. a spilled-page write-back error)
+    /// poisons the handle — the decision is already durable, so recovery
+    /// ([`recover_with_decisions`](Self::recover_with_decisions) with
+    /// `gtid` decided) replays the prepared images from the log.
+    pub fn finish_prepared(&mut self, gtid: u64, commit: bool) -> Result<(), DbError> {
+        let (g, before) = self
+            .prepared
+            .take()
+            .ok_or(DbError::Storage(StorageError::Io(std::io::Error::other(
+                "finish_prepared without a prepared transaction",
+            ))))?;
+        if g != gtid {
+            self.prepared = Some((g, before));
+            return Err(DbError::Storage(StorageError::Io(std::io::Error::other(
+                "finish_prepared gtid mismatch",
+            ))));
+        }
+        let ring = self.pool.version_ring_enabled();
+        if !commit {
+            self.pool.txn_finish_prepared(false)?;
+            self.restore_mirrors(before);
+            if !ring {
+                // Legacy mode has no pre-bump to undo here (run_prepared
+                // never bumps); invalidate defensively all the same.
+                self.caches.invalidate_results();
+            }
+            return Ok(());
+        }
+        match self.pool.txn_finish_prepared(true) {
+            Ok(()) => {
+                if ring {
+                    self.epoch.fetch_add(1, Ordering::SeqCst);
+                    self.caches.evict_dead_epochs(self.pool.ring_floor());
+                } else {
+                    self.epoch.fetch_add(1, Ordering::SeqCst);
+                    self.caches.invalidate_results();
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // The decision is commit and the prepared images are durable
+                // in the log; only the local write-back failed. The live
+                // (after) mirrors describe the committed state, so no
+                // before-snapshot is stashed: degraded readers serve the
+                // committed image, and recovery with this gtid decided
+                // replays the pages underneath it.
+                self.poisoned.store(true, Ordering::Release);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// The global transaction id of the in-flight prepared transaction, if
+    /// any (between [`run_prepared`](Self::run_prepared) and
+    /// [`finish_prepared`](Self::finish_prepared)).
+    pub fn prepared_gtid(&self) -> Option<u64> {
+        self.prepared.as_ref().map(|(g, _)| *g)
+    }
+
     /// The oldest epoch the MVCC version ring still retains (0 when the
     /// ring is disabled). A [`DbReader`] pinned below this floor gets
     /// [`DbError::RetentionExceeded`].
@@ -631,8 +791,34 @@ impl SecureXmlDb {
     /// the path instead. An un-poisoned handle recovers trivially: the call
     /// just resets the breaker and returns `Ok(None)`.
     pub fn recover(&mut self) -> Result<Option<RecoveryReport>, DbError> {
+        self.recover_with_decisions(&[])
+    }
+
+    /// [`recover`](Self::recover) for a shard of a [`ShardedDb`]: prepared
+    /// transactions in the write-ahead log whose global id appears in
+    /// `decided` (the shard catalog's committed records) are replayed like
+    /// committed ones; undecided prepares are rolled back wholesale
+    /// (presumed abort). An in-flight [`run_prepared`](Self::run_prepared)
+    /// transaction still open in this process is resolved first, by the
+    /// same rule. With an empty `decided` this *is* `recover`.
+    pub fn recover_with_decisions(
+        &mut self,
+        decided: &[u64],
+    ) -> Result<Option<RecoveryReport>, DbError> {
         if self.detached.load(Ordering::Acquire) {
             return Err(DbError::Poisoned);
+        }
+        // Resolve a still-open prepared transaction by the catalog's
+        // verdict before anything else: `recover` must never leave an open
+        // transaction behind, and the decision already exists (or is
+        // forever absent) in the catalog.
+        if let Some(gtid) = self.prepared_gtid() {
+            let commit = decided.contains(&gtid);
+            if let Err(e) = self.finish_prepared(gtid, commit) {
+                // A failed finish poisons; fall through into full recovery
+                // below, which rebuilds from the log + decisions.
+                let _ = e;
+            }
         }
         if !self.is_poisoned() {
             self.pool.reset_breaker();
@@ -645,7 +831,7 @@ impl SecureXmlDb {
             // reload the image exactly as a fresh open would.
             self.pool.discard_cache_and_txn();
             let wal = self.pool.wal().ok_or(DbError::Poisoned)?;
-            let report = wal.recover_onto(self.pool.disk().as_ref())?;
+            let report = wal.recover_onto_with_decisions(self.pool.disk().as_ref(), decided)?;
             let img = persist::load_image(&self.pool)?;
             self.doc = Arc::new(img.doc);
             self.store = Arc::new(img.store);

@@ -458,8 +458,22 @@ impl SecureXmlDb {
         wal_disk: Arc<dyn Disk>,
         cfg: DbConfig,
     ) -> Result<SecureXmlDb, DbError> {
+        Self::open_on_with_decisions(data, wal_disk, cfg, &[])
+    }
+
+    /// [`open_on`](Self::open_on) for a shard of a [`crate::ShardedDb`]:
+    /// prepared transactions in the log whose global id appears in
+    /// `decided` (the shard catalog's committed records) are redone like
+    /// committed ones; undecided prepares are discarded (presumed abort).
+    /// With an empty `decided` this *is* `open_on`.
+    pub fn open_on_with_decisions(
+        data: Arc<dyn Disk>,
+        wal_disk: Arc<dyn Disk>,
+        cfg: DbConfig,
+        decided: &[u64],
+    ) -> Result<SecureXmlDb, DbError> {
         let wal = Arc::new(Wal::open(wal_disk)?);
-        wal.recover_onto(data.as_ref())?;
+        wal.recover_onto_with_decisions(data.as_ref(), decided)?;
 
         let pool = Arc::new(BufferPool::new(data, cfg.buffer_pool_pages));
         let img = load_image(&pool)?;
@@ -484,6 +498,7 @@ impl SecureXmlDb {
             detached: std::sync::atomic::AtomicBool::new(false),
             rollback_mirrors: std::sync::Mutex::new(None),
             in_batch: false,
+            prepared: None,
         })
     }
 }

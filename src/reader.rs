@@ -388,13 +388,19 @@ impl DbReader {
     /// (MVCC: the snapshot outlived the version ring's retention window),
     /// `refresh` is called for a fresh reader — typically `|| db.reader()`
     /// through whatever latch guards the handle — which replaces `self`,
-    /// and the query is retried, at most `max_retries` times. Every other
-    /// outcome (including the final staleness failure) is returned as-is.
+    /// and the query is retried, at most `max_retries` times.
+    /// [`DbError::Overloaded`] (admission control shed the request) is
+    /// retried on the same ladder after an exponential backoff pause (the
+    /// [`RetryPolicy`](crate::RetryPolicy) default schedule) — shedding is
+    /// transient by design, so hammering an overloaded queue with immediate
+    /// retries would defeat it. Every other outcome (including the final
+    /// staleness or overload failure) is returned as-is.
     ///
-    /// With the version ring enabled this is a *fallback*, not the common
-    /// path: inside the retention window plain [`query`](Self::query) never
-    /// fails for snapshot-age reasons, so the refresh closure only runs for
-    /// readers held across more committed epochs than the ring retains.
+    /// With the version ring enabled the staleness arm is a *fallback*, not
+    /// the common path: inside the retention window plain
+    /// [`query`](Self::query) never fails for snapshot-age reasons, so the
+    /// refresh closure only runs for readers held across more committed
+    /// epochs than the ring retains.
     pub fn query_with_retry<F>(
         &mut self,
         query: &str,
@@ -405,16 +411,26 @@ impl DbReader {
     where
         F: FnMut() -> DbReader,
     {
+        let policy = crate::RetryPolicy::default();
         let mut retries = 0;
         loop {
-            match self.query(query, security) {
-                Err(DbError::StaleReader { .. } | DbError::RetentionExceeded { .. })
-                    if retries < max_retries =>
-                {
+            let outcome = self.query(query, security);
+            match retry_action(&outcome) {
+                Some(action) if retries < max_retries => {
                     retries += 1;
-                    *self = refresh();
+                    match action {
+                        RetryAction::Refresh => *self = refresh(),
+                        RetryAction::Backoff => {
+                            // The snapshot is fine — the system shed load.
+                            // Wait out the burst instead of re-snapshotting.
+                            let pause = policy.backoff_for(retries);
+                            if !pause.is_zero() {
+                                std::thread::sleep(pause);
+                            }
+                        }
+                    }
                 }
-                other => return other,
+                _ => return outcome,
             }
         }
     }
@@ -457,6 +473,26 @@ impl DbReader {
     }
 }
 
+/// How [`DbReader::query_with_retry`] reacts to a retryable failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RetryAction {
+    /// Snapshot-age failure: replace the reader and retry immediately.
+    Refresh,
+    /// Load-shedding failure: keep the reader, retry after a backoff pause.
+    Backoff,
+}
+
+/// Classifies a query outcome for the retry loop: `None` is terminal.
+fn retry_action(outcome: &Result<QueryResult, DbError>) -> Option<RetryAction> {
+    match outcome {
+        Err(DbError::StaleReader { .. } | DbError::RetentionExceeded { .. }) => {
+            Some(RetryAction::Refresh)
+        }
+        Err(DbError::Overloaded) => Some(RetryAction::Backoff),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -474,6 +510,46 @@ mod tests {
             map.set(SubjectId(1), NodeId(p), true);
         }
         SecureXmlDb::from_document(doc, &map).unwrap()
+    }
+
+    #[test]
+    fn retry_loop_classifies_overload_as_backoff() {
+        // Snapshot-age failures re-snapshot; shed load backs off in place;
+        // everything else (including success) is terminal.
+        assert_eq!(
+            retry_action(&Err(DbError::StaleReader { seen: 0, now: 1 })),
+            Some(RetryAction::Refresh)
+        );
+        assert_eq!(
+            retry_action(&Err(DbError::RetentionExceeded {
+                seen: 0,
+                oldest: 1,
+                now: 2
+            })),
+            Some(RetryAction::Refresh)
+        );
+        assert_eq!(
+            retry_action(&Err(DbError::Overloaded)),
+            Some(RetryAction::Backoff)
+        );
+        assert_eq!(retry_action(&Err(DbError::Poisoned)), None);
+        assert_eq!(
+            retry_action(&Ok(QueryResult {
+                matches: vec![],
+                stats: Default::default()
+            })),
+            None
+        );
+        // The backoff ladder is exponential and bounded — the pause for a
+        // later retry never shrinks and never exceeds the cap.
+        let policy = crate::RetryPolicy::default();
+        let mut last = std::time::Duration::ZERO;
+        for attempt in 1..=8 {
+            let pause = policy.backoff_for(attempt);
+            assert!(pause >= last, "backoff must not shrink");
+            assert!(pause <= policy.backoff_cap);
+            last = pause;
+        }
     }
 
     #[test]

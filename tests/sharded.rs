@@ -1,0 +1,246 @@
+//! Differential property tests for [`ShardedDb`]: random shard counts and
+//! split boundaries must be invisible — every query answers byte-identically
+//! to the unsharded database, for random twigs × random subject matrices ×
+//! both security semantics, with ACL updates (single-shard and cross-shard)
+//! interleaved.
+//!
+//! Two oracles keep each other honest:
+//!
+//! * an unsharded [`SecureXmlDb`] receiving the same update stream, compared
+//!   position-by-position through `accessible` (validates the 2PC update
+//!   fan-out), and
+//! * the naive reference evaluator over the master document and a mirrored
+//!   accessibility map (validates the scatter-gather answer assembly; the
+//!   engine ≡ reference equivalence is separately property-tested in
+//!   `dol-nok`).
+
+use dol_acl::{AccessibilityMap, SubjectId};
+use dol_nok::reference::{naive_eval, RefSecurity};
+use dol_nok::{Axis, PatternTree, Security};
+use dol_xml::{Document, DocumentBuilder, NodeId};
+use proptest::prelude::*;
+use secure_xml::{DbConfig, SecureXmlDb, ShardedDb};
+
+const TAGS: [&str; 4] = ["a", "b", "c", "d"];
+const VALUES: [&str; 2] = ["x", "y"];
+const SUBJECTS: usize = 2;
+
+/// Random document under a fixed root tag: a stack-disciplined walk over a
+/// small alphabet. The root always keeps at least one child (a childless
+/// root has nothing to shard).
+fn arb_doc() -> impl Strategy<Value = Document> {
+    proptest::collection::vec((0usize..4, 0u8..4, proptest::option::of(0usize..2)), 1..60).prop_map(
+        |raw| {
+            let mut b = DocumentBuilder::new();
+            b.open(TAGS[0]);
+            let mut depth = 1;
+            for (tag, action, value) in raw {
+                match action {
+                    0 if depth < 6 => {
+                        b.open(TAGS[tag]);
+                        depth += 1;
+                    }
+                    1 | 2 => {
+                        b.leaf(TAGS[tag], value.map(|v| VALUES[v]));
+                    }
+                    _ => {
+                        if depth > 1 {
+                            b.close();
+                            depth -= 1;
+                        }
+                    }
+                }
+            }
+            while depth > 1 {
+                b.close();
+                depth -= 1;
+            }
+            b.leaf(TAGS[1], None); // guarantee ≥ 1 root child
+            b.close();
+            b.finish().unwrap()
+        },
+    )
+}
+
+/// Random twig over child/descendant/following-sibling axes, random
+/// anchoring, random returning node, sparse value constraints.
+fn arb_pattern() -> impl Strategy<Value = PatternTree> {
+    (
+        proptest::option::of(0usize..4),
+        any::<bool>(),
+        proptest::collection::vec(
+            (
+                0usize..6,
+                proptest::option::of(0usize..4),
+                0u8..3,
+                proptest::option::of(0usize..2),
+            ),
+            0..5,
+        ),
+        0usize..6,
+    )
+        .prop_map(|(root_tag, anchored, children, ret)| {
+            let mut p = PatternTree::new(root_tag.map(|t| TAGS[t]), anchored);
+            for (parent, tag, axis_pick, value) in children {
+                let parent = dol_nok::PNodeId((parent % p.len()) as u32);
+                let axis = match axis_pick {
+                    0 => Axis::Child,
+                    1 => Axis::Descendant,
+                    _ => Axis::FollowingSibling,
+                };
+                let id = p.add_child(parent, axis, tag.map(|t| TAGS[t]));
+                if let Some(v) = value {
+                    p.set_value(id, VALUES[v]);
+                }
+            }
+            p.set_returning(dol_nok::PNodeId((ret % p.len()) as u32));
+            p
+        })
+}
+
+/// Splits `children` root-child subtrees into contiguous groups: a cut
+/// before child `i` wherever `cuts[i - 1]` (groups are never empty).
+fn counts_from_cuts(children: usize, cuts: &[bool]) -> Vec<usize> {
+    let mut counts = Vec::new();
+    let mut run = 1;
+    for i in 1..children {
+        if cuts.get(i - 1).copied().unwrap_or(false) {
+            counts.push(run);
+            run = 1;
+        } else {
+            run += 1;
+        }
+    }
+    counts.push(run);
+    counts
+}
+
+fn root_child_count(doc: &Document) -> usize {
+    doc.children(doc.root()).count()
+}
+
+/// One random ACL update applied identically to all three sides. `pos` and
+/// `subject` are reduced modulo the valid ranges.
+#[derive(Debug, Clone, Copy)]
+struct AclOp {
+    subtree: bool,
+    pos: usize,
+    subject: usize,
+    allow: bool,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<AclOp>> {
+    proptest::collection::vec(
+        (any::<bool>(), 0usize..64, 0usize..SUBJECTS, any::<bool>()).prop_map(
+            |(subtree, pos, subject, allow)| AclOp {
+                subtree,
+                pos,
+                subject,
+                allow,
+            },
+        ),
+        0..6,
+    )
+}
+
+fn apply_to_mirror(doc: &Document, map: &mut AccessibilityMap, op: &AclOp, pos: u64) {
+    let subject = SubjectId(op.subject as u16);
+    if op.subtree {
+        let size = u64::from(doc.node(NodeId(pos as u32)).size);
+        for p in pos..pos + size {
+            map.set(subject, NodeId(p as u32), op.allow);
+        }
+    } else {
+        map.set(subject, NodeId(pos as u32), op.allow);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sharding_is_invisible(
+        doc in arb_doc(),
+        pattern in arb_pattern(),
+        cuts in proptest::collection::vec(any::<bool>(), 0..16),
+        bits in proptest::collection::vec(any::<bool>(), 0..120),
+        ops in arb_ops(),
+    ) {
+        let n = doc.len();
+        let mut map = AccessibilityMap::new(SUBJECTS, n);
+        for (i, bit) in bits.iter().enumerate() {
+            if *bit {
+                map.set(
+                    SubjectId((i / n.max(1) % SUBJECTS) as u16),
+                    NodeId((i % n.max(1)) as u32),
+                    true,
+                );
+            }
+        }
+        // The document root is accessible to everyone: the replicated root
+        // makes its code shard-invariant, and an inaccessible root hides
+        // the whole document under subtree visibility, collapsing the test.
+        for s in 0..SUBJECTS {
+            map.set(SubjectId(s as u16), NodeId(0), true);
+        }
+
+        let counts = counts_from_cuts(root_child_count(&doc), &cuts);
+        let sharded =
+            ShardedDb::build_with_counts(&doc, &map, &counts, DbConfig::default()).unwrap();
+        prop_assert_eq!(sharded.shard_count(), counts.len());
+        let mut solo = SecureXmlDb::from_document(doc.clone(), &map).unwrap();
+
+        // Interleave ACL updates: same stream on the sharded facade (2PC,
+        // cross-shard when pos == 0), the unsharded database, and the
+        // reference mirror.
+        let mut mirror = map;
+        for op in &ops {
+            let pos = (op.pos % n) as u64;
+            let subject = SubjectId(op.subject as u16);
+            if op.subtree {
+                sharded.set_subtree_access(pos, subject, op.allow).unwrap();
+                solo.set_subtree_access(pos, subject, op.allow).unwrap();
+            } else {
+                sharded.set_node_access(pos, subject, op.allow).unwrap();
+                solo.set_node_access(pos, subject, op.allow).unwrap();
+            }
+            apply_to_mirror(&doc, &mut mirror, op, pos);
+        }
+
+        // Oracle 1: the unsharded database agrees position-by-position.
+        for p in 0..n as u64 {
+            for s in 0..SUBJECTS {
+                let subject = SubjectId(s as u16);
+                let want = solo.accessible(p, subject).unwrap();
+                prop_assert_eq!(sharded.accessible(p, subject).unwrap(), want,
+                    "accessible({}, {}) diverged", p, s);
+                prop_assert_eq!(mirror.accessible(subject, NodeId(p as u32)), want,
+                    "mirror drifted from solo at ({}, {})", p, s);
+            }
+        }
+
+        // Oracle 2: every security mode answers exactly the reference.
+        let got = sharded.query_pattern(&pattern, Security::None).unwrap().matches;
+        let want = naive_eval(&doc, &pattern, RefSecurity::None);
+        prop_assert_eq!(&got, &want, "unsecured, query {}, splits {:?}",
+            pattern.to_query_string(), &counts);
+        for s in 0..SUBJECTS {
+            let subject = SubjectId(s as u16);
+            let got = sharded
+                .query_pattern(&pattern, Security::BindingLevel(subject))
+                .unwrap()
+                .matches;
+            let want = naive_eval(&doc, &pattern, RefSecurity::Binding(&mirror, subject));
+            prop_assert_eq!(&got, &want, "binding {}, query {}, splits {:?}",
+                s, pattern.to_query_string(), &counts);
+
+            let got = sharded
+                .query_pattern(&pattern, Security::SubtreeVisibility(subject))
+                .unwrap()
+                .matches;
+            let want = naive_eval(&doc, &pattern, RefSecurity::Subtree(&mirror, subject));
+            prop_assert_eq!(&got, &want, "subtree {}, query {}, splits {:?}",
+                s, pattern.to_query_string(), &counts);
+        }
+    }
+}

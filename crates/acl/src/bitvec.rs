@@ -61,6 +61,31 @@ impl BitVec {
         self.words[i / 64] >> (i % 64) & 1 == 1
     }
 
+    /// Reads bit `i`, treating bits at or beyond `len` as zero. The
+    /// accessor for *lazily widened* bit rows: codebook entries are stored
+    /// trimmed to their last set bit, so a column added after an entry was
+    /// interned reads as deny without rewriting the entry.
+    #[inline]
+    pub fn get_or(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Truncates to the last set bit (length 0 if no bit is set) — the
+    /// canonical form under trailing-zero padding: two rows that differ only
+    /// in trailing deny bits trim to equal vectors.
+    pub fn trim_trailing_zeros(&mut self) {
+        let last = self
+            .words
+            .iter()
+            .rposition(|&w| w != 0)
+            .map(|wi| wi * 64 + 64 - self.words[wi].leading_zeros() as usize)
+            .unwrap_or(0);
+        self.resize(last);
+    }
+
     /// Writes bit `i`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {

@@ -91,7 +91,7 @@ impl CascadeRules {
     ) -> crate::map::AccessibilityMap {
         let mut map = crate::map::AccessibilityMap::new(subjects.len(), doc.len());
         for (i, &s) in subjects.iter().enumerate() {
-            *map.column_mut(SubjectId(i as u16)) = self.column(doc, s);
+            *map.column_mut(SubjectId(i as u32)) = self.column(doc, s);
         }
         map
     }
@@ -196,7 +196,7 @@ mod tests {
         let stream = r.row_stream(&doc, None);
         assert_eq!(stream[0].0, 0);
         // Reconstruct each node's row from the stream and compare.
-        for s in 0..3u16 {
+        for s in 0..3u32 {
             let col = r.column(&doc, SubjectId(s));
             for p in 0..doc.len() as u64 {
                 let i = stream.partition_point(|&(q, _)| q <= p) - 1;

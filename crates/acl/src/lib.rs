@@ -28,6 +28,7 @@
 
 pub mod bitvec;
 pub mod cascade;
+pub mod groups;
 pub mod map;
 pub mod mode;
 pub mod oracle;
@@ -36,6 +37,7 @@ pub mod subject;
 
 pub use bitvec::BitVec;
 pub use cascade::CascadeRules;
+pub use groups::GroupSpace;
 pub use map::AccessibilityMap;
 pub use mode::{ModeCatalog, ModeId};
 pub use oracle::{AccessOracle, FnOracle};

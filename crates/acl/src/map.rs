@@ -78,7 +78,7 @@ impl AccessibilityMap {
             None => BitVec::zeros(self.nodes),
         };
         self.columns.push(col);
-        SubjectId((self.columns.len() - 1) as u16)
+        SubjectId((self.columns.len() - 1) as u32)
     }
 
     /// Fraction of accessible (subject, node) pairs.

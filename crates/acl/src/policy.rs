@@ -210,7 +210,7 @@ impl Policy {
                 });
                 let effect = local.or(inherited[s]).unwrap_or(self.default_effect);
                 if effect == Effect::Grant {
-                    map.set(SubjectId(s as u16), id, true);
+                    map.set(SubjectId(s as u32), id, true);
                 }
             }
             if let Some(rs) = node_rules {

@@ -9,8 +9,13 @@
 use std::collections::HashMap;
 
 /// A dense identifier of a subject (user or group).
+///
+/// `u32`-wide: the paper's motivating deployment has 8,639 subjects, but the
+/// group-factored codebook derives per-subject columns from group columns, so
+/// the subject space itself must scale to millions — far past the old `u16`
+/// cap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct SubjectId(pub u16);
+pub struct SubjectId(pub u32);
 
 impl SubjectId {
     /// The raw index, for bit-vector addressing.
@@ -72,7 +77,7 @@ impl SubjectCatalog {
             "duplicate subject name `{name}`"
         );
         let id =
-            SubjectId(u16::try_from(self.subjects.len()).expect("more than u16::MAX subjects"));
+            SubjectId(u32::try_from(self.subjects.len()).expect("more than u32::MAX subjects"));
         self.subjects.push(SubjectInfo {
             name: name.to_owned(),
             kind,
@@ -150,7 +155,7 @@ impl SubjectCatalog {
 
     /// Iterates all subject ids.
     pub fn iter(&self) -> impl Iterator<Item = SubjectId> {
-        (0..self.subjects.len() as u16).map(SubjectId)
+        (0..self.subjects.len() as u32).map(SubjectId)
     }
 
     /// Iterates user ids only.

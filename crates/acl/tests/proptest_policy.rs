@@ -79,7 +79,7 @@ proptest! {
         policy.default_effect = if open_world { Effect::Grant } else { Effect::Deny };
         for r in &rules {
             policy.add_rule(Rule {
-                subject: SubjectId(u16::from(r.subject)),
+                subject: SubjectId(u32::from(r.subject)),
                 mode: ModeId(r.mode),
                 node: NodeId(r.node % doc.len() as u32),
                 effect: if r.grant { Effect::Grant } else { Effect::Deny },
@@ -92,7 +92,7 @@ proptest! {
         }
         for mode in [ModeId(0), ModeId(1)] {
             let map = policy.compile(&doc, 3, mode);
-            for s in 0..3u16 {
+            for s in 0..3u32 {
                 for d in doc.preorder() {
                     prop_assert_eq!(
                         map.accessible(SubjectId(s), d),
@@ -112,7 +112,7 @@ proptest! {
         let mut cr = CascadeRules::new(3);
         for r in &rules {
             cr.add(
-                SubjectId(u16::from(r.subject)),
+                SubjectId(u32::from(r.subject)),
                 NodeId(r.node % doc.len() as u32),
                 r.grant,
             );
@@ -123,7 +123,7 @@ proptest! {
             prop_assert!(w[0].0 < w[1].0);
             prop_assert_ne!(&w[0].1, &w[1].1, "redundant row change");
         }
-        for s in 0..3u16 {
+        for s in 0..3u32 {
             let col = cr.column(&doc, SubjectId(s));
             for p in 0..doc.len() as u64 {
                 let i = stream.partition_point(|&(q, _)| q <= p) - 1;
@@ -140,11 +140,11 @@ proptest! {
         // compare when no node carries conflicting rules for one subject.
         let mut conflicted = false;
         for d in doc.preorder() {
-            for s in 0..3u16 {
+            for s in 0..3u32 {
                 let mut effects: Vec<bool> = rules
                     .iter()
                     .filter(|r| {
-                        u16::from(r.subject) == s && NodeId(r.node % doc.len() as u32) == d
+                        u32::from(r.subject) == s && NodeId(r.node % doc.len() as u32) == d
                     })
                     .map(|r| r.grant)
                     .collect();
@@ -158,7 +158,7 @@ proptest! {
             let mut policy = Policy::new();
             for r in &rules {
                 policy.add_rule(Rule {
-                    subject: SubjectId(u16::from(r.subject)),
+                    subject: SubjectId(u32::from(r.subject)),
                     mode: ModeId(0),
                     node: NodeId(r.node % doc.len() as u32),
                     effect: if r.grant { Effect::Grant } else { Effect::Deny },
@@ -166,7 +166,7 @@ proptest! {
                 });
             }
             let map = policy.compile(&doc, 3, ModeId(0));
-            for s in 0..3u16 {
+            for s in 0..3u32 {
                 let col = cr.column(&doc, SubjectId(s));
                 for d in doc.preorder() {
                     prop_assert_eq!(

@@ -38,13 +38,13 @@ const QUERIES: &[&str] = &["//item[name]", "//people/person", "//keyword"];
 /// One concrete update of the workload (positions already resolved, so a
 /// replay applies exactly the same mutation).
 enum Op {
-    SetNode(u64, u16, bool),
-    SetSubtree(u64, u16, bool),
+    SetNode(u64, u32, bool),
+    SetSubtree(u64, u32, bool),
     Delete(u64),
     Insert(u64, String),
     Move(u64, u64),
-    AddSubject(Option<u16>),
-    RemoveSubject(u16),
+    AddSubject(Option<u32>),
+    RemoveSubject(u32),
     Checkpoint,
 }
 
@@ -85,7 +85,7 @@ fn gen_op(rng: &mut StdRng, db: &SecureXmlDb, step: usize) -> Op {
         return Op::Checkpoint;
     }
     let n = db.len() as u64;
-    let width = db.dol().codebook().width() as u16;
+    let width = db.dol().codebook().width() as u32;
     loop {
         match rng.gen_range(0..10u32) {
             0..=2 => {
@@ -167,7 +167,7 @@ fn fnv(h: &mut u64, bytes: &[u8]) {
 fn fingerprint(db: &SecureXmlDb) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
     fnv(&mut h, db.document().to_xml().as_bytes());
-    let width = db.dol().codebook().width() as u16;
+    let width = db.dol().codebook().width() as u32;
     fnv(&mut h, &u64::from(width).to_le_bytes());
     let n = db.len() as u64;
     for s in 0..width {

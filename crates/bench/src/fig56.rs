@@ -1,7 +1,7 @@
 //! Figures 5 and 6: codebook entries and transition nodes as functions of
 //! the number of subjects, on the LiveLink-style and Unix-FS-style worlds.
 
-use crate::table::Table;
+use crate::table::{bytes, Table};
 use crate::Effort;
 use dol_core::Dol;
 use dol_workloads::{LiveLinkConfig, LiveLinkWorld, UnixFsConfig, UnixFsWorld, UnixMode};
@@ -33,6 +33,7 @@ pub fn livelink(effort: Effort) {
         &[
             "subjects",
             "codebook entries",
+            "codebook bytes",
             "transition nodes",
             "2^S bound",
             "trans/node",
@@ -50,6 +51,7 @@ pub fn livelink(effort: Effort) {
         t.row(&[
             n.to_string(),
             dol.codebook().len().to_string(),
+            bytes(dol.codebook().bytes()),
             dol.transition_count().to_string(),
             bound,
             format!(
@@ -84,6 +86,7 @@ pub fn unixfs(effort: Effort) {
         &[
             "subjects",
             "codebook entries",
+            "codebook bytes",
             "transition nodes",
             "trans/node",
         ],
@@ -95,6 +98,7 @@ pub fn unixfs(effort: Effort) {
         t.row(&[
             n.to_string(),
             dol.codebook().len().to_string(),
+            bytes(dol.codebook().bytes()),
             dol.transition_count().to_string(),
             format!(
                 "{:.4}",

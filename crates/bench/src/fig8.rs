@@ -3,7 +3,7 @@
 //! ε-STD (Gabillon–Bruno) — against the unsecured baseline.
 
 use crate::setup::{synth_column, xmark_doc, BenchDb, ColumnOracle, SUBJECT, TABLE1};
-use crate::table::{f3, Table};
+use crate::table::{bytes, f3, Table};
 use crate::Effort;
 use dol_nok::Security;
 use std::time::Instant;
@@ -44,6 +44,18 @@ pub fn run(effort: Effort) {
                 "time GB/plain",
                 "GB path nodes",
             ],
+        );
+        let cb = db.dol.codebook();
+        println!(
+            "codebook accounting at {}% accessible: {} entries, {} (entry bits {} + \
+             membership {}), {}-byte codes; flat one-column-per-subject equivalent {}",
+            acc10 * 10,
+            cb.len(),
+            bytes(cb.bytes()),
+            bytes(cb.bytes() - cb.membership_bytes()),
+            bytes(cb.membership_bytes()),
+            cb.code_bytes(),
+            bytes(cb.flat_equivalent_bytes()),
         );
         for (id, q) in &TABLE1[3..6] {
             let plain = engine.execute(q, Security::None).expect("query");

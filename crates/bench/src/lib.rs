@@ -43,6 +43,7 @@ pub mod setup;
 pub mod shard;
 pub mod soak;
 pub mod storage;
+pub mod subjects;
 pub mod table;
 pub mod updates;
 

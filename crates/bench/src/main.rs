@@ -1,8 +1,9 @@
 //! `experiments` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--quick|--full] [--parallelism=N] [--seed=N] [--clients=N] [--smoke]
-//!             [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates compile parallel faults crash mvcc serve soak shard | all]
+//! experiments [--quick|--full] [--parallelism=N] [--seed=N] [--clients=N] [--subjects=N]
+//!             [--smoke]
+//!             [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates compile parallel faults crash mvcc serve soak shard subjects | all]
 //! ```
 //!
 //! `--parallelism=N` caps the worker sweep of the `parallel` experiment
@@ -21,7 +22,7 @@
 
 use dol_bench::{
     ablation, compile, crash, faults, fig4, fig56, fig7, fig8, mvcc, parallel, queries, serve,
-    shard, soak, storage, updates, Effort,
+    shard, soak, storage, subjects, updates, Effort,
 };
 
 fn main() {
@@ -30,6 +31,7 @@ fn main() {
     let mut parallelism = 0usize;
     let mut seed = faults::DEFAULT_SEED;
     let mut clients = 0usize;
+    let mut subjects = 0usize;
     let mut smoke = false;
     let mut selected: Vec<String> = Vec::new();
     for a in &args {
@@ -45,16 +47,21 @@ fn main() {
                 None => match (
                     other.strip_prefix("--seed="),
                     other.strip_prefix("--clients="),
+                    other.strip_prefix("--subjects="),
                 ) {
-                    (Some(n), _) => match n.parse() {
+                    (Some(n), _, _) => match n.parse() {
                         Ok(n) => seed = n,
                         Err(_) => eprintln!("bad --seed value `{n}` (ignored)"),
                     },
-                    (None, Some(n)) => match n.parse() {
+                    (None, Some(n), _) => match n.parse() {
                         Ok(n) => clients = n,
                         Err(_) => eprintln!("bad --clients value `{n}` (ignored)"),
                     },
-                    (None, None) => selected.push(other.to_string()),
+                    (None, None, Some(n)) => match n.parse() {
+                        Ok(n) => subjects = n,
+                        Err(_) => eprintln!("bad --subjects value `{n}` (ignored)"),
+                    },
+                    (None, None, None) => selected.push(other.to_string()),
                 },
             },
         }
@@ -78,6 +85,7 @@ fn main() {
             "serve".into(),
             "soak".into(),
             "shard".into(),
+            "subjects".into(),
         ];
     }
     println!(
@@ -108,9 +116,10 @@ fn main() {
             "faults" => faults::run(effort, seed),
             "crash" => crash::run(effort, seed),
             "mvcc" => mvcc::run(effort, seed, smoke),
-            "serve" => serve::run(effort, seed, clients, smoke),
+            "serve" => serve::run(effort, seed, clients, smoke, subjects),
             "soak" => soak::run(effort, seed, smoke),
             "shard" => shard::run(effort, seed, smoke),
+            "subjects" => subjects::run(effort, seed, smoke),
             other => eprintln!("unknown experiment `{other}` (skipped)"),
         }
     }

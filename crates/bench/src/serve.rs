@@ -29,7 +29,7 @@
 use crate::setup::{xmark_doc, TABLE1};
 use crate::table::{pct, Table};
 use crate::Effort;
-use dol_acl::SubjectId;
+use dol_acl::{GroupSpace, SubjectId};
 use dol_nok::Security;
 use dol_storage::IoStats;
 use dol_workloads::{synth_multi, SynthAclConfig};
@@ -62,6 +62,9 @@ struct MixConfig {
     /// update through the write lock; `0` = read-only mix.
     update_every: usize,
     seed: u64,
+    /// Subject ids the mix draws from (flat ids, or sampled factored
+    /// users under `--subjects=N`).
+    pool: Vec<u32>,
 }
 
 /// Everything one mix run reports.
@@ -127,7 +130,7 @@ struct ClientOutcome {
 }
 
 /// Oracle key: (Table-1 query index, subject, subtree-visibility?).
-type OpKey = (usize, u16, bool);
+type OpKey = (usize, u32, bool);
 
 fn fnv_fold(h: u64, x: u64) -> u64 {
     (h ^ x).wrapping_mul(0x0000_0100_0000_01b3)
@@ -151,9 +154,9 @@ fn pick_weighted(rng: &mut StdRng, cum: &[f64]) -> usize {
 }
 
 /// Draws one operation of the mix (shared by clients and the oracle).
-fn draw_op(rng: &mut StdRng, cum: &[f64]) -> OpKey {
+fn draw_op(rng: &mut StdRng, cum: &[f64], pool: &[u32]) -> OpKey {
     let qi = pick_weighted(rng, cum);
-    let subject = rng.gen_range(0..SUBJECTS) as u16;
+    let subject = pool[rng.gen_range(0..pool.len())];
     let subtree_vis = rng.gen_bool(0.25);
     (qi, subject, subtree_vis)
 }
@@ -169,10 +172,10 @@ fn security_of(key: OpKey) -> Security {
 
 /// Sequential answers for every possible operation, through the uncached
 /// `SecureXmlDb::query` path.
-fn sequential_oracle(db: &SecureXmlDb) -> HashMap<OpKey, Vec<u64>> {
+fn sequential_oracle(db: &SecureXmlDb, pool: &[u32]) -> HashMap<OpKey, Vec<u64>> {
     let mut oracle = HashMap::new();
     for (qi, (_, query)) in TABLE1.iter().enumerate() {
-        for subject in 0..SUBJECTS as u16 {
+        for &subject in pool {
             for subtree_vis in [false, true] {
                 let key = (qi, subject, subtree_vis);
                 let r = db.query(query, security_of(key)).expect("oracle query");
@@ -296,14 +299,14 @@ fn run_client(
         if cfg.update_every > 0 && client == 0 && (op + 1) % cfg.update_every == 0 {
             let mut g = db.write().expect("db lock");
             let pos = rng.gen_range(1..g.len() as u64);
-            let subject = SubjectId(rng.gen_range(0..SUBJECTS) as u16);
+            let subject = SubjectId(cfg.pool[rng.gen_range(0..cfg.pool.len())]);
             let allow = rng.gen_bool(0.5);
             g.set_node_access(pos, subject, allow)
                 .expect("serve update");
             out.updates += 1;
             continue;
         }
-        let key = draw_op(&mut rng, cum);
+        let key = draw_op(&mut rng, cum, &cfg.pool);
         let security = security_of(key);
         let t0 = Instant::now();
         // The same refresh loop `query_with_retry` runs, unrolled here so
@@ -398,6 +401,7 @@ fn write_json(
     seed: u64,
     scale: f64,
     nodes: usize,
+    subject_count: usize,
     runs: &[MixReport],
     deterministic: bool,
     session_io: IoStats,
@@ -408,7 +412,7 @@ fn write_json(
     out.push_str(&format!("  \"seed\": {seed},\n"));
     out.push_str(&format!("  \"xmark_scale\": {scale},\n"));
     out.push_str(&format!("  \"nodes\": {nodes},\n"));
-    out.push_str(&format!("  \"subjects\": {SUBJECTS},\n"));
+    out.push_str(&format!("  \"subjects\": {subject_count},\n"));
     out.push_str(&format!("  \"zipf_exponent\": {ZIPF_EXPONENT},\n"));
     out.push_str(&format!("  \"deterministic\": {deterministic},\n"));
     out.push_str(&format!(
@@ -436,10 +440,39 @@ fn shared_ratio_of(io: IoStats) -> f64 {
     io.read_shared as f64 / total as f64
 }
 
+/// Builds the corporate group hierarchy (company -> departments -> teams)
+/// the `--subjects=N` serving population factors through; team group ids
+/// double as physical columns (groups are created first, in column order).
+fn corporate_space(departments: usize, teams_per_dept: usize) -> (GroupSpace, Vec<SubjectId>) {
+    let mut space = GroupSpace::new();
+    let company = space.add_subject(&[]);
+    space.bind_direct(company, company.0);
+    let mut depts = Vec::with_capacity(departments);
+    for _ in 0..departments {
+        let g = space.add_subject(&[company]);
+        space.bind_direct(g, g.0);
+        depts.push(g);
+    }
+    let mut teams = Vec::with_capacity(departments * teams_per_dept);
+    for &dept in &depts {
+        for _ in 0..teams_per_dept {
+            let g = space.add_subject(&[dept]);
+            space.bind_direct(g, g.0);
+            teams.push(g);
+        }
+    }
+    (space, teams)
+}
+
 /// Runs the serving benchmark. `max_clients` caps the thread-scaling sweep
 /// (`0` = default of 4); `smoke` pins a small deterministic configuration
-/// and asserts the invariants CI depends on.
-pub fn run(effort: Effort, seed: u64, max_clients: usize, smoke: bool) {
+/// and asserts the invariants CI depends on. `subjects` lifts the serving
+/// population off the hardcoded 4: `0` keeps the legacy flat build
+/// byte-for-byte (the smoke gate's configuration); `N > 0` labels the same
+/// document over the corporate group hierarchy's physical columns, registers
+/// `N` users through the membership table, and serves the mix from a sampled
+/// user pool — the factored serving path at population scale.
+pub fn run(effort: Effort, seed: u64, max_clients: usize, smoke: bool, subjects: usize) {
     let max_clients = match max_clients {
         0 => 4,
         n => n,
@@ -448,26 +481,48 @@ pub fn run(effort: Effort, seed: u64, max_clients: usize, smoke: bool) {
     let ops = if smoke { 300 } else { effort.pick(500, 3000) };
     let doc = xmark_doc(scale);
     let nodes = doc.len();
-    let map = synth_multi(
-        &doc,
-        &SynthAclConfig {
-            propagation_ratio: 0.05,
-            accessibility_ratio: 0.6,
-            sibling_locality: 0.5,
-            seed,
-        },
-        SUBJECTS,
-    );
-    let db = SecureXmlDb::from_document(doc, &map).expect("build db");
-    let oracle = sequential_oracle(&db);
+    let acl_cfg = SynthAclConfig {
+        propagation_ratio: 0.05,
+        accessibility_ratio: 0.6,
+        sibling_locality: 0.5,
+        seed,
+    };
+    let (db, pool) = if subjects == 0 {
+        let map = synth_multi(&doc, &acl_cfg, SUBJECTS);
+        let db = SecureXmlDb::from_document(doc, &map).expect("build db");
+        (db, (0..SUBJECTS as u32).collect::<Vec<u32>>())
+    } else {
+        let (space, teams) = corporate_space(8, 8);
+        let physical = space.len();
+        let map = synth_multi(&doc, &acl_cfg, physical);
+        let mut db =
+            SecureXmlDb::from_document_factored(doc, &map, space).expect("build factored db");
+        // Register the population purely through the membership table,
+        // chunked per team; user ids are contiguous from `physical`.
+        for (ti, &team) in teams.iter().enumerate() {
+            let count = subjects / teams.len() + usize::from(ti < subjects % teams.len());
+            if count > 0 {
+                db.add_grouped_subjects(count, &[team])
+                    .expect("register users");
+            }
+        }
+        let n_pool = subjects.min(32);
+        let pool = (0..n_pool)
+            .map(|k| (physical + k * subjects / n_pool) as u32)
+            .collect();
+        (db, pool)
+    };
+    let subject_count = if subjects == 0 { SUBJECTS } else { subjects };
+    let oracle = sequential_oracle(&db, &pool);
     db.reset_io_stats(); // exclude build + oracle I/O from the lock ratios
     let session_io0 = db.io_stats();
     let db = Arc::new(RwLock::new(db));
 
     let mut t = Table::new(
         &format!(
-            "secure serving throughput (XMark {nodes} nodes, {SUBJECTS} subjects, \
-             Zipf Table-1 mix, {ops} ops/client, seed {seed})"
+            "secure serving throughput (XMark {nodes} nodes, {subject_count} subjects \
+             ({} in the mix pool), Zipf Table-1 mix, {ops} ops/client, seed {seed})",
+            pool.len()
         ),
         &[
             "clients",
@@ -497,6 +552,7 @@ pub fn run(effort: Effort, seed: u64, max_clients: usize, smoke: bool) {
             ops_per_client: ops,
             update_every: 0,
             seed,
+            pool: pool.clone(),
         };
         let r = run_mix(&db, &oracle, &cfg);
         push_row(&mut t, &r);
@@ -515,6 +571,7 @@ pub fn run(effort: Effort, seed: u64, max_clients: usize, smoke: bool) {
             ops_per_client: ops,
             update_every: 0,
             seed,
+            pool: pool.clone(),
         },
     );
     let deterministic = replay.fingerprint == runs[0].fingerprint;
@@ -527,6 +584,7 @@ pub fn run(effort: Effort, seed: u64, max_clients: usize, smoke: bool) {
         ops_per_client: ops,
         update_every: 8,
         seed: seed ^ 0xffff,
+        pool: pool.clone(),
     };
     let upd = run_mix(&db, &oracle, &update_cfg);
     push_row(&mut t, &upd);
@@ -540,7 +598,15 @@ pub fn run(effort: Effort, seed: u64, max_clients: usize, smoke: bool) {
         session_io.read_shared + session_io.read_exclusive_fallback,
         if deterministic { "matched" } else { "DIVERGED" },
     );
-    write_json(seed, scale, nodes, &runs, deterministic, session_io);
+    write_json(
+        seed,
+        scale,
+        nodes,
+        subject_count,
+        &runs,
+        deterministic,
+        session_io,
+    );
 
     if smoke {
         assert!(deterministic, "same-seed replay fingerprint diverged");
@@ -646,7 +712,8 @@ mod tests {
             SUBJECTS,
         );
         let db = SecureXmlDb::from_document(doc, &map).unwrap();
-        let oracle = sequential_oracle(&db);
+        let pool: Vec<u32> = (0..SUBJECTS as u32).collect();
+        let oracle = sequential_oracle(&db, &pool);
         db.reset_io_stats();
         let db = Arc::new(RwLock::new(db));
         let cfg = MixConfig {
@@ -654,6 +721,7 @@ mod tests {
             ops_per_client: 40,
             update_every: 0,
             seed: 11,
+            pool: pool.clone(),
         };
         let a = run_mix(&db, &oracle, &cfg);
         let b = run_mix(&db, &oracle, &cfg);
@@ -673,6 +741,7 @@ mod tests {
                 ops_per_client: 40,
                 update_every: 4,
                 seed: 11,
+                pool,
             },
         );
         assert!(upd.updates > 0);

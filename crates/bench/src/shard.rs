@@ -183,7 +183,7 @@ fn fnv(h: &mut u64, bytes: &[u8]) {
 fn fingerprint(db: &ShardedDb) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
     let n = db.len() as u64;
-    for s in 0..SUBJECTS as u16 {
+    for s in 0..SUBJECTS as u32 {
         for p in 0..n {
             fnv(
                 &mut h,
@@ -194,7 +194,7 @@ fn fingerprint(db: &ShardedDb) -> u64 {
         }
     }
     for (_, q) in SUITE {
-        for s in 0..SUBJECTS as u16 {
+        for s in 0..SUBJECTS as u32 {
             let res = db
                 .query(q, Security::BindingLevel(SubjectId(s)))
                 .expect("suite query");
@@ -215,8 +215,8 @@ fn fingerprint(db: &ShardedDb) -> u64 {
 /// are exact.
 #[derive(Clone, Copy)]
 enum Op {
-    Node(u64, u16, bool),
-    Subtree(u64, u16, bool),
+    Node(u64, u32, bool),
+    Subtree(u64, u32, bool),
 }
 
 impl Op {
@@ -245,7 +245,7 @@ fn gen_op(rng: &mut StdRng, total: u64) -> Op {
     } else {
         rng.gen_range(1..total)
     };
-    let subject = rng.gen_range(0..SUBJECTS as u16);
+    let subject = rng.gen_range(0..SUBJECTS as u32);
     let allow = rng.gen_bool(0.5);
     if rng.gen_bool(0.5) {
         Op::Subtree(pos, subject, allow)
@@ -433,7 +433,7 @@ fn oracle_answers(db: &SecureXmlDb) -> (Vec<Vec<Vec<u64>>>, Vec<Vec<u64>>) {
     let binding = SUITE
         .iter()
         .map(|(_, q)| {
-            (0..SUBJECTS as u16)
+            (0..SUBJECTS as u32)
                 .map(|s| {
                     db.query(q, Security::BindingLevel(SubjectId(s)))
                         .expect("oracle query")
@@ -473,7 +473,7 @@ impl SoakOracle {
         }
     }
 
-    fn expected(&self, qi: usize, subject: u16, subtree: bool) -> (&[u64], &[u64]) {
+    fn expected(&self, qi: usize, subject: u32, subtree: bool) -> (&[u64], &[u64]) {
         if subtree {
             (&self.subtree_allow[qi], &self.subtree_deny[qi])
         } else {
@@ -654,7 +654,7 @@ fn quarantine_soak(effort: Effort, seed: u64, smoke: bool) -> SoakOutcome {
                     let mut rng = StdRng::seed_from_u64(seed ^ (r as u64) << 8 ^ cycle as u64);
                     while !stop.load(Ordering::Relaxed) {
                         let qi = rng.gen_range(0..SUITE.len());
-                        let subject = rng.gen_range(0..SUBJECTS as u16);
+                        let subject = rng.gen_range(0..SUBJECTS as u32);
                         let subtree = subject == TOGGLE.0 && rng.gen_bool(0.3);
                         let sec = if subtree {
                             Security::SubtreeVisibility(TOGGLE)
@@ -755,7 +755,7 @@ fn quarantine_soak(effort: Effort, seed: u64, smoke: bool) -> SoakOutcome {
             }
             // …and the whole suite answers exactly.
             for (qi, (_, q)) in SUITE.iter().enumerate() {
-                for s in 0..SUBJECTS as u16 {
+                for s in 0..SUBJECTS as u32 {
                     let got = facade
                         .query(q, Security::BindingLevel(SubjectId(s)))
                         .expect("post-recovery query");

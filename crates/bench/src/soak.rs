@@ -69,7 +69,7 @@ const SUBJECTS: usize = 3;
 /// Normal mix draws subjects `0..MIX_SUBJECTS`; subject 2 is reserved for
 /// deadline probes, so its probe pair never lands in the result cache (a
 /// warm hit is served even under an expired deadline, by design).
-const MIX_SUBJECTS: u16 = 2;
+const MIX_SUBJECTS: u32 = 2;
 const PROBE_SUBJECT: SubjectId = SubjectId(2);
 const READERS: usize = 2;
 /// Updater threads pushing toggle commits through the group committer.
@@ -80,7 +80,7 @@ const UPDATERS: usize = 2;
 const MAX_STALE_RETRIES: u32 = 100_000;
 
 /// Oracle key: (Table-1 query index, subject, subtree-visibility?).
-type OpKey = (usize, u16, bool);
+type OpKey = (usize, u32, bool);
 type Oracle = HashMap<OpKey, Vec<u64>>;
 /// Epoch → the toggle's post-commit accessibility for subject 1, published
 /// by the commit observer under the committer's write lock. A reader
@@ -178,7 +178,7 @@ fn classify(c: &Counters, got: &[u64], failed_closed: u64, allow: &[u64], deny: 
 fn oracle_of(db: &SecureXmlDb) -> Oracle {
     let mut oracle = Oracle::new();
     for (qi, (_, query)) in TABLE1.iter().enumerate() {
-        for subject in 0..SUBJECTS as u16 {
+        for subject in 0..SUBJECTS as u32 {
             for vis in [false, true] {
                 let key = (qi, subject, vis);
                 let r = db.query(query, security_of(key)).expect("oracle query");
@@ -653,7 +653,7 @@ pub fn run(effort: Effort, seed: u64, smoke: bool) {
     let mut final_exact = 0u64;
     let reader = g.reader();
     for (qi, (_, query)) in TABLE1.iter().enumerate() {
-        for subject in 0..SUBJECTS as u16 {
+        for subject in 0..SUBJECTS as u32 {
             for vis in [false, true] {
                 let key = (qi, subject, vis);
                 let r = reader

@@ -1,0 +1,388 @@
+//! `subjects` — subject-count scaling on the group-factored codebook
+//! (ROADMAP open item 1; the paper's Fig. 10/11 claims pushed three orders
+//! of magnitude past the measured LiveLink deployment).
+//!
+//! One fixed document and one fixed group structure (company → departments
+//! → teams, 73 physical columns at the default shape); the sweep then
+//! registers users purely through the membership table
+//! ([`SecureXmlDb::add_grouped_subjects`]) and at every step measures
+//!
+//! * p50/p99 secure-query latency over a sampled user pool (both secure
+//!   semantics), **gated** to stay within 1.25× of the 4-subject baseline
+//!   (+300 µs noise floor) — derived columns are cached and version-fenced,
+//!   so per-query cost must not grow with the population;
+//! * codebook + membership bytes, **gated** sub-linear in subject count and
+//!   reported against the flat one-column-per-subject equivalent;
+//! * answer correctness: sampled users' visible sets equal the OR of their
+//!   transitive group closure computed independently from the rule set.
+//!
+//! A final segment exercises **incremental compaction** under churn: direct
+//! per-subject columns are created and removed, then the backlog is drained
+//! in bounded ticks ([`COMPACT_TICK_BLOCKS`]) with the per-step block bound
+//! asserted and query answers checked *mid-compaction* — readers are never
+//! blocked behind a full remap.
+//!
+//! `--smoke` pins a small deterministic configuration for CI; `--full`
+//! extends the sweep to 10^6 subjects. Machine-readable output goes to
+//! `BENCH_subjects.json`.
+
+use crate::table::{bytes as fmt_bytes, Table};
+use crate::Effort;
+use dol_acl::SubjectId;
+use dol_nok::Security;
+use dol_workloads::{GroupedConfig, GroupedWorld};
+use secure_xml::{SecureXmlDb, COMPACT_TICK_BLOCKS};
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Latency-gate slack: p50 at every step must stay within
+/// `P50_RATIO × baseline + P50_EPSILON`.
+const P50_RATIO: f64 = 1.25;
+/// Absolute noise floor for the latency gate (seconds) — sub-millisecond
+/// queries on a shared CI box jitter by more than 25%.
+const P50_EPSILON: f64 = 300e-6;
+/// Bytes gate: growing the population by `r` may grow codebook+membership
+/// bytes by at most `0.9 × r` (strictly sub-linear).
+const BYTES_RATIO: f64 = 0.9;
+/// Sampled users measured per step.
+const POOL: usize = 12;
+/// Positions spot-checked per sampled user for answer correctness.
+const SPOT_POSITIONS: usize = 64;
+
+/// Queries over the grouped-portal document (paths + descendant steps, so
+/// both the streaming and structural-join paths are exercised).
+const QUERIES: [&str; 3] = [
+    "/workspace/department/team",
+    "/workspace/department/team//folder",
+    "//folder//doc",
+];
+
+/// One user batch registered during the sweep: `count` contiguous ids
+/// starting at `first`, all direct members of `team`.
+struct Batch {
+    first: u32,
+    count: usize,
+    team: SubjectId,
+}
+
+/// Evenly samples `n` users (id + team) out of the registered batches.
+fn sample_pool(batches: &[Batch], n: usize) -> Vec<(SubjectId, SubjectId)> {
+    let total: usize = batches.iter().map(|b| b.count).sum();
+    let n = n.min(total);
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut idx = k * total / n;
+        for b in batches {
+            if idx < b.count {
+                out.push((SubjectId(b.first + idx as u32), b.team));
+                break;
+            }
+            idx -= b.count;
+        }
+    }
+    out
+}
+
+struct StepReport {
+    subjects: usize,
+    p50: f64,
+    p99: f64,
+    bytes: usize,
+    membership_bytes: usize,
+    flat_bytes: usize,
+    entries: usize,
+}
+
+/// Measures the query mix over the pool, returning (p50, p99) in seconds.
+/// One warm-up pass first: the gate is about steady-state serving, not the
+/// one-off derivation of a cold subject column.
+fn measure(db: &SecureXmlDb, pool: &[(SubjectId, SubjectId)], reps: usize) -> (f64, f64) {
+    for q in QUERIES {
+        for &(u, _) in pool {
+            let _ = db.query(q, Security::BindingLevel(u)).expect("warmup");
+        }
+    }
+    let mut lat = Vec::with_capacity(reps * QUERIES.len() * pool.len() * 2);
+    for _ in 0..reps {
+        for q in QUERIES {
+            for &(u, _) in pool {
+                let t = Instant::now();
+                let _ = db.query(q, Security::BindingLevel(u)).expect("query");
+                lat.push(t.elapsed().as_secs_f64());
+                let t = Instant::now();
+                let _ = db.query(q, Security::SubtreeVisibility(u)).expect("query");
+                lat.push(t.elapsed().as_secs_f64());
+            }
+        }
+    }
+    lat.sort_by(f64::total_cmp);
+    let pick = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+    (pick(0.5), pick(0.99))
+}
+
+/// Spot-checks that each sampled user's visible set is exactly the OR of
+/// its transitive group closure, computed independently from the cascade
+/// rule set.
+fn check_answers(db: &SecureXmlDb, world: &GroupedWorld, pool: &[(SubjectId, SubjectId)]) {
+    let nodes = world.doc.len() as u64;
+    for &(u, team) in pool {
+        // A user whose only membership is `team` derives exactly the
+        // team's closure rights.
+        let expect = world.user_column(team);
+        let stride = (nodes / SPOT_POSITIONS as u64).max(1);
+        let mut pos = 0u64;
+        while pos < nodes {
+            assert_eq!(
+                db.accessible(pos, u).expect("accessible"),
+                expect.get(pos as usize),
+                "derived bit diverges at position {pos} for subject {u}"
+            );
+            pos += stride;
+        }
+    }
+}
+
+/// Drains the compaction backlog in bounded ticks, asserting the per-step
+/// block bound and re-checking one query's answers mid-drain.
+fn drain_compaction(db: &mut SecureXmlDb, probe: (SubjectId, &[u64])) -> (usize, u64) {
+    let backlog0 = db.compaction_backlog();
+    let (probe_subject, probe_expect) = probe;
+    let mut ticks = 0usize;
+    loop {
+        let p = db.compaction_tick(COMPACT_TICK_BLOCKS).expect("tick");
+        assert!(
+            p.blocks_done <= COMPACT_TICK_BLOCKS,
+            "compaction tick exceeded its block budget: {} > {}",
+            p.blocks_done,
+            COMPACT_TICK_BLOCKS
+        );
+        ticks += 1;
+        if ticks % 3 == 1 {
+            // Readers keep getting exact answers mid-compaction.
+            let r = db
+                .query(QUERIES[0], Security::BindingLevel(probe_subject))
+                .expect("mid-compaction query");
+            assert_eq!(
+                r.matches, probe_expect,
+                "answers changed mid-compaction at tick {ticks}"
+            );
+        }
+        if p.finished {
+            return (ticks, backlog0);
+        }
+        assert!(ticks < 1_000_000, "compaction never converged");
+    }
+}
+
+/// Runs the subject-scaling sweep.
+pub fn run(effort: Effort, seed: u64, smoke: bool) {
+    let steps: Vec<usize> = if smoke {
+        vec![4, 512, 4096]
+    } else {
+        let mut s = vec![4, 1_000, 10_000, 100_000];
+        if matches!(effort, Effort::Full) {
+            s.push(1_000_000);
+        }
+        s
+    };
+    let reps = if smoke { 3 } else { effort.pick(5, 9) };
+    let cfg = GroupedConfig {
+        initial_users: 4,
+        seed,
+        ..Default::default()
+    };
+    let world = GroupedWorld::generate(&cfg);
+    let mut db = SecureXmlDb::from_document_factored(
+        world.doc.clone(),
+        &world.oracle(),
+        world.space().clone(),
+    )
+    .expect("build factored db");
+    println!(
+        "Subject scaling on the group-factored codebook ({} nodes, {} physical columns,\n\
+         {} codebook entries, seed {seed})\n",
+        world.doc.len(),
+        world.physical_subjects(),
+        db.dol().codebook().len(),
+    );
+
+    // Registered-user batches; the initial users come from the world.
+    let mut batches: Vec<Batch> = world
+        .users()
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| Batch {
+            first: u.0,
+            count: 1,
+            team: world.team_for(i),
+        })
+        .collect();
+    let mut current: usize = world.users().len();
+
+    let mut t = Table::new(
+        "subjects: factored codebook scaling",
+        &[
+            "subjects",
+            "p50",
+            "p99",
+            "entries",
+            "codebook+membership",
+            "flat equivalent",
+            "p50 vs base",
+        ],
+    );
+    let mut reports: Vec<StepReport> = Vec::new();
+    let mut base_p50 = 0.0f64;
+    let mut base_bytes = 0usize;
+    let mut base_subjects = 0usize;
+    for &target in &steps {
+        if target > current {
+            // Register the delta purely through the membership table,
+            // chunked per team so ids stay contiguous per batch.
+            let delta = target - current;
+            let teams = world.teams().len();
+            for ti in 0..teams {
+                let count = delta / teams + usize::from(ti < delta % teams);
+                if count == 0 {
+                    continue;
+                }
+                let team = world.teams()[ti];
+                let first = db
+                    .add_grouped_subjects(count, &[team])
+                    .expect("bulk membership add");
+                batches.push(Batch {
+                    first: first.0,
+                    count,
+                    team,
+                });
+            }
+            current = target;
+        }
+        let pool = sample_pool(&batches, POOL);
+        check_answers(&db, &world, &pool);
+        let (p50, p99) = measure(&db, &pool, reps);
+        let cb = db.dol().codebook();
+        let report = StepReport {
+            subjects: target,
+            p50,
+            p99,
+            bytes: cb.bytes(),
+            membership_bytes: cb.membership_bytes(),
+            flat_bytes: cb.flat_equivalent_bytes(),
+            entries: cb.len(),
+        };
+        if reports.is_empty() {
+            base_p50 = p50;
+            base_bytes = report.bytes;
+            base_subjects = target;
+        } else {
+            // Latency gate: flat in the population size.
+            assert!(
+                p50 <= base_p50 * P50_RATIO + P50_EPSILON,
+                "p50 at {target} subjects regressed: {:.1}µs vs {:.1}µs baseline",
+                p50 * 1e6,
+                base_p50 * 1e6
+            );
+            // Bytes gate: strictly sub-linear in the population size.
+            let subject_ratio = target as f64 / base_subjects as f64;
+            let bytes_ratio = report.bytes as f64 / base_bytes as f64;
+            assert!(
+                bytes_ratio <= BYTES_RATIO * subject_ratio,
+                "codebook+membership bytes not sub-linear at {target} subjects: \
+                 bytes grew {bytes_ratio:.1}x for a {subject_ratio:.1}x population"
+            );
+        }
+        t.row(&[
+            target.to_string(),
+            format!("{:.1}µs", p50 * 1e6),
+            format!("{:.1}µs", p99 * 1e6),
+            report.entries.to_string(),
+            fmt_bytes(report.bytes),
+            fmt_bytes(report.flat_bytes),
+            format!("{:.2}x", p50 / base_p50),
+        ]);
+        reports.push(report);
+    }
+    t.print();
+    println!(
+        "(Gates: p50 within {P50_RATIO}x of the 4-subject baseline (+{:.0}µs floor) at every\n\
+         step; codebook+membership bytes sub-linear ({BYTES_RATIO} x subject ratio); sampled\n\
+         users' visible sets equal their independently computed group-closure OR.)\n",
+        P50_EPSILON * 1e6
+    );
+
+    // ---- incremental compaction under churn ---------------------------
+    // Direct per-subject grants materialize columns; removing the subjects
+    // leaves dead columns and duplicate entries for the compactor.
+    let pool = sample_pool(&batches, 4);
+    let probe_subject = pool[0].0;
+    let probe_expect = db
+        .query(QUERIES[0], Security::BindingLevel(probe_subject))
+        .expect("probe")
+        .matches;
+    let churn = if smoke { 6 } else { 10 };
+    let mut churned = Vec::with_capacity(churn);
+    for i in 0..churn {
+        let s = db.add_subject(None).expect("churn add");
+        db.set_subtree_access((i as u64 * 7) % db.len() as u64, s, true)
+            .expect("churn grant");
+        churned.push(s);
+    }
+    for s in churned {
+        db.remove_subject(s).expect("churn remove");
+    }
+    let armed = db.begin_compaction().expect("begin compaction");
+    assert!(armed, "churn left nothing to compact");
+    let (ticks, backlog) = drain_compaction(&mut db, (probe_subject, &probe_expect));
+    check_answers(&db, &world, &pool);
+    let cb = db.dol().codebook();
+    println!(
+        "incremental compaction: backlog {backlog} blocks drained in {ticks} ticks of \
+         <= {COMPACT_TICK_BLOCKS} blocks,\nanswers stable throughout; \
+         {} entries / {} live columns after\n",
+        cb.len(),
+        cb.live_columns()
+    );
+
+    write_json(seed, &world, &reports, ticks, backlog);
+}
+
+fn write_json(seed: u64, world: &GroupedWorld, reports: &[StepReport], ticks: usize, backlog: u64) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"subjects\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"nodes\": {},\n", world.doc.len()));
+    out.push_str(&format!(
+        "  \"physical_columns\": {},\n",
+        world.physical_subjects()
+    ));
+    out.push_str(&format!("  \"p50_ratio_gate\": {P50_RATIO},\n"));
+    out.push_str(&format!("  \"bytes_ratio_gate\": {BYTES_RATIO},\n"));
+    out.push_str("  \"steps\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"subjects\": {}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"entries\": {}, \
+             \"codebook_bytes\": {}, \"membership_bytes\": {}, \"flat_equivalent_bytes\": {}}}{}\n",
+            r.subjects,
+            r.p50 * 1e6,
+            r.p99 * 1e6,
+            r.entries,
+            r.bytes,
+            r.membership_bytes,
+            r.flat_bytes,
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"compaction\": {{\"ticks\": {ticks}, \"backlog_blocks\": {backlog}, \
+         \"max_blocks_per_tick\": {COMPACT_TICK_BLOCKS}}}\n"
+    ));
+    out.push_str("}\n");
+    match std::fs::File::create("BENCH_subjects.json").and_then(|mut f| f.write_all(out.as_bytes()))
+    {
+        Ok(()) => println!("(wrote BENCH_subjects.json)\n"),
+        Err(e) => eprintln!("could not write BENCH_subjects.json: {e}"),
+    }
+}

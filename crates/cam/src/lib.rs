@@ -176,7 +176,7 @@ impl MultiCam {
     /// Builds one optimal CAM per subject column of `map`.
     pub fn build(doc: &Document, map: &dol_acl::AccessibilityMap) -> MultiCam {
         let cams = (0..map.subjects())
-            .map(|s| Cam::build_optimal(doc, map.column(dol_acl::SubjectId(s as u16))))
+            .map(|s| Cam::build_optimal(doc, map.column(dol_acl::SubjectId(s as u32))))
             .collect();
         MultiCam { cams }
     }

@@ -30,11 +30,17 @@ pub struct SubjectColumn {
 
 impl SubjectColumn {
     /// Decodes `subject`'s column from `codebook`.
+    ///
+    /// In a group-factored codebook this is where derivation happens: the
+    /// subject's transitive closure is resolved to its physical columns
+    /// once, and the column is the OR of those columns over every entry —
+    /// after which queries pay exactly the flat-codebook cost.
     pub fn decode(codebook: &Codebook, subject: SubjectId) -> Self {
         let codes = codebook.len();
         let mut words = vec![0u64; codes.div_ceil(64)];
+        let cols = codebook.subject_physical_columns(subject);
         for (code, entry) in codebook.iter() {
-            if entry.get(subject.index()) {
+            if cols.iter().any(|&c| entry.get_or(c as usize)) {
                 words[(code >> 6) as usize] |= 1u64 << (code & 63);
             }
         }
@@ -231,7 +237,7 @@ mod tests {
             }));
         }
         let check_all = |cb: &Codebook| {
-            for s in 0..cb.width() as u16 {
+            for s in 0..cb.width() as u32 {
                 let col = SubjectColumn::decode(cb, SubjectId(s));
                 assert!(col.matches(cb, SubjectId(s)));
                 for code in 0..cb.len() as u32 {

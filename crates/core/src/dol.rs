@@ -232,12 +232,17 @@ impl Dol {
 
     /// Changes one subject's bit on a single node, re-interning the node's
     /// ACL (the §3.4 single-node algorithm).
+    ///
+    /// The edit targets the subject's **direct** physical column (lazily
+    /// allocated in a group-factored codebook): rights the subject derives
+    /// from group membership are unaffected, and keep applying live.
     pub fn set_node(&mut self, pos: u64, subject: SubjectId, allow: bool) {
-        let mut acl = self.codebook.entry(self.code_at(pos)).clone();
-        if acl.get(subject.index()) == allow {
+        let col = self.codebook.ensure_direct_column(subject) as usize;
+        let mut acl = self.codebook.entry_padded(self.code_at(pos));
+        if acl.get(col) == allow {
             return; // nearest preceding transition already agrees — stop.
         }
-        acl.set(subject.index(), allow);
+        acl.set(col, allow);
         self.set_run(pos, pos + 1, &acl);
     }
 
@@ -262,11 +267,12 @@ impl Dol {
             }
         }
         // Remap through the codebook, dropping now-redundant transitions.
+        let col = self.codebook.ensure_direct_column(subject) as usize;
         let mut splice: Vec<(u64, u32)> = Vec::with_capacity(old_runs.len() + 1);
         let mut prev = pred_code;
         for (p, c) in old_runs {
-            let mut acl = self.codebook.entry(c).clone();
-            acl.set(subject.index(), allow);
+            let mut acl = self.codebook.entry_padded(c);
+            acl.set(col, allow);
             let code = self.codebook.intern(&acl);
             if prev != Some(code) {
                 splice.push((p, code));
@@ -344,7 +350,7 @@ impl Dol {
         let mut prev = pred_code;
         let mut last_code = pred_code;
         for (s, _end, c) in sub.runs() {
-            let code = self.codebook.intern(sub.codebook.entry(c));
+            let code = self.codebook.intern(&sub.codebook.entry_padded(c));
             if code != prev {
                 insert.push((at + s, code));
                 prev = code;
@@ -402,7 +408,7 @@ impl Dol {
             oracle.acl_row(NodeId(pos as u32), &mut row);
             for s in 0..row.len() {
                 let expect = row.get(s);
-                let got = self.accessible(pos, SubjectId(s as u16));
+                let got = self.accessible(pos, SubjectId(s as u32));
                 if got != expect {
                     return Err(format!("pos {pos} subject {s}: dol={got} truth={expect}"));
                 }

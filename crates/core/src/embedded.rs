@@ -6,7 +6,7 @@
 //! single-pass secured bulk build, the piggy-backed accessibility check, the
 //! page-skip test, and the accessibility-update entry points.
 
-use crate::codebook::Codebook;
+use crate::codebook::{Codebook, CompactionPhase};
 use crate::column::SubjectColumn;
 use crate::dol::Dol;
 use crate::stats::DolStats;
@@ -18,6 +18,24 @@ use std::sync::{Arc, Mutex};
 
 /// Storage-layer errors bubbled up from the block store.
 pub type StorageError = dol_storage::disk::StorageError;
+
+/// Decoded-column cache capacity; past this the cache is flushed wholesale
+/// (subject spaces can reach millions under group factoring).
+const COLUMN_CACHE_CAP: usize = 4096;
+
+/// What one [`EmbeddedDol::compaction_tick`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionProgress {
+    /// The phase the step ran in (`None` once the plan completed).
+    pub phase: Option<CompactionPhase>,
+    /// Blocks rewritten by this step — never more than the `max_blocks`
+    /// bound the caller passed.
+    pub blocks_done: usize,
+    /// Whether the plan completed (codebook truncated + columns retired).
+    pub finished: bool,
+    /// Whether a concurrently-invalidated plan was rebuilt first.
+    pub replanned: bool,
+}
 
 /// Produces the document-order [`BulkItem`] stream for a secured bulk load,
 /// interning each node's ACL on the fly — the paper's single-pass
@@ -54,8 +72,9 @@ pub struct EmbeddedDol {
     /// [`column`](EmbeddedDol::column) call — a serving mix that
     /// interleaves subjects must not thrash a single slot. Codebook
     /// mutations require `&mut self`, so a column handed out under `&self`
-    /// can never race a code-space change. Bounded by the subject count
-    /// (`u16`), so no eviction is needed.
+    /// can never race a code-space change. The subject space can reach
+    /// millions (group-factored codebooks), so the cache is capped and
+    /// flushed wholesale when it overflows; handed-out `Arc`s stay valid.
     column_cache: Mutex<HashMap<SubjectId, Arc<SubjectColumn>>>,
 }
 
@@ -118,6 +137,9 @@ impl EmbeddedDol {
             }
         }
         let col = Arc::new(self.codebook.column(subject));
+        if cache.len() >= COLUMN_CACHE_CAP {
+            cache.clear();
+        }
         cache.insert(subject, Arc::clone(&col));
         col
     }
@@ -212,11 +234,12 @@ impl EmbeddedDol {
         allow: bool,
     ) -> Result<(), StorageError> {
         let code = store.code_at(pos)?;
-        let mut acl = self.codebook.entry(code).clone();
-        if acl.get(subject.index()) == allow {
+        let col = self.codebook.ensure_direct_column(subject) as usize;
+        let mut acl = self.codebook.entry_padded(code);
+        if acl.get(col) == allow {
             return Ok(()); // preceding transition already agrees — stop.
         }
-        acl.set(subject.index(), allow);
+        acl.set(col, allow);
         let new_code = self.codebook.intern(&acl);
         store.set_code_run(pos, pos + 1, new_code)
     }
@@ -235,11 +258,12 @@ impl EmbeddedDol {
         allow: bool,
     ) -> Result<(), StorageError> {
         let runs = store.runs_in(start, end)?;
+        let col = self.codebook.ensure_direct_column(subject) as usize;
         // Remap codes and coalesce adjacent equal results.
         let mut mapped: Vec<(u64, u32, u32)> = Vec::with_capacity(runs.len()); // (start, old, new)
         for (pos, old) in runs {
-            let mut acl = self.codebook.entry(old).clone();
-            acl.set(subject.index(), allow);
+            let mut acl = self.codebook.entry_padded(old);
+            acl.set(col, allow);
             let new = self.codebook.intern(&acl);
             match mapped.last() {
                 Some(&(_, _, prev_new)) if prev_new == new => {}
@@ -273,10 +297,96 @@ impl EmbeddedDol {
     /// Performs the §3.4 lazy cleanup after subject removals: compacts the
     /// codebook (dropping removed columns, merging duplicate entries) and
     /// rewrites every embedded code through the resulting remap in one
-    /// sequential pass over the blocks.
+    /// **stop-the-world** pass over the blocks. Live stores should prefer
+    /// the incremental driver
+    /// ([`begin_compaction`](EmbeddedDol::begin_compaction) +
+    /// [`compaction_tick`](EmbeddedDol::compaction_tick)), which does the
+    /// same cleanup in bounded-work steps.
     pub fn compact_subjects(&mut self, store: &mut StructStore) -> Result<(), StorageError> {
         let remap = self.codebook.compact();
         store.remap_codes(&remap)
+    }
+
+    /// Arms an incremental compaction plan (no block is touched yet).
+    /// Returns `false` when there is nothing to compact or a plan is
+    /// already active.
+    pub fn begin_compaction(&mut self) -> bool {
+        self.codebook.begin_compaction()
+    }
+
+    /// Runs one bounded compaction step: rewrites at most `max_blocks`
+    /// blocks of the store through the active plan's phase map, crossing
+    /// the phase boundary (and finally completing the plan) when a phase's
+    /// pass over the directory drains. A plan invalidated by concurrent
+    /// mutations is re-planned from the current state first — every state
+    /// the migration pauses in answers all queries identically, so this is
+    /// merely restarting the walk, never a correctness event.
+    pub fn compaction_tick(
+        &mut self,
+        store: &mut StructStore,
+        max_blocks: usize,
+    ) -> Result<CompactionProgress, StorageError> {
+        let mut replanned = false;
+        if self.codebook.compaction().is_some_and(|p| p.is_dirty()) {
+            replanned = true;
+            self.codebook.replan_compaction();
+        }
+        let Some(plan) = self.codebook.compaction() else {
+            return Ok(CompactionProgress {
+                phase: None,
+                blocks_done: 0,
+                finished: true,
+                replanned,
+            });
+        };
+        let nblocks = store.block_count();
+        let phase = plan.phase();
+        let cursor = plan.cursor() as usize;
+        let end = (cursor + max_blocks.max(1)).min(nblocks);
+        let mut blocks_done = 0;
+        if cursor < end {
+            let remap: Vec<u32> = (0..self.codebook.len() as u32)
+                .map(|c| plan.map(c))
+                .collect();
+            let prev = plan.prev_code();
+            let prev = store.remap_codes_range(cursor..end, &remap, prev)?;
+            self.codebook.note_compaction_progress(end as u64, prev);
+            blocks_done = end - cursor;
+        }
+        let finished = if end >= nblocks {
+            match phase {
+                CompactionPhase::Up => {
+                    self.codebook.advance_compaction_phase();
+                    false
+                }
+                CompactionPhase::Down => {
+                    self.codebook.finish_compaction();
+                    true
+                }
+            }
+        } else {
+            false
+        };
+        Ok(CompactionProgress {
+            phase: (!finished).then_some(phase),
+            blocks_done,
+            finished,
+            replanned,
+        })
+    }
+
+    /// Remaining compaction work, in blocks still to rewrite (phase Up
+    /// counts the pending Down pass too). `0` means no plan is active.
+    pub fn compaction_backlog(&self, store: &StructStore) -> u64 {
+        let Some(plan) = self.codebook.compaction() else {
+            return 0;
+        };
+        let nblocks = store.block_count() as u64;
+        let left = nblocks.saturating_sub(plan.cursor());
+        match plan.phase() {
+            CompactionPhase::Up => left + nblocks,
+            CompactionPhase::Down => left,
+        }
     }
 
     /// Extracts the logical DOL from the embedded representation (used by

@@ -47,7 +47,7 @@ fn arb_map(nodes: usize, subjects: usize) -> impl Strategy<Value = Accessibility
                 // Runs of equal bytes give DOL-ish locality.
                 let v = (b >> (s % 8)) & 1 == 1;
                 if v {
-                    m.set(SubjectId(s as u16), NodeId(i as u32), true);
+                    m.set(SubjectId(s as u32), NodeId(i as u32), true);
                 }
             }
         }
@@ -84,10 +84,10 @@ proptest! {
         updates in arb_updates(),
     ) {
         let n = doc.len();
-        let map = map.project(&(0..3).map(|s| SubjectId(s as u16)).collect::<Vec<_>>());
+        let map = map.project(&(0..3).map(|s| SubjectId(s as u32)).collect::<Vec<_>>());
         // Clamp the map to the document's node count.
         let mut truth = AccessibilityMap::new(3, n);
-        for s in 0..3u16 {
+        for s in 0..3u32 {
             for p in 0..n {
                 if map.accessible(SubjectId(s), NodeId(p as u32)) {
                     truth.set(SubjectId(s), NodeId(p as u32), true);
@@ -102,13 +102,13 @@ proptest! {
             match u {
                 Update::SetNode(p, s, allow) => {
                     let p = u64::from(p) % n as u64;
-                    let s = SubjectId(u16::from(s));
+                    let s = SubjectId(u32::from(s));
                     dol.set_node(p, s, allow);
                     truth.set(s, NodeId(p as u32), allow);
                 }
                 Update::SetSubtree(p, s, allow) => {
                     let p = (u64::from(p) % n as u64) as u32;
-                    let s = SubjectId(u16::from(s));
+                    let s = SubjectId(u32::from(s));
                     let size = doc.node(NodeId(p)).size;
                     dol.set_subtree(u64::from(p), u64::from(p + size), s, allow);
                     for q in p..p + size {
@@ -122,7 +122,7 @@ proptest! {
                     dol.set_run(a, b, &acl);
                     for q in a..b {
                         for s in 0..3usize {
-                            truth.set(SubjectId(s as u16), NodeId(q as u32), acl.get(s));
+                            truth.set(SubjectId(s as u32), NodeId(q as u32), acl.get(s));
                         }
                     }
                 }
@@ -162,13 +162,13 @@ proptest! {
             match u {
                 Update::SetNode(p, s, allow) => {
                     let p = u64::from(p) % n as u64;
-                    let s = SubjectId(u16::from(s));
+                    let s = SubjectId(u32::from(s));
                     emb.set_node(&mut store, p, s, allow).unwrap();
                     logical.set_node(p, s, allow);
                 }
                 Update::SetSubtree(p, s, allow) => {
                     let p = (u64::from(p) % n as u64) as u32;
-                    let s = SubjectId(u16::from(s));
+                    let s = SubjectId(u32::from(s));
                     let size = doc.node(NodeId(p)).size;
                     emb.set_subtree(&mut store, u64::from(p), u64::from(p + size), s, allow)
                         .unwrap();
@@ -186,7 +186,7 @@ proptest! {
             // The embedded representation must express the same function
             // (codes may be interned in a different order).
             for p in 0..n as u64 {
-                for s in 0..3u16 {
+                for s in 0..3u32 {
                     prop_assert_eq!(
                         emb.accessible(&store, p, SubjectId(s)).unwrap(),
                         logical.accessible(p, SubjectId(s)),

@@ -127,7 +127,7 @@ fn map_from_bits(bits: &[bool], n: usize) -> AccessibilityMap {
     for (i, bit) in bits.iter().enumerate() {
         if *bit {
             map.set(
-                SubjectId((i / n.max(1) % 2) as u16),
+                SubjectId((i / n.max(1) % 2) as u32),
                 NodeId((i % n.max(1)) as u32),
                 true,
             );

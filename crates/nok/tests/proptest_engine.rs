@@ -90,7 +90,7 @@ fn arb_map(nodes: usize) -> impl Strategy<Value = AccessibilityMap> {
         for (i, bit) in bits.into_iter().enumerate() {
             if bit {
                 m.set(
-                    SubjectId((i / nodes) as u16),
+                    SubjectId((i / nodes) as u32),
                     NodeId((i % nodes) as u32),
                     true,
                 );
@@ -196,7 +196,7 @@ proptest! {
         let mut map = AccessibilityMap::new(2, n);
         for (i, bit) in bits.iter().enumerate() {
             if *bit {
-                map.set(SubjectId((i / n.max(1) % 2) as u16), NodeId((i % n.max(1)) as u32), true);
+                map.set(SubjectId((i / n.max(1) % 2) as u32), NodeId((i % n.max(1)) as u32), true);
             }
         }
         let f = build(doc, &map, 4);
@@ -224,7 +224,7 @@ proptest! {
         let mut map = AccessibilityMap::new(2, n);
         for (i, bit) in bits.iter().enumerate() {
             if *bit {
-                map.set(SubjectId((i / n.max(1) % 2) as u16), NodeId((i % n.max(1)) as u32), true);
+                map.set(SubjectId((i / n.max(1) % 2) as u32), NodeId((i % n.max(1)) as u32), true);
             }
         }
         let f = build(doc, &map, max_rec);

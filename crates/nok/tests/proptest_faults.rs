@@ -168,7 +168,7 @@ proptest! {
         let mut map = AccessibilityMap::new(2, n);
         for (i, bit) in bits.iter().enumerate() {
             if *bit {
-                map.set(SubjectId((i / n.max(1) % 2) as u16), NodeId((i % n.max(1)) as u32), true);
+                map.set(SubjectId((i / n.max(1) % 2) as u32), NodeId((i % n.max(1)) as u32), true);
             }
         }
 

@@ -207,13 +207,40 @@ impl StructStore {
     /// redundancy can be corrected lazily" (§3.4). One sequential pass over
     /// the blocks.
     pub fn remap_codes(&mut self, remap: &[u32]) -> Result<(), StorageError> {
-        let mut prev: Option<u32> = None;
-        for idx in 0..self.dir.len() {
+        self.remap_codes_range(0..self.dir.len(), remap, None)?;
+        Ok(())
+    }
+
+    /// [`remap_codes`](StructStore::remap_codes) over one **slice** of the
+    /// block directory — the bounded-work step incremental compaction is
+    /// built from. `prev` seeds the cross-slice run-merge state (the mapped
+    /// code in effect at the end of the block before `blocks.start`; `None`
+    /// when starting at block 0), and the mapped code at the end of the last
+    /// rewritten block is returned for the caller to persist and seed the
+    /// next step with. Codes outside `remap` are left untouched (identity) —
+    /// during a two-phase migration the not-yet-visited tail legitimately
+    /// holds codes from the other phase's range.
+    ///
+    /// When the slice stops short of the last block, the first record of the
+    /// block *after* the slice gets its transition flag re-derived against
+    /// the new boundary code, so the store's transition invariant (flag ⇔
+    /// code differs from predecessor) holds in every intermediate state and
+    /// integrity checks stay strict mid-migration.
+    pub fn remap_codes_range(
+        &mut self,
+        blocks: Range<usize>,
+        remap: &[u32],
+        prev: Option<u32>,
+    ) -> Result<Option<u32>, StorageError> {
+        let end = blocks.end.min(self.dir.len());
+        let mut prev = prev;
+        let map = |c: u32| -> u32 { remap.get(c as usize).copied().unwrap_or(c) };
+        for idx in blocks.start..end {
             let info = self.dir[idx];
             let new_info = self.pool.with_page_mut(info.page, |p| {
                 let hdr = BlockHeader::read(p);
                 let old_trans = super::block::read_transitions(p);
-                let first = remap[hdr.first_code as usize];
+                let first = map(hdr.first_code);
                 // Walk slots: recompute each node's transition status under
                 // the merged code space.
                 let mut new_trans: Vec<(u16, u32)> = Vec::with_capacity(old_trans.len());
@@ -221,7 +248,7 @@ impl StructStore {
                 let mut code = first;
                 for slot in 0..hdr.count as usize {
                     if t < old_trans.len() && old_trans[t].0 as usize == slot {
-                        code = remap[old_trans[t].1 as usize];
+                        code = map(old_trans[t].1);
                         t += 1;
                     }
                     let is_trans = prev != Some(code);
@@ -252,7 +279,13 @@ impl StructStore {
             })?;
             self.dir[idx] = new_info;
         }
-        Ok(())
+        if end < self.dir.len() && blocks.start < end {
+            // Re-derive the boundary transition flag: the next block still
+            // holds codes from before this step.
+            let next = self.dir[end];
+            self.patch_transition_flag(next.first_pos, prev != Some(next.first_code))?;
+        }
+        Ok(prev)
     }
 
     /// Reads the items of a contiguous block range, reconstructing each

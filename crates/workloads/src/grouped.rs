@@ -1,0 +1,366 @@
+//! A natively group-factored portal world for subject-scaling experiments.
+//!
+//! [`LiveLinkWorld`](crate::livelink) reproduces the paper's measured
+//! deployment by *expanding* every group rule to its member users — faithful
+//! to the export format of the production system, but it materializes one
+//! accessibility column per user, which caps how far a subject sweep can go.
+//!
+//! [`GroupedWorld`] is the same corporate shape (company → departments →
+//! teams, subtree grants to the group structure, confidential
+//! deny-then-regrant overrides, cross-team shares) expressed directly over
+//! **physical columns**: the rule set and the document labels mention only
+//! the 1 + D + D·T groups, and users exist purely as [`GroupSpace`]
+//! membership rows whose rights are the OR of their transitive group
+//! closure. Registering the millionth user costs a few bytes of membership
+//! table and zero codebook bits — the property the `subjects` benchmark
+//! sweep and `serve --subjects=N` are built to demonstrate.
+//!
+//! Group logical ids coincide with their physical columns (groups are
+//! created first, in column order), so the [`CascadeRules`] subject space
+//! *is* the physical column space.
+
+use dol_acl::{AccessOracle, BitVec, CascadeRules, GroupSpace, SubjectId};
+use dol_xml::{Document, DocumentBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupedConfig {
+    /// Number of departments (one group + one document subtree each).
+    pub departments: usize,
+    /// Teams per department.
+    pub teams_per_dept: usize,
+    /// Approximate folder-tree size per team area (nodes).
+    pub team_size: usize,
+    /// Users registered at generation time (more can be added later
+    /// through the membership table without touching the document).
+    pub initial_users: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GroupedConfig {
+    fn default() -> Self {
+        Self {
+            departments: 8,
+            teams_per_dept: 8,
+            team_size: 90,
+            initial_users: 4,
+            seed: 2713,
+        }
+    }
+}
+
+/// The generated world: document, physical rule set, and the group space
+/// that factors logical subjects onto it.
+pub struct GroupedWorld {
+    /// The item tree.
+    pub doc: Document,
+    rules: CascadeRules,
+    space: GroupSpace,
+    company: SubjectId,
+    depts: Vec<SubjectId>,
+    teams: Vec<SubjectId>,
+    users: Vec<SubjectId>,
+    physical: usize,
+}
+
+impl GroupedWorld {
+    /// Generates a world.
+    pub fn generate(cfg: &GroupedConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let d_n = cfg.departments.max(1);
+        let t_n = cfg.teams_per_dept.max(1);
+        let physical = 1 + d_n + d_n * t_n;
+
+        // ---- group space: logical id == physical column ----------------
+        let mut space = GroupSpace::new();
+        let company = space.add_subject(&[]);
+        space.bind_direct(company, company.0);
+        let mut depts = Vec::with_capacity(d_n);
+        let mut teams = Vec::with_capacity(d_n * t_n);
+        for _ in 0..d_n {
+            let g = space.add_subject(&[company]);
+            space.bind_direct(g, g.0);
+            depts.push(g);
+        }
+        for &dept in &depts {
+            for _ in 0..t_n {
+                let g = space.add_subject(&[dept]);
+                space.bind_direct(g, g.0);
+                teams.push(g);
+            }
+        }
+        debug_assert_eq!(space.len(), physical);
+
+        // ---- document ---------------------------------------------------
+        let mut b = Document::builder();
+        let root = b.open("workspace");
+        let mut dept_roots = Vec::with_capacity(d_n);
+        let mut team_roots = Vec::with_capacity(d_n * t_n);
+        let mut confidential: Vec<(usize, usize, NodeId)> = Vec::new();
+        for d in 0..d_n {
+            let dr = b.open("department");
+            b.attribute("name", &format!("dept{d}"));
+            dept_roots.push(dr);
+            for t in 0..t_n {
+                let tr = b.open("team");
+                b.attribute("name", &format!("team{d}.{t}"));
+                team_roots.push(tr);
+                if let Some(c) = grow_folders(&mut b, &mut rng, cfg.team_size) {
+                    confidential.push((d, d * t_n + t, c));
+                }
+                b.close();
+            }
+            b.close();
+        }
+        // Cross-team shared areas, granted to a random set of teams below.
+        let shared_n = (d_n * t_n / 8).max(2);
+        let mut shared = Vec::with_capacity(shared_n);
+        b.open("shared");
+        for s in 0..shared_n {
+            let f = b.open("area");
+            b.attribute("name", &format!("share{s}"));
+            grow_folders(&mut b, &mut rng, cfg.team_size / 2);
+            b.close();
+            shared.push(f);
+        }
+        b.close();
+        b.close();
+        let doc = b.finish().expect("balanced build");
+
+        // ---- rules over physical columns only ---------------------------
+        let mut rules = CascadeRules::new(physical);
+        rules.add(company, root, true);
+        for (d, &g) in depts.iter().enumerate() {
+            if rng.gen_bool(0.85) {
+                rules.add(g, dept_roots[d], true);
+            }
+        }
+        for (i, &g) in teams.iter().enumerate() {
+            if rng.gen_bool(0.95) {
+                rules.add(g, team_roots[i], true);
+            }
+        }
+        for &(d, team_idx, conf) in &confidential {
+            // Confidential folder: the department loses access, the owning
+            // team keeps it (Most-Specific-Override over physical columns;
+            // the membership OR then gives exactly the owning team's users
+            // access through their team column).
+            rules.add(depts[d], conf, false);
+            rules.add(teams[team_idx], conf, true);
+        }
+        for &area in &shared {
+            for _ in 0..rng.gen_range(2..6) {
+                let t = rng.gen_range(0..teams.len());
+                rules.add(teams[t], area, true);
+            }
+            if rng.gen_bool(0.3) {
+                let d = rng.gen_range(0..depts.len());
+                rules.add(depts[d], area, true);
+            }
+        }
+
+        // ---- initial users ----------------------------------------------
+        let mut users = Vec::with_capacity(cfg.initial_users);
+        for u in 0..cfg.initial_users {
+            let team = teams[u % teams.len()];
+            users.push(space.add_subject(&[team]));
+        }
+
+        GroupedWorld {
+            doc,
+            rules,
+            space,
+            company,
+            depts,
+            teams,
+            users,
+            physical,
+        }
+    }
+
+    /// Number of physical columns (groups); the rule-set width.
+    pub fn physical_subjects(&self) -> usize {
+        self.physical
+    }
+
+    /// The physical-column rule set.
+    pub fn rules(&self) -> &CascadeRules {
+        &self.rules
+    }
+
+    /// The membership table (clone it into
+    /// `SecureXmlDb::from_document_factored`).
+    pub fn space(&self) -> &GroupSpace {
+        &self.space
+    }
+
+    /// The company-wide group.
+    pub fn company(&self) -> SubjectId {
+        self.company
+    }
+
+    /// Department groups, in column order.
+    pub fn depts(&self) -> &[SubjectId] {
+        &self.depts
+    }
+
+    /// Team groups, flattened `d * teams_per_dept + t`, in column order.
+    pub fn teams(&self) -> &[SubjectId] {
+        &self.teams
+    }
+
+    /// Users registered at generation time.
+    pub fn users(&self) -> &[SubjectId] {
+        &self.users
+    }
+
+    /// The team the `i`-th registered user joins (round-robin), also used
+    /// by callers bulk-adding users beyond `initial_users`.
+    pub fn team_for(&self, i: usize) -> SubjectId {
+        self.teams[i % self.teams.len()]
+    }
+
+    /// An [`AccessOracle`] labeling the document over the physical columns.
+    pub fn oracle(&self) -> GroupedOracle {
+        GroupedOracle {
+            width: self.physical,
+            transitions: self.rules.row_stream(&self.doc, None),
+        }
+    }
+
+    /// A logical subject's effective accessibility column: the OR of the
+    /// physical columns in its transitive group closure. The reference
+    /// semantics the factored codebook must reproduce.
+    pub fn user_column(&self, subject: SubjectId) -> BitVec {
+        let mut col = BitVec::zeros(self.doc.len());
+        for c in self.space.closure_columns(subject) {
+            col.or_assign(&self.rules.column(&self.doc, SubjectId(c)));
+        }
+        col
+    }
+}
+
+/// Grows a random folder tree of roughly `budget` nodes under the currently
+/// open element, occasionally marking one folder confidential (returned).
+fn grow_folders(b: &mut DocumentBuilder, rng: &mut StdRng, budget: usize) -> Option<NodeId> {
+    let mut conf = None;
+    let mut depth = 0usize;
+    let mut n = 0usize;
+    while n < budget {
+        let r: f64 = rng.gen();
+        if depth < 4 && r < 0.35 {
+            let f = b.open("folder");
+            if conf.is_none() && depth >= 1 && rng.gen_bool(0.08) {
+                b.attribute("class", "confidential");
+                n += 1;
+                conf = Some(f);
+            }
+            depth += 1;
+        } else if depth > 0 && r < 0.55 {
+            b.close();
+            depth -= 1;
+        } else {
+            b.leaf("doc", None);
+        }
+        n += 1;
+    }
+    while depth > 0 {
+        b.close();
+        depth -= 1;
+    }
+    conf
+}
+
+/// Precomputed document-order row stream served as an [`AccessOracle`]
+/// (binary search over the transition positions — the builder asks in
+/// document order, so the search is effectively O(1) amortized).
+pub struct GroupedOracle {
+    width: usize,
+    transitions: Vec<(u64, BitVec)>,
+}
+
+impl AccessOracle for GroupedOracle {
+    fn subject_count(&self) -> usize {
+        self.width
+    }
+
+    fn acl_row(&self, node: NodeId, out: &mut BitVec) {
+        out.resize(self.width);
+        out.fill(false);
+        let pos = node.0 as u64;
+        let i = self.transitions.partition_point(|&(p, _)| p <= pos);
+        if i > 0 {
+            out.or_assign(&self.transitions[i - 1].1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_deterministically() {
+        let a = GroupedWorld::generate(&GroupedConfig::default());
+        let b = GroupedWorld::generate(&GroupedConfig::default());
+        assert_eq!(a.doc.len(), b.doc.len());
+        assert_eq!(a.physical_subjects(), 1 + 8 + 64);
+        assert_eq!(a.space().len(), a.physical_subjects() + 4);
+        assert!(a.doc.len() > 1000);
+    }
+
+    #[test]
+    fn group_ids_coincide_with_columns() {
+        let w = GroupedWorld::generate(&GroupedConfig::default());
+        assert_eq!(w.space().direct_column(w.company()), Some(w.company().0));
+        for &g in w.depts().iter().chain(w.teams()) {
+            assert_eq!(w.space().direct_column(g), Some(g.0));
+        }
+        // Users have no direct column until someone grants them directly.
+        for &u in w.users() {
+            assert_eq!(w.space().direct_column(u), None);
+        }
+    }
+
+    #[test]
+    fn oracle_rows_match_per_column_cascade() {
+        let cfg = GroupedConfig {
+            team_size: 30,
+            ..Default::default()
+        };
+        let w = GroupedWorld::generate(&cfg);
+        let oracle = w.oracle();
+        let cols: Vec<BitVec> = (0..w.physical_subjects())
+            .map(|c| w.rules().column(&w.doc, SubjectId(c as u32)))
+            .collect();
+        let mut row = BitVec::zeros(0);
+        for n in (0..w.doc.len()).step_by(7) {
+            oracle.acl_row(NodeId(n as u32), &mut row);
+            for (c, col) in cols.iter().enumerate() {
+                assert_eq!(row.get(c), col.get(n), "node {n} column {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn user_column_is_closure_or() {
+        let w = GroupedWorld::generate(&GroupedConfig::default());
+        let u = w.users()[0];
+        let team = w.team_for(0);
+        // The user's rights contain the team's own rights...
+        let team_col = w.rules().column(&w.doc, SubjectId(team.0));
+        let user_col = w.user_column(u);
+        for n in 0..w.doc.len() {
+            if team_col.get(n) {
+                assert!(user_col.get(n), "user misses team right at {n}");
+            }
+        }
+        // ...and the closure reaches company through the department.
+        let closure = w.space().closure_columns(u);
+        assert!(closure.contains(&w.company().0));
+        assert_eq!(closure.len(), 3, "team + dept + company");
+    }
+}

@@ -23,11 +23,13 @@
 //!   `owner/group/mode-bits` with directory-level inheritance, users in
 //!   groups, accessibility derived by the Unix permission algorithm.
 
+pub mod grouped;
 pub mod livelink;
 pub mod synth;
 pub mod unixfs;
 pub mod xmark;
 
+pub use grouped::{GroupedConfig, GroupedOracle, GroupedWorld};
 pub use livelink::{LiveLinkConfig, LiveLinkWorld};
 pub use synth::{synth_multi, synth_single, SynthAclConfig};
 pub use unixfs::{UnixFsConfig, UnixFsWorld, UnixMode};

@@ -52,7 +52,7 @@ pub fn synth_multi(doc: &Document, cfg: &SynthAclConfig, subjects: usize) -> Acc
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut map = AccessibilityMap::new(subjects, doc.len());
     for s in 0..subjects {
-        *map.column_mut(SubjectId(s as u16)) = synth_column(doc, cfg, &mut rng);
+        *map.column_mut(SubjectId(s as u32)) = synth_column(doc, cfg, &mut rng);
     }
     map
 }

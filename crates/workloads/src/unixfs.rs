@@ -110,10 +110,10 @@ impl UnixFsWorld {
         for u in 0..cfg.users {
             let g = rng.gen_range(0..cfg.groups);
             primary_group.push(g as u16);
-            subjects.add_membership(SubjectId(u as u16), SubjectId((cfg.users + g) as u16));
+            subjects.add_membership(SubjectId(u as u32), SubjectId((cfg.users + g) as u32));
             if rng.gen_bool(0.3) {
                 let extra = rng.gen_range(0..cfg.groups);
-                subjects.add_membership(SubjectId(u as u16), SubjectId((cfg.users + extra) as u16));
+                subjects.add_membership(SubjectId(u as u32), SubjectId((cfg.users + extra) as u32));
             }
         }
 
@@ -417,7 +417,7 @@ mod tests {
         for p in 0..w.doc.len() {
             let n = NodeId(p as u32);
             let m = &w.meta[p];
-            let owner = SubjectId(m.owner);
+            let owner = SubjectId(m.owner.into());
             let owner_read = m.mode >> 8 & 1 == 1;
             assert_eq!(w.accessible(owner, n, UnixMode::Read), owner_read);
             // A non-owner user uses the other bit.
@@ -427,7 +427,7 @@ mod tests {
                 m.mode >> 2 & 1 == 1
             );
             // The owning group uses the group bit.
-            let gsub = SubjectId((w.users + m.group as usize) as u16);
+            let gsub = SubjectId((w.users + m.group as usize) as u32);
             assert_eq!(w.accessible(gsub, n, UnixMode::Read), m.mode >> 5 & 1 == 1);
         }
     }
@@ -442,7 +442,7 @@ mod tests {
             for s in 0..w.subject_count() {
                 assert_eq!(
                     row.get(s),
-                    w.accessible(SubjectId(s as u16), NodeId(p as u32), UnixMode::Write),
+                    w.accessible(SubjectId(s as u32), NodeId(p as u32), UnixMode::Write),
                     "node {p} subject {s}"
                 );
             }

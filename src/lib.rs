@@ -74,7 +74,12 @@ pub use reader::{CacheStats, DbReader};
 pub use shard::{DiskPair, ShardHealth, ShardStatus, ShardedDb, ShardedStats};
 
 use dol_acl::{AccessOracle, BitVec, SubjectId};
-use dol_core::{DolStats, EmbeddedDol};
+use dol_core::{CompactionProgress, DolStats, EmbeddedDol};
+
+/// Per-transaction block budget [`SecureXmlDb::compact_subjects`] drains
+/// its incremental plan with — the bound on any single compaction
+/// transaction's page writes.
+pub const COMPACT_TICK_BLOCKS: usize = 64;
 use dol_nok::{build_tag_index, build_value_index, QueryEngine, QueryError};
 use dol_storage::disk::StorageError;
 use dol_storage::{
@@ -305,6 +310,15 @@ pub struct SecureXmlDb {
     /// [`finish_prepared`](SecureXmlDb::finish_prepared) (restored on
     /// abort, dropped on commit).
     prepared: Option<(u64, MirrorSnapshot)>,
+    /// When non-zero, every successful update transaction is followed by
+    /// one incremental-compaction step rewriting at most this many blocks
+    /// (in its own transaction). `0` (the default) leaves compaction fully
+    /// manual — see [`set_auto_compaction`](SecureXmlDb::set_auto_compaction).
+    auto_compact_blocks: usize,
+    /// Re-entrancy guard: set while the post-commit maintenance hook is
+    /// driving a compaction step, whose own commit must not re-trigger the
+    /// hook.
+    in_maintenance: bool,
 }
 
 /// One group-commit batch member: an update closure the batch committer can
@@ -400,7 +414,30 @@ impl SecureXmlDb {
             rollback_mirrors: Mutex::new(None),
             in_batch: false,
             prepared: None,
+            auto_compact_blocks: 0,
+            in_maintenance: false,
         })
+    }
+
+    /// Builds a **group-factored** database: `oracle` labels the document
+    /// over the *physical* columns (groups plus directly-granted subjects),
+    /// and `space` maps logical subjects onto those columns through the
+    /// membership hierarchy. Per-subject rights are then derived — the OR of
+    /// the subject's transitive group closure — so registering a millionth
+    /// user is a membership-table edit, not a codebook rewrite.
+    pub fn from_document_factored(
+        doc: Document,
+        oracle: &impl AccessOracle,
+        space: dol_acl::GroupSpace,
+    ) -> Result<Self, DbError> {
+        let mut db = Self::from_document(doc, oracle)?;
+        db.run_txn(move |db| {
+            Arc::make_mut(&mut db.dol)
+                .codebook_mut()
+                .attach_group_space(space);
+            Ok(())
+        })?;
+        Ok(db)
     }
 
     /// Runs `f` as one crash-consistent transaction: every page it dirties
@@ -475,6 +512,22 @@ impl SecureXmlDb {
                     .unwrap_or_else(|e| e.into_inner()) = Some(before);
                 self.poisoned.store(true, Ordering::Release);
             }
+        }
+        // Post-commit maintenance: piggy-back one bounded compaction step on
+        // this commit when auto-compaction is enabled and a plan is armed.
+        // The step runs as its own transaction (its failure poisons the
+        // handle through the normal path but does not undo the user's
+        // already-committed transaction); the `in_maintenance` guard stops
+        // the step's own commit from re-entering this hook.
+        if res.is_ok()
+            && self.auto_compact_blocks > 0
+            && !self.in_maintenance
+            && self.dol.codebook().compaction().is_some()
+        {
+            self.in_maintenance = true;
+            let budget = self.auto_compact_blocks;
+            let _ = self.compaction_tick(budget);
+            self.in_maintenance = false;
         }
         res
     }
@@ -1049,7 +1102,11 @@ impl SecureXmlDb {
         self.run_txn(|db| {
             let dol = Arc::make_mut(&mut db.dol);
             let store = Arc::make_mut(&mut db.store);
-            Ok(dol.set_node(store, pos, subject, allow)?)
+            dol.set_node(store, pos, subject, allow)?;
+            // A code rewrite can split blocks, shifting directory indices
+            // under an in-flight compaction cursor.
+            dol.codebook_mut().mark_compaction_dirty();
+            Ok(())
         })
     }
 
@@ -1068,7 +1125,9 @@ impl SecureXmlDb {
         self.run_txn(|db| {
             let dol = Arc::make_mut(&mut db.dol);
             let store = Arc::make_mut(&mut db.store);
-            Ok(dol.set_subtree(store, pos, pos + size, subject, allow)?)
+            dol.set_subtree(store, pos, pos + size, subject, allow)?;
+            dol.codebook_mut().mark_compaction_dirty();
+            Ok(())
         })
     }
 
@@ -1093,13 +1152,106 @@ impl SecureXmlDb {
     }
 
     /// Performs the §3.4 lazy cleanup after subject removals: compacts the
-    /// codebook and rewrites the embedded codes in one pass. Subject ids
-    /// shift (removed columns disappear), so callers must re-derive ids.
+    /// codebook and rewrites the embedded codes. Subject ids shift in a
+    /// flat codebook (removed columns disappear), so callers must re-derive
+    /// ids; factored logical ids are stable.
+    ///
+    /// Internally this arms an incremental plan and drains it in bounded
+    /// steps, **each its own transaction** — no single transaction ever
+    /// rewrites more than [`COMPACT_TICK_BLOCKS`] blocks, and readers
+    /// between steps see a consistent half-migrated image (every
+    /// intermediate code resolves to the right ACL). A crash mid-drain
+    /// recovers onto a step boundary; re-calling finishes the job.
     pub fn compact_subjects(&mut self) -> Result<(), DbError> {
+        let armed = self.begin_compaction()?;
+        if !armed && self.dol.codebook().compaction().is_none() {
+            return Ok(()); // nothing to merge, nothing to retire
+        }
+        loop {
+            if self.compaction_tick(COMPACT_TICK_BLOCKS)?.finished {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Arms an incremental compaction plan (no block is rewritten yet).
+    /// Returns `false` when the codebook has nothing to compact or a plan
+    /// is already active.
+    pub fn begin_compaction(&mut self) -> Result<bool, DbError> {
+        self.run_txn(|db| Ok(Arc::make_mut(&mut db.dol).begin_compaction()))
+    }
+
+    /// Runs one bounded compaction step as its own transaction, rewriting
+    /// at most `max_blocks` blocks. Drive this from a maintenance loop —
+    /// or let [`set_auto_compaction`](SecureXmlDb::set_auto_compaction)
+    /// piggy-back a step on every update commit.
+    pub fn compaction_tick(&mut self, max_blocks: usize) -> Result<CompactionProgress, DbError> {
         self.run_txn(|db| {
             let dol = Arc::make_mut(&mut db.dol);
             let store = Arc::make_mut(&mut db.store);
-            Ok(dol.compact_subjects(store)?)
+            Ok(dol.compaction_tick(store, max_blocks)?)
+        })
+    }
+
+    /// Remaining compaction work in blocks (0 = no active plan) — the
+    /// backlog gauge for maintenance schedulers.
+    pub fn compaction_backlog(&self) -> u64 {
+        self.dol.compaction_backlog(&self.store)
+    }
+
+    /// Sets the auto-compaction budget: when `blocks_per_txn > 0`, every
+    /// successful update commit is followed by one compaction step of at
+    /// most that many blocks (in its own transaction) while a plan is
+    /// active. `0` pauses the background drain; the armed plan is kept and
+    /// resumes when re-enabled or driven manually.
+    pub fn set_auto_compaction(&mut self, blocks_per_txn: usize) {
+        self.auto_compact_blocks = blocks_per_txn;
+    }
+
+    /// Adds a logical subject with the given direct parent groups — a
+    /// membership-table edit touching no codebook entry, O(1) regardless of
+    /// codebook size. Requires a group-factored database
+    /// (see [`from_document_factored`](SecureXmlDb::from_document_factored)).
+    pub fn add_grouped_subject(&mut self, parents: &[SubjectId]) -> Result<SubjectId, DbError> {
+        self.run_txn(|db| {
+            Ok(Arc::make_mut(&mut db.dol)
+                .codebook_mut()
+                .add_grouped_subject(parents))
+        })
+    }
+
+    /// Bulk [`add_grouped_subject`](SecureXmlDb::add_grouped_subject): adds
+    /// `count` subjects with identical parent sets in **one** transaction
+    /// (one WAL sync), returning the first new id — the ids are contiguous.
+    pub fn add_grouped_subjects(
+        &mut self,
+        count: usize,
+        parents: &[SubjectId],
+    ) -> Result<SubjectId, DbError> {
+        assert!(count > 0, "empty bulk add");
+        self.run_txn(|db| {
+            let cb = Arc::make_mut(&mut db.dol).codebook_mut();
+            let first = cb.add_grouped_subject(parents);
+            for _ in 1..count {
+                cb.add_grouped_subject(parents);
+            }
+            Ok(first)
+        })
+    }
+
+    /// Adds or removes one direct membership edge of a group-factored
+    /// subject; its derived rights change live. Returns whether the edge
+    /// actually changed.
+    pub fn set_group_membership(
+        &mut self,
+        subject: SubjectId,
+        group: SubjectId,
+        member: bool,
+    ) -> Result<bool, DbError> {
+        self.run_txn(|db| {
+            Ok(Arc::make_mut(&mut db.dol)
+                .codebook_mut()
+                .set_membership(subject, group, member))
         })
     }
 
@@ -1143,6 +1295,10 @@ impl SecureXmlDb {
                 .map_err(|_| DbError::InvalidNode(pos))?;
             db.tag_index = Arc::new(build_tag_index(&db.store)?);
             db.value_index = Arc::new(build_value_index(&db.store, &db.values)?);
+            // Blocks moved; an in-flight compaction cursor is stale.
+            Arc::make_mut(&mut db.dol)
+                .codebook_mut()
+                .mark_compaction_dirty();
             Ok(())
         })
     }
@@ -1190,6 +1346,9 @@ impl SecureXmlDb {
                 .map_err(|_| DbError::InvalidNode(parent_pos))?;
             db.tag_index = Arc::new(build_tag_index(&db.store)?);
             db.value_index = Arc::new(build_value_index(&db.store, &db.values)?);
+            Arc::make_mut(&mut db.dol)
+                .codebook_mut()
+                .mark_compaction_dirty();
             Ok(at)
         })
     }
@@ -1270,6 +1429,9 @@ impl SecureXmlDb {
                 .map_err(|_| DbError::InvalidNode(parent))?;
             db.tag_index = Arc::new(build_tag_index(&db.store)?);
             db.value_index = Arc::new(build_value_index(&db.store, &db.values)?);
+            Arc::make_mut(&mut db.dol)
+                .codebook_mut()
+                .mark_compaction_dirty();
             Ok(at)
         })
     }
@@ -1426,7 +1588,7 @@ impl<'a, O: AccessOracle> ModalOracle<'a, O> {
 
     /// The combined column index of `(subject, mode)`.
     pub fn column(&self, subject: SubjectId, mode: usize) -> SubjectId {
-        SubjectId((mode * self.subjects_per_mode + subject.index()) as u16)
+        SubjectId((mode * self.subjects_per_mode + subject.index()) as u32)
     }
 }
 

@@ -71,7 +71,7 @@ impl ModalDb {
     pub fn column(&self, subject: SubjectId, mode: usize) -> SubjectId {
         assert!(mode < self.modes, "mode {mode} out of range");
         assert!(subject.index() < self.subjects_per_mode);
-        SubjectId((mode * self.subjects_per_mode + subject.index()) as u16)
+        SubjectId((mode * self.subjects_per_mode + subject.index()) as u32)
     }
 
     /// Whether `subject` may perform `mode` on the node at `pos`.

@@ -38,7 +38,13 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 const MAGIC: u32 = 0x444F_4C58; // "DOLX"
-const VERSION: u32 = 2;
+/// Current image version. v3 extends the codebook blob with the group
+/// table and in-flight compaction-plan state (both self-describing inside
+/// the blob — see `Codebook::to_bytes`); the catalog layout is unchanged,
+/// so v2 images load as-is.
+const VERSION: u32 = 3;
+/// Versions this build can open.
+const SUPPORTED: [u32; 2] = [2, 3];
 
 /// Payload bytes per meta-blob page after the `[next u32][len u32]` header.
 const BLOB_CAP: usize = PAYLOAD_SIZE - 8;
@@ -220,7 +226,7 @@ pub(crate) fn load_image(pool: &Arc<BufferPool>) -> Result<LoadedImage, DbError>
             if p.get_u32(0) != MAGIC {
                 return Err("not a secure-xml database file".to_string());
             }
-            if p.get_u32(4) != VERSION {
+            if !SUPPORTED.contains(&p.get_u32(4)) {
                 return Err(format!("unsupported version {}", p.get_u32(4)));
             }
             Ok(Catalog {
@@ -499,6 +505,8 @@ impl SecureXmlDb {
             rollback_mirrors: std::sync::Mutex::new(None),
             in_batch: false,
             prepared: None,
+            auto_compact_blocks: 0,
+            in_maintenance: false,
         })
     }
 }

@@ -276,7 +276,7 @@ impl ShardSummary {
         let mut any_access = vec![false; width];
         for (s, flag) in any_access.iter_mut().enumerate() {
             for p in 1..total {
-                match db.accessible(p, SubjectId(s as u16)) {
+                match db.accessible(p, SubjectId(s as u32)) {
                     Ok(true) | Err(_) => {
                         // An error is conservative: unknown access means the
                         // shard cannot be skipped on ACL grounds.
@@ -1494,18 +1494,18 @@ impl ShardedDb {
                 .read_block_range(0..db.store().block_count())
                 .map_err(DbError::Storage)?;
             for subj in 0..self.subjects {
-                let col = db.dol().column(SubjectId(subj as u16));
+                let col = db.dol().column(SubjectId(subj as u32));
                 for (local, item) in items.iter().enumerate() {
                     if !col.check_code(item.code) {
                         continue;
                     }
                     if local == 0 {
                         if s == 0 {
-                            map.set(SubjectId(subj as u16), NodeId(0), true);
+                            map.set(SubjectId(subj as u32), NodeId(0), true);
                         }
                     } else {
                         let global = self.layout.to_global(s, local as u64);
-                        map.set(SubjectId(subj as u16), NodeId(global as u32), true);
+                        map.set(SubjectId(subj as u32), NodeId(global as u32), true);
                     }
                 }
             }
@@ -1756,7 +1756,7 @@ mod tests {
         let mut m = AccessibilityMap::new(subjects, doc.len());
         for s in 0..subjects {
             for p in 0..doc.len() {
-                m.set(SubjectId(s as u16), NodeId(p as u32), true);
+                m.set(SubjectId(s as u32), NodeId(p as u32), true);
             }
         }
         m

@@ -18,7 +18,7 @@ pub fn grant_all(subjects: usize, nodes: usize) -> AccessibilityMap {
     let mut m = AccessibilityMap::new(subjects, nodes);
     for s in 0..subjects {
         for p in 0..nodes {
-            m.set(SubjectId(s as u16), NodeId(p as u32), true);
+            m.set(SubjectId(s as u32), NodeId(p as u32), true);
         }
     }
     m

@@ -343,12 +343,12 @@ mod interleavings {
                     }
                     Step::SetNode(p, s, allow) => {
                         if let Some(pos) = pick_pos(&db, p) {
-                            db.set_node_access(pos, SubjectId(u16::from(s)), allow).unwrap();
+                            db.set_node_access(pos, SubjectId(u32::from(s)), allow).unwrap();
                         }
                     }
                     Step::SetSubtree(p, s, allow) => {
                         if let Some(pos) = pick_pos(&db, p) {
-                            db.set_subtree_access(pos, SubjectId(u16::from(s)), allow).unwrap();
+                            db.set_subtree_access(pos, SubjectId(u32::from(s)), allow).unwrap();
                         }
                     }
                     Step::Delete(p) => {

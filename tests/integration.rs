@@ -71,7 +71,7 @@ fn unsecured_matches_reference() {
 #[test]
 fn binding_level_security_matches_reference() {
     let (doc, map, db) = setup(3);
-    for s in 0..3u16 {
+    for s in 0..3u32 {
         for q in QUERIES {
             let got = db
                 .query(q, Security::BindingLevel(SubjectId(s)))
@@ -86,7 +86,7 @@ fn binding_level_security_matches_reference() {
 #[test]
 fn subtree_visibility_security_matches_reference() {
     let (doc, map, db) = setup(3);
-    for s in 0..3u16 {
+    for s in 0..3u32 {
         for q in QUERIES {
             let got = db
                 .query(q, Security::SubtreeVisibility(SubjectId(s)))
@@ -108,7 +108,7 @@ fn secure_results_are_subset_of_unsecured() {
             .matches
             .into_iter()
             .collect();
-        for s in 0..2u16 {
+        for s in 0..2u32 {
             let cho = db
                 .query(q, Security::BindingLevel(SubjectId(s)))
                 .unwrap()
@@ -150,7 +150,7 @@ fn secure_evaluation_costs_no_extra_physical_io() {
 fn dol_accessibility_agrees_with_map_everywhere() {
     let (doc, map, db) = setup(4);
     for p in 0..doc.len() as u64 {
-        for s in 0..4u16 {
+        for s in 0..4u32 {
             assert_eq!(
                 db.accessible(p, SubjectId(s)).unwrap(),
                 map.accessible(SubjectId(s), secure_xml::xml::NodeId(p as u32)),

@@ -299,11 +299,11 @@ mod interleavings {
                         }
                     }
                     Step::SetNode(p, s, allow) => {
-                        db.set_node_access(pos_of(p), SubjectId(u16::from(s)), allow).unwrap();
+                        db.set_node_access(pos_of(p), SubjectId(u32::from(s)), allow).unwrap();
                         oracles.insert(db.epoch(), suite_oracle(&db));
                     }
                     Step::SetSubtree(p, s, allow) => {
-                        db.set_subtree_access(pos_of(p), SubjectId(u16::from(s)), allow).unwrap();
+                        db.set_subtree_access(pos_of(p), SubjectId(u32::from(s)), allow).unwrap();
                         oracles.insert(db.epoch(), suite_oracle(&db));
                     }
                     Step::Batch(specs) => {

@@ -85,7 +85,7 @@ fn fingerprint(db: &SecureXmlDb) -> String {
     let subjects = db.dol_stats().unwrap().subjects;
     for s in 0..subjects {
         for p in 0..db.len() as u64 {
-            out.push(if db.accessible(p, SubjectId(s as u16)).unwrap() {
+            out.push(if db.accessible(p, SubjectId(s as u32)).unwrap() {
                 '1'
             } else {
                 '0'
@@ -105,7 +105,7 @@ fn fingerprint(db: &SecureXmlDb) -> String {
             db.query(q, Security::None).unwrap().matches
         ));
         for s in 0..subjects {
-            let sid = SubjectId(s as u16);
+            let sid = SubjectId(s as u32);
             out.push_str(&format!(
                 "|{:?}/{:?}",
                 db.query(q, Security::BindingLevel(sid)).unwrap().matches,

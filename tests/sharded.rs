@@ -144,7 +144,7 @@ fn arb_ops() -> impl Strategy<Value = Vec<AclOp>> {
 }
 
 fn apply_to_mirror(doc: &Document, map: &mut AccessibilityMap, op: &AclOp, pos: u64) {
-    let subject = SubjectId(op.subject as u16);
+    let subject = SubjectId(op.subject as u32);
     if op.subtree {
         let size = u64::from(doc.node(NodeId(pos as u32)).size);
         for p in pos..pos + size {
@@ -171,7 +171,7 @@ proptest! {
         for (i, bit) in bits.iter().enumerate() {
             if *bit {
                 map.set(
-                    SubjectId((i / n.max(1) % SUBJECTS) as u16),
+                    SubjectId((i / n.max(1) % SUBJECTS) as u32),
                     NodeId((i % n.max(1)) as u32),
                     true,
                 );
@@ -181,7 +181,7 @@ proptest! {
         // makes its code shard-invariant, and an inaccessible root hides
         // the whole document under subtree visibility, collapsing the test.
         for s in 0..SUBJECTS {
-            map.set(SubjectId(s as u16), NodeId(0), true);
+            map.set(SubjectId(s as u32), NodeId(0), true);
         }
 
         let counts = counts_from_cuts(root_child_count(&doc), &cuts);
@@ -196,7 +196,7 @@ proptest! {
         let mut mirror = map;
         for op in &ops {
             let pos = (op.pos % n) as u64;
-            let subject = SubjectId(op.subject as u16);
+            let subject = SubjectId(op.subject as u32);
             if op.subtree {
                 sharded.set_subtree_access(pos, subject, op.allow).unwrap();
                 solo.set_subtree_access(pos, subject, op.allow).unwrap();
@@ -210,7 +210,7 @@ proptest! {
         // Oracle 1: the unsharded database agrees position-by-position.
         for p in 0..n as u64 {
             for s in 0..SUBJECTS {
-                let subject = SubjectId(s as u16);
+                let subject = SubjectId(s as u32);
                 let want = solo.accessible(p, subject).unwrap();
                 prop_assert_eq!(sharded.accessible(p, subject).unwrap(), want,
                     "accessible({}, {}) diverged", p, s);
@@ -225,7 +225,7 @@ proptest! {
         prop_assert_eq!(&got, &want, "unsecured, query {}, splits {:?}",
             pattern.to_query_string(), &counts);
         for s in 0..SUBJECTS {
-            let subject = SubjectId(s as u16);
+            let subject = SubjectId(s as u32);
             let got = sharded
                 .query_pattern(&pattern, Security::BindingLevel(subject))
                 .unwrap()

@@ -63,7 +63,7 @@ fn random_accessibility_updates_stay_consistent() {
         // Spot-check a sample of positions every step, all of them sometimes.
         let stride = if step % 20 == 19 { 1 } else { 97 };
         for p in (0..n).step_by(stride) {
-            for subj in 0..3u16 {
+            for subj in 0..3u32 {
                 assert_eq!(
                     db.accessible(p, SubjectId(subj)).unwrap(),
                     truth.accessible(SubjectId(subj), NodeId(p as u32)),

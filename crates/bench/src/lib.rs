@@ -26,6 +26,7 @@
 //! | [`mvcc`] | MVCC epoch ring + group commit: pinned-reader oracles, retention refusals, solo vs batched update throughput at equal durability (not a paper artifact) |
 //! | [`soak`] | combined chaos soak: brownouts, power cuts, deadlines, in-process recovery under a live serving mix (not a paper artifact) |
 //! | [`shard`] | ShardedDb: crash-consistent cross-shard commit sweep + fault-isolated scatter-gather quarantine soak (not a paper artifact) |
+//! | [`net`] | `dol-server` wire gate: loopback multi-process byte-identity, crash/restart, overload, poison, and drain phases (not a paper artifact) |
 
 pub mod ablation;
 pub mod compile;
@@ -36,6 +37,7 @@ pub mod fig56;
 pub mod fig7;
 pub mod fig8;
 pub mod mvcc;
+pub mod net;
 pub mod parallel;
 pub mod queries;
 pub mod serve;

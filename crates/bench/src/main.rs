@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [--quick|--full] [--parallelism=N] [--seed=N] [--clients=N] [--subjects=N]
 //!             [--smoke]
-//!             [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates compile parallel faults crash mvcc serve soak shard subjects | all]
+//!             [fig4a fig4b fig5 fig6 storage queries fig7 fig8 updates compile parallel faults crash mvcc serve soak shard subjects net | all]
 //! ```
 //!
 //! `--parallelism=N` caps the worker sweep of the `parallel` experiment
@@ -19,14 +19,25 @@
 //! experiment to a small instance whose byte-identity assertions
 //! (compiled answers ≡ interpreted answers, one lowering per query) gate
 //! CI while the speedup ratio is recorded, never gated.
+//!
+//! The `net` experiment re-execs this binary into server and client
+//! processes via the hidden `__net-server` / `__net-client` argv modes,
+//! handled before normal argument parsing.
 
 use dol_bench::{
-    ablation, compile, crash, faults, fig4, fig56, fig7, fig8, mvcc, parallel, queries, serve,
+    ablation, compile, crash, faults, fig4, fig56, fig7, fig8, mvcc, net, parallel, queries, serve,
     shard, soak, storage, subjects, updates, Effort,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden re-exec modes of the `net` loopback harness: this process IS
+    // the server (or a wire client), not the experiment driver.
+    match args.first().map(String::as_str) {
+        Some("__net-server") => return net::server_child(&args[1..]),
+        Some("__net-client") => return net::client_child(&args[1..]),
+        _ => {}
+    }
     let mut effort = Effort::Quick;
     let mut parallelism = 0usize;
     let mut seed = faults::DEFAULT_SEED;
@@ -86,6 +97,7 @@ fn main() {
             "soak".into(),
             "shard".into(),
             "subjects".into(),
+            "net".into(),
         ];
     }
     println!(
@@ -120,6 +132,7 @@ fn main() {
             "soak" => soak::run(effort, seed, smoke),
             "shard" => shard::run(effort, seed, smoke),
             "subjects" => subjects::run(effort, seed, smoke),
+            "net" => net::run(effort, seed, smoke),
             other => eprintln!("unknown experiment `{other}` (skipped)"),
         }
     }

@@ -14,6 +14,12 @@
 //! the `query_with_retry` fallback) — a `StaleReader` retry would mean the
 //! ring failed and is gated to zero in every mix.
 //!
+//! Every [`PROBE_EVERY`]-th operation carries an already-expired deadline;
+//! whatever the cache holds, its outcome is accounted a **bounded refusal**
+//! (a warm result-cache hit is served `Ok` by the engine but the wire front
+//! door refuses the same request at dispatch, so counting it as served
+//! would let the in-process and wire availability columns disagree).
+//!
 //! Reported per client count: QPS, p50/p99 latency, plan/result cache hit
 //! rates, the shared-vs-exclusive page-latch ratio, stale retries, and an
 //! order-independent fingerprint of every result (equal across same-seed
@@ -35,11 +41,11 @@ use dol_storage::IoStats;
 use dol_workloads::{synth_multi, SynthAclConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use secure_xml::{CacheStats, DbError, SecureXmlDb};
+use secure_xml::{CacheStats, DbError, Deadline, ExecOptions, SecureXmlDb};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::sync::{Arc, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Pinned seed for CI smoke runs (the paper's submission date).
 pub const DEFAULT_SEED: u64 = 20050405;
@@ -53,6 +59,18 @@ const ZIPF_EXPONENT: f64 = 1.0;
 /// counts a stale-read *error* (never hit in practice: the writer is
 /// finite, so some retry always lands in a quiet epoch).
 const MAX_STALE_RETRIES: u32 = 1000;
+/// Every `PROBE_EVERY`-th operation (offset [`PROBE_OFFSET`]) carries an
+/// already-expired deadline. Whatever the cache state, the outcome is a
+/// **bounded refusal**: a cold probe aborts with the typed
+/// `DeadlineExceeded`, and a warm result-cache hit — served `Ok` by the
+/// engine, since a hit costs no I/O — is classified the same way, because
+/// the wire front door (`dol-server`) refuses any request whose deadline
+/// lapsed before dispatch. Counting that hit as *served* here would make
+/// the in-process availability column disagree with the wire's.
+const PROBE_EVERY: usize = 16;
+/// Probe phase offset, coprime with the update cadence so the update mix
+/// never swallows a probe slot.
+const PROBE_OFFSET: usize = 3;
 
 /// One serving mix configuration.
 struct MixConfig {
@@ -92,9 +110,16 @@ struct MixReport {
     retention_refreshes: u64,
     stale_errors: u64,
     divergences: u64,
-    /// Queries aborted by a deadline or cancellation during the mix (the
-    /// serving mix sets no deadlines, so a nonzero value means the counter
-    /// plumbing leaked from somewhere else).
+    /// Expired-deadline probe operations — all of them refused, whether the
+    /// refusal was a typed `DeadlineExceeded` abort (cold) or a warm
+    /// result-cache hit reclassified to match the wire semantics.
+    bounded_refusals: u64,
+    /// The warm-hit share of [`bounded_refusals`](Self::bounded_refusals):
+    /// probes the engine answered `Ok` from the result cache.
+    warm_refusals: u64,
+    /// Queries aborted by a deadline during the mix. Only the expired
+    /// probes set deadlines, so this must reconcile as
+    /// `bounded_refusals - warm_refusals`.
     deadline_aborts: u64,
     fingerprint: u64,
 }
@@ -108,13 +133,15 @@ impl MixReport {
         self.shared_reads as f64 / total as f64
     }
 
-    /// Fraction of query operations that produced an answer (the rest
-    /// exhausted the stale-retry budget).
+    /// Fraction of query operations that produced an answer. Both failure
+    /// classes are subtracted: exhausted stale-retry budgets *and* bounded
+    /// refusals — a warm-cache `Ok` under an expired deadline counts as
+    /// refused, exactly as the wire front door accounts it.
     fn availability(&self) -> f64 {
         if self.queries == 0 {
             return 1.0;
         }
-        (self.queries - self.stale_errors) as f64 / self.queries as f64
+        (self.queries - self.stale_errors - self.bounded_refusals) as f64 / self.queries as f64
     }
 }
 
@@ -126,6 +153,8 @@ struct ClientOutcome {
     retention_refreshes: u64,
     stale_errors: u64,
     divergences: u64,
+    bounded_refusals: u64,
+    warm_refusals: u64,
     fingerprint: u64,
 }
 
@@ -269,6 +298,8 @@ fn run_mix(
         retention_refreshes: outcomes.iter().map(|o| o.retention_refreshes).sum(),
         stale_errors: outcomes.iter().map(|o| o.stale_errors).sum(),
         divergences: outcomes.iter().map(|o| o.divergences).sum(),
+        bounded_refusals: outcomes.iter().map(|o| o.bounded_refusals).sum(),
+        warm_refusals: outcomes.iter().map(|o| o.warm_refusals).sum(),
         deadline_aborts: caches.deadline_aborts,
         // Order-independent across clients: XOR of per-client streams.
         fingerprint: outcomes.iter().fold(0, |h, o| h ^ o.fingerprint),
@@ -293,6 +324,8 @@ fn run_client(
         retention_refreshes: 0,
         stale_errors: 0,
         divergences: 0,
+        bounded_refusals: 0,
+        warm_refusals: 0,
         fingerprint: 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
     };
     for op in 0..cfg.ops_per_client {
@@ -304,6 +337,39 @@ fn run_client(
             g.set_node_access(pos, subject, allow)
                 .expect("serve update");
             out.updates += 1;
+            continue;
+        }
+        if op % PROBE_EVERY == PROBE_OFFSET {
+            // Expired-deadline probe: dol-server refuses any request whose
+            // deadline lapsed before dispatch, warm cache or not, so both
+            // outcomes here are bounded refusals — never "served".
+            let key = draw_op(&mut rng, cum, &cfg.pool);
+            let t0 = Instant::now();
+            loop {
+                let opts = ExecOptions {
+                    deadline: Deadline::after(Duration::ZERO),
+                    ..ExecOptions::default()
+                };
+                match reader.query_opts(TABLE1[key.0].1, security_of(key), opts) {
+                    Ok(_) => {
+                        out.warm_refusals += 1;
+                        break;
+                    }
+                    Err(DbError::DeadlineExceeded(_)) => break,
+                    Err(DbError::StaleReader { .. }) => {
+                        out.stale_retries += 1;
+                        reader = db.read().expect("db lock").reader();
+                    }
+                    Err(DbError::RetentionExceeded { .. }) => {
+                        out.retention_refreshes += 1;
+                        reader = db.read().expect("db lock").reader();
+                    }
+                    Err(e) => panic!("client {client} probe failed: {e}"),
+                }
+            }
+            out.bounded_refusals += 1;
+            out.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+            out.queries += 1;
             continue;
         }
         let key = draw_op(&mut rng, cum, &cfg.pool);
@@ -371,7 +437,8 @@ fn json_object(r: &MixReport) -> String {
          \"plan_hit_rate\": {:.4}, \"plan_compiles\": {}, \"result_hit_rate\": {:.4}, \
          \"shared_reads\": {}, \"exclusive_fallbacks\": {}, \"shared_ratio\": {:.4}, \
          \"stale_retries\": {}, \"retention_refreshes\": {}, \
-         \"stale_errors\": {}, \"availability\": {:.4}, \
+         \"stale_errors\": {}, \"bounded_refusals\": {}, \"warm_refusals\": {}, \
+         \"availability\": {:.4}, \
          \"deadline_aborts\": {}, \"divergences\": {}, \
          \"fingerprint\": \"{:#018x}\"}}",
         r.clients,
@@ -390,6 +457,8 @@ fn json_object(r: &MixReport) -> String {
         r.stale_retries,
         r.retention_refreshes,
         r.stale_errors,
+        r.bounded_refusals,
+        r.warm_refusals,
         r.availability(),
         r.deadline_aborts,
         r.divergences,
@@ -537,6 +606,7 @@ pub fn run(effort: Effort, seed: u64, max_clients: usize, smoke: bool, subjects:
             "stale retries",
             "refreshes",
             "avail",
+            "refused",
             "deadline aborts",
             "divergences",
         ],
@@ -622,14 +692,28 @@ pub fn run(effort: Effort, seed: u64, max_clients: usize, smoke: bool, subjects:
                 r.stale_retries, 0,
                 "a StaleReader retry under the epoch ring: a writer evicted a reader"
             );
+            // Bounded-refusal accounting: every expired-deadline probe is
+            // deterministic in count, and each one resolves either as a
+            // typed cold abort (CacheStats::deadline_aborts) or as a
+            // warm-cache hit reclassified to a refusal — never as served.
             assert_eq!(
-                r.availability(),
-                1.0,
-                "a serving mix left queries unanswered"
+                r.bounded_refusals,
+                probes_per_client(ops) * r.clients as u64,
+                "an expired-deadline probe escaped the bounded-refusal column"
+            );
+            assert!(
+                r.availability() < 1.0,
+                "bounded refusals were counted as served availability"
             );
             assert_eq!(
-                r.deadline_aborts, 0,
-                "the deadline-abort counter moved in a mix that sets no deadlines"
+                (r.queries - r.bounded_refusals) as f64 / r.queries as f64,
+                r.availability(),
+                "non-probe operations went unanswered"
+            );
+            assert_eq!(
+                r.deadline_aborts + r.warm_refusals,
+                r.bounded_refusals,
+                "cold aborts + warm-hit reclassifications failed to cover the probes"
             );
             if r.read_only {
                 assert_eq!(
@@ -652,6 +736,14 @@ pub fn run(effort: Effort, seed: u64, max_clients: usize, smoke: bool, subjects:
     }
 }
 
+/// Deterministic expired-deadline probe count of one client's op stream
+/// (the update cadence never collides with a probe slot).
+fn probes_per_client(ops: usize) -> u64 {
+    (0..ops)
+        .filter(|op| op % PROBE_EVERY == PROBE_OFFSET)
+        .count() as u64
+}
+
 fn push_row(t: &mut Table, r: &MixReport) {
     t.row(&[
         r.clients.to_string(),
@@ -670,6 +762,7 @@ fn push_row(t: &mut Table, r: &MixReport) {
         r.stale_retries.to_string(),
         r.retention_refreshes.to_string(),
         pct(r.availability()),
+        r.bounded_refusals.to_string(),
         r.deadline_aborts.to_string(),
         r.divergences.to_string(),
     ]);

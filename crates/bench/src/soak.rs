@@ -28,7 +28,13 @@
 //!
 //! Readers interleave expired-[`Deadline`] probes (plus one
 //! `CancelToken` cancellation) on a reserved (query, subject) pair, so the
-//! typed-abort path stays exercised throughout.
+//! typed-abort path stays exercised throughout, and *cacheable-pair*
+//! probes that warm a result-cache slot before re-issuing it under an
+//! expired deadline: the engine serves the warm hit `Ok` (a hit costs no
+//! I/O), but the accounting classifies it as a **bounded refusal** — the
+//! wire front door (`dol-server`) refuses any request whose deadline
+//! lapsed before dispatch, so counting the hit as served would make the
+//! in-process and wire availability columns disagree.
 //!
 //! **Gates (asserted every run, not only `--smoke`):** zero wrong answers —
 //! every served result equals the pre- or post-toggle oracle exactly, or is
@@ -36,8 +42,9 @@
 //! errors — only typed availability errors (`BreakerOpen`,
 //! `DeadlineExceeded`) and absorbed `StaleReader` retries ever surface;
 //! zero unrecovered poison windows; at least one breaker trip, fast-fail,
-//! and half-open probe; at least one deadline abort and one cancellation,
-//! reconciled against [`CacheStats::deadline_aborts`]; and after the final
+//! and half-open probe; at least one deadline abort, one warm-hit bounded
+//! refusal, and one cancellation, reconciled against
+//! [`CacheStats::deadline_aborts`]; and after the final
 //! recovery the full suite answers **exactly** (no masking), proving no
 //! permanent unavailability. Machine-readable counters go to
 //! `BENCH_soak.json`.
@@ -113,6 +120,12 @@ struct Counters {
     unexpected_errors: AtomicU64,
     /// Expired-deadline probes aborted with `DbError::DeadlineExceeded`.
     deadline_aborts: AtomicU64,
+    /// Expired-deadline probes on a *cacheable* pair that the engine
+    /// answered `Ok` from the warm result cache. The wire front door
+    /// (`dol-server`) refuses any request whose deadline lapsed before
+    /// dispatch, cache or no cache — so these count as bounded refusals,
+    /// never as served answers.
+    bounded_refusals: AtomicU64,
     /// `CancelToken` cancellations aborted the same way.
     cancel_aborts: AtomicU64,
     /// Fresh snapshots taken inside `query_with_retry` (legacy stale
@@ -228,6 +241,40 @@ fn reader_loop(
     let mut op = 0u64;
     while !stop.load(Ordering::Relaxed) {
         op += 1;
+        if op.is_multiple_of(18) {
+            // Cacheable-pair probe: warm this reader's own (query, subject,
+            // epoch) result-cache slot, then re-issue the same pair under
+            // an already-expired deadline. The warm hit is served `Ok` by
+            // design (a hit costs no I/O) — but the wire front door refuses
+            // a pre-expired deadline at dispatch, so the accounting here
+            // classifies that `Ok` as a *bounded refusal*; a cold second
+            // read (the slot was evicted in between) aborts typed and lands
+            // in the reconciled deadline-abort column instead.
+            let sec = Security::BindingLevel(SubjectId(0));
+            match reader.query(TABLE1[0].1, sec) {
+                Ok(_) => {
+                    let opts = ExecOptions {
+                        deadline: Deadline::after(Duration::ZERO),
+                        ..ExecOptions::default()
+                    };
+                    match reader.query_opts(TABLE1[0].1, sec, opts) {
+                        Ok(_) => c.bump(&c.bounded_refusals),
+                        Err(DbError::DeadlineExceeded(_)) => c.bump(&c.deadline_aborts),
+                        Err(DbError::StaleReader { .. } | DbError::RetentionExceeded { .. }) => {
+                            reader = fresh(c)
+                        }
+                        Err(e) if is_availability(&e) => c.bump(&c.availability_errors),
+                        Err(_) => c.bump(&c.unexpected_errors),
+                    }
+                }
+                Err(DbError::StaleReader { .. } | DbError::RetentionExceeded { .. }) => {
+                    reader = fresh(c)
+                }
+                Err(e) if is_availability(&e) => c.bump(&c.availability_errors),
+                Err(_) => c.bump(&c.unexpected_errors),
+            }
+            continue;
+        }
         if op.is_multiple_of(9) {
             // Expired-deadline probe on the reserved pair: never cached, so
             // it must abort with the typed error, not a partial answer.
@@ -667,6 +714,21 @@ pub fn run(effort: Effort, seed: u64, smoke: bool) {
             }
         }
     }
+    // Deterministic warm-cache bounded-refusal coverage: the suite above
+    // just warmed every pair for this reader, so re-issuing one under an
+    // already-expired deadline must be served from the result cache — and
+    // is accounted a bounded refusal, exactly as the wire front door
+    // (`dol-server`) refuses a pre-expired deadline at dispatch. The `Ok`
+    // bumps no CacheStats abort counter, so the deadline reconciliation
+    // below is untouched.
+    let opts = ExecOptions {
+        deadline: Deadline::after(Duration::ZERO),
+        ..ExecOptions::default()
+    };
+    match reader.query_opts(TABLE1[0].1, Security::BindingLevel(SubjectId(0)), opts) {
+        Ok(_) => c.bump(&c.bounded_refusals),
+        Err(e) => panic!("a warm pair under an expired deadline must serve the hit: {e}"),
+    }
     let io = g.io_stats().since(&io0);
     let caches = g.cache_stats();
     // Injections from both fault layers: the low-rate background schedule
@@ -737,6 +799,7 @@ fn print_tables(
             "masked",
             "wrong",
             "avail errors",
+            "bounded refusals",
             "deadline aborts",
             "cancel aborts",
             "refreshes",
@@ -750,6 +813,7 @@ fn print_tables(
         ld(&c.masked),
         ld(&c.wrong),
         ld(&c.availability_errors),
+        ld(&c.bounded_refusals),
         ld(&c.deadline_aborts),
         ld(&c.cancel_aborts),
         ld(&c.stale_refreshes),
@@ -878,6 +942,10 @@ fn assert_gates(
         "the breaker ended open"
     );
     assert!(ld(&c.deadline_aborts) >= 1, "no deadline abort happened");
+    assert!(
+        ld(&c.bounded_refusals) >= 1,
+        "no warm-cache hit was reclassified as a bounded refusal"
+    );
     assert!(ld(&c.cancel_aborts) >= 1, "no cancellation abort happened");
     assert_eq!(
         ld(&c.deadline_aborts) + ld(&c.cancel_aborts),
@@ -904,7 +972,8 @@ fn write_json(
         "{{\n  \"experiment\": \"soak\",\n  \"seed\": {seed},\n  \"nodes\": {nodes},\n  \
          \"cycles\": {cycles},\n  \"readers\": {READERS},\n  \"updaters\": {UPDATERS},\n  \
          \"exact\": {},\n  \"masked\": {},\n  \"wrong\": {},\n  \
-         \"availability_errors\": {},\n  \"deadline_aborts\": {},\n  \
+         \"availability_errors\": {},\n  \"bounded_refusals\": {},\n  \
+         \"deadline_aborts\": {},\n  \
          \"cancel_aborts\": {},\n  \"stale_refreshes\": {},\n  \"epoch_checked\": {},\n  \
          \"degraded_served\": {},\n  \"poison_windows\": {},\n  \
          \"recoveries\": {},\n  \"txns_redone\": {},\n  \"pages_redone\": {},\n  \
@@ -918,6 +987,7 @@ fn write_json(
         ld(&c.masked),
         ld(&c.wrong),
         ld(&c.availability_errors),
+        ld(&c.bounded_refusals),
         ld(&c.deadline_aborts),
         ld(&c.cancel_aborts),
         ld(&c.stale_refreshes),

@@ -1,0 +1,483 @@
+//! A minimal JSON value, encoder, and recursive-descent parser.
+//!
+//! The wire protocol needs exactly the JSON subset implemented here:
+//! objects, arrays, strings, 64-bit signed integers, booleans, and `null`.
+//! Floating-point literals are rejected — nothing on the wire is fractional,
+//! and refusing them keeps round-tripping exact. The parser is hardened for
+//! untrusted input: input length is already bounded by the frame decoder,
+//! nesting depth is capped at [`MAX_DEPTH`] (a bit-flipped frame must not
+//! overflow the stack), and every error is a typed [`JsonError`] — no panics
+//! on any byte sequence, which the decoder property test exercises.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Maximum nesting depth the parser accepts. Well-formed protocol messages
+/// nest 3–4 levels; 32 leaves headroom without risking deep recursion on
+/// adversarial input.
+pub const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON value (the protocol subset — integers only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A 64-bit signed integer (floats are rejected at parse time).
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. `BTreeMap` keeps encoding deterministic (sorted keys),
+    /// which the bench fingerprints rely on.
+    Obj(BTreeMap<String, Json>),
+}
+
+/// Why a byte sequence failed to parse as protocol JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// Unexpected byte or premature end of input at this offset.
+    Syntax(usize),
+    /// Nesting exceeded [`MAX_DEPTH`].
+    TooDeep,
+    /// A number literal was fractional, exponential, or out of `i64` range.
+    BadNumber(usize),
+    /// A string literal contained an invalid escape or raw control byte.
+    BadString(usize),
+    /// Valid JSON followed by trailing non-whitespace bytes.
+    Trailing(usize),
+    /// The input was not valid UTF-8.
+    Utf8,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonError::Syntax(at) => write!(f, "syntax error at byte {at}"),
+            JsonError::TooDeep => write!(f, "nesting deeper than {MAX_DEPTH}"),
+            JsonError::BadNumber(at) => write!(f, "unsupported number at byte {at}"),
+            JsonError::BadString(at) => write!(f, "bad string at byte {at}"),
+            JsonError::Trailing(at) => write!(f, "trailing bytes at {at}"),
+            JsonError::Utf8 => write!(f, "input is not UTF-8"),
+        }
+    }
+}
+
+impl Json {
+    /// Convenience constructor for an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Member lookup on an object (`None` on other variants or missing key).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer widened to `u64`.
+    pub fn as_uint(&self) -> Option<u64> {
+        match self {
+            Json::Int(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Encodes the value as compact JSON text.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => encode_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.encode_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_string(k, out);
+                    out.push(':');
+                    v.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn encode_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses `bytes` as one JSON value (the protocol subset). Never panics.
+pub fn parse(bytes: &[u8]) -> Result<Json, JsonError> {
+    let text = std::str::from_utf8(bytes).map_err(|_| JsonError::Utf8)?;
+    let mut p = Parser {
+        b: text.as_bytes(),
+        at: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.at != p.b.len() {
+        return Err(JsonError::Trailing(p.at));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(c) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(JsonError::Syntax(self.at))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.b[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(v)
+        } else {
+            Err(JsonError::Syntax(self.at))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::TooDeep);
+        }
+        match self.peek() {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(JsonError::Syntax(self.at)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        let digits_start = self.at;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.at += 1;
+        }
+        if self.at == digits_start {
+            return Err(JsonError::Syntax(start));
+        }
+        // Fractions and exponents are outside the protocol subset.
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(JsonError::BadNumber(start));
+        }
+        // SAFETY of unwrap-free parse: the slice is ASCII digits with an
+        // optional leading '-'; only overflow can fail.
+        let text = std::str::from_utf8(&self.b[start..self.at]).map_err(|_| JsonError::Utf8)?;
+        text.parse::<i64>()
+            .map(Json::Int)
+            .map_err(|_| JsonError::BadNumber(start))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        let start = self.at;
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            // Scan a run of plain bytes, then handle the interesting one.
+            let run_start = self.at;
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.at += 1;
+            }
+            // The parser input was validated UTF-8 and runs break only at
+            // ASCII bytes, so the run is valid UTF-8.
+            out.push_str(
+                std::str::from_utf8(&self.b[run_start..self.at]).map_err(|_| JsonError::Utf8)?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.at += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: accept a following low
+                            // surrogate; lone surrogates are rejected.
+                            let c = if (0xd800..0xdc00).contains(&cp) {
+                                if self.b[self.at..].starts_with(b"\\u") {
+                                    self.at += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xdc00..0xe000).contains(&lo) {
+                                        return Err(JsonError::BadString(start));
+                                    }
+                                    let c = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                                    char::from_u32(c).ok_or(JsonError::BadString(start))?
+                                } else {
+                                    return Err(JsonError::BadString(start));
+                                }
+                            } else {
+                                char::from_u32(cp).ok_or(JsonError::BadString(start))?
+                            };
+                            out.push(c);
+                            continue; // hex4 advanced past the escape
+                        }
+                        _ => return Err(JsonError::BadString(start)),
+                    }
+                    self.at += 1;
+                }
+                _ => return Err(JsonError::BadString(start)),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let s = self
+            .b
+            .get(self.at..self.at + 4)
+            .ok_or(JsonError::BadString(self.at))?;
+        let mut v = 0u32;
+        for &c in s {
+            v = v * 16
+                + match c {
+                    b'0'..=b'9' => (c - b'0') as u32,
+                    b'a'..=b'f' => (c - b'a' + 10) as u32,
+                    b'A'..=b'F' => (c - b'A' + 10) as u32,
+                    _ => return Err(JsonError::BadString(self.at)),
+                };
+        }
+        self.at += 4;
+        Ok(v)
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(JsonError::Syntax(self.at)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut m = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(m));
+        }
+        loop {
+            self.skip_ws();
+            let k = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let v = self.value(depth + 1)?;
+            m.insert(k, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(m));
+                }
+                _ => return Err(JsonError::Syntax(self.at)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Json) {
+        let text = v.encode();
+        let back = parse(text.as_bytes()).expect("reparse");
+        assert_eq!(&back, v, "round-trip through {text}");
+    }
+
+    #[test]
+    fn roundtrips_the_protocol_shapes() {
+        roundtrip(&Json::Null);
+        roundtrip(&Json::Bool(true));
+        roundtrip(&Json::Int(-42));
+        roundtrip(&Json::Int(i64::MAX));
+        roundtrip(&Json::Int(i64::MIN));
+        roundtrip(&Json::Str("hello \"world\"\n\\ \t \u{1} ünïcode 🦀".into()));
+        roundtrip(&Json::obj(vec![
+            ("id", Json::Int(7)),
+            ("method", Json::Str("query".into())),
+            (
+                "params",
+                Json::obj(vec![
+                    ("query", Json::Str("//a/b".into())),
+                    ("subject", Json::Int(3)),
+                    (
+                        "matches",
+                        Json::Arr(vec![Json::Int(1), Json::Int(2), Json::Int(3)]),
+                    ),
+                ]),
+            ),
+        ]));
+    }
+
+    #[test]
+    fn rejects_what_the_protocol_rejects() {
+        assert!(parse(b"1.5").is_err(), "floats are out of the subset");
+        assert!(parse(b"1e3").is_err());
+        assert!(parse(b"99999999999999999999").is_err(), "i64 overflow");
+        assert!(parse(b"{\"a\":1} junk").is_err(), "trailing bytes");
+        assert!(parse(b"\"\\ud800\"").is_err(), "lone surrogate");
+        assert!(parse(&[0xff, 0xfe]).is_err(), "not UTF-8");
+        assert!(parse(b"").is_err());
+        assert!(parse(b"[1,2,").is_err(), "truncated");
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert_eq!(parse(deep.as_bytes()), Err(JsonError::TooDeep));
+    }
+
+    #[test]
+    fn escapes_decode() {
+        assert_eq!(
+            parse(br#""a\u0041\n\u00e9\ud83e\udd80""#).unwrap(),
+            Json::Str("aA\né🦀".into())
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::obj(vec![
+            ("n", Json::Int(5)),
+            ("s", Json::Str("x".into())),
+            ("b", Json::Bool(false)),
+            ("a", Json::Arr(vec![Json::Int(1)])),
+        ]);
+        assert_eq!(v.get("n").and_then(Json::as_int), Some(5));
+        assert_eq!(v.get("n").and_then(Json::as_uint), Some(5));
+        assert_eq!(Json::Int(-1).as_uint(), None);
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("b").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("a").and_then(Json::as_arr).map(|a| a.len()), Some(1));
+        assert!(v.get("missing").is_none());
+        assert!(Json::Int(1).get("x").is_none());
+    }
+}

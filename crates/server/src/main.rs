@@ -1,0 +1,73 @@
+//! The `dol-server` binary: open a persisted database (WAL replay
+//! included) and serve it over TCP until a wire `shutdown` drains it.
+
+use dol_server::{Server, ServerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dol-server --db <path> [--addr HOST:PORT] [--max-inflight N]\n\
+         \x20                [--idle-timeout-ms N] [--slow-query-us N] [--testing]\n\
+         \n\
+         Opens the database image at <path> (replaying its write-ahead log\n\
+         if the last process died mid-commit) and serves the framed JSON\n\
+         protocol until a `shutdown` request drains it. An HTTP GET on the\n\
+         same port answers with Prometheus-style metrics."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    let mut db_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--db" => db_path = Some(take("--db")),
+            "--addr" => cfg.addr = take("--addr"),
+            "--max-inflight" => {
+                cfg.max_inflight = take("--max-inflight").parse().unwrap_or_else(|_| usage())
+            }
+            "--idle-timeout-ms" => {
+                let ms: u64 = take("--idle-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                cfg.idle_timeout = Duration::from_millis(ms);
+            }
+            "--slow-query-us" => {
+                cfg.slow_query_us = take("--slow-query-us").parse().unwrap_or_else(|_| usage())
+            }
+            "--testing" => cfg.testing = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    let Some(db_path) = db_path else { usage() };
+    let db = match secure_xml::SecureXmlDb::open_from(std::path::Path::new(&db_path)) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("failed to open {db_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let server = match Server::start(db, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The harness parses this line to discover an ephemeral port.
+    println!("listening on {}", server.local_addr());
+    server.wait();
+    println!("drained");
+}

@@ -56,6 +56,7 @@ mod modal;
 mod persist;
 mod reader;
 mod shard;
+mod stats;
 
 pub use dol_acl as acl;
 pub use dol_cam as cam;
@@ -70,8 +71,9 @@ pub use dol_storage::{CancelToken, Deadline, RecoveryReport, RetryPolicy};
 
 pub use commit::{CommitObserver, GroupCommitConfig, GroupCommitStats, GroupCommitter};
 pub use modal::{ModalDb, ModalSecurity};
-pub use reader::{CacheStats, DbReader};
+pub use reader::{jittered_backoff, CacheStats, DbReader};
 pub use shard::{DiskPair, ShardHealth, ShardStatus, ShardedDb, ShardedStats};
+pub use stats::ServerStats;
 
 use dol_acl::{AccessOracle, BitVec, SubjectId};
 use dol_core::{CompactionProgress, DolStats, EmbeddedDol};

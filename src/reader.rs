@@ -406,6 +406,42 @@ impl DbReader {
         query: &str,
         security: Security,
         max_retries: u32,
+        refresh: F,
+    ) -> Result<QueryResult, DbError>
+    where
+        F: FnMut() -> DbReader,
+    {
+        self.query_with_retry_opts(
+            query,
+            security,
+            ExecOptions::default(),
+            max_retries,
+            0,
+            refresh,
+        )
+    }
+
+    /// [`query_with_retry`](Self::query_with_retry) with explicit
+    /// [`ExecOptions`] and a jitter seed.
+    ///
+    /// The backoff pauses on the [`DbError::Overloaded`] arm are
+    /// **jittered**: attempt `n` sleeps a deterministic point in
+    /// `[backoff_for(n)/2, backoff_for(n)]` chosen by mixing `(seed, n)`
+    /// (see [`jittered_backoff`]), so a fleet of clients shed in the same
+    /// burst — each holding a distinct seed — re-arrives spread out instead
+    /// of as a synchronized thundering herd, while any single `(seed,
+    /// attempt)` pair replays the exact same schedule run after run.
+    ///
+    /// `opts.deadline` bounds the whole ladder: once it expires, the loop
+    /// stops retrying (and never sleeps past it) and returns the last
+    /// outcome as-is.
+    pub fn query_with_retry_opts<F>(
+        &mut self,
+        query: &str,
+        security: Security,
+        opts: ExecOptions,
+        max_retries: u32,
+        seed: u64,
         mut refresh: F,
     ) -> Result<QueryResult, DbError>
     where
@@ -414,16 +450,16 @@ impl DbReader {
         let policy = crate::RetryPolicy::default();
         let mut retries = 0;
         loop {
-            let outcome = self.query(query, security);
+            let outcome = self.query_opts(query, security, opts.clone());
             match retry_action(&outcome) {
-                Some(action) if retries < max_retries => {
+                Some(action) if retries < max_retries && !opts.deadline.is_expired() => {
                     retries += 1;
                     match action {
                         RetryAction::Refresh => *self = refresh(),
                         RetryAction::Backoff => {
                             // The snapshot is fine — the system shed load.
                             // Wait out the burst instead of re-snapshotting.
-                            let pause = policy.backoff_for(retries);
+                            let pause = jittered_backoff(&policy, seed, retries);
                             if !pause.is_zero() {
                                 std::thread::sleep(pause);
                             }
@@ -480,6 +516,32 @@ enum RetryAction {
     Refresh,
     /// Load-shedding failure: keep the reader, retry after a backoff pause.
     Backoff,
+}
+
+/// The backoff pause for retry `attempt` (1-based) under `policy`, with
+/// deterministic seeded jitter: a SplitMix64-style mix of `(seed, attempt)`
+/// picks a point in `[backoff_for(attempt) / 2, backoff_for(attempt)]`.
+///
+/// Determinism is the point: the same `(seed, attempt)` always sleeps the
+/// same pause, so a pinned-seed benchmark or test replays its exact retry
+/// schedule, while distinct seeds (one per client) decorrelate the fleet's
+/// re-arrival times after a shared shedding burst.
+pub fn jittered_backoff(policy: &crate::RetryPolicy, seed: u64, attempt: u32) -> Duration {
+    let base = policy.backoff_for(attempt);
+    if base.is_zero() {
+        return base;
+    }
+    // SplitMix64 finalizer over the (seed, attempt) pair.
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(attempt));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let base_ns = base.as_nanos() as u64;
+    let half = base_ns / 2;
+    // Integer arithmetic end to end: bit-identical on every platform.
+    Duration::from_nanos(half + z % (base_ns - half + 1))
 }
 
 /// Classifies a query outcome for the retry loop: `None` is terminal.
@@ -550,6 +612,38 @@ mod tests {
             assert!(pause <= policy.backoff_cap);
             last = pause;
         }
+    }
+
+    #[test]
+    fn jittered_backoff_is_bounded_and_deterministic() {
+        let policy = crate::RetryPolicy::default();
+        // Bound: every (seed, attempt) lands in [base/2, base].
+        for seed in [0u64, 1, 7, 0xDEAD_BEEF, u64::MAX] {
+            for attempt in 1..=10 {
+                let base = policy.backoff_for(attempt);
+                let pause = jittered_backoff(&policy, seed, attempt);
+                assert!(
+                    pause >= base / 2 && pause <= base,
+                    "seed {seed} attempt {attempt}: {pause:?} outside [{:?}, {base:?}]",
+                    base / 2
+                );
+            }
+        }
+        // Determinism under a pinned seed: the schedule replays exactly.
+        let schedule = |seed: u64| -> Vec<std::time::Duration> {
+            (1..=10)
+                .map(|a| jittered_backoff(&policy, seed, a))
+                .collect()
+        };
+        assert_eq!(schedule(42), schedule(42));
+        // Decorrelation: distinct seeds disagree somewhere on the ladder.
+        assert_ne!(schedule(42), schedule(43));
+        // Zero-backoff policies stay zero (no sleeping sneaks in).
+        let quiet = crate::RetryPolicy {
+            backoff_start: std::time::Duration::ZERO,
+            ..policy
+        };
+        assert_eq!(jittered_backoff(&quiet, 9, 3), std::time::Duration::ZERO);
     }
 
     #[test]

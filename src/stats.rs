@@ -1,0 +1,112 @@
+//! One-call aggregation of every serving-side counter family.
+//!
+//! The database exposes its health through four independent surfaces —
+//! buffer-pool [`IoStats`], query-cache [`CacheStats`], the circuit
+//! breaker's open/closed state, and (when a [`GroupCommitter`] fronts the
+//! handle) [`GroupCommitStats`]. Operational consumers want all of them in
+//! one consistent-enough snapshot: the wire server's `stats` method and its
+//! `/metrics` endpoint both render a [`ServerStats`], and the
+//! reconciliation test pins the aggregate to the individual sources so the
+//! two can never drift apart.
+
+use crate::commit::GroupCommitStats;
+use crate::reader::CacheStats;
+use crate::SecureXmlDb;
+use dol_storage::IoStats;
+
+/// A point-in-time merge of the database's counter families, plus the
+/// scalar health facts a dashboard wants next to them.
+///
+/// Each family is copied atomically per-counter but the families are read
+/// sequentially: the snapshot is consistent per family, not across
+/// families (the usual contract for monitoring counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Buffer-pool I/O counters, including the circuit-breaker trip /
+    /// fast-fail / probe counts.
+    pub io: IoStats,
+    /// Plan- and result-cache counters plus deadline aborts.
+    pub cache: CacheStats,
+    /// Group-commit counters; all-zero when no committer fronts the handle.
+    pub commit: GroupCommitStats,
+    /// The current update epoch.
+    pub epoch: u64,
+    /// Total nodes in the document.
+    pub nodes: u64,
+    /// Whether the handle is poisoned (updates refused, reads degraded to
+    /// the pre-transaction mirrors).
+    pub poisoned: bool,
+    /// Whether the I/O circuit breaker is currently open.
+    pub breaker_open: bool,
+}
+
+impl ServerStats {
+    /// Captures the aggregate from a database handle and, when one exists,
+    /// its committer's counters ([`GroupCommitter::stats`]).
+    ///
+    /// [`GroupCommitter::stats`]: crate::GroupCommitter::stats
+    pub fn snapshot(db: &SecureXmlDb, commit: Option<GroupCommitStats>) -> Self {
+        Self {
+            io: db.io_stats(),
+            cache: db.cache_stats(),
+            commit: commit.unwrap_or_default(),
+            epoch: db.epoch(),
+            nodes: db.len() as u64,
+            poisoned: db.is_poisoned(),
+            breaker_open: db.breaker_is_open(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GroupCommitConfig, GroupCommitter, Security};
+    use dol_acl::{FnOracle, SubjectId};
+    use std::sync::{Arc, RwLock};
+
+    #[test]
+    fn aggregate_reconciles_with_the_individual_sources() {
+        let xml = "<a><b>x</b><b>y</b><c>z</c></a>";
+        let acl = FnOracle::new(2, |_, _| true);
+        let db = SecureXmlDb::from_xml(xml, &acl).expect("build");
+        let db = Arc::new(RwLock::new(db));
+        let committer = GroupCommitter::new(Arc::clone(&db), GroupCommitConfig::default());
+
+        // Generate traffic on every family: queries (cache + io), updates
+        // (commit), and a repeated query (result-cache hit).
+        let reader = committer.reader();
+        reader
+            .query("//b", Security::BindingLevel(SubjectId(0)))
+            .expect("q1");
+        reader
+            .query("//b", Security::BindingLevel(SubjectId(0)))
+            .expect("q2");
+        committer
+            .submit_fn(|db| db.set_node_access(1, SubjectId(0), false))
+            .expect("update");
+
+        // Quiesce, then snapshot and reconcile. Nothing else runs, so the
+        // sources are stable between the aggregate and the direct reads.
+        let commit_stats = committer.stats();
+        let guard = db.read().unwrap();
+        let agg = ServerStats::snapshot(&guard, Some(commit_stats));
+        assert_eq!(agg.io, guard.io_stats());
+        assert_eq!(agg.cache, guard.cache_stats());
+        assert_eq!(agg.commit, commit_stats);
+        assert_eq!(agg.epoch, guard.epoch());
+        assert_eq!(agg.nodes, guard.len() as u64);
+        assert!(!agg.poisoned);
+        assert!(!agg.breaker_open);
+        // The traffic actually registered in each family.
+        assert!(agg.cache.result_hits >= 1, "warm repeat should hit");
+        assert!(agg.cache.result_misses >= 1);
+        assert_eq!(agg.commit.submitted, 1);
+        assert_eq!(agg.commit.committed, 1);
+        drop(guard);
+
+        // Without a committer the commit family is explicitly zero.
+        let solo = ServerStats::snapshot(&db.read().unwrap(), None);
+        assert_eq!(solo.commit, GroupCommitStats::default());
+    }
+}
